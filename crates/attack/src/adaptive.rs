@@ -1,0 +1,218 @@
+//! Adaptive sampling: a sequential probability ratio test decoder.
+//!
+//! Fixed-vote decoding (§VI-D's "use more samples") wastes samples on
+//! easy bits. Wald's SPRT takes exactly as many measurements per bit as
+//! the noise requires: it accumulates the log-likelihood ratio of
+//! "secret = 1" vs "secret = 0" under a Gaussian latency model fitted at
+//! calibration, and stops as soon as either hypothesis clears the
+//! target error rate. Against the fuzzy-cleanup mitigation this is the
+//! natural attacker response: the dummy delays only raise the *average*
+//! sample count, they cannot bound it.
+
+use unxpec_stats::Summary;
+
+/// A fitted two-hypothesis Gaussian latency model plus SPRT thresholds.
+/// # Examples
+///
+/// ```
+/// use unxpec_attack::SprtDecoder;
+///
+/// let decoder = SprtDecoder::fit(&[150, 152, 154], &[176, 178, 180], 0.05);
+/// let decision = decoder.decide(|| 179);
+/// assert!(decision.bit);
+/// assert_eq!(decision.samples, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprtDecoder {
+    mean0: f64,
+    mean1: f64,
+    sigma: f64,
+    /// Log-likelihood bound: accept once |llr| exceeds this.
+    bound: f64,
+    /// Hard cap on samples per bit.
+    max_samples: usize,
+}
+
+/// Outcome of decoding one bit adaptively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SprtDecision {
+    /// The decoded bit.
+    pub bit: bool,
+    /// Measurements consumed.
+    pub samples: usize,
+    /// Whether the decision hit the sample cap rather than the
+    /// likelihood bound.
+    pub capped: bool,
+}
+
+impl SprtDecoder {
+    /// Fits the decoder from calibration samples, targeting error rate
+    /// `alpha` per bit (e.g. `0.01`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample set is empty or `alpha` is not in
+    /// `(0, 0.5)`.
+    pub fn fit(samples0: &[u64], samples1: &[u64], alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 0.5, "alpha must be in (0, 0.5)");
+        let s0 = Summary::of_cycles(samples0);
+        let s1 = Summary::of_cycles(samples1);
+        // Pooled spread; floor it so a noiseless calibration still
+        // yields a usable (instantly-deciding) model.
+        let sigma = ((s0.std_dev + s1.std_dev) / 2.0).max(0.75);
+        SprtDecoder {
+            mean0: s0.mean,
+            mean1: s1.mean,
+            sigma,
+            bound: ((1.0 - alpha) / alpha).ln(),
+            max_samples: 64,
+        }
+    }
+
+    /// Overrides the per-bit sample cap.
+    pub fn with_max_samples(mut self, cap: usize) -> Self {
+        self.max_samples = cap.max(1);
+        self
+    }
+
+    /// Log-likelihood-ratio increment of one observation.
+    fn llr(&self, x: f64) -> f64 {
+        let d0 = x - self.mean0;
+        let d1 = x - self.mean1;
+        (d0 * d0 - d1 * d1) / (2.0 * self.sigma * self.sigma)
+    }
+
+    /// Decodes one bit, pulling measurements from `sample` until the
+    /// likelihood bound or the cap is reached.
+    pub fn decide(&self, mut sample: impl FnMut() -> u64) -> SprtDecision {
+        let mut llr = 0.0;
+        for n in 1..=self.max_samples {
+            llr += self.llr(sample() as f64);
+            if llr >= self.bound {
+                return SprtDecision {
+                    bit: true,
+                    samples: n,
+                    capped: false,
+                };
+            }
+            if llr <= -self.bound {
+                return SprtDecision {
+                    bit: false,
+                    samples: n,
+                    capped: false,
+                };
+            }
+        }
+        SprtDecision {
+            bit: llr > 0.0,
+            samples: self.max_samples,
+            capped: true,
+        }
+    }
+
+    /// The fitted `(mean0, mean1, sigma)`.
+    pub fn model(&self) -> (f64, f64, f64) {
+        (self.mean0, self.mean1, self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_source(mean: f64, sigma: f64, seed: u64) -> impl FnMut() -> u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        move || {
+            // Sum of uniforms ~ Gaussian-ish.
+            let n: f64 = (0..12).map(|_| rng.gen_range(-0.5..0.5)).sum();
+            (mean + n * sigma).max(1.0) as u64
+        }
+    }
+
+    fn samples(mean: f64, sigma: f64, seed: u64, n: usize) -> Vec<u64> {
+        let mut src = noisy_source(mean, sigma, seed);
+        (0..n).map(|_| src()).collect()
+    }
+
+    fn decoder() -> SprtDecoder {
+        SprtDecoder::fit(&samples(156.0, 8.0, 1, 200), &samples(178.0, 8.0, 2, 200), 0.01)
+    }
+
+    #[test]
+    fn clean_observations_decide_in_one_sample() {
+        let d = decoder();
+        let decision = d.decide(|| 190);
+        assert!(decision.bit);
+        assert_eq!(decision.samples, 1);
+        let decision = d.decide(|| 145);
+        assert!(!decision.bit);
+        assert_eq!(decision.samples, 1);
+    }
+
+    #[test]
+    fn ambiguous_observations_take_more_samples() {
+        let d = decoder();
+        // A source pinned exactly between the fitted means never
+        // separates; the decoder caps out instead of looping forever.
+        let (m0, m1, _) = d.model();
+        // Alternate just below and above the midpoint so the evidence
+        // largely cancels.
+        let lo = ((m0 + m1) / 2.0).floor() as u64;
+        let mut flip = false;
+        let decision = d.decide(|| {
+            flip = !flip;
+            lo + flip as u64
+        });
+        assert!(
+            decision.samples > 5,
+            "ambiguous evidence must cost many samples, took {}",
+            decision.samples
+        );
+    }
+
+    #[test]
+    fn sprt_hits_its_target_error_rate() {
+        let d = decoder();
+        let mut wrong = 0;
+        let mut total_samples = 0;
+        let trials = 400;
+        for i in 0..trials {
+            let secret = i % 2 == 1;
+            let mean = if secret { 178.0 } else { 156.0 };
+            let mut src = noisy_source(mean, 8.0, 100 + i as u64);
+            let decision = d.decide(&mut src);
+            wrong += (decision.bit != secret) as usize;
+            total_samples += decision.samples;
+        }
+        let err = wrong as f64 / trials as f64;
+        assert!(err <= 0.03, "error rate {err} should be near alpha = 0.01");
+        let avg = total_samples as f64 / trials as f64;
+        assert!(avg < 8.0, "adaptive sampling should stay cheap: {avg} samples/bit");
+        assert!(avg > 1.0, "noise at sigma 8 requires some extra samples");
+    }
+
+    #[test]
+    fn tighter_alpha_costs_more_samples() {
+        let s0 = samples(156.0, 8.0, 5, 200);
+        let s1 = samples(178.0, 8.0, 6, 200);
+        let loose = SprtDecoder::fit(&s0, &s1, 0.1);
+        let tight = SprtDecoder::fit(&s0, &s1, 0.001);
+        let cost = |d: &SprtDecoder| {
+            let mut total = 0;
+            for i in 0..200 {
+                let mut src = noisy_source(178.0, 8.0, 500 + i);
+                total += d.decide(&mut src).samples;
+            }
+            total
+        };
+        assert!(cost(&tight) > cost(&loose), "stricter alpha needs more evidence");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        SprtDecoder::fit(&[1], &[2], 0.7);
+    }
+}

@@ -1,0 +1,133 @@
+//! Attack parameterization (§V-C of the paper).
+
+/// Tunable parameters of one unXpec attack instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackConfig {
+    /// Number of encoding loads inside the branch (`n` in Algorithm 2;
+    /// the x-axis of Figs. 3 and 6). The paper's headline experiments
+    /// use a single load.
+    pub loads_in_branch: usize,
+    /// Number of dependent memory accesses resolving the branch
+    /// condition (`N` in `f(N)`; the x-axis family of Fig. 2). Each adds
+    /// roughly one memory round trip of speculation window.
+    pub fn_accesses: usize,
+    /// Whether to prime eviction sets so transient loads must evict and
+    /// CleanupSpec must restore (§V-B).
+    pub use_eviction_sets: bool,
+    /// Branch-predictor mistraining iterations per round.
+    pub train_iters: u64,
+    /// Extra per-round receiver overhead in cycles (decode, loop
+    /// management, process scheduling). Zero measures the raw channel;
+    /// the paper's artifact rounds are much heavier (~14k cycles at
+    /// their 140k samples/s on a 2 GHz clock).
+    pub round_overhead_cycles: u64,
+    /// RNG seed for secrets and noise pairing.
+    pub seed: u64,
+}
+
+impl AttackConfig {
+    /// The paper's headline configuration: one in-branch load, `f(1)`,
+    /// no eviction sets (Fig. 7 / Fig. 10).
+    pub fn paper_no_es() -> Self {
+        AttackConfig {
+            loads_in_branch: 1,
+            fn_accesses: 1,
+            use_eviction_sets: false,
+            train_iters: 8,
+            round_overhead_cycles: 0,
+            seed: 0x5eed,
+        }
+    }
+
+    /// The optimized configuration: eviction sets primed (Fig. 8 /
+    /// Fig. 11).
+    pub fn paper_with_es() -> Self {
+        AttackConfig {
+            use_eviction_sets: true,
+            ..Self::paper_no_es()
+        }
+    }
+
+    /// Sets the number of encoding loads.
+    pub fn with_loads(mut self, n: usize) -> Self {
+        self.loads_in_branch = n;
+        self
+    }
+
+    /// Sets the `f(N)` complexity.
+    pub fn with_fn_accesses(mut self, n: usize) -> Self {
+        self.fn_accesses = n;
+        self
+    }
+
+    /// Enables or disables eviction sets.
+    pub fn with_eviction_sets(mut self, on: bool) -> Self {
+        self.use_eviction_sets = on;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of its supported range.
+    pub fn validate(&self) {
+        assert!(
+            (1..=16).contains(&self.loads_in_branch),
+            "loads_in_branch must be 1..=16"
+        );
+        assert!(
+            (1..=8).contains(&self.fn_accesses),
+            "fn_accesses must be 1..=8"
+        );
+        assert!(self.train_iters >= 1, "need at least one mistraining pass");
+    }
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self::paper_no_es()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_only_in_eviction_sets() {
+        let a = AttackConfig::paper_no_es();
+        let b = AttackConfig::paper_with_es();
+        assert!(!a.use_eviction_sets);
+        assert!(b.use_eviction_sets);
+        assert_eq!(a.loads_in_branch, b.loads_in_branch);
+        a.validate();
+        b.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loads_in_branch")]
+    fn zero_loads_invalid() {
+        AttackConfig::default().with_loads(0).validate();
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = AttackConfig::default()
+            .with_loads(4)
+            .with_fn_accesses(2)
+            .with_eviction_sets(true)
+            .with_seed(9);
+        assert_eq!(c.loads_in_branch, 4);
+        assert_eq!(c.fn_accesses, 2);
+        assert!(c.use_eviction_sets);
+        assert_eq!(c.seed, 9);
+        c.validate();
+    }
+}

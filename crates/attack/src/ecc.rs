@@ -1,0 +1,139 @@
+//! Error correction over the covert channel.
+//!
+//! At one sample per bit the channel decodes at ~85–92% under realistic
+//! noise (paper Figs. 10/11). A real exfiltration campaign layers coding
+//! on top; this module provides the classic Hamming(7,4) single-error-
+//! correcting code, which trades 7 channel bits per 4 payload bits for
+//! the ability to fix any single bit error per block — pushing effective
+//! byte accuracy far above raw bit accuracy at a fixed 1.75× rate cost.
+
+/// Encodes a nibble (low 4 bits of `data`) into a Hamming(7,4) codeword
+/// `[p1, p2, d1, p3, d2, d3, d4]`.
+pub fn hamming74_encode(data: u8) -> [bool; 7] {
+    let d = [
+        data & 0b0001 != 0,
+        data & 0b0010 != 0,
+        data & 0b0100 != 0,
+        data & 0b1000 != 0,
+    ];
+    let p1 = d[0] ^ d[1] ^ d[3];
+    let p2 = d[0] ^ d[2] ^ d[3];
+    let p3 = d[1] ^ d[2] ^ d[3];
+    [p1, p2, d[0], p3, d[1], d[2], d[3]]
+}
+
+/// Decodes a Hamming(7,4) codeword, correcting up to one flipped bit.
+/// Returns `(nibble, corrected_position)`.
+pub fn hamming74_decode(mut code: [bool; 7]) -> (u8, Option<usize>) {
+    let s1 = code[0] ^ code[2] ^ code[4] ^ code[6];
+    let s2 = code[1] ^ code[2] ^ code[5] ^ code[6];
+    let s3 = code[3] ^ code[4] ^ code[5] ^ code[6];
+    let syndrome = (s1 as usize) | (s2 as usize) << 1 | (s3 as usize) << 2;
+    let corrected = if syndrome != 0 {
+        code[syndrome - 1] = !code[syndrome - 1];
+        Some(syndrome - 1)
+    } else {
+        None
+    };
+    let nibble = (code[2] as u8) | (code[4] as u8) << 1 | (code[5] as u8) << 2 | (code[6] as u8) << 3;
+    (nibble, corrected)
+}
+
+/// Encodes bytes into a Hamming(7,4) bit stream (two codewords per
+/// byte, low nibble first).
+/// # Examples
+///
+/// ```
+/// use unxpec_attack::{decode_bytes, encode_bytes};
+///
+/// let mut bits = encode_bytes(b"hi");
+/// bits[3] = !bits[3]; // one channel error
+/// let (decoded, corrections) = decode_bytes(&bits);
+/// assert_eq!(decoded, b"hi");
+/// assert_eq!(corrections, 1);
+/// ```
+pub fn encode_bytes(data: &[u8]) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(data.len() * 14);
+    for &byte in data {
+        bits.extend(hamming74_encode(byte & 0x0f));
+        bits.extend(hamming74_encode(byte >> 4));
+    }
+    bits
+}
+
+/// Decodes a Hamming(7,4) bit stream back into bytes, correcting single
+/// errors per 7-bit block. Returns `(bytes, corrections)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is not a multiple of 14 (whole bytes).
+pub fn decode_bytes(bits: &[bool]) -> (Vec<u8>, usize) {
+    assert_eq!(bits.len() % 14, 0, "need whole encoded bytes");
+    let mut out = Vec::with_capacity(bits.len() / 14);
+    let mut corrections = 0;
+    for chunk in bits.chunks(14) {
+        let lo: [bool; 7] = chunk[..7].try_into().expect("7 bits");
+        let hi: [bool; 7] = chunk[7..].try_into().expect("7 bits");
+        let (lo_n, c1) = hamming74_decode(lo);
+        let (hi_n, c2) = hamming74_decode(hi);
+        corrections += c1.is_some() as usize + c2.is_some() as usize;
+        out.push(lo_n | (hi_n << 4));
+    }
+    (out, corrections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_nibbles() {
+        for n in 0u8..16 {
+            let (decoded, corrected) = hamming74_decode(hamming74_encode(n));
+            assert_eq!(decoded, n);
+            assert_eq!(corrected, None);
+        }
+    }
+
+    #[test]
+    fn corrects_any_single_bit_flip() {
+        for n in 0u8..16 {
+            for pos in 0..7 {
+                let mut code = hamming74_encode(n);
+                code[pos] = !code[pos];
+                let (decoded, corrected) = hamming74_decode(code);
+                assert_eq!(decoded, n, "nibble {n} flip at {pos}");
+                assert_eq!(corrected, Some(pos));
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_roundtrip() {
+        let msg = b"CleanupSpec";
+        let bits = encode_bytes(msg);
+        assert_eq!(bits.len(), msg.len() * 14);
+        let (decoded, corrections) = decode_bytes(&bits);
+        assert_eq!(decoded, msg);
+        assert_eq!(corrections, 0);
+    }
+
+    #[test]
+    fn byte_stream_survives_scattered_errors() {
+        let msg = b"unXpec";
+        let mut bits = encode_bytes(msg);
+        // One flip in each 7-bit block.
+        for block in 0..bits.len() / 7 {
+            bits[block * 7 + (block % 7)] ^= true;
+        }
+        let (decoded, corrections) = decode_bytes(&bits);
+        assert_eq!(decoded, msg);
+        assert_eq!(corrections, bits.len() / 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole encoded bytes")]
+    fn partial_blocks_panic() {
+        decode_bytes(&[false; 7]);
+    }
+}

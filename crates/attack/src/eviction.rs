@@ -1,0 +1,274 @@
+//! Eviction-set construction.
+//!
+//! Two ways to build the sets that §V-B primes:
+//!
+//! * [`congruent_addresses`] — pure address arithmetic. L1 indexing is
+//!   conventional (`line mod sets`), so the attacker can compute
+//!   congruent addresses directly; this is what the main attack uses.
+//! * [`find_eviction_set`] — blind timing-based search in the spirit of
+//!   Vila et al. (S&P 2019): start from a candidate pool that evicts the
+//!   target, then group-test subsets away. It needs no knowledge of the
+//!   index function, so it also works where the mapping is randomized —
+//!   at the cost of many probes, and with repetition to defeat the
+//!   random replacement policy CleanupSpec mandates.
+
+use unxpec_cpu::{Core, ProgramBuilder, Reg};
+use unxpec_mem::Addr;
+
+const R_A: Reg = Reg(1);
+const R_X: Reg = Reg(2);
+const R_T1: Reg = Reg(20);
+const R_T2: Reg = Reg(21);
+
+/// `count` addresses within `[region_base, region_base + region_lines
+/// lines)` mapping to the same L1 set as `target` under `line mod
+/// l1_sets` indexing.
+///
+/// # Panics
+///
+/// Panics if the region cannot supply `count` congruent lines.
+pub fn congruent_addresses(
+    region_base: Addr,
+    region_lines: u64,
+    l1_sets: u64,
+    target: Addr,
+    count: usize,
+) -> Vec<Addr> {
+    let base_line = region_base.line().raw();
+    let target_set = target.line().raw() % l1_sets;
+    let first = (target_set + l1_sets - base_line % l1_sets) % l1_sets;
+    (0..count as u64)
+        .map(|j| {
+            let off = first + j * l1_sets;
+            assert!(off < region_lines, "region too small for {count} lines");
+            Addr::new((base_line + off) * 64)
+        })
+        .collect()
+}
+
+/// Measures the latency of one load of `addr` on `core` (includes the
+/// fixed timer overhead). The load itself warms the line.
+/// # Examples
+///
+/// ```
+/// use unxpec_attack::probe_latency;
+/// use unxpec_cpu::Core;
+/// use unxpec_mem::Addr;
+///
+/// let mut core = Core::table_i();
+/// let cold = probe_latency(&mut core, Addr::new(0x40_0000));
+/// let warm = probe_latency(&mut core, Addr::new(0x40_0000));
+/// assert!(warm < cold);
+/// ```
+pub fn probe_latency(core: &mut Core, addr: Addr) -> u64 {
+    let mut b = ProgramBuilder::new();
+    b.mov(R_A, addr.raw());
+    b.fence();
+    b.rdtsc(R_T1);
+    b.load(R_X, R_A, 0);
+    b.rdtsc(R_T2);
+    b.halt();
+    let r = core.run(&b.build());
+    r.reg(R_T2) - r.reg(R_T1)
+}
+
+/// One eviction trial: cache `target`, traverse `set` `passes` times,
+/// then time a reload of `target`. Returns the reload latency.
+fn eviction_trial(core: &mut Core, target: Addr, set: &[Addr], passes: usize) -> u64 {
+    let mut b = ProgramBuilder::new();
+    b.mov(R_A, target.raw());
+    b.load(R_X, R_A, 0);
+    b.fence();
+    for _ in 0..passes {
+        for a in set {
+            b.mov(R_A, a.raw());
+            b.load(R_X, R_A, 0);
+        }
+    }
+    b.fence();
+    b.mov(R_A, target.raw());
+    b.rdtsc(R_T1);
+    b.load(R_X, R_A, 0);
+    b.rdtsc(R_T2);
+    b.halt();
+    let r = core.run(&b.build());
+    r.reg(R_T2) - r.reg(R_T1)
+}
+
+/// Calibrates the L1 hit/miss decision threshold on `core` using a
+/// scratch address.
+fn calibrate_threshold(core: &mut Core, scratch: Addr) -> u64 {
+    probe_latency(core, scratch); // warm
+    let hit = probe_latency(core, scratch);
+    // Evict from L1 only: flushing goes through both levels, so probe a
+    // cold line for the miss reference instead and take the midpoint of
+    // hit and L2-ish latency. An L1 miss that hits L2 costs at least the
+    // L2 latency; a conservative midpoint suffices.
+    hit + 7
+}
+
+/// Whether `set` reliably evicts `target` from the L1 (majority of
+/// `trials`, each with several traversal passes to defeat random
+/// replacement).
+fn evicts(core: &mut Core, target: Addr, set: &[Addr], threshold: u64, trials: usize) -> bool {
+    if set.is_empty() {
+        return false;
+    }
+    let mut hits = 0;
+    for _ in 0..trials {
+        if eviction_trial(core, target, set, 4) > threshold {
+            hits += 1;
+        }
+    }
+    hits * 2 > trials
+}
+
+/// Blind timing-based eviction-set search.
+///
+/// Starting from `candidates` (which must collectively evict `target`),
+/// repeatedly group-tests chunks away until no chunk can be removed
+/// while preserving eviction, aiming for about `ways` addresses (random
+/// replacement keeps a safety margin above the associativity).
+///
+/// Returns `None` when the candidate pool never evicts the target.
+pub fn find_eviction_set(
+    core: &mut Core,
+    target: Addr,
+    candidates: &[Addr],
+    ways: usize,
+) -> Option<Vec<Addr>> {
+    let threshold = calibrate_threshold(core, target);
+    let mut pool: Vec<Addr> = candidates.to_vec();
+    if !evicts(core, target, &pool, threshold, 5) {
+        return None;
+    }
+    // Group-test reduction: try dropping one of (ways + 1) groups per
+    // round, keeping eviction.
+    let floor = ways * 2; // margin for the random policy
+    'outer: while pool.len() > floor {
+        let groups = ways + 1;
+        let chunk = pool.len().div_ceil(groups);
+        for g in 0..groups {
+            let lo = g * chunk;
+            if lo >= pool.len() {
+                break;
+            }
+            let hi = (lo + chunk).min(pool.len());
+            let mut reduced = Vec::with_capacity(pool.len() - (hi - lo));
+            reduced.extend_from_slice(&pool[..lo]);
+            reduced.extend_from_slice(&pool[hi..]);
+            if evicts(core, target, &reduced, threshold, 5) {
+                pool = reduced;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    // Group testing stalls once every group holds a needed (congruent)
+    // address; finish with single-element elimination.
+    let mut i = 0;
+    while i < pool.len() && pool.len() > ways {
+        let mut reduced = pool.clone();
+        reduced.remove(i);
+        if evicts(core, target, &reduced, threshold, 5) {
+            pool = reduced;
+        } else {
+            i += 1;
+        }
+    }
+    evicts(core, target, &pool, threshold, 7).then_some(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> Core {
+        Core::table_i()
+    }
+
+    #[test]
+    fn probe_distinguishes_hit_from_miss() {
+        let mut c = core();
+        let a = Addr::new(0x40_0000);
+        let cold = probe_latency(&mut c, a);
+        let warm = probe_latency(&mut c, a);
+        assert!(cold > 100, "cold {cold}");
+        assert!(warm < 20, "warm {warm}");
+    }
+
+    #[test]
+    fn congruent_addresses_share_the_target_set() {
+        let addrs = congruent_addresses(Addr::new(0x20_0000), 1024, 64, Addr::new(0x12340), 8);
+        let target_set = Addr::new(0x12340).line().raw() % 64;
+        for a in &addrs {
+            assert_eq!(a.line().raw() % 64, target_set);
+        }
+    }
+
+    #[test]
+    fn congruent_set_evicts_target() {
+        let mut c = core();
+        let target = Addr::new(0x55_0000);
+        let set = congruent_addresses(Addr::new(0x60_0000), 2048, 64, target, 12);
+        let threshold = {
+            probe_latency(&mut c, target);
+            probe_latency(&mut c, target) + 7
+        };
+        assert!(evicts(&mut c, target, &set, threshold, 5));
+    }
+
+    #[test]
+    fn non_congruent_set_does_not_evict() {
+        let mut c = core();
+        let target = Addr::new(0x55_0000);
+        // Addresses one set over: never touch the target's set.
+        let other = congruent_addresses(Addr::new(0x60_0000), 2048, 64, target.offset(64), 12);
+        let threshold = {
+            probe_latency(&mut c, target);
+            probe_latency(&mut c, target) + 7
+        };
+        assert!(!evicts(&mut c, target, &other, threshold, 5));
+    }
+
+    #[test]
+    fn blind_search_reduces_a_mixed_pool_under_lru() {
+        // The minimal-set semantics of the Vila-style search are crisp
+        // under deterministic replacement; under CleanupSpec's random
+        // policy even sub-associativity sets evict probabilistically,
+        // so the reduction target is fuzzy there. Run the algorithm
+        // against an LRU L1.
+        let mut hier_cfg = unxpec_cache::HierarchyConfig::table_i();
+        hier_cfg.l1d.replacement = unxpec_cache::ReplacementKind::Lru;
+        let mut c = Core::new(unxpec_cpu::CoreConfig::table_i(), hier_cfg);
+        let target = Addr::new(0x71_0000);
+        // 12 congruent lines buried among 24 non-congruent ones.
+        let mut pool = congruent_addresses(Addr::new(0x80_0000), 4096, 64, target, 12);
+        pool.extend(congruent_addresses(
+            Addr::new(0x80_0000),
+            4096,
+            64,
+            target.offset(128),
+            24,
+        ));
+        let found = find_eviction_set(&mut c, target, &pool, 8).expect("pool must evict");
+        assert!(found.len() < pool.len(), "search must reduce the pool");
+        // Under LRU the survivors must be exactly the associativity,
+        // all congruent.
+        let target_set = target.line().raw() % 64;
+        let congruent = found
+            .iter()
+            .filter(|a| a.line().raw() % 64 == target_set)
+            .count();
+        assert_eq!(congruent, 8, "{congruent}/{} congruent", found.len());
+        assert_eq!(found.len(), 8);
+    }
+
+    #[test]
+    fn search_fails_on_useless_pool() {
+        let mut c = core();
+        let target = Addr::new(0x91_0000);
+        let useless = congruent_addresses(Addr::new(0xa0_0000), 2048, 64, target.offset(64), 6);
+        assert!(find_eviction_set(&mut c, target, &useless, 8).is_none());
+    }
+}

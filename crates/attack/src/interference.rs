@@ -1,0 +1,185 @@
+//! Speculative interference (Behnia et al., ASPLOS 2021), in miniature.
+//!
+//! The unXpec paper's motivation: Invisible defenses were broken by
+//! observing the *resource contention* of speculative loads (MSHRs,
+//! buses, execution units) rather than their cache footprints. Hiding
+//! the fill does not hide the traffic.
+//!
+//! This module reproduces the mechanism on our model: the sender's
+//! transient loads occupy the memory banks and L2 pipeline whether or
+//! not the defense lets them fill, so a receiver load racing through
+//! the same resources finishes later when the secret made the transient
+//! loads miss. The defense matrix result is the paper's argument in one
+//! table: **InvisiSpec and delay-on-miss stop the footprint channel but
+//! not the contention channel — which is why the field turned to Undo
+//! schemes, whose own rollback channel unXpec then broke.**
+
+use unxpec_cpu::{Cond, Core, Defense, Program, ProgramBuilder, Reg};
+
+use crate::layout::AttackLayout;
+use crate::sender::RoundRegs;
+
+const R_IDX: Reg = Reg(1);
+const R_CHASE: Reg = Reg(2);
+const R_TMP: Reg = Reg(3);
+const R_SEC: Reg = Reg(4);
+const R_V: Reg = Reg(5);
+const R_K: Reg = Reg(6);
+const R_X: Reg = Reg(7);
+const R_J: Reg = Reg(8);
+const R_PHASE: Reg = Reg(9);
+const R_ABASE: Reg = Reg(10);
+const R_PBASE: Reg = Reg(11);
+const R_ADDR: Reg = Reg(12);
+const R_RACE: Reg = Reg(16);
+
+/// An interference attacker: times a racing load, not a reload.
+#[derive(Debug)]
+pub struct InterferenceChannel {
+    core: Core,
+    layout: AttackLayout,
+    round: Program,
+    victim_touch: Program,
+    regs: RoundRegs,
+}
+
+impl InterferenceChannel {
+    /// Builds the channel against `defense`.
+    pub fn new(defense: Box<dyn Defense>, transient_loads: usize) -> Self {
+        let mut core = Core::table_i();
+        core.set_defense(defense);
+        let layout = AttackLayout::new(core.hierarchy().config().l1d.sets as u64);
+        layout.install(core.mem_mut(), 1);
+        let round = Self::build_round(&layout, transient_loads);
+        let mut vb = ProgramBuilder::new();
+        vb.mov(Reg(1), layout.secret_addr().raw());
+        vb.load(Reg(2), Reg(1), 0);
+        vb.halt();
+        let mut this = InterferenceChannel {
+            core,
+            layout,
+            round,
+            victim_touch: vb.build(),
+            regs: RoundRegs::default(),
+        };
+        this.measure_bit(false);
+        this.measure_bit(true);
+        this
+    }
+
+    /// Like the unXpec round, but the measurement brackets a *racing
+    /// load* (to an unrelated flushed line) issued inside the
+    /// speculation window: the timestamps time contention, not
+    /// footprints or rollback.
+    fn build_round(layout: &AttackLayout, n: usize) -> Program {
+        let regs = RoundRegs::default();
+        let mut b = ProgramBuilder::new();
+        b.mov(R_ABASE, layout.a_base().raw());
+        b.mov(R_PBASE, layout.probe().base().raw());
+        b.mov(R_J, 0);
+        b.mov(R_PHASE, 0);
+        b.mov(R_IDX, 0);
+        // The racing line: probe line 32 (never used by the sender).
+        b.mov(R_RACE, layout.probe_line(32).raw());
+
+        b.label("sender");
+        // A short ALU-chain speculation window (~30 cycles): long enough
+        // for the transient loads to issue into the banks, short enough
+        // that the bank queue is still busy when the squash resolves —
+        // the racing load lands in the middle of the contention.
+        b.mov(R_CHASE, layout.bound());
+        for _ in 0..10 {
+            b.mul(R_CHASE, R_CHASE, 1u64);
+        }
+        b.branch(Cond::Ge, R_IDX, R_CHASE, "after_body");
+        b.shl(R_TMP, R_IDX, 3u64);
+        b.add(R_ADDR, R_TMP, R_ABASE);
+        b.load(R_SEC, R_ADDR, 0);
+        b.shl(R_V, R_SEC, 6u64);
+        for k in 1..=n as u64 {
+            b.mul(R_K, R_V, k);
+            b.add(R_K, R_K, R_PBASE);
+            b.load(R_X, R_K, 0);
+        }
+        b.label("after_body");
+        b.branch(Cond::Eq, R_PHASE, 1u64, "done");
+        for _ in 0..8 {
+            b.nop();
+        }
+        b.add(R_J, R_J, 1u64);
+        b.branch(Cond::Lt, R_J, 8u64, "sender");
+
+        // Preparation: P[0] warm, P[64·k] and the race line flushed.
+        b.load(R_X, R_PBASE, 0);
+        for k in 1..=n as u64 {
+            b.flush(R_PBASE, (64 * k) as i64);
+        }
+        b.flush(R_RACE, 0);
+        b.fence();
+
+        // Measurement: the racing load goes out *behind* the transient
+        // loads in the memory system.
+        b.mov(R_IDX, layout.oob_index());
+        b.mov(R_PHASE, 1);
+        b.jump("sender");
+
+        b.label("done");
+        // Correct path after the squash: time the racing miss.
+        b.rdtsc(regs.t1);
+        b.load(R_X, R_RACE, 0);
+        b.rdtsc(regs.t2);
+        b.halt();
+        b.build()
+    }
+
+    /// One round; returns the racing load's latency.
+    pub fn measure_bit(&mut self, secret: bool) -> u64 {
+        self.layout.set_secret(self.core.mem_mut(), secret);
+        self.core.run(&self.victim_touch);
+        let r = self.core.run(&self.round);
+        r.reg(self.regs.t2) - r.reg(self.regs.t1)
+    }
+
+    /// Mean secret-dependent contention difference over `samples`
+    /// rounds per secret.
+    pub fn timing_difference(&mut self, samples: usize) -> f64 {
+        let mut sum0 = 0.0;
+        let mut sum1 = 0.0;
+        for _ in 0..samples {
+            sum0 += self.measure_bit(false) as f64;
+            sum1 += self.measure_bit(true) as f64;
+        }
+        (sum1 - sum0) / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unxpec_defense::{DelayOnMiss, InvisiSpec};
+
+    #[test]
+    fn contention_leaks_through_invisispec() {
+        // The paper's motivating result: invisible fills, visible
+        // traffic. With several transient misses queued at the banks,
+        // the racing load finishes measurably later for secret 1.
+        let mut chan = InterferenceChannel::new(Box::new(InvisiSpec::new()), 6);
+        let diff = chan.timing_difference(12);
+        assert!(
+            diff > 5.0,
+            "bank contention must leak through InvisiSpec: {diff}"
+        );
+    }
+
+    #[test]
+    fn delay_on_miss_closes_the_contention_channel_by_not_issuing() {
+        // Naive delay-on-miss never issues the transient misses, so no
+        // traffic exists to contend with.
+        let mut chan = InterferenceChannel::new(Box::new(DelayOnMiss::naive()), 6);
+        let diff = chan.timing_difference(12).abs();
+        assert!(
+            diff < 5.0,
+            "unissued loads cannot contend: {diff}"
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! The attack's view of the address space.
+//!
+//! One [`AttackLayout`] owns the addresses of every array the attack
+//! programs touch:
+//!
+//! * `P` — the probe array; `P[0]` is the secret-0 target, `P[64·k]`
+//!   the secret-1 targets (all on distinct cache lines and, with 64 L1
+//!   sets, distinct L1 sets for `k ≤ 8`);
+//! * `A` — the in-bounds victim array, `bound` words long;
+//! * `SECRET` — the word the out-of-bounds index reaches;
+//! * `CHAIN` — the pointer chain computing the branch bound for `f(N)`;
+//! * `EVSET` — a large region from which L1-congruent eviction-set
+//!   addresses are drawn.
+
+use unxpec_mem::{Addr, ArrayHandle, LayoutBuilder, Memory, MemoryLayout, CACHE_LINE_BYTES};
+
+/// Maximum `f(N)` chain depth the layout provisions.
+pub const MAX_CHAIN: u64 = 8;
+
+/// Maximum encoding loads the probe array provisions for.
+pub const MAX_LOADS: u64 = 16;
+
+/// Address-space layout shared by the sender and receiver programs.
+#[derive(Debug, Clone)]
+pub struct AttackLayout {
+    layout: MemoryLayout,
+    bound: u64,
+    l1_sets: u64,
+}
+
+impl AttackLayout {
+    /// Builds the layout for an L1 with `l1_sets` sets (64 in Table I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1_sets` is zero.
+    pub fn new(l1_sets: u64) -> Self {
+        assert!(l1_sets > 0, "need at least one L1 set");
+        let bound = 16;
+        let layout = LayoutBuilder::new(0x10_0000)
+            // 256 probe lines: enough for the unXpec encoding loads and
+            // for the byte-granular Spectre v1 probe array.
+            .array("P", CACHE_LINE_BYTES * 256)
+            .array("A", bound * 8)
+            // Keep the secret's L1 set far away from the sets of
+            // P[64·1]..P[64·MAX_LOADS]: eviction-set priming must never
+            // evict the victim's secret line, or every round pays a
+            // secret-independent restore for re-fetching it.
+            .array("PAD", CACHE_LINE_BYTES * 27)
+            .array("SECRET", 8)
+            .array("CHAIN", CACHE_LINE_BYTES * MAX_CHAIN)
+            // Enough lines to find 16 congruent addresses for any of the
+            // 64 L1 sets.
+            .array("EVSET", CACHE_LINE_BYTES * l1_sets * 16)
+            .build();
+        let this = AttackLayout {
+            layout,
+            bound,
+            l1_sets,
+        };
+        if l1_sets > 2 * MAX_LOADS {
+            let p_set = this.probe().base().line().raw() % l1_sets;
+            let secret_set = this.secret_addr().line().raw() % l1_sets;
+            let gap = (secret_set + l1_sets - p_set) % l1_sets;
+            assert!(
+                gap > MAX_LOADS,
+                "secret set must not collide with primed sets (gap {gap})"
+            );
+        }
+        this
+    }
+
+    /// The probe array handle.
+    pub fn probe(&self) -> ArrayHandle {
+        self.layout.array("P")
+    }
+
+    /// Byte address of probe line `k` (`P[64·k]`).
+    pub fn probe_line(&self, k: u64) -> Addr {
+        self.probe().line(k)
+    }
+
+    /// Base address of the victim array `A`.
+    pub fn a_base(&self) -> Addr {
+        self.layout.array("A").base()
+    }
+
+    /// The in-bounds length of `A` in 8-byte elements — the branch
+    /// bound.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Address of the secret word.
+    pub fn secret_addr(&self) -> Addr {
+        self.layout.array("SECRET").base()
+    }
+
+    /// The out-of-bounds index `i` with `A[i]` aliasing the secret word.
+    pub fn oob_index(&self) -> u64 {
+        (self.secret_addr() - self.a_base()) / 8
+    }
+
+    /// Address of chain node `j` (each node on its own line).
+    pub fn chain_node(&self, j: u64) -> Addr {
+        self.layout.array("CHAIN").line(j)
+    }
+
+    /// Writes the architectural contents the attack expects: the pointer
+    /// chain for `f(N)` ending in the bound, zeroed `A`, and a zero
+    /// secret.
+    pub fn install(&self, mem: &mut Memory, fn_accesses: u64) {
+        assert!(
+            (1..=MAX_CHAIN).contains(&fn_accesses),
+            "fn_accesses out of range"
+        );
+        // chain[j] -> chain[j+1]; the last node holds the bound value.
+        for j in 0..fn_accesses - 1 {
+            mem.write_u64(self.chain_node(j), self.chain_node(j + 1).raw());
+        }
+        mem.write_u64(self.chain_node(fn_accesses - 1), self.bound);
+        for i in 0..self.bound {
+            mem.write_u64(self.a_base().offset((i * 8) as i64), 0);
+        }
+        mem.write_u64(self.secret_addr(), 0);
+    }
+
+    /// Sets the secret bit the sender will transiently read.
+    pub fn set_secret(&self, mem: &mut Memory, bit: bool) {
+        mem.write_u64(self.secret_addr(), bit as u64);
+    }
+
+    /// Writes an arbitrary secret byte (used by the Spectre v1 PoC).
+    pub fn set_secret_byte(&self, mem: &mut Memory, byte: u8) {
+        mem.write_u64(self.secret_addr(), byte as u64);
+    }
+
+    /// `count` addresses in the EVSET region congruent (same L1 set) to
+    /// `target` under conventional modulo indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the EVSET region cannot supply `count` addresses.
+    pub fn eviction_addresses(&self, target: Addr, count: usize) -> Vec<Addr> {
+        let ev = self.layout.array("EVSET");
+        crate::eviction::congruent_addresses(ev.base(), ev.lines(), self.l1_sets, target, count)
+    }
+
+    /// The underlying generic layout.
+    pub fn memory_layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// Number of L1 sets the layout was built for.
+    pub fn l1_sets(&self) -> u64 {
+        self.l1_sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_lines_hit_distinct_l1_sets() {
+        let lay = AttackLayout::new(64);
+        let sets: Vec<u64> = (0..=8).map(|k| lay.probe_line(k).line().raw() % 64).collect();
+        for i in 0..sets.len() {
+            for j in 0..i {
+                assert_ne!(sets[i], sets[j], "P lines {i} and {j} share a set");
+            }
+        }
+    }
+
+    #[test]
+    fn oob_index_reaches_secret() {
+        let lay = AttackLayout::new(64);
+        let i = lay.oob_index();
+        assert!(i >= lay.bound(), "index must be out of bounds");
+        assert_eq!(lay.a_base().offset((i * 8) as i64), lay.secret_addr());
+    }
+
+    #[test]
+    fn chain_install_terminates_in_bound() {
+        let lay = AttackLayout::new(64);
+        let mut mem = Memory::new();
+        lay.install(&mut mem, 3);
+        // Chase the chain by hand.
+        let mut p = lay.chain_node(0);
+        for _ in 0..2 {
+            p = Addr::new(mem.read_u64(p));
+        }
+        assert_eq!(mem.read_u64(p), lay.bound());
+    }
+
+    #[test]
+    fn single_access_chain_is_just_the_bound() {
+        let lay = AttackLayout::new(64);
+        let mut mem = Memory::new();
+        lay.install(&mut mem, 1);
+        assert_eq!(mem.read_u64(lay.chain_node(0)), lay.bound());
+    }
+
+    #[test]
+    fn eviction_addresses_are_congruent_and_distinct() {
+        let lay = AttackLayout::new(64);
+        let target = lay.probe_line(3);
+        let addrs = lay.eviction_addresses(target, 8);
+        assert_eq!(addrs.len(), 8);
+        let target_set = target.line().raw() % 64;
+        for (i, a) in addrs.iter().enumerate() {
+            assert_eq!(a.line().raw() % 64, target_set, "addr {i} wrong set");
+            assert_ne!(a.line(), target.line());
+            for b in &addrs[..i] {
+                assert_ne!(a, b, "duplicate eviction address");
+            }
+        }
+    }
+
+    #[test]
+    fn secret_bit_roundtrip() {
+        let lay = AttackLayout::new(64);
+        let mut mem = Memory::new();
+        lay.install(&mut mem, 1);
+        lay.set_secret(&mut mem, true);
+        assert_eq!(mem.read_u64(lay.secret_addr()), 1);
+        lay.set_secret(&mut mem, false);
+        assert_eq!(mem.read_u64(lay.secret_addr()), 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Multi-level encoding: two bits per attack round.
+//!
+//! The paper encodes one bit per round (hit vs miss). But the rollback
+//! time is not binary — it *scales with the amount of work* — so with
+//! eviction sets primed, a sender can encode a 4-level symbol by giving
+//! each bit position a different rollback weight:
+//!
+//! * bit 0 set → one transient miss in a primed set (1 invalidation +
+//!   1 restoration);
+//! * bit 1 set → three transient misses in primed sets (3 invalidations
+//!   + 3 restorations).
+//!
+//! The four symbols produce four separated latency levels (≈0 / ≈32 /
+//! ≈52 / ≈72 extra cycles on the calibrated machine), and the receiver
+//! decodes with three thresholds — doubling the per-round rate at some
+//! cost in noise margin. This is an extension beyond the paper,
+//! following its own observation that more squashed loads yield larger
+//! differences (Fig. 6).
+
+use unxpec_cpu::{Cond, Core, Program, ProgramBuilder, Reg};
+use unxpec_defense::CleanupSpec;
+use unxpec_stats::Summary;
+
+use crate::layout::AttackLayout;
+use crate::sender::RoundRegs;
+
+const R_IDX: Reg = Reg(1);
+const R_CHASE: Reg = Reg(2);
+const R_TMP: Reg = Reg(3);
+const R_SEC: Reg = Reg(4);
+const R_B: Reg = Reg(5);
+const R_K: Reg = Reg(6);
+const R_X: Reg = Reg(7);
+const R_J: Reg = Reg(8);
+const R_PHASE: Reg = Reg(9);
+const R_ABASE: Reg = Reg(10);
+const R_PBASE: Reg = Reg(11);
+const R_ADDR: Reg = Reg(12);
+const R_CHAIN0: Reg = Reg(13);
+
+/// Transient-miss tiers per symbol, chosen so the four levels spread
+/// out despite the pipelined (≈4 cy/line) restoration cost: symbol s
+/// issues 0 / 1 / 3 / 8 misses.
+///
+/// * tier A (active when s ≥ 1): line 1;
+/// * tier B (active when s ≥ 2): lines 2–4;
+/// * tier C (active when s = 3): lines 5–8.
+const TIER_A: [u64; 1] = [1];
+const TIER_B: [u64; 3] = [2, 3, 4];
+const TIER_C: [u64; 4] = [5, 6, 7, 8];
+
+/// Calibrated level means and decision thresholds.
+#[derive(Debug, Clone)]
+pub struct LevelCalibration {
+    /// Mean observed latency per symbol 0..4.
+    pub level_means: [f64; 4],
+    /// Thresholds between adjacent decoded symbols (sorted by level).
+    pub thresholds: [u64; 3],
+    /// Symbols ordered by ascending mean latency (decode rank → symbol).
+    pub rank_to_symbol: [u8; 4],
+}
+
+/// A 2-bit-per-round unXpec channel against CleanupSpec.
+#[derive(Debug)]
+pub struct MultiLevelChannel {
+    core: Core,
+    layout: AttackLayout,
+    round: Program,
+    victim_touch: Program,
+    regs: RoundRegs,
+    calibration: Option<LevelCalibration>,
+}
+
+impl MultiLevelChannel {
+    /// Builds the channel (eviction sets are mandatory: restorations
+    /// are what separate the levels).
+    pub fn new(train_iters: u64) -> Self {
+        let mut core = Core::table_i();
+        core.set_defense(Box::new(CleanupSpec::new()));
+        let layout = AttackLayout::new(core.hierarchy().config().l1d.sets as u64);
+        layout.install(core.mem_mut(), 1);
+        let round = build_multilevel_round(&layout, train_iters);
+        let mut vb = ProgramBuilder::new();
+        vb.mov(Reg(1), layout.secret_addr().raw());
+        vb.load(Reg(2), Reg(1), 0);
+        vb.halt();
+        MultiLevelChannel {
+            core,
+            layout,
+            round,
+            victim_touch: vb.build(),
+            regs: RoundRegs::default(),
+            calibration: None,
+        }
+    }
+
+    /// Runs one round with `symbol` (0..4) and returns the latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol >= 4`.
+    pub fn measure_symbol(&mut self, symbol: u8) -> u64 {
+        assert!(symbol < 4, "symbols are two bits");
+        self.layout
+            .memory_layout()
+            .array("SECRET");
+        self.core
+            .mem_mut()
+            .write_u64(self.layout.secret_addr(), symbol as u64);
+        self.core.run(&self.victim_touch);
+        let r = self.core.run(&self.round);
+        r.reg(self.regs.t2) - r.reg(self.regs.t1)
+    }
+
+    /// Measures every symbol `samples` times and fixes the three
+    /// decision thresholds.
+    pub fn calibrate(&mut self, samples: usize) -> LevelCalibration {
+        let mut means = [0.0f64; 4];
+        for symbol in 0..4u8 {
+            let obs: Vec<u64> = (0..samples).map(|_| self.measure_symbol(symbol)).collect();
+            means[symbol as usize] = Summary::of_cycles(&obs).mean;
+        }
+        // Rank symbols by mean latency, thresholds at midpoints.
+        let mut order: Vec<u8> = (0..4).collect();
+        order.sort_by(|&a, &b| {
+            means[a as usize]
+                .partial_cmp(&means[b as usize])
+                .expect("finite means")
+        });
+        let rank_to_symbol: [u8; 4] = order.clone().try_into().expect("4 symbols");
+        let mut thresholds = [0u64; 3];
+        for i in 0..3 {
+            let lo = means[order[i] as usize];
+            let hi = means[order[i + 1] as usize];
+            thresholds[i] = ((lo + hi) / 2.0).round() as u64;
+        }
+        let cal = LevelCalibration {
+            level_means: means,
+            thresholds,
+            rank_to_symbol,
+        };
+        self.calibration = Some(cal.clone());
+        cal
+    }
+
+    /// Decodes one observation against the calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel has not been calibrated.
+    pub fn decode(&self, latency: u64) -> u8 {
+        let cal = self
+            .calibration
+            .as_ref()
+            .expect("calibrate() before decoding");
+        let rank = cal
+            .thresholds
+            .iter()
+            .filter(|&&t| latency > t)
+            .count();
+        cal.rank_to_symbol[rank]
+    }
+
+    /// Leaks a symbol string. Returns `(guesses, symbol accuracy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel has not been calibrated or a symbol is out
+    /// of range.
+    pub fn leak(&mut self, symbols: &[u8]) -> (Vec<u8>, f64) {
+        let guesses: Vec<u8> = symbols
+            .iter()
+            .map(|&s| {
+                let obs = self.measure_symbol(s);
+                self.decode(obs)
+            })
+            .collect();
+        let correct = guesses.iter().zip(symbols).filter(|(a, b)| a == b).count();
+        let accuracy = correct as f64 / symbols.len().max(1) as f64;
+        (guesses, accuracy)
+    }
+}
+
+/// The sender program: like the one-bit round, but the body issues
+/// `P[64·k]` loads gated per bit position via branch-free arithmetic.
+fn build_multilevel_round(layout: &AttackLayout, train_iters: u64) -> Program {
+    let regs = RoundRegs::default();
+    let mut b = ProgramBuilder::new();
+    b.mov(R_ABASE, layout.a_base().raw());
+    b.mov(R_PBASE, layout.probe().base().raw());
+    b.mov(R_CHAIN0, layout.chain_node(0).raw());
+    b.mov(R_J, 0);
+    b.mov(R_PHASE, 0);
+    b.mov(R_IDX, 0);
+
+    b.label("sender");
+    b.add(R_CHASE, R_CHAIN0, 0u64);
+    b.load(R_CHASE, R_CHASE, 0);
+    b.branch(Cond::Ge, R_IDX, R_CHASE, "after_body");
+    // body: s = A[index]; per bit position, load P[64·line·bit].
+    b.shl(R_TMP, R_IDX, 3u64);
+    b.add(R_ADDR, R_TMP, R_ABASE);
+    b.load(R_SEC, R_ADDR, 0);
+    // Branch-free tier predicates of s in 0..4:
+    //   ge1 = (s | s>>1) & 1, ge2 = (s>>1) & 1, eq3 = s & (s>>1) & 1.
+    for line in TIER_A {
+        b.shr(R_B, R_SEC, 1u64);
+        b.or(R_B, R_B, R_SEC);
+        b.and(R_B, R_B, 1u64);
+        b.mul(R_K, R_B, line * 64);
+        b.add(R_K, R_K, R_PBASE);
+        b.load(R_X, R_K, 0);
+    }
+    for line in TIER_B {
+        b.shr(R_B, R_SEC, 1u64);
+        b.and(R_B, R_B, 1u64);
+        b.mul(R_K, R_B, line * 64);
+        b.add(R_K, R_K, R_PBASE);
+        b.load(R_X, R_K, 0);
+    }
+    for line in TIER_C {
+        b.shr(R_B, R_SEC, 1u64);
+        b.and(R_B, R_B, R_SEC);
+        b.and(R_B, R_B, 1u64);
+        b.mul(R_K, R_B, line * 64);
+        b.add(R_K, R_K, R_PBASE);
+        b.load(R_X, R_K, 0);
+    }
+    b.label("after_body");
+    b.branch(Cond::Eq, R_PHASE, 1u64, "done");
+    for _ in 0..8 {
+        b.nop();
+    }
+    b.add(R_J, R_J, 1u64);
+    b.branch(Cond::Lt, R_J, train_iters, "sender");
+
+    // Preparation: P[0] warm, prime the target sets, flush targets.
+    b.load(R_X, R_PBASE, 0);
+    for line in TIER_A.iter().chain(&TIER_B).chain(&TIER_C) {
+        for addr in layout.eviction_addresses(layout.probe_line(*line), 16) {
+            b.mov(R_ADDR, addr.raw());
+            b.load(R_X, R_ADDR, 0);
+        }
+    }
+    for line in TIER_A.iter().chain(&TIER_B).chain(&TIER_C) {
+        b.flush(R_PBASE, (line * 64) as i64);
+    }
+    b.flush(R_CHAIN0, 0);
+    b.fence();
+
+    b.rdtsc(regs.t1);
+    b.mov(R_IDX, layout.oob_index());
+    b.mov(R_PHASE, 1);
+    b.jump("sender");
+    b.label("done");
+    b.rdtsc(regs.t2);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AttackConfig;
+
+    #[test]
+    fn four_levels_are_separated() {
+        let mut chan = MultiLevelChannel::new(8);
+        let cal = chan.calibrate(12);
+        // Level 0 (no misses) is fastest; level 3 (8 misses) slowest.
+        assert!(cal.level_means[0] + 20.0 < cal.level_means[1]);
+        assert!(cal.level_means[1] + 6.0 < cal.level_means[2]);
+        assert!(cal.level_means[2] + 12.0 < cal.level_means[3]);
+        assert_eq!(cal.rank_to_symbol, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn noiseless_symbol_leak_is_perfect() {
+        let mut chan = MultiLevelChannel::new(8);
+        chan.calibrate(8);
+        let symbols: Vec<u8> = (0..64).map(|i| (i * 7 % 4) as u8).collect();
+        let (guesses, accuracy) = chan.leak(&symbols);
+        assert_eq!(accuracy, 1.0, "guesses: {guesses:?}");
+    }
+
+    #[test]
+    fn two_bits_per_round_wins_when_round_overhead_dominates() {
+        // Raw cycles per round grow with the extra priming, so the raw
+        // advantage is modest; but a real campaign pays a large fixed
+        // per-round cost (the paper's artifact: ~14 k cycles/round at
+        // 140 k samples/s), and against that the 2-bit symbol nearly
+        // doubles the rate.
+        let mut chan = MultiLevelChannel::new(8);
+        chan.calibrate(8);
+        let start = chan.core.clock();
+        let symbols: Vec<u8> = (0..32).map(|i| (i % 4) as u8).collect();
+        chan.leak(&symbols);
+        let ml_cycles_per_round = (chan.core.clock() - start) as f64 / 32.0;
+
+        let mut one_bit = crate::channel::UnxpecChannel::new(
+            AttackConfig::paper_with_es(),
+            Box::new(CleanupSpec::new()),
+        );
+        one_bit.calibrate(8);
+        let start = one_bit.core().clock();
+        let bits = crate::channel::UnxpecChannel::random_secret(32, 1);
+        one_bit.leak(&bits);
+        let ob_cycles_per_round = (one_bit.core().clock() - start) as f64 / 32.0;
+
+        // The heavier round still costs less than 2x the one-bit round.
+        assert!(
+            ml_cycles_per_round < ob_cycles_per_round * 2.0,
+            "{ml_cycles_per_round:.0} vs {ob_cycles_per_round:.0} cycles/round"
+        );
+        // With artifact-scale fixed overhead, bits/s nearly double.
+        let overhead = 13_000.0;
+        let ml_rate = 2.0 / (ml_cycles_per_round + overhead);
+        let ob_rate = 1.0 / (ob_cycles_per_round + overhead);
+        assert!(
+            ml_rate > ob_rate * 1.8,
+            "with fixed round overhead: {:.2}x",
+            ml_rate / ob_rate
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two bits")]
+    fn out_of_range_symbol_panics() {
+        MultiLevelChannel::new(4).measure_symbol(4);
+    }
+}

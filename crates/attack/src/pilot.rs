@@ -1,0 +1,196 @@
+//! Pilot-bit recalibration: tracking a drifting channel.
+//!
+//! A calibrated threshold assumes the latency baseline is stationary.
+//! Long-running campaigns face drift (frequency scaling, co-running
+//! load); the classic fix interleaves *pilot bits* of known value and
+//! re-centers the threshold from them. This module implements that
+//! receiver, plus a drift injector for evaluating it.
+
+use unxpec_cpu::Defense;
+use unxpec_stats::Confusion;
+
+use crate::channel::UnxpecChannel;
+use crate::config::AttackConfig;
+
+/// A slowly drifting additive disturbance applied to observations
+/// (models frequency scaling or thermal effects the simulator itself
+/// does not produce).
+#[derive(Debug, Clone, Copy)]
+pub struct Drift {
+    /// Cycles added per round (may be fractional).
+    pub per_round: f64,
+    accumulated: f64,
+}
+
+impl Drift {
+    /// Creates a drift of `per_round` cycles per measurement.
+    pub fn new(per_round: f64) -> Self {
+        Drift {
+            per_round,
+            accumulated: 0.0,
+        }
+    }
+
+    fn advance(&mut self) -> u64 {
+        self.accumulated += self.per_round;
+        self.accumulated as u64
+    }
+}
+
+/// Outcome of a pilot-recalibrated leak.
+#[derive(Debug, Clone)]
+pub struct PilotOutcome {
+    /// Decoded payload guesses.
+    pub guesses: Vec<bool>,
+    /// Decoding confusion over the payload bits.
+    pub confusion: Confusion,
+    /// Pilot bits spent.
+    pub pilots_used: usize,
+    /// Threshold trajectory (one entry per recalibration).
+    pub thresholds: Vec<u64>,
+}
+
+impl PilotOutcome {
+    /// Payload accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+}
+
+/// A channel wrapper that interleaves known pilot bits every
+/// `pilot_period` payload bits and re-centers the threshold from them.
+#[derive(Debug)]
+pub struct PilotChannel {
+    chan: UnxpecChannel,
+    pilot_period: usize,
+    drift: Drift,
+}
+
+impl PilotChannel {
+    /// Builds the channel against `defense`, recalibrating every
+    /// `pilot_period` payload bits, under `drift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pilot_period` is zero.
+    pub fn new(
+        cfg: AttackConfig,
+        defense: Box<dyn Defense>,
+        pilot_period: usize,
+        drift: Drift,
+    ) -> Self {
+        assert!(pilot_period > 0, "pilot period must be positive");
+        let mut chan = UnxpecChannel::new(cfg, defense);
+        chan.calibrate(30);
+        PilotChannel {
+            chan,
+            pilot_period,
+            drift,
+        }
+    }
+
+    fn observe(&mut self, secret: bool) -> u64 {
+        self.chan.measure_bit(secret) + self.drift.advance()
+    }
+
+    /// Re-centers the threshold from one pilot pair (a known 0 and a
+    /// known 1). Returns the new threshold.
+    fn recalibrate(&mut self) -> u64 {
+        let p0 = self.observe(false);
+        let p1 = self.observe(true);
+        let threshold = p0.midpoint(p1);
+        self.chan.set_threshold(threshold);
+        threshold
+    }
+
+    /// Leaks `secrets` with pilot recalibration.
+    pub fn leak(&mut self, secrets: &[bool]) -> PilotOutcome {
+        let mut guesses = Vec::with_capacity(secrets.len());
+        let mut thresholds = Vec::new();
+        let mut pilots_used = 0;
+        for (i, &secret) in secrets.iter().enumerate() {
+            if i % self.pilot_period == 0 {
+                thresholds.push(self.recalibrate());
+                pilots_used += 2;
+            }
+            let threshold = self.chan.threshold().expect("calibrated");
+            let obs = self.observe(secret);
+            guesses.push(obs > threshold);
+        }
+        PilotOutcome {
+            confusion: Confusion::from_bits(secrets, &guesses),
+            guesses,
+            pilots_used,
+            thresholds,
+        }
+    }
+
+    /// Leaks without any recalibration (the stale-threshold baseline).
+    pub fn leak_without_pilots(&mut self, secrets: &[bool]) -> PilotOutcome {
+        let threshold = self.chan.threshold().expect("calibrated");
+        let guesses: Vec<bool> = secrets
+            .iter()
+            .map(|&s| self.observe(s) > threshold)
+            .collect();
+        PilotOutcome {
+            confusion: Confusion::from_bits(secrets, &guesses),
+            guesses,
+            pilots_used: 0,
+            thresholds: vec![threshold],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unxpec_defense::CleanupSpec;
+
+    fn secrets() -> Vec<bool> {
+        UnxpecChannel::random_secret(200, 0xd21f7)
+    }
+
+    #[test]
+    fn drift_destroys_a_static_threshold() {
+        let mut chan = PilotChannel::new(
+            AttackConfig::paper_no_es(),
+            Box::new(CleanupSpec::new()),
+            16,
+            Drift::new(0.5), // +100 cycles over 200 bits
+        );
+        let out = chan.leak_without_pilots(&secrets());
+        // Once the drift exceeds the 22-cycle difference, everything
+        // reads as 1: accuracy collapses toward the ones-density.
+        assert!(out.accuracy() < 0.75, "static threshold survived drift: {}", out.accuracy());
+    }
+
+    #[test]
+    fn pilots_track_the_drift() {
+        let mut chan = PilotChannel::new(
+            AttackConfig::paper_no_es(),
+            Box::new(CleanupSpec::new()),
+            16,
+            Drift::new(0.5),
+        );
+        let out = chan.leak(&secrets());
+        assert!(out.accuracy() > 0.95, "pilots should rescue decoding: {}", out.accuracy());
+        assert!(out.pilots_used > 0);
+        // The threshold trajectory climbs with the drift.
+        let first = out.thresholds[0];
+        let last = *out.thresholds.last().unwrap();
+        assert!(last > first + 50, "threshold must track drift: {first} -> {last}");
+    }
+
+    #[test]
+    fn no_drift_means_pilots_cost_little_and_lose_nothing() {
+        let mut chan = PilotChannel::new(
+            AttackConfig::paper_no_es(),
+            Box::new(CleanupSpec::new()),
+            32,
+            Drift::new(0.0),
+        );
+        let out = chan.leak(&secrets());
+        assert_eq!(out.accuracy(), 1.0);
+        assert!(out.pilots_used <= 2 * (200 / 32 + 1));
+    }
+}

@@ -1,0 +1,200 @@
+//! Assembly of one attack round (the Fig. 4 framework).
+//!
+//! A round is a single program combining the receiver's preparation
+//! stage and the sender's measurement stage, run against the persistent
+//! machine:
+//!
+//! 1. **mistrain** — invoke the shared bounds-check branch `train_iters`
+//!    times with an in-bounds index, so the predictor expects the fall-
+//!    through into the body (and `P[0]`, `A`, and the bound chain get
+//!    warm);
+//! 2. **instrument** — load `P[0]`, prime eviction sets if configured,
+//!    flush `P[64·k]` and the `f(N)` chain, fence;
+//! 3. **measure** — `t1 = rdtscp()`, invoke the branch with the
+//!    out-of-bounds index (mis-speculating into the secret-dependent
+//!    loads), `t2 = rdtscp()` on the correct path after the squash.
+//!
+//! The observed latency `t2 - t1` spans T1–T6 of the paper's Fig. 1;
+//! with the fence zeroing T4 and the branch-resolution time constant,
+//! only the secret-dependent cleanup time varies.
+
+use unxpec_cpu::{Cond, Program, ProgramBuilder, Reg};
+
+use crate::config::AttackConfig;
+use crate::layout::AttackLayout;
+
+/// Registers carrying the round's results out of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRegs {
+    /// First timestamp (before the branch).
+    pub t1: Reg,
+    /// Second timestamp (after cleanup, on the correct path).
+    pub t2: Reg,
+}
+
+impl Default for RoundRegs {
+    fn default() -> Self {
+        RoundRegs {
+            t1: Reg(20),
+            t2: Reg(21),
+        }
+    }
+}
+
+// Internal register conventions.
+const R_IDX: Reg = Reg(1);
+const R_CHASE: Reg = Reg(2);
+const R_TMP: Reg = Reg(3);
+const R_SEC: Reg = Reg(4);
+const R_V: Reg = Reg(5);
+const R_K: Reg = Reg(6);
+const R_X: Reg = Reg(7);
+const R_J: Reg = Reg(8);
+const R_PHASE: Reg = Reg(9);
+const R_ABASE: Reg = Reg(10);
+const R_PBASE: Reg = Reg(11);
+const R_ADDR: Reg = Reg(12);
+const R_CHAIN0: Reg = Reg(13);
+
+/// Builds one attack-round program for `cfg` over `layout`.
+///
+/// The returned program leaves the two timestamps in
+/// [`RoundRegs::default`]'s registers; the observed latency is
+/// `t2 - t1`.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid.
+pub fn build_round_program(cfg: &AttackConfig, layout: &AttackLayout) -> Program {
+    cfg.validate();
+    let regs = RoundRegs::default();
+    let n = cfg.loads_in_branch as u64;
+    let fn_n = cfg.fn_accesses as u64;
+    let mut b = ProgramBuilder::new();
+
+    // Constants.
+    b.mov(R_ABASE, layout.a_base().raw());
+    b.mov(R_PBASE, layout.probe().base().raw());
+    b.mov(R_CHAIN0, layout.chain_node(0).raw());
+    b.mov(R_J, 0);
+    b.mov(R_PHASE, 0);
+    b.mov(R_IDX, 0); // in-bounds training index
+
+    // ---- shared sender: bounds check + secret-dependent body ----
+    b.label("sender");
+    // f(N): chase the (possibly flushed) pointer chain to the bound.
+    b.add(R_CHASE, R_CHAIN0, 0u64);
+    for _ in 0..fn_n {
+        b.load(R_CHASE, R_CHASE, 0);
+    }
+    // if (index < bound) { body }  — emitted as: skip body when
+    // index >= bound.
+    b.branch(Cond::Ge, R_IDX, R_CHASE, "after_body");
+    // body: secret = A[index]; for k in 1..=n: load P[secret * 64 * k]
+    b.shl(R_TMP, R_IDX, 3u64);
+    b.add(R_ADDR, R_TMP, R_ABASE);
+    b.load(R_SEC, R_ADDR, 0);
+    b.shl(R_V, R_SEC, 6u64); // secret * 64
+    for k in 1..=n {
+        b.mul(R_K, R_V, k);
+        b.add(R_K, R_K, R_PBASE);
+        b.load(R_X, R_K, 0);
+    }
+    b.label("after_body");
+    b.branch(Cond::Eq, R_PHASE, 1u64, "done");
+    // Padding so the phase-check branch's short-lived wrong path (it
+    // resolves in a cycle) dies before fetch can wrap back into the
+    // sender and transiently touch the flushed chain, which would add
+    // secret-independent cleanup work to every measurement.
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+
+    // ---- training loop control ----
+    b.add(R_J, R_J, 1u64);
+    b.branch(Cond::Lt, R_J, cfg.train_iters, "sender");
+
+    // ---- preparation: instrument the caches ----
+    // Load P[0] (warm the secret-0 target; also warmed by training).
+    b.load(R_X, R_PBASE, 0);
+    // Prime eviction sets: fill each P[64·k] target set so the
+    // transient install must evict (and CleanupSpec must restore).
+    if cfg.use_eviction_sets {
+        for k in 1..=n {
+            let ways = 16; // overshoot associativity to guarantee a full set
+            for addr in layout.eviction_addresses(layout.probe_line(k), ways) {
+                b.mov(R_ADDR, addr.raw());
+                b.load(R_X, R_ADDR, 0);
+            }
+        }
+    }
+    // Flush the secret-1 targets and the bound chain.
+    for k in 1..=n {
+        b.flush(R_PBASE, (64 * k) as i64);
+    }
+    for j in 0..fn_n {
+        b.flush(R_CHAIN0, (64 * j) as i64);
+    }
+    // Zero out T4: no inflight memory operations cross into the
+    // measurement.
+    b.fence();
+
+    // ---- measurement ----
+    b.rdtsc(regs.t1);
+    b.mov(R_IDX, layout.oob_index());
+    b.mov(R_PHASE, 1);
+    b.jump("sender");
+
+    b.label("done");
+    b.rdtsc(regs.t2);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> AttackLayout {
+        AttackLayout::new(64)
+    }
+
+    #[test]
+    fn program_assembles_for_all_parameter_corners() {
+        for &n in &[1usize, 4, 8, 16] {
+            for &fn_n in &[1usize, 3, 8] {
+                for &es in &[false, true] {
+                    let cfg = AttackConfig::default()
+                        .with_loads(n)
+                        .with_fn_accesses(fn_n)
+                        .with_eviction_sets(es);
+                    let p = build_round_program(&cfg, &layout());
+                    assert!(p.len() > 10);
+                    assert!(p.label("sender").is_some());
+                    assert!(p.label("done").is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_sets_add_prime_loads() {
+        let lay = layout();
+        let base = build_round_program(&AttackConfig::paper_no_es(), &lay).len();
+        let es = build_round_program(&AttackConfig::paper_with_es(), &lay).len();
+        assert!(es > base + 16, "priming must add load instructions");
+    }
+
+    #[test]
+    fn more_loads_grow_the_body() {
+        let lay = layout();
+        let one = build_round_program(&AttackConfig::default().with_loads(1), &lay).len();
+        let eight = build_round_program(&AttackConfig::default().with_loads(8), &lay).len();
+        assert_eq!(eight - one, 7 * 3 + 7, "3 body insts and one flush per extra load");
+    }
+}

@@ -1,0 +1,225 @@
+//! Classic Spectre v1 (Algorithm 1 of the paper) over the cache-contents
+//! covert channel.
+//!
+//! This is the attack the defenses exist to stop, and the validation
+//! harness for our CleanupSpec implementation: leaking a byte through
+//! `P[64 · A[i]]` + Flush+Reload must *succeed* against the unsafe
+//! baseline and *fail* against CleanupSpec and InvisiSpec — only then is
+//! breaking CleanupSpec via rollback timing (the unXpec channel)
+//! interesting.
+
+use unxpec_cpu::{Cond, Core, Defense, Program, ProgramBuilder, Reg};
+use unxpec_mem::Addr;
+
+use crate::eviction::probe_latency;
+use crate::layout::AttackLayout;
+
+const R_IDX: Reg = Reg(1);
+const R_CHASE: Reg = Reg(2);
+const R_TMP: Reg = Reg(3);
+const R_SEC: Reg = Reg(4);
+const R_K: Reg = Reg(6);
+const R_X: Reg = Reg(7);
+const R_J: Reg = Reg(8);
+const R_PHASE: Reg = Reg(9);
+const R_ABASE: Reg = Reg(10);
+const R_PBASE: Reg = Reg(11);
+const R_ADDR: Reg = Reg(12);
+const R_CHAIN0: Reg = Reg(13);
+
+/// Result of one Spectre v1 byte-leak attempt.
+#[derive(Debug, Clone)]
+pub struct SpectreOutcome {
+    /// The byte whose probe line reloaded fastest, if any line hit.
+    pub guess: Option<u8>,
+    /// Reload latency of every probe line.
+    pub reload_latencies: Vec<u64>,
+    /// Number of probe lines that reloaded under the hit threshold.
+    pub hits: usize,
+}
+
+/// A classic Spectre v1 attacker instance.
+#[derive(Debug)]
+pub struct SpectreV1 {
+    core: Core,
+    layout: AttackLayout,
+    trigger: Program,
+    victim_touch: Program,
+    probe_lines: usize,
+}
+
+impl SpectreV1 {
+    /// Builds the attacker against `defense` on a Table-I machine.
+    pub fn new(defense: Box<dyn Defense>) -> Self {
+        let mut core = Core::table_i();
+        core.set_defense(defense);
+        let layout = AttackLayout::new(core.hierarchy().config().l1d.sets as u64);
+        layout.install(core.mem_mut(), 1);
+        let probe_lines = 256;
+        let trigger = Self::build_trigger(&layout, probe_lines);
+        let mut vb = ProgramBuilder::new();
+        vb.mov(Reg(1), layout.secret_addr().raw());
+        vb.load(Reg(2), Reg(1), 0);
+        vb.halt();
+        SpectreV1 {
+            core,
+            layout,
+            trigger,
+            victim_touch: vb.build(),
+            probe_lines,
+        }
+    }
+
+    /// The machine (stats inspection).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    fn build_trigger(layout: &AttackLayout, probe_lines: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.mov(R_ABASE, layout.a_base().raw());
+        b.mov(R_PBASE, layout.probe().base().raw());
+        b.mov(R_CHAIN0, layout.chain_node(0).raw());
+        b.mov(R_J, 0);
+        b.mov(R_PHASE, 0);
+        b.mov(R_IDX, 0);
+        // VICTIM: if (index < bound) y = P[64 * A[index]]
+        b.label("victim");
+        b.add(R_CHASE, R_CHAIN0, 0u64);
+        b.load(R_CHASE, R_CHASE, 0); // bound
+        b.branch(Cond::Ge, R_IDX, R_CHASE, "after");
+        b.shl(R_TMP, R_IDX, 3u64);
+        b.add(R_ADDR, R_TMP, R_ABASE);
+        b.load(R_SEC, R_ADDR, 0); // A[index]
+        b.shl(R_K, R_SEC, 6u64); // * 64
+        b.add(R_K, R_K, R_PBASE);
+        b.load(R_X, R_K, 0); // P[64 * A[index]]
+        b.label("after");
+        b.branch(Cond::Eq, R_PHASE, 1u64, "done");
+        // Keep the phase-check wrong path away from the victim re-entry
+        // (see the unXpec sender builder for the rationale).
+        b.nop();
+        b.nop();
+        b.nop();
+        b.nop();
+        b.nop();
+        b.nop();
+        b.nop();
+        b.nop();
+        // POISON loop.
+        b.add(R_J, R_J, 1u64);
+        b.branch(Cond::Lt, R_J, 8u64, "victim");
+        // FLUSH: every probe line and the bound.
+        for j in 0..probe_lines {
+            b.flush(R_PBASE, (j * 64) as i64);
+        }
+        b.flush(R_CHAIN0, 0);
+        b.fence();
+        // Trigger with the out-of-bounds index.
+        b.mov(R_IDX, layout.oob_index());
+        b.mov(R_PHASE, 1);
+        b.jump("victim");
+        b.label("done");
+        b.halt();
+        b.build()
+    }
+
+    /// Attempts to leak `secret` and PROBEs the whole array.
+    pub fn leak_byte(&mut self, secret: u8) -> SpectreOutcome {
+        self.layout.set_secret_byte(self.core.mem_mut(), secret);
+        self.core.run(&self.victim_touch);
+        self.core.run(&self.trigger);
+        // PROBE: time a reload of every probe line. Flushed lines come
+        // from memory (~120 cycles); a transiently installed line hits.
+        let mut reload_latencies = Vec::with_capacity(self.probe_lines);
+        for j in 0..self.probe_lines {
+            let addr = Addr::new(self.layout.probe().base().raw() + (j * 64) as u64);
+            reload_latencies.push(probe_latency(&mut self.core, addr));
+        }
+        let threshold = 60;
+        let hits = reload_latencies
+            .iter()
+            .filter(|&&t| t < threshold)
+            .count();
+        let guess = if hits > 0 {
+            reload_latencies
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .map(|(j, _)| j as u8)
+        } else {
+            None
+        };
+        SpectreOutcome {
+            guess,
+            reload_latencies,
+            hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unxpec_cpu::UnsafeBaseline;
+    use unxpec_defense::{CleanupSpec, InvisiSpec};
+
+    #[test]
+    fn spectre_leaks_against_unsafe_baseline() {
+        let mut attacker = SpectreV1::new(Box::new(UnsafeBaseline));
+        for &secret in &[7u8, 42, 199] {
+            let out = attacker.leak_byte(secret);
+            assert_eq!(out.guess, Some(secret), "hits={}", out.hits);
+        }
+    }
+
+    #[test]
+    fn spectre_fails_against_cleanupspec() {
+        let mut attacker = SpectreV1::new(Box::new(CleanupSpec::new()));
+        let out = attacker.leak_byte(42);
+        assert_ne!(
+            out.guess,
+            Some(42),
+            "CleanupSpec must erase the transient footprint (hits={})",
+            out.hits
+        );
+    }
+
+    #[test]
+    fn spectre_fails_against_invisispec() {
+        let mut attacker = SpectreV1::new(Box::new(InvisiSpec::new()));
+        let out = attacker.leak_byte(42);
+        assert_ne!(out.guess, Some(42), "InvisiSpec leaves no footprint");
+    }
+}
+
+#[cfg(test)]
+mod mode_tests {
+    use super::*;
+    use unxpec_defense::{CleanupMode, CleanupSpec};
+
+    #[test]
+    fn l1_only_cleanup_leaks_through_l2_reload() {
+        // Why the paper runs `Cleanup_FOR_L1L2`: with L1-only cleanup,
+        // the transient install survives in the L2, and a Flush+Reload
+        // probe (which clflush'd everything out of both levels) sees an
+        // L2-latency reload on the secret's line.
+        let mut attacker = SpectreV1::new(Box::new(
+            CleanupSpec::new().with_mode(CleanupMode::ForL1),
+        ));
+        let out = attacker.leak_byte(123);
+        assert_eq!(
+            out.guess,
+            Some(123),
+            "L1-only cleanup must leak via the L2 residue (hits={})",
+            out.hits
+        );
+    }
+
+    #[test]
+    fn l1l2_cleanup_erases_the_l2_residue_too() {
+        let mut attacker = SpectreV1::new(Box::new(CleanupSpec::new()));
+        let out = attacker.leak_byte(123);
+        assert_eq!(out.hits, 0, "no probe line may reload fast");
+    }
+}

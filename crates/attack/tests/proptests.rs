@@ -1,0 +1,98 @@
+//! Property tests for the attack layer.
+
+use proptest::prelude::*;
+use unxpec_attack::{
+    congruent_addresses, decode_bytes, encode_bytes, AttackConfig, UnxpecChannel,
+};
+use unxpec_defense::CleanupSpec;
+use unxpec_mem::Addr;
+
+proptest! {
+    #[test]
+    fn ecc_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let bits = encode_bytes(&data);
+        let (decoded, corrections) = decode_bytes(&bits);
+        prop_assert_eq!(decoded, data);
+        prop_assert_eq!(corrections, 0);
+    }
+
+    #[test]
+    fn ecc_corrects_one_flip_per_block(
+        data in proptest::collection::vec(any::<u8>(), 1..20),
+        flips in proptest::collection::vec(0usize..7, 1..20),
+    ) {
+        let mut bits = encode_bytes(&data);
+        let blocks = bits.len() / 7;
+        for (block, flip) in flips.iter().enumerate().take(blocks) {
+            bits[block * 7 + flip] ^= true;
+        }
+        let (decoded, _) = decode_bytes(&bits);
+        prop_assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn congruent_addresses_are_always_congruent_and_distinct(
+        base in (0u64..1 << 30).prop_map(|b| b & !63),
+        target in 0u64..1 << 30,
+        count in 1usize..16,
+    ) {
+        let addrs = congruent_addresses(Addr::new(base), 4096, 64, Addr::new(target), count);
+        let set = Addr::new(target).line().raw() % 64;
+        for (i, a) in addrs.iter().enumerate() {
+            prop_assert_eq!(a.line().raw() % 64, set);
+            for b in &addrs[..i] {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn attack_config_roundtrips_through_builders(
+        loads in 1usize..16,
+        fn_accesses in 1usize..8,
+        es in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = AttackConfig::default()
+            .with_loads(loads)
+            .with_fn_accesses(fn_accesses)
+            .with_eviction_sets(es)
+            .with_seed(seed);
+        cfg.validate();
+        prop_assert_eq!(cfg.loads_in_branch, loads);
+        prop_assert_eq!(cfg.fn_accesses, fn_accesses);
+        prop_assert_eq!(cfg.use_eviction_sets, es);
+    }
+}
+
+// Heavier channel properties at reduced case counts.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn quiet_channel_decodes_any_bit_pattern(
+        bits in proptest::collection::vec(any::<bool>(), 1..48)
+    ) {
+        let mut chan =
+            UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
+        chan.calibrate(10);
+        let out = chan.leak(&bits);
+        prop_assert_eq!(out.guesses, bits);
+    }
+
+    #[test]
+    fn secret_one_is_never_faster_than_secret_zero(
+        loads in 1usize..8,
+        es in any::<bool>(),
+    ) {
+        let cfg = AttackConfig::paper_no_es()
+            .with_loads(loads)
+            .with_eviction_sets(es);
+        let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
+        for _ in 0..4 {
+            let t0 = chan.measure_bit(false);
+            let t1 = chan.measure_bit(true);
+            prop_assert!(t1 > t0, "rollback work must cost time: {t0} vs {t1}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! restoration on/off, replacement policy, defense matrix, fuzzy
+//! mitigation, and mistraining effort.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unxpec::attack::{AttackConfig, MultiLevelChannel, SpectreRsb, SpectreV2, UnxpecChannel};
+use unxpec::defense::{CleanupSpec, FuzzyCleanup};
+use unxpec::experiments::ablations;
+
+fn bench_defense_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("defense_matrix", |b| {
+        b.iter(|| ablations::defense_matrix(4))
+    });
+    group.finish();
+}
+
+fn bench_restoration_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.bench_function("channel_full_rollback", |b| {
+        let mut chan =
+            UnxpecChannel::new(AttackConfig::paper_with_es(), Box::new(CleanupSpec::new()));
+        b.iter(|| chan.measure_bit(true))
+    });
+    group.bench_function("channel_invalidation_only", |b| {
+        let mut chan = UnxpecChannel::new(
+            AttackConfig::paper_with_es(),
+            Box::new(CleanupSpec::new().without_restoration()),
+        );
+        b.iter(|| chan.measure_bit(true))
+    });
+    group.finish();
+}
+
+fn bench_fuzzy_mitigation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.bench_function("fuzzy_round", |b| {
+        let mut chan = UnxpecChannel::new(
+            AttackConfig::paper_no_es(),
+            Box::new(FuzzyCleanup::new(40, 1)),
+        );
+        b.iter(|| chan.measure_bit(true))
+    });
+    group.finish();
+}
+
+fn bench_mistrain_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("mistrain_sweep", |b| b.iter(|| ablations::mistrain_sweep(3)));
+    group.finish();
+}
+
+fn bench_trigger_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trigger");
+    group.bench_function("v2_round", |b| {
+        let mut attacker = SpectreV2::new(Box::new(CleanupSpec::new()));
+        let mut bit = false;
+        b.iter(|| {
+            bit = !bit;
+            attacker.measure_bit(bit)
+        })
+    });
+    group.bench_function("rsb_round", |b| {
+        let mut attacker = SpectreRsb::new(Box::new(CleanupSpec::new()));
+        let mut bit = false;
+        b.iter(|| {
+            bit = !bit;
+            attacker.measure_bit(bit)
+        })
+    });
+    group.bench_function("multilevel_symbol", |b| {
+        let mut chan = MultiLevelChannel::new(8);
+        chan.calibrate(4);
+        let mut s = 0u8;
+        b.iter(|| {
+            s = (s + 1) % 4;
+            chan.measure_symbol(s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablation_benches,
+    bench_defense_matrix,
+    bench_restoration_ablation,
+    bench_fuzzy_mitigation,
+    bench_mistrain_sweep,
+    bench_trigger_variants
+);
+criterion_main!(ablation_benches);

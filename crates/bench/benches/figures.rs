@@ -1,0 +1,86 @@
+//! One Criterion bench per paper table/figure: each regenerates the
+//! experiment at a reduced scale, so `cargo bench` both exercises every
+//! reproduction path and tracks the harness's simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unxpec::experiments::{
+    leakage, overhead, pdf, rate, resolution, rollback, secret_pattern, table1,
+};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/render", |b| b.iter(|| table1::run().to_string()));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2/branch_resolution", |b| b.iter(|| resolution::run(2)));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3/rollback_diff_no_es", |b| {
+        b.iter(|| rollback::run(false, 4, 3))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6/rollback_diff_es", |b| {
+        b.iter(|| rollback::run(true, 4, 3))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7/pdf_no_es", |b| b.iter(|| pdf::run(false, 40, 7)));
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8/pdf_es", |b| b.iter(|| pdf::run(true, 40, 8)));
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9/secret_pattern", |b| {
+        b.iter(|| secret_pattern::run(1000, 9))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10/leak_no_es", |b| b.iter(|| leakage::run(false, 60, 10)));
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11/leak_es", |b| b.iter(|| leakage::run(true, 60, 11)));
+}
+
+fn bench_rate(c: &mut Criterion) {
+    c.bench_function("rate/leakage_rate", |b| b.iter(|| rate::run(20, 12)));
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("constant_time_overhead", |b| {
+        b.iter(|| overhead::run(2_000, 6_000))
+    });
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13/host_like_resolution", |b| {
+        b.iter(|| resolution::run_host_like(2, 13))
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_rate,
+    bench_fig12,
+    bench_fig13
+);
+criterion_main!(figures);

@@ -1,0 +1,84 @@
+//! Micro-benches of the simulator substrate itself: cache access path,
+//! core simulation throughput, and one full attack round.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use unxpec::attack::{AttackConfig, UnxpecChannel};
+use unxpec::cache::{CacheHierarchy, HierarchyConfig};
+use unxpec::cpu::Core;
+use unxpec::defense::CleanupSpec;
+use unxpec::mem::Addr;
+use unxpec::workloads::spec2017_like_suite;
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_hit", |b| {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        let line = Addr::new(0x1000).line();
+        let mut cycle = hier.access_data(line, 0, None).complete_cycle;
+        b.iter(|| {
+            let out = hier.access_data(black_box(line), cycle, None);
+            cycle = out.complete_cycle;
+            out.level
+        })
+    });
+    group.bench_function("streaming_misses", |b| {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        let mut addr = 0u64;
+        let mut cycle = 0;
+        b.iter(|| {
+            addr += 64;
+            let out = hier.access_data(Addr::new(black_box(addr)).line(), cycle, None);
+            cycle = out.complete_cycle;
+            out.level
+        })
+    });
+    group.finish();
+}
+
+fn bench_core_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core");
+    let suite = spec2017_like_suite();
+    for name in ["perlbench_r", "mcf_r", "lbm_r"] {
+        let w = suite.iter().find(|w| w.name() == name).unwrap().clone();
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_function(format!("sim_10k_insts/{name}"), move |b| {
+            b.iter_batched(
+                || {
+                    let mut core = Core::table_i();
+                    w.install(&mut core);
+                    (core, w.clone())
+                },
+                |(mut core, w)| core.run_for(w.program(), 10_000).stats.cycles,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_attack_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack");
+    group.bench_function("round_no_es", |b| {
+        let mut chan =
+            UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
+        let mut bit = false;
+        b.iter(|| {
+            bit = !bit;
+            chan.measure_bit(black_box(bit))
+        })
+    });
+    group.bench_function("round_es", |b| {
+        let mut chan =
+            UnxpecChannel::new(AttackConfig::paper_with_es(), Box::new(CleanupSpec::new()));
+        let mut bit = false;
+        b.iter(|| {
+            bit = !bit;
+            chan.measure_bit(black_box(bit))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(simulator, bench_cache_access, bench_core_throughput, bench_attack_round);
+criterion_main!(simulator);

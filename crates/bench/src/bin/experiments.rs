@@ -1,0 +1,236 @@
+//! Regenerates every table and figure of the unXpec paper.
+//!
+//! ```text
+//! experiments [--quick] [--csv <dir>] [--svg <dir>] [<name>...]
+//! ```
+//!
+//! With no names, runs everything. Names: table1, fig2, fig3, fig6,
+//! fig7, fig8, fig9, fig10, fig11, rate, fig12, fig13, votes,
+//! defense-costs, robustness, timeline, triggers, workloads, scorecard,
+//! ablations, all. `--quick` uses reduced sample counts (CI-friendly);
+//! the default matches the paper's sample sizes. `--csv <dir>` writes
+//! raw data as CSV; `--svg <dir>` writes rendered figures.
+
+use std::path::PathBuf;
+
+use unxpec::experiments::{
+    ablations, defense_costs, leakage, overhead, pdf, rate, resolution, robustness, rollback,
+    scorecard, secret_pattern, table1, timeline, triggers, votes, workload_profile, Scale,
+};
+use unxpec_bench::{timed, EXPERIMENTS};
+
+struct Options {
+    scale: Scale,
+    quick: bool,
+    csv_dir: Option<PathBuf>,
+    svg_dir: Option<PathBuf>,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut names: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut csv_dir = None;
+    let mut svg_dir = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" | "--svg" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("{arg} needs a directory argument");
+                    std::process::exit(2);
+                });
+                if arg == "--csv" {
+                    csv_dir = Some(PathBuf::from(dir));
+                } else {
+                    svg_dir = Some(PathBuf::from(dir));
+                }
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        names = EXPERIMENTS
+            .iter()
+            .filter(|&&n| n != "all")
+            .map(|&n| n.to_string())
+            .collect();
+    }
+    for dir in [&csv_dir, &svg_dir].into_iter().flatten() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let opts = Options {
+        scale: if quick { Scale::quick() } else { Scale::paper() },
+        quick,
+        csv_dir,
+        svg_dir,
+    };
+    for name in &names {
+        run_one(name, &opts);
+    }
+}
+
+fn write_csv(opts: &Options, name: &str, csv: String) {
+    if let Some(dir) = &opts.csv_dir {
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, csv).expect("write csv");
+        println!("(wrote {})", path.display());
+    }
+}
+
+fn write_svg(opts: &Options, name: &str, svg: String) {
+    if let Some(dir) = &opts.svg_dir {
+        let path = dir.join(format!("{name}.svg"));
+        std::fs::write(&path, svg).expect("write svg");
+        println!("(wrote {})", path.display());
+    }
+}
+
+fn run_one(name: &str, opts: &Options) {
+    let scale = &opts.scale;
+    match name {
+        "table1" => {
+            timed("Table I — simulated machine configuration", table1::run);
+        }
+        "fig2" => {
+            let r = timed("Fig. 2 — branch resolution time", || {
+                resolution::run(scale.timing_samples.min(20))
+            });
+            write_csv(opts, "fig2", r.to_csv());
+        }
+        "fig3" => {
+            let r = timed("Fig. 3 — rollback timing difference (no eviction sets)", || {
+                rollback::run(false, 8, scale.timing_samples)
+            });
+            write_csv(opts, "fig3", r.to_csv());
+            write_svg(opts, "fig3", r.to_svg());
+        }
+        "fig6" => {
+            let r = timed("Fig. 6 — rollback timing difference (eviction sets)", || {
+                rollback::run(true, 8, scale.timing_samples)
+            });
+            write_csv(opts, "fig6", r.to_csv());
+            write_svg(opts, "fig6", r.to_svg());
+        }
+        "fig7" => {
+            let r = timed("Fig. 7 — latency PDF (no eviction sets)", || {
+                pdf::run(false, scale.pdf_samples, 0x7)
+            });
+            write_csv(opts, "fig7", r.to_csv());
+            write_svg(opts, "fig7", r.to_svg());
+        }
+        "fig8" => {
+            let r = timed("Fig. 8 — latency PDF (eviction sets)", || {
+                pdf::run(true, scale.pdf_samples, 0x8)
+            });
+            write_csv(opts, "fig8", r.to_csv());
+            write_svg(opts, "fig8", r.to_svg());
+        }
+        "fig9" => {
+            timed("Fig. 9 — 1000-bit random secret", || {
+                secret_pattern::run(scale.leak_bits, 0x9)
+            });
+        }
+        "fig10" => {
+            let r = timed("Fig. 10 — secret leakage (no eviction sets)", || {
+                leakage::run(false, scale.leak_bits, 0x10)
+            });
+            write_csv(opts, "fig10", r.to_csv());
+            write_svg(opts, "fig10", r.to_svg());
+        }
+        "fig11" => {
+            let r = timed("Fig. 11 — secret leakage (eviction sets)", || {
+                leakage::run(true, scale.leak_bits, 0x11)
+            });
+            write_csv(opts, "fig11", r.to_csv());
+            write_svg(opts, "fig11", r.to_svg());
+        }
+        "rate" => {
+            println!("==== §VI-B — leakage rate ====");
+            let start = std::time::Instant::now();
+            let (no_es, es) = rate::run(scale.timing_samples.max(40), 0xb);
+            println!("{no_es}{es}");
+            println!("(leakage rate took {:.2?})\n", start.elapsed());
+        }
+        "fig12" => {
+            let r = timed("Fig. 12 — constant-time rollback overhead", || {
+                overhead::run(scale.workload_warmup, scale.workload_measure)
+            });
+            write_csv(opts, "fig12", r.to_csv());
+            write_svg(opts, "fig12", r.to_svg());
+        }
+        "fig13" => {
+            let r = timed("Fig. 13 — branch resolution under host-like noise", || {
+                resolution::run_host_like(scale.timing_samples.min(20), 0x13)
+            });
+            write_csv(opts, "fig13", r.to_csv());
+        }
+        "triggers" => {
+            timed("Extension — trigger-agnosticism matrix", || {
+                triggers::run(scale.timing_samples.min(30))
+            });
+        }
+        "workloads" => {
+            timed("Extension — workload suite profile", || {
+                workload_profile::run(scale.workload_warmup, scale.workload_measure)
+            });
+        }
+        "timeline" => {
+            println!("==== Fig. 1 — measured CleanupSpec timeline ====");
+            let (t0, t1) = timeline::run(false);
+            println!("{t0}{t1}");
+            let (_, t1es) = timeline::run(true);
+            println!("with eviction sets:\n{t1es}");
+        }
+        "robustness" => {
+            let (n, samples, bits) = if opts.quick { (4, 8, 60) } else { (10, 40, 300) };
+            timed("Extension — seed-sweep robustness", || {
+                robustness::run(n, samples, bits)
+            });
+        }
+        "defense-costs" => {
+            let r = timed("Extension — defense landscape costs", || {
+                defense_costs::run(scale.workload_warmup, scale.workload_measure)
+            });
+            write_csv(opts, "defense_costs", r.to_csv());
+        }
+        "votes" => {
+            let r = timed("Extension — accuracy vs samples per bit", || {
+                votes::run(false, scale.leak_bits / 2, 0x7e)
+            });
+            write_csv(opts, "votes", r.to_csv());
+        }
+        "scorecard" => {
+            timed("Reproduction scorecard", || scorecard::run(opts.quick));
+        }
+        "ablations" => {
+            let samples = if opts.quick { 8 } else { 40 };
+            timed("Ablation — defense matrix", || {
+                ablations::defense_matrix(samples)
+            });
+            timed("Ablation — fuzzy cleanup", || {
+                ablations::fuzzy_evaluation(60, if opts.quick { 40 } else { 200 }, 7, 0xf)
+            });
+            timed("Ablation — mistraining effort", || {
+                ablations::mistrain_sweep(samples)
+            });
+            timed("Ablation — fenced measurement tightness", || {
+                ablations::fence_ablation(samples)
+            });
+            println!("==== Extension — multi-level (2 bits/round) channel ====");
+            let mut ml = unxpec::attack::MultiLevelChannel::new(8);
+            let cal = ml.calibrate(samples.max(8));
+            println!(
+                "level means (0/1/3/8 transient misses): {:.0} / {:.0} / {:.0} / {:.0} cycles",
+                cal.level_means[0], cal.level_means[1], cal.level_means[2], cal.level_means[3]
+            );
+            let symbols: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+            let (_, acc) = ml.leak(&symbols);
+            println!("symbol accuracy over 64 symbols: {:.1}%\n", acc * 100.0);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; known: {EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+    }
+}

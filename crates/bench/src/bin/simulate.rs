@@ -1,0 +1,150 @@
+//! Runs one workload under one scheme and prints a gem5-style stats
+//! dump — the equivalent of the unXpec artifact's
+//! `run_gem5spec.sh <benchmark> <maxinst> <startinst> <scheme>`.
+//!
+//! ```text
+//! simulate <workload> [maxinst] [startinst] [scheme] [--trace N]
+//! simulate --asm <file.asm> [maxinst] [startinst] [scheme] [--trace N]
+//! ```
+//!
+//! * `workload` — one of the SPEC-2017-like kernels (`mcf_r`, `gcc_r`,
+//!   …) or `list` to enumerate them;
+//! * `maxinst` — committed instructions to run (default 100000);
+//! * `startinst` — warmup boundary recorded as `startCycles`
+//!   (default maxinst / 3);
+//! * `scheme` — `UnsafeBaseline`, `Cleanup_FOR_L1L2`, `Cleanup_FOR_L1`,
+//!   `Const<N>` (e.g. `Const45`), `Fuzzy<N>`, or `InvisiSpec`
+//!   (default `Cleanup_FOR_L1L2`);
+//! * `--trace N` — additionally print the first N trace events.
+
+use unxpec::cpu::{Core, Defense, UnsafeBaseline};
+use unxpec::defense::{CleanupMode, CleanupSpec, ConstantTimeRollback, FuzzyCleanup, InvisiSpec};
+use unxpec::workloads::spec2017_like_suite;
+
+fn parse_scheme(name: &str) -> Option<(Box<dyn Defense>, Option<u64>)> {
+    if let Some(c) = name.strip_prefix("Const") {
+        let cycles: u64 = c.parse().ok()?;
+        return Some((Box::new(ConstantTimeRollback::new(cycles)), Some(cycles)));
+    }
+    if let Some(span) = name.strip_prefix("Fuzzy") {
+        let span: u64 = span.parse().ok()?;
+        return Some((Box::new(FuzzyCleanup::new(span, 0xf)), None));
+    }
+    match name {
+        "UnsafeBaseline" => Some((Box::new(UnsafeBaseline), None)),
+        "Cleanup_FOR_L1L2" => Some((Box::new(CleanupSpec::new()), None)),
+        "Cleanup_FOR_L1" => Some((
+            Box::new(CleanupSpec::new().with_mode(CleanupMode::ForL1)),
+            None,
+        )),
+        "InvisiSpec" => Some((Box::new(InvisiSpec::new()), None)),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --asm <file>: run an assembly file instead of a named workload.
+    let asm_program = args.iter().position(|a| a == "--asm").map(|i| {
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--asm needs a file path");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        unxpec::cpu::parse_asm(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let suite = spec2017_like_suite();
+    if asm_program.is_none() && (args.is_empty() || args[0] == "list") {
+        println!("workloads:");
+        for w in &suite {
+            let s = w.spec();
+            println!(
+                "  {:<14} {:>6} KB working set, branch mask {:#x}{}",
+                w.name(),
+                s.working_set_lines * 64 / 1024,
+                s.branch_mask,
+                if s.pointer_chase { ", pointer chase" } else { "" }
+            );
+        }
+        println!("\nschemes: UnsafeBaseline Cleanup_FOR_L1L2 Cleanup_FOR_L1 Const<N> Fuzzy<N> InvisiSpec");
+        return;
+    }
+
+    let skip_name = usize::from(asm_program.is_none());
+    let name = args.first().cloned().unwrap_or_default();
+    let name = &name;
+    let positional: Vec<&String> = args[skip_name..]
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let maxinst: u64 = positional
+        .first()
+        .map(|s| s.parse().expect("maxinst must be a number"))
+        .unwrap_or(100_000);
+    let startinst: u64 = positional
+        .get(1)
+        .map(|s| s.parse().expect("startinst must be a number"))
+        .unwrap_or(maxinst / 3);
+    let scheme_name = positional.get(2).map(|s| s.as_str()).unwrap_or("Cleanup_FOR_L1L2");
+    let trace_n: Option<usize> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args[i + 1].parse().expect("--trace needs a count"));
+
+    let (defense, constant) = parse_scheme(scheme_name).unwrap_or_else(|| {
+        eprintln!("unknown scheme {scheme_name:?}; run `simulate list`");
+        std::process::exit(2);
+    });
+
+    let mut core = Core::table_i();
+    core.set_defense(defense);
+    if trace_n.is_some() {
+        core.set_tracing(true);
+    }
+    let result = if let Some(program) = &asm_program {
+        core.run_with_milestone(program, Some(startinst), maxinst)
+    } else {
+        let workload = suite
+            .iter()
+            .find(|w| w.name() == name)
+            .unwrap_or_else(|| {
+                eprintln!("unknown workload {name:?}; run `simulate list`");
+                std::process::exit(2);
+            });
+        workload.install(&mut core);
+        core.run_with_milestone(workload.program(), Some(startinst), maxinst)
+    };
+
+    println!("---------- Begin Simulation Statistics ----------");
+    print!("{}", result.stats.gem5_style_dump(constant));
+    println!(
+        "{:<58} {:.4}",
+        "system.cpu.ipc",
+        result.stats.ipc()
+    );
+    println!(
+        "{:<58} {:.4}",
+        "system.cpu.branchPred.mispredictRate",
+        result.stats.mispredict_rate()
+    );
+    let report = core.defense_report();
+    if !report.is_empty() {
+        print!("{report}");
+    }
+    println!("---------- End Simulation Statistics   ----------");
+
+    if let (Some(n), Some(trace)) = (trace_n, result.trace) {
+        println!("\nfirst {n} trace events:");
+        let head = unxpec::cpu::ExecTrace {
+            events: trace.events.into_iter().take(n).collect(),
+        };
+        print!("{head}");
+    }
+}

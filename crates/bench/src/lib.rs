@@ -1,0 +1,37 @@
+//! Shared plumbing for the experiment binary and the Criterion benches.
+
+use std::time::Instant;
+
+/// Runs `f`, printing `name`, its rendered output and the wall time.
+pub fn timed<T: std::fmt::Display>(name: &str, f: impl FnOnce() -> T) -> T {
+    println!("==== {name} ====");
+    let start = Instant::now();
+    let result = f();
+    println!("{result}");
+    println!("({name} took {:.2?})\n", start.elapsed());
+    result
+}
+
+/// The experiment names the `experiments` binary accepts.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "rate", "fig12",
+    "fig13", "votes", "defense-costs", "robustness", "timeline", "triggers", "workloads", "scorecard", "ablations", "all",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_the_value() {
+        let v = timed("test", || 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn experiment_list_covers_every_figure() {
+        for fig in ["fig2", "fig3", "fig6", "fig7", "fig12", "fig13", "table1"] {
+            assert!(EXPERIMENTS.contains(&fig));
+        }
+    }
+}

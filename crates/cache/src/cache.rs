@@ -1,0 +1,460 @@
+//! A single set-associative cache level.
+
+use unxpec_mem::LineAddr;
+
+use crate::ceaser::CeaserMapper;
+use crate::config::CacheConfig;
+use crate::effects::Victim;
+use crate::line::{CoherenceState, LineMeta, SpecTag};
+use crate::nomo::NomoPartition;
+use crate::replacement::{new_policy, ReplacementPolicy};
+use crate::stats::CacheStats;
+
+/// How the set index is derived from a line address.
+#[derive(Debug)]
+enum IndexMapper {
+    /// Conventional `line % sets` indexing (L1).
+    Modulo,
+    /// CEASER keyed permutation (L2).
+    Ceaser(CeaserMapper),
+}
+
+/// Result of installing a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Set the line went into.
+    pub set: usize,
+    /// Way the line went into.
+    pub way: usize,
+    /// Line displaced, if the chosen way held one.
+    pub victim: Option<Victim>,
+}
+
+/// One level of the hierarchy: tag array, replacement policy, optional
+/// NoMo partition, optional CEASER indexing.
+#[derive(Debug)]
+pub struct Cache {
+    name: &'static str,
+    cfg: CacheConfig,
+    ways: Vec<Option<LineMeta>>, // sets * ways, row-major
+    policy: Box<dyn ReplacementPolicy>,
+    mapper: IndexMapper,
+    partition: NomoPartition,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a conventionally indexed cache (L1 style).
+    pub fn new(name: &'static str, cfg: CacheConfig, partition: NomoPartition, seed: u64) -> Self {
+        cfg.validate();
+        let policy = new_policy(cfg.replacement, cfg.sets, cfg.ways, seed);
+        Cache {
+            name,
+            ways: vec![None; cfg.sets * cfg.ways],
+            policy,
+            mapper: IndexMapper::Modulo,
+            partition,
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// Builds a CEASER-indexed cache (L2 style).
+    pub fn new_randomized(name: &'static str, cfg: CacheConfig, seed: u64, ceaser_seed: u64) -> Self {
+        cfg.validate();
+        let ways = cfg.ways;
+        let policy = new_policy(cfg.replacement, cfg.sets, ways, seed);
+        Cache {
+            name,
+            ways: vec![None; cfg.sets * cfg.ways],
+            policy,
+            mapper: IndexMapper::Ceaser(CeaserMapper::new(ceaser_seed, cfg.sets)),
+            partition: NomoPartition::disabled(ways),
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// The cache's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The configuration this level was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The set index `line` maps to.
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        match &self.mapper {
+            IndexMapper::Modulo => (line.raw() as usize) & (self.cfg.sets - 1),
+            IndexMapper::Ceaser(m) => m.set_index(line),
+        }
+    }
+
+    fn slot(&self, set: usize, way: usize) -> &Option<LineMeta> {
+        &self.ways[set * self.cfg.ways + way]
+    }
+
+    fn slot_mut(&mut self, set: usize, way: usize) -> &mut Option<LineMeta> {
+        &mut self.ways[set * self.cfg.ways + way]
+    }
+
+    /// Finds `line` without touching replacement state or stats.
+    pub fn probe(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let set = self.set_index(line);
+        (0..self.cfg.ways).find_map(|way| match self.slot(set, way) {
+            Some(meta) if meta.line == line => Some((set, way)),
+            _ => None,
+        })
+    }
+
+    /// Whether `line` is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.probe(line).is_some()
+    }
+
+    /// Metadata of `line` if resident.
+    pub fn meta(&self, line: LineAddr) -> Option<LineMeta> {
+        self.probe(line).and_then(|(s, w)| *self.slot(s, w))
+    }
+
+    /// Performs a lookup for an access: updates hit/miss stats and, on a
+    /// hit, replacement state. Returns the hit `(set, way)`.
+    pub fn access(&mut self, line: LineAddr) -> Option<(usize, usize)> {
+        match self.probe(line) {
+            Some((set, way)) => {
+                self.stats.hits += 1;
+                self.policy.on_access(set, way);
+                Some((set, way))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs `meta`, choosing a victim way for `thread` under the NoMo
+    /// partition. Prefers an invalid allowed way; otherwise asks the
+    /// replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident (fills are only issued on
+    /// misses).
+    pub fn insert(&mut self, meta: LineMeta, thread: usize) -> InsertOutcome {
+        assert!(
+            !self.contains(meta.line),
+            "{}: double fill of {}",
+            self.name,
+            meta.line
+        );
+        let set = self.set_index(meta.line);
+        let allowed = self.partition.allowed_ways(thread);
+        let way = match allowed.iter().copied().find(|&w| self.slot(set, w).is_none()) {
+            Some(invalid_way) => invalid_way,
+            None => self.policy.choose_victim(set, &allowed),
+        };
+        let victim = self.slot(set, way).map(|old| {
+            self.stats.evictions += 1;
+            if old.state.is_dirty() {
+                self.stats.writebacks += 1;
+            }
+            Victim {
+                line: old.line,
+                dirty: old.state.is_dirty(),
+                was_speculative: old.spec.is_some(),
+            }
+        });
+        *self.slot_mut(set, way) = Some(meta);
+        self.policy.on_access(set, way);
+        InsertOutcome { set, way, victim }
+    }
+
+    /// Re-installs `line` into an exact `(set, way)` — the restoration
+    /// step of an Undo rollback, which puts the evicted line back into
+    /// the way its evictor is being removed from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied by a different valid line or the
+    /// coordinates are out of range.
+    pub fn insert_at(&mut self, set: usize, way: usize, meta: LineMeta) {
+        assert!(set < self.cfg.sets && way < self.cfg.ways, "slot out of range");
+        if let Some(existing) = self.slot(set, way) {
+            assert_eq!(
+                existing.line, meta.line,
+                "{}: restoring over a different resident line",
+                self.name
+            );
+        }
+        self.stats.restores += 1;
+        *self.slot_mut(set, way) = Some(meta);
+        self.policy.on_access(set, way);
+    }
+
+    /// Invalidates `line`. Returns the vacated `(set, way, meta)`.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<(usize, usize, LineMeta)> {
+        let (set, way) = self.probe(line)?;
+        let meta = self.slot_mut(set, way).take().expect("probed valid");
+        self.stats.invalidations += 1;
+        if meta.state.is_dirty() {
+            self.stats.writebacks += 1;
+        }
+        Some((set, way, meta))
+    }
+
+    /// Marks a resident line dirty (a committed store hit).
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        if let Some((set, way)) = self.probe(line) {
+            if let Some(meta) = self.slot_mut(set, way).as_mut() {
+                meta.state = CoherenceState::Modified;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Downgrades `line` from M/E to Shared (a remote reader obtained a
+    /// copy). Returns the previous state if the line was resident.
+    pub fn downgrade(&mut self, line: LineAddr) -> Option<CoherenceState> {
+        let (set, way) = self.probe(line)?;
+        let meta = self.slot_mut(set, way).as_mut().expect("probed valid");
+        let prev = meta.state;
+        if prev.is_valid() {
+            meta.state = CoherenceState::Shared;
+        }
+        Some(prev)
+    }
+
+    /// Clears the speculative tag of `line` (its epoch resolved correct).
+    pub fn commit_spec(&mut self, line: LineAddr) {
+        if let Some((set, way)) = self.probe(line) {
+            if let Some(meta) = self.slot_mut(set, way).as_mut() {
+                meta.commit();
+            }
+        }
+    }
+
+    /// Whether `line` is resident and still tagged speculative.
+    pub fn is_speculative(&self, line: LineAddr) -> bool {
+        self.meta(line).map(|m| m.spec.is_some()).unwrap_or(false)
+    }
+
+    /// Speculative tag of `line` if resident and tagged.
+    pub fn spec_tag(&self, line: LineAddr) -> Option<SpecTag> {
+        self.meta(line).and_then(|m| m.spec)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.ways.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// The line currently held in `(set, way)`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn slot_line(&self, set: usize, way: usize) -> Option<LineAddr> {
+        assert!(set < self.cfg.sets && way < self.cfg.ways, "slot out of range");
+        self.slot(set, way).map(|m| m.line)
+    }
+
+    /// Lines resident in `set`, in way order.
+    pub fn set_contents(&self, set: usize) -> Vec<Option<LineMeta>> {
+        (0..self.cfg.ways).map(|w| *self.slot(set, w)).collect()
+    }
+
+    /// Drops every resident line (used by CEASER remap, which must migrate
+    /// or flush residents when the key changes).
+    pub fn flush_all(&mut self) {
+        for slot in &mut self.ways {
+            if slot.take().is_some() {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Re-keys the CEASER mapping and flushes residents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this cache is not CEASER-indexed.
+    pub fn remap(&mut self, seed: u64) {
+        match &mut self.mapper {
+            IndexMapper::Ceaser(m) => m.remap(seed),
+            IndexMapper::Modulo => panic!("{}: remap on a non-randomized cache", self.name),
+        }
+        self.flush_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::ReplacementKind;
+
+    fn small_cache() -> Cache {
+        Cache::new(
+            "t",
+            CacheConfig {
+                sets: 4,
+                ways: 2,
+                hit_latency: 1,
+                replacement: ReplacementKind::Lru,
+            },
+            NomoPartition::disabled(2),
+            0,
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache();
+        let line = LineAddr::new(8);
+        assert!(c.access(line).is_none());
+        c.insert(LineMeta::clean(line), 0);
+        assert!(c.access(line).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn insert_prefers_invalid_way() {
+        let mut c = small_cache();
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4); // same set (4 sets): 0 % 4 == 4 % 4
+        let o1 = c.insert(LineMeta::clean(a), 0);
+        assert_eq!(o1.victim, None);
+        let o2 = c.insert(LineMeta::clean(b), 0);
+        assert_eq!(o2.victim, None);
+        assert_ne!(o1.way, o2.way);
+    }
+
+    #[test]
+    fn conflict_evicts_lru_victim() {
+        let mut c = small_cache();
+        let lines = [LineAddr::new(0), LineAddr::new(4), LineAddr::new(8)];
+        c.insert(LineMeta::clean(lines[0]), 0);
+        c.insert(LineMeta::clean(lines[1]), 0);
+        c.access(lines[0]); // make lines[1] the LRU
+        let out = c.insert(LineMeta::clean(lines[2]), 0);
+        assert_eq!(out.victim.unwrap().line, lines[1]);
+        assert!(c.contains(lines[0]));
+        assert!(!c.contains(lines[1]));
+    }
+
+    #[test]
+    fn restore_roundtrip_is_exact() {
+        let mut c = small_cache();
+        let original = LineAddr::new(0);
+        let transient = LineAddr::new(4);
+        c.insert(LineMeta::clean(original), 0);
+        c.insert(LineMeta::clean(LineAddr::new(8)), 0); // fill the set
+        // Force an eviction of `original` by inserting into its way.
+        c.access(LineAddr::new(8));
+        let out = c.insert(LineMeta::speculative(transient, SpecTag(1)), 0);
+        let victim = out.victim.expect("set was full");
+        // Rollback: invalidate transient line, restore victim into the
+        // vacated way.
+        let (set, way, meta) = c.invalidate(transient).unwrap();
+        assert!(meta.spec.is_some());
+        c.insert_at(set, way, LineMeta::clean(victim.line));
+        assert!(c.contains(original) || c.contains(victim.line));
+        assert!(!c.contains(transient));
+        assert_eq!(c.stats().restores, 1);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn nomo_partition_limits_fill_ways() {
+        let cfg = CacheConfig {
+            sets: 2,
+            ways: 4,
+            hit_latency: 1,
+            replacement: ReplacementKind::Lru,
+        };
+        let mut c = Cache::new("nomo", cfg, NomoPartition::new(4, 1, 2), 0);
+        // Thread 1 may only use way 1 plus shared ways 2..4.
+        for i in 0..8 {
+            c.insert(LineMeta::clean(LineAddr::new(i * 2)), 1);
+        }
+        // Way 0 of both sets must still be empty.
+        assert!(c.set_contents(0)[0].is_none());
+        assert!(c.set_contents(1)[0].is_none());
+    }
+
+    #[test]
+    fn mark_dirty_then_eviction_counts_writeback() {
+        let mut c = small_cache();
+        let line = LineAddr::new(0);
+        c.insert(LineMeta::clean(line), 0);
+        assert!(c.mark_dirty(line));
+        c.insert(LineMeta::clean(LineAddr::new(4)), 0);
+        c.insert(LineMeta::clean(LineAddr::new(8)), 0); // evicts something
+        let evicted_dirty = c.stats().writebacks;
+        c.invalidate(line);
+        assert!(evicted_dirty > 0 || c.stats().writebacks > 0);
+    }
+
+    #[test]
+    fn spec_tag_lifecycle() {
+        let mut c = small_cache();
+        let line = LineAddr::new(12);
+        c.insert(LineMeta::speculative(line, SpecTag(9)), 0);
+        assert!(c.is_speculative(line));
+        assert_eq!(c.spec_tag(line), Some(SpecTag(9)));
+        c.commit_spec(line);
+        assert!(!c.is_speculative(line));
+    }
+
+    #[test]
+    #[should_panic(expected = "double fill")]
+    fn double_fill_panics() {
+        let mut c = small_cache();
+        c.insert(LineMeta::clean(LineAddr::new(1)), 0);
+        c.insert(LineMeta::clean(LineAddr::new(1)), 0);
+    }
+
+    #[test]
+    fn randomized_cache_uses_ceaser_index() {
+        let cfg = CacheConfig {
+            sets: 64,
+            ways: 2,
+            hit_latency: 1,
+            replacement: ReplacementKind::Random,
+        };
+        let c = Cache::new_randomized("l2", cfg.clone(), 0, 0x1234);
+        let plain = Cache::new("plain", cfg, NomoPartition::disabled(2), 0);
+        let differs = (0..128u64)
+            .any(|i| c.set_index(LineAddr::new(i)) != plain.set_index(LineAddr::new(i)));
+        assert!(differs, "CEASER indexing should differ from modulo");
+    }
+
+    #[test]
+    fn remap_flushes_contents() {
+        let cfg = CacheConfig {
+            sets: 16,
+            ways: 2,
+            hit_latency: 1,
+            replacement: ReplacementKind::Random,
+        };
+        let mut c = Cache::new_randomized("l2", cfg, 0, 1);
+        c.insert(LineMeta::clean(LineAddr::new(5)), 0);
+        c.remap(99);
+        assert_eq!(c.resident_count(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Geometry and latency configuration (Table I of the paper).
+
+use crate::replacement::ReplacementKind;
+use crate::Cycle;
+
+/// Geometry and hit latency of a single cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Cycles from issue to data for a hit at this level (cumulative cost
+    /// is the sum along the lookup path).
+    pub hit_latency: Cycle,
+    /// Replacement policy.
+    pub replacement: ReplacementKind,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes (64-byte lines).
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * 64
+    }
+
+    /// Validates that the geometry is usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    pub fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(self.ways > 0, "ways must be positive");
+    }
+}
+
+/// Full hierarchy configuration.
+///
+/// # Examples
+///
+/// ```
+/// let cfg = unxpec_cache::HierarchyConfig::table_i();
+/// assert_eq!(cfg.l1d.capacity_bytes(), 32 * 1024);
+/// assert_eq!(cfg.l2.capacity_bytes(), 2 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Private L1 instruction cache (32 KB, 4-way, 128-set in Table I).
+    pub l1i: CacheConfig,
+    /// Private L1 data cache (32 KB, 8-way, 64-set in Table I).
+    pub l1d: CacheConfig,
+    /// Shared L2 (2 MB, 16-way, 2048-set in Table I).
+    pub l2: CacheConfig,
+    /// Memory service latency after an L2 miss. Table I specifies a 50 ns
+    /// round trip, which is 100 cycles at the 2 GHz clock.
+    pub mem_latency: Cycle,
+    /// Memory-bank initiation interval: a new request can start this many
+    /// cycles after the previous one (models bank pipelining, which is why
+    /// CleanupSpec's restorations are "pipelined and serviced from L2").
+    pub mem_init_interval: Cycle,
+    /// Initiation interval of the L2 pipeline.
+    pub l2_init_interval: Cycle,
+    /// Number of L1 MSHR entries.
+    pub mshr_entries: usize,
+    /// Latency of a `clflush`-style flush that has to walk both levels.
+    pub flush_latency: Cycle,
+    /// Ways of the L1D reserved per thread by the NoMo partition. Zero
+    /// disables partitioning.
+    pub nomo_reserved_ways: usize,
+    /// Seed for the CEASER L2 index-randomization key.
+    pub ceaser_seed: u64,
+    /// Whether L2 index randomization is enabled at all.
+    pub ceaser_enabled: bool,
+    /// Next-line prefetch on demand misses (off in the paper's
+    /// configuration; available for ablations).
+    pub next_line_prefetch: bool,
+}
+
+impl HierarchyConfig {
+    /// The exact configuration of Table I in the unXpec paper.
+    pub fn table_i() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig {
+                sets: 128,
+                ways: 4,
+                hit_latency: 4,
+                replacement: ReplacementKind::Random,
+            },
+            l1d: CacheConfig {
+                sets: 64,
+                ways: 8,
+                hit_latency: 4,
+                replacement: ReplacementKind::Random,
+            },
+            l2: CacheConfig {
+                sets: 2048,
+                ways: 16,
+                hit_latency: 14,
+                replacement: ReplacementKind::Random,
+            },
+            mem_latency: 100,
+            mem_init_interval: 8,
+            l2_init_interval: 2,
+            mshr_entries: 16,
+            flush_latency: 28,
+            nomo_reserved_ways: 2,
+            ceaser_seed: 0xcea5_e12d_eadb_eef0,
+            ceaser_enabled: true,
+            next_line_prefetch: false,
+        }
+    }
+
+    /// Validates every level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level has an invalid geometry.
+    pub fn validate(&self) {
+        self.l1i.validate();
+        self.l1d.validate();
+        self.l2.validate();
+        assert!(self.mshr_entries > 0, "need at least one MSHR");
+        assert!(
+            self.nomo_reserved_ways < self.l1d.ways,
+            "NoMo must leave at least one shared way"
+        );
+    }
+
+    /// Round-trip latency of an access that misses everywhere, ignoring
+    /// queueing: L1 lookup + L2 lookup + memory.
+    pub fn cold_miss_latency(&self) -> Cycle {
+        self.l1d.hit_latency + self.l2.hit_latency + self.mem_latency
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::table_i()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_matches_paper_capacities() {
+        let cfg = HierarchyConfig::table_i();
+        assert_eq!(cfg.l1i.capacity_bytes(), 32 * 1024);
+        assert_eq!(cfg.l1d.capacity_bytes(), 32 * 1024);
+        assert_eq!(cfg.l2.capacity_bytes(), 2 * 1024 * 1024);
+        assert_eq!(cfg.l1d.sets, 64);
+        assert_eq!(cfg.l1d.ways, 8);
+        assert_eq!(cfg.l2.sets, 2048);
+        cfg.validate();
+    }
+
+    #[test]
+    fn memory_latency_is_50ns_at_2ghz() {
+        // 50 ns at 2 GHz = 100 cycles.
+        assert_eq!(HierarchyConfig::table_i().mem_latency, 100);
+    }
+
+    #[test]
+    fn cold_miss_latency_sums_levels() {
+        let cfg = HierarchyConfig::table_i();
+        assert_eq!(cfg.cold_miss_latency(), 4 + 14 + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_sets_panic() {
+        let mut cfg = HierarchyConfig::table_i();
+        cfg.l1d.sets = 65;
+        cfg.validate();
+    }
+}

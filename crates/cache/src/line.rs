@@ -1,0 +1,108 @@
+//! Cache line metadata: coherence state and speculative tagging.
+
+use std::fmt;
+
+use unxpec_mem::LineAddr;
+
+/// Identifier of a speculation epoch.
+///
+/// Every unresolved branch opens a speculation epoch; loads issued under
+/// it tag the lines they install so CleanupSpec can find and invalidate
+/// exactly those lines if the branch turns out mis-predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpecTag(pub u64);
+
+impl fmt::Display for SpecTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec#{}", self.0)
+    }
+}
+
+/// MESI-style coherence state, reduced to what a single-core model needs.
+///
+/// CleanupSpec additionally *delays* M/E→S downgrades for speculatively
+/// touched lines; the defense layer consults this state to do so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoherenceState {
+    /// Not present.
+    #[default]
+    Invalid,
+    /// Present, clean, possibly shared.
+    Shared,
+    /// Present, clean, exclusive to this core.
+    Exclusive,
+    /// Present, dirty.
+    Modified,
+}
+
+impl CoherenceState {
+    /// Whether the line holds valid data.
+    pub fn is_valid(self) -> bool {
+        self != CoherenceState::Invalid
+    }
+
+    /// Whether eviction requires a writeback.
+    pub fn is_dirty(self) -> bool {
+        self == CoherenceState::Modified
+    }
+}
+
+/// Metadata of one resident cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Which line is resident in this way.
+    pub line: LineAddr,
+    /// Coherence state.
+    pub state: CoherenceState,
+    /// Speculation epoch that installed the line, if the install has not
+    /// been declared safe yet.
+    pub spec: Option<SpecTag>,
+}
+
+impl LineMeta {
+    /// A clean, non-speculative resident line.
+    pub fn clean(line: LineAddr) -> Self {
+        LineMeta {
+            line,
+            state: CoherenceState::Exclusive,
+            spec: None,
+        }
+    }
+
+    /// A clean line installed under speculation epoch `tag`.
+    pub fn speculative(line: LineAddr, tag: SpecTag) -> Self {
+        LineMeta {
+            line,
+            state: CoherenceState::Exclusive,
+            spec: Some(tag),
+        }
+    }
+
+    /// Marks the install as architecturally safe (speculation resolved
+    /// correct).
+    pub fn commit(&mut self) {
+        self.spec = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coherence_predicates() {
+        assert!(!CoherenceState::Invalid.is_valid());
+        assert!(CoherenceState::Shared.is_valid());
+        assert!(CoherenceState::Modified.is_dirty());
+        assert!(!CoherenceState::Exclusive.is_dirty());
+    }
+
+    #[test]
+    fn commit_clears_spec_tag() {
+        let mut meta = LineMeta::speculative(LineAddr::new(3), SpecTag(7));
+        assert_eq!(meta.spec, Some(SpecTag(7)));
+        meta.commit();
+        assert_eq!(meta.spec, None);
+        assert_eq!(meta, LineMeta::clean(LineAddr::new(3)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Miss-status holding registers.
+//!
+//! MSHRs matter twice for unXpec: they pipeline the transient misses the
+//! sender issues (so many loads can be inflight inside one speculation
+//! window), and CleanupSpec's first rollback step (T3 in the paper's
+//! Fig. 1) is *cleaning inflight mis-speculated loads out of the MSHRs*.
+
+use unxpec_mem::LineAddr;
+
+use crate::line::SpecTag;
+use crate::Cycle;
+
+/// One inflight miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// Line being fetched.
+    pub line: LineAddr,
+    /// Cycle the fill completes.
+    pub complete_cycle: Cycle,
+    /// Speculation epoch of the load that allocated the entry, if any.
+    pub spec: Option<SpecTag>,
+}
+
+/// A finite file of MSHR entries with merge and speculative cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_cache::{MshrFile, SpecTag};
+/// use unxpec_mem::LineAddr;
+///
+/// let mut mshrs = MshrFile::new(2);
+/// mshrs.allocate(LineAddr::new(1), 0, 100, None).unwrap();
+/// assert!(mshrs.lookup(LineAddr::new(1), 50).is_some());
+/// // Entries free themselves once their fill completes.
+/// assert!(mshrs.lookup(LineAddr::new(1), 101).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<MshrEntry>,
+    peak_occupancy: usize,
+    cancelled_speculative: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs capacity");
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            peak_occupancy: 0,
+            cancelled_speculative: 0,
+        }
+    }
+
+    fn retire_completed(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.complete_cycle > now);
+    }
+
+    /// Finds an inflight entry for `line`, retiring completed entries
+    /// first.
+    pub fn lookup(&mut self, line: LineAddr, now: Cycle) -> Option<MshrEntry> {
+        self.retire_completed(now);
+        self.entries.iter().copied().find(|e| e.line == line)
+    }
+
+    /// Allocates an entry at `now` completing at `complete_cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the cycle at which the earliest entry frees if the file is
+    /// full; the caller stalls the miss until then.
+    pub fn allocate(
+        &mut self,
+        line: LineAddr,
+        now: Cycle,
+        complete_cycle: Cycle,
+        spec: Option<SpecTag>,
+    ) -> Result<(), Cycle> {
+        self.retire_completed(now);
+        if self.entries.len() >= self.capacity {
+            let earliest = self
+                .entries
+                .iter()
+                .map(|e| e.complete_cycle)
+                .min()
+                .expect("full file has entries");
+            return Err(earliest);
+        }
+        self.entries.push(MshrEntry {
+            line,
+            complete_cycle,
+            spec,
+        });
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Earliest cycle (≥ `now`) at which a new entry can be allocated:
+    /// `now` itself if a slot is free, otherwise the earliest completion.
+    pub fn next_free_cycle(&mut self, now: Cycle) -> Cycle {
+        self.retire_completed(now);
+        if self.entries.len() < self.capacity {
+            now
+        } else {
+            self.entries
+                .iter()
+                .map(|e| e.complete_cycle)
+                .min()
+                .expect("full file has entries")
+        }
+    }
+
+    /// Frees entries that have completed by `now` and returns current
+    /// occupancy.
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.retire_completed(now);
+        self.entries.len()
+    }
+
+    /// Cancels every inflight entry belonging to speculation epochs in
+    /// `is_squashed` (CleanupSpec T3). Returns how many were cancelled.
+    pub fn cancel_speculative<F: Fn(SpecTag) -> bool>(&mut self, now: Cycle, is_squashed: F) -> usize {
+        self.retire_completed(now);
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !e.spec.map(&is_squashed).unwrap_or(false));
+        let cancelled = before - self.entries.len();
+        self.cancelled_speculative += cancelled as u64;
+        cancelled
+    }
+
+    /// Latest completion among inflight *non-speculative* entries — what
+    /// CleanupSpec waits for in T4 before starting cleanup.
+    pub fn latest_safe_completion(&mut self, now: Cycle) -> Option<Cycle> {
+        self.retire_completed(now);
+        self.entries
+            .iter()
+            .filter(|e| e.spec.is_none())
+            .map(|e| e.complete_cycle)
+            .max()
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Total speculative entries cancelled over the run.
+    pub fn cancelled_speculative(&self) -> u64 {
+        self.cancelled_speculative
+    }
+
+    /// Capacity of the file.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_finds_inflight_entry() {
+        let mut m = MshrFile::new(4);
+        m.allocate(LineAddr::new(5), 0, 120, None).unwrap();
+        let e = m.lookup(LineAddr::new(5), 60).unwrap();
+        assert_eq!(e.complete_cycle, 120);
+        assert!(m.lookup(LineAddr::new(6), 60).is_none());
+    }
+
+    #[test]
+    fn full_file_reports_earliest_free() {
+        let mut m = MshrFile::new(2);
+        m.allocate(LineAddr::new(1), 0, 100, None).unwrap();
+        m.allocate(LineAddr::new(2), 0, 90, None).unwrap();
+        assert_eq!(m.allocate(LineAddr::new(3), 0, 200, None), Err(90));
+    }
+
+    #[test]
+    fn speculative_cancellation_only_hits_squashed_epochs() {
+        let mut m = MshrFile::new(8);
+        m.allocate(LineAddr::new(1), 0, 500, Some(SpecTag(1))).unwrap();
+        m.allocate(LineAddr::new(2), 0, 500, Some(SpecTag(2))).unwrap();
+        m.allocate(LineAddr::new(3), 0, 500, None).unwrap();
+        let n = m.cancel_speculative(10, |t| t == SpecTag(1));
+        assert_eq!(n, 1);
+        assert_eq!(m.occupancy(10), 2);
+        assert_eq!(m.cancelled_speculative(), 1);
+    }
+
+    #[test]
+    fn latest_safe_completion_ignores_speculative() {
+        let mut m = MshrFile::new(8);
+        m.allocate(LineAddr::new(1), 0, 300, Some(SpecTag(1))).unwrap();
+        assert_eq!(m.latest_safe_completion(0), None);
+        m.allocate(LineAddr::new(2), 0, 250, None).unwrap();
+        assert_eq!(m.latest_safe_completion(0), Some(250));
+    }
+
+    #[test]
+    fn entries_retire_on_completion() {
+        let mut m = MshrFile::new(1);
+        m.allocate(LineAddr::new(1), 0, 50, None).unwrap();
+        assert_eq!(m.occupancy(49), 1);
+        assert_eq!(m.occupancy(50), 0);
+        assert_eq!(m.peak_occupancy(), 1);
+    }
+}

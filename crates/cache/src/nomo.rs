@@ -1,0 +1,117 @@
+//! NoMo (non-monopolizable cache) way partitioning.
+//!
+//! CleanupSpec way-partitions the L1 following NoMo so that an SMT
+//! adversary cannot mount Prime+Probe against a sibling thread: each
+//! hardware thread gets `reserved` ways of every set exclusively, and the
+//! remainder stays shared. unXpec's threat model is same-thread, so the
+//! partition does not stop it — the attack crate has tests demonstrating
+//! exactly that.
+
+/// Way partition of a set-associative cache between hardware threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NomoPartition {
+    ways: usize,
+    reserved: usize,
+    threads: usize,
+}
+
+impl NomoPartition {
+    /// Creates a partition of a `ways`-associative cache where each of
+    /// `threads` hardware threads owns `reserved` ways exclusively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservations do not fit, or no thread exists.
+    pub fn new(ways: usize, reserved: usize, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        assert!(
+            reserved * threads <= ways,
+            "reserved ways ({reserved} x {threads}) exceed associativity ({ways})"
+        );
+        NomoPartition {
+            ways,
+            reserved,
+            threads,
+        }
+    }
+
+    /// A disabled partition: every way is usable by every thread.
+    pub fn disabled(ways: usize) -> Self {
+        NomoPartition {
+            ways,
+            reserved: 0,
+            threads: 1,
+        }
+    }
+
+    /// Whether partitioning is active.
+    pub fn is_enabled(&self) -> bool {
+        self.reserved > 0
+    }
+
+    /// The ways thread `thread` may allocate into: its own reserved ways
+    /// plus the shared pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range while partitioning is active
+    /// (a disabled partition accepts any thread).
+    pub fn allowed_ways(&self, thread: usize) -> Vec<usize> {
+        if self.reserved == 0 {
+            return (0..self.ways).collect();
+        }
+        assert!(thread < self.threads, "thread {thread} out of range");
+        let mut ways: Vec<usize> =
+            (thread * self.reserved..(thread + 1) * self.reserved).collect();
+        ways.extend(self.reserved * self.threads..self.ways);
+        ways
+    }
+
+    /// Whether `thread` may evict the line currently held in `way`.
+    pub fn may_allocate(&self, thread: usize, way: usize) -> bool {
+        self.allowed_ways(thread).contains(&way)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_get_disjoint_reserved_ways() {
+        let p = NomoPartition::new(8, 2, 2);
+        let t0 = p.allowed_ways(0);
+        let t1 = p.allowed_ways(1);
+        assert_eq!(t0, vec![0, 1, 4, 5, 6, 7]);
+        assert_eq!(t1, vec![2, 3, 4, 5, 6, 7]);
+        assert!(!t0.contains(&2));
+        assert!(!t1.contains(&0));
+    }
+
+    #[test]
+    fn disabled_partition_allows_everything() {
+        let p = NomoPartition::disabled(8);
+        assert!(!p.is_enabled());
+        assert_eq!(p.allowed_ways(0).len(), 8);
+    }
+
+    #[test]
+    fn single_thread_keeps_all_shared_plus_own() {
+        let p = NomoPartition::new(8, 2, 1);
+        assert_eq!(p.allowed_ways(0).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed associativity")]
+    fn oversubscription_panics() {
+        NomoPartition::new(4, 3, 2);
+    }
+
+    #[test]
+    fn may_allocate_respects_reservation() {
+        let p = NomoPartition::new(8, 2, 2);
+        assert!(p.may_allocate(0, 0));
+        assert!(!p.may_allocate(0, 3));
+        assert!(p.may_allocate(0, 7));
+    }
+}

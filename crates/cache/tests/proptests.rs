@@ -1,0 +1,158 @@
+//! Property tests for cache structures.
+
+use proptest::prelude::*;
+use unxpec_cache::{
+    Cache, CacheConfig, CacheHierarchy, CeaserMapper, HierarchyConfig, LineMeta, MshrFile,
+    NomoPartition, ReplacementKind, SpecTag,
+};
+use unxpec_mem::LineAddr;
+
+proptest! {
+    #[test]
+    fn ceaser_is_bijective(lines in proptest::collection::hash_set(any::<u64>(), 1..200), seed in any::<u64>()) {
+        let m = CeaserMapper::new(seed, 2048);
+        let mut outputs = std::collections::HashSet::new();
+        for l in &lines {
+            let p = m.permute(LineAddr::new(*l));
+            prop_assert_eq!(m.unpermute(p), LineAddr::new(*l));
+            prop_assert!(outputs.insert(p), "collision");
+        }
+    }
+
+    #[test]
+    fn resident_lines_are_always_findable(
+        lines in proptest::collection::vec(0u64..512, 1..100)
+    ) {
+        let cfg = CacheConfig {
+            sets: 16,
+            ways: 4,
+            hit_latency: 1,
+            replacement: ReplacementKind::Random,
+        };
+        let mut cache = Cache::new("t", cfg, NomoPartition::disabled(4), 7);
+        let mut maybe_resident = std::collections::HashSet::new();
+        for l in &lines {
+            let line = LineAddr::new(*l);
+            if !cache.contains(line) {
+                cache.insert(LineMeta::clean(line), 0);
+            }
+            maybe_resident.insert(*l);
+        }
+        // Every resident line must be found by probe in its own set, and
+        // capacity is never exceeded.
+        prop_assert!(cache.resident_count() <= 64);
+        for l in maybe_resident {
+            let line = LineAddr::new(l);
+            if let Some((set, _)) = cache.probe(line) {
+                prop_assert_eq!(set, cache.set_index(line));
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_then_probe_misses(lines in proptest::collection::vec(0u64..256, 1..50)) {
+        let cfg = CacheConfig {
+            sets: 8,
+            ways: 4,
+            hit_latency: 1,
+            replacement: ReplacementKind::Lru,
+        };
+        let mut cache = Cache::new("t", cfg, NomoPartition::disabled(4), 0);
+        for l in &lines {
+            let line = LineAddr::new(*l);
+            if !cache.contains(line) {
+                cache.insert(LineMeta::clean(line), 0);
+            }
+            cache.invalidate(line);
+            prop_assert!(!cache.contains(line));
+        }
+    }
+
+    #[test]
+    fn mshr_occupancy_never_exceeds_capacity(
+        ops in proptest::collection::vec((0u64..32, 1u64..300), 1..100)
+    ) {
+        let mut mshrs = MshrFile::new(4);
+        let mut now = 0;
+        for (line, dur) in ops {
+            now += 3;
+            let free_at = mshrs.next_free_cycle(now);
+            let start = free_at.max(now);
+            mshrs
+                .allocate(LineAddr::new(line), start, start + dur, None)
+                .expect("slot reserved");
+            prop_assert!(mshrs.occupancy(start) <= 4);
+        }
+        prop_assert!(mshrs.peak_occupancy() <= 4);
+    }
+
+    #[test]
+    fn hierarchy_access_is_monotone_in_time(
+        lines in proptest::collection::vec(0u64..2048, 1..100)
+    ) {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        let mut cycle = 0;
+        for l in lines {
+            let out = hier.access_data(LineAddr::new(l), cycle, None);
+            prop_assert!(out.complete_cycle > cycle, "time must advance");
+            prop_assert!(out.latency() >= 4, "at least L1 latency");
+            prop_assert!(out.latency() <= 4 + 14 + 100 + 16 * 8 + 8, "bounded by queued memory path");
+            cycle = out.complete_cycle;
+        }
+    }
+
+    #[test]
+    fn speculative_tags_are_cleared_by_commit(
+        lines in proptest::collection::hash_set(0u64..1024, 1..32)
+    ) {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        for (i, l) in lines.iter().enumerate() {
+            hier.access_data(LineAddr::new(*l), (i as u64) * 200, Some(SpecTag(5)));
+        }
+        for l in &lines {
+            if hier.l1_contains(LineAddr::new(*l)) {
+                hier.commit_line(LineAddr::new(*l));
+                prop_assert!(!hier.l1_is_speculative(LineAddr::new(*l)));
+            }
+        }
+    }
+
+    #[test]
+    fn nomo_reserved_ways_stay_exclusive(
+        fills in proptest::collection::vec(0u64..256, 1..120),
+        thread in 0usize..2,
+    ) {
+        let cfg = CacheConfig {
+            sets: 8,
+            ways: 8,
+            hit_latency: 1,
+            replacement: ReplacementKind::Random,
+        };
+        let partition = NomoPartition::new(8, 2, 2);
+        let mut cache = Cache::new("nomo", cfg, partition.clone(), 3);
+        for l in fills {
+            let line = LineAddr::new(l);
+            if !cache.contains(line) {
+                let out = cache.insert(LineMeta::clean(line), thread);
+                prop_assert!(
+                    partition.may_allocate(thread, out.way),
+                    "thread {thread} allocated into way {}",
+                    out.way
+                );
+            }
+        }
+        // The other thread's reserved ways must still be empty.
+        let other = 1 - thread;
+        for set in 0..8 {
+            let contents = cache.set_contents(set);
+            for (way, slot) in contents
+                .iter()
+                .enumerate()
+                .take((other + 1) * 2)
+                .skip(other * 2)
+            {
+                prop_assert!(slot.is_none(), "set {set} way {way} invaded");
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Figs. 10 and 11: end-to-end secret leakage with single-sample
+//! decoding.
+
+use std::fmt;
+
+use unxpec_attack::{AttackConfig, LeakOutcome, MeasurementNoise, UnxpecChannel};
+use unxpec_cache::NoiseModel;
+use unxpec_defense::CleanupSpec;
+
+/// The Figs. 10/11 experiment result.
+#[derive(Debug, Clone)]
+pub struct Leakage {
+    /// The leak outcome (observations, guesses, confusion).
+    pub outcome: LeakOutcome,
+    /// Decision threshold used.
+    pub threshold: u64,
+    /// Whether eviction sets were primed.
+    pub eviction_sets: bool,
+}
+
+impl Leakage {
+    /// Decoding accuracy (paper: 86.7% without ES, 91.6% with).
+    pub fn accuracy(&self) -> f64 {
+        self.outcome.accuracy()
+    }
+}
+
+impl Leakage {
+    /// CSV rows: `bit_index,secret,observed_latency,guess,correct` —
+    /// the scatter data of Figs. 10/11.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bit_index,secret,observed_latency,guess,correct\n");
+        for i in 0..self.outcome.secrets.len() {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                i,
+                self.outcome.secrets[i] as u8,
+                self.outcome.observations[i],
+                self.outcome.guesses[i] as u8,
+                (self.outcome.secrets[i] == self.outcome.guesses[i]) as u8
+            ));
+        }
+        out
+    }
+}
+
+impl Leakage {
+    /// Renders the observed-latency scatter (the Fig. 10/11 top panes).
+    pub fn to_svg(&self) -> String {
+        let points: Vec<(f64, f64, bool)> = self
+            .outcome
+            .observations
+            .iter()
+            .enumerate()
+            .map(|(i, &obs)| (i as f64, obs as f64, self.outcome.secrets[i]))
+            .collect();
+        let title = if self.eviction_sets {
+            "Fig. 11 - observed latency per bit (eviction sets)"
+        } else {
+            "Fig. 10 - observed latency per bit"
+        };
+        unxpec_stats::svg::scatter_chart(
+            title,
+            "bit index",
+            "observed latency (cycles)",
+            &points,
+            ("secret 0", "secret 1"),
+        )
+    }
+}
+
+/// Leaks `bits` random secret bits against CleanupSpec under realistic
+/// noise, after calibrating the threshold on `bits / 2` training rounds.
+pub fn run(use_eviction_sets: bool, bits: usize, seed: u64) -> Leakage {
+    let cfg = AttackConfig::paper_no_es()
+        .with_eviction_sets(use_eviction_sets)
+        .with_seed(seed);
+    let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()))
+        .with_measurement_noise(MeasurementNoise::calibrated(seed ^ 0xacc));
+    chan.core_mut()
+        .hierarchy_mut()
+        .set_noise(NoiseModel::default_sim(seed ^ 0x5e));
+    chan.calibrate((bits / 2).max(20));
+    let secrets = UnxpecChannel::random_secret(bits, seed ^ 0xf19);
+    let outcome = chan.leak(&secrets);
+    Leakage {
+        threshold: chan.threshold().expect("calibrated"),
+        outcome,
+        eviction_sets: use_eviction_sets,
+    }
+}
+
+impl fmt::Display for Leakage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fig = if self.eviction_sets { "Fig. 11" } else { "Fig. 10" };
+        writeln!(
+            f,
+            "{fig} — leaked {} bits, threshold {}, accuracy {:.1}%",
+            self.outcome.secrets.len(),
+            self.threshold,
+            self.accuracy() * 100.0
+        )?;
+        writeln!(f, "  first 100 bits (marker: . correct, X wrong; line2 = observed latency bucket):")?;
+        let n = self.outcome.secrets.len().min(100);
+        let marks: String = (0..n)
+            .map(|i| {
+                if self.outcome.secrets[i] == self.outcome.guesses[i] {
+                    '.'
+                } else {
+                    'X'
+                }
+            })
+            .collect();
+        writeln!(f, "  {marks}")?;
+        let c = self.outcome.confusion;
+        writeln!(
+            f,
+            "  confusion: guess0/secret0 = {}, guess1/secret1 = {}, guess1/secret0 = {}, guess0/secret1 = {}",
+            c.true_zero, c.true_one, c.false_one, c.false_zero
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_es_accuracy_near_paper() {
+        let l = run(false, 240, 1);
+        let acc = l.accuracy();
+        assert!((0.78..=0.95).contains(&acc), "accuracy {acc} ~ 0.867");
+    }
+
+    #[test]
+    fn es_accuracy_is_higher() {
+        let no_es = run(false, 240, 2).accuracy();
+        let es = run(true, 240, 2).accuracy();
+        assert!(
+            es > no_es,
+            "eviction sets must improve accuracy ({no_es} -> {es})"
+        );
+        assert!((0.85..=1.0).contains(&es), "accuracy {es} ~ 0.916");
+    }
+
+    #[test]
+    fn errors_occur_in_both_directions() {
+        let l = run(false, 300, 3);
+        assert!(l.outcome.confusion.false_one > 0, "some 0s decode as 1");
+        assert!(l.outcome.confusion.false_zero > 0, "some 1s decode as 0");
+    }
+
+    #[test]
+    fn display_shows_confusion() {
+        let text = run(false, 60, 4).to_string();
+        assert!(text.contains("Fig. 10"));
+        assert!(text.contains("confusion"));
+    }
+}

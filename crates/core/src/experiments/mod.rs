@@ -1,0 +1,84 @@
+//! Per-table/per-figure experiment drivers.
+//!
+//! Every experiment in the paper's evaluation (§VI) has a module here
+//! returning a structured result that also implements [`std::fmt::Display`],
+//! rendering the same rows or series the paper plots. The mapping:
+//!
+//! | paper | module / entry point |
+//! |---|---|
+//! | Table I (configuration) | [`table1::run`] |
+//! | Fig. 2 (branch resolution time, gem5) | [`resolution::run`] |
+//! | Fig. 3 (rollback timing difference, no eviction sets) | [`rollback::run`] with `use_eviction_sets = false` |
+//! | Fig. 6 (… with eviction sets) | [`rollback::run`] with `use_eviction_sets = true` |
+//! | Fig. 7 (latency PDF, no ES) | [`pdf::run`] |
+//! | Fig. 8 (latency PDF, with ES) | [`pdf::run`] |
+//! | Fig. 9 (1000-bit secret pattern) | [`secret_pattern::run`] |
+//! | Fig. 10 (secret leakage, no ES) | [`leakage::run`] |
+//! | Fig. 11 (secret leakage, with ES) | [`leakage::run`] |
+//! | §VI-B (leakage rate) | [`rate::run`] |
+//! | Fig. 12 (constant-time-rollback overhead) | [`overhead::run`] |
+//! | Fig. 13 (branch resolution on a real CPU) | [`resolution::run_host_like`] |
+//!
+//! Beyond the paper, [`ablations`] quantifies the design choices the
+//! paper discusses (invalidation-only rollback, the fuzzy-cleanup
+//! mitigation, the InvisiSpec comparison, mistraining effort) and
+//! [`votes`] the §VI-D samples-per-bit noise-suppression trade.
+
+pub mod ablations;
+pub mod defense_costs;
+pub mod leakage;
+pub mod overhead;
+pub mod pdf;
+pub mod rate;
+pub mod resolution;
+pub mod robustness;
+pub mod rollback;
+pub mod scorecard;
+pub mod secret_pattern;
+pub mod table1;
+pub mod timeline;
+pub mod triggers;
+pub mod votes;
+pub mod workload_profile;
+
+/// How much data each experiment collects.
+///
+/// [`Scale::paper`] matches the paper's sample counts; [`Scale::quick`]
+/// is for tests and smoke runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Rounds per configuration point for timing-difference averages.
+    pub timing_samples: usize,
+    /// Samples per secret value for the PDFs (paper: 1000).
+    pub pdf_samples: usize,
+    /// Secret bits leaked end-to-end (paper: 1000).
+    pub leak_bits: usize,
+    /// Warmup committed instructions per workload run.
+    pub workload_warmup: u64,
+    /// Measured committed instructions per workload run.
+    pub workload_measure: u64,
+}
+
+impl Scale {
+    /// The paper's sample counts.
+    pub fn paper() -> Self {
+        Scale {
+            timing_samples: 100,
+            pdf_samples: 1000,
+            leak_bits: 1000,
+            workload_warmup: 40_000,
+            workload_measure: 120_000,
+        }
+    }
+
+    /// Reduced counts for tests.
+    pub fn quick() -> Self {
+        Scale {
+            timing_samples: 10,
+            pdf_samples: 60,
+            leak_bits: 60,
+            workload_warmup: 5_000,
+            workload_measure: 15_000,
+        }
+    }
+}

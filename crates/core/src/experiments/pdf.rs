@@ -1,0 +1,171 @@
+//! Figs. 7 and 8: probability density of the observed latency per
+//! secret value, estimated by Gaussian KDE as in the paper.
+
+use std::fmt;
+
+use unxpec_attack::{AttackConfig, MeasurementNoise, UnxpecChannel};
+use unxpec_cache::NoiseModel;
+use unxpec_defense::CleanupSpec;
+use unxpec_stats::{ascii, Kde, Summary};
+
+/// The Figs. 7/8 experiment result.
+#[derive(Debug, Clone)]
+pub struct LatencyPdf {
+    /// Observed latencies with secret 0.
+    pub samples0: Vec<u64>,
+    /// Observed latencies with secret 1.
+    pub samples1: Vec<u64>,
+    /// Chosen decision threshold (paper: 178 without ES, 183 with).
+    pub threshold: u64,
+    /// Whether eviction sets were primed.
+    pub eviction_sets: bool,
+}
+
+impl LatencyPdf {
+    /// Mean secret-dependent timing difference.
+    pub fn mean_difference(&self) -> f64 {
+        Summary::of_cycles(&self.samples1).mean - Summary::of_cycles(&self.samples0).mean
+    }
+
+    /// KDE grids over the observed latency range: `(xs, pdf0, pdf1)`.
+    pub fn kde_grids(&self, points: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let lo = *self
+            .samples0
+            .iter()
+            .chain(&self.samples1)
+            .min()
+            .expect("samples") as f64
+            - 10.0;
+        let hi = *self
+            .samples0
+            .iter()
+            .chain(&self.samples1)
+            .max()
+            .expect("samples") as f64
+            + 10.0;
+        let k0 = Kde::fit_cycles(&self.samples0);
+        let k1 = Kde::fit_cycles(&self.samples1);
+        let g0 = k0.grid(lo, hi, points);
+        let g1 = k1.grid(lo, hi, points);
+        let xs = g0.iter().map(|(x, _)| *x).collect();
+        (
+            xs,
+            g0.into_iter().map(|(_, d)| d).collect(),
+            g1.into_iter().map(|(_, d)| d).collect(),
+        )
+    }
+}
+
+impl LatencyPdf {
+    /// CSV rows: `secret,latency` — one row per sample (the raw data
+    /// behind the KDE, like the artifact's `*_Sec0.txt`/`*_Sec1.txt`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("secret,latency\n");
+        for s in &self.samples0 {
+            out.push_str(&format!("0,{s}\n"));
+        }
+        for s in &self.samples1 {
+            out.push_str(&format!("1,{s}\n"));
+        }
+        out
+    }
+}
+
+impl LatencyPdf {
+    /// Renders the figure as an SVG document (the Fig. 7/8 KDE curves).
+    pub fn to_svg(&self) -> String {
+        let (xs, p0, p1) = self.kde_grids(200);
+        let s0: Vec<(f64, f64)> = xs.iter().copied().zip(p0).collect();
+        let s1: Vec<(f64, f64)> = xs.iter().copied().zip(p1).collect();
+        let title = if self.eviction_sets {
+            "Fig. 8 - latency PDF with eviction sets"
+        } else {
+            "Fig. 7 - latency PDF without eviction sets"
+        };
+        unxpec_stats::svg::line_chart(
+            title,
+            "observed latency (cycles)",
+            "probability density",
+            &[("secret 0", s0), ("secret 1", s1)],
+        )
+    }
+}
+
+/// Collects `samples` rounds per secret under realistic noise (memory
+/// jitter plus receiver-side measurement noise) and fixes the decoding
+/// threshold.
+pub fn run(use_eviction_sets: bool, samples: usize, seed: u64) -> LatencyPdf {
+    let cfg = AttackConfig::paper_no_es()
+        .with_eviction_sets(use_eviction_sets)
+        .with_seed(seed);
+    let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()))
+        .with_measurement_noise(MeasurementNoise::calibrated(seed ^ 0x0dd));
+    chan.core_mut()
+        .hierarchy_mut()
+        .set_noise(NoiseModel::default_sim(seed ^ 0x5e));
+    let cal = chan.calibrate(samples);
+    LatencyPdf {
+        samples0: cal.samples0,
+        samples1: cal.samples1,
+        threshold: cal.threshold,
+        eviction_sets: use_eviction_sets,
+    }
+}
+
+impl fmt::Display for LatencyPdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let title = if self.eviction_sets {
+            "Fig. 8 — latency PDF with eviction sets"
+        } else {
+            "Fig. 7 — latency PDF without eviction sets"
+        };
+        let (xs, p0, p1) = self.kde_grids(72);
+        write!(f, "{}", ascii::dual_series(title, &xs, &p0, &p1, 12))?;
+        writeln!(
+            f,
+            "   mean difference = {:.1} cycles, threshold = {}",
+            self.mean_difference(),
+            self.threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_es_pdf_shows_22_cycle_separation() {
+        let pdf = run(false, 80, 1);
+        let d = pdf.mean_difference();
+        assert!((15.0..=30.0).contains(&d), "difference {d} ~ 22");
+        // The threshold sits between the two means.
+        let m0 = Summary::of_cycles(&pdf.samples0).mean;
+        let m1 = Summary::of_cycles(&pdf.samples1).mean;
+        assert!(m0 < pdf.threshold as f64 && (pdf.threshold as f64) < m1);
+    }
+
+    #[test]
+    fn es_pdf_separation_is_larger() {
+        let no_es = run(false, 60, 2).mean_difference();
+        let es = run(true, 60, 2).mean_difference();
+        assert!(es > no_es + 5.0, "{no_es} -> {es}");
+    }
+
+    #[test]
+    fn noise_spreads_the_distributions() {
+        let pdf = run(false, 80, 3);
+        let s0 = Summary::of_cycles(&pdf.samples0);
+        assert!(s0.std_dev > 2.0, "noise should spread samples, std {}", s0.std_dev);
+        assert!(s0.max > s0.min + 10.0);
+    }
+
+    #[test]
+    fn display_renders_kde_chart() {
+        let pdf = run(false, 40, 4);
+        let text = pdf.to_string();
+        assert!(text.contains("Fig. 7"));
+        assert!(text.contains("mean difference"));
+        assert!(text.contains('0') && text.contains('1'));
+    }
+}

@@ -1,0 +1,191 @@
+//! Figs. 2 and 13: branch resolution time is flat in the number of
+//! in-branch loads and linear in the `f(N)` condition complexity.
+
+use std::fmt;
+
+use unxpec_attack::{AttackConfig, UnxpecChannel};
+use unxpec_cache::NoiseModel;
+use unxpec_defense::CleanupSpec;
+use unxpec_stats::{ascii, Summary};
+
+/// One measured configuration point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolutionPoint {
+    /// `f(N)` memory accesses in the branch condition.
+    pub fn_accesses: usize,
+    /// Loads inside the branch body.
+    pub loads: usize,
+    /// Encoded secret bit.
+    pub secret: bool,
+    /// Mean branch resolution time (T1–T2) in cycles.
+    pub mean_resolution: f64,
+    /// Standard deviation across rounds.
+    pub std_dev: f64,
+}
+
+/// The full Fig. 2 / Fig. 13 sweep.
+#[derive(Debug, Clone)]
+pub struct ResolutionSweep {
+    /// Measured points, ordered by `(fn_accesses, loads, secret)`.
+    pub points: Vec<ResolutionPoint>,
+    /// Whether host-like noise was injected (Fig. 13).
+    pub noisy: bool,
+}
+
+impl ResolutionSweep {
+    /// Mean resolution over all points with `fn_accesses == n`.
+    pub fn mean_for_fn(&self, n: usize) -> f64 {
+        let sel: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.fn_accesses == n)
+            .map(|p| p.mean_resolution)
+            .collect();
+        sel.iter().sum::<f64>() / sel.len().max(1) as f64
+    }
+
+    /// Max spread (max − min of the per-point means) within one
+    /// `fn_accesses` family — the paper's "relatively constant" claim.
+    pub fn spread_for_fn(&self, n: usize) -> f64 {
+        let sel: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.fn_accesses == n)
+            .map(|p| p.mean_resolution)
+            .collect();
+        let max = sel.iter().copied().fold(f64::MIN, f64::max);
+        let min = sel.iter().copied().fold(f64::MAX, f64::min);
+        max - min
+    }
+}
+
+impl ResolutionSweep {
+    /// CSV rows: `fn_accesses,loads,secret,mean_resolution,std_dev`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("fn_accesses,loads,secret,mean_resolution,std_dev\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.3}\n",
+                p.fn_accesses, p.loads, p.secret as u8, p.mean_resolution, p.std_dev
+            ));
+        }
+        out
+    }
+}
+
+fn sweep(samples: usize, noise: Option<NoiseModel>) -> ResolutionSweep {
+    let mut points = Vec::new();
+    for fn_accesses in 1..=3usize {
+        for loads in 1..=5usize {
+            for secret in [false, true] {
+                let cfg = AttackConfig::paper_no_es()
+                    .with_loads(loads)
+                    .with_fn_accesses(fn_accesses);
+                let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
+                if let Some(n) = noise.clone() {
+                    chan.core_mut().hierarchy_mut().set_noise(n);
+                }
+                let mut rts = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    rts.push(chan.measure_bit_detailed(secret).resolution_time);
+                }
+                let s = Summary::of_cycles(&rts);
+                points.push(ResolutionPoint {
+                    fn_accesses,
+                    loads,
+                    secret,
+                    mean_resolution: s.mean,
+                    std_dev: s.std_dev,
+                });
+            }
+        }
+    }
+    ResolutionSweep {
+        points,
+        noisy: noise.is_some(),
+    }
+}
+
+/// Fig. 2: the sweep on the quiet simulated machine.
+pub fn run(samples: usize) -> ResolutionSweep {
+    sweep(samples, None)
+}
+
+/// Fig. 13: the same sweep under host-machine-like noise (standing in
+/// for the paper's Intel i7-8550U measurements).
+pub fn run_host_like(samples: usize, seed: u64) -> ResolutionSweep {
+    sweep(samples, Some(NoiseModel::host_like(seed)))
+}
+
+impl fmt::Display for ResolutionSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let title = if self.noisy {
+            "Fig. 13 — branch resolution time under host-like noise (cycles)"
+        } else {
+            "Fig. 2 — branch resolution time (cycles)"
+        };
+        writeln!(f, "{title}")?;
+        let mut rows = Vec::new();
+        for p in &self.points {
+            rows.push(vec![
+                format!("{} access(es)", p.fn_accesses),
+                format!("{}", p.loads),
+                format!("{}", p.secret as u8),
+                format!("{:.1} ± {:.1}", p.mean_resolution, p.std_dev),
+            ]);
+        }
+        write!(
+            f,
+            "{}",
+            ascii::table(&["f(N)", "loads in branch", "secret", "resolution time"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_is_flat_in_loads_and_secret() {
+        let sweep = run(6);
+        for n in 1..=3 {
+            let spread = sweep.spread_for_fn(n);
+            let mean = sweep.mean_for_fn(n);
+            assert!(
+                spread < mean * 0.12,
+                "f({n}): spread {spread:.1} vs mean {mean:.1} should be narrow"
+            );
+        }
+    }
+
+    #[test]
+    fn resolution_is_linear_in_fn_complexity() {
+        let sweep = run(6);
+        let m1 = sweep.mean_for_fn(1);
+        let m2 = sweep.mean_for_fn(2);
+        let m3 = sweep.mean_for_fn(3);
+        assert!(m2 - m1 > 60.0, "f(2) - f(1) = {}", m2 - m1);
+        assert!(m3 - m2 > 60.0, "f(3) - f(2) = {}", m3 - m2);
+        // Roughly equal steps (each access is one more memory round trip).
+        let ratio = (m3 - m2) / (m2 - m1);
+        assert!((0.6..1.6).contains(&ratio), "steps should be similar: {ratio}");
+    }
+
+    #[test]
+    fn host_like_noise_preserves_the_shape() {
+        let sweep = run_host_like(8, 3);
+        assert!(sweep.noisy);
+        let m1 = sweep.mean_for_fn(1);
+        let m3 = sweep.mean_for_fn(3);
+        assert!(m3 > m1 + 100.0, "linearity survives noise: {m1} vs {m3}");
+    }
+
+    #[test]
+    fn display_renders_all_points() {
+        let sweep = run(2);
+        let text = sweep.to_string();
+        assert!(text.contains("Fig. 2"));
+        assert_eq!(sweep.points.len(), 3 * 5 * 2);
+    }
+}

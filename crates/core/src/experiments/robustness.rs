@@ -1,0 +1,139 @@
+//! Seed-sweep robustness: the headline numbers must not be artifacts of
+//! one lucky RNG stream.
+//!
+//! Every source of randomness in the simulator (replacement victims,
+//! CEASER keys, noise, secrets) is seeded. This experiment re-runs the
+//! core measurements across independent seeds and reports the spread —
+//! the reproduction-quality analogue of the paper's repeated-trial
+//! methodology.
+
+use std::fmt;
+
+use unxpec_attack::{AttackConfig, MeasurementNoise, UnxpecChannel};
+use unxpec_cache::{HierarchyConfig, NoiseModel};
+use unxpec_cpu::{Core, CoreConfig};
+use unxpec_defense::CleanupSpec;
+use unxpec_stats::{ascii, Summary};
+
+/// Per-seed measurements of the headline quantities.
+#[derive(Debug, Clone)]
+pub struct RobustnessSweep {
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+    /// Timing difference (no eviction sets) per seed.
+    pub diffs_no_es: Vec<f64>,
+    /// Timing difference (eviction sets) per seed.
+    pub diffs_es: Vec<f64>,
+    /// Single-sample accuracy under noise per seed.
+    pub accuracies: Vec<f64>,
+}
+
+impl RobustnessSweep {
+    /// `(mean, std)` of the no-ES difference.
+    pub fn no_es_summary(&self) -> (f64, f64) {
+        let s = Summary::of(&self.diffs_no_es);
+        (s.mean, s.std_dev)
+    }
+
+    /// `(mean, std)` of the ES difference.
+    pub fn es_summary(&self) -> (f64, f64) {
+        let s = Summary::of(&self.diffs_es);
+        (s.mean, s.std_dev)
+    }
+
+    /// `(mean, std)` of the noisy single-sample accuracy.
+    pub fn accuracy_summary(&self) -> (f64, f64) {
+        let s = Summary::of(&self.accuracies);
+        (s.mean, s.std_dev)
+    }
+}
+
+fn diff_for(seed: u64, es: bool, samples: usize) -> f64 {
+    // A fresh machine whose *replacement/CEASER* seeds also vary: derive
+    // a distinct hierarchy seed per run.
+    let mut hier_cfg = HierarchyConfig::table_i();
+    hier_cfg.ceaser_seed ^= seed.wrapping_mul(0x9e37_79b9);
+    let mut core = Core::new(CoreConfig::table_i(), hier_cfg);
+    core.set_defense(Box::new(CleanupSpec::new()));
+    let cfg = AttackConfig::paper_no_es()
+        .with_eviction_sets(es)
+        .with_seed(seed);
+    let mut chan = UnxpecChannel::on_core(cfg, core);
+    chan.calibrate(samples).mean_difference()
+}
+
+fn accuracy_for(seed: u64, bits: usize) -> f64 {
+    let mut chan = UnxpecChannel::new(
+        AttackConfig::paper_no_es().with_seed(seed),
+        Box::new(CleanupSpec::new()),
+    )
+    .with_measurement_noise(MeasurementNoise::calibrated(seed ^ 0xacc));
+    chan.core_mut()
+        .hierarchy_mut()
+        .set_noise(NoiseModel::default_sim(seed ^ 0x5e));
+    chan.calibrate(bits.max(30));
+    let secrets = UnxpecChannel::random_secret(bits, seed ^ 0xf19);
+    chan.leak(&secrets).accuracy()
+}
+
+/// Sweeps `n_seeds` independent seeds at `samples` rounds per
+/// measurement and `bits` leaked bits per accuracy point.
+pub fn run(n_seeds: usize, samples: usize, bits: usize) -> RobustnessSweep {
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 0x1000 + i * 7919).collect();
+    RobustnessSweep {
+        diffs_no_es: seeds.iter().map(|&s| diff_for(s, false, samples)).collect(),
+        diffs_es: seeds.iter().map(|&s| diff_for(s, true, samples)).collect(),
+        accuracies: seeds.iter().map(|&s| accuracy_for(s, bits)).collect(),
+        seeds,
+    }
+}
+
+impl fmt::Display for RobustnessSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (d0, s0) = self.no_es_summary();
+        let (d1, s1) = self.es_summary();
+        let (a, sa) = self.accuracy_summary();
+        writeln!(f, "Robustness across {} seeds", self.seeds.len())?;
+        let rows = vec![
+            vec![
+                "difference, no ES".to_string(),
+                format!("{d0:.1} ± {s0:.1} cycles"),
+            ],
+            vec![
+                "difference, ES".to_string(),
+                format!("{d1:.1} ± {s1:.1} cycles"),
+            ],
+            vec![
+                "single-sample accuracy".to_string(),
+                format!("{:.1}% ± {:.1}", a * 100.0, sa * 100.0),
+            ],
+        ];
+        write!(f, "{}", ascii::table(&["quantity", "mean ± std"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_hold_across_seeds() {
+        let sweep = run(6, 10, 120);
+        let (d0, s0) = sweep.no_es_summary();
+        let (d1, s1) = sweep.es_summary();
+        assert!((15.0..=30.0).contains(&d0), "no-ES mean {d0}");
+        assert!((25.0..=45.0).contains(&d1), "ES mean {d1}");
+        assert!(s0 < 5.0, "no-ES spread {s0}");
+        assert!(s1 < 6.0, "ES spread {s1}");
+        let (acc, acc_std) = sweep.accuracy_summary();
+        assert!((0.75..=0.95).contains(&acc), "accuracy {acc}");
+        assert!(acc_std < 0.08, "accuracy spread {acc_std}");
+    }
+
+    #[test]
+    fn display_renders_all_three_rows() {
+        let text = run(2, 4, 40).to_string();
+        assert!(text.contains("difference, no ES"));
+        assert!(text.contains("accuracy"));
+    }
+}

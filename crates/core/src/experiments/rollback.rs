@@ -1,0 +1,169 @@
+//! Figs. 3 and 6: the secret-dependent rollback timing difference as a
+//! function of the number of squashed loads.
+
+use std::fmt;
+
+use unxpec_attack::{AttackConfig, UnxpecChannel};
+use unxpec_defense::CleanupSpec;
+use unxpec_stats::ascii;
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollbackPoint {
+    /// Number of encoding loads in the branch (= squashed loads when
+    /// secret is 1).
+    pub loads: usize,
+    /// Mean observed latency with secret 0.
+    pub mean0: f64,
+    /// Mean observed latency with secret 1.
+    pub mean1: f64,
+    /// Mean L1 restorations per rollback (secret 1).
+    pub restorations: f64,
+}
+
+impl RollbackPoint {
+    /// The secret-dependent timing difference.
+    pub fn difference(&self) -> f64 {
+        self.mean1 - self.mean0
+    }
+}
+
+/// The Fig. 3 (no eviction sets) or Fig. 6 (with) sweep.
+#[derive(Debug, Clone)]
+pub struct RollbackSweep {
+    /// Points for 1..=max loads.
+    pub points: Vec<RollbackPoint>,
+    /// Whether eviction sets were primed.
+    pub eviction_sets: bool,
+}
+
+impl RollbackSweep {
+    /// The single-load headline difference (22 / 32 cycles in the paper).
+    pub fn single_load_difference(&self) -> f64 {
+        self.points[0].difference()
+    }
+}
+
+impl RollbackSweep {
+    /// CSV rows: `loads,mean0,mean1,difference,restorations`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("loads,mean0,mean1,difference,restorations\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.3},{:.3},{:.3},{:.3}\n",
+                p.loads,
+                p.mean0,
+                p.mean1,
+                p.difference(),
+                p.restorations
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the sweep over `1..=max_loads` encoding loads, `samples` rounds
+/// per secret per point, on a quiet machine.
+pub fn run(use_eviction_sets: bool, max_loads: usize, samples: usize) -> RollbackSweep {
+    let points = (1..=max_loads)
+        .map(|loads| {
+            let cfg = AttackConfig::paper_no_es()
+                .with_loads(loads)
+                .with_eviction_sets(use_eviction_sets);
+            let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
+            let mut sum0 = 0.0;
+            let mut sum1 = 0.0;
+            let mut restores = 0.0;
+            for _ in 0..samples {
+                sum0 += chan.measure_bit_detailed(false).latency as f64;
+                let ob = chan.measure_bit_detailed(true);
+                sum1 += ob.latency as f64;
+                restores += ob.l1_evictions as f64;
+            }
+            RollbackPoint {
+                loads,
+                mean0: sum0 / samples as f64,
+                mean1: sum1 / samples as f64,
+                restorations: restores / samples as f64,
+            }
+        })
+        .collect();
+    RollbackSweep {
+        points,
+        eviction_sets: use_eviction_sets,
+    }
+}
+
+impl RollbackSweep {
+    /// Renders the per-load-count difference bars (Figs. 3/6).
+    pub fn to_svg(&self) -> String {
+        let categories: Vec<String> =
+            self.points.iter().map(|p| format!("{}", p.loads)).collect();
+        let diffs: Vec<f64> = self.points.iter().map(|p| p.difference()).collect();
+        let title = if self.eviction_sets {
+            "Fig. 6 - rollback timing difference (eviction sets)"
+        } else {
+            "Fig. 3 - rollback timing difference"
+        };
+        unxpec_stats::svg::grouped_bar_chart(
+            title,
+            "timing difference (cycles)",
+            &categories,
+            &[("difference", diffs)],
+        )
+    }
+}
+
+impl fmt::Display for RollbackSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let title = if self.eviction_sets {
+            "Fig. 6 — rollback timing difference with eviction sets (cycles)"
+        } else {
+            "Fig. 3 — rollback timing difference (cycles)"
+        };
+        let rows: Vec<(String, f64)> = self
+            .points
+            .iter()
+            .map(|p| (format!("{} load(s)", p.loads), p.difference()))
+            .collect();
+        write!(f, "{}", ascii::bar_chart(title, &rows, 48))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_es_difference_matches_paper_band() {
+        let sweep = run(false, 8, 8);
+        let d1 = sweep.single_load_difference();
+        assert!((15.0..=30.0).contains(&d1), "single-load diff {d1} ~ 22");
+        // Fig. 3: the difference grows only slowly with more loads.
+        let d8 = sweep.points[7].difference();
+        assert!(d8 >= d1 - 2.0, "difference must not shrink: {d1} -> {d8}");
+        assert!(d8 <= d1 + 15.0, "pipelined invalidation grows slowly: {d1} -> {d8}");
+    }
+
+    #[test]
+    fn es_difference_matches_paper_band_and_grows() {
+        let sweep = run(true, 8, 8);
+        let d1 = sweep.single_load_difference();
+        assert!((25.0..=45.0).contains(&d1), "single-load diff {d1} ~ 32");
+        let d8 = sweep.points[7].difference();
+        assert!(
+            (50.0..=80.0).contains(&d8),
+            "restorations grow the difference toward ~64: got {d8}"
+        );
+        // Restoration count tracks the load count.
+        assert!(sweep.points[7].restorations > sweep.points[0].restorations + 4.0);
+    }
+
+    #[test]
+    fn display_has_bars() {
+        let sweep = run(false, 2, 3);
+        let text = sweep.to_string();
+        assert!(text.contains("Fig. 3"));
+        assert!(text.contains('#'));
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 9: the 1,000-bit randomly generated secret test vector.
+
+use std::fmt;
+
+use unxpec_attack::UnxpecChannel;
+
+/// The generated secret pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecretPattern {
+    /// The bits.
+    pub bits: Vec<bool>,
+    /// The seed that produced them.
+    pub seed: u64,
+}
+
+impl SecretPattern {
+    /// Number of one-bits.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Generates the paper's Fig. 9 test vector analogue: `len` seeded
+/// pseudo-random bits.
+pub fn run(len: usize, seed: u64) -> SecretPattern {
+    SecretPattern {
+        bits: UnxpecChannel::random_secret(len, seed),
+        seed,
+    }
+}
+
+impl fmt::Display for SecretPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 9 — {}-bit random secret (seed {:#x}, {} ones)",
+            self.bits.len(),
+            self.seed,
+            self.ones()
+        )?;
+        for chunk in self.bits.chunks(80) {
+            let line: String = chunk.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_is_reproducible_and_balanced() {
+        let a = run(1000, 9);
+        let b = run(1000, 9);
+        assert_eq!(a, b);
+        assert!((420..=580).contains(&a.ones()), "{} ones", a.ones());
+    }
+
+    #[test]
+    fn display_is_binary() {
+        let text = run(160, 1).to_string();
+        assert!(text.contains("Fig. 9"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

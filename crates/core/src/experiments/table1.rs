@@ -1,0 +1,86 @@
+//! Table I: the simulated machine configuration.
+
+use std::fmt;
+
+use unxpec_cache::HierarchyConfig;
+use unxpec_cpu::CoreConfig;
+use unxpec_stats::ascii;
+
+/// The rendered configuration table.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+}
+
+/// Collects the Table-I configuration.
+pub fn run() -> Table1 {
+    Table1 {
+        core: CoreConfig::table_i(),
+        hierarchy: HierarchyConfig::table_i(),
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let h = &self.hierarchy;
+        let rows = vec![
+            vec![
+                "Processor".into(),
+                format!(
+                    "1 core, 2 GHz, out-of-order {}-entry ROB",
+                    self.core.rob_entries
+                ),
+            ],
+            vec![
+                "Private L1 I cache".into(),
+                format!(
+                    "{} KB, {}-way, {}-set",
+                    h.l1i.capacity_bytes() / 1024,
+                    h.l1i.ways,
+                    h.l1i.sets
+                ),
+            ],
+            vec![
+                "Private L1 D cache".into(),
+                format!(
+                    "{} KB, {}-way, {}-set, random replacement, NoMo-{}",
+                    h.l1d.capacity_bytes() / 1024,
+                    h.l1d.ways,
+                    h.l1d.sets,
+                    h.nomo_reserved_ways
+                ),
+            ],
+            vec![
+                "Shared L2 cache".into(),
+                format!(
+                    "{} MB, {}-way, {}-set, CEASER indexing",
+                    h.l2.capacity_bytes() / (1024 * 1024),
+                    h.l2.ways,
+                    h.l2.sets
+                ),
+            ],
+            vec![
+                "Memory".into(),
+                format!("{} ns RT after L2", h.mem_latency / 2),
+            ],
+        ];
+        write!(f, "{}", ascii::table(&["Module", "Configuration"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_rows() {
+        let text = run().to_string();
+        assert!(text.contains("192-entry ROB"));
+        assert!(text.contains("32 KB, 8-way, 64-set"));
+        assert!(text.contains("2 MB, 16-way, 2048-set"));
+        assert!(text.contains("50 ns RT after L2"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig. 1 reconstruction: the CleanupSpec timeline of one actual round.
+//!
+//! The paper's Fig. 1 is a schematic (T1 speculation starts … T6 core
+//! resumes). This experiment runs one traced secret-1 round and
+//! annotates the *measured* cycle of each timeline point, which makes
+//! the channel's anatomy concrete: T2−T1 is the constant resolution
+//! time, T5's length is the secret-dependent cleanup.
+
+use std::fmt;
+
+use unxpec_attack::{AttackConfig, UnxpecChannel};
+use unxpec_defense::CleanupSpec;
+
+/// Measured cycles of the Fig. 1 timeline points, relative to T1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeline {
+    /// The secret bit the round carried.
+    pub secret: bool,
+    /// T1: speculative execution starts (branch dispatch).
+    pub t1: u64,
+    /// T2: mis-speculation detected (branch resolves).
+    pub t2: u64,
+    /// T5 end: rollback complete (fetch redirect).
+    pub t5_end: u64,
+    /// T6: receiver's second timestamp.
+    pub t6: u64,
+    /// Transient L1 installs rolled back.
+    pub installs: usize,
+    /// L1 restorations performed.
+    pub restorations: usize,
+}
+
+impl Timeline {
+    /// T1–T2: branch resolution time.
+    pub fn resolution(&self) -> u64 {
+        self.t2 - self.t1
+    }
+
+    /// T2–T5: the cleanup window (the channel).
+    pub fn cleanup(&self) -> u64 {
+        self.t5_end - self.t2
+    }
+}
+
+/// Runs one round per secret value and reconstructs both timelines.
+pub fn run(use_eviction_sets: bool) -> (Timeline, Timeline) {
+    let one = |secret: bool| {
+        let cfg = AttackConfig::paper_no_es().with_eviction_sets(use_eviction_sets);
+        let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
+        // Warm round so the traced round is steady-state.
+        chan.measure_bit(secret);
+        let ob = chan.measure_bit_detailed(secret);
+        Timeline {
+            secret,
+            t1: 0,
+            t2: ob.resolution_time,
+            t5_end: ob.resolution_time + ob.cleanup_cycles,
+            t6: ob.latency,
+            installs: ob.l1_installs,
+            restorations: ob.l1_evictions,
+        }
+    };
+    (one(false), one(true))
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "secret = {}:", self.secret as u8)?;
+        writeln!(
+            f,
+            "  T1 +{:>4}  speculation starts (branch dispatched, transient loads issue)",
+            self.t1
+        )?;
+        writeln!(
+            f,
+            "  T2 +{:>4}  mis-speculation detected (f(N) resolved)   [resolution {} cycles]",
+            self.t2,
+            self.resolution()
+        )?;
+        writeln!(
+            f,
+            "  T5 +{:>4}  rollback done: {} invalidation(s), {} restoration(s)   [cleanup {} cycles]",
+            self.t5_end,
+            self.installs,
+            self.restorations,
+            self.cleanup()
+        )?;
+        writeln!(f, "  T6 +{:>4}  receiver's second timestamp", self.t6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timelines_differ_only_in_cleanup() {
+        let (t0, t1) = run(false);
+        assert_eq!(t0.resolution(), t1.resolution(), "T1-T2 is constant");
+        assert!(
+            t1.cleanup() >= t0.cleanup() + 15,
+            "T5 carries the secret: {} vs {}",
+            t0.cleanup(),
+            t1.cleanup()
+        );
+        assert_eq!(t0.installs, 0);
+        assert_eq!(t1.installs, 1);
+    }
+
+    #[test]
+    fn eviction_sets_add_restorations() {
+        let (_, t1) = run(true);
+        assert_eq!(t1.restorations, 1);
+        let (_, plain) = run(false);
+        assert_eq!(plain.restorations, 0);
+        assert!(t1.cleanup() > plain.cleanup());
+    }
+
+    #[test]
+    fn display_lists_all_points() {
+        let (t0, _) = run(false);
+        let text = t0.to_string();
+        for point in ["T1", "T2", "T5", "T6"] {
+            assert!(text.contains(point), "missing {point}");
+        }
+    }
+}

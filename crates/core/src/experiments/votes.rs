@@ -1,0 +1,131 @@
+//! §VI-D extension: accuracy as a function of samples per bit.
+//!
+//! The paper's robustness argument ends with "the attacker can also use
+//! more samples per secret to suppress noise"; this experiment
+//! quantifies the trade: each extra vote divides the rate and buys
+//! accuracy.
+
+use std::fmt;
+
+use unxpec_attack::{AttackConfig, MeasurementNoise, UnxpecChannel};
+use unxpec_cache::NoiseModel;
+use unxpec_defense::CleanupSpec;
+use unxpec_stats::ascii;
+
+/// One point of the votes sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VotesPoint {
+    /// Samples per bit.
+    pub votes: usize,
+    /// Decoding accuracy.
+    pub accuracy: f64,
+    /// Effective leakage rate (bits/s at 2 GHz).
+    pub bps: f64,
+}
+
+/// The accuracy-vs-votes sweep.
+#[derive(Debug, Clone)]
+pub struct VotesSweep {
+    /// Points for 1, 3, 5, 7 votes.
+    pub points: Vec<VotesPoint>,
+    /// Whether eviction sets were primed.
+    pub eviction_sets: bool,
+}
+
+impl VotesSweep {
+    /// CSV rows: `votes,accuracy,bps`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("votes,accuracy,bps\n");
+        for p in &self.points {
+            out.push_str(&format!("{},{:.4},{:.1}\n", p.votes, p.accuracy, p.bps));
+        }
+        out
+    }
+}
+
+/// Runs the sweep over `bits` random bits per point under realistic
+/// noise.
+pub fn run(use_eviction_sets: bool, bits: usize, seed: u64) -> VotesSweep {
+    let points = [1usize, 3, 5, 7]
+        .into_iter()
+        .map(|votes| {
+            let cfg = AttackConfig::paper_no_es()
+                .with_eviction_sets(use_eviction_sets)
+                .with_seed(seed);
+            let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()))
+                .with_measurement_noise(MeasurementNoise::calibrated(seed ^ votes as u64));
+            chan.core_mut()
+                .hierarchy_mut()
+                .set_noise(NoiseModel::default_sim(seed ^ 0x5e));
+            chan.calibrate((bits / 2).max(30));
+            let secrets = UnxpecChannel::random_secret(bits, seed ^ 0xb17);
+            let out = chan.leak_with_votes(&secrets, votes);
+            VotesPoint {
+                votes,
+                accuracy: out.accuracy(),
+                bps: out.bandwidth_bps(2e9),
+            }
+        })
+        .collect();
+    VotesSweep {
+        points,
+        eviction_sets: use_eviction_sets,
+    }
+}
+
+impl fmt::Display for VotesSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Accuracy vs samples per bit ({})",
+            if self.eviction_sets {
+                "with eviction sets"
+            } else {
+                "no eviction sets"
+            }
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.votes),
+                    format!("{:.1}%", p.accuracy * 100.0),
+                    format!("{:.0} Kbps", p.bps / 1e3),
+                ]
+            })
+            .collect();
+        write!(f, "{}", ascii::table(&["votes", "accuracy", "rate"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_votes_buy_accuracy_and_cost_rate() {
+        let sweep = run(false, 120, 1);
+        let one = sweep.points[0];
+        let seven = sweep.points[3];
+        assert!(
+            seven.accuracy >= one.accuracy,
+            "7 votes must not decode worse: {} vs {}",
+            one.accuracy,
+            seven.accuracy
+        );
+        assert!(
+            seven.accuracy > 0.97,
+            "median-of-7 should nearly eliminate errors: {}",
+            seven.accuracy
+        );
+        assert!(seven.bps < one.bps / 4.0, "votes cost rate");
+    }
+
+    #[test]
+    fn display_lists_all_points() {
+        let text = run(false, 30, 2).to_string();
+        assert!(text.contains("votes"));
+        assert!(text.contains("Kbps"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # unxpec
+//!
+//! A from-scratch Rust reproduction of **"unXpec: Breaking Undo-based
+//! Safe Speculation"** (Miao, Li, Bu, Yang — HPCA 2022).
+//!
+//! unXpec is the first speculative-execution attack against *Undo*
+//! defenses such as CleanupSpec: instead of probing cache contents (which
+//! the defense erases), it times the **rollback itself**. Undoing the
+//! cache-state changes of squashed transient loads — invalidating their
+//! installs and restoring the lines they evicted — takes time proportional
+//! to the amount of change, so a secret encoded in *whether transient
+//! loads hit or miss* becomes a ~22-cycle timing difference (~32 with
+//! eviction sets priming the target sets), enough for a >90%-accurate
+//! covert channel at one sample per bit.
+//!
+//! This crate re-exports the whole stack and adds per-figure experiment
+//! drivers:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | addressing + backing memory | [`mem`] (`unxpec-mem`) |
+//! | cache hierarchy, MSHRs, NoMo, CEASER | [`cache`] (`unxpec-cache`) |
+//! | out-of-order speculative core + micro-ISA | [`cpu`] (`unxpec-cpu`) |
+//! | CleanupSpec and the other defenses | [`defense`] (`unxpec-defense`) |
+//! | the unXpec attack + Spectre v1 baseline | [`attack`] (`unxpec-attack`) |
+//! | SPEC-2017-like workloads | [`workloads`] (`unxpec-workloads`) |
+//! | statistics / rendering | [`stats`] (`unxpec-stats`) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unxpec::attack::{AttackConfig, UnxpecChannel};
+//! use unxpec::defense::CleanupSpec;
+//!
+//! // Build the covert channel against CleanupSpec and leak a few bits.
+//! let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
+//! chan.calibrate(20);
+//! let secrets = vec![true, false, true, true, false];
+//! let out = chan.leak(&secrets);
+//! assert_eq!(out.guesses, secrets); // noiseless: perfect decoding
+//! ```
+//!
+//! # Reproducing the paper
+//!
+//! Each table and figure of the paper's evaluation has a driver in
+//! [`experiments`]; the `unxpec-bench` crate's `experiments` binary runs
+//! them all and prints the same rows/series the paper reports. See
+//! `EXPERIMENTS.md` in the repository root for paper-vs-measured values.
+
+pub use unxpec_attack as attack;
+pub use unxpec_cache as cache;
+pub use unxpec_cpu as cpu;
+pub use unxpec_defense as defense;
+pub use unxpec_mem as mem;
+pub use unxpec_stats as stats;
+pub use unxpec_workloads as workloads;
+
+pub mod experiments;

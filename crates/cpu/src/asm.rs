@@ -1,0 +1,445 @@
+//! Text assembler for the micro-ISA.
+//!
+//! Lets attack programs and test kernels live in `.asm` files instead of
+//! builder code. The accepted syntax is exactly what [`Program`]'s
+//! `Display` listing prints (minus the PC column), so
+//! `parse(program.to_string())` round-trips:
+//!
+//! ```text
+//! ; one measurement round (comments with ';' or '#')
+//! start:
+//!   mov r1, 0x1000
+//!   load r2, [r1+0]
+//!   Add r3, r2, 5
+//!   bLt r3, 10 -> start    ; labels or numeric @targets
+//!   rdtscp r20
+//!   halt
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{AluOp, Cond, Inst, Operand, Reg};
+use crate::program::{Program, ProgramBuilder};
+
+/// An assembly parse error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
+    let tok = tok.trim();
+    let num = tok
+        .strip_prefix('r')
+        .or_else(|| tok.strip_prefix('R'))
+        .ok_or_else(|| err(line, format!("expected register, got {tok:?}")))?;
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register {tok:?}")))?;
+    if (n as usize) < crate::isa::NUM_REGS {
+        Ok(Reg(n))
+    } else {
+        Err(err(line, format!("register {tok} out of range")))
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<u64, ParseAsmError> {
+    let tok = tok.trim();
+    let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| err(line, format!("bad immediate {tok:?}")))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseAsmError> {
+    let tok = tok.trim();
+    if tok.starts_with('r') || tok.starts_with('R') {
+        parse_reg(tok, line).map(Operand::Reg)
+    } else {
+        parse_imm(tok, line).map(Operand::Imm)
+    }
+}
+
+/// Parses `[rN+off]` / `[rN-off]` / `[rN]` into `(base, offset)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), ParseAsmError> {
+    let tok = tok.trim();
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [reg+offset], got {tok:?}")))?;
+    if let Some(plus) = inner.find('+') {
+        let base = parse_reg(&inner[..plus], line)?;
+        let off = parse_imm(&inner[plus + 1..], line)? as i64;
+        Ok((base, off))
+    } else if let Some(minus) = inner.rfind('-') {
+        let base = parse_reg(&inner[..minus], line)?;
+        let off = parse_imm(&inner[minus + 1..], line)? as i64;
+        Ok((base, -off))
+    } else {
+        Ok((parse_reg(inner, line)?, 0))
+    }
+}
+
+fn split_args(rest: &str) -> Vec<String> {
+    rest.split(',').map(|a| a.trim().to_string()).collect()
+}
+
+fn parse_alu(op: AluOp, rest: &str, line: usize) -> Result<Inst, ParseAsmError> {
+    let args = split_args(rest);
+    if args.len() != 3 {
+        return Err(err(line, "ALU ops take 3 operands"));
+    }
+    Ok(Inst::Alu {
+        op,
+        dst: parse_reg(&args[0], line)?,
+        a: parse_reg(&args[1], line)?,
+        b: parse_operand(&args[2], line)?,
+    })
+}
+
+/// A parsed branch target: a label name or a numeric `@N`.
+#[derive(Debug, Clone)]
+enum Target {
+    Label(String),
+    Absolute(usize),
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, ParseAsmError> {
+    let tok = tok.trim();
+    if let Some(num) = tok.strip_prefix('@') {
+        num.parse()
+            .map(Target::Absolute)
+            .map_err(|_| err(line, format!("bad absolute target {tok:?}")))
+    } else if tok.is_empty() {
+        Err(err(line, "missing branch target"))
+    } else {
+        Ok(Target::Label(tok.to_string()))
+    }
+}
+
+/// Parses an assembly listing into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source line, or an error for
+/// an undefined label.
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_cpu::{parse_asm, Core, Reg};
+///
+/// let program = parse_asm(
+///     "mov r1, 21\n\
+///      add r2, r1, r1\n\
+///      halt\n",
+/// ).unwrap();
+/// assert_eq!(Core::table_i().run(&program).reg(Reg(2)), 42);
+/// ```
+pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
+    // First pass: strip comments, collect label positions and raw
+    // instruction lines.
+    let mut items: Vec<(usize, String)> = Vec::new(); // (src line, inst text)
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = raw.split([';', '#']).next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(name) = code.strip_suffix(':') {
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(err(line_no, format!("bad label {code:?}")));
+            }
+            if labels.insert(name.to_string(), items.len()).is_some() {
+                return Err(err(line_no, format!("label {name:?} defined twice")));
+            }
+        } else {
+            items.push((line_no, code.to_string()));
+        }
+    }
+
+    let resolve = |target: Target, line: usize| -> Result<usize, ParseAsmError> {
+        match target {
+            Target::Absolute(pc) => Ok(pc),
+            Target::Label(name) => labels
+                .get(&name)
+                .copied()
+                .ok_or_else(|| err(line, format!("undefined label {name:?}"))),
+        }
+    };
+
+    // Invert the label map so labels attach during the build pass.
+    let mut labels_at: HashMap<usize, Vec<String>> = HashMap::new();
+    for (name, pc) in &labels {
+        labels_at.entry(*pc).or_default().push(name.clone());
+    }
+
+    let mut b = ProgramBuilder::new();
+    for (index, (line, code)) in items.iter().enumerate() {
+        let (line, code) = (*line, code.clone());
+        if let Some(names) = labels_at.get(&index) {
+            for name in names {
+                b.label(name);
+            }
+        }
+        let (mnemonic, rest) = match code.find(char::is_whitespace) {
+            Some(i) => (&code[..i], code[i..].trim()),
+            None => (code.as_str(), ""),
+        };
+        let lower = mnemonic.to_ascii_lowercase();
+        let inst = match lower.as_str() {
+            "mov" => {
+                let args = split_args(rest);
+                if args.len() != 2 {
+                    return Err(err(line, "mov takes 2 operands"));
+                }
+                Inst::MovImm {
+                    dst: parse_reg(&args[0], line)?,
+                    imm: parse_imm(&args[1], line)?,
+                }
+            }
+            "add" => parse_alu(AluOp::Add, rest, line)?,
+            "sub" => parse_alu(AluOp::Sub, rest, line)?,
+            "mul" => parse_alu(AluOp::Mul, rest, line)?,
+            "and" => parse_alu(AluOp::And, rest, line)?,
+            "or" => parse_alu(AluOp::Or, rest, line)?,
+            "xor" => parse_alu(AluOp::Xor, rest, line)?,
+            "shl" => parse_alu(AluOp::Shl, rest, line)?,
+            "shr" => parse_alu(AluOp::Shr, rest, line)?,
+            "load" => {
+                let args = split_args(rest);
+                if args.len() != 2 {
+                    return Err(err(line, "load takes `dst, [base+off]`"));
+                }
+                let (base, offset) = parse_mem(&args[1], line)?;
+                Inst::Load {
+                    dst: parse_reg(&args[0], line)?,
+                    base,
+                    offset,
+                }
+            }
+            "store" => {
+                let args = split_args(rest);
+                if args.len() != 2 {
+                    return Err(err(line, "store takes `[base+off], src`"));
+                }
+                let (base, offset) = parse_mem(&args[0], line)?;
+                Inst::Store {
+                    src: parse_reg(&args[1], line)?,
+                    base,
+                    offset,
+                }
+            }
+            "clflush" => {
+                let (base, offset) = parse_mem(rest, line)?;
+                Inst::Flush { base, offset }
+            }
+            "mfence" | "fence" => Inst::Fence,
+            "rdtscp" | "rdtsc" => Inst::ReadTime {
+                dst: parse_reg(rest, line)?,
+            },
+            "jmp" | "jump" => {
+                if rest.starts_with('[') {
+                    let (base, offset) = parse_mem(rest, line)?;
+                    if offset != 0 {
+                        return Err(err(line, "indirect jumps take a bare register"));
+                    }
+                    Inst::JumpInd { target: base }
+                } else {
+                    Inst::Jump {
+                        target: resolve(parse_target(rest, line)?, line)?,
+                    }
+                }
+            }
+            "call" => {
+                let args = split_args(rest);
+                if args.len() != 2 {
+                    return Err(err(line, "call takes `target, sp`"));
+                }
+                Inst::Call {
+                    target: resolve(parse_target(&args[0], line)?, line)?,
+                    sp: parse_reg(&args[1], line)?,
+                }
+            }
+            "ret" => Inst::Ret {
+                sp: parse_reg(rest, line)?,
+            },
+            "nop" => Inst::Nop,
+            "halt" => Inst::Halt,
+            _ if lower.starts_with('b') => {
+                let cond = match &lower[1..] {
+                    "lt" => Cond::Lt,
+                    "ge" => Cond::Ge,
+                    "eq" => Cond::Eq,
+                    "ne" => Cond::Ne,
+                    _ => return Err(err(line, format!("unknown mnemonic {mnemonic:?}"))),
+                };
+                // `bLt r1, r2 -> label` or `blt r1, r2, label`.
+                let (operands, target) = if let Some(arrow) = rest.find("->") {
+                    (&rest[..arrow], rest[arrow + 2..].trim())
+                } else {
+                    let args = rest;
+                    match args.rfind(',') {
+                        Some(i) => (&args[..i], args[i + 1..].trim()),
+                        None => return Err(err(line, "branch needs a target")),
+                    }
+                };
+                let args = split_args(operands);
+                if args.len() != 2 {
+                    return Err(err(line, "branch takes 2 comparands"));
+                }
+                Inst::Branch {
+                    cond,
+                    a: parse_reg(&args[0], line)?,
+                    b: parse_operand(&args[1], line)?,
+                    target: resolve(parse_target(target, line)?, line)?,
+                }
+            }
+            other => return Err(err(line, format!("unknown mnemonic {other:?}"))),
+        };
+        b.push(inst);
+    }
+    // Trailing labels (pointing one past the last instruction).
+    if let Some(names) = labels_at.get(&b.here()) {
+        for name in names {
+            b.label(name);
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::Core;
+
+    #[test]
+    fn parses_a_full_program() {
+        let program = parse_asm(
+            "; compute 10 * 4 via a loop\n\
+             mov r1, 0\n\
+             mov r2, 0\n\
+             loop:\n\
+             add r1, r1, 4   # accumulate\n\
+             add r2, r2, 1\n\
+             bLt r2, 10 -> loop\n\
+             halt\n",
+        )
+        .unwrap();
+        let r = Core::table_i().run(&program);
+        assert_eq!(r.reg(Reg(1)), 40);
+    }
+
+    #[test]
+    fn memory_and_fence_syntax() {
+        let program = parse_asm(
+            "mov r1, 0x2000\n\
+             mov r2, 99\n\
+             store [r1+8], r2\n\
+             clflush [r1+8]\n\
+             mfence\n\
+             load r3, [r1+8]\n\
+             rdtscp r4\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut core = Core::table_i();
+        let r = core.run(&program);
+        assert_eq!(r.reg(Reg(3)), 99);
+        assert!(r.reg(Reg(4)) > 100, "flushed reload goes to memory");
+    }
+
+    #[test]
+    fn indirect_jump_syntax() {
+        let program = parse_asm(
+            "mov r1, 4\n\
+             jmp [r1]\n\
+             mov r2, 1\n\
+             halt\n\
+             mov r3, 7\n\
+             halt\n",
+        )
+        .unwrap();
+        let r = Core::table_i().run(&program);
+        assert_eq!(r.reg(Reg(3)), 7);
+        assert_eq!(r.reg(Reg(2)), 0);
+    }
+
+    #[test]
+    fn display_listing_round_trips() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x40);
+        b.label("back");
+        b.load(Reg(2), Reg(1), 8);
+        b.sub(Reg(2), Reg(2), 1u64);
+        b.store(Reg(2), Reg(1), -8);
+        b.branch(Cond::Ne, Reg(2), Reg(3), "back");
+        b.flush(Reg(1), 0);
+        b.fence();
+        b.rdtsc(Reg(4));
+        b.jump_ind(Reg(1));
+        b.nop();
+        b.halt();
+        let original = b.build();
+        // Strip the PC column the listing prints.
+        let listing: String = original
+            .to_string()
+            .lines()
+            .map(|l| {
+                let t = l.trim_start();
+                if t.ends_with(':') {
+                    t.to_string()
+                } else {
+                    // "  12  inst" -> "inst"
+                    t.split_once(char::is_whitespace).map(|x| x.1)
+                        .unwrap_or("")
+                        .trim()
+                        .to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_asm(&listing).unwrap();
+        assert_eq!(original.instructions(), reparsed.instructions());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("mov r1, 1\nbogus r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        let e = parse_asm("jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+        let e = parse_asm("mov r99, 1\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = parse_asm("x:\nnop\nx:\nhalt\n").unwrap_err();
+        assert!(e.message.contains("twice"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Core configuration (the processor row of Table I).
+
+use crate::Cycle;
+
+/// Out-of-order core parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Instructions dispatched per cycle.
+    pub dispatch_width: u64,
+    /// Reorder-buffer entries (192 in Table I).
+    pub rob_entries: usize,
+    /// Loads that may issue per cycle.
+    pub load_ports: u64,
+    /// Simple ALU latency.
+    pub alu_latency: Cycle,
+    /// Multiply latency.
+    pub mul_latency: Cycle,
+    /// Cycles from operands-ready to branch resolution.
+    pub branch_resolve_latency: Cycle,
+    /// Pipeline-refill penalty after any squash, before the defense's
+    /// cleanup stall is added.
+    pub squash_penalty: Cycle,
+    /// Latency of the timer read itself.
+    pub timer_latency: Cycle,
+    /// Upper bound on simulated cycles per `run` (runaway guard).
+    pub max_cycles: Cycle,
+    /// Upper bound on committed instructions per `run`.
+    pub max_insts: u64,
+}
+
+impl CoreConfig {
+    /// The configuration of Table I: a 2 GHz out-of-order core with a
+    /// 192-entry ROB.
+    pub fn table_i() -> Self {
+        CoreConfig {
+            dispatch_width: 4,
+            rob_entries: 192,
+            load_ports: 2,
+            alu_latency: 1,
+            mul_latency: 3,
+            branch_resolve_latency: 1,
+            squash_penalty: 5,
+            timer_latency: 2,
+            max_cycles: 2_000_000_000,
+            max_insts: 4_000_000_000,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or capacity is zero.
+    pub fn validate(&self) {
+        assert!(self.dispatch_width > 0, "dispatch width must be positive");
+        assert!(self.rob_entries > 0, "ROB must have entries");
+        assert!(self.load_ports > 0, "need at least one load port");
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::table_i()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_matches_paper() {
+        let cfg = CoreConfig::table_i();
+        assert_eq!(cfg.rob_entries, 192);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB")]
+    fn zero_rob_panics() {
+        let mut cfg = CoreConfig::table_i();
+        cfg.rob_entries = 0;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,1571 @@
+//! The out-of-order speculative core.
+//!
+//! # Model
+//!
+//! The core walks the dynamic instruction stream along the *predicted*
+//! path, computing values eagerly and timing in closed form: every
+//! instruction gets a dispatch cycle (bounded by dispatch width, ROB
+//! occupancy and fences), an operand-ready cycle (last-writer chains
+//! through the register file) and a completion cycle (functional-unit or
+//! cache latency). Loads issue real cache accesses — including on the
+//! wrong path, which is exactly the speculative pollution unXpec and
+//! CleanupSpec are about.
+//!
+//! Every conditional branch opens a *speculation frame* holding a
+//! register checkpoint and the cache effects accumulated while the frame
+//! is open. When the branch's operands become ready the frame resolves:
+//!
+//! * predicted correctly — the frame pops; its loads' speculative tags
+//!   commit once no enclosing frame remains;
+//! * mispredicted — the frame and everything younger squash. The core
+//!   cancels inflight speculative misses, hands the [`Defense`] the exact
+//!   fill effects of the squashed loads, rolls back the register state to
+//!   the checkpoint, and resumes fetch at the correct target once the
+//!   defense says cleanup is done (plus a pipeline-refill penalty).
+//!
+//! The defense's stall is the T3–T5 window of the paper's Fig. 1; the
+//! [`SquashRecord`]s collected per run expose T1–T2 (resolution time) and
+//! T2–T6 (cleanup) to the experiment harness.
+
+use unxpec_cache::{CacheHierarchy, Cycle, Effect, HierarchyConfig, SpecTag};
+use unxpec_mem::{Addr, Memory};
+
+use crate::config::CoreConfig;
+use crate::defense::{Defense, FillPolicy, SquashInfo, UnsafeBaseline};
+use crate::isa::{Inst, Operand, PcIndex, Reg, NUM_REGS};
+use crate::predictor::{BimodalPredictor, BranchPredictor, Btb, ReturnStackBuffer};
+use crate::program::Program;
+use crate::stats::{RunStats, SquashRecord};
+use crate::trace::{ExecTrace, TraceEvent};
+
+/// Result of running a program.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Aggregate statistics and squash records.
+    pub stats: RunStats,
+    /// Final architectural register file.
+    pub regs: [u64; NUM_REGS],
+    /// Whether the run stopped on a cycle or instruction bound rather
+    /// than `Halt`.
+    pub hit_limit: bool,
+    /// Per-instruction execution trace, if tracing was enabled.
+    pub trace: Option<ExecTrace>,
+}
+
+impl RunResult {
+    /// Convenience register read.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+}
+
+/// A speculation frame: one unresolved conditional branch.
+#[derive(Debug)]
+struct Frame {
+    epoch: SpecTag,
+    branch_pc: PcIndex,
+    dispatch_cycle: Cycle,
+    resolve_cycle: Cycle,
+    mispredicted: bool,
+    correct_pc: PcIndex,
+    ckpt_regs: [u64; NUM_REGS],
+    ckpt_avail: [Cycle; NUM_REGS],
+    ckpt_last_complete: Cycle,
+    ckpt_last_mem: Cycle,
+    open_seq: u64,
+    /// `(seq, effect)` of loads executed while this frame was open.
+    effects: Vec<(u64, Effect)>,
+    /// `(seq, line)` of invisible-policy speculative loads (filled only
+    /// at commit).
+    spec_lines: Vec<(u64, unxpec_mem::LineAddr)>,
+    loads: usize,
+    insts: usize,
+}
+
+/// The simulated machine: core + caches + memory + predictor + defense.
+///
+/// State (caches, predictor training, the monotonic clock) persists
+/// across [`Core::run`] calls, so an attack can run its preparation and
+/// measurement rounds as separate programs against a warm machine, just
+/// like successive iterations of a real attack process.
+#[derive(Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    hier: CacheHierarchy,
+    mem: Memory,
+    predictor: Box<dyn BranchPredictor>,
+    btb: Btb,
+    ras: ReturnStackBuffer,
+    defense: Box<dyn Defense>,
+    clock: Cycle,
+    next_epoch: u64,
+    next_seq: u64,
+    tracing: bool,
+}
+
+impl Core {
+    /// Builds a machine with the Table-I core/cache configuration, a
+    /// bimodal predictor and no defense (unsafe baseline).
+    pub fn new(core_cfg: CoreConfig, hier_cfg: HierarchyConfig) -> Self {
+        core_cfg.validate();
+        Core {
+            cfg: core_cfg,
+            hier: CacheHierarchy::new(hier_cfg, 1),
+            mem: Memory::new(),
+            predictor: Box::new(BimodalPredictor::default()),
+            btb: Btb::new(),
+            ras: ReturnStackBuffer::default(),
+            defense: Box::new(UnsafeBaseline),
+            clock: 0,
+            next_epoch: 1,
+            next_seq: 1,
+            tracing: false,
+        }
+    }
+
+    /// Table-I machine with the default configuration everywhere.
+    pub fn table_i() -> Self {
+        Self::new(CoreConfig::table_i(), HierarchyConfig::table_i())
+    }
+
+    /// Replaces the defense.
+    pub fn set_defense(&mut self, defense: Box<dyn Defense>) -> &mut Self {
+        self.defense = defense;
+        self
+    }
+
+    /// Replaces the branch predictor.
+    pub fn set_predictor(&mut self, predictor: Box<dyn BranchPredictor>) -> &mut Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// The branch target buffer (inspection and explicit poisoning).
+    pub fn btb(&self) -> &Btb {
+        &self.btb
+    }
+
+    /// The branch target buffer, mutable.
+    pub fn btb_mut(&mut self) -> &mut Btb {
+        &mut self.btb
+    }
+
+    /// The return stack buffer (inspection).
+    pub fn ras(&self) -> &ReturnStackBuffer {
+        &self.ras
+    }
+
+    /// The active defense's name.
+    pub fn defense_name(&self) -> &'static str {
+        self.defense.name()
+    }
+
+    /// The active defense's counter report (empty for defenses without
+    /// counters).
+    pub fn defense_report(&self) -> String {
+        self.defense.report()
+    }
+
+    /// Architectural memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Architectural memory, mutable (test and attack setup).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Cache hierarchy.
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hier
+    }
+
+    /// Cache hierarchy, mutable (noise configuration, instrumentation).
+    pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.hier
+    }
+
+    /// The monotonic machine clock (advances across runs).
+    pub fn clock(&self) -> Cycle {
+        self.clock
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Enables or disables per-instruction tracing for subsequent runs.
+    pub fn set_tracing(&mut self, on: bool) -> &mut Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Services a cross-thread/cross-core read probe for `line` through
+    /// the active defense (CleanupSpec answers dummy misses for
+    /// speculative installs; the baseline answers honestly).
+    pub fn external_probe(&mut self, line: unxpec_mem::LineAddr) -> unxpec_cache::ExternalProbe {
+        let cycle = self.clock;
+        self.defense.serve_external_probe(&mut self.hier, line, cycle)
+    }
+
+    /// Runs `program` until `Halt` (or a safety bound).
+    pub fn run(&mut self, program: &Program) -> RunResult {
+        self.run_for(program, u64::MAX)
+    }
+
+    /// Runs `program` until `Halt`, a safety bound, or `max_committed`
+    /// committed instructions — the analogue of gem5's `maxinst` used by
+    /// the paper's Fig. 12 methodology.
+    pub fn run_for(&mut self, program: &Program, max_committed: u64) -> RunResult {
+        self.run_with_milestone(program, None, max_committed)
+    }
+
+    /// Like [`Core::run_for`], additionally recording the cycle at which
+    /// `milestone` committed instructions had retired — gem5's
+    /// `startCycles`, used to exclude warmup from measurements.
+    pub fn run_with_milestone(
+        &mut self,
+        program: &Program,
+        milestone: Option<u64>,
+        max_committed: u64,
+    ) -> RunResult {
+        let start_cycle = self.clock;
+        let mut st = Exec {
+            pc: 0,
+            regs: [0; NUM_REGS],
+            avail: [start_cycle; NUM_REGS],
+            cur_cycle: start_cycle,
+            slots_left: self.cfg.dispatch_width,
+            last_complete: start_cycle,
+            last_mem: start_cycle,
+            fence_floor: start_cycle,
+            frames: Vec::new(),
+            rob: std::collections::VecDeque::new(),
+            load_issue_cycle: 0,
+            loads_in_cycle: 0,
+            stats: RunStats::default(),
+            hit_limit: false,
+            trace: if self.tracing { Some(Vec::new()) } else { None },
+            trace_seq: 0,
+        };
+
+        loop {
+            // Safety bounds.
+            if st.cur_cycle - start_cycle > self.cfg.max_cycles
+                || st.stats.committed_insts >= max_committed.min(self.cfg.max_insts)
+            {
+                st.hit_limit = true;
+                break;
+            }
+            if st.stats.milestone_cycle.is_none() {
+                if let Some(m) = milestone {
+                    if st.stats.committed_insts >= m {
+                        st.stats.milestone_cycle = Some(st.cur_cycle - start_cycle);
+                    }
+                }
+            }
+
+            // Resolve frames whose branches have resolved by now.
+            let peek = st.peek_dispatch_cycle();
+            if let Some(idx) = st.earliest_resolvable(peek) {
+                self.resolve_frame(&mut st, idx);
+                continue;
+            }
+
+            // Fetch.
+            let inst = match program.fetch(st.pc) {
+                Some(inst) => inst,
+                None => {
+                    if st.has_mispredicted_frame() {
+                        // Wrong-path fetch ran off the program; stall
+                        // until the squash redirects us.
+                        st.stall_to(st.earliest_mispredict_resolve().expect("frame exists"));
+                        continue;
+                    }
+                    // Correct path fell off the end: treat as halt.
+                    break;
+                }
+            };
+
+            if inst == Inst::Halt {
+                if st.has_mispredicted_frame() {
+                    st.stall_to(st.earliest_mispredict_resolve().expect("frame exists"));
+                    continue;
+                }
+                // Drain remaining (correct) frames and finish.
+                while let Some(idx) = st.earliest_frame() {
+                    let r = st.frames[idx].resolve_cycle;
+                    st.stall_to(r);
+                    self.resolve_frame(&mut st, idx);
+                }
+                break;
+            }
+
+            // ROB occupancy.
+            if st.rob.len() >= self.cfg.rob_entries {
+                let release = st.rob.pop_front().expect("rob nonempty");
+                if release > st.peek_dispatch_cycle() {
+                    st.stall_to(release);
+                    // Frames may resolve during the stall.
+                    continue;
+                }
+            }
+
+            let d = st.take_dispatch_slot(self.cfg.dispatch_width);
+            self.execute(&mut st, program, inst, d);
+        }
+
+        let end = st.cur_cycle.max(st.last_complete);
+        st.stats.cycles = end - start_cycle;
+        self.clock = end + 1;
+        RunResult {
+            stats: st.stats,
+            regs: st.regs,
+            hit_limit: st.hit_limit,
+            trace: st.trace.map(|events| ExecTrace { events }),
+        }
+    }
+
+    fn execute(&mut self, st: &mut Exec, _program: &Program, inst: Inst, d: Cycle) {
+        let pc = st.pc;
+        let wrong_path = st.has_mispredicted_frame();
+        if wrong_path {
+            st.stats.squashed_insts += 1;
+        } else {
+            st.stats.committed_insts += 1;
+        }
+        for f in &mut st.frames {
+            f.insts += 1;
+        }
+        let squash_at = st.earliest_mispredict_resolve();
+
+        let mut complete = d; // instruction completion for ROB release
+        match inst {
+            Inst::Nop => {
+                st.pc += 1;
+            }
+            Inst::MovImm { dst, imm } => {
+                st.regs[dst.index()] = imm;
+                st.avail[dst.index()] = d;
+                st.pc += 1;
+            }
+            Inst::Alu { op, dst, a, b } => {
+                let (bv, bav) = st.operand(b);
+                let ready = st.avail[a.index()].max(bav).max(d);
+                let lat = match op {
+                    crate::isa::AluOp::Mul => self.cfg.mul_latency,
+                    _ => self.cfg.alu_latency,
+                };
+                let done = ready + lat;
+                st.regs[dst.index()] = op.apply(st.regs[a.index()], bv);
+                st.avail[dst.index()] = done;
+                complete = done;
+                st.pc += 1;
+            }
+            Inst::Load { dst, base, offset } => {
+                let addr = Addr::new(
+                    st.regs[base.index()].wrapping_add(offset as u64) & !7,
+                );
+                let ready = st.avail[base.index()].max(d).max(st.fence_floor);
+                let start = st.alloc_load_slot(ready, self.cfg.load_ports);
+                let suppressed = squash_at.map(|s| start >= s).unwrap_or(false);
+                if suppressed {
+                    // Squash arrives before this load could issue: it
+                    // never produces a value, so dependents only become
+                    // "ready" at the squash itself (where they die too).
+                    // This keeps dependent wrong-path loads from firing
+                    // with a garbage address.
+                    let squash = squash_at.expect("suppression implies a pending squash");
+                    st.regs[dst.index()] = 0;
+                    st.avail[dst.index()] = squash;
+                    complete = start;
+                } else {
+                    let tag = st.youngest_epoch();
+                    let policy = if tag.is_some() {
+                        self.defense.fill_policy()
+                    } else {
+                        FillPolicy::Eager
+                    };
+                    // Fill-at-commit policies track the line instead of
+                    // filling now.
+                    let mut deferred_line = None;
+                    let outcome = match policy {
+                        FillPolicy::Eager => self.hier.access_data(addr.line(), start, tag),
+                        FillPolicy::Invisible => {
+                            deferred_line = Some(addr.line());
+                            let mut o = self.hier.access_data_no_fill(addr.line(), start);
+                            o.complete_cycle += self.defense.speculative_load_extra_latency();
+                            o
+                        }
+                        FillPolicy::DelayOnMiss => {
+                            if self.hier.l1_contains(addr.line()) {
+                                // Speculative hits proceed normally.
+                                self.hier.access_data(addr.line(), start, tag)
+                            } else if self.defense.delayed_load_value_predicted() {
+                                // Value prediction supplies the result;
+                                // the shadow request validates it without
+                                // touching cache state.
+                                deferred_line = Some(addr.line());
+                                self.hier.access_data_no_fill(addr.line(), start)
+                            } else {
+                                // The request waits until every enclosing
+                                // branch resolves, then pays the miss.
+                                deferred_line = Some(addr.line());
+                                let resolve_all = st
+                                    .frames
+                                    .iter()
+                                    .map(|f| f.resolve_cycle)
+                                    .max()
+                                    .unwrap_or(start)
+                                    .max(start);
+                                if wrong_path {
+                                    // Squashed before it can issue: it
+                                    // never books bank or L2 time (no
+                                    // contention footprint — the very
+                                    // property delay-on-miss buys).
+                                    let lat = self.hier.estimate_access_latency(addr.line());
+                                    unxpec_cache::AccessOutcome {
+                                        issue_cycle: start,
+                                        complete_cycle: resolve_all + lat,
+                                        level: unxpec_cache::HitLevel::Memory,
+                                        effects: vec![],
+                                    }
+                                } else {
+                                    let mut o =
+                                        self.hier.access_data_no_fill(addr.line(), resolve_all);
+                                    o.issue_cycle = start;
+                                    o
+                                }
+                            }
+                        }
+                    };
+                    let value = self.mem.read_u64(addr);
+                    st.regs[dst.index()] = value;
+                    st.avail[dst.index()] = outcome.complete_cycle;
+                    st.last_mem = st.last_mem.max(outcome.complete_cycle);
+                    complete = outcome.complete_cycle;
+                    if !wrong_path {
+                        st.stats.committed_loads += 1;
+                    }
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    for f in &mut st.frames {
+                        f.loads += 1;
+                        for e in &outcome.effects {
+                            f.effects.push((seq, *e));
+                        }
+                        if let Some(line) = deferred_line {
+                            f.spec_lines.push((seq, line));
+                        }
+                    }
+                }
+                st.pc += 1;
+            }
+            Inst::Store { src, base, offset } => {
+                let addr = Addr::new(
+                    st.regs[base.index()].wrapping_add(offset as u64) & !7,
+                );
+                let ready = st.avail[base.index()]
+                    .max(st.avail[src.index()])
+                    .max(d)
+                    .max(st.fence_floor);
+                if wrong_path {
+                    // Stores never leave the store buffer speculatively.
+                    complete = ready + 1;
+                } else {
+                    self.mem.write_u64(addr, st.regs[src.index()]);
+                    let outcome = self.hier.write_data(addr.line(), ready);
+                    st.last_mem = st.last_mem.max(outcome.complete_cycle);
+                    complete = outcome.complete_cycle;
+                }
+                st.pc += 1;
+            }
+            Inst::Flush { base, offset } => {
+                let addr = Addr::new(st.regs[base.index()].wrapping_add(offset as u64));
+                let ready = st.avail[base.index()].max(d).max(st.fence_floor);
+                if wrong_path {
+                    complete = ready + 1;
+                } else {
+                    let done = self.hier.flush_line(addr.line(), ready);
+                    st.last_mem = st.last_mem.max(done);
+                    complete = done;
+                }
+                st.pc += 1;
+            }
+            Inst::Fence => {
+                // Younger instructions wait for all older memory traffic.
+                let done = st.last_mem.max(d);
+                st.fence_floor = st.fence_floor.max(done);
+                // The fence also gates dispatch itself.
+                st.stall_to(done);
+                complete = done;
+                st.pc += 1;
+            }
+            Inst::ReadTime { dst } => {
+                // Serializing timer read: waits for every older
+                // instruction to complete, like rdtscp + lfence.
+                let start = st.last_complete.max(d);
+                st.regs[dst.index()] = start;
+                st.avail[dst.index()] = start + self.cfg.timer_latency;
+                complete = start + self.cfg.timer_latency;
+                st.pc += 1;
+            }
+            Inst::Jump { target } => {
+                st.pc = target;
+            }
+            Inst::Branch { cond, a, b, target } => {
+                let (bv, bav) = st.operand(b);
+                let ready = st.avail[a.index()].max(bav).max(d);
+                let resolve = ready + self.cfg.branch_resolve_latency;
+                let actual = cond.eval(st.regs[a.index()], bv);
+                let predicted = self.predictor.predict(st.pc);
+                // Predictor state updates at commit: wrong-path branches
+                // never train it (they are squashed before retiring).
+                if !wrong_path {
+                    self.predictor.update(st.pc, actual);
+                    st.stats.branches += 1;
+                    if predicted != actual {
+                        st.stats.mispredicts += 1;
+                    }
+                }
+                let correct_pc = if actual { target } else { st.pc + 1 };
+                let followed_pc = if predicted { target } else { st.pc + 1 };
+                let epoch = SpecTag(self.next_epoch);
+                self.next_epoch += 1;
+                st.frames.push(Frame {
+                    epoch,
+                    branch_pc: st.pc,
+                    dispatch_cycle: d,
+                    resolve_cycle: resolve,
+                    mispredicted: predicted != actual,
+                    correct_pc,
+                    ckpt_regs: st.regs,
+                    ckpt_avail: st.avail,
+                    ckpt_last_complete: st.last_complete,
+                    ckpt_last_mem: st.last_mem,
+                    open_seq: self.next_seq,
+                    effects: Vec::new(),
+                    spec_lines: Vec::new(),
+                    loads: 0,
+                    insts: 0,
+                });
+                complete = resolve;
+                st.pc = followed_pc;
+            }
+            Inst::JumpInd { target } => {
+                let ready = st.avail[target.index()].max(d);
+                let resolve = ready + self.cfg.branch_resolve_latency;
+                let actual = st.regs[target.index()] as PcIndex;
+                // BTB miss predicts fall-through (the front end has no
+                // better guess and keeps fetching sequentially).
+                let predicted = self.btb.predict(st.pc).unwrap_or(st.pc + 1);
+                if !wrong_path {
+                    self.btb.update(st.pc, actual);
+                    st.stats.branches += 1;
+                    if predicted != actual {
+                        st.stats.mispredicts += 1;
+                    }
+                }
+                let epoch = SpecTag(self.next_epoch);
+                self.next_epoch += 1;
+                st.frames.push(Frame {
+                    epoch,
+                    branch_pc: st.pc,
+                    dispatch_cycle: d,
+                    resolve_cycle: resolve,
+                    mispredicted: predicted != actual,
+                    correct_pc: actual,
+                    ckpt_regs: st.regs,
+                    ckpt_avail: st.avail,
+                    ckpt_last_complete: st.last_complete,
+                    ckpt_last_mem: st.last_mem,
+                    open_seq: self.next_seq,
+                    effects: Vec::new(),
+                    spec_lines: Vec::new(),
+                    loads: 0,
+                    insts: 0,
+                });
+                complete = resolve;
+                st.pc = predicted;
+            }
+            Inst::Call { target, sp } => {
+                // Push the return address onto the in-memory stack; like
+                // stores, the write drains at commit (wrong-path calls
+                // leave memory untouched).
+                let ret_pc = (st.pc + 1) as u64;
+                let new_sp = st.regs[sp.index()].wrapping_sub(8);
+                let ready = st.avail[sp.index()].max(d).max(st.fence_floor);
+                st.regs[sp.index()] = new_sp;
+                st.avail[sp.index()] = ready + 1;
+                if wrong_path {
+                    complete = ready + 1;
+                } else {
+                    let addr = Addr::new(new_sp & !7);
+                    self.mem.write_u64(addr, ret_pc);
+                    let outcome = self.hier.write_data(addr.line(), ready);
+                    st.last_mem = st.last_mem.max(outcome.complete_cycle);
+                    complete = outcome.complete_cycle;
+                    // The RSB snapshots the predicted return site.
+                    self.ras.push(st.pc + 1);
+                }
+                st.pc = target;
+            }
+            Inst::Ret { sp } => {
+                // The architectural target is loaded from the stack; the
+                // front end follows the RSB immediately.
+                let addr = Addr::new(st.regs[sp.index()] & !7);
+                let ready = st.avail[sp.index()].max(d).max(st.fence_floor);
+                let start = st.alloc_load_slot(ready, self.cfg.load_ports);
+                st.regs[sp.index()] = st.regs[sp.index()].wrapping_add(8);
+                st.avail[sp.index()] = ready + 1;
+                let suppressed = squash_at.map(|sq| start >= sq).unwrap_or(false);
+                if suppressed {
+                    // Dies before it can issue; treat like a suppressed
+                    // load with an unreachable frame.
+                    complete = start;
+                    st.pc += 1;
+                } else {
+                    let tag = st.youngest_epoch();
+                    let outcome = self.hier.access_data(addr.line(), start, tag);
+                    let actual = self.mem.read_u64(addr) as PcIndex;
+                    let resolve = outcome.complete_cycle + self.cfg.branch_resolve_latency;
+                    let predicted = if wrong_path {
+                        self.ras.peek().unwrap_or(st.pc + 1)
+                    } else {
+                        self.ras.pop().unwrap_or(st.pc + 1)
+                    };
+                    st.last_mem = st.last_mem.max(outcome.complete_cycle);
+                    if !wrong_path {
+                        st.stats.branches += 1;
+                        if predicted != actual {
+                            st.stats.mispredicts += 1;
+                        }
+                    }
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    for f in &mut st.frames {
+                        f.loads += 1;
+                        for e in &outcome.effects {
+                            f.effects.push((seq, *e));
+                        }
+                    }
+                    let epoch = SpecTag(self.next_epoch);
+                    self.next_epoch += 1;
+                    st.frames.push(Frame {
+                        epoch,
+                        branch_pc: st.pc,
+                        dispatch_cycle: d,
+                        resolve_cycle: resolve,
+                        mispredicted: predicted != actual,
+                        correct_pc: actual,
+                        ckpt_regs: st.regs,
+                        ckpt_avail: st.avail,
+                        ckpt_last_complete: st.last_complete,
+                        ckpt_last_mem: st.last_mem,
+                        open_seq: self.next_seq,
+                        effects: Vec::new(),
+                        spec_lines: Vec::new(),
+                        loads: 0,
+                        insts: 0,
+                    });
+                    complete = resolve;
+                    st.pc = predicted;
+                }
+            }
+            Inst::Halt => unreachable!("halt handled in the main loop"),
+        }
+
+        st.last_complete = st.last_complete.max(complete);
+        // ROB release: in-order commit discipline.
+        let release = st.rob.back().copied().unwrap_or(0).max(complete);
+        st.rob.push_back(release);
+        if let Some(trace) = st.trace.as_mut() {
+            trace.push(TraceEvent {
+                seq: st.trace_seq,
+                pc,
+                inst,
+                dispatch_cycle: d,
+                complete_cycle: complete,
+                wrong_path,
+            });
+            st.trace_seq += 1;
+        }
+    }
+
+    /// Resolves the frame at `idx` (its branch's resolve cycle has been
+    /// reached).
+    fn resolve_frame(&mut self, st: &mut Exec, idx: usize) {
+        if !st.frames[idx].mispredicted {
+            let frame = st.frames.remove(idx);
+            st.stall_to(frame.resolve_cycle);
+            if st.frames.is_empty() {
+                if !frame.effects.is_empty() {
+                    let effects: Vec<Effect> =
+                        frame.effects.iter().map(|(_, e)| *e).collect();
+                    self.defense.on_commit_epoch(&mut self.hier, &effects);
+                }
+                // Invisible-policy loads expose their data now: the
+                // buffered fills become architectural.
+                for (_, line) in &frame.spec_lines {
+                    self.hier.access_data(*line, frame.resolve_cycle, None);
+                }
+            }
+            return;
+        }
+
+        // Mis-speculation: squash this frame and everything younger.
+        let younger = st.frames.split_off(idx);
+        let frame = younger.into_iter().next().expect("frame at idx");
+        let resolve = frame.resolve_cycle;
+        let effects: Vec<Effect> = frame.effects.iter().map(|(_, e)| *e).collect();
+        let open_seq = frame.open_seq;
+
+        let l1_installs = effects.iter().filter(|e| e.is_l1()).count();
+        let l1_evictions = effects
+            .iter()
+            .filter(|e| e.is_l1() && e.victim().is_some())
+            .count();
+        let info = SquashInfo {
+            resolve_cycle: resolve,
+            branch_pc: frame.branch_pc,
+            epoch: frame.epoch,
+            transient_effects: effects,
+            squashed_loads: frame.loads,
+            squashed_insts: frame.insts,
+        };
+        let redirect = self.defense.on_squash(&mut self.hier, &info).max(resolve);
+
+        // Roll the architectural path back to the checkpoint.
+        st.regs = frame.ckpt_regs;
+        st.avail = frame.ckpt_avail;
+        st.last_complete = frame.ckpt_last_complete.max(redirect);
+        st.last_mem = frame.ckpt_last_mem.max(redirect);
+        st.pc = frame.correct_pc;
+        st.stall_to(redirect + self.cfg.squash_penalty);
+
+        // Squashed loads' effects vanish from enclosing frames too: the
+        // defense already rolled them back.
+        for f in &mut st.frames {
+            f.effects.retain(|(seq, _)| *seq < open_seq);
+            f.spec_lines.retain(|(seq, _)| *seq < open_seq);
+        }
+
+        st.stats.cleanup_stall_cycles += redirect - resolve;
+        st.stats.squashes.push(SquashRecord {
+            branch_pc: frame.branch_pc,
+            dispatch_cycle: frame.dispatch_cycle,
+            resolve_cycle: resolve,
+            redirect_cycle: redirect,
+            squashed_loads: frame.loads,
+            l1_installs,
+            l1_evictions,
+        });
+    }
+}
+
+/// Per-run mutable execution state.
+struct Exec {
+    pc: PcIndex,
+    regs: [u64; NUM_REGS],
+    avail: [Cycle; NUM_REGS],
+    cur_cycle: Cycle,
+    slots_left: u64,
+    last_complete: Cycle,
+    last_mem: Cycle,
+    fence_floor: Cycle,
+    frames: Vec<Frame>,
+    rob: std::collections::VecDeque<Cycle>,
+    load_issue_cycle: Cycle,
+    loads_in_cycle: u64,
+    stats: RunStats,
+    hit_limit: bool,
+    trace: Option<Vec<TraceEvent>>,
+    trace_seq: u64,
+}
+
+impl Exec {
+    fn operand(&self, op: Operand) -> (u64, Cycle) {
+        match op {
+            Operand::Reg(r) => (self.regs[r.index()], self.avail[r.index()]),
+            Operand::Imm(i) => (i, 0),
+        }
+    }
+
+    fn peek_dispatch_cycle(&self) -> Cycle {
+        if self.slots_left == 0 {
+            self.cur_cycle + 1
+        } else {
+            self.cur_cycle
+        }
+    }
+
+    fn take_dispatch_slot(&mut self, width: u64) -> Cycle {
+        if self.slots_left == 0 {
+            self.cur_cycle += 1;
+            self.slots_left = width;
+        }
+        self.slots_left -= 1;
+        self.cur_cycle
+    }
+
+    fn stall_to(&mut self, cycle: Cycle) {
+        if cycle > self.cur_cycle {
+            self.cur_cycle = cycle;
+            self.slots_left = 0; // fresh cycle starts on next dispatch
+        }
+    }
+
+    fn alloc_load_slot(&mut self, ready: Cycle, ports: u64) -> Cycle {
+        let mut start = ready;
+        if start < self.load_issue_cycle {
+            start = self.load_issue_cycle;
+        }
+        if start == self.load_issue_cycle && self.loads_in_cycle >= ports {
+            start += 1;
+        }
+        if start > self.load_issue_cycle {
+            self.load_issue_cycle = start;
+            self.loads_in_cycle = 0;
+        }
+        self.loads_in_cycle += 1;
+        start
+    }
+
+    fn youngest_epoch(&self) -> Option<SpecTag> {
+        self.frames.last().map(|f| f.epoch)
+    }
+
+    fn has_mispredicted_frame(&self) -> bool {
+        self.frames.iter().any(|f| f.mispredicted)
+    }
+
+    fn earliest_mispredict_resolve(&self) -> Option<Cycle> {
+        self.frames
+            .iter()
+            .filter(|f| f.mispredicted)
+            .map(|f| f.resolve_cycle)
+            .min()
+    }
+
+    fn earliest_frame(&self) -> Option<usize> {
+        (0..self.frames.len()).min_by_key(|&i| self.frames[i].resolve_cycle)
+    }
+
+    fn earliest_resolvable(&self, now: Cycle) -> Option<usize> {
+        self.earliest_frame()
+            .filter(|&i| self.frames[i].resolve_cycle <= now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Cond;
+    use crate::predictor::NeverTaken;
+    use crate::program::ProgramBuilder;
+
+    fn run(b: ProgramBuilder) -> RunResult {
+        Core::table_i().run(&b.build())
+    }
+
+    #[test]
+    fn straight_line_alu() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 10);
+        b.mov(Reg(2), 4);
+        b.sub(Reg(3), Reg(1), Reg(2));
+        b.mul(Reg(4), Reg(3), 7u64);
+        b.halt();
+        let r = run(b);
+        assert_eq!(r.reg(Reg(3)), 6);
+        assert_eq!(r.reg(Reg(4)), 42);
+        assert_eq!(r.stats.committed_insts, 4);
+        assert!(!r.hit_limit);
+    }
+
+    #[test]
+    fn load_reads_architectural_memory() {
+        let mut core = Core::table_i();
+        core.mem_mut().write_u64(Addr::new(0x1000), 0xabcd);
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x1000);
+        b.load(Reg(2), Reg(1), 0);
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.reg(Reg(2)), 0xabcd);
+        assert_eq!(r.stats.committed_loads, 1);
+    }
+
+    #[test]
+    fn store_then_load_forwards_value() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x2000);
+        b.mov(Reg(2), 99);
+        b.store(Reg(2), Reg(1), 0);
+        b.load(Reg(3), Reg(1), 0);
+        b.halt();
+        assert_eq!(run(b).reg(Reg(3)), 99);
+    }
+
+    #[test]
+    fn second_load_hits_and_is_faster() {
+        let mut core = Core::table_i();
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x3000);
+        b.load(Reg(2), Reg(1), 0);
+        b.rdtsc(Reg(10));
+        b.load(Reg(3), Reg(1), 0);
+        b.rdtsc(Reg(11));
+        b.halt();
+        let r = core.run(&b.build());
+        let hit_time = r.reg(Reg(11)) - r.reg(Reg(10));
+        // An L1 hit plus timer overhead: far less than the ~118-cycle
+        // cold miss.
+        assert!(hit_time < 20, "hit path took {hit_time} cycles");
+    }
+
+    #[test]
+    fn loop_with_backward_branch_terminates() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0);
+        b.label("loop");
+        b.add(Reg(1), Reg(1), 1u64);
+        b.branch(Cond::Lt, Reg(1), 100u64, "loop");
+        b.halt();
+        let r = run(b);
+        assert_eq!(r.reg(Reg(1)), 100);
+        assert_eq!(r.stats.branches, 100);
+        // The bimodal predictor learns the loop quickly; only the first
+        // few and the exit mispredict.
+        assert!(r.stats.mispredicts <= 4, "{} mispredicts", r.stats.mispredicts);
+    }
+
+    #[test]
+    fn mispredicted_branch_squashes_and_rolls_back_registers() {
+        let mut core = Core::table_i();
+        core.set_predictor(Box::new(NeverTaken));
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 5);
+        // Taken branch, predicted not-taken -> the fall-through is the
+        // wrong path; r2 must be rolled back.
+        b.branch(Cond::Lt, Reg(1), 10u64, "target");
+        b.mov(Reg(2), 0xbad);
+        b.halt();
+        b.label("target");
+        b.mov(Reg(3), 0x600d);
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.reg(Reg(3)), 0x600d);
+        assert_eq!(r.reg(Reg(2)), 0, "wrong-path write must be squashed");
+        assert_eq!(r.stats.mispredicts, 1);
+        assert_eq!(r.stats.squashes.len(), 1);
+    }
+
+    #[test]
+    fn wrong_path_load_leaves_footprint_under_unsafe_baseline() {
+        let mut core = Core::table_i();
+        core.set_predictor(Box::new(NeverTaken));
+        let probe = Addr::new(0x8000);
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 1);
+        // Slow condition: make the comparand a flushed memory load so the
+        // wrong path has time to run.
+        b.mov(Reg(4), 0x4000);
+        b.load(Reg(5), Reg(4), 0); // cold-miss comparand
+        b.branch(Cond::Eq, Reg(5), 0u64, "skip"); // actual: taken (mem reads 0)
+        b.mov(Reg(6), probe.raw());
+        b.load(Reg(7), Reg(6), 0); // transient load
+        b.label("skip");
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.stats.mispredicts, 1);
+        let rec = &r.stats.squashes[0];
+        assert_eq!(rec.squashed_loads, 1);
+        assert_eq!(rec.l1_installs, 1);
+        // Unsafe baseline: the transient line stays cached.
+        assert!(core.hierarchy().l1_contains(probe.line()));
+        // Resolution time is dominated by the comparand's memory miss.
+        assert!(rec.resolution_time() > 100, "resolution {}", rec.resolution_time());
+        // No defense: cleanup is free.
+        assert_eq!(rec.cleanup_cycles(), 0);
+    }
+
+    #[test]
+    fn suppressed_wrong_path_load_never_issues() {
+        let mut core = Core::table_i();
+        core.set_predictor(Box::new(NeverTaken));
+        let probe = Addr::new(0x9000);
+        let mut b = ProgramBuilder::new();
+        // Fast-resolving branch: the wrong-path load depends on a slow
+        // load, so the squash arrives before it can issue.
+        b.mov(Reg(1), 5);
+        b.branch(Cond::Lt, Reg(1), 10u64, "skip"); // taken, predicted NT
+        b.mov(Reg(4), 0x7000);
+        b.load(Reg(5), Reg(4), 0); // issues (independent)
+        b.add(Reg(6), Reg(5), probe.raw());
+        b.load(Reg(7), Reg(6), 0); // depends on r5: start >= squash
+        b.label("skip");
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.stats.mispredicts, 1);
+        // The dependent load never issued, so no line around `probe+0`
+        // was installed. (r5 reads 0 so r6 == probe.)
+        assert!(!core.hierarchy().l1_contains(probe.line()));
+    }
+
+    #[test]
+    fn fence_orders_measurement_after_flush() {
+        let mut core = Core::table_i();
+        let addr = Addr::new(0x5000);
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), addr.raw());
+        b.load(Reg(2), Reg(1), 0);
+        b.flush(Reg(1), 0);
+        b.fence();
+        b.rdtsc(Reg(10));
+        b.load(Reg(3), Reg(1), 0); // must miss: flush completed first
+        b.rdtsc(Reg(11));
+        b.halt();
+        let r = core.run(&b.build());
+        let t = r.reg(Reg(11)) - r.reg(Reg(10));
+        assert!(t > 100, "flushed load must go to memory, took {t}");
+    }
+
+    #[test]
+    fn rdtsc_measures_elapsed_cycles() {
+        let mut b = ProgramBuilder::new();
+        b.rdtsc(Reg(1));
+        b.mov(Reg(3), 0x6000);
+        b.load(Reg(4), Reg(3), 0); // cold miss ~118 cycles
+        b.rdtsc(Reg(2));
+        b.halt();
+        let r = run(b);
+        let dt = r.reg(Reg(2)) - r.reg(Reg(1));
+        assert!(dt >= 118, "expected >= miss latency, got {dt}");
+        assert!(dt < 200, "unreasonably slow: {dt}");
+    }
+
+    #[test]
+    fn run_for_stops_at_instruction_budget() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0);
+        b.label("spin");
+        b.add(Reg(1), Reg(1), 1u64);
+        b.jump("spin");
+        let mut core = Core::table_i();
+        let r = core.run_for(&b.build(), 1000);
+        assert!(r.hit_limit);
+        assert!(r.stats.committed_insts >= 1000);
+        assert!(r.stats.committed_insts < 1100);
+    }
+
+    #[test]
+    fn clock_is_monotonic_across_runs() {
+        let mut core = Core::table_i();
+        let mut b = ProgramBuilder::new();
+        b.rdtsc(Reg(1));
+        b.halt();
+        let p = b.build();
+        let t1 = core.run(&p).reg(Reg(1));
+        let t2 = core.run(&p).reg(Reg(1));
+        assert!(t2 > t1, "clock must advance across runs");
+    }
+
+    #[test]
+    fn nested_mispredicts_roll_back_cleanly() {
+        let mut core = Core::table_i();
+        core.set_predictor(Box::new(NeverTaken));
+        let mut b = ProgramBuilder::new();
+        // Outer branch: slow comparand, actually taken (mispredicted).
+        b.mov(Reg(1), 0x4100);
+        b.load(Reg(2), Reg(1), 0); // slow, reads 0
+        b.branch(Cond::Eq, Reg(2), 0u64, "outer_t");
+        // Wrong path: contains another (inner) mispredicted branch.
+        b.mov(Reg(3), 1);
+        b.branch(Cond::Eq, Reg(3), 1u64, "inner_t");
+        b.mov(Reg(4), 2);
+        b.label("inner_t");
+        b.mov(Reg(5), 3);
+        b.halt();
+        b.label("outer_t");
+        b.mov(Reg(6), 42);
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.reg(Reg(6)), 42);
+        assert_eq!(r.reg(Reg(5)), 0, "wrong-path effects must vanish");
+        assert!(!r.stats.squashes.is_empty());
+    }
+
+    #[test]
+    fn rob_capacity_bounds_speculation_window() {
+        // A huge wrong-path body cannot dispatch more than ROB entries.
+        let mut core = Core::table_i();
+        core.set_predictor(Box::new(NeverTaken));
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x4200);
+        b.load(Reg(2), Reg(1), 0); // slow comparand
+        b.branch(Cond::Eq, Reg(2), 0u64, "t"); // taken, predicted NT
+        for _ in 0..1000 {
+            b.nop();
+        }
+        b.label("t");
+        b.halt();
+        let r = core.run(&b.build());
+        // At most rob_entries instructions could be in flight.
+        assert!(r.stats.squashed_insts <= 192 + 8, "squashed {}", r.stats.squashed_insts);
+    }
+
+    #[test]
+    fn branch_resolution_time_tracks_comparand_chain() {
+        // f(N)-style nested dependent loads lengthen resolution linearly
+        // (the paper's Fig. 2 x-axis).
+        let mut times = Vec::new();
+        for n in 1..=3u64 {
+            let mut core = Core::table_i();
+            core.set_predictor(Box::new(NeverTaken));
+            // Build a pointer chain: mem[0x8000*k] holds address of next.
+            for k in 0..n {
+                core.mem_mut()
+                    .write_u64(Addr::new(0x10_0000 + k * 0x1000), 0x10_0000 + (k + 1) * 0x1000);
+            }
+            let mut b = ProgramBuilder::new();
+            b.mov(Reg(1), 0x10_0000);
+            for _ in 0..n {
+                b.load(Reg(1), Reg(1), 0);
+            }
+            b.branch(Cond::Ne, Reg(1), 0u64, "t"); // taken, predicted NT
+            b.nop();
+            b.label("t");
+            b.halt();
+            let r = core.run(&b.build());
+            times.push(r.stats.squashes[0].resolution_time());
+        }
+        assert!(times[1] > times[0] + 80, "{times:?}");
+        assert!(times[2] > times[1] + 80, "{times:?}");
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::isa::Cond;
+    use crate::predictor::NeverTaken;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn tracing_is_off_by_default() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.halt();
+        let r = Core::table_i().run(&b.build());
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn trace_records_every_executed_instruction() {
+        let mut core = Core::table_i();
+        core.set_tracing(true);
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 1);
+        b.add(Reg(2), Reg(1), Reg(1));
+        b.halt();
+        let r = core.run(&b.build());
+        let trace = r.trace.expect("tracing enabled");
+        assert_eq!(trace.len(), 2, "halt is not dispatched");
+        assert!(trace.events[0].dispatch_cycle <= trace.events[1].dispatch_cycle);
+        assert!(!trace.events[0].wrong_path);
+    }
+
+    #[test]
+    fn trace_marks_wrong_path_instructions() {
+        let mut core = Core::table_i();
+        core.set_tracing(true);
+        core.set_predictor(Box::new(NeverTaken));
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(4), 0x4000);
+        b.load(Reg(5), Reg(4), 0); // slow comparand (reads 0)
+        b.branch(Cond::Eq, Reg(5), 0u64, "skip"); // taken, predicted NT
+        b.mov(Reg(6), 0xbad); // wrong path
+        b.mov(Reg(7), 0xbad2); // wrong path
+        b.label("skip");
+        b.mov(Reg(8), 0x600d);
+        b.halt();
+        let r = core.run(&b.build());
+        let trace = r.trace.expect("tracing enabled");
+        let wrong: Vec<_> = trace.wrong_path_events().collect();
+        assert!(wrong.len() >= 2, "wrong-path movs must appear: {trace}");
+        // The wrong path falls through into `skip` too, so the mov
+        // appears twice: once wrong-path, then re-executed correctly
+        // after the squash.
+        let good = trace
+            .events
+            .iter()
+            .rev()
+            .find(|e| matches!(e.inst, Inst::MovImm { imm: 0x600d, .. }))
+            .expect("correct-path mov");
+        assert!(!good.wrong_path, "{trace}");
+        assert!(good.dispatch_cycle > wrong[0].dispatch_cycle);
+    }
+
+    #[test]
+    fn trace_renders() {
+        let mut core = Core::table_i();
+        core.set_tracing(true);
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 7);
+        b.halt();
+        let r = core.run(&b.build());
+        let text = r.trace.unwrap().to_string();
+        assert!(text.contains("mov r1"));
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::isa::Cond;
+    use crate::predictor::NeverTaken;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn mshr_pressure_serializes_excess_misses() {
+        // 32 independent misses against 16 MSHRs: the second half must
+        // wait for entries to free.
+        let mut b = ProgramBuilder::new();
+        b.rdtsc(Reg(20));
+        for i in 0..32u64 {
+            b.mov(Reg(1), 0x10_0000 + i * 0x1000);
+            b.load(Reg(2), Reg(1), 0);
+        }
+        b.rdtsc(Reg(21));
+        b.halt();
+        let r = Core::table_i().run(&b.build());
+        let t = r.reg(Reg(21)) - r.reg(Reg(20));
+        // 32 misses at an 8-cycle bank interval is ~256 cycles minimum;
+        // far less than 32 serialized misses (3776).
+        assert!(t > 250, "{t}");
+        assert!(t < 1000, "{t}");
+    }
+
+    #[test]
+    fn flush_of_dirty_line_writes_back() {
+        let mut core = Core::table_i();
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x9000);
+        b.mov(Reg(2), 0xfeed);
+        b.store(Reg(2), Reg(1), 0);
+        b.flush(Reg(1), 0);
+        b.fence();
+        b.halt();
+        core.run(&b.build());
+        assert!(!core.hierarchy().l1_contains(unxpec_mem::Addr::new(0x9000).line()));
+        assert!(core.hierarchy().l1_stats().writebacks + core.hierarchy().l2_stats().writebacks > 0);
+        // The value survives architecturally.
+        assert_eq!(core.mem().read_u64(Addr::new(0x9000)), 0xfeed);
+    }
+
+    #[test]
+    fn load_ports_bound_issue_rate() {
+        // 8 independent L1 hits with 2 load ports take >= 4 issue
+        // cycles.
+        let mut core = Core::table_i();
+        let mut warm = ProgramBuilder::new();
+        warm.mov(Reg(1), 0xa000);
+        for i in 0..8i64 {
+            warm.load(Reg(2), Reg(1), i * 64);
+        }
+        warm.halt();
+        core.run(&warm.build());
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0xa000);
+        b.fence();
+        b.rdtsc(Reg(20));
+        for i in 0..8i64 {
+            b.load(Reg(2), Reg(1), i * 64);
+        }
+        b.rdtsc(Reg(21));
+        b.halt();
+        let r = core.run(&b.build());
+        let t = r.reg(Reg(21)) - r.reg(Reg(20));
+        assert!(t >= 7, "2 ports x 4 cycles plus hit latency, got {t}");
+    }
+
+    #[test]
+    fn wrong_path_store_never_reaches_memory_or_cache() {
+        let mut core = Core::table_i();
+        core.set_predictor(Box::new(NeverTaken));
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x4000);
+        b.load(Reg(2), Reg(1), 0); // slow comparand, reads 0
+        b.branch(Cond::Eq, Reg(2), 0u64, "skip"); // taken, predicted NT
+        // Wrong path: a store that must not land.
+        b.mov(Reg(3), 0xbad);
+        b.mov(Reg(4), 0xb000);
+        b.store(Reg(3), Reg(4), 0);
+        b.label("skip");
+        b.halt();
+        core.run(&b.build());
+        assert_eq!(core.mem().read_u64(Addr::new(0xb000)), 0);
+        assert!(!core.hierarchy().l1_contains(Addr::new(0xb000).line()));
+    }
+
+    #[test]
+    fn fence_drains_stores_before_later_loads() {
+        let mut core = Core::table_i();
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0xc000);
+        b.mov(Reg(2), 7);
+        b.store(Reg(2), Reg(1), 0);
+        b.fence();
+        b.load(Reg(3), Reg(1), 0);
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.reg(Reg(3)), 7);
+    }
+
+    #[test]
+    fn back_to_back_runs_do_not_leak_register_state() {
+        let mut core = Core::table_i();
+        let mut b1 = ProgramBuilder::new();
+        b1.mov(Reg(5), 0xaaaa);
+        b1.halt();
+        core.run(&b1.build());
+        let mut b2 = ProgramBuilder::new();
+        b2.add(Reg(6), Reg(5), 1u64); // r5 must read as 0 in a fresh run
+        b2.halt();
+        let r = core.run(&b2.build());
+        assert_eq!(r.reg(Reg(6)), 1, "register file must reset per run");
+    }
+
+    #[test]
+    fn deep_nesting_of_correct_branches_commits_cleanly() {
+        // A tower of correctly predicted branches over slow comparands:
+        // all frames resolve correct, speculative loads commit.
+        let mut core = Core::table_i();
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x4000);
+        b.load(Reg(2), Reg(1), 0); // slow, reads 0
+        for i in 0..6 {
+            // Never-taken branches (r2 == 0): predicted not-taken.
+            b.branch(Cond::Ne, Reg(2), 0u64, &format!("t{i}"));
+        }
+        b.mov(Reg(3), 0xd000);
+        b.load(Reg(4), Reg(3), 0); // speculative under 6 frames
+        for i in 0..6 {
+            b.label(&format!("t{i}"));
+        }
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.stats.mispredicts, 0);
+        assert!(core.hierarchy().l1_contains(Addr::new(0xd000).line()));
+        assert!(
+            !core.hierarchy().l1_is_speculative(Addr::new(0xd000).line()),
+            "commit must clear the tag once all frames resolve"
+        );
+    }
+}
+
+#[cfg(test)]
+mod jump_ind_tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn trained_indirect_jump_predicts_correctly() {
+        let mut core = Core::table_i();
+        // A loop dispatching the same indirect jump repeatedly.
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(2), 0);
+        b.label("loop");
+        b.mov(Reg(1), 0); // patched below: target = @body
+        let patch_at = b.here() - 1;
+        b.jump_ind(Reg(1));
+        b.label("body");
+        b.add(Reg(2), Reg(2), 1u64);
+        b.branch(crate::isa::Cond::Lt, Reg(2), 50u64, "loop");
+        b.halt();
+        let mut program = b.build();
+        let body = program.label("body").unwrap();
+        // Patch the mov to hold the real target.
+        let _ = &mut program;
+        let mut b2 = ProgramBuilder::new();
+        for (i, inst) in program.instructions().iter().enumerate() {
+            if i == patch_at {
+                b2.mov(Reg(1), body as u64);
+            } else {
+                b2.push(*inst);
+            }
+        }
+        let program = b2.build();
+        let r = core.run(&program);
+        assert_eq!(r.reg(Reg(2)), 50);
+        // The fall-through IS @body here, so even the cold BTB predicts
+        // right; from then on the trained entry keeps it right. Only the
+        // loop-exit conditional branch mispredicts.
+        assert!(r.stats.mispredicts <= 2, "{}", r.stats.mispredicts);
+    }
+
+    #[test]
+    fn cold_btb_mispredicts_a_non_fallthrough_target() {
+        let mut core = Core::table_i();
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 5); // target = @5 (the "far" label below)
+        b.jump_ind(Reg(1));
+        b.mov(Reg(2), 0xbad); // fall-through: wrong path on cold BTB
+        b.mov(Reg(3), 0xbad);
+        b.halt();
+        // @5:
+        b.mov(Reg(4), 0x600d);
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.reg(Reg(4)), 0x600d);
+        assert_eq!(r.reg(Reg(2)), 0, "wrong-path write rolled back");
+        assert_eq!(r.stats.mispredicts, 1);
+        // The BTB learned the target.
+        assert_eq!(core.btb().predict(1), Some(5));
+    }
+
+    #[test]
+    fn poisoned_btb_sends_speculation_to_the_wrong_gadget() {
+        // The Spectre-v2 primitive: an attacker-trained BTB entry makes
+        // the victim's indirect jump transiently execute a gadget the
+        // architectural target never reaches.
+        let mut core = Core::table_i();
+        let probe = Addr::new(0xa000);
+        let mut b = ProgramBuilder::new();
+        // r1 = actual target (@benign), loaded slowly so speculation has
+        // a window; mem[0x4000] holds the benign target index.
+        b.mov(Reg(2), 0x4000);
+        b.load(Reg(1), Reg(2), 0);
+        b.jump_ind(Reg(1)); // pc = 2
+        b.label("gadget");
+        b.mov(Reg(6), probe.raw());
+        b.load(Reg(7), Reg(6), 0); // transient probe load
+        b.halt();
+        b.label("benign");
+        b.mov(Reg(5), 1);
+        b.halt();
+        let program = b.build();
+        let benign = program.label("benign").unwrap();
+        let gadget = program.label("gadget").unwrap();
+        core.mem_mut().write_u64(Addr::new(0x4000), benign as u64);
+        // Poison: the attacker previously drove this jump to the gadget.
+        core.btb_mut().update(2, gadget);
+        let r = core.run(&program);
+        assert_eq!(r.reg(Reg(5)), 1, "architectural path is benign");
+        assert_eq!(r.stats.mispredicts, 1);
+        // Under the unsafe baseline the gadget's footprint remains.
+        assert!(core.hierarchy().l1_contains(probe.line()));
+    }
+}
+
+#[cfg(test)]
+mod call_ret_tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    const SP: Reg = Reg(30);
+
+    #[test]
+    fn call_and_ret_round_trip() {
+        let mut b = ProgramBuilder::new();
+        b.mov(SP, 0x9_0000);
+        b.call("double", SP);
+        b.add(Reg(3), Reg(2), 1u64); // after return
+        b.halt();
+        b.label("double");
+        b.mov(Reg(2), 20);
+        b.add(Reg(2), Reg(2), Reg(2));
+        b.ret(SP);
+        let r = Core::table_i().run(&b.build());
+        assert_eq!(r.reg(Reg(2)), 40);
+        assert_eq!(r.reg(Reg(3)), 41);
+        assert_eq!(r.reg(SP), 0x9_0000, "sp balanced");
+        assert_eq!(r.stats.mispredicts, 0, "RSB predicts a clean return");
+    }
+
+    #[test]
+    fn nested_calls_return_in_order() {
+        let mut b = ProgramBuilder::new();
+        b.mov(SP, 0x9_0000);
+        b.call("outer", SP);
+        b.halt();
+        b.label("outer");
+        b.add(Reg(1), Reg(1), 1u64);
+        b.call("inner", SP);
+        b.add(Reg(3), Reg(1), Reg(2));
+        b.ret(SP);
+        b.label("inner");
+        b.mov(Reg(2), 10);
+        b.ret(SP);
+        let r = Core::table_i().run(&b.build());
+        assert_eq!(r.reg(Reg(3)), 11);
+        assert_eq!(r.stats.mispredicts, 0);
+    }
+
+    #[test]
+    fn overwritten_return_address_mispredicts_through_the_rsb() {
+        // SpectreRSB's primitive: the architectural return target is
+        // changed under the RSB's feet, so `ret` speculates at the
+        // stale call site.
+        let mut b = ProgramBuilder::new();
+        b.mov(SP, 0x9_0000);
+        b.call("f", SP);
+        b.mov(Reg(9), 0xbad); // stale return site: transient only
+        b.halt();
+        b.label("escape");
+        b.mov(Reg(8), 0x600d);
+        b.halt();
+        b.label("f");
+        // Overwrite [sp] with @escape, then flush the stack line so the
+        // ret's target load is slow (a wide speculation window).
+        b.mov(Reg(1), 0); // patched: escape pc
+        let patch_at = b.here() - 1;
+        b.store(Reg(1), SP, 0);
+        b.flush(SP, 0);
+        b.fence();
+        b.ret(SP);
+        let program = b.build();
+        let escape = program.label("escape").unwrap();
+        let mut b2 = ProgramBuilder::new();
+        for (i, inst) in program.instructions().iter().enumerate() {
+            if i == patch_at {
+                b2.mov(Reg(1), escape as u64);
+            } else {
+                b2.push(*inst);
+            }
+        }
+        let r = Core::table_i().run(&b2.build());
+        assert_eq!(r.reg(Reg(8)), 0x600d, "architectural path follows memory");
+        assert_eq!(r.reg(Reg(9)), 0, "stale-site write rolled back");
+        assert_eq!(r.stats.mispredicts, 1, "RSB vs memory divergence");
+        // The squash record shows a slow resolution (flushed stack load).
+        assert!(r.stats.squashes[0].resolution_time() > 100);
+    }
+
+    #[test]
+    fn wrong_path_calls_do_not_corrupt_the_rsb() {
+        let mut core = Core::table_i();
+        core.set_predictor(Box::new(crate::predictor::NeverTaken));
+        let mut b = ProgramBuilder::new();
+        b.mov(SP, 0x9_0000);
+        b.mov(Reg(1), 0x4000);
+        b.load(Reg(2), Reg(1), 0); // slow comparand, reads 0
+        b.branch(crate::isa::Cond::Eq, Reg(2), 0u64, "skip"); // taken, predicted NT
+        b.call("noise", SP); // wrong path: must not push the RSB
+        b.label("skip");
+        b.call("f", SP);
+        b.halt();
+        b.label("noise");
+        b.ret(SP);
+        b.label("f");
+        b.ret(SP);
+        let r = core.run(&b.build());
+        // The architectural call/ret pair still predicts cleanly: only
+        // the branch mispredicted.
+        assert_eq!(r.stats.mispredicts, 1);
+        assert_eq!(core.ras().depth(), 0, "balanced RSB after the run");
+    }
+}

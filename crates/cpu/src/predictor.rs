@@ -1,0 +1,354 @@
+//! Branch predictors.
+//!
+//! The attack mistrains a predictor; the default is the classic bimodal
+//! table of 2-bit saturating counters, which the paper's POISON loop
+//! trains toward "taken" so that the out-of-bounds invocation
+//! mis-speculates into the branch body. A gshare predictor and two static
+//! policies are provided for ablations (how many mistrain iterations does
+//! each need?).
+
+use crate::isa::PcIndex;
+
+/// A direction predictor for conditional branches.
+pub trait BranchPredictor: std::fmt::Debug + Send {
+    /// Predicted direction for the branch at `pc`.
+    fn predict(&mut self, pc: PcIndex) -> bool;
+
+    /// Trains with the resolved direction of the branch at `pc`.
+    fn update(&mut self, pc: PcIndex, taken: bool);
+
+    /// Resets all state.
+    fn reset(&mut self);
+}
+
+/// Bimodal predictor: per-PC 2-bit saturating counters.
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    counters: Vec<u8>,
+    mask: usize,
+}
+
+impl BimodalPredictor {
+    /// Creates a predictor with `entries` counters (power of two),
+    /// initialized to weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        BimodalPredictor {
+            counters: vec![1; entries],
+            mask: entries - 1,
+        }
+    }
+
+    fn index(&self, pc: PcIndex) -> usize {
+        // Cheap hash spreading nearby PCs.
+        (pc.wrapping_mul(0x9e37_79b1)) & self.mask
+    }
+
+    /// Raw counter value for `pc` (tests).
+    pub fn counter(&self, pc: PcIndex) -> u8 {
+        self.counters[self.index(pc)]
+    }
+}
+
+impl Default for BimodalPredictor {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl BranchPredictor for BimodalPredictor {
+    fn predict(&mut self, pc: PcIndex) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: PcIndex, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counters.fill(1);
+    }
+}
+
+/// Gshare predictor: global history xor-ed into the counter index.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    counters: Vec<u8>,
+    mask: usize,
+    history: usize,
+    history_bits: u32,
+}
+
+impl GsharePredictor {
+    /// Creates a gshare predictor with `entries` counters and
+    /// `history_bits` of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        GsharePredictor {
+            counters: vec![1; entries],
+            mask: entries - 1,
+            history: 0,
+            history_bits,
+        }
+    }
+
+    fn index(&self, pc: PcIndex) -> usize {
+        (pc.wrapping_mul(0x9e37_79b1) ^ self.history) & self.mask
+    }
+}
+
+impl BranchPredictor for GsharePredictor {
+    fn predict(&mut self, pc: PcIndex) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: PcIndex, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | taken as usize)
+            & ((1usize << self.history_bits) - 1);
+    }
+
+    fn reset(&mut self) {
+        self.counters.fill(1);
+        self.history = 0;
+    }
+}
+
+/// A branch target buffer for indirect jumps: last-seen target per
+/// static PC. This is exactly the structure Spectre v2 poisons — any
+/// code that executed an indirect jump at the same PC trains the
+/// prediction for the next one.
+#[derive(Debug, Clone, Default)]
+pub struct Btb {
+    targets: std::collections::HashMap<PcIndex, PcIndex>,
+}
+
+impl Btb {
+    /// An empty BTB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Predicted target of the indirect jump at `pc`, if trained.
+    pub fn predict(&self, pc: PcIndex) -> Option<PcIndex> {
+        self.targets.get(&pc).copied()
+    }
+
+    /// Trains the entry for `pc` with the resolved `target`.
+    pub fn update(&mut self, pc: PcIndex, target: PcIndex) {
+        self.targets.insert(pc, target);
+    }
+
+    /// Clears all entries.
+    pub fn reset(&mut self) {
+        self.targets.clear();
+    }
+
+    /// Number of trained entries.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the BTB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+/// A return stack buffer: a bounded LIFO of predicted return targets.
+/// SpectreRSB / ret2spec desynchronize it from the architectural stack
+/// (overwritten return addresses, overflow) so `ret` speculates to a
+/// stale site.
+#[derive(Debug, Clone)]
+pub struct ReturnStackBuffer {
+    stack: std::collections::VecDeque<PcIndex>,
+    capacity: usize,
+}
+
+impl ReturnStackBuffer {
+    /// An empty RSB with `capacity` entries (16 on the modeled core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RSB needs capacity");
+        ReturnStackBuffer {
+            stack: std::collections::VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Pushes a return target, dropping the oldest on overflow.
+    pub fn push(&mut self, target: PcIndex) {
+        if self.stack.len() == self.capacity {
+            self.stack.pop_front();
+        }
+        self.stack.push_back(target);
+    }
+
+    /// Pops the predicted return target.
+    pub fn pop(&mut self) -> Option<PcIndex> {
+        self.stack.pop_back()
+    }
+
+    /// Peeks the predicted return target without consuming it
+    /// (wrong-path returns must not corrupt the stack).
+    pub fn peek(&self) -> Option<PcIndex> {
+        self.stack.back().copied()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Clears the buffer.
+    pub fn reset(&mut self) {
+        self.stack.clear();
+    }
+}
+
+impl Default for ReturnStackBuffer {
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+/// Static always-taken predictor (ablation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysTaken;
+
+impl BranchPredictor for AlwaysTaken {
+    fn predict(&mut self, _pc: PcIndex) -> bool {
+        true
+    }
+
+    fn update(&mut self, _pc: PcIndex, _taken: bool) {}
+
+    fn reset(&mut self) {}
+}
+
+/// Static never-taken predictor (ablation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverTaken;
+
+impl BranchPredictor for NeverTaken {
+    fn predict(&mut self, _pc: PcIndex) -> bool {
+        false
+    }
+
+    fn update(&mut self, _pc: PcIndex, _taken: bool) {}
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_trains_toward_taken() {
+        let mut p = BimodalPredictor::new(64);
+        assert!(!p.predict(5)); // weakly not-taken initially
+        p.update(5, true);
+        assert!(p.predict(5));
+        p.update(5, true);
+        assert_eq!(p.counter(5), 3);
+    }
+
+    #[test]
+    fn bimodal_mistrain_then_mispredict() {
+        // The Spectre pattern: many taken outcomes, then an actual
+        // not-taken still predicts taken.
+        let mut p = BimodalPredictor::new(64);
+        for _ in 0..8 {
+            p.update(7, true);
+        }
+        assert!(p.predict(7));
+        p.update(7, false); // one wrong outcome does not flip a saturated counter
+        assert!(p.predict(7));
+    }
+
+    #[test]
+    fn bimodal_reset() {
+        let mut p = BimodalPredictor::new(64);
+        p.update(3, true);
+        p.update(3, true);
+        p.reset();
+        assert!(!p.predict(3));
+    }
+
+    #[test]
+    fn gshare_uses_history() {
+        let mut p = GsharePredictor::new(256, 4);
+        // Alternating pattern at one PC: gshare can learn it because the
+        // history disambiguates, bimodal cannot.
+        for _ in 0..64 {
+            let taken = p.history & 1 == 0;
+            p.update(9, taken);
+        }
+        // After training, prediction should follow the alternation most
+        // of the time.
+        let mut correct = 0;
+        for _ in 0..32 {
+            let expected = p.history & 1 == 0;
+            if p.predict(9) == expected {
+                correct += 1;
+            }
+            p.update(9, expected);
+        }
+        assert!(correct > 24, "gshare learned only {correct}/32");
+    }
+
+    #[test]
+    fn btb_learns_last_target() {
+        let mut btb = Btb::new();
+        assert_eq!(btb.predict(5), None);
+        btb.update(5, 100);
+        assert_eq!(btb.predict(5), Some(100));
+        btb.update(5, 200);
+        assert_eq!(btb.predict(5), Some(200));
+        assert_eq!(btb.len(), 1);
+        btb.reset();
+        assert!(btb.is_empty());
+    }
+
+    #[test]
+    fn rsb_is_lifo_and_bounded() {
+        let mut rsb = ReturnStackBuffer::new(2);
+        rsb.push(10);
+        rsb.push(20);
+        rsb.push(30); // drops 10
+        assert_eq!(rsb.peek(), Some(30));
+        assert_eq!(rsb.pop(), Some(30));
+        assert_eq!(rsb.pop(), Some(20));
+        assert_eq!(rsb.pop(), None, "10 was dropped on overflow");
+    }
+
+    #[test]
+    fn static_predictors_are_constant() {
+        assert!(AlwaysTaken.predict(1));
+        assert!(!NeverTaken.predict(1));
+    }
+}

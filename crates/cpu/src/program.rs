@@ -1,0 +1,333 @@
+//! Programs and the label-resolving builder that assembles them.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{AluOp, Cond, Inst, Operand, PcIndex, Reg};
+
+/// An assembled program: a vector of instructions with resolved targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    labels: HashMap<String, PcIndex>,
+}
+
+impl Program {
+    /// Instruction at `pc`, if in range.
+    pub fn fetch(&self, pc: PcIndex) -> Option<Inst> {
+        self.insts.get(pc).copied()
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Position of a named label.
+    pub fn label(&self, name: &str) -> Option<PcIndex> {
+        self.labels.get(name).copied()
+    }
+
+    /// The instruction listing.
+    pub fn instructions(&self) -> &[Inst] {
+        &self.insts
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut by_pc: HashMap<PcIndex, Vec<&str>> = HashMap::new();
+        for (name, pc) in &self.labels {
+            by_pc.entry(*pc).or_default().push(name);
+        }
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if let Some(names) = by_pc.get(&pc) {
+                for name in names {
+                    writeln!(f, "{name}:")?;
+                }
+            }
+            writeln!(f, "  {pc:4}  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Unresolved branch targets during assembly.
+#[derive(Debug, Clone)]
+enum Pending {
+    Branch { at: PcIndex, label: String },
+    Jump { at: PcIndex, label: String },
+    Call { at: PcIndex, label: String },
+}
+
+/// Assembler with forward-reference label support.
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_cpu::{ProgramBuilder, Reg, Cond};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.mov(Reg(1), 0);
+/// b.label("loop");
+/// b.add(Reg(1), Reg(1), 1);
+/// b.branch(Cond::Lt, Reg(1), 10, "loop");
+/// b.halt();
+/// let prog = b.build();
+/// assert_eq!(prog.label("loop"), Some(1));
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    labels: HashMap<String, PcIndex>,
+    pending: Vec<Pending>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction index (where the next instruction lands).
+    pub fn here(&self) -> PcIndex {
+        self.insts.len()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let prev = self.labels.insert(name.to_owned(), self.here());
+        assert!(prev.is_none(), "label {name:?} defined twice");
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// `dst = imm`.
+    pub fn mov(&mut self, dst: Reg, imm: u64) -> &mut Self {
+        self.push(Inst::MovImm { dst, imm })
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Add, dst, a, b: b.into() })
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sub, dst, a, b: b.into() })
+    }
+
+    /// `dst = a * b`.
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Mul, dst, a, b: b.into() })
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::And, dst, a, b: b.into() })
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Xor, dst, a, b: b.into() })
+    }
+
+    /// `dst = a | b`.
+    pub fn or(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Or, dst, a, b: b.into() })
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Shl, dst, a, b: b.into() })
+    }
+
+    /// `dst = a >> b`.
+    pub fn shr(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Shr, dst, a, b: b.into() })
+    }
+
+    /// `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Load { dst, base, offset })
+    }
+
+    /// `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Store { src, base, offset })
+    }
+
+    /// `clflush [base + offset]`.
+    pub fn flush(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Flush { base, offset })
+    }
+
+    /// Memory fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Inst::Fence)
+    }
+
+    /// `dst = rdtscp()`.
+    pub fn rdtsc(&mut self, dst: Reg) -> &mut Self {
+        self.push(Inst::ReadTime { dst })
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// Conditional branch to `label` (forward references allowed).
+    pub fn branch(&mut self, cond: Cond, a: Reg, b: impl Into<Operand>, label: &str) -> &mut Self {
+        let at = self.here();
+        self.pending.push(Pending::Branch { at, label: label.to_owned() });
+        self.push(Inst::Branch { cond, a, b: b.into(), target: usize::MAX })
+    }
+
+    /// Indirect jump through `target` (the register holds a PC index;
+    /// use [`Program::label`] positions or [`ProgramBuilder::here`] to
+    /// compute them).
+    pub fn jump_ind(&mut self, target: Reg) -> &mut Self {
+        self.push(Inst::JumpInd { target })
+    }
+
+    /// Call to `label` with `sp` as the stack pointer.
+    pub fn call(&mut self, label: &str, sp: Reg) -> &mut Self {
+        let at = self.here();
+        self.pending.push(Pending::Call { at, label: label.to_owned() });
+        self.push(Inst::Call { target: usize::MAX, sp })
+    }
+
+    /// Return through `sp`.
+    pub fn ret(&mut self, sp: Reg) -> &mut Self {
+        self.push(Inst::Ret { sp })
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: &str) -> &mut Self {
+        let at = self.here();
+        self.pending.push(Pending::Jump { at, label: label.to_owned() });
+        self.push(Inst::Jump { target: usize::MAX })
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never defined.
+    pub fn build(mut self) -> Program {
+        for pending in std::mem::take(&mut self.pending) {
+            match pending {
+                Pending::Branch { at, label } => {
+                    let target = *self
+                        .labels
+                        .get(&label)
+                        .unwrap_or_else(|| panic!("undefined label {label:?}"));
+                    if let Inst::Branch { target: t, .. } = &mut self.insts[at] {
+                        *t = target;
+                    }
+                }
+                Pending::Jump { at, label } => {
+                    let target = *self
+                        .labels
+                        .get(&label)
+                        .unwrap_or_else(|| panic!("undefined label {label:?}"));
+                    if let Inst::Jump { target: t, .. } = &mut self.insts[at] {
+                        *t = target;
+                    }
+                }
+                Pending::Call { at, label } => {
+                    let target = *self
+                        .labels
+                        .get(&label)
+                        .unwrap_or_else(|| panic!("undefined label {label:?}"));
+                    if let Inst::Call { target: t, .. } = &mut self.insts[at] {
+                        *t = target;
+                    }
+                }
+            }
+        }
+        Program {
+            insts: self.insts,
+            labels: self.labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        b.jump("end");
+        b.label("back");
+        b.nop();
+        b.branch(Cond::Eq, Reg(0), 0u64, "back");
+        b.label("end");
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.fetch(0), Some(Inst::Jump { target: 3 }));
+        match p.fetch(2) {
+            Some(Inst::Branch { target, .. }) => assert_eq!(target, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut b = ProgramBuilder::new();
+        b.jump("nowhere");
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new();
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn display_lists_labels() {
+        let mut b = ProgramBuilder::new();
+        b.label("start");
+        b.mov(Reg(1), 3);
+        b.halt();
+        let text = b.build().to_string();
+        assert!(text.contains("start:"));
+        assert!(text.contains("mov r1"));
+    }
+
+    #[test]
+    fn fetch_out_of_range_is_none() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build();
+        assert!(p.fetch(1).is_none());
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Constant-time rollback (§VI-E of the paper).
+
+use unxpec_cache::{CacheHierarchy, Cycle};
+use unxpec_cpu::{Defense, SquashInfo};
+
+use crate::cleanupspec::{CleanupSpec, CleanupStats};
+
+/// CleanupSpec with an enforced minimum rollback stall.
+///
+/// The paper's §VI-E evaluates this as the most intuitive unXpec
+/// countermeasure: *every* squash stalls the core for at least
+/// `constant` cycles, even when no cleanup work exists. This implements
+/// the paper's **relaxed** variant: if real cleanup needs longer than
+/// the constant, the stall extends so rollback is always complete (the
+/// strict variant would leave residual speculative state behind and
+/// re-open the original Spectre channel).
+///
+/// The cost is the figure-12 result: because >95% of squashes need no
+/// cleanup at all, the constant is pure overhead in the common case —
+/// 22.4% average slowdown at 25 cycles up to 72.8% at 65 cycles in the
+/// paper.
+/// # Examples
+///
+/// ```
+/// use unxpec_cpu::Core;
+/// use unxpec_defense::ConstantTimeRollback;
+///
+/// let mut core = Core::table_i();
+/// core.set_defense(Box::new(ConstantTimeRollback::new(45)));
+/// assert_eq!(core.defense_name(), "constant-time-rollback");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConstantTimeRollback {
+    inner: CleanupSpec,
+    constant: Cycle,
+    truncated: u64,
+}
+
+impl ConstantTimeRollback {
+    /// Wraps a default CleanupSpec with a `constant`-cycle minimum stall.
+    pub fn new(constant: Cycle) -> Self {
+        ConstantTimeRollback {
+            inner: CleanupSpec::new(),
+            constant,
+            truncated: 0,
+        }
+    }
+
+    /// Wraps a custom CleanupSpec.
+    pub fn over(inner: CleanupSpec, constant: Cycle) -> Self {
+        ConstantTimeRollback {
+            inner,
+            constant,
+            truncated: 0,
+        }
+    }
+
+    /// The enforced constant.
+    pub fn constant(&self) -> Cycle {
+        self.constant
+    }
+
+    /// Inner rollback counters.
+    pub fn cleanup_stats(&self) -> CleanupStats {
+        self.inner.stats()
+    }
+
+    /// How many rollbacks exceeded the constant (i.e. were observable
+    /// through the relaxed variant's residual channel).
+    pub fn over_budget_rollbacks(&self) -> u64 {
+        self.truncated
+    }
+}
+
+impl Defense for ConstantTimeRollback {
+    fn name(&self) -> &'static str {
+        "constant-time-rollback"
+    }
+
+    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo) -> Cycle {
+        let real_end = self.inner.on_squash(hier, info);
+        let padded_end = info.resolve_cycle + self.constant;
+        if real_end > padded_end {
+            self.truncated += 1;
+        }
+        real_end.max(padded_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unxpec_cache::{HierarchyConfig, SpecTag};
+
+    fn squash_info(resolve: Cycle) -> SquashInfo {
+        SquashInfo {
+            resolve_cycle: resolve,
+            branch_pc: 0,
+            epoch: SpecTag(1),
+            transient_effects: vec![],
+            squashed_loads: 0,
+            squashed_insts: 1,
+        }
+    }
+
+    #[test]
+    fn empty_rollback_still_stalls_the_constant() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        let mut d = ConstantTimeRollback::new(45);
+        let end = d.on_squash(&mut h, &squash_info(1000));
+        assert_eq!(end, 1045);
+    }
+
+    #[test]
+    fn relaxed_variant_extends_past_constant_when_needed() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        // Give the rollback real work bigger than a tiny constant.
+        let mut effects = Vec::new();
+        for i in 0..8u64 {
+            let out = h.access_data(unxpec_mem::LineAddr::new(0x100 + i), 0, Some(SpecTag(1)));
+            effects.extend(out.effects);
+        }
+        let mut d = ConstantTimeRollback::new(5);
+        let info = SquashInfo {
+            transient_effects: effects,
+            squashed_loads: 8,
+            ..squash_info(1000)
+        };
+        let end = d.on_squash(&mut h, &info);
+        assert!(end > 1005, "real cleanup exceeds the constant");
+        assert_eq!(d.over_budget_rollbacks(), 1);
+    }
+
+    #[test]
+    fn equalizes_secret_dependent_timing_when_constant_is_large() {
+        // secret=0 (no work) and secret=1 (one install) must both stall
+        // exactly `constant` when it dominates.
+        let mk = || CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        let mut h0 = mk();
+        let mut d0 = ConstantTimeRollback::new(65);
+        let end0 = d0.on_squash(&mut h0, &squash_info(1000));
+
+        let mut h1 = mk();
+        let out = h1.access_data(unxpec_mem::LineAddr::new(0x200), 0, Some(SpecTag(1)));
+        let mut d1 = ConstantTimeRollback::new(65);
+        let info = SquashInfo {
+            transient_effects: out.effects,
+            squashed_loads: 1,
+            ..squash_info(1000)
+        };
+        let end1 = d1.on_squash(&mut h1, &info);
+        assert_eq!(end0, end1, "constant-time rollback hides the channel");
+    }
+}

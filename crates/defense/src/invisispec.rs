@@ -1,0 +1,154 @@
+//! An Invisible-style defense for comparison with the Undo approach.
+
+use unxpec_cache::{CacheHierarchy, Cycle};
+use unxpec_cpu::{Defense, FillPolicy, SquashInfo};
+
+/// InvisiSpec-style invisible speculation.
+///
+/// Speculative loads are serviced into a shadow buffer and leave **no**
+/// cache footprint; when the epoch resolves correct the lines are
+/// exposed (installed) into the hierarchy. The price is paid on the
+/// *common* correct path — this model charges `extra_latency` per
+/// speculative load for the validation/exposure traffic, abstracting
+/// InvisiSpec's double-read design (which costs ~17% end-to-end in the
+/// original paper).
+///
+/// unXpec does not apply to this scheme (there is nothing to roll back),
+/// but the speculative-interference attack breaks it by other means —
+/// which is exactly why the unXpec paper turns to Undo defenses. The
+/// attack crate's benches show the contrast: no rollback channel here,
+/// but a consistently slower common case than CleanupSpec.
+/// # Examples
+///
+/// ```
+/// use unxpec_cpu::{Defense, FillPolicy};
+/// use unxpec_defense::InvisiSpec;
+///
+/// let d = InvisiSpec::new().with_extra_latency(10);
+/// assert_eq!(d.fill_policy(), FillPolicy::Invisible);
+/// assert_eq!(d.speculative_load_extra_latency(), 10);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct InvisiSpec {
+    extra_latency: Cycle,
+    squashes: u64,
+}
+
+impl InvisiSpec {
+    /// Creates the defense with the default per-load validation cost.
+    pub fn new() -> Self {
+        InvisiSpec {
+            extra_latency: 14, // roughly an extra L2 access per spec load
+            squashes: 0,
+        }
+    }
+
+    /// Overrides the per-speculative-load cost.
+    pub fn with_extra_latency(mut self, extra: Cycle) -> Self {
+        self.extra_latency = extra;
+        self
+    }
+
+    /// Squash events observed (none of which needed cleanup).
+    pub fn squashes(&self) -> u64 {
+        self.squashes
+    }
+}
+
+impl Default for InvisiSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Defense for InvisiSpec {
+    fn name(&self) -> &'static str {
+        "invisispec"
+    }
+
+    fn fill_policy(&self) -> FillPolicy {
+        FillPolicy::Invisible
+    }
+
+    fn speculative_load_extra_latency(&self) -> Cycle {
+        self.extra_latency
+    }
+
+    fn on_squash(&mut self, _hier: &mut CacheHierarchy, info: &SquashInfo) -> Cycle {
+        // Nothing was filled, so nothing needs undoing: the squash is
+        // timing-neutral regardless of what the transient loads touched.
+        self.squashes += 1;
+        debug_assert!(
+            info.transient_effects.is_empty(),
+            "invisible speculation must not produce fill effects"
+        );
+        info.resolve_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unxpec_cache::SpecTag;
+    use unxpec_cpu::{Cond, Core, NeverTaken, ProgramBuilder, Reg};
+    use unxpec_mem::Addr;
+
+    #[test]
+    fn wrong_path_load_leaves_no_footprint() {
+        let mut core = Core::table_i();
+        core.set_defense(Box::new(InvisiSpec::new()));
+        core.set_predictor(Box::new(NeverTaken));
+        let probe = Addr::new(0x8000);
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(4), 0x4000);
+        b.load(Reg(5), Reg(4), 0); // slow comparand (reads 0)
+        b.branch(Cond::Eq, Reg(5), 0u64, "skip"); // taken, predicted NT
+        b.mov(Reg(6), probe.raw());
+        b.load(Reg(7), Reg(6), 0); // transient load
+        b.label("skip");
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.stats.mispredicts, 1);
+        assert!(
+            !core.hierarchy().l1_contains(probe.line()),
+            "invisible speculation must leave no footprint"
+        );
+        assert!(!core.hierarchy().l2_contains(probe.line()));
+    }
+
+    #[test]
+    fn correctly_speculated_load_is_exposed_at_commit() {
+        let mut core = Core::table_i();
+        core.set_defense(Box::new(InvisiSpec::new()));
+        let target = Addr::new(0x9100);
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(4), 0x4100);
+        b.load(Reg(5), Reg(4), 0); // slow comparand, reads 0
+        b.branch(Cond::Ne, Reg(5), 0u64, "skip"); // not taken, predicted NT: correct
+        b.mov(Reg(6), target.raw());
+        b.load(Reg(7), Reg(6), 0); // speculative but correct
+        b.label("skip");
+        b.halt();
+        core.run(&b.build());
+        assert!(
+            core.hierarchy().l1_contains(target.line()),
+            "correct speculation must expose the line at commit"
+        );
+    }
+
+    #[test]
+    fn squash_is_timing_neutral() {
+        let mut h = unxpec_cache::CacheHierarchy::new(unxpec_cache::HierarchyConfig::table_i(), 1);
+        let mut d = InvisiSpec::new();
+        let info = SquashInfo {
+            resolve_cycle: 700,
+            branch_pc: 0,
+            epoch: SpecTag(1),
+            transient_effects: vec![],
+            squashed_loads: 5,
+            squashed_insts: 9,
+        };
+        assert_eq!(d.on_squash(&mut h, &info), 700);
+        assert_eq!(d.squashes(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Safe-speculation defenses.
+//!
+//! This crate implements the defenses the unXpec paper attacks, compares
+//! against, or proposes:
+//!
+//! * [`CleanupSpec`] — the representative **Undo** defense (Saileshwar &
+//!   Qureshi, MICRO 2019) and the paper's target. Speculative loads fill
+//!   the cache eagerly; on a squash the scheme invalidates transiently
+//!   installed lines and restores the L1 victims they displaced,
+//!   following the T3–T5 timeline of the paper's Fig. 1. The duration of
+//!   that rollback is the unXpec timing channel.
+//! * [`ConstantTimeRollback`] — the countermeasure evaluated in §VI-E:
+//!   stall the core a fixed number of cycles on *every* squash (the
+//!   relaxed variant extends the stall when real cleanup needs longer,
+//!   guaranteeing complete rollback).
+//! * [`FuzzyCleanup`] — the paper's future-work sketch: inject random
+//!   dummy cleanup delay to blur, rather than flatten, the channel.
+//! * [`InvisiSpec`] — an **Invisible**-style defense for comparison:
+//!   speculative loads leave no cache footprint at all, at a per-load
+//!   cost on the (common) correct path.
+//! * [`DelayOnMiss`] — the efficient Invisible variant (§II-B):
+//!   speculative L1 misses wait for resolution instead of filling.
+//!
+//! All of them implement [`unxpec_cpu::Defense`] and plug into
+//! [`unxpec_cpu::Core::set_defense`].
+
+mod cleanupspec;
+mod constant_time;
+mod delay_on_miss;
+mod fuzzy;
+mod invisispec;
+mod timing;
+
+pub use cleanupspec::{CleanupMode, CleanupSpec, CleanupStats};
+pub use constant_time::ConstantTimeRollback;
+pub use delay_on_miss::DelayOnMiss;
+pub use fuzzy::FuzzyCleanup;
+pub use invisispec::InvisiSpec;
+pub use timing::CleanupTiming;

@@ -1,0 +1,96 @@
+//! Property tests for the defenses.
+
+use proptest::prelude::*;
+use unxpec_cache::{CacheHierarchy, HierarchyConfig, SpecTag};
+use unxpec_cpu::{Defense, SquashInfo};
+use unxpec_defense::{CleanupSpec, ConstantTimeRollback, FuzzyCleanup};
+use unxpec_mem::LineAddr;
+
+fn effects_for(hier: &mut CacheHierarchy, lines: &[u64]) -> (Vec<unxpec_cache::Effect>, usize) {
+    let mut effects = Vec::new();
+    let mut cycle = 0;
+    for l in lines {
+        let out = hier.access_data(LineAddr::new(*l), cycle, Some(SpecTag(1)));
+        cycle = out.complete_cycle;
+        effects.extend(out.effects);
+    }
+    (effects, lines.len())
+}
+
+fn info(resolve: u64, effects: Vec<unxpec_cache::Effect>, loads: usize) -> SquashInfo {
+    SquashInfo {
+        resolve_cycle: resolve,
+        branch_pc: 0,
+        epoch: SpecTag(1),
+        transient_effects: effects,
+        squashed_loads: loads,
+        squashed_insts: loads,
+    }
+}
+
+proptest! {
+    #[test]
+    fn cleanup_end_is_monotone_in_work(lines in proptest::collection::hash_set(0u64..4096, 1..20)) {
+        let lines: Vec<u64> = lines.into_iter().collect();
+        let cost = |k: usize| {
+            let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+            let (effects, loads) = effects_for(&mut hier, &lines[..k]);
+            let mut d = CleanupSpec::new();
+            d.on_squash(&mut hier, &info(100_000, effects, loads)) - 100_000
+        };
+        let some = cost(1);
+        let all = cost(lines.len());
+        prop_assert!(all >= some, "{some} vs {all}");
+    }
+
+    #[test]
+    fn constant_time_is_a_lower_bound(
+        constant in 1u64..200,
+        lines in proptest::collection::hash_set(0u64..512, 0..10),
+    ) {
+        let lines: Vec<u64> = lines.into_iter().collect();
+        let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        let (effects, loads) = effects_for(&mut hier, &lines);
+        let mut d = ConstantTimeRollback::new(constant);
+        let end = d.on_squash(&mut hier, &info(50_000, effects, loads));
+        prop_assert!(end >= 50_000 + constant, "stall below the constant");
+    }
+
+    #[test]
+    fn fuzzy_delay_stays_within_span(
+        span in 0u64..100,
+        seed in any::<u64>(),
+    ) {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        let mut plain = CleanupSpec::new();
+        let base = plain.on_squash(&mut hier, &info(10_000, vec![], 0));
+        let mut fuzzy = FuzzyCleanup::new(span, seed);
+        for i in 0..10u64 {
+            let t = 20_000 + i * 1000;
+            let end = fuzzy.on_squash(&mut hier, &info(t, vec![], 0));
+            let extra = end - t - (base - 10_000);
+            prop_assert!(extra <= span, "dummy delay {extra} exceeds span {span}");
+        }
+    }
+
+    #[test]
+    fn rollback_never_leaves_a_transient_line(
+        lines in proptest::collection::hash_set(0u64..4096, 1..24)
+    ) {
+        let lines: Vec<u64> = lines.into_iter().collect();
+        let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        let (effects, loads) = effects_for(&mut hier, &lines);
+        let mut d = CleanupSpec::new();
+        d.on_squash(&mut hier, &info(1_000_000, effects, loads));
+        for l in &lines {
+            prop_assert!(
+                !hier.l1_contains(LineAddr::new(*l)),
+                "transient line {l:#x} survived in L1"
+            );
+            prop_assert!(
+                !hier.l2_contains(LineAddr::new(*l)),
+                "transient line {l:#x} survived in L2"
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Byte and cache-line address newtypes.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Size of a cache line in bytes (gem5 / Table I configuration).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Number of low address bits covered by the line offset (`log2(64)`).
+pub const LINE_OFFSET_BITS: u32 = 6;
+
+/// A byte address in the simulated physical address space.
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_mem::Addr;
+///
+/// let a = Addr::new(0x1000);
+/// assert_eq!(a.offset(8).raw(), 0x1008);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw address value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this byte.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_OFFSET_BITS)
+    }
+
+    /// The byte offset within the containing cache line.
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (CACHE_LINE_BYTES - 1)
+    }
+
+    /// This address displaced by `delta` bytes (may be negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the displacement under- or overflows the
+    /// address space.
+    pub fn offset(self, delta: i64) -> Addr {
+        Addr(self.0.wrapping_add(delta as u64))
+    }
+
+    /// Whether the address is aligned to `align` bytes (a power of two).
+    pub const fn is_aligned(self, align: u64) -> bool {
+        self.0 & (align - 1) == 0
+    }
+
+    /// The address rounded down to the start of its cache line.
+    pub const fn line_base(self) -> Addr {
+        Addr(self.0 & !(CACHE_LINE_BYTES - 1))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A cache-line address: a byte address with the line offset stripped.
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_mem::{Addr, LineAddr};
+///
+/// assert_eq!(Addr::new(0x107f).line(), LineAddr::new(0x41));
+/// assert_eq!(LineAddr::new(0x41).base(), Addr::new(0x1040));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// The raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of the line.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 << LINE_OFFSET_BITS)
+    }
+
+    /// The line `delta` lines after this one.
+    pub const fn offset(self, delta: u64) -> LineAddr {
+        LineAddr(self.0 + delta)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_address() {
+        assert_eq!(Addr::new(0).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(63).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(64).line(), LineAddr::new(1));
+        assert_eq!(Addr::new(0x1040).line(), LineAddr::new(0x41));
+    }
+
+    #[test]
+    fn line_offset_wraps_within_line() {
+        assert_eq!(Addr::new(0x1047).line_offset(), 7);
+        assert_eq!(Addr::new(0x1047).line_base(), Addr::new(0x1040));
+    }
+
+    #[test]
+    fn offset_and_sub_roundtrip() {
+        let a = Addr::new(0x2000);
+        assert_eq!(a.offset(16) - a, 16);
+        assert_eq!(a.offset(-32).raw(), 0x1fe0);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Addr::new(0x1000).is_aligned(64));
+        assert!(!Addr::new(0x1008).is_aligned(64));
+        assert!(Addr::new(0x1008).is_aligned(8));
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        let l = LineAddr::new(0x55);
+        assert_eq!(l.base().line(), l);
+        assert_eq!(l.offset(3), LineAddr::new(0x58));
+    }
+}

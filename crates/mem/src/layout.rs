@@ -1,0 +1,215 @@
+//! Named, line-aligned carve-outs of the simulated address space.
+//!
+//! Attack programs and workloads refer to arrays such as the probe array
+//! `P[64 * 256]` or the bound variable `N` by name; [`LayoutBuilder`]
+//! assigns them non-overlapping, line-aligned address ranges.
+
+use std::collections::HashMap;
+
+use crate::{Addr, CACHE_LINE_BYTES};
+
+/// A named array placed in the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayHandle {
+    base: Addr,
+    len_bytes: u64,
+}
+
+impl ArrayHandle {
+    /// Base byte address of the array.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Address of byte `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds — layouts are trusted
+    /// infrastructure; transient *simulated* out-of-bounds accesses go
+    /// through raw addresses instead.
+    pub fn byte(&self, index: u64) -> Addr {
+        assert!(index < self.len_bytes, "byte index {index} out of bounds");
+        self.base.offset(index as i64)
+    }
+
+    /// Address of the `index`-th 8-byte word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word lies outside the array.
+    pub fn word(&self, index: u64) -> Addr {
+        let off = index * 8;
+        assert!(
+            off + 8 <= self.len_bytes,
+            "word index {index} out of bounds"
+        );
+        self.base.offset(off as i64)
+    }
+
+    /// Address of the start of the `index`-th cache line of the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line lies outside the array.
+    pub fn line(&self, index: u64) -> Addr {
+        let off = index * CACHE_LINE_BYTES;
+        assert!(off < self.len_bytes, "line index {index} out of bounds");
+        self.base.offset(off as i64)
+    }
+
+    /// Number of whole cache lines the array spans.
+    pub fn lines(&self) -> u64 {
+        self.len_bytes / CACHE_LINE_BYTES
+    }
+}
+
+/// A finished address-space layout: name → [`ArrayHandle`].
+#[derive(Debug, Clone, Default)]
+pub struct MemoryLayout {
+    arrays: HashMap<String, ArrayHandle>,
+    end: Addr,
+}
+
+impl MemoryLayout {
+    /// Looks up an array by name.
+    pub fn get(&self, name: &str) -> Option<ArrayHandle> {
+        self.arrays.get(name).copied()
+    }
+
+    /// Looks up an array by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no array with that name exists; use [`MemoryLayout::get`]
+    /// for a fallible lookup.
+    pub fn array(&self, name: &str) -> ArrayHandle {
+        self.get(name)
+            .unwrap_or_else(|| panic!("no array named {name:?} in layout"))
+    }
+
+    /// First address past every allocated array.
+    pub fn end(&self) -> Addr {
+        self.end
+    }
+
+    /// Iterates over `(name, handle)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, ArrayHandle)> {
+        self.arrays.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Builder assigning non-overlapping line-aligned ranges to named arrays.
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_mem::LayoutBuilder;
+///
+/// let layout = LayoutBuilder::new(0x10_000)
+///     .array("P", 64 * 256)
+///     .array("A", 256)
+///     .build();
+/// let p = layout.array("P");
+/// assert!(p.base().is_aligned(64));
+/// assert_ne!(p.base(), layout.array("A").base());
+/// ```
+#[derive(Debug)]
+pub struct LayoutBuilder {
+    next: Addr,
+    arrays: HashMap<String, ArrayHandle>,
+}
+
+impl LayoutBuilder {
+    /// Starts a layout at `base` (rounded up to a line boundary).
+    pub fn new(base: u64) -> Self {
+        let aligned = (base + CACHE_LINE_BYTES - 1) & !(CACHE_LINE_BYTES - 1);
+        LayoutBuilder {
+            next: Addr::new(aligned),
+            arrays: HashMap::new(),
+        }
+    }
+
+    /// Allocates `len_bytes` (rounded up to whole lines) under `name`.
+    ///
+    /// A gap line is left between consecutive arrays so that no two arrays
+    /// ever share a cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is reused.
+    pub fn array(mut self, name: &str, len_bytes: u64) -> Self {
+        let len = len_bytes.max(1);
+        let rounded = (len + CACHE_LINE_BYTES - 1) & !(CACHE_LINE_BYTES - 1);
+        let handle = ArrayHandle {
+            base: self.next,
+            len_bytes: rounded,
+        };
+        let prev = self.arrays.insert(name.to_owned(), handle);
+        assert!(prev.is_none(), "array {name:?} allocated twice");
+        // One guard line between arrays.
+        self.next = self.next.offset((rounded + CACHE_LINE_BYTES) as i64);
+        self
+    }
+
+    /// Finishes the layout.
+    pub fn build(self) -> MemoryLayout {
+        MemoryLayout {
+            arrays: self.arrays,
+            end: self.next,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_are_line_aligned_and_disjoint() {
+        let layout = LayoutBuilder::new(0x1001)
+            .array("a", 100)
+            .array("b", 64)
+            .build();
+        let a = layout.array("a");
+        let b = layout.array("b");
+        assert!(a.base().is_aligned(64));
+        assert!(b.base().is_aligned(64));
+        // 100 bytes round to 128; plus a guard line.
+        assert!(b.base().raw() >= a.base().raw() + 128 + 64);
+    }
+
+    #[test]
+    fn indexing_helpers() {
+        let layout = LayoutBuilder::new(0).array("p", 64 * 4).build();
+        let p = layout.array("p");
+        assert_eq!(p.lines(), 4);
+        assert_eq!(p.line(3) - p.base(), 192);
+        assert_eq!(p.word(2) - p.base(), 16);
+        assert_eq!(p.byte(63) - p.base(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn duplicate_name_panics() {
+        let _ = LayoutBuilder::new(0).array("x", 8).array("x", 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_line_panics() {
+        let layout = LayoutBuilder::new(0).array("p", 64).build();
+        layout.array("p").line(1);
+    }
+
+    #[test]
+    fn missing_array_is_none() {
+        let layout = LayoutBuilder::new(0).build();
+        assert!(layout.get("nope").is_none());
+    }
+}

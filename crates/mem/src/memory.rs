@@ -1,0 +1,126 @@
+//! Sparse, line-granular architectural backing store.
+
+use std::collections::HashMap;
+
+use crate::{Addr, LineAddr, CACHE_LINE_BYTES};
+
+/// The architectural memory of the simulated machine.
+///
+/// Lines not yet written read as zero. The store is the single source of
+/// truth for data values; caches only track which lines are resident, so a
+/// rollback of cache *state* never needs to touch data.
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_mem::{Addr, Memory};
+///
+/// let mut mem = Memory::new();
+/// mem.write_u64(Addr::new(0x100), 42);
+/// assert_eq!(mem.read_u64(Addr::new(0x100)), 42);
+/// assert_eq!(mem.read_u64(Addr::new(0x108)), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    lines: HashMap<LineAddr, [u8; CACHE_LINE_BYTES as usize]>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.lines.get(&addr.line()) {
+            Some(line) => line[addr.line_offset() as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let line = self.lines.entry(addr.line()).or_insert([0; 64]);
+        line[addr.line_offset() as usize] = value;
+    }
+
+    /// Reads a little-endian 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned; the simulated ISA only
+    /// issues aligned word accesses, so a misaligned address here is a bug
+    /// in program construction.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        assert!(addr.is_aligned(8), "misaligned 8-byte load at {addr}");
+        match self.lines.get(&addr.line()) {
+            Some(line) => {
+                let off = addr.line_offset() as usize;
+                u64::from_le_bytes(line[off..off + 8].try_into().expect("8 bytes"))
+            }
+            None => 0,
+        }
+    }
+
+    /// Writes a little-endian 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        assert!(addr.is_aligned(8), "misaligned 8-byte store at {addr}");
+        let line = self.lines.entry(addr.line()).or_insert([0; 64]);
+        let off = addr.line_offset() as usize;
+        line[off..off + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Number of lines that have ever been written.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(Addr::new(0xdead_beef)), 0);
+        assert_eq!(mem.read_u64(Addr::new(0xdead_bee8)), 0);
+    }
+
+    #[test]
+    fn byte_and_word_views_agree() {
+        let mut mem = Memory::new();
+        mem.write_u64(Addr::new(0x40), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u8(Addr::new(0x40)), 0x08); // little-endian
+        assert_eq!(mem.read_u8(Addr::new(0x47)), 0x01);
+    }
+
+    #[test]
+    fn writes_are_line_sparse() {
+        let mut mem = Memory::new();
+        mem.write_u8(Addr::new(0), 1);
+        mem.write_u8(Addr::new(63), 2);
+        mem.write_u8(Addr::new(64), 3);
+        assert_eq!(mem.resident_lines(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_word_load_panics() {
+        Memory::new().read_u64(Addr::new(0x41));
+    }
+
+    #[test]
+    fn word_overwrite() {
+        let mut mem = Memory::new();
+        let a = Addr::new(0x80);
+        mem.write_u64(a, u64::MAX);
+        mem.write_u64(a, 7);
+        assert_eq!(mem.read_u64(a), 7);
+    }
+}

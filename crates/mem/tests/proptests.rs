@@ -1,0 +1,75 @@
+//! Property tests for addressing and the backing store.
+
+use proptest::prelude::*;
+use unxpec_mem::{Addr, LayoutBuilder, LineAddr, Memory, CACHE_LINE_BYTES};
+
+proptest! {
+    #[test]
+    fn line_base_and_offset_partition_the_address(raw in any::<u64>()) {
+        let a = Addr::new(raw);
+        prop_assert_eq!(a.line_base().raw() + a.line_offset(), raw);
+        prop_assert!(a.line_offset() < CACHE_LINE_BYTES);
+        prop_assert_eq!(a.line().base().line(), a.line());
+    }
+
+    #[test]
+    fn line_roundtrip(line in any::<u64>() ) {
+        // Avoid shift overflow at the extreme top of the space.
+        let line = line >> 6;
+        let l = LineAddr::new(line);
+        prop_assert_eq!(l.base().line(), l);
+    }
+
+    #[test]
+    fn memory_holds_last_write(
+        writes in proptest::collection::vec((0u64..1 << 20, any::<u64>()), 1..200)
+    ) {
+        let mut mem = Memory::new();
+        let mut model = std::collections::HashMap::new();
+        for (slot, value) in &writes {
+            let addr = Addr::new(slot * 8);
+            mem.write_u64(addr, *value);
+            model.insert(*slot, *value);
+        }
+        for (slot, value) in model {
+            prop_assert_eq!(mem.read_u64(Addr::new(slot * 8)), value);
+        }
+    }
+
+    #[test]
+    fn byte_writes_do_not_clobber_neighbours(
+        base in 0u64..1 << 16,
+        value in any::<u8>(),
+    ) {
+        let mut mem = Memory::new();
+        let addr = Addr::new(base);
+        mem.write_u8(addr.offset(1), 0xAA);
+        mem.write_u8(addr, value);
+        prop_assert_eq!(mem.read_u8(addr), value);
+        prop_assert_eq!(mem.read_u8(addr.offset(1)), 0xAA);
+    }
+
+    #[test]
+    fn layout_arrays_never_share_cache_lines(
+        sizes in proptest::collection::vec(1u64..2000, 2..12)
+    ) {
+        let mut builder = LayoutBuilder::new(0x1000);
+        for (i, size) in sizes.iter().enumerate() {
+            builder = builder.array(&format!("a{i}"), *size);
+        }
+        let layout = builder.build();
+        let handles: Vec<_> = (0..sizes.len())
+            .map(|i| layout.array(&format!("a{i}")))
+            .collect();
+        for (i, a) in handles.iter().enumerate() {
+            for b in &handles[..i] {
+                let a_lines = a.base().line().raw()..=a.byte(a.len_bytes() - 1).line().raw();
+                let b_lines = b.base().line().raw()..=b.byte(b.len_bytes() - 1).line().raw();
+                prop_assert!(
+                    a_lines.end() < b_lines.start() || b_lines.end() < a_lines.start(),
+                    "arrays {i} overlap lines"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Bit-decoding accuracy accounting (the Figs. 10/11 scatter legend).
+
+/// A 2×2 confusion matrix over one-bit guesses.
+/// # Examples
+///
+/// ```
+/// use unxpec_stats::Confusion;
+///
+/// let c = Confusion::from_bits(&[true, false, true], &[true, false, false]);
+/// assert_eq!(c.correct(), 2);
+/// assert!((c.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// guess = 0, secret = 0.
+    pub true_zero: u64,
+    /// guess = 1, secret = 1.
+    pub true_one: u64,
+    /// guess = 1, secret = 0.
+    pub false_one: u64,
+    /// guess = 0, secret = 1.
+    pub false_zero: u64,
+}
+
+impl Confusion {
+    /// Records one `(secret, guess)` outcome.
+    pub fn record(&mut self, secret: bool, guess: bool) {
+        match (secret, guess) {
+            (false, false) => self.true_zero += 1,
+            (true, true) => self.true_one += 1,
+            (false, true) => self.false_one += 1,
+            (true, false) => self.false_zero += 1,
+        }
+    }
+
+    /// Builds a matrix from parallel secret/guess slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_bits(secrets: &[bool], guesses: &[bool]) -> Self {
+        assert_eq!(secrets.len(), guesses.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&s, &g) in secrets.iter().zip(guesses) {
+            c.record(s, g);
+        }
+        c
+    }
+
+    /// Total bits decoded.
+    pub fn total(&self) -> u64 {
+        self.true_zero + self.true_one + self.false_one + self.false_zero
+    }
+
+    /// Correctly decoded bits.
+    pub fn correct(&self) -> u64 {
+        self.true_zero + self.true_one
+    }
+
+    /// Decoding accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.correct() as f64 / self.total() as f64
+        }
+    }
+
+    /// Bit error rate (`1 - accuracy`).
+    pub fn bit_error_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            1.0 - self.accuracy()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts() {
+        let secrets = [true, true, false, false, true];
+        let guesses = [true, false, false, true, true];
+        let c = Confusion::from_bits(&secrets, &guesses);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.correct(), 3);
+        assert_eq!(c.false_zero, 1);
+        assert_eq!(c.false_one, 1);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.bit_error_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Confusion::from_bits(&[true], &[]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Plain-text rendering of experiment series and tables.
+//!
+//! The bench harness prints each figure as an ASCII chart or table so a
+//! reproduction run can be eyeballed against the paper without any
+//! plotting dependency.
+
+/// Renders `(x, y)` series as a right-aligned bar chart, one row per
+/// point: `label | ########## value`.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in rows {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$} | {} {value:.2}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders two overlaid line series (e.g. the secret=0 / secret=1 PDFs
+/// of Figs. 7/8) as rows of `0`, `1` and `B` (both) markers.
+pub fn dual_series(
+    title: &str,
+    xs: &[f64],
+    series0: &[f64],
+    series1: &[f64],
+    height: usize,
+) -> String {
+    assert_eq!(xs.len(), series0.len());
+    assert_eq!(xs.len(), series1.len());
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = series0
+        .iter()
+        .chain(series1)
+        .fold(f64::MIN, |a, &b| a.max(b))
+        .max(f64::MIN_POSITIVE);
+    let cols = xs.len();
+    let mut grid = vec![vec![' '; cols]; height];
+    for (c, (&v0, &v1)) in series0.iter().zip(series1).enumerate() {
+        let r0 = ((v0 / max) * (height - 1) as f64).round() as usize;
+        let r1 = ((v1 / max) * (height - 1) as f64).round() as usize;
+        let row0 = height - 1 - r0;
+        let row1 = height - 1 - r1;
+        grid[row0][c] = '0';
+        grid[row1][c] = if row1 == row0 { 'B' } else { '1' };
+    }
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "   x: {:.0} .. {:.0}  (0 = secret 0, 1 = secret 1, B = both)\n",
+        xs.first().copied().unwrap_or(0.0),
+        xs.last().copied().unwrap_or(0.0)
+    ));
+    out
+}
+
+/// Renders a simple fixed-width table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<String>, widths: &[usize]| {
+        let mut line = String::from("  ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{cell:<w$}  ", w = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    out.push_str(&render_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push_str(&format!(
+        "  {}\n",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    ));
+    for row in rows {
+        out.push_str(&render_row(row.clone(), &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let rows = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let chart = bar_chart("t", &rows, 10);
+        assert!(chart.contains("##########"), "{chart}");
+        assert!(chart.contains("#####"), "{chart}");
+        assert!(chart.starts_with("t\n"));
+    }
+
+    #[test]
+    fn dual_series_marks_both() {
+        let xs = vec![0.0, 1.0, 2.0];
+        let s = dual_series("pdf", &xs, &[0.1, 0.5, 0.1], &[0.1, 0.5, 0.1], 4);
+        assert!(s.contains('B'), "{s}");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("name"));
+        assert!(t.contains("longer"));
+        assert!(t.contains("----"));
+    }
+
+    #[test]
+    fn empty_bar_chart_is_title_only() {
+        let chart = bar_chart("empty", &[], 10);
+        assert_eq!(chart, "empty\n");
+    }
+}

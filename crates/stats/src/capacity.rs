@@ -1,0 +1,134 @@
+//! Covert-channel capacity estimation.
+//!
+//! The paper quotes raw bit rate × accuracy; the information-theoretic
+//! figure of merit is the capacity of the binary asymmetric channel the
+//! decoder actually implements. Combined with rounds/second this gives
+//! leaked *information* per second.
+
+use crate::accuracy::Confusion;
+
+fn h(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+    }
+}
+
+/// Mutual information `I(X; Y)` of a binary asymmetric channel with
+/// crossover probabilities `e0` (0 read as 1) and `e1` (1 read as 0),
+/// for input distribution `P(X = 1) = p1`.
+pub fn mutual_information(e0: f64, e1: f64, p1: f64) -> f64 {
+    let p0 = 1.0 - p1;
+    // P(Y = 1)
+    let py1 = p0 * e0 + p1 * (1.0 - e1);
+    let hy = h(py1);
+    let hy_given_x = p0 * h(e0) + p1 * h(e1);
+    (hy - hy_given_x).max(0.0)
+}
+
+/// Capacity (bits per channel use) of the binary asymmetric channel,
+/// maximized numerically over the input distribution.
+///
+/// # Panics
+///
+/// Panics if the error probabilities are outside `[0, 1]`.
+pub fn bac_capacity(e0: f64, e1: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&e0) && (0.0..=1.0).contains(&e1));
+    // Golden-section search over p1 in [0, 1]; I is concave in p1.
+    let phi = 0.618_033_988_749_895;
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let a = hi - phi * (hi - lo);
+        let b = lo + phi * (hi - lo);
+        if mutual_information(e0, e1, a) < mutual_information(e0, e1, b) {
+            lo = a;
+        } else {
+            hi = b;
+        }
+    }
+    mutual_information(e0, e1, (lo + hi) / 2.0)
+}
+
+/// Empirical channel capacity from a decoding confusion matrix.
+///
+/// Returns zero when either input class was never sent.
+pub fn empirical_capacity(c: &Confusion) -> f64 {
+    let zeros = c.true_zero + c.false_one;
+    let ones = c.true_one + c.false_zero;
+    if zeros == 0 || ones == 0 {
+        return 0.0;
+    }
+    let e0 = c.false_one as f64 / zeros as f64;
+    let e1 = c.false_zero as f64 / ones as f64;
+    bac_capacity(e0, e1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_channel_has_capacity_one() {
+        assert!((bac_capacity(0.0, 0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn useless_channel_has_capacity_zero() {
+        assert!(bac_capacity(0.5, 0.5) < 1e-6);
+    }
+
+    #[test]
+    fn symmetric_channel_matches_the_bsc_formula() {
+        for e in [0.05, 0.1, 0.133, 0.25] {
+            let expected = 1.0 - h(e);
+            let got = bac_capacity(e, e);
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "BSC({e}): {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetry_beats_the_worse_symmetric_channel() {
+        // A channel with e0 = 0.2, e1 = 0.0 carries more than BSC(0.2).
+        let asym = bac_capacity(0.2, 0.0);
+        let sym = bac_capacity(0.2, 0.2);
+        assert!(asym > sym);
+        assert!(asym < 1.0);
+    }
+
+    #[test]
+    fn paper_accuracies_give_sensible_capacities() {
+        // 86.7% / 91.6% symmetric-ish error rates.
+        let no_es = bac_capacity(0.133, 0.133);
+        let es = bac_capacity(0.084, 0.084);
+        assert!((0.40..0.50).contains(&no_es), "{no_es}");
+        assert!((0.55..0.65).contains(&es), "{es}");
+        assert!(es > no_es);
+    }
+
+    #[test]
+    fn empirical_capacity_from_confusion() {
+        let mut c = Confusion::default();
+        for _ in 0..90 {
+            c.record(false, false);
+            c.record(true, true);
+        }
+        for _ in 0..10 {
+            c.record(false, true);
+            c.record(true, false);
+        }
+        let cap = empirical_capacity(&c);
+        let expected = bac_capacity(0.1, 0.1);
+        assert!((cap - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sided_input_is_zero() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        assert_eq!(empirical_capacity(&c), 0.0);
+    }
+}

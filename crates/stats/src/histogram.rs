@@ -1,0 +1,105 @@
+//! Fixed-bin histograms of cycle measurements.
+
+/// A histogram over `u64` samples with uniform bins.
+/// # Examples
+///
+/// ```
+/// use unxpec_stats::Histogram;
+///
+/// let mut h = Histogram::new(100, 10, 5);
+/// h.extend(&[105, 117, 142, 999]);
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: u64,
+    bin_width: u64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, lo + bins * bin_width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` or `bin_width` is zero.
+    pub fn new(lo: u64, bin_width: u64, bins: usize) -> Self {
+        assert!(bins > 0 && bin_width > 0, "degenerate histogram");
+        Histogram {
+            lo,
+            bin_width,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: u64) {
+        if sample < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((sample - self.lo) / self.bin_width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every sample in `samples`.
+    pub fn extend(&mut self, samples: &[u64]) {
+        for &s in samples {
+            self.add(s);
+        }
+    }
+
+    /// `(bin_start, count)` pairs.
+    pub fn bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + i as u64 * self.bin_width, c))
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning() {
+        let mut h = Histogram::new(100, 10, 3);
+        h.extend(&[99, 100, 105, 110, 129, 130]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        let bins: Vec<_> = h.bins().collect();
+        assert_eq!(bins, vec![(100, 2), (110, 1), (120, 1)]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_bins_panic() {
+        Histogram::new(0, 1, 0);
+    }
+}

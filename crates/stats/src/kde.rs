@@ -1,0 +1,138 @@
+//! Gaussian kernel density estimation.
+//!
+//! The paper estimates its Fig. 7 and Fig. 8 probability density
+//! functions with Matlab's built-in KDE; this is the same estimator:
+//! a Gaussian kernel with Silverman's rule-of-thumb bandwidth.
+
+use crate::summary::Summary;
+
+/// A kernel density estimate over one sample set.
+/// # Examples
+///
+/// ```
+/// use unxpec_stats::Kde;
+///
+/// let kde = Kde::fit(&[10.0, 11.0, 12.0, 11.5, 10.5]);
+/// assert!(kde.density(11.0) > kde.density(30.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Fits a KDE with Silverman's rule-of-thumb bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn fit(samples: &[f64]) -> Self {
+        let s = Summary::of(samples);
+        // Silverman: h = 1.06 * sigma * n^(-1/5); floor the bandwidth so
+        // degenerate (constant) samples still render.
+        let h = (1.06 * s.std_dev * (s.n as f64).powf(-0.2)).max(0.5);
+        Kde {
+            samples: samples.to_vec(),
+            bandwidth: h,
+        }
+    }
+
+    /// Fits a KDE over integer cycle measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn fit_cycles(samples: &[u64]) -> Self {
+        let floats: Vec<f64> = samples.iter().map(|&c| c as f64).collect();
+        Self::fit(&floats)
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * h * self.samples.len() as f64);
+        self.samples
+            .iter()
+            .map(|&s| (-(x - s).powi(2) / (2.0 * h * h)).exp())
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Densities over an inclusive grid `[lo, hi]` with `points` samples
+    /// — the series the Fig. 7/8 renderer plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2` or `hi <= lo`.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two grid points");
+        assert!(hi > lo, "grid range must be increasing");
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + i as f64 * step;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+
+    /// Location of the density maximum on a grid (mode estimate).
+    pub fn mode(&self, lo: f64, hi: f64, points: usize) -> f64 {
+        self.grid(lo, hi, points)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("densities are finite"))
+            .map(|(x, _)| x)
+            .expect("grid is nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_roughly_one() {
+        let samples: Vec<f64> = (0..100).map(|i| 50.0 + (i % 10) as f64).collect();
+        let kde = Kde::fit(&samples);
+        let grid = kde.grid(20.0, 90.0, 700);
+        let step = grid[1].0 - grid[0].0;
+        let integral: f64 = grid.iter().map(|(_, d)| d * step).sum();
+        assert!((integral - 1.0).abs() < 0.05, "integral {integral}");
+    }
+
+    #[test]
+    fn mode_near_sample_center() {
+        let samples: Vec<f64> = (0..500).map(|i| 178.0 + ((i * 7) % 11) as f64 - 5.0).collect();
+        let kde = Kde::fit(&samples);
+        let mode = kde.mode(150.0, 210.0, 600);
+        assert!((mode - 178.0).abs() < 4.0, "mode {mode}");
+    }
+
+    #[test]
+    fn separated_distributions_have_separated_modes() {
+        let s0: Vec<f64> = (0..200).map(|i| 156.0 + (i % 7) as f64).collect();
+        let s1: Vec<f64> = (0..200).map(|i| 178.0 + (i % 7) as f64).collect();
+        let m0 = Kde::fit(&s0).mode(100.0, 250.0, 1000);
+        let m1 = Kde::fit(&s1).mode(100.0, 250.0, 1000);
+        assert!(m1 - m0 > 15.0, "modes {m0} vs {m1}");
+    }
+
+    #[test]
+    fn constant_samples_do_not_blow_up() {
+        let kde = Kde::fit(&[100.0; 50]);
+        assert!(kde.density(100.0).is_finite());
+        assert!(kde.density(100.0) > kde.density(110.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        Kde::fit(&[]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Sample summaries.
+
+/// Summary statistics of a sample set.
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample set");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        }
+    }
+
+    /// Summarizes integer cycle counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of_cycles(samples: &[u64]) -> Self {
+        let floats: Vec<f64> = samples.iter().map(|&c| c as f64).collect();
+        Self::of(&floats)
+    }
+}
+
+/// The `p`-th percentile of already-sorted samples (linear
+/// interpolation).
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The `p`-th percentile of unsorted samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    percentile_sorted(&sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn median_interpolates() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_convenience() {
+        let s = Summary::of_cycles(&[10, 20, 30]);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+}

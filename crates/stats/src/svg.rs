@@ -1,0 +1,309 @@
+//! Dependency-free SVG rendering of experiment figures.
+//!
+//! The ASCII charts in [`crate::ascii`] are for terminals; these
+//! functions emit standalone SVG documents so a reproduction run can
+//! produce actual figure files (`experiments --svg <dir>`).
+
+use std::fmt::Write as _;
+
+/// Canvas geometry shared by the renderers.
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_L: f64 = 60.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+/// Distinct series colors.
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+fn header(title: &str) -> String {
+    format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">
+<rect width="100%" height="100%" fill="white"/>
+<text x="{x}" y="24" text-anchor="middle" font-family="sans-serif" font-size="15" font-weight="bold">{title}</text>
+"#,
+        x = WIDTH / 2.0,
+        title = escape(title)
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn x_scale(x: f64, lo: f64, hi: f64) -> f64 {
+    MARGIN_L + (x - lo) / (hi - lo).max(f64::MIN_POSITIVE) * (WIDTH - MARGIN_L - MARGIN_R)
+}
+
+fn y_scale(y: f64, lo: f64, hi: f64) -> f64 {
+    HEIGHT - MARGIN_B - (y - lo) / (hi - lo).max(f64::MIN_POSITIVE) * (HEIGHT - MARGIN_T - MARGIN_B)
+}
+
+fn axes(out: &mut String, x_lo: f64, x_hi: f64, y_lo: f64, y_hi: f64, x_label: &str, y_label: &str) {
+    let x0 = MARGIN_L;
+    let x1 = WIDTH - MARGIN_R;
+    let y0 = HEIGHT - MARGIN_B;
+    let y1 = MARGIN_T;
+    let _ = write!(
+        out,
+        r#"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>
+<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>
+<text x="{xm}" y="{yl}" text-anchor="middle" font-family="sans-serif" font-size="12">{x_label}</text>
+<text x="16" y="{ym}" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 {ym})">{y_label}</text>
+"#,
+        xm = (x0 + x1) / 2.0,
+        yl = HEIGHT - 12.0,
+        ym = (y0 + y1) / 2.0,
+        x_label = escape(x_label),
+        y_label = escape(y_label),
+    );
+    // Tick labels at the corners.
+    let _ = write!(
+        out,
+        r#"<text x="{x0}" y="{ty}" text-anchor="middle" font-family="sans-serif" font-size="10">{xl:.0}</text>
+<text x="{x1}" y="{ty}" text-anchor="middle" font-family="sans-serif" font-size="10">{xh:.0}</text>
+<text x="{lx}" y="{y0}" text-anchor="end" font-family="sans-serif" font-size="10">{yl2:.2}</text>
+<text x="{lx}" y="{y1b}" text-anchor="end" font-family="sans-serif" font-size="10">{yh:.2}</text>
+"#,
+        ty = y0 + 16.0,
+        xl = x_lo,
+        xh = x_hi,
+        lx = x0 - 6.0,
+        yl2 = y_lo,
+        y1b = y1 + 4.0,
+        yh = y_hi,
+    );
+}
+
+/// Renders overlaid line series (e.g. the Fig. 7/8 KDE curves).
+///
+/// Each series is `(label, points)`; all series share the axes.
+///
+/// # Panics
+///
+/// Panics if no series or an empty series is given.
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let all = series.iter().flat_map(|(_, pts)| pts.iter());
+    let (mut x_lo, mut x_hi) = (f64::MAX, f64::MIN);
+    let (mut y_lo, mut y_hi) = (0.0f64, f64::MIN);
+    for (x, y) in all {
+        assert!(x.is_finite() && y.is_finite(), "points must be finite");
+        x_lo = x_lo.min(*x);
+        x_hi = x_hi.max(*x);
+        y_lo = y_lo.min(*y);
+        y_hi = y_hi.max(*y);
+    }
+    let mut out = header(title);
+    axes(&mut out, x_lo, x_hi, y_lo, y_hi, x_label, y_label);
+    for (i, (label, pts)) in series.iter().enumerate() {
+        assert!(!pts.is_empty(), "series {label:?} is empty");
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> = pts
+            .iter()
+            .enumerate()
+            .map(|(j, (x, y))| {
+                let cmd = if j == 0 { 'M' } else { 'L' };
+                format!(
+                    "{cmd}{:.1},{:.1}",
+                    x_scale(*x, x_lo, x_hi),
+                    y_scale(*y, y_lo, y_hi)
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            r#"<path d="{}" fill="none" stroke="{color}" stroke-width="1.5"/>
+<text x="{lx}" y="{ly}" font-family="sans-serif" font-size="11" fill="{color}">{label}</text>
+"#,
+            path.join(" "),
+            lx = WIDTH - MARGIN_R - 120.0,
+            ly = MARGIN_T + 14.0 * (i as f64 + 1.0),
+            label = escape(label),
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders grouped vertical bars (e.g. the Fig. 12 slowdowns): one
+/// group per `category`, one bar per series.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or empty.
+pub fn grouped_bar_chart(
+    title: &str,
+    y_label: &str,
+    categories: &[String],
+    series: &[(&str, Vec<f64>)],
+) -> String {
+    assert!(!categories.is_empty() && !series.is_empty(), "empty chart");
+    for (label, vals) in series {
+        assert_eq!(
+            vals.len(),
+            categories.len(),
+            "series {label:?} length mismatch"
+        );
+    }
+    let y_hi = series
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .fold(f64::MIN, |a, &b| a.max(b))
+        .max(f64::MIN_POSITIVE);
+    let mut out = header(title);
+    axes(&mut out, 0.0, categories.len() as f64, 0.0, y_hi, "", y_label);
+    let group_w = (WIDTH - MARGIN_L - MARGIN_R) / categories.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len() as f64;
+    for (ci, cat) in categories.iter().enumerate() {
+        for (si, (_, vals)) in series.iter().enumerate() {
+            let v = vals[ci];
+            let x = MARGIN_L + ci as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
+            let y = y_scale(v, 0.0, y_hi);
+            let h = (HEIGHT - MARGIN_B) - y;
+            let color = COLORS[si % COLORS.len()];
+            let _ = writeln!(
+                out,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{color}"/>"#
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<text x="{x:.1}" y="{y}" text-anchor="end" font-family="sans-serif" font-size="9" transform="rotate(-45 {x:.1} {y})">{cat}</text>"#,
+            x = MARGIN_L + (ci as f64 + 0.5) * group_w,
+            y = HEIGHT - MARGIN_B + 14.0,
+            cat = escape(cat),
+        );
+    }
+    for (si, (label, _)) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let _ = write!(
+            out,
+            r#"<rect x="{x}" y="{y}" width="10" height="10" fill="{color}"/>
+<text x="{tx}" y="{ty}" font-family="sans-serif" font-size="11">{label}</text>
+"#,
+            x = WIDTH - MARGIN_R - 130.0,
+            y = MARGIN_T + 14.0 * si as f64,
+            tx = WIDTH - MARGIN_R - 116.0,
+            ty = MARGIN_T + 14.0 * si as f64 + 9.0,
+            label = escape(label),
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a scatter of `(index, value)` points colored by a boolean
+/// class (the Fig. 10/11 observed-latency scatter).
+pub fn scatter_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    points: &[(f64, f64, bool)],
+    class_labels: (&str, &str),
+) -> String {
+    assert!(!points.is_empty(), "need points");
+    let (mut x_lo, mut x_hi) = (f64::MAX, f64::MIN);
+    let (mut y_lo, mut y_hi) = (f64::MAX, f64::MIN);
+    for (x, y, _) in points {
+        x_lo = x_lo.min(*x);
+        x_hi = x_hi.max(*x);
+        y_lo = y_lo.min(*y);
+        y_hi = y_hi.max(*y);
+    }
+    let mut out = header(title);
+    axes(&mut out, x_lo, x_hi, y_lo, y_hi, x_label, y_label);
+    for (x, y, class) in points {
+        let color = if *class { COLORS[1] } else { COLORS[0] };
+        let _ = writeln!(
+            out,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="2" fill="{color}" fill-opacity="0.6"/>"#,
+            x_scale(*x, x_lo, x_hi),
+            y_scale(*y, y_lo, y_hi)
+        );
+    }
+    let _ = write!(
+        out,
+        r#"<text x="{lx}" y="{ly0}" font-family="sans-serif" font-size="11" fill="{c0}">{l0}</text>
+<text x="{lx}" y="{ly1}" font-family="sans-serif" font-size="11" fill="{c1}">{l1}</text>
+"#,
+        lx = WIDTH - MARGIN_R - 120.0,
+        ly0 = MARGIN_T + 14.0,
+        ly1 = MARGIN_T + 28.0,
+        c0 = COLORS[0],
+        c1 = COLORS[1],
+        l0 = escape(class_labels.0),
+        l1 = escape(class_labels.1),
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_is_valid_svg_with_both_series() {
+        let svg = line_chart(
+            "Fig. 7",
+            "latency",
+            "density",
+            &[
+                ("secret 0", vec![(130.0, 0.0), (156.0, 0.04), (180.0, 0.0)]),
+                ("secret 1", vec![(130.0, 0.0), (178.0, 0.03), (200.0, 0.0)]),
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("secret 0"));
+        assert!(svg.contains("Fig. 7"));
+    }
+
+    #[test]
+    fn bar_chart_draws_one_rect_per_value_plus_legend() {
+        let cats = vec!["a".to_string(), "b".to_string()];
+        let svg = grouped_bar_chart(
+            "Fig. 12",
+            "slowdown",
+            &cats,
+            &[("c25", vec![1.2, 1.3]), ("c65", vec![1.6, 1.9])],
+        );
+        // 4 bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 4 + 2 + 1 /* background */);
+    }
+
+    #[test]
+    fn scatter_colors_by_class() {
+        let svg = scatter_chart(
+            "Fig. 10",
+            "bit",
+            "latency",
+            &[(0.0, 150.0, false), (1.0, 180.0, true)],
+            ("secret 0", "secret 1"),
+        );
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.contains(COLORS[0]) && svg.contains(COLORS[1]));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = line_chart("a < b & c", "x", "y", &[("s", vec![(0.0, 1.0), (1.0, 2.0)])]);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_chart_panics() {
+        line_chart("t", "x", "y", &[]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Decision-threshold selection between two latency distributions.
+//!
+//! The receiver decodes a bit by comparing the observed latency against
+//! a threshold chosen between the secret=0 and secret=1 distributions
+//! (the paper picks 178 and 183 cycles for its two attack variants).
+
+/// Midpoint of the two sample means — the paper's simple choice.
+///
+/// # Panics
+///
+/// Panics if either sample set is empty.
+pub fn midpoint_threshold(zeros: &[u64], ones: &[u64]) -> u64 {
+    assert!(!zeros.is_empty() && !ones.is_empty(), "empty sample set");
+    let m0 = zeros.iter().sum::<u64>() as f64 / zeros.len() as f64;
+    let m1 = ones.iter().sum::<u64>() as f64 / ones.len() as f64;
+    ((m0 + m1) / 2.0).round() as u64
+}
+
+/// Exhaustive threshold search minimizing training-set decoding error.
+///
+/// Returns `(threshold, training_accuracy)` where a sample decodes as 1
+/// when `latency > threshold`.
+///
+/// # Panics
+///
+/// Panics if either sample set is empty.
+pub fn best_threshold(zeros: &[u64], ones: &[u64]) -> (u64, f64) {
+    assert!(!zeros.is_empty() && !ones.is_empty(), "empty sample set");
+    let lo = *zeros.iter().chain(ones).min().expect("nonempty");
+    let hi = *zeros.iter().chain(ones).max().expect("nonempty");
+    let total = (zeros.len() + ones.len()) as f64;
+    let mut best = (lo, 0.0);
+    for t in lo..=hi {
+        let correct = zeros.iter().filter(|&&z| z <= t).count()
+            + ones.iter().filter(|&&o| o > t).count();
+        let acc = correct as f64 / total;
+        if acc > best.1 {
+            best = (t, acc);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midpoint_splits_means() {
+        let zeros = vec![150, 152, 154];
+        let ones = vec![170, 172, 174];
+        assert_eq!(midpoint_threshold(&zeros, &ones), 162);
+    }
+
+    #[test]
+    fn best_threshold_separates_disjoint_sets_perfectly() {
+        let zeros = vec![150, 151, 152, 153];
+        let ones = vec![170, 171, 172];
+        let (t, acc) = best_threshold(&zeros, &ones);
+        assert!((153..170).contains(&t), "threshold {t}");
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn best_threshold_handles_overlap() {
+        let zeros = vec![150, 160, 170, 155];
+        let ones = vec![165, 175, 185, 158];
+        let (_, acc) = best_threshold(&zeros, &ones);
+        assert!((0.5..1.0).contains(&acc), "accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        midpoint_threshold(&[], &[1]);
+    }
+}

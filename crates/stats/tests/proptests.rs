@@ -1,0 +1,77 @@
+//! Property tests for the statistics utilities.
+
+use proptest::prelude::*;
+use unxpec_stats::{best_threshold, midpoint_threshold, Confusion, Histogram, Kde, Summary};
+
+proptest! {
+    #[test]
+    fn summary_bounds_hold(samples in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+        let s = Summary::of(&samples);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, samples.len());
+    }
+
+    #[test]
+    fn summary_is_translation_equivariant(
+        samples in proptest::collection::vec(0f64..1e3, 2..100),
+        shift in -1e3f64..1e3,
+    ) {
+        let a = Summary::of(&samples);
+        let shifted: Vec<f64> = samples.iter().map(|x| x + shift).collect();
+        let b = Summary::of(&shifted);
+        prop_assert!((b.mean - a.mean - shift).abs() < 1e-6);
+        prop_assert!((b.std_dev - a.std_dev).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_threshold_beats_midpoint(
+        zeros in proptest::collection::vec(100u64..200, 3..60),
+        ones in proptest::collection::vec(150u64..260, 3..60),
+    ) {
+        let (_, best_acc) = best_threshold(&zeros, &ones);
+        let mid = midpoint_threshold(&zeros, &ones);
+        let mid_acc = {
+            let correct = zeros.iter().filter(|&&z| z <= mid).count()
+                + ones.iter().filter(|&&o| o > mid).count();
+            correct as f64 / (zeros.len() + ones.len()) as f64
+        };
+        prop_assert!(best_acc + 1e-9 >= mid_acc, "best {best_acc} < midpoint {mid_acc}");
+        prop_assert!(best_acc >= 0.5 - 1e-9, "decoder can always get half right on separable sweep");
+    }
+
+    #[test]
+    fn kde_density_is_nonnegative_and_finite(
+        samples in proptest::collection::vec(0f64..500.0, 2..80),
+        x in -100f64..700.0,
+    ) {
+        let kde = Kde::fit(&samples);
+        let d = kde.density(x);
+        prop_assert!(d.is_finite());
+        prop_assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn histogram_conserves_samples(
+        samples in proptest::collection::vec(any::<u64>(), 0..200)
+    ) {
+        let mut h = Histogram::new(1000, 50, 20);
+        h.extend(&samples);
+        prop_assert_eq!(
+            h.total() + h.underflow() + h.overflow(),
+            samples.len() as u64
+        );
+    }
+
+    #[test]
+    fn confusion_totals(bits in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..200)) {
+        let secrets: Vec<bool> = bits.iter().map(|(s, _)| *s).collect();
+        let guesses: Vec<bool> = bits.iter().map(|(_, g)| *g).collect();
+        let c = Confusion::from_bits(&secrets, &guesses);
+        prop_assert_eq!(c.total() as usize, bits.len());
+        let acc = c.accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((c.accuracy() + c.bit_error_rate() - 1.0).abs() < 1e-12 || c.total() == 0);
+    }
+}

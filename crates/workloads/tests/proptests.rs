@@ -1,0 +1,59 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+use unxpec_cpu::Core;
+use unxpec_workloads::{KernelSpec, Workload};
+
+fn spec_strategy() -> impl Strategy<Value = KernelSpec> {
+    (
+        prop_oneof![Just(128u64), Just(512), Just(2048)],
+        0u64..16,
+        any::<bool>(),
+        0usize..6,
+        1usize..3,
+        any::<bool>(),
+        0usize..6,
+        prop_oneof![Just(0u64), Just(7), Just(15)],
+        any::<u64>(),
+    )
+        .prop_map(
+            |(ws, mask, chase, alus, loads, stores, tail, cold, seed)| KernelSpec {
+                name: "prop",
+                working_set_lines: ws,
+                branch_mask: mask,
+                pointer_chase: chase,
+                extra_alus: alus,
+                loads_per_iter: loads,
+                stores,
+                tail_alus: tail,
+                cold_mask: cold,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_generated_kernel_runs_and_makes_progress(spec in spec_strategy()) {
+        let w = Workload::new(spec);
+        let mut core = Core::table_i();
+        w.install(&mut core);
+        let r = core.run_for(w.program(), 3_000);
+        prop_assert!(r.hit_limit, "kernels are infinite loops");
+        prop_assert!(r.stats.committed_insts >= 3_000);
+        prop_assert!(r.stats.ipc() > 0.0);
+        prop_assert!(r.stats.ipc() <= 4.0, "bounded by dispatch width");
+    }
+
+    #[test]
+    fn kernel_measurement_is_deterministic(spec in spec_strategy()) {
+        let w = Workload::new(spec);
+        let measure = || {
+            let mut core = Core::table_i();
+            w.measure(&mut core, 1_000, 3_000)
+        };
+        prop_assert_eq!(measure(), measure());
+    }
+}

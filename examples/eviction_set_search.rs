@@ -1,0 +1,67 @@
+//! Eviction-set construction, two ways.
+//!
+//! §V-B of the paper primes eviction sets to force restorations. For
+//! the conventionally indexed L1 the attacker computes congruent
+//! addresses arithmetically; for an unknown or randomized mapping it
+//! must *search* by timing (Vila et al., S&P 2019). This example does
+//! both and cross-checks them.
+//!
+//! ```text
+//! cargo run --release --example eviction_set_search
+//! ```
+
+use unxpec::attack::{congruent_addresses, find_eviction_set, probe_latency};
+use unxpec::cache::{HierarchyConfig, ReplacementKind};
+use unxpec::cpu::{Core, CoreConfig};
+use unxpec::mem::Addr;
+
+fn main() {
+    let target = Addr::new(0x71_0000);
+    let target_set = target.line().raw() % 64;
+    println!("target address {target} lives in L1 set {target_set}\n");
+
+    // 1. Arithmetic construction: the L1 index is line mod 64, so the
+    // attacker computes congruent addresses directly.
+    let arithmetic = congruent_addresses(Addr::new(0x80_0000), 4096, 64, target, 8);
+    println!("arithmetic construction (8 congruent addresses):");
+    for a in &arithmetic {
+        println!("  {a}  (set {})", a.line().raw() % 64);
+    }
+
+    // 2. Blind timing search against an LRU L1 (deterministic
+    // replacement gives the search crisp minimal-set semantics): bury
+    // 12 congruent lines among 24 decoys and reduce.
+    let mut hier_cfg = HierarchyConfig::table_i();
+    hier_cfg.l1d.replacement = ReplacementKind::Lru;
+    let mut core = Core::new(CoreConfig::table_i(), hier_cfg);
+    let mut pool = congruent_addresses(Addr::new(0x80_0000), 4096, 64, target, 12);
+    pool.extend(congruent_addresses(
+        Addr::new(0x80_0000),
+        4096,
+        64,
+        target.offset(128),
+        24,
+    ));
+    println!("\nblind timing search over a {}-address pool...", pool.len());
+    match find_eviction_set(&mut core, target, &pool, 8) {
+        Some(found) => {
+            let congruent = found
+                .iter()
+                .filter(|a| a.line().raw() % 64 == target_set)
+                .count();
+            println!(
+                "  reduced to {} addresses, {congruent} congruent with the target",
+                found.len()
+            );
+            // Demonstrate the found set actually evicts: warm the
+            // target, traverse the set, time a reload.
+            probe_latency(&mut core, target); // warm
+            for a in &found {
+                probe_latency(&mut core, *a);
+            }
+            let reload = probe_latency(&mut core, target);
+            println!("  reload after traversal: {reload} cycles (L1 hit would be ~6)");
+        }
+        None => println!("  pool did not evict the target"),
+    }
+}

@@ -1,0 +1,13 @@
+; Flush+Reload timing demo: a warm load vs a flushed load.
+; Run with:  simulate --asm examples/programs/flush_reload.asm 100 0 UnsafeBaseline --trace 12
+  mov r1, 0x2000
+  load r2, [r1+0]      ; warm the line (cold miss)
+  rdtscp r10
+  load r3, [r1+0]      ; hit: a few cycles
+  rdtscp r11
+  clflush [r1+0]
+  mfence
+  rdtscp r12
+  load r4, [r1+0]      ; flushed: memory round trip
+  rdtscp r13
+  halt

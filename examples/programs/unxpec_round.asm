@@ -1,0 +1,57 @@
+; One simplified unXpec measurement round against CleanupSpec,
+; hand-written in the micro-ISA. Addresses follow the AttackLayout
+; defaults (P at 0x100000, A at 0x104040, secret at 0x104800,
+; chain node 0 at 0x104880); the secret word must be set by the
+; driver (or rely on the zero default = secret 0).
+;
+; Run with:
+;   simulate --asm examples/programs/unxpec_round.asm 2000 0 Cleanup_FOR_L1L2 --trace 40
+;
+; The printed trace shows the whole anatomy: the mistraining loop, the
+; preparation flushes, the slow bound load, the wrong-path (WP) body,
+; and the timestamps bracketing the squash.
+
+  mov r10, 0x104040       ; A base
+  mov r11, 0x100000       ; P base
+  mov r13, 0x104880       ; chain node (holds the bound, 16)
+  mov r8, 0               ; training counter
+  mov r9, 0               ; phase: 0 = train, 1 = attack
+  mov r1, 0               ; in-bounds index
+
+sender:
+  add r2, r13, 0
+  load r2, [r2+0]         ; bound (flushed in the attack pass)
+  bGe r1, r2 -> after_body
+  ; transient body: secret = A[index]; load P[secret * 64]
+  shl r3, r1, 3
+  add r12, r3, r10
+  load r4, [r12+0]        ; A[index] -> the secret on the attack pass
+  shl r5, r4, 6
+  add r6, r5, r11
+  load r7, [r6+0]         ; P[secret * 64]
+after_body:
+  bEq r9, 1 -> done
+  nop                     ; keep the phase-check wrong path away from
+  nop                     ; the flushed chain (see sender.rs)
+  nop
+  nop
+  nop
+  nop
+  nop
+  nop
+  add r8, r8, 1
+  bLt r8, 8 -> sender     ; eight POISON iterations
+
+  ; preparation: warm P[0], flush P[64] and the bound, fence
+  load r7, [r11+0]
+  clflush [r11+64]
+  clflush [r13+0]
+  mfence
+  rdtscp r20
+  mov r1, 248             ; out-of-bounds index: (secret - A) / 8
+  mov r9, 1
+  jmp sender
+
+done:
+  rdtscp r21
+  halt

@@ -1,0 +1,50 @@
+//! Quickstart: build the unXpec covert channel against CleanupSpec,
+//! calibrate it, and leak a message.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use unxpec::attack::{AttackConfig, UnxpecChannel};
+use unxpec::defense::CleanupSpec;
+
+fn main() {
+    // A Table-I machine (2 GHz OoO core, 32 KB L1s, 2 MB L2) protected
+    // by CleanupSpec, the representative Undo defense.
+    let mut channel =
+        UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
+
+    // Calibration: measure the secret-dependent rollback-timing
+    // difference and fix the decoding threshold.
+    let cal = channel.calibrate(100);
+    println!(
+        "secret-dependent timing difference: {:.1} cycles (paper: ~22)",
+        cal.mean_difference()
+    );
+    println!("decision threshold: {} cycles", cal.threshold);
+
+    // Encode a message as bits and leak it through the rollback-timing
+    // channel, one transient-load round per bit.
+    let message = b"unXpec!";
+    let secrets: Vec<bool> = message
+        .iter()
+        .flat_map(|byte| (0..8).rev().map(move |i| (byte >> i) & 1 == 1))
+        .collect();
+    let outcome = channel.leak(&secrets);
+
+    let decoded: Vec<u8> = outcome
+        .guesses
+        .chunks(8)
+        .map(|bits| bits.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8))
+        .collect();
+    println!(
+        "leaked {} bits with {:.1}% accuracy at {:.0} Kbps (2 GHz clock)",
+        secrets.len(),
+        outcome.accuracy() * 100.0,
+        outcome.bandwidth_bps(2e9) / 1e3
+    );
+    println!(
+        "decoded message: {:?}",
+        String::from_utf8_lossy(&decoded)
+    );
+}

@@ -1,0 +1,74 @@
+//! Inspect one unXpec attack round at instruction granularity.
+//!
+//! Enables the core's execution trace, runs one secret-1 round against
+//! CleanupSpec, and prints the speculation window: the flushed-chain
+//! load resolving the branch, the wrong-path (transient) loads, the
+//! squash, and the post-cleanup timestamp.
+//!
+//! ```text
+//! cargo run --release --example trace_attack_round
+//! ```
+
+use unxpec::attack::{build_round_program, AttackConfig, AttackLayout, RoundRegs};
+use unxpec::cpu::Core;
+use unxpec::defense::CleanupSpec;
+
+fn main() {
+    let cfg = AttackConfig::paper_no_es();
+    let mut core = Core::table_i();
+    core.set_defense(Box::new(CleanupSpec::new()));
+    core.set_tracing(true);
+    let layout = AttackLayout::new(64);
+    layout.install(core.mem_mut(), cfg.fn_accesses as u64);
+    layout.set_secret(core.mem_mut(), true);
+    // The victim touches its secret (keeps the line warm).
+    {
+        use unxpec::cpu::{ProgramBuilder, Reg};
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), layout.secret_addr().raw());
+        b.load(Reg(2), Reg(1), 0);
+        b.halt();
+        core.run(&b.build());
+    }
+
+    let program = build_round_program(&cfg, &layout);
+    let result = core.run(&program);
+    let regs = RoundRegs::default();
+    let t1 = result.reg(regs.t1);
+    let t2 = result.reg(regs.t2);
+    println!("observed latency: {} cycles (secret = 1)\n", t2 - t1);
+
+    let trace = result.trace.expect("tracing enabled");
+    println!(
+        "{} instructions executed, {} on wrong paths, {} memory ops\n",
+        trace.len(),
+        trace.wrong_path_events().count(),
+        trace.memory_events().count()
+    );
+
+    // Show the measurement window: everything dispatched at or after t1.
+    println!("measurement window (dispatch >= t1 = {t1}):");
+    let window = unxpec::cpu::ExecTrace {
+        events: trace
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.dispatch_cycle >= t1)
+            .collect(),
+    };
+    print!("{window}");
+
+    for squash in &result.stats.squashes {
+        if squash.resolution_time() > 50 {
+            println!(
+                "\nsender squash: branch @{} resolved after {} cycles, cleanup stalled {} cycles \
+                 ({} transient L1 install(s), {} restoration(s))",
+                squash.branch_pc,
+                squash.resolution_time(),
+                squash.cleanup_cycles(),
+                squash.l1_installs,
+                squash.l1_evictions
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Every way to make CleanupSpec roll back — and leak.
+//!
+//! Runs the unXpec receiver through all three Spectre trigger families
+//! (conditional branch, poisoned BTB, desynchronized return stack) and
+//! the speculative-interference receiver against the Invisible
+//! defenses, printing the full channel landscape.
+//!
+//! ```text
+//! cargo run --release --example trigger_zoo
+//! ```
+
+use unxpec::attack::{
+    AttackConfig, InterferenceChannel, SpectreRsb, SpectreV2, UnxpecChannel,
+};
+use unxpec::cpu::UnsafeBaseline;
+use unxpec::defense::{CleanupSpec, DelayOnMiss, InvisiSpec};
+
+fn main() {
+    println!("=== rollback-timing (unXpec) channel, per trigger ===");
+    let v1 = |d: Box<dyn unxpec::cpu::Defense>| {
+        let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), d);
+        chan.calibrate(40).mean_difference()
+    };
+    println!(
+        "  v1 trigger  vs CleanupSpec: {:+.1} cycles | vs baseline: {:+.1}",
+        v1(Box::new(CleanupSpec::new())),
+        v1(Box::new(UnsafeBaseline))
+    );
+    println!(
+        "  v2 trigger  vs CleanupSpec: {:+.1} cycles | vs baseline: {:+.1}",
+        SpectreV2::new(Box::new(CleanupSpec::new())).timing_difference(40),
+        SpectreV2::new(Box::new(UnsafeBaseline)).timing_difference(40)
+    );
+    println!(
+        "  RSB trigger vs CleanupSpec: {:+.1} cycles | vs baseline: {:+.1}",
+        SpectreRsb::new(Box::new(CleanupSpec::new())).timing_difference(40),
+        SpectreRsb::new(Box::new(UnsafeBaseline)).timing_difference(40)
+    );
+
+    println!("\n=== contention (speculative interference) channel ===");
+    println!(
+        "  vs InvisiSpec:          {:+.1} cycles (the attack that killed Invisible defenses)",
+        InterferenceChannel::new(Box::new(InvisiSpec::new()), 6).timing_difference(40)
+    );
+    println!(
+        "  vs naive delay-on-miss: {:+.1} cycles (unissued loads cannot contend)",
+        InterferenceChannel::new(Box::new(DelayOnMiss::naive()), 6).timing_difference(40)
+    );
+
+    println!("\nEvery class of safe speculation has had its channel:");
+    println!("  Invisible -> interference (Behnia et al.), Undo -> rollback timing (unXpec).");
+}

@@ -1,0 +1,5 @@
+//! Thin helper library for the workspace-level examples and integration
+//! tests. All real functionality lives in the `unxpec` umbrella crate and
+//! the crates it re-exports.
+
+pub use unxpec;

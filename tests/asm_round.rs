@@ -1,0 +1,57 @@
+//! The hand-written assembly round (examples/programs/unxpec_round.asm)
+//! must exhibit the same channel as the builder-generated one.
+
+use unxpec::attack::AttackLayout;
+use unxpec::cpu::{parse_asm, Core, Reg};
+use unxpec::defense::CleanupSpec;
+
+fn load_round() -> unxpec::cpu::Program {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/programs/unxpec_round.asm"
+    ))
+    .expect("asm file present");
+    parse_asm(&text).expect("asm parses")
+}
+
+#[test]
+fn asm_addresses_match_the_layout() {
+    // The hand-written constants must stay in sync with AttackLayout.
+    let layout = AttackLayout::new(64);
+    assert_eq!(layout.probe().base().raw(), 0x100000);
+    assert_eq!(layout.a_base().raw(), 0x104040);
+    assert_eq!(layout.secret_addr().raw(), 0x104800);
+    assert_eq!(layout.chain_node(0).raw(), 0x104880);
+    assert_eq!(layout.oob_index(), 248);
+}
+
+#[test]
+fn hand_written_round_reproduces_the_channel() {
+    let program = load_round();
+    let layout = AttackLayout::new(64);
+    let observe = |secret: bool| {
+        let mut core = Core::table_i();
+        core.set_defense(Box::new(CleanupSpec::new()));
+        layout.install(core.mem_mut(), 1);
+        layout.set_secret(core.mem_mut(), secret);
+        // Victim touches its secret (keeps the line warm).
+        {
+            let mut b = unxpec::cpu::ProgramBuilder::new();
+            b.mov(Reg(1), layout.secret_addr().raw());
+            b.load(Reg(2), Reg(1), 0);
+            b.halt();
+            core.run(&b.build());
+        }
+        // Warm-up round, then the measured round.
+        core.run(&program);
+        let r = core.run(&program);
+        r.reg(Reg(21)) - r.reg(Reg(20))
+    };
+    let t0 = observe(false);
+    let t1 = observe(true);
+    let diff = t1 as i64 - t0 as i64;
+    assert!(
+        (15..=30).contains(&diff),
+        "hand-written round difference {diff} ~ 22 ({t0} vs {t1})"
+    );
+}

@@ -1,0 +1,78 @@
+//! Cross-crate determinism: identical seeds must produce identical
+//! experiment outputs, byte for byte. Reproducibility is a deliverable
+//! of the harness, not an accident.
+
+use unxpec::attack::{AttackConfig, SpectreV1, UnxpecChannel};
+use unxpec::defense::CleanupSpec;
+use unxpec::experiments::{leakage, pdf, rollback};
+use unxpec::workloads::spec2017_like_suite;
+
+#[test]
+fn pdf_experiment_is_bitwise_reproducible() {
+    let a = pdf::run(false, 40, 0x55);
+    let b = pdf::run(false, 40, 0x55);
+    assert_eq!(a.samples0, b.samples0);
+    assert_eq!(a.samples1, b.samples1);
+    assert_eq!(a.threshold, b.threshold);
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_svg(), b.to_svg());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = pdf::run(false, 40, 0x55);
+    let b = pdf::run(false, 40, 0x56);
+    assert_ne!(
+        (a.samples0, a.samples1),
+        (b.samples0, b.samples1),
+        "independent seeds must explore different noise"
+    );
+}
+
+#[test]
+fn leakage_render_is_reproducible() {
+    let a = leakage::run(true, 80, 3).to_string();
+    let b = leakage::run(true, 80, 3).to_string();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn rollback_sweep_is_reproducible() {
+    let a = rollback::run(true, 4, 5);
+    let b = rollback::run(true, 4, 5);
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert_eq!(pa, pb);
+    }
+}
+
+#[test]
+fn channel_observation_streams_are_reproducible() {
+    let observe = || {
+        let mut chan =
+            UnxpecChannel::new(AttackConfig::paper_with_es(), Box::new(CleanupSpec::new()));
+        (0..30)
+            .map(|i| chan.measure_bit(i % 3 == 0))
+            .collect::<Vec<u64>>()
+    };
+    assert_eq!(observe(), observe());
+}
+
+#[test]
+fn spectre_probe_latencies_are_reproducible() {
+    let run = || {
+        let mut a = SpectreV1::new(Box::new(CleanupSpec::new()));
+        a.leak_byte(99).reload_latencies
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn workload_measurements_are_reproducible() {
+    let suite = spec2017_like_suite();
+    let w = suite.iter().find(|w| w.name() == "gcc_r").unwrap();
+    let measure = || {
+        let mut core = unxpec::cpu::Core::table_i();
+        w.measure(&mut core, 3_000, 9_000)
+    };
+    assert_eq!(measure(), measure());
+}

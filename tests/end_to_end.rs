@@ -1,0 +1,100 @@
+//! End-to-end integration: the full attack stack against the full
+//! defense stack.
+
+use unxpec::attack::{AttackConfig, SpectreV1, UnxpecChannel};
+use unxpec::cpu::UnsafeBaseline;
+use unxpec::defense::{CleanupSpec, ConstantTimeRollback, FuzzyCleanup, InvisiSpec};
+
+#[test]
+fn unxpec_breaks_cleanupspec_and_nothing_else_headline() {
+    // The paper's core claim, in one test: the rollback-timing channel
+    // exists exactly against the Undo defense.
+    let diff = |d: Box<dyn unxpec::cpu::Defense>| {
+        let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), d);
+        chan.calibrate(25).mean_difference()
+    };
+    assert!(diff(Box::new(CleanupSpec::new())) > 15.0);
+    assert!(diff(Box::new(UnsafeBaseline)).abs() < 5.0);
+    assert!(diff(Box::new(InvisiSpec::new())).abs() < 5.0);
+    assert!(diff(Box::new(ConstantTimeRollback::new(65))).abs() < 3.0);
+}
+
+#[test]
+fn spectre_and_unxpec_are_complementary() {
+    // Spectre reads cache *contents*; unXpec reads rollback *time*.
+    // CleanupSpec stops the former and falls to the latter.
+    let mut spectre = SpectreV1::new(Box::new(CleanupSpec::new()));
+    assert_ne!(spectre.leak_byte(0x77).guess, Some(0x77));
+
+    let mut unxpec = UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
+    unxpec.calibrate(25);
+    let secrets = UnxpecChannel::random_secret(48, 3);
+    assert_eq!(unxpec.leak(&secrets).accuracy(), 1.0, "noiseless channel is perfect");
+}
+
+#[test]
+fn leak_recovers_a_multi_byte_message() {
+    let mut chan = UnxpecChannel::new(AttackConfig::paper_with_es(), Box::new(CleanupSpec::new()));
+    chan.calibrate(25);
+    let message = b"HPCA22";
+    let bits: Vec<bool> = message
+        .iter()
+        .flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+        .collect();
+    let out = chan.leak(&bits);
+    let decoded: Vec<u8> = out
+        .guesses
+        .chunks(8)
+        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8))
+        .collect();
+    assert_eq!(decoded, message);
+}
+
+#[test]
+fn fuzzy_cleanup_degrades_but_does_not_stop_the_channel() {
+    let mut chan = UnxpecChannel::new(
+        AttackConfig::paper_no_es(),
+        Box::new(FuzzyCleanup::new(30, 5)),
+    );
+    let cal = chan.calibrate(60);
+    // The mean difference survives averaging over calibration samples...
+    assert!(cal.mean_difference() > 10.0);
+    // ...but single rounds are noisy: the two sample sets overlap.
+    let max0 = *cal.samples0.iter().max().unwrap();
+    let min1 = *cal.samples1.iter().min().unwrap();
+    assert!(max0 > min1, "dummy delays must overlap the distributions");
+}
+
+#[test]
+fn channel_works_across_fn_complexities() {
+    for fn_accesses in [1usize, 2, 3] {
+        let cfg = AttackConfig::paper_no_es().with_fn_accesses(fn_accesses);
+        let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
+        let d = chan.calibrate(10).mean_difference();
+        assert!(
+            (12.0..=32.0).contains(&d),
+            "f({fn_accesses}): difference {d} out of band"
+        );
+    }
+}
+
+#[test]
+fn repeated_rounds_are_stable() {
+    // The rollback restores cache state, so the channel neither decays
+    // nor drifts over thousands of rounds.
+    let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
+    chan.calibrate(10);
+    let early: Vec<u64> = (0..20).map(|_| chan.measure_bit(true)).collect();
+    for _ in 0..500 {
+        chan.measure_bit(true);
+        chan.measure_bit(false);
+    }
+    let late: Vec<u64> = (0..20).map(|_| chan.measure_bit(true)).collect();
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+    assert!(
+        (mean(&early) - mean(&late)).abs() < 3.0,
+        "channel drifted: {} -> {}",
+        mean(&early),
+        mean(&late)
+    );
+}
