@@ -137,7 +137,11 @@ mod tests {
     }
 
     fn decoder() -> SprtDecoder {
-        SprtDecoder::fit(&samples(156.0, 8.0, 1, 200), &samples(178.0, 8.0, 2, 200), 0.01)
+        SprtDecoder::fit(
+            &samples(156.0, 8.0, 1, 200),
+            &samples(178.0, 8.0, 2, 200),
+            0.01,
+        )
     }
 
     #[test]
@@ -189,7 +193,10 @@ mod tests {
         let err = wrong as f64 / trials as f64;
         assert!(err <= 0.03, "error rate {err} should be near alpha = 0.01");
         let avg = total_samples as f64 / trials as f64;
-        assert!(avg < 8.0, "adaptive sampling should stay cheap: {avg} samples/bit");
+        assert!(
+            avg < 8.0,
+            "adaptive sampling should stay cheap: {avg} samples/bit"
+        );
         assert!(avg > 1.0, "noise at sigma 8 requires some extra samples");
     }
 
@@ -207,7 +214,10 @@ mod tests {
             }
             total
         };
-        assert!(cost(&tight) > cost(&loose), "stricter alpha needs more evidence");
+        assert!(
+            cost(&tight) > cost(&loose),
+            "stricter alpha needs more evidence"
+        );
     }
 
     #[test]

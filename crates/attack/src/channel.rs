@@ -282,8 +282,8 @@ impl UnxpecChannel {
             guesses.push(obs > threshold);
         }
         let confusion = Confusion::from_bits(secrets, &guesses);
-        let total_cycles = self.core.clock() - start
-            + self.cfg.round_overhead_cycles * secrets.len() as u64;
+        let total_cycles =
+            self.core.clock() - start + self.cfg.round_overhead_cycles * secrets.len() as u64;
         LeakOutcome {
             secrets: secrets.to_vec(),
             observations,
@@ -428,11 +428,13 @@ mod tests {
     fn no_rollback_channel_against_unsafe_baseline() {
         // The unsafe baseline leaks through cache *contents* (Spectre),
         // but its squash timing is secret-independent.
-        let mut chan =
-            UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(UnsafeBaseline));
+        let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(UnsafeBaseline));
         let cal = chan.calibrate(30);
         let diff = cal.mean_difference().abs();
-        assert!(diff < 5.0, "unsafe baseline should show no rollback channel, got {diff}");
+        assert!(
+            diff < 5.0,
+            "unsafe baseline should show no rollback channel, got {diff}"
+        );
     }
 
     #[test]
@@ -443,16 +445,21 @@ mod tests {
         );
         let cal = chan.calibrate(30);
         let diff = cal.mean_difference().abs();
-        assert!(diff < 3.0, "65-cycle constant rollback should hide the channel, got {diff}");
+        assert!(
+            diff < 3.0,
+            "65-cycle constant rollback should hide the channel, got {diff}"
+        );
     }
 
     #[test]
     fn invisispec_has_no_rollback_channel() {
-        let mut chan =
-            UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(InvisiSpec::new()));
+        let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(InvisiSpec::new()));
         let cal = chan.calibrate(30);
         let diff = cal.mean_difference().abs();
-        assert!(diff < 3.0, "invisible speculation has nothing to roll back, got {diff}");
+        assert!(
+            diff < 3.0,
+            "invisible speculation has nothing to roll back, got {diff}"
+        );
     }
 
     #[test]
@@ -591,7 +598,11 @@ mod config_ablation_tests {
         cfg.mem_latency = 200;
         let mut chan = channel_on(cfg);
         let cal = chan.calibrate(15);
-        assert!((15.0..=30.0).contains(&cal.mean_difference()), "{}", cal.mean_difference());
+        assert!(
+            (15.0..=30.0).contains(&cal.mean_difference()),
+            "{}",
+            cal.mean_difference()
+        );
         // The absolute latencies scale with memory, the difference not.
         assert!(cal.samples0[0] > 200);
     }
@@ -638,11 +649,7 @@ mod adaptive_channel_tests {
         let cal = chan.calibrate(120);
         let secrets = UnxpecChannel::random_secret(120, 2);
         let (guesses, total) = chan.leak_adaptive(&secrets, &cal, 0.02);
-        let correct = guesses
-            .iter()
-            .zip(&secrets)
-            .filter(|(a, b)| a == b)
-            .count();
+        let correct = guesses.iter().zip(&secrets).filter(|(a, b)| a == b).count();
         let acc = correct as f64 / secrets.len() as f64;
         assert!(acc > 0.9, "adaptive accuracy {acc} against fuzzy cleanup");
         let avg = total as f64 / secrets.len() as f64;

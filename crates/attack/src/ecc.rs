@@ -35,7 +35,8 @@ pub fn hamming74_decode(mut code: [bool; 7]) -> (u8, Option<usize>) {
     } else {
         None
     };
-    let nibble = (code[2] as u8) | (code[4] as u8) << 1 | (code[5] as u8) << 2 | (code[6] as u8) << 3;
+    let nibble =
+        (code[2] as u8) | (code[4] as u8) << 1 | (code[5] as u8) << 2 | (code[6] as u8) << 3;
     (nibble, corrected)
 }
 

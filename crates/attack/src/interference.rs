@@ -177,9 +177,6 @@ mod tests {
         // traffic exists to contend with.
         let mut chan = InterferenceChannel::new(Box::new(DelayOnMiss::naive()), 6);
         let diff = chan.timing_difference(12).abs();
-        assert!(
-            diff < 5.0,
-            "unissued loads cannot contend: {diff}"
-        );
+        assert!(diff < 5.0, "unissued loads cannot contend: {diff}");
     }
 }

@@ -164,7 +164,9 @@ mod tests {
     #[test]
     fn probe_lines_hit_distinct_l1_sets() {
         let lay = AttackLayout::new(64);
-        let sets: Vec<u64> = (0..=8).map(|k| lay.probe_line(k).line().raw() % 64).collect();
+        let sets: Vec<u64> = (0..=8)
+            .map(|k| lay.probe_line(k).line().raw() % 64)
+            .collect();
         for i in 0..sets.len() {
             for j in 0..i {
                 assert_ne!(sets[i], sets[j], "P lines {i} and {j} share a set");

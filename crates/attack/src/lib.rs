@@ -60,8 +60,8 @@ mod spectre;
 mod spectre_rsb;
 mod spectre_v2;
 
-pub use channel::{Calibration, LeakOutcome, MeasurementNoise, RoundObservation, UnxpecChannel};
 pub use adaptive::{SprtDecision, SprtDecoder};
+pub use channel::{Calibration, LeakOutcome, MeasurementNoise, RoundObservation, UnxpecChannel};
 pub use config::AttackConfig;
 pub use ecc::{decode_bytes, encode_bytes, hamming74_decode, hamming74_encode};
 pub use eviction::{congruent_addresses, find_eviction_set, probe_latency};
@@ -74,6 +74,6 @@ pub use smt::{
     prime_probe_against_nomo, probe_coherence_downgrade, probe_speculative_window,
     DowngradeOutcome, PrimeProbeOutcome, WindowProbeOutcome,
 };
-pub use spectre::{SpectreV1, SpectreOutcome};
+pub use spectre::{SpectreOutcome, SpectreV1};
 pub use spectre_rsb::SpectreRsb;
 pub use spectre_v2::{SpectreV2, V2Observation};

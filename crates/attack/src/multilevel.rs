@@ -101,9 +101,7 @@ impl MultiLevelChannel {
     /// Panics if `symbol >= 4`.
     pub fn measure_symbol(&mut self, symbol: u8) -> u64 {
         assert!(symbol < 4, "symbols are two bits");
-        self.layout
-            .memory_layout()
-            .array("SECRET");
+        self.layout.memory_layout().array("SECRET");
         self.core
             .mem_mut()
             .write_u64(self.layout.secret_addr(), symbol as u64);
@@ -153,11 +151,7 @@ impl MultiLevelChannel {
             .calibration
             .as_ref()
             .expect("calibrate() before decoding");
-        let rank = cal
-            .thresholds
-            .iter()
-            .filter(|&&t| latency > t)
-            .count();
+        let rank = cal.thresholds.iter().filter(|&&t| latency > t).count();
         cal.rank_to_symbol[rank]
     }
 

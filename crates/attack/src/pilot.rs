@@ -161,7 +161,11 @@ mod tests {
         let out = chan.leak_without_pilots(&secrets());
         // Once the drift exceeds the 22-cycle difference, everything
         // reads as 1: accuracy collapses toward the ones-density.
-        assert!(out.accuracy() < 0.75, "static threshold survived drift: {}", out.accuracy());
+        assert!(
+            out.accuracy() < 0.75,
+            "static threshold survived drift: {}",
+            out.accuracy()
+        );
     }
 
     #[test]
@@ -173,12 +177,19 @@ mod tests {
             Drift::new(0.5),
         );
         let out = chan.leak(&secrets());
-        assert!(out.accuracy() > 0.95, "pilots should rescue decoding: {}", out.accuracy());
+        assert!(
+            out.accuracy() > 0.95,
+            "pilots should rescue decoding: {}",
+            out.accuracy()
+        );
         assert!(out.pilots_used > 0);
         // The threshold trajectory climbs with the drift.
         let first = out.thresholds[0];
         let last = *out.thresholds.last().unwrap();
-        assert!(last > first + 50, "threshold must track drift: {first} -> {last}");
+        assert!(
+            last > first + 50,
+            "threshold must track drift: {first} -> {last}"
+        );
     }
 
     #[test]

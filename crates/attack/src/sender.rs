@@ -195,6 +195,10 @@ mod tests {
         let lay = layout();
         let one = build_round_program(&AttackConfig::default().with_loads(1), &lay).len();
         let eight = build_round_program(&AttackConfig::default().with_loads(8), &lay).len();
-        assert_eq!(eight - one, 7 * 3 + 7, "3 body insts and one flush per extra load");
+        assert_eq!(
+            eight - one,
+            7 * 3 + 7,
+            "3 body insts and one flush per extra load"
+        );
     }
 }

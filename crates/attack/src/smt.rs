@@ -74,7 +74,9 @@ pub fn probe_coherence_downgrade(defense: &mut dyn Defense) -> DowngradeOutcome 
     let architectural = defense.serve_external_probe(&mut hier, dirty, t + 1);
     // Speculative install.
     let spec = Addr::new(0x7_0000).line();
-    let t2 = hier.access_data(spec, t + 10, Some(SpecTag(2))).complete_cycle;
+    let t2 = hier
+        .access_data(spec, t + 10, Some(SpecTag(2)))
+        .complete_cycle;
     let speculative = defense.serve_external_probe(&mut hier, spec, t2 + 1);
     DowngradeOutcome {
         architectural,
@@ -99,9 +101,7 @@ pub fn prime_probe_against_nomo(prime_lines: usize) -> PrimeProbeOutcome {
     let sets = hier.config().l1d.sets as u64;
     let victim_line = LineAddr::new(7);
     // Victim warms its line; with NoMo it lands in a thread-0-allowed way.
-    let mut cycle = hier
-        .access_data_as(victim_line, 0, None, 0)
-        .complete_cycle;
+    let mut cycle = hier.access_data_as(victim_line, 0, None, 0).complete_cycle;
     // Attacker primes the same set from thread 1, repeatedly.
     for round in 0..4 {
         for i in 0..prime_lines as u64 {

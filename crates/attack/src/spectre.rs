@@ -137,10 +137,7 @@ impl SpectreV1 {
             reload_latencies.push(probe_latency(&mut self.core, addr));
         }
         let threshold = 60;
-        let hits = reload_latencies
-            .iter()
-            .filter(|&&t| t < threshold)
-            .count();
+        let hits = reload_latencies.iter().filter(|&&t| t < threshold).count();
         let guess = if hits > 0 {
             reload_latencies
                 .iter()
@@ -204,9 +201,8 @@ mod mode_tests {
         // the transient install survives in the L2, and a Flush+Reload
         // probe (which clflush'd everything out of both levels) sees an
         // L2-latency reload on the secret's line.
-        let mut attacker = SpectreV1::new(Box::new(
-            CleanupSpec::new().with_mode(CleanupMode::ForL1),
-        ));
+        let mut attacker =
+            SpectreV1::new(Box::new(CleanupSpec::new().with_mode(CleanupMode::ForL1)));
         let out = attacker.leak_byte(123);
         assert_eq!(
             out.guess,

@@ -59,8 +59,7 @@ impl SpectreRsb {
             round,
             victim_touch: vb.build(),
             regs: RoundRegs::default(),
-    
-    };
+        };
         // One discarded round per secret: the first round pays the
         // cold-stack / cold-prep misses that later rounds do not.
         this.measure_bit(false);

@@ -72,8 +72,7 @@ impl SpectreV2 {
             regs: RoundRegs::default(),
             jump_pc,
             gadget_pc,
-    
-    };
+        };
         // One discarded round per secret: the first round pays the
         // cold-stack / cold-prep misses that later rounds do not.
         this.measure_bit(false);
@@ -179,10 +178,7 @@ mod tests {
             "secret=1 must leave P[64] cached under the baseline"
         );
         let ob0 = attacker.measure_bit(false);
-        assert!(
-            !ob0.footprint_visible,
-            "secret=0 never touches P[64]"
-        );
+        assert!(!ob0.footprint_visible, "secret=0 never touches P[64]");
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property tests for the attack layer.
 
 use proptest::prelude::*;
-use unxpec_attack::{
-    congruent_addresses, decode_bytes, encode_bytes, AttackConfig, UnxpecChannel,
-};
+use unxpec_attack::{congruent_addresses, decode_bytes, encode_bytes, AttackConfig, UnxpecChannel};
 use unxpec_defense::CleanupSpec;
 use unxpec_mem::Addr;
 

@@ -48,7 +48,9 @@ fn bench_fuzzy_mitigation(c: &mut Criterion) {
 fn bench_mistrain_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
-    group.bench_function("mistrain_sweep", |b| b.iter(|| ablations::mistrain_sweep(3)));
+    group.bench_function("mistrain_sweep", |b| {
+        b.iter(|| ablations::mistrain_sweep(3))
+    });
     group.finish();
 }
 

@@ -42,7 +42,9 @@ fn bench_fig9(c: &mut Criterion) {
 }
 
 fn bench_fig10(c: &mut Criterion) {
-    c.bench_function("fig10/leak_no_es", |b| b.iter(|| leakage::run(false, 60, 10)));
+    c.bench_function("fig10/leak_no_es", |b| {
+        b.iter(|| leakage::run(false, 60, 10))
+    });
 }
 
 fn bench_fig11(c: &mut Criterion) {

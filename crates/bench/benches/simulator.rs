@@ -80,5 +80,10 @@ fn bench_attack_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(simulator, bench_cache_access, bench_core_throughput, bench_attack_round);
+criterion_group!(
+    simulator,
+    bench_cache_access,
+    bench_core_throughput,
+    bench_attack_round
+);
 criterion_main!(simulator);

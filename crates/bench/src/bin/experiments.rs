@@ -1,21 +1,27 @@
 //! Regenerates every table and figure of the unXpec paper.
 //!
 //! ```text
-//! experiments [--quick] [--csv <dir>] [--svg <dir>] [<name>...]
+//! experiments [--quick] [--csv <dir>] [--svg <dir>]
+//!             [--trace-out <file>] [--metrics-out <file>] [<name>...]
 //! ```
 //!
 //! With no names, runs everything. Names: table1, fig2, fig3, fig6,
 //! fig7, fig8, fig9, fig10, fig11, rate, fig12, fig13, votes,
-//! defense-costs, robustness, timeline, triggers, workloads, scorecard,
-//! ablations, all. `--quick` uses reduced sample counts (CI-friendly);
-//! the default matches the paper's sample sizes. `--csv <dir>` writes
-//! raw data as CSV; `--svg <dir>` writes rendered figures.
+//! defense-costs, robustness, timeline, trace, triggers, workloads,
+//! scorecard, ablations, all. `--quick` uses reduced sample counts
+//! (CI-friendly); the default matches the paper's sample sizes.
+//! `--csv <dir>` writes raw data as CSV; `--svg <dir>` writes rendered
+//! figures. `--trace-out <file>` writes the `trace` experiment's
+//! Chrome/Perfetto trace-event JSON (open in `chrome://tracing` or
+//! <https://ui.perfetto.dev>) and `--metrics-out <file>` its metrics
+//! registry (`.csv` extension selects CSV, anything else JSON); either
+//! flag adds `trace` to the run list if absent.
 
 use std::path::PathBuf;
 
 use unxpec::experiments::{
     ablations, defense_costs, leakage, overhead, pdf, rate, resolution, robustness, rollback,
-    scorecard, secret_pattern, table1, timeline, triggers, votes, workload_profile, Scale,
+    scorecard, secret_pattern, table1, timeline, trace, triggers, votes, workload_profile, Scale,
 };
 use unxpec_bench::{timed, EXPERIMENTS};
 
@@ -24,6 +30,8 @@ struct Options {
     quick: bool,
     csv_dir: Option<PathBuf>,
     svg_dir: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn main() {
@@ -32,19 +40,23 @@ fn main() {
     let mut quick = false;
     let mut csv_dir = None;
     let mut svg_dir = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--csv" | "--svg" => {
-                let dir = args.next().unwrap_or_else(|| {
-                    eprintln!("{arg} needs a directory argument");
+            "--csv" | "--svg" | "--trace-out" | "--metrics-out" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("{arg} needs a path argument");
                     std::process::exit(2);
                 });
-                if arg == "--csv" {
-                    csv_dir = Some(PathBuf::from(dir));
-                } else {
-                    svg_dir = Some(PathBuf::from(dir));
-                }
+                let slot = match arg.as_str() {
+                    "--csv" => &mut csv_dir,
+                    "--svg" => &mut svg_dir,
+                    "--trace-out" => &mut trace_out,
+                    _ => &mut metrics_out,
+                };
+                *slot = Some(PathBuf::from(value));
             }
             other => names.push(other.to_string()),
         }
@@ -56,14 +68,24 @@ fn main() {
             .map(|&n| n.to_string())
             .collect();
     }
+    // The exporter flags imply the experiment that feeds them.
+    if (trace_out.is_some() || metrics_out.is_some()) && !names.iter().any(|n| n == "trace") {
+        names.push("trace".to_string());
+    }
     for dir in [&csv_dir, &svg_dir].into_iter().flatten() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
     let opts = Options {
-        scale: if quick { Scale::quick() } else { Scale::paper() },
+        scale: if quick {
+            Scale::quick()
+        } else {
+            Scale::paper()
+        },
         quick,
         csv_dir,
         svg_dir,
+        trace_out,
+        metrics_out,
     };
     for name in &names {
         run_one(name, &opts);
@@ -99,16 +121,18 @@ fn run_one(name: &str, opts: &Options) {
             write_csv(opts, "fig2", r.to_csv());
         }
         "fig3" => {
-            let r = timed("Fig. 3 — rollback timing difference (no eviction sets)", || {
-                rollback::run(false, 8, scale.timing_samples)
-            });
+            let r = timed(
+                "Fig. 3 — rollback timing difference (no eviction sets)",
+                || rollback::run(false, 8, scale.timing_samples),
+            );
             write_csv(opts, "fig3", r.to_csv());
             write_svg(opts, "fig3", r.to_svg());
         }
         "fig6" => {
-            let r = timed("Fig. 6 — rollback timing difference (eviction sets)", || {
-                rollback::run(true, 8, scale.timing_samples)
-            });
+            let r = timed(
+                "Fig. 6 — rollback timing difference (eviction sets)",
+                || rollback::run(true, 8, scale.timing_samples),
+            );
             write_csv(opts, "fig6", r.to_csv());
             write_svg(opts, "fig6", r.to_svg());
         }
@@ -160,9 +184,10 @@ fn run_one(name: &str, opts: &Options) {
             write_svg(opts, "fig12", r.to_svg());
         }
         "fig13" => {
-            let r = timed("Fig. 13 — branch resolution under host-like noise", || {
-                resolution::run_host_like(scale.timing_samples.min(20), 0x13)
-            });
+            let r = timed(
+                "Fig. 13 — branch resolution under host-like noise",
+                || resolution::run_host_like(scale.timing_samples.min(20), 0x13),
+            );
             write_csv(opts, "fig13", r.to_csv());
         }
         "triggers" => {
@@ -182,8 +207,30 @@ fn run_one(name: &str, opts: &Options) {
             let (_, t1es) = timeline::run(true);
             println!("with eviction sets:\n{t1es}");
         }
+        "trace" => {
+            let r = timed("Observability — instrumented attack round", || {
+                trace::run(false, 1 << 15)
+            });
+            if let Some(path) = &opts.trace_out {
+                std::fs::write(path, r.chrome_trace()).expect("write trace");
+                println!("(wrote {})", path.display());
+            }
+            if let Some(path) = &opts.metrics_out {
+                let body = if path.extension().is_some_and(|e| e == "csv") {
+                    r.metrics.to_csv()
+                } else {
+                    r.metrics.to_json()
+                };
+                std::fs::write(path, body).expect("write metrics");
+                println!("(wrote {})", path.display());
+            }
+        }
         "robustness" => {
-            let (n, samples, bits) = if opts.quick { (4, 8, 60) } else { (10, 40, 300) };
+            let (n, samples, bits) = if opts.quick {
+                (4, 8, 60)
+            } else {
+                (10, 40, 300)
+            };
             timed("Extension — seed-sweep robustness", || {
                 robustness::run(n, samples, bits)
             });

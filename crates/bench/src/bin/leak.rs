@@ -2,19 +2,36 @@
 //! unXpec channel.
 //!
 //! ```text
-//! leak [--es] [--noise] [--votes N] [--ecc] [<message>]
+//! leak [--es] [--noise] [--votes N] [--ecc]
+//!      [--trace-out <file>] [--metrics-out <file>] [<message>]
 //! ```
 //!
 //! Runs the full pipeline — calibration, per-bit rounds against
 //! CleanupSpec, decoding — and prints the recovered message with
-//! throughput and information-rate statistics.
+//! throughput and information-rate statistics. `--trace-out` records
+//! telemetry during the leak and writes a Chrome/Perfetto trace of the
+//! last rounds (the ring keeps the newest 64Ki events); `--metrics-out`
+//! dumps the metrics registry (`.csv` extension selects CSV, anything
+//! else JSON).
 
 use unxpec::attack::{AttackConfig, MeasurementNoise, UnxpecChannel};
 use unxpec::cache::NoiseModel;
 use unxpec::defense::CleanupSpec;
+use unxpec::telemetry::{chrome_trace_json, MetricsRegistry, Telemetry};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut take_path = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        let value = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a path");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        Some(value)
+    };
+    let trace_out = take_path("--trace-out");
+    let metrics_out = take_path("--metrics-out");
     let es = args.iter().any(|a| a == "--es");
     let noise = args.iter().any(|a| a == "--noise");
     let ecc = args.iter().any(|a| a == "--ecc");
@@ -37,6 +54,11 @@ fn main() {
 
     let cfg = AttackConfig::paper_no_es().with_eviction_sets(es);
     let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
+    let telemetry =
+        (trace_out.is_some() || metrics_out.is_some()).then(|| Telemetry::ring(1 << 16));
+    if let Some(tel) = &telemetry {
+        chan.core_mut().set_telemetry(tel.clone());
+    }
     if noise {
         chan = chan.with_measurement_noise(MeasurementNoise::calibrated(0x1ea4));
         chan.core_mut()
@@ -88,4 +110,33 @@ fn main() {
         "cost: {cycles} cycles for {channel_bits} channel bits -> {:.0} Kbps payload at 2 GHz",
         (message.len() * 8) as f64 * 2e9 / cycles as f64 / 1e3
     );
+
+    if let Some(tel) = &telemetry {
+        if let Some(path) = &trace_out {
+            let events = tel.snapshot();
+            std::fs::write(path, chrome_trace_json(&events)).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!(
+                "wrote {path} ({} events, {} dropped by the ring)",
+                events.len(),
+                tel.dropped()
+            );
+        }
+        if let Some(path) = &metrics_out {
+            let mut reg = MetricsRegistry::new();
+            chan.core().record_metrics(&mut reg);
+            let body = if path.ends_with(".csv") {
+                reg.to_csv()
+            } else {
+                reg.to_json()
+            };
+            std::fs::write(path, body).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("wrote {path}");
+        }
+    }
 }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! simulate <workload> [maxinst] [startinst] [scheme] [--trace N]
+//!          [--trace-out <file>] [--metrics-out <file>]
 //! simulate --asm <file.asm> [maxinst] [startinst] [scheme] [--trace N]
 //! ```
 //!
@@ -15,11 +16,29 @@
 //! * `scheme` — `UnsafeBaseline`, `Cleanup_FOR_L1L2`, `Cleanup_FOR_L1`,
 //!   `Const<N>` (e.g. `Const45`), `Fuzzy<N>`, or `InvisiSpec`
 //!   (default `Cleanup_FOR_L1L2`);
-//! * `--trace N` — additionally print the first N trace events.
+//! * `--trace N` — additionally print the first N trace events;
+//! * `--trace-out <file>` — record telemetry and write a Chrome /
+//!   Perfetto trace-event JSON (open in `chrome://tracing` or
+//!   <https://ui.perfetto.dev>), plus print the ASCII rollback timeline;
+//! * `--metrics-out <file>` — dump the metrics registry (`.csv`
+//!   extension selects CSV, anything else JSON).
 
 use unxpec::cpu::{Core, Defense, UnsafeBaseline};
 use unxpec::defense::{CleanupMode, CleanupSpec, ConstantTimeRollback, FuzzyCleanup, InvisiSpec};
+use unxpec::telemetry::{chrome_trace_json, rollback_timeline, MetricsRegistry, Telemetry};
 use unxpec::workloads::spec2017_like_suite;
+
+/// Extracts `flag <value>` from `args`, removing both tokens so the
+/// positional parsing below never sees them.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    let value = args.get(i + 1).cloned().unwrap_or_else(|| {
+        eprintln!("{flag} needs a path");
+        std::process::exit(2);
+    });
+    args.drain(i..=i + 1);
+    Some(value)
+}
 
 fn parse_scheme(name: &str) -> Option<(Box<dyn Defense>, Option<u64>)> {
     if let Some(c) = name.strip_prefix("Const") {
@@ -60,6 +79,8 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let trace_out = take_flag_value(&mut args, "--trace-out");
+    let metrics_out = take_flag_value(&mut args, "--metrics-out");
     let suite = spec2017_like_suite();
     if asm_program.is_none() && (args.is_empty() || args[0] == "list") {
         println!("workloads:");
@@ -70,7 +91,11 @@ fn main() {
                 w.name(),
                 s.working_set_lines * 64 / 1024,
                 s.branch_mask,
-                if s.pointer_chase { ", pointer chase" } else { "" }
+                if s.pointer_chase {
+                    ", pointer chase"
+                } else {
+                    ""
+                }
             );
         }
         println!("\nschemes: UnsafeBaseline Cleanup_FOR_L1L2 Cleanup_FOR_L1 Const<N> Fuzzy<N> InvisiSpec");
@@ -92,7 +117,10 @@ fn main() {
         .get(1)
         .map(|s| s.parse().expect("startinst must be a number"))
         .unwrap_or(maxinst / 3);
-    let scheme_name = positional.get(2).map(|s| s.as_str()).unwrap_or("Cleanup_FOR_L1L2");
+    let scheme_name = positional
+        .get(2)
+        .map(|s| s.as_str())
+        .unwrap_or("Cleanup_FOR_L1L2");
     let trace_n: Option<usize> = args
         .iter()
         .position(|a| a == "--trace")
@@ -108,27 +136,25 @@ fn main() {
     if trace_n.is_some() {
         core.set_tracing(true);
     }
+    let telemetry =
+        (trace_out.is_some() || metrics_out.is_some()).then(|| Telemetry::ring(1 << 16));
+    if let Some(tel) = &telemetry {
+        core.set_telemetry(tel.clone());
+    }
     let result = if let Some(program) = &asm_program {
         core.run_with_milestone(program, Some(startinst), maxinst)
     } else {
-        let workload = suite
-            .iter()
-            .find(|w| w.name() == name)
-            .unwrap_or_else(|| {
-                eprintln!("unknown workload {name:?}; run `simulate list`");
-                std::process::exit(2);
-            });
+        let workload = suite.iter().find(|w| w.name() == name).unwrap_or_else(|| {
+            eprintln!("unknown workload {name:?}; run `simulate list`");
+            std::process::exit(2);
+        });
         workload.install(&mut core);
         core.run_with_milestone(workload.program(), Some(startinst), maxinst)
     };
 
     println!("---------- Begin Simulation Statistics ----------");
     print!("{}", result.stats.gem5_style_dump(constant));
-    println!(
-        "{:<58} {:.4}",
-        "system.cpu.ipc",
-        result.stats.ipc()
-    );
+    println!("{:<58} {:.4}", "system.cpu.ipc", result.stats.ipc());
     println!(
         "{:<58} {:.4}",
         "system.cpu.branchPred.mispredictRate",
@@ -139,6 +165,38 @@ fn main() {
         print!("{report}");
     }
     println!("---------- End Simulation Statistics   ----------");
+
+    if let Some(tel) = &telemetry {
+        let events = tel.snapshot();
+        if let Some(path) = &trace_out {
+            std::fs::write(path, chrome_trace_json(&events)).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!(
+                "\nwrote {} ({} events, {} dropped by the ring)",
+                path,
+                events.len(),
+                tel.dropped()
+            );
+            print!("{}", rollback_timeline(&events, 48));
+        }
+        if let Some(path) = &metrics_out {
+            let mut reg = MetricsRegistry::new();
+            core.record_metrics(&mut reg);
+            result.stats.record_metrics(&mut reg);
+            let body = if path.ends_with(".csv") {
+                reg.to_csv()
+            } else {
+                reg.to_json()
+            };
+            std::fs::write(path, body).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("wrote {path}");
+        }
+    }
 
     if let (Some(n), Some(trace)) = (trace_n, result.trace) {
         println!("\nfirst {n} trace events:");

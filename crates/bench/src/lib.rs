@@ -14,8 +14,28 @@ pub fn timed<T: std::fmt::Display>(name: &str, f: impl FnOnce() -> T) -> T {
 
 /// The experiment names the `experiments` binary accepts.
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "rate", "fig12",
-    "fig13", "votes", "defense-costs", "robustness", "timeline", "triggers", "workloads", "scorecard", "ablations", "all",
+    "table1",
+    "fig2",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "rate",
+    "fig12",
+    "fig13",
+    "votes",
+    "defense-costs",
+    "robustness",
+    "timeline",
+    "trace",
+    "triggers",
+    "workloads",
+    "scorecard",
+    "ablations",
+    "all",
 ];
 
 #[cfg(test)]

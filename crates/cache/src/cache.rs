@@ -60,7 +60,12 @@ impl Cache {
     }
 
     /// Builds a CEASER-indexed cache (L2 style).
-    pub fn new_randomized(name: &'static str, cfg: CacheConfig, seed: u64, ceaser_seed: u64) -> Self {
+    pub fn new_randomized(
+        name: &'static str,
+        cfg: CacheConfig,
+        seed: u64,
+        ceaser_seed: u64,
+    ) -> Self {
         cfg.validate();
         let ways = cfg.ways;
         let policy = new_policy(cfg.replacement, cfg.sets, ways, seed);
@@ -153,7 +158,11 @@ impl Cache {
         );
         let set = self.set_index(meta.line);
         let allowed = self.partition.allowed_ways(thread);
-        let way = match allowed.iter().copied().find(|&w| self.slot(set, w).is_none()) {
+        let way = match allowed
+            .iter()
+            .copied()
+            .find(|&w| self.slot(set, w).is_none())
+        {
             Some(invalid_way) => invalid_way,
             None => self.policy.choose_victim(set, &allowed),
         };
@@ -182,7 +191,10 @@ impl Cache {
     /// Panics if the slot is occupied by a different valid line or the
     /// coordinates are out of range.
     pub fn insert_at(&mut self, set: usize, way: usize, meta: LineMeta) {
-        assert!(set < self.cfg.sets && way < self.cfg.ways, "slot out of range");
+        assert!(
+            set < self.cfg.sets && way < self.cfg.ways,
+            "slot out of range"
+        );
         if let Some(existing) = self.slot(set, way) {
             assert_eq!(
                 existing.line, meta.line,
@@ -269,7 +281,10 @@ impl Cache {
     ///
     /// Panics if the coordinates are out of range.
     pub fn slot_line(&self, set: usize, way: usize) -> Option<LineAddr> {
-        assert!(set < self.cfg.sets && way < self.cfg.ways, "slot out of range");
+        assert!(
+            set < self.cfg.sets && way < self.cfg.ways,
+            "slot out of range"
+        );
         self.slot(set, way).map(|m| m.line)
     }
 
@@ -364,7 +379,7 @@ mod tests {
         let transient = LineAddr::new(4);
         c.insert(LineMeta::clean(original), 0);
         c.insert(LineMeta::clean(LineAddr::new(8)), 0); // fill the set
-        // Force an eviction of `original` by inserting into its way.
+                                                        // Force an eviction of `original` by inserting into its way.
         c.access(LineAddr::new(8));
         let out = c.insert(LineMeta::speculative(transient, SpecTag(1)), 0);
         let victim = out.victim.expect("set was full");
@@ -439,8 +454,8 @@ mod tests {
         };
         let c = Cache::new_randomized("l2", cfg.clone(), 0, 0x1234);
         let plain = Cache::new("plain", cfg, NomoPartition::disabled(2), 0);
-        let differs = (0..128u64)
-            .any(|i| c.set_index(LineAddr::new(i)) != plain.set_index(LineAddr::new(i)));
+        let differs =
+            (0..128u64).any(|i| c.set_index(LineAddr::new(i)) != plain.set_index(LineAddr::new(i)));
         assert!(differs, "CEASER indexing should differ from modulo");
     }
 

@@ -151,7 +151,8 @@ mod tests {
     fn different_seeds_differ() {
         let a = CeaserMapper::new(1, 2048);
         let b = CeaserMapper::new(2, 2048);
-        let differs = (0..256).any(|i| a.set_index(LineAddr::new(i)) != b.set_index(LineAddr::new(i)));
+        let differs =
+            (0..256).any(|i| a.set_index(LineAddr::new(i)) != b.set_index(LineAddr::new(i)));
         assert!(differs);
     }
 }

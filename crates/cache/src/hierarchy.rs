@@ -1,6 +1,7 @@
 //! The two-level hierarchy: access path, flush, and rollback hooks.
 
 use unxpec_mem::LineAddr;
+use unxpec_telemetry::{CacheLevel, Event, MetricsRegistry, Telemetry};
 
 use crate::cache::Cache;
 use crate::config::HierarchyConfig;
@@ -30,6 +31,7 @@ pub struct CacheHierarchy {
     l2_next_free: Cycle,
     noise: NoiseModel,
     prefetch_fills: u64,
+    telemetry: Telemetry,
 }
 
 impl CacheHierarchy {
@@ -71,6 +73,7 @@ impl CacheHierarchy {
             l2_next_free: 0,
             noise: NoiseModel::quiet(),
             prefetch_fills: 0,
+            telemetry: Telemetry::disabled(),
             cfg,
         }
     }
@@ -80,13 +83,30 @@ impl CacheHierarchy {
         self.noise = noise;
     }
 
+    /// Attaches a telemetry handle; cache, MSHR and rollback events are
+    /// emitted through it (the default handle is disabled and free).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The hierarchy's telemetry handle (defenses emit their rollback
+    /// step events through it so everything lands in one sink).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &HierarchyConfig {
         &self.cfg
     }
 
     /// Data access for thread 0 (convenience for the single-thread model).
-    pub fn access_data(&mut self, line: LineAddr, cycle: Cycle, spec: Option<SpecTag>) -> AccessOutcome {
+    pub fn access_data(
+        &mut self,
+        line: LineAddr,
+        cycle: Cycle,
+        spec: Option<SpecTag>,
+    ) -> AccessOutcome {
         self.access_data_as(line, cycle, spec, 0)
     }
 
@@ -105,6 +125,10 @@ impl CacheHierarchy {
         // even though the tag state is mutated eagerly: merge into the
         // MSHR entry and complete when the original fill does.
         if let Some(entry) = self.mshrs.lookup(line, cycle) {
+            self.telemetry.emit(Event::MshrMerge {
+                cycle,
+                line: line.raw(),
+            });
             return AccessOutcome {
                 issue_cycle: cycle,
                 complete_cycle: entry.complete_cycle.max(cycle + l1_lat),
@@ -113,6 +137,11 @@ impl CacheHierarchy {
             };
         }
         if self.l1d.access(line).is_some() {
+            self.telemetry.emit(Event::CacheHit {
+                cycle,
+                level: CacheLevel::L1,
+                line: line.raw(),
+            });
             return AccessOutcome {
                 issue_cycle: cycle,
                 complete_cycle: cycle + l1_lat,
@@ -120,6 +149,11 @@ impl CacheHierarchy {
                 effects: vec![],
             };
         }
+        self.telemetry.emit(Event::CacheMiss {
+            cycle,
+            level: CacheLevel::L1,
+            line: line.raw(),
+        });
         // Structural hazard: the miss cannot leave the L1 until an MSHR
         // entry is available.
         let issue = self.mshrs.next_free_cycle(cycle).max(cycle);
@@ -128,14 +162,43 @@ impl CacheHierarchy {
         let l2_start = (issue + l1_lat).max(self.l2_next_free);
         self.l2_next_free = l2_start + self.cfg.l2_init_interval;
         let (level, data_cycle) = if self.l2.access(line).is_some() {
+            self.telemetry.emit(Event::CacheHit {
+                cycle: l2_start,
+                level: CacheLevel::L2,
+                line: line.raw(),
+            });
             (HitLevel::L2, l2_start + self.cfg.l2.hit_latency)
         } else {
+            self.telemetry.emit(Event::CacheMiss {
+                cycle: l2_start,
+                level: CacheLevel::L2,
+                line: line.raw(),
+            });
             // Memory: bank pipelining plus noise.
             let mem_start = (l2_start + self.cfg.l2.hit_latency).max(self.mem_next_free);
             self.mem_next_free = mem_start + self.cfg.mem_init_interval;
             let service = self.cfg.mem_latency + self.noise.sample_mem_extra();
             let done = mem_start + service;
-            let fill = self.l2.insert(LineMeta { spec, ..LineMeta::clean(line) }, 0);
+            let fill = self.l2.insert(
+                LineMeta {
+                    spec,
+                    ..LineMeta::clean(line)
+                },
+                0,
+            );
+            self.telemetry.emit(Event::CacheFill {
+                cycle: done,
+                level: CacheLevel::L2,
+                line: line.raw(),
+                speculative: spec.is_some(),
+            });
+            if let Some(victim) = fill.victim {
+                self.telemetry.emit(Event::CacheEvict {
+                    cycle: done,
+                    level: CacheLevel::L2,
+                    victim: victim.line.raw(),
+                });
+            }
             effects.push(Effect::FillL2 {
                 line,
                 set: fill.set,
@@ -145,8 +208,25 @@ impl CacheHierarchy {
             (HitLevel::Memory, done)
         };
         // Fill L1.
-        let fill = self.l1d.insert(LineMeta { spec, ..LineMeta::clean(line) }, thread);
+        let fill = self.l1d.insert(
+            LineMeta {
+                spec,
+                ..LineMeta::clean(line)
+            },
+            thread,
+        );
+        self.telemetry.emit(Event::CacheFill {
+            cycle: data_cycle,
+            level: CacheLevel::L1,
+            line: line.raw(),
+            speculative: spec.is_some(),
+        });
         if let Some(victim) = fill.victim {
+            self.telemetry.emit(Event::CacheEvict {
+                cycle: data_cycle,
+                level: CacheLevel::L1,
+                victim: victim.line.raw(),
+            });
             // A displaced dirty line writes back into L2; ensure it stays
             // resident there so restoration can be serviced from L2.
             if !self.l2.contains(victim.line) {
@@ -155,6 +235,11 @@ impl CacheHierarchy {
             }
             if victim.dirty {
                 self.l2.mark_dirty(victim.line);
+                self.telemetry.emit(Event::CacheWriteback {
+                    cycle: data_cycle,
+                    level: CacheLevel::L1,
+                    line: victim.line.raw(),
+                });
             }
         }
         effects.push(Effect::FillL1 {
@@ -167,6 +252,12 @@ impl CacheHierarchy {
         self.mshrs
             .allocate(line, issue, data_cycle, spec)
             .expect("slot reserved by next_free_cycle");
+        self.telemetry.emit(Event::MshrAlloc {
+            cycle: issue,
+            line: line.raw(),
+            complete_cycle: data_cycle,
+            speculative: spec.is_some(),
+        });
         // Next-line prefetch: only demand (non-speculative) misses
         // trigger it, so prefetched lines never enter a rollback.
         if self.cfg.next_line_prefetch && spec.is_none() {
@@ -374,7 +465,14 @@ impl CacheHierarchy {
         now: Cycle,
         is_squashed: F,
     ) -> usize {
-        self.mshrs.cancel_speculative(now, is_squashed)
+        let cancelled = self.mshrs.cancel_speculative_lines(now, is_squashed);
+        for line in &cancelled {
+            self.telemetry.emit(Event::MshrCancel {
+                cycle: now,
+                line: line.raw(),
+            });
+        }
+        cancelled.len()
     }
 
     /// Latest completion of inflight non-speculative misses (T4 wait).
@@ -446,6 +544,21 @@ impl CacheHierarchy {
         self.l1d.reset_stats();
         self.l1i.reset_stats();
         self.l2.reset_stats();
+    }
+
+    /// Registers every hierarchy counter into `reg` under the `l1.`,
+    /// `l2.`, `mshr.` and `prefetch.` namespaces.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        for (prefix, stats) in [("l1", self.l1d.stats()), ("l2", self.l2.stats())] {
+            reg.set(&format!("{prefix}.hits"), stats.hits);
+            reg.set(&format!("{prefix}.misses"), stats.misses);
+            reg.set(&format!("{prefix}.evictions"), stats.evictions);
+            reg.set(&format!("{prefix}.invalidations"), stats.invalidations);
+            reg.set(&format!("{prefix}.restores"), stats.restores);
+            reg.set(&format!("{prefix}.writebacks"), stats.writebacks);
+        }
+        self.mshrs.record_metrics(reg);
+        reg.set("prefetch.fills", self.prefetch_fills);
     }
 }
 
@@ -584,6 +697,43 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_streams_the_access_path() {
+        let mut h = hier();
+        let tel = Telemetry::ring(256);
+        h.set_telemetry(tel.clone());
+        let line = LineAddr::new(0x100);
+        h.access_data(line, 0, Some(SpecTag(1)));
+        let names: Vec<&str> = tel.snapshot().iter().map(|e| e.name()).collect();
+        // Cold speculative miss: L1 miss, L2 miss, fills both levels,
+        // one MSHR allocation.
+        assert_eq!(names.iter().filter(|n| **n == "cache_miss").count(), 2);
+        assert_eq!(names.iter().filter(|n| **n == "cache_fill").count(), 2);
+        assert!(names.contains(&"mshr_alloc"));
+        tel.clear();
+        // Merge while inflight, then cancel it during cleanup.
+        h.access_data(line, 2, Some(SpecTag(1)));
+        assert_eq!(h.cancel_speculative_misses(3, |t| t == SpecTag(1)), 1);
+        let names: Vec<&str> = tel.snapshot().iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["mshr_merge", "mshr_cancel"]);
+    }
+
+    #[test]
+    fn record_metrics_mirrors_stats() {
+        let mut h = hier();
+        let line = LineAddr::new(0x500);
+        h.access_data(line, 0, None);
+        let t = h.access_data(line, 1000, None).complete_cycle;
+        let _ = t;
+        let mut reg = MetricsRegistry::new();
+        h.record_metrics(&mut reg);
+        assert_eq!(reg.counter("l1.hits"), h.l1_stats().hits);
+        assert_eq!(reg.counter("l1.misses"), h.l1_stats().misses);
+        assert_eq!(reg.counter("l2.misses"), h.l2_stats().misses);
+        assert_eq!(reg.counter("mshr.capacity"), h.config().mshr_entries as u64);
+        assert_eq!(reg.counter("prefetch.fills"), 0);
+    }
+
+    #[test]
     fn fetch_inst_hits_after_first_access() {
         let mut h = hier();
         let line = LineAddr::new(0x9000);
@@ -609,7 +759,10 @@ mod prefetch_tests {
         let mut h = prefetching_hier();
         let line = LineAddr::new(0x100);
         let t = h.access_data(line, 0, None).complete_cycle;
-        assert!(h.l1_contains(line.offset(1)), "next line must be prefetched");
+        assert!(
+            h.l1_contains(line.offset(1)),
+            "next line must be prefetched"
+        );
         assert_eq!(h.prefetch_fills(), 1);
         // The prefetched line now hits.
         let out = h.access_data(line.offset(1), t, None);
@@ -644,7 +797,9 @@ mod prefetch_tests {
             let mut h = CacheHierarchy::new(cfg, 1);
             let mut cycle = 0;
             for i in 0..64u64 {
-                cycle = h.access_data(LineAddr::new(0x1000 + i), cycle, None).complete_cycle;
+                cycle = h
+                    .access_data(LineAddr::new(0x1000 + i), cycle, None)
+                    .complete_cycle;
             }
             cycle
         };

@@ -55,7 +55,9 @@ pub use line::{CoherenceState, LineMeta, SpecTag};
 pub use mshr::{MshrEntry, MshrFile};
 pub use noise::NoiseModel;
 pub use nomo::NomoPartition;
-pub use replacement::{LruPolicy, RandomPolicy, ReplacementKind, ReplacementPolicy, TreePlruPolicy};
+pub use replacement::{
+    LruPolicy, RandomPolicy, ReplacementKind, ReplacementPolicy, TreePlruPolicy,
+};
 pub use stats::CacheStats;
 
 /// Simulator cycle count. The simulated clock runs at 2 GHz (Table I), so

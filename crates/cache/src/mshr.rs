@@ -126,13 +126,32 @@ impl MshrFile {
 
     /// Cancels every inflight entry belonging to speculation epochs in
     /// `is_squashed` (CleanupSpec T3). Returns how many were cancelled.
-    pub fn cancel_speculative<F: Fn(SpecTag) -> bool>(&mut self, now: Cycle, is_squashed: F) -> usize {
+    pub fn cancel_speculative<F: Fn(SpecTag) -> bool>(
+        &mut self,
+        now: Cycle,
+        is_squashed: F,
+    ) -> usize {
+        self.cancel_speculative_lines(now, is_squashed).len()
+    }
+
+    /// Like [`MshrFile::cancel_speculative`], but returns the cancelled
+    /// lines themselves (telemetry wants one `mshr_cancel` event per
+    /// line, not just a count).
+    pub fn cancel_speculative_lines<F: Fn(SpecTag) -> bool>(
+        &mut self,
+        now: Cycle,
+        is_squashed: F,
+    ) -> Vec<LineAddr> {
         self.retire_completed(now);
-        let before = self.entries.len();
-        self.entries
-            .retain(|e| !e.spec.map(&is_squashed).unwrap_or(false));
-        let cancelled = before - self.entries.len();
-        self.cancelled_speculative += cancelled as u64;
+        let mut cancelled = Vec::new();
+        self.entries.retain(|e| {
+            let squashed = e.spec.map(&is_squashed).unwrap_or(false);
+            if squashed {
+                cancelled.push(e.line);
+            }
+            !squashed
+        });
+        self.cancelled_speculative += cancelled.len() as u64;
         cancelled
     }
 
@@ -161,6 +180,13 @@ impl MshrFile {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Registers the file's counters under the `mshr.` namespace.
+    pub fn record_metrics(&self, reg: &mut unxpec_telemetry::MetricsRegistry) {
+        reg.set("mshr.capacity", self.capacity as u64);
+        reg.set("mshr.peak_occupancy", self.peak_occupancy as u64);
+        reg.set("mshr.cancelled_speculative", self.cancelled_speculative);
+    }
 }
 
 #[cfg(test)]
@@ -187,8 +213,10 @@ mod tests {
     #[test]
     fn speculative_cancellation_only_hits_squashed_epochs() {
         let mut m = MshrFile::new(8);
-        m.allocate(LineAddr::new(1), 0, 500, Some(SpecTag(1))).unwrap();
-        m.allocate(LineAddr::new(2), 0, 500, Some(SpecTag(2))).unwrap();
+        m.allocate(LineAddr::new(1), 0, 500, Some(SpecTag(1)))
+            .unwrap();
+        m.allocate(LineAddr::new(2), 0, 500, Some(SpecTag(2)))
+            .unwrap();
         m.allocate(LineAddr::new(3), 0, 500, None).unwrap();
         let n = m.cancel_speculative(10, |t| t == SpecTag(1));
         assert_eq!(n, 1);
@@ -197,9 +225,37 @@ mod tests {
     }
 
     #[test]
+    fn cancel_lines_reports_which_entries_died() {
+        let mut m = MshrFile::new(8);
+        m.allocate(LineAddr::new(1), 0, 500, Some(SpecTag(1)))
+            .unwrap();
+        m.allocate(LineAddr::new(2), 0, 500, Some(SpecTag(2)))
+            .unwrap();
+        m.allocate(LineAddr::new(3), 0, 500, None).unwrap();
+        let lines = m.cancel_speculative_lines(10, |t| t.0 >= 1);
+        assert_eq!(lines, vec![LineAddr::new(1), LineAddr::new(2)]);
+        assert_eq!(m.occupancy(10), 1);
+    }
+
+    #[test]
+    fn metrics_reflect_file_state() {
+        let mut m = MshrFile::new(4);
+        m.allocate(LineAddr::new(1), 0, 500, Some(SpecTag(1)))
+            .unwrap();
+        m.allocate(LineAddr::new(2), 0, 500, None).unwrap();
+        m.cancel_speculative(10, |_| true);
+        let mut reg = unxpec_telemetry::MetricsRegistry::new();
+        m.record_metrics(&mut reg);
+        assert_eq!(reg.counter("mshr.capacity"), 4);
+        assert_eq!(reg.counter("mshr.peak_occupancy"), 2);
+        assert_eq!(reg.counter("mshr.cancelled_speculative"), 1);
+    }
+
+    #[test]
     fn latest_safe_completion_ignores_speculative() {
         let mut m = MshrFile::new(8);
-        m.allocate(LineAddr::new(1), 0, 300, Some(SpecTag(1))).unwrap();
+        m.allocate(LineAddr::new(1), 0, 300, Some(SpecTag(1)))
+            .unwrap();
         assert_eq!(m.latest_safe_completion(0), None);
         m.allocate(LineAddr::new(2), 0, 250, None).unwrap();
         assert_eq!(m.latest_safe_completion(0), Some(250));

@@ -61,8 +61,7 @@ impl NomoPartition {
             return (0..self.ways).collect();
         }
         assert!(thread < self.threads, "thread {thread} out of range");
-        let mut ways: Vec<usize> =
-            (thread * self.reserved..(thread + 1) * self.reserved).collect();
+        let mut ways: Vec<usize> = (thread * self.reserved..(thread + 1) * self.reserved).collect();
         ways.extend(self.reserved * self.threads..self.ways);
         ways
     }

@@ -38,7 +38,12 @@ pub trait ReplacementPolicy: std::fmt::Debug + Send {
 }
 
 /// Constructs the policy instance for `kind`.
-pub fn new_policy(kind: ReplacementKind, sets: usize, ways: usize, seed: u64) -> Box<dyn ReplacementPolicy> {
+pub fn new_policy(
+    kind: ReplacementKind,
+    sets: usize,
+    ways: usize,
+    seed: u64,
+) -> Box<dyn ReplacementPolicy> {
     match kind {
         ReplacementKind::Random => Box::new(RandomPolicy::new(seed)),
         ReplacementKind::Lru => Box::new(LruPolicy::new(sets, ways)),
@@ -260,7 +265,9 @@ mod tests {
     fn random_is_deterministic_per_seed() {
         let picks = |seed| {
             let mut p = RandomPolicy::new(seed);
-            (0..16).map(|_| p.choose_victim(0, &[0, 1, 2, 3, 4, 5, 6, 7])).collect::<Vec<_>>()
+            (0..16)
+                .map(|_| p.choose_victim(0, &[0, 1, 2, 3, 4, 5, 6, 7]))
+                .collect::<Vec<_>>()
         };
         assert_eq!(picks(7), picks(7));
         assert_ne!(picks(7), picks(8));
@@ -273,6 +280,9 @@ mod tests {
         for _ in 0..512 {
             seen[rnd.choose_victim(0, &[0, 1, 2, 3, 4, 5, 6, 7])] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all ways should be chosen sometimes");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all ways should be chosen sometimes"
+        );
     }
 }

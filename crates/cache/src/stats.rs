@@ -38,6 +38,34 @@ impl CacheStats {
     }
 }
 
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    /// Counter-wise sum — the L1+L2 aggregation experiments report.
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+            invalidations: self.invalidations + rhs.invalidations,
+            restores: self.restores + rhs.restores,
+            writebacks: self.writebacks + rhs.writebacks,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        iter.fold(CacheStats::default(), |acc, s| acc + s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,6 +80,65 @@ mod tests {
         assert_eq!(s.accesses(), 4);
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn add_merges_counterwise() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 2,
+            invalidations: 1,
+            restores: 0,
+            writebacks: 1,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 4,
+            evictions: 0,
+            invalidations: 2,
+            restores: 3,
+            writebacks: 0,
+        };
+        let sum = a + b;
+        assert_eq!(sum.hits, 13);
+        assert_eq!(sum.misses, 5);
+        assert_eq!(sum.evictions, 2);
+        assert_eq!(sum.invalidations, 3);
+        assert_eq!(sum.restores, 3);
+        assert_eq!(sum.writebacks, 1);
+        assert_eq!(sum.accesses(), a.accesses() + b.accesses());
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let a = CacheStats {
+            hits: 7,
+            misses: 2,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            hits: 1,
+            writebacks: 5,
+            ..CacheStats::default()
+        };
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, a + b);
+    }
+
+    #[test]
+    fn default_is_additive_identity_and_sum_works() {
+        let a = CacheStats {
+            hits: 5,
+            misses: 5,
+            restores: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(a + CacheStats::default(), a);
+        let total: CacheStats = [a, a, CacheStats::default()].into_iter().sum();
+        assert_eq!(total.hits, 10);
+        assert_eq!(total.restores, 2);
     }
 
     #[test]

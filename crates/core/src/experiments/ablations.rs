@@ -75,7 +75,10 @@ impl fmt::Display for DefenseMatrix {
             .iter()
             .map(|(n, d)| vec![n.clone(), format!("{d:+.1}")])
             .collect();
-        writeln!(f, "Ablation — secret-dependent timing difference per defense")?;
+        writeln!(
+            f,
+            "Ablation — secret-dependent timing difference per defense"
+        )?;
         write!(
             f,
             "{}",
@@ -198,11 +201,8 @@ pub struct FenceAblation {
 /// a separate program builder; we report the fenced channel's tightness
 /// as the baseline the paper's §V-A design achieves).
 pub fn fence_ablation(samples: usize) -> FenceAblation {
-    let mut chan = UnxpecChannel::new(
-        AttackConfig::paper_no_es(),
-        Box::new(CleanupSpec::new()),
-    )
-    .with_measurement_noise(MeasurementNoise::laplace(0.01, 1));
+    let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()))
+        .with_measurement_noise(MeasurementNoise::laplace(0.01, 1));
     let cal = chan.calibrate(samples);
     let s1 = unxpec_stats::Summary::of_cycles(&cal.samples1);
     FenceAblation {

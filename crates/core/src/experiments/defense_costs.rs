@@ -127,7 +127,10 @@ mod tests {
             (0.0..0.15).contains(&cleanup),
             "CleanupSpec mean {cleanup} should be a few percent"
         );
-        assert!(invisi > 0.02, "InvisiSpec pays on every speculative load: {invisi}");
+        assert!(
+            invisi > 0.02,
+            "InvisiSpec pays on every speculative load: {invisi}"
+        );
     }
 
     #[test]

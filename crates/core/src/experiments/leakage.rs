@@ -92,7 +92,11 @@ pub fn run(use_eviction_sets: bool, bits: usize, seed: u64) -> Leakage {
 
 impl fmt::Display for Leakage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let fig = if self.eviction_sets { "Fig. 11" } else { "Fig. 10" };
+        let fig = if self.eviction_sets {
+            "Fig. 11"
+        } else {
+            "Fig. 10"
+        };
         writeln!(
             f,
             "{fig} — leaked {} bits, threshold {}, accuracy {:.1}%",
@@ -100,7 +104,10 @@ impl fmt::Display for Leakage {
             self.threshold,
             self.accuracy() * 100.0
         )?;
-        writeln!(f, "  first 100 bits (marker: . correct, X wrong; line2 = observed latency bucket):")?;
+        writeln!(
+            f,
+            "  first 100 bits (marker: . correct, X wrong; line2 = observed latency bucket):"
+        )?;
         let n = self.outcome.secrets.len().min(100);
         let marks: String = (0..n)
             .map(|i| {

@@ -23,6 +23,9 @@
 //! paper discusses (invalidation-only rollback, the fuzzy-cleanup
 //! mitigation, the InvisiSpec comparison, mistraining effort) and
 //! [`votes`] the §VI-D samples-per-bit noise-suppression trade.
+//! [`trace::run`] captures a fully instrumented round per secret value
+//! for the Chrome/Perfetto and metrics exporters (see
+//! `docs/observability.md`).
 
 pub mod ablations;
 pub mod defense_costs;
@@ -37,6 +40,7 @@ pub mod scorecard;
 pub mod secret_pattern;
 pub mod table1;
 pub mod timeline;
+pub mod trace;
 pub mod triggers;
 pub mod votes;
 pub mod workload_profile;

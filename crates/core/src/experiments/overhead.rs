@@ -6,7 +6,9 @@ use std::fmt;
 use unxpec_cpu::UnsafeBaseline;
 use unxpec_defense::{CleanupSpec, ConstantTimeRollback};
 use unxpec_stats::ascii;
-use unxpec_workloads::{arith_mean_overhead, measure_overheads, mean_overhead, spec2017_like_suite, OverheadRow};
+use unxpec_workloads::{
+    arith_mean_overhead, mean_overhead, measure_overheads, spec2017_like_suite, OverheadRow,
+};
 
 /// The constants the paper sweeps (cycles).
 pub const CONSTANTS: [u64; 5] = [25, 30, 35, 45, 65];
@@ -79,11 +81,16 @@ pub fn run(warmup: u64, measure: u64) -> OverheadExperiment {
     let suite = spec2017_like_suite();
     let unsafe_f: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> = &|| Box::new(UnsafeBaseline);
     let no_const: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> = &|| Box::new(CleanupSpec::new());
-    let c25: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> = &|| Box::new(ConstantTimeRollback::new(25));
-    let c30: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> = &|| Box::new(ConstantTimeRollback::new(30));
-    let c35: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> = &|| Box::new(ConstantTimeRollback::new(35));
-    let c45: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> = &|| Box::new(ConstantTimeRollback::new(45));
-    let c65: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> = &|| Box::new(ConstantTimeRollback::new(65));
+    let c25: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> =
+        &|| Box::new(ConstantTimeRollback::new(25));
+    let c30: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> =
+        &|| Box::new(ConstantTimeRollback::new(30));
+    let c35: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> =
+        &|| Box::new(ConstantTimeRollback::new(35));
+    let c45: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> =
+        &|| Box::new(ConstantTimeRollback::new(45));
+    let c65: &dyn Fn() -> Box<dyn unxpec_cpu::Defense> =
+        &|| Box::new(ConstantTimeRollback::new(65));
     let schemes: Vec<(&str, _)> = vec![
         ("unsafe", unsafe_f),
         ("no-const", no_const),

@@ -156,7 +156,11 @@ mod tests {
     fn noise_spreads_the_distributions() {
         let pdf = run(false, 80, 3);
         let s0 = Summary::of_cycles(&pdf.samples0);
-        assert!(s0.std_dev > 2.0, "noise should spread samples, std {}", s0.std_dev);
+        assert!(
+            s0.std_dev > 2.0,
+            "noise should spread samples, std {}",
+            s0.std_dev
+        );
         assert!(s0.max > s0.min + 10.0);
     }
 

@@ -46,8 +46,7 @@ pub fn run(bits: usize, seed: u64) -> (RateResult, RateResult) {
             eviction_sets: es,
             cycles_per_round,
             raw_bps: CLOCK_HZ / cycles_per_round,
-            artifact_equivalent_bps: CLOCK_HZ
-                / (cycles_per_round + ARTIFACT_ROUND_OVERHEAD as f64),
+            artifact_equivalent_bps: CLOCK_HZ / (cycles_per_round + ARTIFACT_ROUND_OVERHEAD as f64),
         }
     };
     (one(false), one(true))

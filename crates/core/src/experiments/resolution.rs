@@ -137,7 +137,10 @@ impl fmt::Display for ResolutionSweep {
         write!(
             f,
             "{}",
-            ascii::table(&["f(N)", "loads in branch", "secret", "resolution time"], &rows)
+            ascii::table(
+                &["f(N)", "loads in branch", "secret", "resolution time"],
+                &rows
+            )
         )
     }
 }
@@ -169,7 +172,10 @@ mod tests {
         assert!(m3 - m2 > 60.0, "f(3) - f(2) = {}", m3 - m2);
         // Roughly equal steps (each access is one more memory round trip).
         let ratio = (m3 - m2) / (m2 - m1);
-        assert!((0.6..1.6).contains(&ratio), "steps should be similar: {ratio}");
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "steps should be similar: {ratio}"
+        );
     }
 
     #[test]

@@ -97,8 +97,7 @@ pub fn run(use_eviction_sets: bool, max_loads: usize, samples: usize) -> Rollbac
 impl RollbackSweep {
     /// Renders the per-load-count difference bars (Figs. 3/6).
     pub fn to_svg(&self) -> String {
-        let categories: Vec<String> =
-            self.points.iter().map(|p| format!("{}", p.loads)).collect();
+        let categories: Vec<String> = self.points.iter().map(|p| format!("{}", p.loads)).collect();
         let diffs: Vec<f64> = self.points.iter().map(|p| p.difference()).collect();
         let title = if self.eviction_sets {
             "Fig. 6 - rollback timing difference (eviction sets)"
@@ -142,7 +141,10 @@ mod tests {
         // Fig. 3: the difference grows only slowly with more loads.
         let d8 = sweep.points[7].difference();
         assert!(d8 >= d1 - 2.0, "difference must not shrink: {d1} -> {d8}");
-        assert!(d8 <= d1 + 15.0, "pipelined invalidation grows slowly: {d1} -> {d8}");
+        assert!(
+            d8 <= d1 + 15.0,
+            "pipelined invalidation grows slowly: {d1} -> {d8}"
+        );
     }
 
     #[test]

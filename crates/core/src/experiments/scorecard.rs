@@ -64,7 +64,11 @@ fn check(
 
 /// Runs every check. `quick` trades sample counts for speed.
 pub fn run(quick: bool) -> Scorecard {
-    let (timing_samples, pdf_samples, bits) = if quick { (10, 80, 200) } else { (50, 500, 1000) };
+    let (timing_samples, pdf_samples, bits) = if quick {
+        (10, 80, 200)
+    } else {
+        (50, 500, 1000)
+    };
     let mut checks = Vec::new();
 
     // Fig. 2: resolution flat in loads, linear in f(N).
@@ -164,7 +168,11 @@ pub fn run(quick: bool) -> Scorecard {
     );
 
     // Fig. 12: constant-time rollback.
-    let (warm, meas) = if quick { (8_000, 25_000) } else { (30_000, 90_000) };
+    let (warm, meas) = if quick {
+        (8_000, 25_000)
+    } else {
+        (30_000, 90_000)
+    };
     let fig12 = overhead::run(warm, meas);
     check(
         &mut checks,

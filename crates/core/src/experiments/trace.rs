@@ -1,0 +1,180 @@
+//! Instrumented attack round: full telemetry capture of the channel.
+//!
+//! The observability companion to [`super::timeline`]: instead of
+//! reducing a round to six timestamps it records the complete typed
+//! event stream — instruction dispatch/complete, cache hits and fills,
+//! MSHR traffic, and the squash/cleanup bracket — for one secret-0 and
+//! one secret-1 round on the same core, then exports it as a
+//! Chrome/Perfetto trace, a metrics dump, and an ASCII rollback
+//! timeline. The secret shows up as the `rollback` span on the defense
+//! track being visibly longer in the secret-1 round.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use unxpec_attack::{AttackConfig, UnxpecChannel};
+use unxpec_defense::CleanupSpec;
+use unxpec_telemetry::{
+    chrome_trace_json, rollback_spans, rollback_timeline, Event, MetricsRegistry, Telemetry,
+};
+
+/// Telemetry of one traced secret-0 and one traced secret-1 round.
+#[derive(Debug, Clone)]
+pub struct TraceCapture {
+    /// Events of the secret-0 round.
+    pub secret0: Vec<Event>,
+    /// Events of the secret-1 round (later cycles on the same core).
+    pub secret1: Vec<Event>,
+    /// Static PC of the sender branch (the squash whose cleanup
+    /// duration depends on the secret).
+    pub sender_pc: usize,
+    /// Cleanup cycles of the secret-0 round's sender squash.
+    pub cleanup0: u64,
+    /// Cleanup cycles of the secret-1 round's sender squash.
+    pub cleanup1: u64,
+    /// Cache / MSHR / defense metrics after both rounds.
+    pub metrics: MetricsRegistry,
+}
+
+impl TraceCapture {
+    /// Both rounds' events, chronological (secret-0 came first).
+    pub fn events(&self) -> Vec<Event> {
+        let mut all = self.secret0.clone();
+        all.extend(self.secret1.iter().copied());
+        all
+    }
+
+    /// Chrome trace-event JSON covering both rounds.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_json(&self.events())
+    }
+
+    /// ASCII rollback timeline covering both rounds.
+    pub fn ascii_timeline(&self, width: usize) -> String {
+        rollback_timeline(&self.events(), width)
+    }
+}
+
+/// Runs one warmed, instrumented round per secret value and captures
+/// both event streams through a `ring_capacity`-event sink.
+pub fn run(use_eviction_sets: bool, ring_capacity: usize) -> TraceCapture {
+    let cfg = AttackConfig::paper_no_es().with_eviction_sets(use_eviction_sets);
+    let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
+    // Warm rounds so the traced ones are steady-state.
+    chan.measure_bit(false);
+    chan.measure_bit(true);
+
+    let tel = Telemetry::ring(ring_capacity);
+    chan.core_mut().set_telemetry(tel.clone());
+    chan.measure_bit(false);
+    let secret0 = tel.snapshot();
+    tel.clear();
+    chan.measure_bit(true);
+    let secret1 = tel.snapshot();
+
+    // A round squashes more than once (training exit, phase checks,
+    // the comparand chain), and those rollbacks cost the same whatever
+    // the secret. The sender branch is the one whose cleanup *changes*
+    // with the secret, so compare per-branch cleanup across the rounds.
+    let by_pc = |events: &[Event]| -> BTreeMap<usize, u64> {
+        let mut map = BTreeMap::new();
+        for s in rollback_spans(events) {
+            let d = map.entry(s.branch_pc).or_insert(0);
+            *d = (*d).max(s.duration);
+        }
+        map
+    };
+    let (per_pc0, per_pc1) = (by_pc(&secret0), by_pc(&secret1));
+    let sender_pc = per_pc1
+        .iter()
+        .map(|(pc, d1)| {
+            (
+                *pc,
+                d1.saturating_sub(per_pc0.get(pc).copied().unwrap_or(0)),
+            )
+        })
+        .max_by_key(|&(_, gap)| gap)
+        .map(|(pc, _)| pc)
+        .unwrap_or(0);
+    let cleanup0 = per_pc0.get(&sender_pc).copied().unwrap_or(0);
+    let cleanup1 = per_pc1.get(&sender_pc).copied().unwrap_or(0);
+
+    let mut metrics = MetricsRegistry::new();
+    chan.core().record_metrics(&mut metrics);
+    TraceCapture {
+        secret0,
+        secret1,
+        sender_pc,
+        cleanup0,
+        cleanup1,
+        metrics,
+    }
+}
+
+impl fmt::Display for TraceCapture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "secret-0 round: {:>4} events, sender (pc={}) cleanup {:>3} cycles",
+            self.secret0.len(),
+            self.sender_pc,
+            self.cleanup0
+        )?;
+        writeln!(
+            f,
+            "secret-1 round: {:>4} events, sender (pc={}) cleanup {:>3} cycles",
+            self.secret1.len(),
+            self.sender_pc,
+            self.cleanup1
+        )?;
+        writeln!(
+            f,
+            "rollback-duration difference: {} cycles (the channel)",
+            self.cleanup1.saturating_sub(self.cleanup0)
+        )?;
+        write!(f, "{}", self.ascii_timeline(48))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unxpec_telemetry::json;
+
+    #[test]
+    fn rollback_duration_carries_the_secret() {
+        let cap = run(false, 1 << 14);
+        assert!(
+            cap.cleanup1 >= cap.cleanup0 + 15,
+            "secret-1 cleanup must be visibly longer: {} vs {}",
+            cap.cleanup0,
+            cap.cleanup1
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_shows_the_rollback() {
+        let cap = run(false, 1 << 14);
+        let doc = cap.chrome_trace();
+        json::validate(&doc).expect("valid trace JSON");
+        assert!(doc.contains("\"name\":\"rollback\""));
+        assert!(doc.contains("\"name\":\"inst.wrong_path\""));
+    }
+
+    #[test]
+    fn metrics_cover_every_layer() {
+        let cap = run(false, 1 << 14);
+        for key in ["l1.hits", "mshr.capacity", "cleanupspec.rollbacks"] {
+            assert!(cap.metrics.counter(key) > 0, "missing {key}");
+        }
+        assert!(cap.metrics.counter("cleanupspec.l1_invalidated") >= 1);
+    }
+
+    #[test]
+    fn display_summarizes_both_rounds() {
+        let cap = run(false, 1 << 14);
+        let text = cap.to_string();
+        assert!(text.contains("secret-0 round"));
+        assert!(text.contains("rollback timeline"));
+    }
+}

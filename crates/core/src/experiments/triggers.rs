@@ -66,10 +66,7 @@ pub fn run(samples: usize) -> TriggerMatrix {
 
 impl fmt::Display for TriggerMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "unXpec timing difference per trigger family (cycles)"
-        )?;
+        writeln!(f, "unXpec timing difference per trigger family (cycles)")?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()

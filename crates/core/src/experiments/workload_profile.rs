@@ -97,7 +97,14 @@ impl fmt::Display for SuiteProfile {
             f,
             "{}",
             ascii::table(
-                &["kernel", "ipc", "misp", "l1 miss", "l2 miss", "squash every"],
+                &[
+                    "kernel",
+                    "ipc",
+                    "misp",
+                    "l1 miss",
+                    "l2 miss",
+                    "squash every"
+                ],
                 &rows
             )
         )
@@ -121,11 +128,7 @@ mod tests {
         assert!(namd.l1_miss < 0.1, "{}", namd.l1_miss);
         // Every kernel mispredicts sometimes (Fig. 12 needs squashes).
         for k in &p.kernels {
-            assert!(
-                k.mispredict_rate > 0.0001,
-                "{} never mispredicts",
-                k.name
-            );
+            assert!(k.mispredict_rate > 0.0001, "{} never mispredicts", k.name);
         }
     }
 

@@ -25,6 +25,7 @@
 //! | the unXpec attack + Spectre v1 baseline | [`attack`] (`unxpec-attack`) |
 //! | SPEC-2017-like workloads | [`workloads`] (`unxpec-workloads`) |
 //! | statistics / rendering | [`stats`] (`unxpec-stats`) |
+//! | event bus, metrics, trace export | [`telemetry`] (`unxpec-telemetry`) |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use unxpec_cpu as cpu;
 pub use unxpec_defense as defense;
 pub use unxpec_mem as mem;
 pub use unxpec_stats as stats;
+pub use unxpec_telemetry as telemetry;
 pub use unxpec_workloads as workloads;
 
 pub mod experiments;

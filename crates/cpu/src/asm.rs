@@ -414,7 +414,8 @@ mod tests {
                     t.to_string()
                 } else {
                     // "  12  inst" -> "inst"
-                    t.split_once(char::is_whitespace).map(|x| x.1)
+                    t.split_once(char::is_whitespace)
+                        .map(|x| x.1)
                         .unwrap_or("")
                         .trim()
                         .to_string()

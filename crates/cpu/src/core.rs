@@ -29,6 +29,7 @@
 
 use unxpec_cache::{CacheHierarchy, Cycle, Effect, HierarchyConfig, SpecTag};
 use unxpec_mem::{Addr, Memory};
+use unxpec_telemetry::{Event, MetricsRegistry, Telemetry};
 
 use crate::config::CoreConfig;
 use crate::defense::{Defense, FillPolicy, SquashInfo, UnsafeBaseline};
@@ -101,6 +102,7 @@ pub struct Core {
     next_epoch: u64,
     next_seq: u64,
     tracing: bool,
+    telemetry: Telemetry,
 }
 
 impl Core {
@@ -120,6 +122,7 @@ impl Core {
             next_epoch: 1,
             next_seq: 1,
             tracing: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -202,12 +205,35 @@ impl Core {
         self
     }
 
+    /// Attaches a telemetry handle: the core emits pipeline and squash
+    /// events through it, and the cache hierarchy shares the same sink.
+    /// The default handle is disabled and costs one branch per probe.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) -> &mut Self {
+        self.hier.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The core's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Registers machine-level counters into `reg`: the cache
+    /// hierarchy's and the active defense's. Per-run counters come from
+    /// [`RunStats::record_metrics`] on the result.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        self.hier.record_metrics(reg);
+        self.defense.record_metrics(reg);
+    }
+
     /// Services a cross-thread/cross-core read probe for `line` through
     /// the active defense (CleanupSpec answers dummy misses for
     /// speculative installs; the baseline answers honestly).
     pub fn external_probe(&mut self, line: unxpec_mem::LineAddr) -> unxpec_cache::ExternalProbe {
         let cycle = self.clock;
-        self.defense.serve_external_probe(&mut self.hier, line, cycle)
+        self.defense
+            .serve_external_probe(&mut self.hier, line, cycle)
     }
 
     /// Runs `program` until `Halt` (or a safety bound).
@@ -249,6 +275,7 @@ impl Core {
             hit_limit: false,
             trace: if self.tracing { Some(Vec::new()) } else { None },
             trace_seq: 0,
+            tel_seq: 0,
         };
 
         loop {
@@ -340,6 +367,11 @@ impl Core {
             f.insts += 1;
         }
         let squash_at = st.earliest_mispredict_resolve();
+        self.telemetry.emit(Event::Dispatch {
+            cycle: d,
+            seq: st.tel_seq,
+            pc,
+        });
 
         let mut complete = d; // instruction completion for ROB release
         match inst {
@@ -365,9 +397,7 @@ impl Core {
                 st.pc += 1;
             }
             Inst::Load { dst, base, offset } => {
-                let addr = Addr::new(
-                    st.regs[base.index()].wrapping_add(offset as u64) & !7,
-                );
+                let addr = Addr::new(st.regs[base.index()].wrapping_add(offset as u64) & !7);
                 let ready = st.avail[base.index()].max(d).max(st.fence_floor);
                 let start = st.alloc_load_slot(ready, self.cfg.load_ports);
                 let suppressed = squash_at.map(|s| start >= s).unwrap_or(false);
@@ -441,6 +471,11 @@ impl Core {
                             }
                         }
                     };
+                    self.telemetry.emit(Event::Issue {
+                        cycle: start,
+                        seq: st.tel_seq,
+                        pc,
+                    });
                     let value = self.mem.read_u64(addr);
                     st.regs[dst.index()] = value;
                     st.avail[dst.index()] = outcome.complete_cycle;
@@ -464,9 +499,7 @@ impl Core {
                 st.pc += 1;
             }
             Inst::Store { src, base, offset } => {
-                let addr = Addr::new(
-                    st.regs[base.index()].wrapping_add(offset as u64) & !7,
-                );
+                let addr = Addr::new(st.regs[base.index()].wrapping_add(offset as u64) & !7);
                 let ready = st.avail[base.index()]
                     .max(st.avail[src.index()])
                     .max(d)
@@ -628,6 +661,11 @@ impl Core {
                     st.pc += 1;
                 } else {
                     let tag = st.youngest_epoch();
+                    self.telemetry.emit(Event::Issue {
+                        cycle: start,
+                        seq: st.tel_seq,
+                        pc,
+                    });
                     let outcome = self.hier.access_data(addr.line(), start, tag);
                     let actual = self.mem.read_u64(addr) as PcIndex;
                     let resolve = outcome.complete_cycle + self.cfg.branch_resolve_latency;
@@ -681,6 +719,13 @@ impl Core {
         // ROB release: in-order commit discipline.
         let release = st.rob.back().copied().unwrap_or(0).max(complete);
         st.rob.push_back(release);
+        self.telemetry.emit(Event::Complete {
+            cycle: complete,
+            seq: st.tel_seq,
+            pc,
+            wrong_path,
+        });
+        st.tel_seq += 1;
         if let Some(trace) = st.trace.as_mut() {
             trace.push(TraceEvent {
                 seq: st.trace_seq,
@@ -702,8 +747,7 @@ impl Core {
             st.stall_to(frame.resolve_cycle);
             if st.frames.is_empty() {
                 if !frame.effects.is_empty() {
-                    let effects: Vec<Effect> =
-                        frame.effects.iter().map(|(_, e)| *e).collect();
+                    let effects: Vec<Effect> = frame.effects.iter().map(|(_, e)| *e).collect();
                     self.defense.on_commit_epoch(&mut self.hier, &effects);
                 }
                 // Invisible-policy loads expose their data now: the
@@ -735,7 +779,19 @@ impl Core {
             squashed_loads: frame.loads,
             squashed_insts: frame.insts,
         };
+        self.telemetry.emit(Event::SquashBegin {
+            cycle: resolve,
+            branch_pc: frame.branch_pc,
+            epoch: frame.epoch.0,
+            squashed_loads: frame.loads as u64,
+            squashed_insts: frame.insts as u64,
+        });
         let redirect = self.defense.on_squash(&mut self.hier, &info).max(resolve);
+        self.telemetry.emit(Event::SquashEnd {
+            cycle: redirect,
+            branch_pc: frame.branch_pc,
+            epoch: frame.epoch.0,
+        });
 
         // Roll the architectural path back to the checkpoint.
         st.regs = frame.ckpt_regs;
@@ -783,6 +839,7 @@ struct Exec {
     hit_limit: bool,
     trace: Option<Vec<TraceEvent>>,
     trace_seq: u64,
+    tel_seq: u64,
 }
 
 impl Exec {
@@ -939,7 +996,11 @@ mod tests {
         assert_eq!(r.stats.branches, 100);
         // The bimodal predictor learns the loop quickly; only the first
         // few and the exit mispredict.
-        assert!(r.stats.mispredicts <= 4, "{} mispredicts", r.stats.mispredicts);
+        assert!(
+            r.stats.mispredicts <= 4,
+            "{} mispredicts",
+            r.stats.mispredicts
+        );
     }
 
     #[test]
@@ -987,7 +1048,11 @@ mod tests {
         // Unsafe baseline: the transient line stays cached.
         assert!(core.hierarchy().l1_contains(probe.line()));
         // Resolution time is dominated by the comparand's memory miss.
-        assert!(rec.resolution_time() > 100, "resolution {}", rec.resolution_time());
+        assert!(
+            rec.resolution_time() > 100,
+            "resolution {}",
+            rec.resolution_time()
+        );
         // No defense: cleanup is free.
         assert_eq!(rec.cleanup_cycles(), 0);
     }
@@ -1114,7 +1179,11 @@ mod tests {
         b.halt();
         let r = core.run(&b.build());
         // At most rob_entries instructions could be in flight.
-        assert!(r.stats.squashed_insts <= 192 + 8, "squashed {}", r.stats.squashed_insts);
+        assert!(
+            r.stats.squashed_insts <= 192 + 8,
+            "squashed {}",
+            r.stats.squashed_insts
+        );
     }
 
     #[test]
@@ -1127,8 +1196,10 @@ mod tests {
             core.set_predictor(Box::new(NeverTaken));
             // Build a pointer chain: mem[0x8000*k] holds address of next.
             for k in 0..n {
-                core.mem_mut()
-                    .write_u64(Addr::new(0x10_0000 + k * 0x1000), 0x10_0000 + (k + 1) * 0x1000);
+                core.mem_mut().write_u64(
+                    Addr::new(0x10_0000 + k * 0x1000),
+                    0x10_0000 + (k + 1) * 0x1000,
+                );
             }
             let mut b = ProgramBuilder::new();
             b.mov(Reg(1), 0x10_0000);
@@ -1260,8 +1331,12 @@ mod edge_tests {
         b.fence();
         b.halt();
         core.run(&b.build());
-        assert!(!core.hierarchy().l1_contains(unxpec_mem::Addr::new(0x9000).line()));
-        assert!(core.hierarchy().l1_stats().writebacks + core.hierarchy().l2_stats().writebacks > 0);
+        assert!(!core
+            .hierarchy()
+            .l1_contains(unxpec_mem::Addr::new(0x9000).line()));
+        assert!(
+            core.hierarchy().l1_stats().writebacks + core.hierarchy().l2_stats().writebacks > 0
+        );
         // The value survives architecturally.
         assert_eq!(core.mem().read_u64(Addr::new(0x9000)), 0xfeed);
     }
@@ -1300,7 +1375,7 @@ mod edge_tests {
         b.mov(Reg(1), 0x4000);
         b.load(Reg(2), Reg(1), 0); // slow comparand, reads 0
         b.branch(Cond::Eq, Reg(2), 0u64, "skip"); // taken, predicted NT
-        // Wrong path: a store that must not land.
+                                                  // Wrong path: a store that must not land.
         b.mov(Reg(3), 0xbad);
         b.mov(Reg(4), 0xb000);
         b.store(Reg(3), Reg(4), 0);
@@ -1364,6 +1439,107 @@ mod edge_tests {
             !core.hierarchy().l1_is_speculative(Addr::new(0xd000).line()),
             "commit must clear the tag once all frames resolve"
         );
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::isa::Cond;
+    use crate::predictor::NeverTaken;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn pipeline_events_pair_dispatch_and_complete() {
+        let mut core = Core::table_i();
+        let tel = Telemetry::ring(4096);
+        core.set_telemetry(tel.clone());
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x1000);
+        b.load(Reg(2), Reg(1), 0);
+        b.halt();
+        core.run(&b.build());
+        let events = tel.snapshot();
+        let dispatches = events
+            .iter()
+            .filter(|e| matches!(e, Event::Dispatch { .. }))
+            .count();
+        let completes = events
+            .iter()
+            .filter(|e| matches!(e, Event::Complete { .. }))
+            .count();
+        assert_eq!(dispatches, 2, "mov + load dispatch (halt does not)");
+        assert_eq!(dispatches, completes);
+        // The load issued exactly once and the hierarchy logged its miss
+        // into the same sink.
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::Issue { .. }))
+                .count(),
+            1
+        );
+        assert!(events.iter().any(|e| matches!(e, Event::CacheMiss { .. })));
+    }
+
+    #[test]
+    fn squash_brackets_the_defense_stall() {
+        let mut core = Core::table_i();
+        core.set_predictor(Box::new(NeverTaken));
+        let tel = Telemetry::ring(4096);
+        core.set_telemetry(tel.clone());
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(4), 0x4000);
+        b.load(Reg(5), Reg(4), 0); // slow comparand, reads 0
+        b.branch(Cond::Eq, Reg(5), 0u64, "skip"); // taken, predicted NT
+        b.mov(Reg(6), 0x8000);
+        b.load(Reg(7), Reg(6), 0); // transient load
+        b.label("skip");
+        b.halt();
+        let r = core.run(&b.build());
+        assert_eq!(r.stats.mispredicts, 1);
+        let events = tel.snapshot();
+        let begin = events
+            .iter()
+            .find_map(|e| match *e {
+                Event::SquashBegin {
+                    cycle,
+                    epoch,
+                    squashed_loads,
+                    ..
+                } => Some((cycle, epoch, squashed_loads)),
+                _ => None,
+            })
+            .expect("squash_begin emitted");
+        let end = events
+            .iter()
+            .find_map(|e| match *e {
+                Event::SquashEnd { cycle, epoch, .. } => Some((cycle, epoch)),
+                _ => None,
+            })
+            .expect("squash_end emitted");
+        assert_eq!(begin.1, end.1, "same epoch");
+        assert_eq!(begin.2, 1, "one squashed load");
+        let rec = &r.stats.squashes[0];
+        assert_eq!(begin.0, rec.resolve_cycle);
+        assert_eq!(end.0, rec.redirect_cycle);
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        let run = |attach: bool| {
+            let mut core = Core::table_i();
+            if attach {
+                core.set_telemetry(Telemetry::disabled());
+            }
+            let mut b = ProgramBuilder::new();
+            b.mov(Reg(1), 0x2000);
+            b.load(Reg(2), Reg(1), 0);
+            b.halt();
+            let r = core.run(&b.build());
+            (r.stats.cycles, r.reg(Reg(2)))
+        };
+        assert_eq!(run(false), run(true));
     }
 }
 

@@ -98,6 +98,11 @@ pub trait Defense: std::fmt::Debug + Send {
         String::new()
     }
 
+    /// Registers the defense's internal counters into `reg`, under a
+    /// namespace derived from [`Defense::name`]. No-op by default —
+    /// defenses without counters stay silent in the metrics dump.
+    fn record_metrics(&self, _reg: &mut unxpec_telemetry::MetricsRegistry) {}
+
     /// Services a read request from another thread or core for `line`.
     ///
     /// The default is the unprotected behaviour: supply from the caches

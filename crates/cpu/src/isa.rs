@@ -298,7 +298,12 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert!(Inst::Load { dst: Reg(0), base: Reg(1), offset: 0 }.is_memory());
+        assert!(Inst::Load {
+            dst: Reg(0),
+            base: Reg(1),
+            offset: 0
+        }
+        .is_memory());
         assert!(!Inst::Fence.is_control());
         assert!(Inst::Halt.is_control());
         assert!(!Inst::Nop.is_memory());
@@ -307,10 +312,18 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         let insts = [
-            Inst::MovImm { dst: Reg(1), imm: 5 },
+            Inst::MovImm {
+                dst: Reg(1),
+                imm: 5,
+            },
             Inst::Fence,
             Inst::Halt,
-            Inst::Branch { cond: Cond::Lt, a: Reg(0), b: Operand::Imm(4), target: 9 },
+            Inst::Branch {
+                cond: Cond::Lt,
+                a: Reg(0),
+                b: Operand::Imm(4),
+                target: 9,
+            },
         ];
         for i in insts {
             assert!(!format!("{i}").is_empty());

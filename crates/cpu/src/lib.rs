@@ -35,8 +35,8 @@ mod program;
 mod stats;
 mod trace;
 
-pub use asm::{parse_asm, ParseAsmError};
 pub use crate::core::{Core, RunResult};
+pub use asm::{parse_asm, ParseAsmError};
 pub use config::CoreConfig;
 pub use defense::{Defense, FillPolicy, SquashInfo, UnsafeBaseline};
 pub use isa::{AluOp, Cond, Inst, Operand, PcIndex, Reg, NUM_REGS};

@@ -124,8 +124,7 @@ impl BranchPredictor for GsharePredictor {
         } else {
             *c = c.saturating_sub(1);
         }
-        self.history = ((self.history << 1) | taken as usize)
-            & ((1usize << self.history_bits) - 1);
+        self.history = ((self.history << 1) | taken as usize) & ((1usize << self.history_bits) - 1);
     }
 
     fn reset(&mut self) {

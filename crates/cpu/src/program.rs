@@ -123,42 +123,82 @@ impl ProgramBuilder {
 
     /// `dst = a + b`.
     pub fn add(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Add, dst, a, b: b.into() })
+        self.push(Inst::Alu {
+            op: AluOp::Add,
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `dst = a - b`.
     pub fn sub(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Sub, dst, a, b: b.into() })
+        self.push(Inst::Alu {
+            op: AluOp::Sub,
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `dst = a * b`.
     pub fn mul(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Mul, dst, a, b: b.into() })
+        self.push(Inst::Alu {
+            op: AluOp::Mul,
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `dst = a & b`.
     pub fn and(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::And, dst, a, b: b.into() })
+        self.push(Inst::Alu {
+            op: AluOp::And,
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `dst = a ^ b`.
     pub fn xor(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Xor, dst, a, b: b.into() })
+        self.push(Inst::Alu {
+            op: AluOp::Xor,
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `dst = a | b`.
     pub fn or(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Or, dst, a, b: b.into() })
+        self.push(Inst::Alu {
+            op: AluOp::Or,
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `dst = a << b`.
     pub fn shl(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Shl, dst, a, b: b.into() })
+        self.push(Inst::Alu {
+            op: AluOp::Shl,
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `dst = a >> b`.
     pub fn shr(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Shr, dst, a, b: b.into() })
+        self.push(Inst::Alu {
+            op: AluOp::Shr,
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `dst = mem[base + offset]`.
@@ -194,8 +234,16 @@ impl ProgramBuilder {
     /// Conditional branch to `label` (forward references allowed).
     pub fn branch(&mut self, cond: Cond, a: Reg, b: impl Into<Operand>, label: &str) -> &mut Self {
         let at = self.here();
-        self.pending.push(Pending::Branch { at, label: label.to_owned() });
-        self.push(Inst::Branch { cond, a, b: b.into(), target: usize::MAX })
+        self.pending.push(Pending::Branch {
+            at,
+            label: label.to_owned(),
+        });
+        self.push(Inst::Branch {
+            cond,
+            a,
+            b: b.into(),
+            target: usize::MAX,
+        })
     }
 
     /// Indirect jump through `target` (the register holds a PC index;
@@ -208,8 +256,14 @@ impl ProgramBuilder {
     /// Call to `label` with `sp` as the stack pointer.
     pub fn call(&mut self, label: &str, sp: Reg) -> &mut Self {
         let at = self.here();
-        self.pending.push(Pending::Call { at, label: label.to_owned() });
-        self.push(Inst::Call { target: usize::MAX, sp })
+        self.pending.push(Pending::Call {
+            at,
+            label: label.to_owned(),
+        });
+        self.push(Inst::Call {
+            target: usize::MAX,
+            sp,
+        })
     }
 
     /// Return through `sp`.
@@ -220,7 +274,10 @@ impl ProgramBuilder {
     /// Unconditional jump to `label`.
     pub fn jump(&mut self, label: &str) -> &mut Self {
         let at = self.here();
-        self.pending.push(Pending::Jump { at, label: label.to_owned() });
+        self.pending.push(Pending::Jump {
+            at,
+            label: label.to_owned(),
+        });
         self.push(Inst::Jump { target: usize::MAX })
     }
 

@@ -27,14 +27,17 @@ pub struct SquashRecord {
 }
 
 impl SquashRecord {
-    /// T1–T2: branch resolution time.
+    /// T1–T2: branch resolution time. Saturates at zero: a branch that
+    /// resolves the cycle it dispatches (or a record assembled from
+    /// clamped cycles) must not wrap to `u64::MAX`.
     pub fn resolution_time(&self) -> Cycle {
-        self.resolve_cycle - self.dispatch_cycle
+        self.resolve_cycle.saturating_sub(self.dispatch_cycle)
     }
 
-    /// T2–redirect: the defense's cleanup stall.
+    /// T2–redirect: the defense's cleanup stall. Saturates at zero for
+    /// zero-cost defenses whose redirect coincides with resolution.
     pub fn cleanup_cycles(&self) -> Cycle {
-        self.redirect_cycle - self.resolve_cycle
+        self.redirect_cycle.saturating_sub(self.resolve_cycle)
     }
 }
 
@@ -92,6 +95,23 @@ impl RunStats {
         }
     }
 
+    /// Registers the run's counters under the `core.` namespace and its
+    /// per-squash intervals as `squash.*` histograms.
+    pub fn record_metrics(&self, reg: &mut unxpec_telemetry::MetricsRegistry) {
+        reg.set("core.cycles", self.cycles);
+        reg.set("core.committed_insts", self.committed_insts);
+        reg.set("core.committed_loads", self.committed_loads);
+        reg.set("core.branches", self.branches);
+        reg.set("core.mispredicts", self.mispredicts);
+        reg.set("core.squashed_insts", self.squashed_insts);
+        reg.set("core.cleanup_stall_cycles", self.cleanup_stall_cycles);
+        reg.set("core.ipc_milli", (self.ipc() * 1000.0).round() as u64);
+        for r in &self.squashes {
+            reg.observe("squash.resolution_time", r.resolution_time());
+            reg.observe("squash.cleanup_cycles", r.cleanup_cycles());
+        }
+    }
+
     /// Renders the counters in the `key  value` style of a gem5 stats
     /// dump, using the names the unXpec artifact appendix extracts for
     /// its Fig. 12 methodology (`sim_ticks`,
@@ -102,8 +122,10 @@ impl RunStats {
     pub fn gem5_style_dump(&self, constant_rollback: Option<u64>) -> String {
         let mut out = String::new();
         let mut kv = |k: &str, v: u64| {
-            out.push_str(&format!("{k:<58} {v}
-"));
+            out.push_str(&format!(
+                "{k:<58} {v}
+"
+            ));
         };
         kv("sim_ticks", self.cycles);
         kv(
@@ -141,6 +163,38 @@ mod tests {
         };
         assert_eq!(r.resolution_time(), 120);
         assert_eq!(r.cleanup_cycles(), 22);
+    }
+
+    #[test]
+    fn same_cycle_resolution_is_zero_not_wraparound() {
+        let r = SquashRecord {
+            branch_pc: 1,
+            dispatch_cycle: 100,
+            resolve_cycle: 100,
+            redirect_cycle: 100,
+            squashed_loads: 0,
+            l1_installs: 0,
+            l1_evictions: 0,
+        };
+        assert_eq!(r.resolution_time(), 0);
+        assert_eq!(r.cleanup_cycles(), 0);
+    }
+
+    #[test]
+    fn out_of_order_cycles_saturate_to_zero() {
+        // A record stitched together from clamped cycle values can end up
+        // with redirect < resolve; the intervals must clamp, not wrap.
+        let r = SquashRecord {
+            branch_pc: 1,
+            dispatch_cycle: 200,
+            resolve_cycle: 150,
+            redirect_cycle: 120,
+            squashed_loads: 0,
+            l1_installs: 0,
+            l1_evictions: 0,
+        };
+        assert_eq!(r.resolution_time(), 0);
+        assert_eq!(r.cleanup_cycles(), 0);
     }
 
     #[test]

@@ -65,6 +65,44 @@ impl ExecTrace {
     pub fn memory_events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(|e| e.inst.is_memory())
     }
+
+    /// Execution count per static PC, ascending by PC — how often each
+    /// instruction ran, wrong-path executions included (re-executions of
+    /// a PC inside a speculation loop show up as counts > 1).
+    pub fn per_pc_histogram(&self) -> Vec<(PcIndex, u64)> {
+        let mut counts: std::collections::BTreeMap<PcIndex, u64> = Default::default();
+        for e in &self.events {
+            *counts.entry(e.pc).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Hand-rolled JSON dump:
+    /// `{"events": [{"seq": .., "pc": .., "inst": "..", "dispatch_cycle":
+    /// .., "complete_cycle": .., "wrong_path": bool}, ...]}`.
+    ///
+    /// The instruction is its `Display` rendering with `"` and `\`
+    /// escaped; every other field is a bare integer or boolean, so the
+    /// output is valid JSON by construction.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let inst = e
+                .inst
+                .to_string()
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"");
+            out.push_str(&format!(
+                "\n  {{\"seq\": {}, \"pc\": {}, \"inst\": \"{}\", \"dispatch_cycle\": {}, \"complete_cycle\": {}, \"wrong_path\": {}}}",
+                e.seq, e.pc, inst, e.dispatch_cycle, e.complete_cycle, e.wrong_path
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
 }
 
 impl fmt::Display for ExecTrace {
@@ -107,13 +145,100 @@ mod tests {
         let trace = ExecTrace {
             events: vec![
                 event(0, false, Inst::Nop),
-                event(1, true, Inst::Load { dst: Reg(1), base: Reg(2), offset: 0 }),
+                event(
+                    1,
+                    true,
+                    Inst::Load {
+                        dst: Reg(1),
+                        base: Reg(2),
+                        offset: 0,
+                    },
+                ),
                 event(2, false, Inst::Fence),
             ],
         };
         assert_eq!(trace.len(), 3);
         assert_eq!(trace.wrong_path_events().count(), 1);
         assert_eq!(trace.memory_events().count(), 1);
+    }
+
+    fn mixed_trace() -> ExecTrace {
+        ExecTrace {
+            events: vec![
+                event(0, false, Inst::Nop),
+                event(
+                    1,
+                    true,
+                    Inst::Load {
+                        dst: Reg(1),
+                        base: Reg(2),
+                        offset: 0,
+                    },
+                ),
+                event(2, true, Inst::Nop),
+                event(
+                    3,
+                    false,
+                    Inst::Store {
+                        src: Reg(1),
+                        base: Reg(2),
+                        offset: 0,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn filters_on_mixed_trace_partition_correctly() {
+        let trace = mixed_trace();
+        let wrong: Vec<u64> = trace.wrong_path_events().map(|e| e.seq).collect();
+        assert_eq!(wrong, vec![1, 2]);
+        let mem: Vec<u64> = trace.memory_events().map(|e| e.seq).collect();
+        assert_eq!(mem, vec![1, 3]);
+        // The two filters overlap only on the wrong-path load.
+        let wrong_mem: Vec<u64> = trace
+            .memory_events()
+            .filter(|e| e.wrong_path)
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(wrong_mem, vec![1]);
+    }
+
+    #[test]
+    fn per_pc_histogram_counts_reexecutions() {
+        let mut trace = mixed_trace();
+        // PC 1 executes twice (e.g. wrong path then replay).
+        trace.events.push(event(4, false, Inst::Nop));
+        trace.events[4].pc = 1;
+        let hist = trace.per_pc_histogram();
+        assert_eq!(hist, vec![(0, 1), (1, 2), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let trace = mixed_trace();
+        let json = trace.to_json();
+        assert!(json.starts_with("{\"events\": ["));
+        assert!(json.contains("\"wrong_path\": true"));
+        assert!(json.contains("\"wrong_path\": false"));
+        assert_eq!(json.matches("\"seq\"").count(), trace.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No raw quotes can leak from the instruction rendering.
+        let inst_text = Inst::Load {
+            dst: Reg(1),
+            base: Reg(2),
+            offset: 0,
+        }
+        .to_string();
+        assert!(json.contains(&inst_text.replace('"', "\\\"")));
+    }
+
+    #[test]
+    fn empty_trace_exports_empty_array() {
+        let json = ExecTrace::default().to_json();
+        assert_eq!(json, "{\"events\": [\n]}\n");
     }
 
     #[test]

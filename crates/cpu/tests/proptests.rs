@@ -124,20 +124,35 @@ mod asm_roundtrip {
             Just(AluOp::Shl),
             Just(AluOp::Shr),
         ];
-        let cond = prop_oneof![Just(Cond::Lt), Just(Cond::Ge), Just(Cond::Eq), Just(Cond::Ne)];
+        let cond = prop_oneof![
+            Just(Cond::Lt),
+            Just(Cond::Ge),
+            Just(Cond::Eq),
+            Just(Cond::Ne)
+        ];
         prop_oneof![
             (reg.clone(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
             (alu, reg.clone(), reg.clone(), operand.clone())
                 .prop_map(|(op, dst, a, b)| Inst::Alu { op, dst, a, b }),
-            (reg.clone(), reg.clone(), -512i64..512)
-                .prop_map(|(dst, base, offset)| Inst::Load { dst, base, offset: offset & !7 }),
-            (reg.clone(), reg.clone(), -512i64..512)
-                .prop_map(|(src, base, offset)| Inst::Store { src, base, offset: offset & !7 }),
+            (reg.clone(), reg.clone(), -512i64..512).prop_map(|(dst, base, offset)| Inst::Load {
+                dst,
+                base,
+                offset: offset & !7
+            }),
+            (reg.clone(), reg.clone(), -512i64..512).prop_map(|(src, base, offset)| Inst::Store {
+                src,
+                base,
+                offset: offset & !7
+            }),
             (reg.clone(), -512i64..512).prop_map(|(base, offset)| Inst::Flush { base, offset }),
             Just(Inst::Fence),
             reg.clone().prop_map(|dst| Inst::ReadTime { dst }),
-            (cond, reg.clone(), operand, 0..len)
-                .prop_map(|(cond, a, b, target)| Inst::Branch { cond, a, b, target }),
+            (cond, reg.clone(), operand, 0..len).prop_map(|(cond, a, b, target)| Inst::Branch {
+                cond,
+                a,
+                b,
+                target
+            }),
             (0..len).prop_map(|target| Inst::Jump { target }),
             reg.clone().prop_map(|target| Inst::JumpInd { target }),
             (0..len, reg.clone()).prop_map(|(target, sp)| Inst::Call { target, sp }),

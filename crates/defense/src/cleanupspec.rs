@@ -1,8 +1,9 @@
 //! The CleanupSpec Undo defense.
 
 use unxpec_cache::{CacheHierarchy, Cycle, Effect, ExternalProbe};
-use unxpec_mem::LineAddr;
 use unxpec_cpu::{Defense, SquashInfo};
+use unxpec_mem::LineAddr;
+use unxpec_telemetry::{CacheLevel, Event, MetricsRegistry};
 
 use crate::timing::CleanupTiming;
 
@@ -111,11 +112,14 @@ impl CleanupSpec {
     }
 
     /// Performs the state rollback and returns `(l1_inv, l2_inv,
-    /// restores)` counts.
+    /// restores)` counts. `now` stamps the per-step telemetry events
+    /// (the hierarchy's rollback hooks mutate state only, so the squash
+    /// resolve cycle is the honest timestamp).
     fn rollback_state(
         &mut self,
         hier: &mut CacheHierarchy,
         effects: &[Effect],
+        now: Cycle,
     ) -> (u64, u64, u64) {
         let mut l1_inv = 0;
         let mut l2_inv = 0;
@@ -124,11 +128,21 @@ impl CleanupSpec {
         // line evicted by a younger transient line) unwind correctly.
         for effect in effects.iter().rev() {
             match *effect {
-                Effect::FillL1 { line, set, way, victim } => {
+                Effect::FillL1 {
+                    line,
+                    set,
+                    way,
+                    victim,
+                } => {
                     let slot = match hier.rollback_invalidate_l1(line) {
                         Some((vset, vway)) => {
                             l1_inv += 1;
                             debug_assert_eq!((vset, vway), (set, way), "install moved");
+                            hier.telemetry().emit(Event::RollbackInvalidate {
+                                cycle: now,
+                                level: CacheLevel::L1,
+                                line: line.raw(),
+                            });
                             Some((vset, vway))
                         }
                         // The install is already gone: a *younger*
@@ -149,6 +163,10 @@ impl CleanupSpec {
                                 if !v.was_speculative {
                                     hier.restore_l1(vset, vway, v.line);
                                     restores += 1;
+                                    hier.telemetry().emit(Event::RollbackRestore {
+                                        cycle: now,
+                                        line: v.line.raw(),
+                                    });
                                 }
                             }
                         }
@@ -157,6 +175,11 @@ impl CleanupSpec {
                 Effect::FillL2 { line, .. } => {
                     if self.mode == CleanupMode::ForL1L2 && hier.rollback_invalidate_l2(line) {
                         l2_inv += 1;
+                        hier.telemetry().emit(Event::RollbackInvalidate {
+                            cycle: now,
+                            level: CacheLevel::L2,
+                            line: line.raw(),
+                        });
                     }
                     // L2 victims are never restored: the paper's design
                     // point (too costly below L1; CEASER mitigates).
@@ -192,7 +215,8 @@ impl Defense for CleanupSpec {
             .map_or(t3, |c| c.max(t3));
 
         // T5: invalidate + restore.
-        let (l1_inv, l2_inv, restores) = self.rollback_state(hier, &info.transient_effects);
+        let (l1_inv, l2_inv, restores) =
+            self.rollback_state(hier, &info.transient_effects, info.resolve_cycle);
         self.stats.l1_invalidated += l1_inv;
         self.stats.l2_invalidated += l2_inv;
         self.stats.restored += restores;
@@ -226,6 +250,18 @@ impl Defense for CleanupSpec {
             s.dummy_misses,
             s.stall_cycles
         )
+    }
+
+    fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        let s = self.stats;
+        reg.set("cleanupspec.rollbacks", s.rollbacks);
+        reg.set("cleanupspec.empty_rollbacks", s.empty_rollbacks);
+        reg.set("cleanupspec.l1_invalidated", s.l1_invalidated);
+        reg.set("cleanupspec.l2_invalidated", s.l2_invalidated);
+        reg.set("cleanupspec.restored", s.restored);
+        reg.set("cleanupspec.mshr_cancelled", s.mshr_cancelled);
+        reg.set("cleanupspec.dummy_misses", s.dummy_misses);
+        reg.set("cleanupspec.stall_cycles", s.stall_cycles);
     }
 
     fn serve_external_probe(
@@ -366,7 +402,10 @@ mod tests {
         let out = h1.access_data(LineAddr::new(0x4000), 0, Some(SpecTag(1)));
         let mut d1 = CleanupSpec::new();
         let end1 = d1.on_squash(&mut h1, &squash_info(1000, out.effects, 1)) - 1000;
-        assert!(end8 > end1, "more installs, more cleanup ({end8} vs {end1})");
+        assert!(
+            end8 > end1,
+            "more installs, more cleanup ({end8} vs {end1})"
+        );
         assert!(end8 - end1 <= 8, "but pipelined, so it grows slowly");
     }
 
@@ -391,7 +430,62 @@ mod tests {
         h.access_data(LineAddr::new(0x777), 0, None);
         let mut d = CleanupSpec::new();
         let end = d.on_squash(&mut h, &squash_info(20, vec![], 0));
-        assert!(end >= 100, "cleanup must wait for safe inflight loads, got {end}");
+        assert!(
+            end >= 100,
+            "cleanup must wait for safe inflight loads, got {end}"
+        );
+    }
+
+    #[test]
+    fn rollback_steps_stream_through_the_hierarchy_sink() {
+        let mut h = hier();
+        let tel = unxpec_telemetry::Telemetry::ring(256);
+        h.set_telemetry(tel.clone());
+        // Fill one set so the transient install evicts a restorable victim.
+        let sets = h.config().l1d.sets as u64;
+        let ways = h.config().l1d.ways as u64;
+        for i in 0..ways {
+            h.access_data(LineAddr::new(3 + i * sets), 0, None);
+        }
+        let transient = LineAddr::new(3 + 77 * sets);
+        let out = h.access_data(transient, 500, Some(SpecTag(1)));
+        tel.clear();
+        let mut d = CleanupSpec::new();
+        d.on_squash(&mut h, &squash_info(1000, out.effects, 1));
+        let events = tel.snapshot();
+        let invalidates = events
+            .iter()
+            .filter(|e| matches!(e, Event::RollbackInvalidate { .. }))
+            .count();
+        let restores = events
+            .iter()
+            .filter(|e| matches!(e, Event::RollbackRestore { .. }))
+            .count();
+        assert_eq!(
+            invalidates as u64,
+            d.stats().l1_invalidated + d.stats().l2_invalidated
+        );
+        assert_eq!(restores as u64, d.stats().restored);
+        assert!(
+            events.iter().all(|e| e.cycle() == 1000),
+            "stamped at resolve"
+        );
+    }
+
+    #[test]
+    fn metrics_mirror_the_report() {
+        let mut h = hier();
+        let out = h.access_data(LineAddr::new(0x42), 0, Some(SpecTag(1)));
+        let mut d = CleanupSpec::new();
+        d.on_squash(&mut h, &squash_info(1000, out.effects, 1));
+        let mut reg = MetricsRegistry::new();
+        d.record_metrics(&mut reg);
+        assert_eq!(reg.counter("cleanupspec.rollbacks"), 1);
+        assert_eq!(reg.counter("cleanupspec.l1_invalidated"), 1);
+        assert_eq!(
+            reg.counter("cleanupspec.stall_cycles"),
+            d.stats().stall_cycles
+        );
     }
 
     #[test]

@@ -85,6 +85,12 @@ impl Defense for ConstantTimeRollback {
         }
         real_end.max(padded_end)
     }
+
+    fn record_metrics(&self, reg: &mut unxpec_telemetry::MetricsRegistry) {
+        self.inner.record_metrics(reg);
+        reg.set("constant_time.constant", self.constant);
+        reg.set("constant_time.over_budget_rollbacks", self.truncated);
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,12 @@ impl Defense for DelayOnMiss {
         );
         info.resolve_cycle
     }
+
+    fn record_metrics(&self, reg: &mut unxpec_telemetry::MetricsRegistry) {
+        reg.set("delay_on_miss.squashes", self.squashes);
+        reg.set("delay_on_miss.vp_hits", self.vp_hits);
+        reg.set("delay_on_miss.vp_misses", self.vp_misses);
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +132,10 @@ mod tests {
         }
         let (hits, misses) = d.vp_counts();
         assert_eq!(hits + misses, 400);
-        assert!((120..280).contains(&(hits as i64)), "{hits} predicted of 400");
+        assert!(
+            (120..280).contains(&(hits as i64)),
+            "{hits} predicted of 400"
+        );
     }
 
     #[test]
@@ -180,7 +189,11 @@ mod tests {
         let r = core.run(&b.build());
         // The load waited for the branch (≈120 cy) and then paid the
         // miss (~118 more): the timestamp after it reflects both.
-        assert!(r.reg(Reg(20)) > 220, "delayed miss serializes: {}", r.reg(Reg(20)));
+        assert!(
+            r.reg(Reg(20)) > 220,
+            "delayed miss serializes: {}",
+            r.reg(Reg(20))
+        );
         // Exposed at commit.
         assert!(core.hierarchy().l1_contains(target.line()));
     }

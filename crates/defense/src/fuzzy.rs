@@ -77,6 +77,12 @@ impl Defense for FuzzyCleanup {
         self.injected += dummy;
         real_end + dummy
     }
+
+    fn record_metrics(&self, reg: &mut unxpec_telemetry::MetricsRegistry) {
+        self.inner.record_metrics(reg);
+        reg.set("fuzzy.dummy_span", self.dummy_span);
+        reg.set("fuzzy.injected_cycles", self.injected);
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,11 @@ impl Defense for InvisiSpec {
         );
         info.resolve_cycle
     }
+
+    fn record_metrics(&self, reg: &mut unxpec_telemetry::MetricsRegistry) {
+        reg.set("invisispec.squashes", self.squashes);
+        reg.set("invisispec.extra_latency", self.extra_latency);
+    }
 }
 
 #[cfg(test)]

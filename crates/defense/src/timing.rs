@@ -105,7 +105,10 @@ mod tests {
         let no_es = t.detect_delay + t.mshr_clean_cost + t.invalidation_cost(16);
         assert!((22..=30).contains(&no_es), "8-load cleanup {no_es}");
         let with_es = no_es + t.restoration_cost(8);
-        assert!((55..=70).contains(&with_es), "8-load restore cleanup {with_es}");
+        assert!(
+            (55..=70).contains(&with_es),
+            "8-load restore cleanup {with_es}"
+        );
     }
 
     #[test]

@@ -108,7 +108,9 @@ mod tests {
 
     #[test]
     fn mode_near_sample_center() {
-        let samples: Vec<f64> = (0..500).map(|i| 178.0 + ((i * 7) % 11) as f64 - 5.0).collect();
+        let samples: Vec<f64> = (0..500)
+            .map(|i| 178.0 + ((i * 7) % 11) as f64 - 5.0)
+            .collect();
         let kde = Kde::fit(&samples);
         let mode = kde.mode(150.0, 210.0, 600);
         assert!((mode - 178.0).abs() < 4.0, "mode {mode}");

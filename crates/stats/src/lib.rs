@@ -17,8 +17,8 @@
 pub mod ascii;
 pub mod svg;
 
-mod capacity;
 mod accuracy;
+mod capacity;
 mod histogram;
 mod kde;
 mod summary;

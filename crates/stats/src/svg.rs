@@ -31,7 +31,9 @@ fn header(title: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn x_scale(x: f64, lo: f64, hi: f64) -> f64 {
@@ -42,7 +44,15 @@ fn y_scale(y: f64, lo: f64, hi: f64) -> f64 {
     HEIGHT - MARGIN_B - (y - lo) / (hi - lo).max(f64::MIN_POSITIVE) * (HEIGHT - MARGIN_T - MARGIN_B)
 }
 
-fn axes(out: &mut String, x_lo: f64, x_hi: f64, y_lo: f64, y_hi: f64, x_label: &str, y_label: &str) {
+fn axes(
+    out: &mut String,
+    x_lo: f64,
+    x_hi: f64,
+    y_lo: f64,
+    y_hi: f64,
+    x_label: &str,
+    y_label: &str,
+) {
     let x0 = MARGIN_L;
     let x1 = WIDTH - MARGIN_R;
     let y0 = HEIGHT - MARGIN_B;
@@ -160,7 +170,15 @@ pub fn grouped_bar_chart(
         .fold(f64::MIN, |a, &b| a.max(b))
         .max(f64::MIN_POSITIVE);
     let mut out = header(title);
-    axes(&mut out, 0.0, categories.len() as f64, 0.0, y_hi, "", y_label);
+    axes(
+        &mut out,
+        0.0,
+        categories.len() as f64,
+        0.0,
+        y_hi,
+        "",
+        y_label,
+    );
     let group_w = (WIDTH - MARGIN_L - MARGIN_R) / categories.len() as f64;
     let bar_w = (group_w * 0.8) / series.len() as f64;
     for (ci, cat) in categories.iter().enumerate() {
@@ -279,7 +297,10 @@ mod tests {
             &[("c25", vec![1.2, 1.3]), ("c65", vec![1.6, 1.9])],
         );
         // 4 bars + 2 legend swatches.
-        assert_eq!(svg.matches("<rect").count(), 4 + 2 + 1 /* background */);
+        assert_eq!(
+            svg.matches("<rect").count(),
+            4 + 2 + 1 /* background */
+        );
     }
 
     #[test]
@@ -297,7 +318,12 @@ mod tests {
 
     #[test]
     fn titles_are_escaped() {
-        let svg = line_chart("a < b & c", "x", "y", &[("s", vec![(0.0, 1.0), (1.0, 2.0)])]);
+        let svg = line_chart(
+            "a < b & c",
+            "x",
+            "y",
+            &[("s", vec![(0.0, 1.0), (1.0, 2.0)])],
+        );
         assert!(svg.contains("a &lt; b &amp; c"));
     }
 

@@ -31,8 +31,8 @@ pub fn best_threshold(zeros: &[u64], ones: &[u64]) -> (u64, f64) {
     let total = (zeros.len() + ones.len()) as f64;
     let mut best = (lo, 0.0);
     for t in lo..=hi {
-        let correct = zeros.iter().filter(|&&z| z <= t).count()
-            + ones.iter().filter(|&&o| o > t).count();
+        let correct =
+            zeros.iter().filter(|&&z| z <= t).count() + ones.iter().filter(|&&o| o > t).count();
         let acc = correct as f64 / total;
         if acc > best.1 {
             best = (t, acc);

@@ -1,0 +1,310 @@
+//! Chrome / Perfetto trace-event export.
+//!
+//! Produces the JSON Trace Event Format that `chrome://tracing` and
+//! <https://ui.perfetto.dev> open directly. Each simulator layer gets
+//! its own track (thread): pipeline, L1, L2, MSHR, and defense. Paired
+//! events become duration spans — `squash_begin`/`squash_end` (the
+//! defense's T2→T6 cleanup window, the quantity unXpec times) and
+//! `dispatch`/`complete` per instruction — everything else renders as
+//! an instant event. Timestamps are simulator cycles reported in the
+//! `ts` field (the viewer's "µs" unit reads as cycles).
+
+use crate::event::{Event, Track};
+
+/// One rollback span reconstructed from the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollbackSpan {
+    /// Cycle cleanup began (branch resolution, T2).
+    pub start: u64,
+    /// Cleanup duration in cycles (T2→redirect).
+    pub duration: u64,
+    /// Static PC of the squashed branch.
+    pub branch_pc: usize,
+    /// Speculation epoch squashed.
+    pub epoch: u64,
+    /// Loads squashed with the frame.
+    pub squashed_loads: u64,
+}
+
+/// Pairs `squash_begin`/`squash_end` events (by epoch) into spans,
+/// oldest first. Unmatched begins (end fell out of the ring) are
+/// dropped.
+pub fn rollback_spans(events: &[Event]) -> Vec<RollbackSpan> {
+    let mut open: Vec<(u64, u64, usize, u64)> = Vec::new(); // epoch, cycle, pc, loads
+    let mut spans = Vec::new();
+    for e in events {
+        match *e {
+            Event::SquashBegin {
+                cycle,
+                branch_pc,
+                epoch,
+                squashed_loads,
+                ..
+            } => open.push((epoch, cycle, branch_pc, squashed_loads)),
+            Event::SquashEnd { cycle, epoch, .. } => {
+                if let Some(pos) = open.iter().rposition(|(ep, ..)| *ep == epoch) {
+                    let (ep, begin, pc, loads) = open.remove(pos);
+                    spans.push(RollbackSpan {
+                        start: begin,
+                        duration: cycle.saturating_sub(begin),
+                        branch_pc: pc,
+                        epoch: ep,
+                        squashed_loads: loads,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, u64)]) {
+    out.push_str("\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+    out.push('}');
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: char,
+    ts: u64,
+    dur: Option<u64>,
+    track: Track,
+    args: &[(&'static str, u64)],
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(&format!(
+        "    {{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{ts},"
+    ));
+    if let Some(d) = dur {
+        out.push_str(&format!("\"dur\":{d},"));
+    }
+    if ph == 'i' {
+        // Thread-scoped instant (renders as a tick on its own track).
+        out.push_str("\"s\":\"t\",");
+    }
+    out.push_str(&format!("\"pid\":1,\"tid\":{},", track.tid()));
+    push_args(out, args);
+    out.push('}');
+}
+
+/// Serializes `events` as a Chrome trace-event JSON document.
+///
+/// The output is an object with a `traceEvents` array: per-track
+/// metadata, duration (`ph:"X"`) spans for instructions and rollbacks,
+/// and instant (`ph:"i"`) events for everything else.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+
+    // Track naming metadata.
+    for track in Track::ALL {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            track.tid(),
+            track.name()
+        ));
+    }
+    out.push_str(",\n    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"unxpec-sim\"}}");
+
+    // Instruction spans: dispatch..complete paired by seq.
+    let mut open_insts: Vec<(u64, u64, usize)> = Vec::new(); // seq, cycle, pc
+    for e in events {
+        match *e {
+            Event::Dispatch { cycle, seq, pc } => open_insts.push((seq, cycle, pc)),
+            Event::Complete {
+                cycle,
+                seq,
+                pc,
+                wrong_path,
+            } => {
+                if let Some(pos) = open_insts.iter().position(|(s, ..)| *s == seq) {
+                    let (_, start, _) = open_insts.remove(pos);
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        if wrong_path {
+                            "inst.wrong_path"
+                        } else {
+                            "inst"
+                        },
+                        'X',
+                        start,
+                        Some(cycle.saturating_sub(start).max(1)),
+                        Track::Pipeline,
+                        &[
+                            ("seq", seq),
+                            ("pc", pc as u64),
+                            ("wrong_path", wrong_path as u64),
+                        ],
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Rollback spans on the defense track: the cleanup stall whose
+    // duration is the unXpec timing channel.
+    for span in rollback_spans(events) {
+        push_event(
+            &mut out,
+            &mut first,
+            "rollback",
+            'X',
+            span.start,
+            Some(span.duration.max(1)),
+            Track::Defense,
+            &[
+                ("branch_pc", span.branch_pc as u64),
+                ("epoch", span.epoch),
+                ("squashed_loads", span.squashed_loads),
+                ("cleanup_cycles", span.duration),
+            ],
+        );
+    }
+
+    // Everything else as instants on the owning track.
+    for e in events {
+        match e {
+            Event::Dispatch { .. }
+            | Event::Complete { .. }
+            | Event::SquashBegin { .. }
+            | Event::SquashEnd { .. } => {}
+            other => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    other.name(),
+                    'i',
+                    other.cycle(),
+                    None,
+                    other.track(),
+                    &other.args(),
+                );
+            }
+        }
+    }
+
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CacheLevel;
+    use crate::json;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Dispatch {
+                cycle: 10,
+                seq: 1,
+                pc: 0,
+            },
+            Event::CacheMiss {
+                cycle: 12,
+                level: CacheLevel::L1,
+                line: 0x40,
+            },
+            Event::MshrAlloc {
+                cycle: 12,
+                line: 0x40,
+                complete_cycle: 130,
+                speculative: true,
+            },
+            Event::CacheFill {
+                cycle: 130,
+                level: CacheLevel::L1,
+                line: 0x40,
+                speculative: true,
+            },
+            Event::Complete {
+                cycle: 130,
+                seq: 1,
+                pc: 0,
+                wrong_path: true,
+            },
+            Event::SquashBegin {
+                cycle: 150,
+                branch_pc: 3,
+                epoch: 7,
+                squashed_loads: 1,
+                squashed_insts: 2,
+            },
+            Event::RollbackInvalidate {
+                cycle: 155,
+                level: CacheLevel::L1,
+                line: 0x40,
+            },
+            Event::SquashEnd {
+                cycle: 172,
+                branch_pc: 3,
+                epoch: 7,
+            },
+        ]
+    }
+
+    #[test]
+    fn rollback_spans_pair_by_epoch() {
+        let spans = rollback_spans(&sample_events());
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start, 150);
+        assert_eq!(spans[0].duration, 22);
+        assert_eq!(spans[0].epoch, 7);
+    }
+
+    #[test]
+    fn unmatched_begin_is_dropped() {
+        let events = [Event::SquashBegin {
+            cycle: 1,
+            branch_pc: 0,
+            epoch: 1,
+            squashed_loads: 0,
+            squashed_insts: 0,
+        }];
+        assert!(rollback_spans(&events).is_empty());
+    }
+
+    #[test]
+    fn trace_json_is_valid_and_has_expected_shapes() {
+        let doc = chrome_trace_json(&sample_events());
+        json::validate(&doc).expect("valid JSON");
+        assert!(doc.contains("\"traceEvents\""));
+        // Rollback span with its duration.
+        assert!(doc.contains("\"name\":\"rollback\""));
+        assert!(doc.contains("\"dur\":22"));
+        // Instruction span on the pipeline track.
+        assert!(doc.contains("\"name\":\"inst.wrong_path\""));
+        // Instants keep their taxonomy names.
+        assert!(doc.contains("\"name\":\"mshr_alloc\""));
+        assert!(doc.contains("\"name\":\"rollback_invalidate\""));
+        // Track metadata present.
+        assert!(doc.contains("\"name\":\"cache.l1\""));
+        assert!(doc.contains("\"name\":\"defense\""));
+    }
+
+    #[test]
+    fn empty_stream_still_produces_valid_json() {
+        let doc = chrome_trace_json(&[]);
+        json::validate(&doc).expect("valid JSON");
+        assert!(doc.contains("unxpec-sim"));
+    }
+}

@@ -1,0 +1,395 @@
+//! The typed event vocabulary of the simulator.
+//!
+//! Every layer (pipeline, cache hierarchy, MSHR file, defense) speaks
+//! the same [`Event`] enum, so one sink sees the interleaved
+//! cycle-stamped history of a run and an exporter can lay the layers
+//! out as parallel tracks. Variants are plain `Copy` data — no heap,
+//! no strings — so constructing one on a disabled probe path costs
+//! nothing.
+
+/// Cycle type, kept structurally identical to `unxpec_cache::Cycle`
+/// without introducing a dependency edge.
+pub type Cycle = u64;
+
+/// Which cache level an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheLevel {
+    L1,
+    L2,
+}
+
+impl CacheLevel {
+    /// Stable lowercase label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheLevel::L1 => "l1",
+            CacheLevel::L2 => "l2",
+        }
+    }
+}
+
+/// The track (Perfetto "thread") an event is rendered on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    Pipeline,
+    L1,
+    L2,
+    Mshr,
+    Defense,
+}
+
+impl Track {
+    /// All tracks, in display order.
+    pub const ALL: [Track; 5] = [
+        Track::Pipeline,
+        Track::L1,
+        Track::L2,
+        Track::Mshr,
+        Track::Defense,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Pipeline => "pipeline",
+            Track::L1 => "cache.l1",
+            Track::L2 => "cache.l2",
+            Track::Mshr => "mshr",
+            Track::Defense => "defense",
+        }
+    }
+
+    /// Stable numeric id (Chrome trace `tid`).
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Pipeline => 1,
+            Track::L1 => 2,
+            Track::L2 => 3,
+            Track::Mshr => 4,
+            Track::Defense => 5,
+        }
+    }
+}
+
+/// One cycle-stamped microarchitectural event.
+///
+/// Addresses are raw line numbers (`LineAddr::new` reverses the
+/// mapping); PCs are static program indices. `epoch` fields carry the
+/// speculation tag (`SpecTag.0`) so a squash's events can be matched to
+/// the loads that ran under it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    // ----- Pipeline ------------------------------------------------------
+    /// An instruction entered the window.
+    Dispatch { cycle: Cycle, seq: u64, pc: usize },
+    /// A load issued to the memory system.
+    Issue { cycle: Cycle, seq: u64, pc: usize },
+    /// An instruction produced its result.
+    Complete {
+        cycle: Cycle,
+        seq: u64,
+        pc: usize,
+        wrong_path: bool,
+    },
+    /// A mispredicted branch resolved; defense cleanup begins (T2).
+    SquashBegin {
+        cycle: Cycle,
+        branch_pc: usize,
+        epoch: u64,
+        squashed_loads: u64,
+        squashed_insts: u64,
+    },
+    /// Cleanup finished; the front end may redirect (T6 minus refill).
+    SquashEnd {
+        cycle: Cycle,
+        branch_pc: usize,
+        epoch: u64,
+    },
+
+    // ----- Cache hierarchy -----------------------------------------------
+    CacheHit {
+        cycle: Cycle,
+        level: CacheLevel,
+        line: u64,
+    },
+    CacheMiss {
+        cycle: Cycle,
+        level: CacheLevel,
+        line: u64,
+    },
+    /// A line was installed; `speculative` marks transient installs.
+    CacheFill {
+        cycle: Cycle,
+        level: CacheLevel,
+        line: u64,
+        speculative: bool,
+    },
+    /// A fill displaced `victim`.
+    CacheEvict {
+        cycle: Cycle,
+        level: CacheLevel,
+        victim: u64,
+    },
+    CacheWriteback {
+        cycle: Cycle,
+        level: CacheLevel,
+        line: u64,
+    },
+
+    // ----- MSHR file ------------------------------------------------------
+    MshrAlloc {
+        cycle: Cycle,
+        line: u64,
+        complete_cycle: Cycle,
+        speculative: bool,
+    },
+    /// A second miss to an inflight line merged into its entry.
+    MshrMerge { cycle: Cycle, line: u64 },
+    /// A speculative inflight miss was cancelled by cleanup (T3).
+    MshrCancel { cycle: Cycle, line: u64 },
+
+    // ----- Defense rollback steps ----------------------------------------
+    /// Rollback invalidated a transient install.
+    RollbackInvalidate {
+        cycle: Cycle,
+        level: CacheLevel,
+        line: u64,
+    },
+    /// Rollback restored an evicted victim into the L1.
+    RollbackRestore { cycle: Cycle, line: u64 },
+}
+
+impl Event {
+    /// The cycle stamp.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            Event::Dispatch { cycle, .. }
+            | Event::Issue { cycle, .. }
+            | Event::Complete { cycle, .. }
+            | Event::SquashBegin { cycle, .. }
+            | Event::SquashEnd { cycle, .. }
+            | Event::CacheHit { cycle, .. }
+            | Event::CacheMiss { cycle, .. }
+            | Event::CacheFill { cycle, .. }
+            | Event::CacheEvict { cycle, .. }
+            | Event::CacheWriteback { cycle, .. }
+            | Event::MshrAlloc { cycle, .. }
+            | Event::MshrMerge { cycle, .. }
+            | Event::MshrCancel { cycle, .. }
+            | Event::RollbackInvalidate { cycle, .. }
+            | Event::RollbackRestore { cycle, .. } => cycle,
+        }
+    }
+
+    /// The track this event renders on.
+    pub fn track(&self) -> Track {
+        match *self {
+            Event::Dispatch { .. } | Event::Issue { .. } | Event::Complete { .. } => {
+                Track::Pipeline
+            }
+            Event::SquashBegin { .. } | Event::SquashEnd { .. } | Event::RollbackRestore { .. } => {
+                Track::Defense
+            }
+            Event::RollbackInvalidate { level, .. }
+            | Event::CacheHit { level, .. }
+            | Event::CacheMiss { level, .. }
+            | Event::CacheFill { level, .. }
+            | Event::CacheEvict { level, .. }
+            | Event::CacheWriteback { level, .. } => match level {
+                CacheLevel::L1 => Track::L1,
+                CacheLevel::L2 => Track::L2,
+            },
+            Event::MshrAlloc { .. } | Event::MshrMerge { .. } | Event::MshrCancel { .. } => {
+                Track::Mshr
+            }
+        }
+    }
+
+    /// Stable snake-case event name (exporters and taxonomy docs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Dispatch { .. } => "dispatch",
+            Event::Issue { .. } => "issue",
+            Event::Complete { .. } => "complete",
+            Event::SquashBegin { .. } => "squash_begin",
+            Event::SquashEnd { .. } => "squash_end",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::CacheFill { .. } => "cache_fill",
+            Event::CacheEvict { .. } => "cache_evict",
+            Event::CacheWriteback { .. } => "cache_writeback",
+            Event::MshrAlloc { .. } => "mshr_alloc",
+            Event::MshrMerge { .. } => "mshr_merge",
+            Event::MshrCancel { .. } => "mshr_cancel",
+            Event::RollbackInvalidate { .. } => "rollback_invalidate",
+            Event::RollbackRestore { .. } => "rollback_restore",
+        }
+    }
+
+    /// The event's payload as `(key, value)` pairs for exporters, in a
+    /// stable order. Cycle and track are excluded (carried separately).
+    pub fn args(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            Event::Dispatch { seq, pc, .. } | Event::Issue { seq, pc, .. } => {
+                vec![("seq", seq), ("pc", pc as u64)]
+            }
+            Event::Complete {
+                seq,
+                pc,
+                wrong_path,
+                ..
+            } => vec![
+                ("seq", seq),
+                ("pc", pc as u64),
+                ("wrong_path", wrong_path as u64),
+            ],
+            Event::SquashBegin {
+                branch_pc,
+                epoch,
+                squashed_loads,
+                squashed_insts,
+                ..
+            } => vec![
+                ("branch_pc", branch_pc as u64),
+                ("epoch", epoch),
+                ("squashed_loads", squashed_loads),
+                ("squashed_insts", squashed_insts),
+            ],
+            Event::SquashEnd {
+                branch_pc, epoch, ..
+            } => vec![("branch_pc", branch_pc as u64), ("epoch", epoch)],
+            Event::CacheHit { line, .. }
+            | Event::CacheMiss { line, .. }
+            | Event::CacheWriteback { line, .. } => vec![("line", line)],
+            Event::CacheFill {
+                line, speculative, ..
+            } => vec![("line", line), ("speculative", speculative as u64)],
+            Event::CacheEvict { victim, .. } => vec![("victim", victim)],
+            Event::MshrAlloc {
+                line,
+                complete_cycle,
+                speculative,
+                ..
+            } => vec![
+                ("line", line),
+                ("complete_cycle", complete_cycle),
+                ("speculative", speculative as u64),
+            ],
+            Event::MshrMerge { line, .. } | Event::MshrCancel { line, .. } => {
+                vec![("line", line)]
+            }
+            Event::RollbackInvalidate { line, .. } | Event::RollbackRestore { line, .. } => {
+                vec![("line", line)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_and_track_cover_every_variant() {
+        let events = [
+            Event::Dispatch {
+                cycle: 1,
+                seq: 0,
+                pc: 0,
+            },
+            Event::Issue {
+                cycle: 2,
+                seq: 0,
+                pc: 0,
+            },
+            Event::Complete {
+                cycle: 3,
+                seq: 0,
+                pc: 0,
+                wrong_path: true,
+            },
+            Event::SquashBegin {
+                cycle: 4,
+                branch_pc: 0,
+                epoch: 1,
+                squashed_loads: 0,
+                squashed_insts: 0,
+            },
+            Event::SquashEnd {
+                cycle: 5,
+                branch_pc: 0,
+                epoch: 1,
+            },
+            Event::CacheHit {
+                cycle: 6,
+                level: CacheLevel::L1,
+                line: 9,
+            },
+            Event::CacheMiss {
+                cycle: 7,
+                level: CacheLevel::L2,
+                line: 9,
+            },
+            Event::CacheFill {
+                cycle: 8,
+                level: CacheLevel::L1,
+                line: 9,
+                speculative: true,
+            },
+            Event::CacheEvict {
+                cycle: 9,
+                level: CacheLevel::L1,
+                victim: 3,
+            },
+            Event::CacheWriteback {
+                cycle: 10,
+                level: CacheLevel::L2,
+                line: 3,
+            },
+            Event::MshrAlloc {
+                cycle: 11,
+                line: 9,
+                complete_cycle: 90,
+                speculative: false,
+            },
+            Event::MshrMerge { cycle: 12, line: 9 },
+            Event::MshrCancel { cycle: 13, line: 9 },
+            Event::RollbackInvalidate {
+                cycle: 14,
+                level: CacheLevel::L2,
+                line: 9,
+            },
+            Event::RollbackRestore { cycle: 15, line: 3 },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.cycle(), i as u64 + 1);
+            assert!(!e.name().is_empty());
+            let _ = e.track();
+            let _ = e.args();
+        }
+    }
+
+    #[test]
+    fn tracks_have_unique_tids() {
+        let mut tids: Vec<u64> = Track::ALL.iter().map(|t| t.tid()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), Track::ALL.len());
+    }
+
+    #[test]
+    fn level_events_route_to_their_level_track() {
+        let hit_l1 = Event::CacheHit {
+            cycle: 0,
+            level: CacheLevel::L1,
+            line: 0,
+        };
+        let hit_l2 = Event::CacheHit {
+            cycle: 0,
+            level: CacheLevel::L2,
+            line: 0,
+        };
+        assert_eq!(hit_l1.track(), Track::L1);
+        assert_eq!(hit_l2.track(), Track::L2);
+    }
+}

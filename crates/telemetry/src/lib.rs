@@ -1,0 +1,49 @@
+//! Unified telemetry for the unxpec simulator: a typed event bus, a
+//! metrics registry, and trace exporters.
+//!
+//! The paper's signal is timing-shaped — the secret leaks through how
+//! long CleanupSpec's rollback takes — so the simulator needs a
+//! per-event, cycle-attributed view of what the pipeline, the cache
+//! hierarchy, and the defense actually did, not just aggregate
+//! counters. This crate provides that substrate:
+//!
+//! * [`Event`] — the typed vocabulary (dispatch/complete,
+//!   hit/miss/fill/evict, MSHR alloc/merge/cancel, rollback steps),
+//!   each variant cycle-stamped and `Copy`;
+//! * [`Telemetry`] — the cloneable handle components emit through. A
+//!   disabled handle makes [`Telemetry::emit`] a no-op: one branch, no
+//!   heap allocation, no locking;
+//! * [`RingBuffer`] — the bounded sink (newest-wins, drop-counting) so
+//!   million-cycle runs cannot blow memory;
+//! * [`MetricsRegistry`] — named counters and log₂-bucketed
+//!   [`LogHistogram`]s with hand-rolled JSON/CSV export;
+//! * exporters — [`chrome::chrome_trace_json`] (opens in
+//!   `chrome://tracing` / Perfetto), [`timeline::rollback_timeline`]
+//!   (ASCII), and the registry dumps.
+//!
+//! # Example
+//!
+//! ```
+//! use unxpec_telemetry::{chrome, Event, Telemetry};
+//!
+//! let tel = Telemetry::ring(1024);
+//! tel.emit(Event::SquashBegin {
+//!     cycle: 100, branch_pc: 3, epoch: 1, squashed_loads: 1, squashed_insts: 2,
+//! });
+//! tel.emit(Event::SquashEnd { cycle: 122, branch_pc: 3, epoch: 1 });
+//! let spans = chrome::rollback_spans(&tel.snapshot());
+//! assert_eq!(spans[0].duration, 22);
+//! ```
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod probe;
+pub mod timeline;
+
+pub use chrome::{chrome_trace_json, rollback_spans, RollbackSpan};
+pub use event::{CacheLevel, Event, Track};
+pub use metrics::{LogHistogram, MetricsRegistry};
+pub use probe::{CountingProbe, NullProbe, Probe, RingBuffer, Telemetry};
+pub use timeline::rollback_timeline;

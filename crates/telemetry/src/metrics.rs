@@ -1,0 +1,349 @@
+//! The metrics registry: named counters and log-scaled histograms with
+//! hand-rolled JSON/CSV export (no external dependencies, same idiom as
+//! `unxpec_stats::svg`).
+//!
+//! Components expose a `record_metrics(&self, &mut MetricsRegistry)`
+//! method and write their counters under a dotted namespace
+//! (`l1.hits`, `cleanupspec.rollbacks`, `core.ipc_milli`, ...); the
+//! registry is assembled once at dump time, so steady-state simulation
+//! pays nothing for metrics it never asks for.
+
+use std::collections::BTreeMap;
+
+/// Power-of-two-bucketed histogram for cycle-scale values.
+///
+/// Bucket `0` holds the value `0`; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. 65 buckets cover the full `u64` range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Bucket index for `value`.
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                (lower, n)
+            })
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Named counters + histograms, keyed by dotted metric paths.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets counter `name` to `value`.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into histogram `name` (creating it).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Reads counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of registered counters.
+    pub fn counter_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Merges `other` into this registry (counters add, histograms
+    /// merge bucket-wise).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Hand-rolled JSON dump:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, min, max,
+    /// mean_milli, buckets: [[lower, count], ...]}, ...}}`.
+    ///
+    /// Keys are dotted metric paths (no characters needing escapes);
+    /// values are integers, so the output is valid JSON by
+    /// construction.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", escape_json(k), v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean_milli\": {}, \"buckets\": [",
+                escape_json(k),
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+                (h.mean() * 1000.0).round() as u64,
+            ));
+            for (i, (lower, n)) in h.nonzero_buckets().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{lower},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// CSV dump: `kind,name,field,value` rows — counters first, then
+    /// each histogram's summary fields and non-empty buckets.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter,{k},value,{v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!("histogram,{k},count,{}\n", h.count()));
+            out.push_str(&format!("histogram,{k},sum,{}\n", h.sum()));
+            out.push_str(&format!("histogram,{k},min,{}\n", h.min().unwrap_or(0)));
+            out.push_str(&format!("histogram,{k},max,{}\n", h.max().unwrap_or(0)));
+            for (lower, n) in h.nonzero_buckets() {
+                out.push_str(&format!("histogram,{k},bucket_ge_{lower},{n}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Escapes the characters JSON strings cannot contain bare. Metric
+/// names are dotted identifiers, so this is usually the identity.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = LogHistogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        let buckets = h.nonzero_buckets();
+        // 0 -> [0], 1 -> [1,2), 2,3 -> [2,4), 4,7 -> [4,8), 8 -> [8,16),
+        // 1000 -> [512,1024).
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (512, 1)]
+        );
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = LogHistogram::default();
+        a.observe(5);
+        let mut b = LogHistogram::default();
+        b.observe(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(100));
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut m = MetricsRegistry::new();
+        m.inc("l1.hits", 10);
+        m.inc("l1.hits", 5);
+        m.set("core.cycles", 1234);
+        m.observe("squash.cleanup_cycles", 22);
+        m.observe("squash.cleanup_cycles", 32);
+        assert_eq!(m.counter("l1.hits"), 15);
+        assert_eq!(m.counter("core.cycles"), 1234);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.histogram("squash.cleanup_cycles").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_eyeball() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a.b", 1);
+        m.observe("h", 7);
+        let json = m.to_json();
+        assert!(json.contains("\"a.b\": 1"));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"count\": 1"));
+        // Balanced braces/brackets (cheap structural check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut m = MetricsRegistry::new();
+        m.inc("x", 3);
+        m.observe("h", 9);
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,field,value");
+        assert!(lines.contains(&"counter,x,value,3"));
+        assert!(lines.contains(&"histogram,h,bucket_ge_8,1"));
+    }
+
+    #[test]
+    fn merge_combines_registries() {
+        let mut a = MetricsRegistry::new();
+        a.inc("n", 1);
+        a.observe("h", 2);
+        let mut b = MetricsRegistry::new();
+        b.inc("n", 2);
+        b.observe("h", 4);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("plain.path"), "plain.path");
+    }
+}

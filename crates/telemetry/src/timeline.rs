@@ -1,0 +1,96 @@
+//! ASCII rollback-timeline view.
+//!
+//! Renders the squash/cleanup history of an event stream as a bar chart
+//! (one bar per rollback, length = cleanup cycles) using the
+//! dependency-free renderers in `unxpec_stats::ascii`. This is the
+//! terminal-friendly companion to the Chrome trace export — enough to
+//! eyeball the secret-dependent rollback-duration difference that
+//! unXpec measures without leaving the shell.
+
+use unxpec_stats::ascii;
+
+use crate::chrome::rollback_spans;
+use crate::event::Event;
+
+/// Renders each rollback in `events` as `@cycle pc=<pc> loads=<n> |###|`
+/// with bar length proportional to the cleanup duration. Returns a
+/// note when the stream contains no squashes.
+pub fn rollback_timeline(events: &[Event], width: usize) -> String {
+    let spans = rollback_spans(events);
+    if spans.is_empty() {
+        return "rollback timeline: no squash events in trace\n".to_string();
+    }
+    let rows: Vec<(String, f64)> = spans
+        .iter()
+        .map(|s| {
+            (
+                format!(
+                    "@{:<8} pc={:<4} loads={}",
+                    s.start, s.branch_pc, s.squashed_loads
+                ),
+                s.duration as f64,
+            )
+        })
+        .collect();
+    let mut out = ascii::bar_chart(
+        "rollback timeline (bar = cleanup cycles, T2..redirect)",
+        &rows,
+        width,
+    );
+    let total: u64 = spans.iter().map(|s| s.duration).sum();
+    let max = spans.iter().map(|s| s.duration).max().unwrap_or(0);
+    out.push_str(&format!(
+        "  {} rollbacks, {} stall cycles total, longest {}\n",
+        spans.len(),
+        total,
+        max
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squash(begin: u64, end: u64, epoch: u64, loads: u64) -> [Event; 2] {
+        [
+            Event::SquashBegin {
+                cycle: begin,
+                branch_pc: 7,
+                epoch,
+                squashed_loads: loads,
+                squashed_insts: loads + 1,
+            },
+            Event::SquashEnd {
+                cycle: end,
+                branch_pc: 7,
+                epoch,
+            },
+        ]
+    }
+
+    #[test]
+    fn timeline_shows_each_rollback() {
+        let mut events = Vec::new();
+        events.extend(squash(100, 122, 1, 1));
+        events.extend(squash(900, 932, 2, 2));
+        let out = rollback_timeline(&events, 40);
+        assert!(out.contains("@100"), "{out}");
+        assert!(out.contains("@900"), "{out}");
+        assert!(out.contains("2 rollbacks, 54 stall cycles total, longest 32"));
+        // The longer cleanup gets the longer bar.
+        let bar_len = |needle: &str| {
+            out.lines()
+                .find(|l| l.contains(needle))
+                .map(|l| l.matches('#').count())
+                .unwrap()
+        };
+        assert!(bar_len("@900") > bar_len("@100"));
+    }
+
+    #[test]
+    fn empty_stream_has_a_note() {
+        let out = rollback_timeline(&[], 40);
+        assert!(out.contains("no squash events"));
+    }
+}

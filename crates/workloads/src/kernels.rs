@@ -247,20 +247,22 @@ pub fn spec2017_like_suite() -> Vec<Workload> {
     specs
         .into_iter()
         .enumerate()
-        .map(|(i, (name, ws, mask, chase, alus, loads, stores, tail, cold))| {
-            Workload::new(KernelSpec {
-                name,
-                working_set_lines: ws,
-                branch_mask: mask,
-                pointer_chase: chase,
-                extra_alus: alus,
-                loads_per_iter: loads,
-                stores,
-                tail_alus: tail,
-                cold_mask: cold,
-                seed: 0xbe9c_0000 + i as u64,
-            })
-        })
+        .map(
+            |(i, (name, ws, mask, chase, alus, loads, stores, tail, cold))| {
+                Workload::new(KernelSpec {
+                    name,
+                    working_set_lines: ws,
+                    branch_mask: mask,
+                    pointer_chase: chase,
+                    extra_alus: alus,
+                    loads_per_iter: loads,
+                    stores,
+                    tail_alus: tail,
+                    cold_mask: cold,
+                    seed: 0xbe9c_0000 + i as u64,
+                })
+            },
+        )
         .collect()
 }
 
@@ -361,7 +363,10 @@ mod tests {
             w.install(&mut core2);
             core2.run_for(w.program(), 15_000).stats.cycles
         };
-        assert!(measured < total, "warmup must be excluded ({measured} vs {total})");
+        assert!(
+            measured < total,
+            "warmup must be excluded ({measured} vs {total})"
+        );
         assert!(measured > 0);
     }
 

@@ -27,4 +27,6 @@ mod kernels;
 mod runner;
 
 pub use kernels::{spec2017_like_suite, KernelSpec, Workload};
-pub use runner::{arith_mean_overhead, mean_overhead, measure_overheads, DefenseFactory, OverheadRow};
+pub use runner::{
+    arith_mean_overhead, mean_overhead, measure_overheads, DefenseFactory, OverheadRow,
+};

@@ -125,8 +125,14 @@ mod tests {
         );
         let o25 = rows[0].overhead(1);
         let o65 = rows[0].overhead(2);
-        assert!(o25 > 0.03, "25-cycle constant must cost something, got {o25}");
-        assert!(o65 > o25 * 1.5, "65 cycles must cost much more ({o25} vs {o65})");
+        assert!(
+            o25 > 0.03,
+            "25-cycle constant must cost something, got {o25}"
+        );
+        assert!(
+            o65 > o25 * 1.5,
+            "65 cycles must cost much more ({o25} vs {o65})"
+        );
     }
 
     #[test]
@@ -134,7 +140,12 @@ mod tests {
         let suite = mini_suite();
         let unsafe_f: DefenseFactory<'_> = &|| Box::new(UnsafeBaseline);
         let cs: DefenseFactory<'_> = &|| Box::new(CleanupSpec::new());
-        let rows = measure_overheads(&suite, &[("unsafe", unsafe_f), ("cleanupspec", cs)], 20_000, 40_000);
+        let rows = measure_overheads(
+            &suite,
+            &[("unsafe", unsafe_f), ("cleanupspec", cs)],
+            20_000,
+            40_000,
+        );
         let o = rows[0].overhead(1);
         assert!(
             (-0.02..0.20).contains(&o),
@@ -155,6 +166,9 @@ mod tests {
             },
         ];
         let m = mean_overhead(&rows, 1);
-        assert!((m - 0.1).abs() < 0.01, "geomean of 21% and 0% ~ 10%, got {m}");
+        assert!(
+            (m - 0.1).abs() < 0.01,
+            "geomean of 21% and 0% ~ 10%, got {m}"
+        );
     }
 }

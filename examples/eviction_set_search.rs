@@ -42,7 +42,10 @@ fn main() {
         target.offset(128),
         24,
     ));
-    println!("\nblind timing search over a {}-address pool...", pool.len());
+    println!(
+        "\nblind timing search over a {}-address pool...",
+        pool.len()
+    );
     match find_eviction_set(&mut core, target, &pool, 8) {
         Some(found) => {
             let congruent = found

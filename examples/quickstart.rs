@@ -11,8 +11,7 @@ use unxpec::defense::CleanupSpec;
 fn main() {
     // A Table-I machine (2 GHz OoO core, 32 KB L1s, 2 MB L2) protected
     // by CleanupSpec, the representative Undo defense.
-    let mut channel =
-        UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
+    let mut channel = UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
 
     // Calibration: measure the secret-dependent rollback-timing
     // difference and fix the decoding threshold.
@@ -43,8 +42,5 @@ fn main() {
         outcome.accuracy() * 100.0,
         outcome.bandwidth_bps(2e9) / 1e3
     );
-    println!(
-        "decoded message: {:?}",
-        String::from_utf8_lossy(&decoded)
-    );
+    println!("decoded message: {:?}", String::from_utf8_lossy(&decoded));
 }

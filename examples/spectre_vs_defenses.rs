@@ -18,7 +18,10 @@ fn defenses() -> Vec<(&'static str, Box<dyn Defense>)> {
         ("unsafe baseline", Box::new(UnsafeBaseline)),
         ("CleanupSpec (Undo)", Box::new(CleanupSpec::new())),
         ("InvisiSpec (Invisible)", Box::new(InvisiSpec::new())),
-        ("constant-time rollback (65)", Box::new(ConstantTimeRollback::new(65))),
+        (
+            "constant-time rollback (65)",
+            Box::new(ConstantTimeRollback::new(65)),
+        ),
     ]
 }
 

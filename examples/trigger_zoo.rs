@@ -9,9 +9,7 @@
 //! cargo run --release --example trigger_zoo
 //! ```
 
-use unxpec::attack::{
-    AttackConfig, InterferenceChannel, SpectreRsb, SpectreV2, UnxpecChannel,
-};
+use unxpec::attack::{AttackConfig, InterferenceChannel, SpectreRsb, SpectreV2, UnxpecChannel};
 use unxpec::cpu::UnsafeBaseline;
 use unxpec::defense::{CleanupSpec, DelayOnMiss, InvisiSpec};
 

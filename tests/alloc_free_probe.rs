@@ -1,0 +1,63 @@
+//! The disabled probe path must be free: no heap allocation per emit.
+//!
+//! This lives in its own integration-test binary so the counting
+//! allocator sees no concurrent test threads — the single test below is
+//! the only code running between the two counter reads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use unxpec::telemetry::{CacheLevel, Event, Telemetry};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_telemetry_emits_without_allocating() {
+    let tel = Telemetry::disabled();
+    assert!(!tel.is_enabled());
+    // Warm anything lazy (formatting machinery, TLS) before counting.
+    tel.emit(Event::Dispatch {
+        cycle: 0,
+        seq: 0,
+        pc: 0,
+    });
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for cycle in 0..100_000u64 {
+        tel.emit(Event::CacheFill {
+            cycle,
+            level: CacheLevel::L1,
+            line: cycle,
+            speculative: true,
+        });
+        tel.emit(Event::SquashBegin {
+            cycle,
+            branch_pc: 3,
+            epoch: cycle,
+            squashed_loads: 1,
+            squashed_insts: 2,
+        });
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled emit must be one branch, zero allocations"
+    );
+}

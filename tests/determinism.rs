@@ -3,8 +3,10 @@
 //! of the harness, not an accident.
 
 use unxpec::attack::{AttackConfig, SpectreV1, UnxpecChannel};
+use unxpec::cache::NoiseModel;
 use unxpec::defense::CleanupSpec;
-use unxpec::experiments::{leakage, pdf, rollback};
+use unxpec::experiments::{leakage, pdf, rollback, trace};
+use unxpec::telemetry::Telemetry;
 use unxpec::workloads::spec2017_like_suite;
 
 #[test]
@@ -64,6 +66,39 @@ fn spectre_probe_latencies_are_reproducible() {
         a.leak_byte(99).reload_latencies
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn telemetry_event_streams_are_reproducible() {
+    // The event bus must not perturb or reorder anything: two identical
+    // instrumented rounds produce byte-identical event streams and
+    // Chrome trace documents.
+    let capture = || {
+        let cap = trace::run(false, 1 << 14);
+        (cap.events(), cap.chrome_trace(), cap.cleanup0, cap.cleanup1)
+    };
+    assert_eq!(capture(), capture());
+}
+
+#[test]
+fn telemetry_under_seeded_noise_is_reproducible() {
+    // With the hierarchy's noise model enabled the event order still
+    // only depends on the seed.
+    let capture = |seed: u64| {
+        let mut chan =
+            UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
+        chan.core_mut()
+            .hierarchy_mut()
+            .set_noise(NoiseModel::default_sim(seed));
+        let tel = Telemetry::ring(1 << 12);
+        chan.core_mut().set_telemetry(tel.clone());
+        for i in 0..10 {
+            chan.measure_bit(i % 2 == 0);
+        }
+        tel.snapshot()
+    };
+    assert_eq!(capture(7), capture(7));
+    assert_ne!(capture(7), capture(8), "seeds must matter");
 }
 
 #[test]

@@ -29,7 +29,11 @@ fn spectre_and_unxpec_are_complementary() {
     let mut unxpec = UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
     unxpec.calibrate(25);
     let secrets = UnxpecChannel::random_secret(48, 3);
-    assert_eq!(unxpec.leak(&secrets).accuracy(), 1.0, "noiseless channel is perfect");
+    assert_eq!(
+        unxpec.leak(&secrets).accuracy(),
+        1.0,
+        "noiseless channel is perfect"
+    );
 }
 
 #[test]

@@ -49,7 +49,11 @@ fn fig9_pattern() {
 fn fig10_fig11_accuracies() {
     let l10 = leakage::run(false, 160, 1);
     let l11 = leakage::run(true, 160, 1);
-    assert!((0.72..=0.97).contains(&l10.accuracy()), "{}", l10.accuracy());
+    assert!(
+        (0.72..=0.97).contains(&l10.accuracy()),
+        "{}",
+        l10.accuracy()
+    );
     assert!(l11.accuracy() >= l10.accuracy() - 0.02);
 }
 

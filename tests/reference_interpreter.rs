@@ -103,12 +103,18 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         Just(AluOp::Or),
         Just(AluOp::Xor),
     ];
-    let cond = prop_oneof![Just(Cond::Lt), Just(Cond::Ge), Just(Cond::Eq), Just(Cond::Ne)];
+    let cond = prop_oneof![
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::Eq),
+        Just(Cond::Ne)
+    ];
     prop_oneof![
         (reg.clone(), any::<u64>()).prop_map(|(d, v)| Op::Mov(d, v)),
         (reg.clone(), alu.clone(), reg.clone(), reg.clone())
             .prop_map(|(d, op, a, b)| Op::Alu(d, op, a, b)),
-        (reg.clone(), alu, reg.clone(), 0u64..1024).prop_map(|(d, op, a, i)| Op::AluImm(d, op, a, i)),
+        (reg.clone(), alu, reg.clone(), 0u64..1024)
+            .prop_map(|(d, op, a, i)| Op::AluImm(d, op, a, i)),
         (reg.clone(), reg.clone()).prop_map(|(d, b)| Op::Load(d, b)),
         (reg.clone(), reg.clone()).prop_map(|(s, b)| Op::Store(s, b)),
         (cond, reg, 0u64..64, 1u8..5).prop_map(|(c, a, v, skip)| Op::SkipIf(c, a, v, skip)),

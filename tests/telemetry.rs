@@ -1,0 +1,141 @@
+//! End-to-end telemetry: a traced attack round must export a valid
+//! Chrome trace in which the CleanupSpec rollback is a span whose
+//! duration depends on the secret — the unXpec channel, made visible.
+
+use unxpec::attack::{AttackConfig, UnxpecChannel};
+use unxpec::defense::CleanupSpec;
+use unxpec::experiments::trace;
+use unxpec::telemetry::{json, rollback_spans, Event, MetricsRegistry, Telemetry};
+
+#[test]
+fn enabled_telemetry_does_not_perturb_timing() {
+    let latencies = |attach: bool| {
+        let mut chan =
+            UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()));
+        if attach {
+            chan.core_mut().set_telemetry(Telemetry::ring(1 << 12));
+        }
+        (0..10)
+            .map(|i| chan.measure_bit(i % 2 == 0))
+            .collect::<Vec<u64>>()
+    };
+    assert_eq!(
+        latencies(false),
+        latencies(true),
+        "observation must not change what is observed"
+    );
+}
+
+#[test]
+fn attack_round_trace_is_valid_chrome_json() {
+    let cap = trace::run(false, 1 << 15);
+    let doc = cap.chrome_trace();
+    json::validate(&doc).expect("trace must be valid JSON");
+    assert!(doc.contains("\"traceEvents\""));
+    assert!(
+        doc.contains("\"name\":\"rollback\""),
+        "rollback span missing"
+    );
+    assert!(doc.contains("\"name\":\"inst.wrong_path\""));
+    assert!(doc.contains("\"name\":\"thread_name\""));
+}
+
+#[test]
+fn rollback_span_duration_differs_with_the_secret() {
+    let cap = trace::run(false, 1 << 15);
+    // The sender squash's cleanup (single L1 install, paper §IV) shows
+    // up only when secret = 1.
+    assert!(
+        cap.cleanup1 >= cap.cleanup0 + 15,
+        "rollback span must encode the secret: {} vs {} cycles",
+        cap.cleanup0,
+        cap.cleanup1
+    );
+    // Both rounds' sender spans are in the exported document with
+    // exactly those durations.
+    let doc = cap.chrome_trace();
+    for dur in [cap.cleanup0.max(1), cap.cleanup1] {
+        assert!(
+            doc.contains(&format!("\"dur\":{dur}")),
+            "span dur {dur} missing"
+        );
+    }
+    // And the span pairing agrees with the raw streams.
+    let sender = |events: &[Event]| {
+        rollback_spans(events)
+            .iter()
+            .filter(|s| s.branch_pc == cap.sender_pc)
+            .map(|s| s.duration)
+            .max()
+            .unwrap()
+    };
+    assert_eq!(sender(&cap.secret0), cap.cleanup0);
+    assert_eq!(sender(&cap.secret1), cap.cleanup1);
+}
+
+#[test]
+fn eviction_sets_add_restorations_to_the_trace() {
+    let cap = trace::run(true, 1 << 15);
+    let restores = cap
+        .secret1
+        .iter()
+        .filter(|e| e.name() == "rollback_restore")
+        .count();
+    assert!(restores >= 1, "priming the set must force a restoration");
+    assert!(
+        cap.cleanup1 > trace::run(false, 1 << 15).cleanup1,
+        "restoration makes the secret-1 rollback longer still"
+    );
+}
+
+#[test]
+fn metrics_dumps_are_valid_json_and_cover_the_stack() {
+    let cap = trace::run(false, 1 << 15);
+    let doc = cap.metrics.to_json();
+    json::validate(&doc).expect("metrics dump must be valid JSON");
+    for key in [
+        "l1.hits",
+        "l2.misses",
+        "mshr.capacity",
+        "cleanupspec.rollbacks",
+    ] {
+        assert!(doc.contains(key), "metrics must include {key}");
+        assert!(cap.metrics.counter(key) > 0, "{key} must be non-zero");
+    }
+    let csv = cap.metrics.to_csv();
+    assert!(csv.starts_with("kind,name,field,value"));
+}
+
+#[test]
+fn ring_keeps_the_newest_events_when_over_capacity() {
+    let tel = Telemetry::ring(8);
+    for cycle in 0..100 {
+        tel.emit(Event::SquashEnd {
+            cycle,
+            branch_pc: 0,
+            epoch: cycle,
+        });
+    }
+    let events = tel.snapshot();
+    assert_eq!(events.len(), 8);
+    assert_eq!(tel.dropped(), 92);
+    let cycles: Vec<u64> = events.iter().map(|e| e.cycle()).collect();
+    assert_eq!(
+        cycles,
+        (92..100).collect::<Vec<_>>(),
+        "newest wins, oldest first"
+    );
+}
+
+#[test]
+fn registry_merge_combines_parallel_shards() {
+    let mut a = MetricsRegistry::new();
+    a.inc("squashes", 3);
+    a.observe("squash.cleanup_cycles", 22);
+    let mut b = MetricsRegistry::new();
+    b.inc("squashes", 2);
+    b.observe("squash.cleanup_cycles", 1);
+    a.merge(&b);
+    assert_eq!(a.counter("squashes"), 5);
+    json::validate(&a.to_json()).expect("merged dump stays valid");
+}

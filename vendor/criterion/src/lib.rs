@@ -1,0 +1,208 @@
+//! Offline, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! Vendored so `cargo bench` targets compile and run without registry
+//! access (see `vendor/README.md`). Statistical machinery (outlier
+//! detection, HTML reports, regressions) is not implemented: each
+//! benchmark is warmed up briefly, timed over a fixed number of
+//! batches, and the median per-iteration time is printed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized in `iter_batched`; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation; recorded for display only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_batch: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters_per_batch: u64, batches: usize) -> Self {
+        Bencher {
+            iters_per_batch,
+            samples: Vec::with_capacity(batches),
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up pass.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters_per_batch {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_batch {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total);
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_batch as f64)
+            .collect();
+        if per_iter.is_empty() {
+            return 0.0;
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        per_iter[per_iter.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    // Upstream accepts any `IntoBenchmarkId`; `AsRef<str>` covers the
+    // `&str` and `format!(..)` call sites without the full machinery.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.as_ref();
+        // Keep total runtime bounded: few iterations per batch, few
+        // batches, scaled down from the upstream defaults.
+        let batches = (self.sample_size / 10).clamp(3, 10);
+        let mut bencher = Bencher::new(10, batches);
+        for _ in 0..batches {
+            f(&mut bencher);
+        }
+        let ns = bencher.median_ns();
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(" ({:.1} Melem/s)", n as f64 * 1e3 / ns.max(1e-9))
+            }
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                format!(" ({:.1} MB/s)", n as f64 * 1e3 / ns.max(1e-9))
+            }
+            None => String::new(),
+        };
+        println!("{}/{:<40} {:>12.1} ns/iter{}", self.name, id, ns, extra);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
