@@ -11,7 +11,7 @@ fn bench_defense_matrix(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
     group.bench_function("defense_matrix", |b| {
-        b.iter(|| ablations::defense_matrix(4))
+        b.iter(|| ablations::defense_matrix(4, 0x5eed))
     });
     group.finish();
 }
@@ -49,7 +49,7 @@ fn bench_mistrain_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
     group.bench_function("mistrain_sweep", |b| {
-        b.iter(|| ablations::mistrain_sweep(3))
+        b.iter(|| ablations::mistrain_sweep(3, 0x5eed))
     });
     group.finish();
 }

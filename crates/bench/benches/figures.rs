@@ -12,18 +12,20 @@ fn bench_table1(c: &mut Criterion) {
 }
 
 fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2/branch_resolution", |b| b.iter(|| resolution::run(2)));
+    c.bench_function("fig2/branch_resolution", |b| {
+        b.iter(|| resolution::run(2, 0x5eed))
+    });
 }
 
 fn bench_fig3(c: &mut Criterion) {
     c.bench_function("fig3/rollback_diff_no_es", |b| {
-        b.iter(|| rollback::run(false, 4, 3))
+        b.iter(|| rollback::run(false, 4, 3, 0x5eed))
     });
 }
 
 fn bench_fig6(c: &mut Criterion) {
     c.bench_function("fig6/rollback_diff_es", |b| {
-        b.iter(|| rollback::run(true, 4, 3))
+        b.iter(|| rollback::run(true, 4, 3, 0x5eed))
     });
 }
 

@@ -1,0 +1,141 @@
+//! Parallel sharded sweeps over the experiment grid, with
+//! checkpoint/resume and fault containment (see `docs/harness.md`).
+//!
+//! ```text
+//! sweep [--experiments a,b,..] [--variants x,y] [--scale quick|paper]
+//!       [--seeds N] [--root-seed S] [--spec <file>]
+//!       [--jobs N] [--retries N] [--manifest <file>]
+//!       [--trace-out <file>] [--metrics-out <file>] [--list]
+//! ```
+//!
+//! The identity flags (`--experiments`, `--variants`, `--scale`,
+//! `--seeds`, `--root-seed`, or a `--spec` key=value file they
+//! override) define *what* runs; `--jobs`/`--retries`/`--manifest`
+//! only change *how*. Per-trial seeds derive from the root seed and
+//! the trial's identity, so any `--jobs` value produces the same
+//! aggregates and the same aggregate digest. With `--manifest`,
+//! completed trials are checkpointed after each finish; rerunning the
+//! same spec against the same manifest skips them. `--trace-out`
+//! writes per-trial wall-clock spans as Chrome/Perfetto trace JSON
+//! (one track per worker) and `--metrics-out` the pool counters
+//! (`.csv` extension selects CSV, anything else JSON).
+
+use std::path::PathBuf;
+
+use unxpec::experiments::Scale;
+use unxpec_harness::{run_sweep, spec::parse_seed, Registry, SweepOptions, SweepSpec};
+
+fn main() {
+    let registry = Registry::builtin();
+    let mut spec = SweepSpec::quick();
+    let mut opts = SweepOptions {
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        retries: 1,
+        manifest: None,
+    };
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--list" {
+            for (name, variants) in registry.listing() {
+                println!("{name}: {}", variants.join(", "));
+            }
+            return;
+        }
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("{arg} needs an argument");
+            std::process::exit(2);
+        });
+        match arg.as_str() {
+            "--spec" => {
+                let text = std::fs::read_to_string(&value).unwrap_or_else(|e| {
+                    eprintln!("read {value}: {e}");
+                    std::process::exit(2);
+                });
+                spec = SweepSpec::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("{value}: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--experiments" => {
+                spec.experiments = value.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--variants" => {
+                spec.variants = Some(value.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--scale" => match value.as_str() {
+                "quick" => {
+                    spec.scale = Scale::quick();
+                    spec.scale_name = "quick".to_string();
+                }
+                "paper" => {
+                    spec.scale = Scale::paper();
+                    spec.scale_name = "paper".to_string();
+                }
+                other => {
+                    eprintln!("--scale must be quick or paper, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--seeds" => {
+                spec.seeds = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--seeds needs a positive integer, got {value:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--root-seed" => {
+                spec.root_seed = parse_seed(&value).unwrap_or_else(|| {
+                    eprintln!("--root-seed needs a u64 (decimal or 0x hex), got {value:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--jobs" => {
+                opts.jobs = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs needs a positive integer, got {value:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--retries" => {
+                opts.retries = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--retries needs an integer, got {value:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--manifest" => opts.manifest = Some(PathBuf::from(value)),
+            "--trace-out" => trace_out = Some(PathBuf::from(value)),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value)),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = match run_sweep(&spec, &registry, &opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{report}");
+    if let Some(path) = &trace_out {
+        std::fs::write(path, report.chrome_trace()).expect("write trace");
+        println!("(wrote {})", path.display());
+    }
+    if let Some(path) = &metrics_out {
+        let m = report.metrics_registry();
+        let body = if path.extension().is_some_and(|e| e == "csv") {
+            m.to_csv()
+        } else {
+            m.to_json()
+        };
+        std::fs::write(path, body).expect("write metrics");
+        println!("(wrote {})", path.display());
+    }
+    if !report.poisoned.is_empty() {
+        std::process::exit(1);
+    }
+}

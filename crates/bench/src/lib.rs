@@ -1,14 +1,25 @@
 //! Shared plumbing for the experiment binary and the Criterion benches.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Runs `f`, printing `name`, its rendered output and the wall time.
 pub fn timed<T: std::fmt::Display>(name: &str, f: impl FnOnce() -> T) -> T {
-    println!("==== {name} ====");
+    let mut out = String::new();
+    let result = timed_to(&mut out, name, f);
+    print!("{out}");
+    result
+}
+
+/// Buffered [`timed`]: appends the banner, rendered output, and wall
+/// time to `out` instead of stdout, so parallel experiment runs can
+/// print whole blocks in a deterministic order.
+pub fn timed_to<T: std::fmt::Display>(out: &mut String, name: &str, f: impl FnOnce() -> T) -> T {
+    let _ = writeln!(out, "==== {name} ====");
     let start = Instant::now();
     let result = f();
-    println!("{result}");
-    println!("({name} took {:.2?})\n", start.elapsed());
+    let _ = writeln!(out, "{result}");
+    let _ = writeln!(out, "({name} took {:.2?})\n", start.elapsed());
     result
 }
 
@@ -46,6 +57,15 @@ mod tests {
     fn timed_returns_the_value() {
         let v = timed("test", || 42);
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn timed_to_buffers_the_block() {
+        let mut out = String::new();
+        let v = timed_to(&mut out, "block", || 7);
+        assert_eq!(v, 7);
+        assert!(out.starts_with("==== block ====\n7\n"));
+        assert!(out.contains("block took"));
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub struct DefenseMatrix {
 }
 
 /// Measures the unXpec channel (no eviction sets) against every defense.
-pub fn defense_matrix(samples: usize) -> DefenseMatrix {
+/// `seed` feeds the channel config and the fuzzy defense's delay RNG.
+pub fn defense_matrix(samples: usize, seed: u64) -> DefenseMatrix {
     let defenses: Vec<(&str, Box<dyn unxpec_cpu::Defense>)> = vec![
         ("unsafe-baseline", Box::new(UnsafeBaseline)),
         ("cleanupspec", Box::new(CleanupSpec::new())),
@@ -38,14 +39,17 @@ pub fn defense_matrix(samples: usize) -> DefenseMatrix {
         ),
         ("constant-time-25", Box::new(ConstantTimeRollback::new(25))),
         ("constant-time-65", Box::new(ConstantTimeRollback::new(65))),
-        ("fuzzy-cleanup-40", Box::new(FuzzyCleanup::new(40, 0xf))),
+        (
+            "fuzzy-cleanup-40",
+            Box::new(FuzzyCleanup::new(40, seed ^ 0xf)),
+        ),
         ("invisispec", Box::new(InvisiSpec::new())),
         ("delay-on-miss", Box::new(DelayOnMiss::new())),
     ];
     let rows = defenses
         .into_iter()
         .map(|(name, d)| {
-            let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), d);
+            let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es().with_seed(seed), d);
             let cal = chan.calibrate(samples);
             (name.to_string(), cal.mean_difference())
         })
@@ -158,11 +162,11 @@ pub struct MistrainSweep {
 }
 
 /// Measures the channel difference as a function of mistraining effort.
-pub fn mistrain_sweep(samples: usize) -> MistrainSweep {
+pub fn mistrain_sweep(samples: usize, seed: u64) -> MistrainSweep {
     let points = [1u64, 2, 4, 8, 16]
         .into_iter()
         .map(|iters| {
-            let mut cfg = AttackConfig::paper_no_es();
+            let mut cfg = AttackConfig::paper_no_es().with_seed(seed);
             cfg.train_iters = iters;
             let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
             let cal = chan.calibrate(samples);
@@ -200,9 +204,12 @@ pub struct FenceAblation {
 /// Quantifies what the fence buys (the full no-fence variant would need
 /// a separate program builder; we report the fenced channel's tightness
 /// as the baseline the paper's §V-A design achieves).
-pub fn fence_ablation(samples: usize) -> FenceAblation {
-    let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), Box::new(CleanupSpec::new()))
-        .with_measurement_noise(MeasurementNoise::laplace(0.01, 1));
+pub fn fence_ablation(samples: usize, seed: u64) -> FenceAblation {
+    let mut chan = UnxpecChannel::new(
+        AttackConfig::paper_no_es().with_seed(seed),
+        Box::new(CleanupSpec::new()),
+    )
+    .with_measurement_noise(MeasurementNoise::laplace(0.01, seed | 1));
     let cal = chan.calibrate(samples);
     let s1 = unxpec_stats::Summary::of_cycles(&cal.samples1);
     FenceAblation {
@@ -224,10 +231,11 @@ impl fmt::Display for FenceAblation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::seeding::DEFAULT_ROOT_SEED;
 
     #[test]
     fn matrix_ranks_defenses_correctly() {
-        let m = defense_matrix(15);
+        let m = defense_matrix(15, DEFAULT_ROOT_SEED);
         let cleanup = m.difference("cleanupspec");
         assert!((15.0..=30.0).contains(&cleanup), "{cleanup}");
         // Invalidation-only still leaks, a bit less.
@@ -260,7 +268,7 @@ mod tests {
 
     #[test]
     fn two_mistrain_iterations_suffice_for_bimodal() {
-        let sweep = mistrain_sweep(8);
+        let sweep = mistrain_sweep(8, DEFAULT_ROOT_SEED);
         // With a bimodal predictor initialized weakly-not-taken, even
         // one POISON pass makes the attack branch mispredict, so the
         // channel exists at every x; the sweep documents that shape.
@@ -270,14 +278,18 @@ mod tests {
 
     #[test]
     fn fenced_channel_is_tight() {
-        let a = fence_ablation(20);
+        let a = fence_ablation(20, DEFAULT_ROOT_SEED);
         assert!(a.with_fence_std < 4.0, "fenced std {}", a.with_fence_std);
         assert!(a.with_fence_diff > 15.0);
     }
 
     #[test]
     fn displays_render() {
-        assert!(defense_matrix(4).to_string().contains("cleanupspec"));
-        assert!(mistrain_sweep(3).to_string().contains("iter"));
+        assert!(defense_matrix(4, DEFAULT_ROOT_SEED)
+            .to_string()
+            .contains("cleanupspec"));
+        assert!(mistrain_sweep(3, DEFAULT_ROOT_SEED)
+            .to_string()
+            .contains("iter"));
     }
 }

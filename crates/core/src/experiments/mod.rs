@@ -38,6 +38,7 @@ pub mod robustness;
 pub mod rollback;
 pub mod scorecard;
 pub mod secret_pattern;
+pub mod seeding;
 pub mod table1;
 pub mod timeline;
 pub mod trace;
@@ -45,10 +46,32 @@ pub mod triggers;
 pub mod votes;
 pub mod workload_profile;
 
+/// A [`Scale`] field that failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleError {
+    /// Name of the zero field.
+    pub field: &'static str,
+}
+
+impl std::fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid scale: `{}` must be nonzero (zero samples would yield \
+             empty statistics or divide-by-zero panics downstream)",
+            self.field
+        )
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
 /// How much data each experiment collects.
 ///
 /// [`Scale::paper`] matches the paper's sample counts; [`Scale::quick`]
-/// is for tests and smoke runs.
+/// is for tests and smoke runs. Arbitrary scales come from
+/// [`Scale::new`], which rejects zero sample counts up front instead of
+/// letting them surface as empty-summary panics deep inside a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Rounds per configuration point for timing-difference averages.
@@ -64,25 +87,88 @@ pub struct Scale {
 }
 
 impl Scale {
+    /// Builds a validated scale: every field must be nonzero.
+    pub fn new(
+        timing_samples: usize,
+        pdf_samples: usize,
+        leak_bits: usize,
+        workload_warmup: u64,
+        workload_measure: u64,
+    ) -> Result<Self, ScaleError> {
+        let scale = Scale {
+            timing_samples,
+            pdf_samples,
+            leak_bits,
+            workload_warmup,
+            workload_measure,
+        };
+        scale.validate()?;
+        Ok(scale)
+    }
+
+    /// Checks the field invariants on an already-built scale (the
+    /// fields are public, so hand-rolled literals can bypass
+    /// [`Scale::new`]; the harness re-validates specs before running).
+    pub fn validate(&self) -> Result<(), ScaleError> {
+        for (field, value) in [
+            ("timing_samples", self.timing_samples as u64),
+            ("pdf_samples", self.pdf_samples as u64),
+            ("leak_bits", self.leak_bits as u64),
+            ("workload_warmup", self.workload_warmup),
+            ("workload_measure", self.workload_measure),
+        ] {
+            if value == 0 {
+                return Err(ScaleError { field });
+            }
+        }
+        Ok(())
+    }
+
     /// The paper's sample counts.
     pub fn paper() -> Self {
-        Scale {
-            timing_samples: 100,
-            pdf_samples: 1000,
-            leak_bits: 1000,
-            workload_warmup: 40_000,
-            workload_measure: 120_000,
-        }
+        Scale::new(100, 1000, 1000, 40_000, 120_000).expect("paper scale is valid")
     }
 
     /// Reduced counts for tests.
     pub fn quick() -> Self {
-        Scale {
-            timing_samples: 10,
-            pdf_samples: 60,
-            leak_bits: 60,
-            workload_warmup: 5_000,
-            workload_measure: 15_000,
-        }
+        Scale::new(10, 60, 60, 5_000, 15_000).expect("quick scale is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_scales_are_valid() {
+        assert!(Scale::paper().validate().is_ok());
+        assert!(Scale::quick().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_fields_are_rejected_with_the_field_name() {
+        let err = Scale::new(0, 1, 1, 1, 1).expect_err("zero timing_samples");
+        assert_eq!(err.field, "timing_samples");
+        assert!(err.to_string().contains("timing_samples"));
+        assert_eq!(
+            Scale::new(1, 1, 0, 1, 1).expect_err("zero leak_bits").field,
+            "leak_bits"
+        );
+        assert_eq!(
+            Scale::new(1, 1, 1, 1, 0)
+                .expect_err("zero workload_measure")
+                .field,
+            "workload_measure"
+        );
+    }
+
+    #[test]
+    fn validate_catches_hand_rolled_literals() {
+        let mut s = Scale::quick();
+        s.pdf_samples = 0;
+        assert_eq!(
+            s.validate().expect_err("zero pdf_samples").field,
+            "pdf_samples"
+        );
     }
 }

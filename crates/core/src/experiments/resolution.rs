@@ -73,14 +73,15 @@ impl ResolutionSweep {
     }
 }
 
-fn sweep(samples: usize, noise: Option<NoiseModel>) -> ResolutionSweep {
+fn sweep(samples: usize, noise: Option<NoiseModel>, seed: u64) -> ResolutionSweep {
     let mut points = Vec::new();
     for fn_accesses in 1..=3usize {
         for loads in 1..=5usize {
             for secret in [false, true] {
                 let cfg = AttackConfig::paper_no_es()
                     .with_loads(loads)
-                    .with_fn_accesses(fn_accesses);
+                    .with_fn_accesses(fn_accesses)
+                    .with_seed(seed);
                 let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
                 if let Some(n) = noise.clone() {
                     chan.core_mut().hierarchy_mut().set_noise(n);
@@ -106,15 +107,16 @@ fn sweep(samples: usize, noise: Option<NoiseModel>) -> ResolutionSweep {
     }
 }
 
-/// Fig. 2: the sweep on the quiet simulated machine.
-pub fn run(samples: usize) -> ResolutionSweep {
-    sweep(samples, None)
+/// Fig. 2: the sweep on the quiet simulated machine. `seed` is the
+/// channel's explicit RNG seed (see [`super::seeding`]).
+pub fn run(samples: usize, seed: u64) -> ResolutionSweep {
+    sweep(samples, None, seed)
 }
 
 /// Fig. 13: the same sweep under host-machine-like noise (standing in
 /// for the paper's Intel i7-8550U measurements).
 pub fn run_host_like(samples: usize, seed: u64) -> ResolutionSweep {
-    sweep(samples, Some(NoiseModel::host_like(seed)))
+    sweep(samples, Some(NoiseModel::host_like(seed)), seed)
 }
 
 impl fmt::Display for ResolutionSweep {
@@ -148,10 +150,11 @@ impl fmt::Display for ResolutionSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::seeding::DEFAULT_ROOT_SEED;
 
     #[test]
     fn resolution_is_flat_in_loads_and_secret() {
-        let sweep = run(6);
+        let sweep = run(6, DEFAULT_ROOT_SEED);
         for n in 1..=3 {
             let spread = sweep.spread_for_fn(n);
             let mean = sweep.mean_for_fn(n);
@@ -164,7 +167,7 @@ mod tests {
 
     #[test]
     fn resolution_is_linear_in_fn_complexity() {
-        let sweep = run(6);
+        let sweep = run(6, DEFAULT_ROOT_SEED);
         let m1 = sweep.mean_for_fn(1);
         let m2 = sweep.mean_for_fn(2);
         let m3 = sweep.mean_for_fn(3);
@@ -189,7 +192,7 @@ mod tests {
 
     #[test]
     fn display_renders_all_points() {
-        let sweep = run(2);
+        let sweep = run(2, DEFAULT_ROOT_SEED);
         let text = sweep.to_string();
         assert!(text.contains("Fig. 2"));
         assert_eq!(sweep.points.len(), 3 * 5 * 2);

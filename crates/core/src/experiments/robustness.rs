@@ -78,8 +78,10 @@ fn accuracy_for(seed: u64, bits: usize) -> f64 {
 
 /// Sweeps `n_seeds` independent seeds at `samples` rounds per
 /// measurement and `bits` leaked bits per accuracy point.
-pub fn run(n_seeds: usize, samples: usize, bits: usize) -> RobustnessSweep {
-    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 0x1000 + i * 7919).collect();
+pub fn run(n_seeds: usize, samples: usize, bits: usize, root_seed: u64) -> RobustnessSweep {
+    let seeds: Vec<u64> = (0..n_seeds as u64)
+        .map(|i| super::seeding::indexed(root_seed, "robustness", i))
+        .collect();
     RobustnessSweep {
         diffs_no_es: seeds.iter().map(|&s| diff_for(s, false, samples)).collect(),
         diffs_es: seeds.iter().map(|&s| diff_for(s, true, samples)).collect(),
@@ -115,10 +117,11 @@ impl fmt::Display for RobustnessSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::seeding::DEFAULT_ROOT_SEED;
 
     #[test]
     fn headline_numbers_hold_across_seeds() {
-        let sweep = run(6, 10, 120);
+        let sweep = run(6, 10, 120, DEFAULT_ROOT_SEED);
         let (d0, s0) = sweep.no_es_summary();
         let (d1, s1) = sweep.es_summary();
         assert!((15.0..=30.0).contains(&d0), "no-ES mean {d0}");
@@ -132,7 +135,7 @@ mod tests {
 
     #[test]
     fn display_renders_all_three_rows() {
-        let text = run(2, 4, 40).to_string();
+        let text = run(2, 4, 40, DEFAULT_ROOT_SEED).to_string();
         assert!(text.contains("difference, no ES"));
         assert!(text.contains("accuracy"));
     }

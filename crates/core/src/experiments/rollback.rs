@@ -63,13 +63,15 @@ impl RollbackSweep {
 }
 
 /// Runs the sweep over `1..=max_loads` encoding loads, `samples` rounds
-/// per secret per point, on a quiet machine.
-pub fn run(use_eviction_sets: bool, max_loads: usize, samples: usize) -> RollbackSweep {
+/// per secret per point, on a quiet machine. `seed` is the channel's
+/// explicit RNG seed (see [`super::seeding`]).
+pub fn run(use_eviction_sets: bool, max_loads: usize, samples: usize, seed: u64) -> RollbackSweep {
     let points = (1..=max_loads)
         .map(|loads| {
             let cfg = AttackConfig::paper_no_es()
                 .with_loads(loads)
-                .with_eviction_sets(use_eviction_sets);
+                .with_eviction_sets(use_eviction_sets)
+                .with_seed(seed);
             let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
             let mut sum0 = 0.0;
             let mut sum1 = 0.0;
@@ -132,10 +134,11 @@ impl fmt::Display for RollbackSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::seeding::DEFAULT_ROOT_SEED;
 
     #[test]
     fn no_es_difference_matches_paper_band() {
-        let sweep = run(false, 8, 8);
+        let sweep = run(false, 8, 8, DEFAULT_ROOT_SEED);
         let d1 = sweep.single_load_difference();
         assert!((15.0..=30.0).contains(&d1), "single-load diff {d1} ~ 22");
         // Fig. 3: the difference grows only slowly with more loads.
@@ -149,7 +152,7 @@ mod tests {
 
     #[test]
     fn es_difference_matches_paper_band_and_grows() {
-        let sweep = run(true, 8, 8);
+        let sweep = run(true, 8, 8, DEFAULT_ROOT_SEED);
         let d1 = sweep.single_load_difference();
         assert!((25.0..=45.0).contains(&d1), "single-load diff {d1} ~ 32");
         let d8 = sweep.points[7].difference();
@@ -163,7 +166,7 @@ mod tests {
 
     #[test]
     fn display_has_bars() {
-        let sweep = run(false, 2, 3);
+        let sweep = run(false, 2, 3, DEFAULT_ROOT_SEED);
         let text = sweep.to_string();
         assert!(text.contains("Fig. 3"));
         assert!(text.contains('#'));

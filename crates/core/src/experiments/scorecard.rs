@@ -9,6 +9,7 @@ use std::fmt;
 
 use unxpec_stats::ascii;
 
+use super::seeding::stream;
 use super::{leakage, overhead, pdf, rate, resolution, rollback, triggers};
 
 /// One checked claim.
@@ -62,8 +63,10 @@ fn check(
     });
 }
 
-/// Runs every check. `quick` trades sample counts for speed.
-pub fn run(quick: bool) -> Scorecard {
+/// Runs every check. `quick` trades sample counts for speed; `seed` is
+/// the root seed every per-check stream derives from (see
+/// [`super::seeding`]).
+pub fn run(quick: bool, seed: u64) -> Scorecard {
     let (timing_samples, pdf_samples, bits) = if quick {
         (10, 80, 200)
     } else {
@@ -72,7 +75,7 @@ pub fn run(quick: bool) -> Scorecard {
     let mut checks = Vec::new();
 
     // Fig. 2: resolution flat in loads, linear in f(N).
-    let sweep = resolution::run(timing_samples.min(8));
+    let sweep = resolution::run(timing_samples.min(8), stream(seed, "fig2"));
     check(
         &mut checks,
         "Fig.2: resolution spread across in-branch loads (f(1))",
@@ -91,7 +94,7 @@ pub fn run(quick: bool) -> Scorecard {
     );
 
     // Figs. 3/6: the headline differences.
-    let no_es = rollback::run(false, 8, timing_samples);
+    let no_es = rollback::run(false, 8, timing_samples, stream(seed, "fig3"));
     check(
         &mut checks,
         "Fig.3: single-load timing difference",
@@ -100,7 +103,7 @@ pub fn run(quick: bool) -> Scorecard {
         " cy",
         15.0..=30.0,
     );
-    let es = rollback::run(true, 8, timing_samples);
+    let es = rollback::run(true, 8, timing_samples, stream(seed, "fig6"));
     check(
         &mut checks,
         "Fig.6: single-load difference with eviction sets",
@@ -119,7 +122,7 @@ pub fn run(quick: bool) -> Scorecard {
     );
 
     // Figs. 7/8 under noise.
-    let p7 = pdf::run(false, pdf_samples, 0x7);
+    let p7 = pdf::run(false, pdf_samples, stream(seed, "fig7"));
     check(
         &mut checks,
         "Fig.7: mean difference under noise",
@@ -128,7 +131,7 @@ pub fn run(quick: bool) -> Scorecard {
         " cy",
         15.0..=30.0,
     );
-    let p8 = pdf::run(true, pdf_samples, 0x8);
+    let p8 = pdf::run(true, pdf_samples, stream(seed, "fig8"));
     check(
         &mut checks,
         "Fig.8: mean difference with eviction sets",
@@ -143,7 +146,7 @@ pub fn run(quick: bool) -> Scorecard {
         &mut checks,
         "Fig.10: single-sample accuracy",
         "86.7%",
-        leakage::run(false, bits, 0x10).accuracy() * 100.0,
+        leakage::run(false, bits, stream(seed, "fig10")).accuracy() * 100.0,
         "%",
         78.0..=93.0,
     );
@@ -151,13 +154,13 @@ pub fn run(quick: bool) -> Scorecard {
         &mut checks,
         "Fig.11: accuracy with eviction sets",
         "91.6%",
-        leakage::run(true, bits, 0x11).accuracy() * 100.0,
+        leakage::run(true, bits, stream(seed, "fig11")).accuracy() * 100.0,
         "%",
         86.0..=97.0,
     );
 
     // §VI-B: rate.
-    let (rate_no_es, _) = rate::run(40, 0xb);
+    let (rate_no_es, _) = rate::run(40, stream(seed, "rate"));
     check(
         &mut checks,
         "VI-B: artifact-equivalent leakage rate",
@@ -200,7 +203,7 @@ pub fn run(quick: bool) -> Scorecard {
     );
 
     // Trigger-agnosticism (extension).
-    let m = triggers::run(timing_samples.min(10));
+    let m = triggers::run(timing_samples.min(10), stream(seed, "triggers"));
     check(
         &mut checks,
         "ext: channel through a v2 trigger",
@@ -253,10 +256,11 @@ impl fmt::Display for Scorecard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::seeding::DEFAULT_ROOT_SEED;
 
     #[test]
     fn quick_scorecard_passes_everything() {
-        let card = run(true);
+        let card = run(true, DEFAULT_ROOT_SEED);
         assert!(
             card.all_pass(),
             "failing checks:\n{}",
@@ -272,7 +276,7 @@ mod tests {
 
     #[test]
     fn display_shows_verdicts() {
-        let card = run(true);
+        let card = run(true, DEFAULT_ROOT_SEED);
         let text = card.to_string();
         assert!(text.contains("PASS"));
         assert!(text.contains("Fig.3"));

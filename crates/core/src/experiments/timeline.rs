@@ -43,9 +43,12 @@ impl Timeline {
 }
 
 /// Runs one round per secret value and reconstructs both timelines.
-pub fn run(use_eviction_sets: bool) -> (Timeline, Timeline) {
+/// `seed` is the channel's explicit RNG seed (see [`super::seeding`]).
+pub fn run(use_eviction_sets: bool, seed: u64) -> (Timeline, Timeline) {
     let one = |secret: bool| {
-        let cfg = AttackConfig::paper_no_es().with_eviction_sets(use_eviction_sets);
+        let cfg = AttackConfig::paper_no_es()
+            .with_eviction_sets(use_eviction_sets)
+            .with_seed(seed);
         let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
         // Warm round so the traced round is steady-state.
         chan.measure_bit(secret);
@@ -92,10 +95,11 @@ impl fmt::Display for Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::seeding::DEFAULT_ROOT_SEED;
 
     #[test]
     fn timelines_differ_only_in_cleanup() {
-        let (t0, t1) = run(false);
+        let (t0, t1) = run(false, DEFAULT_ROOT_SEED);
         assert_eq!(t0.resolution(), t1.resolution(), "T1-T2 is constant");
         assert!(
             t1.cleanup() >= t0.cleanup() + 15,
@@ -109,16 +113,16 @@ mod tests {
 
     #[test]
     fn eviction_sets_add_restorations() {
-        let (_, t1) = run(true);
+        let (_, t1) = run(true, DEFAULT_ROOT_SEED);
         assert_eq!(t1.restorations, 1);
-        let (_, plain) = run(false);
+        let (_, plain) = run(false, DEFAULT_ROOT_SEED);
         assert_eq!(plain.restorations, 0);
         assert!(t1.cleanup() > plain.cleanup());
     }
 
     #[test]
     fn display_lists_all_points() {
-        let (t0, _) = run(false);
+        let (t0, _) = run(false, DEFAULT_ROOT_SEED);
         let text = t0.to_string();
         for point in ["T1", "T2", "T5", "T6"] {
             assert!(text.contains(point), "missing {point}");

@@ -56,9 +56,12 @@ impl TraceCapture {
 }
 
 /// Runs one warmed, instrumented round per secret value and captures
-/// both event streams through a `ring_capacity`-event sink.
-pub fn run(use_eviction_sets: bool, ring_capacity: usize) -> TraceCapture {
-    let cfg = AttackConfig::paper_no_es().with_eviction_sets(use_eviction_sets);
+/// both event streams through a `ring_capacity`-event sink. `seed` is
+/// the channel's explicit RNG seed (see [`super::seeding`]).
+pub fn run(use_eviction_sets: bool, ring_capacity: usize, seed: u64) -> TraceCapture {
+    let cfg = AttackConfig::paper_no_es()
+        .with_eviction_sets(use_eviction_sets)
+        .with_seed(seed);
     let mut chan = UnxpecChannel::new(cfg, Box::new(CleanupSpec::new()));
     // Warm rounds so the traced ones are steady-state.
     chan.measure_bit(false);
@@ -139,11 +142,12 @@ impl fmt::Display for TraceCapture {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::seeding::DEFAULT_ROOT_SEED;
     use unxpec_telemetry::json;
 
     #[test]
     fn rollback_duration_carries_the_secret() {
-        let cap = run(false, 1 << 14);
+        let cap = run(false, 1 << 14, DEFAULT_ROOT_SEED);
         assert!(
             cap.cleanup1 >= cap.cleanup0 + 15,
             "secret-1 cleanup must be visibly longer: {} vs {}",
@@ -154,7 +158,7 @@ mod tests {
 
     #[test]
     fn chrome_export_is_valid_and_shows_the_rollback() {
-        let cap = run(false, 1 << 14);
+        let cap = run(false, 1 << 14, DEFAULT_ROOT_SEED);
         let doc = cap.chrome_trace();
         json::validate(&doc).expect("valid trace JSON");
         assert!(doc.contains("\"name\":\"rollback\""));
@@ -163,7 +167,7 @@ mod tests {
 
     #[test]
     fn metrics_cover_every_layer() {
-        let cap = run(false, 1 << 14);
+        let cap = run(false, 1 << 14, DEFAULT_ROOT_SEED);
         for key in ["l1.hits", "mshr.capacity", "cleanupspec.rollbacks"] {
             assert!(cap.metrics.counter(key) > 0, "missing {key}");
         }
@@ -172,7 +176,7 @@ mod tests {
 
     #[test]
     fn display_summarizes_both_rounds() {
-        let cap = run(false, 1 << 14);
+        let cap = run(false, 1 << 14, DEFAULT_ROOT_SEED);
         let text = cap.to_string();
         assert!(text.contains("secret-0 round"));
         assert!(text.contains("rollback timeline"));

@@ -37,18 +37,20 @@ impl TriggerMatrix {
     }
 }
 
-fn v1_diff(defense: Box<dyn Defense>, samples: usize) -> f64 {
-    let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es(), defense);
+fn v1_diff(defense: Box<dyn Defense>, samples: usize, seed: u64) -> f64 {
+    let mut chan = UnxpecChannel::new(AttackConfig::paper_no_es().with_seed(seed), defense);
     chan.calibrate(samples).mean_difference()
 }
 
 /// Measures the matrix over `samples` rounds per secret per cell.
-pub fn run(samples: usize) -> TriggerMatrix {
+/// `seed` feeds the v1 channel; the v2 and RSB drivers are fully
+/// deterministic round builders with no RNG of their own.
+pub fn run(samples: usize, seed: u64) -> TriggerMatrix {
     let rows = vec![
         (
             "v1 (conditional branch)".to_string(),
-            v1_diff(Box::new(CleanupSpec::new()), samples),
-            v1_diff(Box::new(UnsafeBaseline), samples),
+            v1_diff(Box::new(CleanupSpec::new()), samples, seed),
+            v1_diff(Box::new(UnsafeBaseline), samples, seed),
         ),
         (
             "v2 (BTB poisoning)".to_string(),
@@ -83,10 +85,11 @@ impl fmt::Display for TriggerMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::seeding::DEFAULT_ROOT_SEED;
 
     #[test]
     fn channel_exists_for_every_trigger_only_under_cleanupspec() {
-        let m = run(10);
+        let m = run(10, DEFAULT_ROOT_SEED);
         for (name, cleanup, baseline) in &m.rows {
             assert!(
                 (12.0..=35.0).contains(cleanup),
@@ -98,7 +101,7 @@ mod tests {
 
     #[test]
     fn display_lists_all_triggers() {
-        let text = run(4).to_string();
+        let text = run(4, DEFAULT_ROOT_SEED).to_string();
         for t in ["v1", "v2", "RSB"] {
             assert!(text.contains(t));
         }

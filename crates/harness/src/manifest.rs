@@ -1,0 +1,296 @@
+//! The checkpoint/resume manifest: a JSON record of every trial a
+//! sweep has finished (or poisoned), keyed by trial identity.
+//!
+//! The sweep runner appends to the manifest after each trial and
+//! rewrites it atomically (temp file + rename), so a killed run leaves
+//! a loadable manifest behind. On resume, trials whose key appears in
+//! `completed` are spliced back into the report from their recorded
+//! rendered output and metrics — byte for byte what the original run
+//! produced, because trial seeds are identity-derived. A manifest is
+//! only valid for the spec that produced it: [`Manifest::spec_digest`]
+//! must match [`SweepSpec::digest`](crate::SweepSpec::digest).
+//!
+//! 64-bit digests are serialized as `0x`-prefixed hex strings because
+//! the JSON layer keeps numbers as `f64` (exact only to 2^53).
+
+use std::path::Path;
+
+use unxpec_telemetry::json::{self, escape, Value};
+
+use crate::experiment::TrialOutput;
+
+/// A finished trial's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedTrial {
+    /// Trial identity (`experiment/variant/s<seed_index>`).
+    pub key: String,
+    /// [`output_digest`](crate::output_digest) of the output.
+    pub digest: u64,
+    /// Attempts the trial needed.
+    pub attempts: u32,
+    /// The recorded output (rendered text + metrics).
+    pub output: TrialOutput,
+}
+
+/// A trial that exhausted its retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoisonedTrial {
+    /// Trial identity.
+    pub key: String,
+    /// The final panic message.
+    pub error: String,
+    /// Attempts made.
+    pub attempts: u32,
+}
+
+/// The on-disk checkpoint state of one sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Manifest {
+    /// Digest of the owning spec's canonical string.
+    pub spec_digest: u64,
+    /// The spec's root seed (informational; identity lives in the
+    /// digest).
+    pub root_seed: u64,
+    /// Completed trials in completion order.
+    pub completed: Vec<CompletedTrial>,
+    /// Poisoned trials in completion order.
+    pub poisoned: Vec<PoisonedTrial>,
+}
+
+fn hex(v: u64) -> String {
+    format!("{v:#x}")
+}
+
+fn parse_hex(v: &Value) -> Result<u64, String> {
+    let s = v.as_str().ok_or("digest must be a hex string")?;
+    let raw = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("digest {s:?} missing 0x prefix"))?;
+    u64::from_str_radix(raw, 16).map_err(|e| format!("digest {s:?}: {e}"))
+}
+
+impl Manifest {
+    /// An empty manifest for `spec_digest`/`root_seed`.
+    pub fn new(spec_digest: u64, root_seed: u64) -> Self {
+        Manifest {
+            spec_digest,
+            root_seed,
+            ..Manifest::default()
+        }
+    }
+
+    /// Serializes the manifest as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!(
+            "  \"spec_digest\": \"{}\",\n  \"root_seed\": {},\n",
+            hex(self.spec_digest),
+            self.root_seed
+        ));
+        out.push_str("  \"completed\": [");
+        for (i, t) in self.completed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"key\": \"{}\", \"digest\": \"{}\", \"attempts\": {}, \"metrics\": {{",
+                escape(&t.key),
+                hex(t.digest),
+                t.attempts
+            ));
+            for (j, (name, value)) in t.output.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", escape(name), value));
+            }
+            out.push_str(&format!(
+                "}}, \"rendered\": \"{}\"}}",
+                escape(&t.output.rendered)
+            ));
+        }
+        out.push_str("\n  ],\n  \"poisoned\": [");
+        for (i, t) in self.poisoned.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"key\": \"{}\", \"error\": \"{}\", \"attempts\": {}}}",
+                escape(&t.key),
+                escape(&t.error),
+                t.attempts
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a manifest document.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let version = doc
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("manifest missing version")?;
+        if version != 1 {
+            return Err(format!("unsupported manifest version {version}"));
+        }
+        let spec_digest = parse_hex(doc.get("spec_digest").ok_or("missing spec_digest")?)?;
+        let root_seed = doc
+            .get("root_seed")
+            .and_then(Value::as_u64)
+            .ok_or("manifest missing root_seed")?;
+        let mut completed = Vec::new();
+        for item in doc
+            .get("completed")
+            .and_then(Value::as_arr)
+            .ok_or("manifest missing completed[]")?
+        {
+            let key = item
+                .get("key")
+                .and_then(Value::as_str)
+                .ok_or("completed entry missing key")?
+                .to_string();
+            let digest = parse_hex(item.get("digest").ok_or("completed entry missing digest")?)?;
+            let attempts = item
+                .get("attempts")
+                .and_then(Value::as_u64)
+                .ok_or("completed entry missing attempts")? as u32;
+            let mut metrics = Vec::new();
+            match item.get("metrics") {
+                Some(Value::Obj(members)) => {
+                    for (name, value) in members {
+                        let v = value
+                            .as_f64()
+                            .ok_or_else(|| format!("metric {name:?} is not a number"))?;
+                        metrics.push((name.clone(), v));
+                    }
+                }
+                _ => return Err(format!("completed entry {key:?} missing metrics{{}}")),
+            }
+            let rendered = item
+                .get("rendered")
+                .and_then(Value::as_str)
+                .ok_or("completed entry missing rendered")?
+                .to_string();
+            completed.push(CompletedTrial {
+                key,
+                digest,
+                attempts,
+                output: TrialOutput { rendered, metrics },
+            });
+        }
+        let mut poisoned = Vec::new();
+        for item in doc
+            .get("poisoned")
+            .and_then(Value::as_arr)
+            .ok_or("manifest missing poisoned[]")?
+        {
+            poisoned.push(PoisonedTrial {
+                key: item
+                    .get("key")
+                    .and_then(Value::as_str)
+                    .ok_or("poisoned entry missing key")?
+                    .to_string(),
+                error: item
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .ok_or("poisoned entry missing error")?
+                    .to_string(),
+                attempts: item
+                    .get("attempts")
+                    .and_then(Value::as_u64)
+                    .ok_or("poisoned entry missing attempts")? as u32,
+            });
+        }
+        Ok(Manifest {
+            spec_digest,
+            root_seed,
+            completed,
+            poisoned,
+        })
+    }
+
+    /// Loads a manifest from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Manifest::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+
+    /// Writes the manifest atomically: temp file in the same
+    /// directory, then rename over `path`.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            spec_digest: 0xdead_beef_0bad_cafe,
+            root_seed: 0x5eed,
+            completed: vec![CompletedTrial {
+                key: "rollback/es/s0".into(),
+                digest: u64::MAX,
+                attempts: 2,
+                output: TrialOutput {
+                    rendered: "line1\nline2 \"quoted\"".into(),
+                    metrics: vec![("diff".into(), 22.5), ("neg".into(), -0.125)],
+                },
+            }],
+            poisoned: vec![PoisonedTrial {
+                key: "pdf/no-es/s1".into(),
+                error: "index out of bounds: the len is 0".into(),
+                attempts: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let m = sample();
+        let text = m.to_json();
+        json::validate(&text).expect("manifest JSON validates");
+        let back = Manifest::parse(&text).expect("manifest parses");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn digests_survive_full_u64_range() {
+        let mut m = sample();
+        m.spec_digest = u64::MAX;
+        let back = Manifest::parse(&m.to_json()).unwrap();
+        assert_eq!(back.spec_digest, u64::MAX);
+        assert_eq!(back.completed[0].digest, u64::MAX);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("unxpec-harness-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        let m = sample();
+        m.save(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_a_message() {
+        assert!(Manifest::parse("{}").is_err());
+        assert!(Manifest::parse("not json").is_err());
+        let wrong_version = "{\"version\": 9, \"spec_digest\": \"0x1\", \"root_seed\": 0, \"completed\": [], \"poisoned\": []}";
+        assert!(Manifest::parse(wrong_version)
+            .unwrap_err()
+            .contains("version"));
+    }
+}

@@ -1,0 +1,422 @@
+//! A `std`-only work-stealing worker pool with per-task panic
+//! containment.
+//!
+//! The vendored dependency set has no rayon/crossbeam, so the pool is
+//! built on what `std` gives us: a shared injector queue
+//! (`Mutex<VecDeque>`) that holds all task indices up front, per-worker
+//! deques that amortize injector contention (workers grab batches), and
+//! stealing from other workers' deques when both run dry. Because
+//! tasks never spawn tasks, a worker may exit as soon as the injector
+//! and every deque are simultaneously empty — no termination-detection
+//! protocol is needed.
+//!
+//! Each task attempt runs under [`std::panic::catch_unwind`]; a panic
+//! is retried in place up to the retry budget and then reported as
+//! [`TaskOutcome::Poisoned`] with the panic payload, leaving the rest
+//! of the pool untouched.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// What happened to one task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome<T> {
+    /// The task returned a value on attempt `attempts`.
+    Done {
+        /// The task's return value.
+        value: T,
+        /// 1-based attempt count (1 = no retries needed).
+        attempts: u32,
+    },
+    /// Every attempt panicked; `error` is the last panic payload.
+    Poisoned {
+        /// Rendered panic message.
+        error: String,
+        /// Total attempts made (retry budget + 1).
+        attempts: u32,
+    },
+}
+
+impl<T> TaskOutcome<T> {
+    /// The attempt count regardless of outcome.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            TaskOutcome::Done { attempts, .. } | TaskOutcome::Poisoned { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+}
+
+/// Wall-clock timing of one task's final attempt, for trace spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTiming {
+    /// Task index as submitted.
+    pub index: usize,
+    /// Worker that ran the task.
+    pub worker: usize,
+    /// Microseconds from pool start to first attempt.
+    pub start_us: u64,
+    /// Microseconds spent across all attempts.
+    pub dur_us: u64,
+    /// Attempts made.
+    pub attempts: u32,
+}
+
+/// Pool-level counters for the sweep report and metrics export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Tasks executed (equals the submitted count).
+    pub executed: u64,
+    /// Tasks a worker stole from another worker's deque.
+    pub stolen: u64,
+    /// Extra attempts caused by panics.
+    pub retried: u64,
+    /// Attempts that panicked.
+    pub panicked: u64,
+    /// Maximum injector queue depth observed at grab time.
+    pub max_queue_depth: u64,
+    /// Microseconds workers spent inside tasks, summed over workers.
+    pub busy_us: u64,
+    /// Wall-clock microseconds for the whole pool run.
+    pub wall_us: u64,
+}
+
+impl PoolStats {
+    /// Mean worker utilization in `[0, 1]`: busy time over
+    /// `jobs × wall` time.
+    pub fn utilization(&self) -> f64 {
+        if self.jobs == 0 || self.wall_us == 0 {
+            return 0.0;
+        }
+        self.busy_us as f64 / (self.jobs as f64 * self.wall_us as f64)
+    }
+}
+
+struct Counters {
+    stolen: AtomicU64,
+    retried: AtomicU64,
+    panicked: AtomicU64,
+    max_queue_depth: AtomicU64,
+    busy_us: AtomicU64,
+}
+
+fn update_max(slot: &AtomicU64, value: u64) {
+    let mut current = slot.load(Ordering::Relaxed);
+    while value > current {
+        match slot.compare_exchange_weak(current, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// Runs one task to completion (with retries) and records its outcome.
+fn execute<T, F>(
+    index: usize,
+    worker: usize,
+    task: &F,
+    retries: u32,
+    epoch: Instant,
+    counters: &Counters,
+) -> (TaskOutcome<T>, TaskTiming)
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let start = Instant::now();
+    let start_us = start.duration_since(epoch).as_micros() as u64;
+    let mut attempts = 0u32;
+    let outcome = loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| task(index))) {
+            Ok(value) => break TaskOutcome::Done { value, attempts },
+            Err(payload) => {
+                counters.panicked.fetch_add(1, Ordering::Relaxed);
+                if attempts > retries {
+                    break TaskOutcome::Poisoned {
+                        error: panic_message(payload),
+                        attempts,
+                    };
+                }
+                counters.retried.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+    let dur_us = start.elapsed().as_micros() as u64;
+    counters.busy_us.fetch_add(dur_us, Ordering::Relaxed);
+    let timing = TaskTiming {
+        index,
+        worker,
+        start_us,
+        dur_us,
+        attempts,
+    };
+    (outcome, timing)
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Worker panics are caught before they can poison these locks, so
+    // a poisoned mutex here means a bug in the pool itself.
+    m.lock().expect("pool lock poisoned")
+}
+
+/// Runs `n_tasks` tasks on `jobs` workers and returns their outcomes
+/// indexed by task index, plus per-task timings (in completion order)
+/// and the pool counters.
+///
+/// `task(i)` computes task `i`; it must be safe to call again after a
+/// panic (the retry path reinvokes it). `on_done(i, &outcome)` fires
+/// on the worker thread as each task finishes — the sweep uses it to
+/// checkpoint the manifest incrementally. With `jobs <= 1` everything
+/// runs inline on the caller thread in index order, which is the
+/// serial baseline the determinism tests compare against.
+pub fn run_tasks<T, F, C>(
+    jobs: usize,
+    n_tasks: usize,
+    retries: u32,
+    task: F,
+    on_done: C,
+) -> (Vec<TaskOutcome<T>>, Vec<TaskTiming>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: Fn(usize, &TaskOutcome<T>) + Sync,
+{
+    let jobs = jobs.max(1).min(n_tasks.max(1));
+    let epoch = Instant::now();
+    let counters = Counters {
+        stolen: AtomicU64::new(0),
+        retried: AtomicU64::new(0),
+        panicked: AtomicU64::new(0),
+        max_queue_depth: AtomicU64::new(0),
+        busy_us: AtomicU64::new(0),
+    };
+
+    let mut outcomes: Vec<Option<TaskOutcome<T>>> = Vec::with_capacity(n_tasks);
+    outcomes.resize_with(n_tasks, || None);
+    let mut timings: Vec<TaskTiming> = Vec::with_capacity(n_tasks);
+
+    if jobs == 1 {
+        counters
+            .max_queue_depth
+            .store(n_tasks as u64, Ordering::Relaxed);
+        for (index, slot) in outcomes.iter_mut().enumerate() {
+            let (outcome, timing) = execute(index, 0, &task, retries, epoch, &counters);
+            on_done(index, &outcome);
+            *slot = Some(outcome);
+            timings.push(timing);
+        }
+    } else {
+        let injector: Mutex<std::collections::VecDeque<usize>> = Mutex::new((0..n_tasks).collect());
+        let deques: Vec<Mutex<std::collections::VecDeque<usize>>> =
+            (0..jobs).map(|_| Mutex::new(Default::default())).collect();
+        type ResultSlot<T> = Mutex<Option<(TaskOutcome<T>, TaskTiming)>>;
+        let result_slots: Vec<ResultSlot<T>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for worker in 0..jobs {
+                let injector = &injector;
+                let deques = &deques;
+                let result_slots = &result_slots;
+                let counters = &counters;
+                let task = &task;
+                let on_done = &on_done;
+                scope.spawn(move || loop {
+                    // 1. Own deque (LIFO keeps the batch cache-warm).
+                    let mut next = lock(&deques[worker]).pop_back();
+                    // 2. Batch-grab from the injector.
+                    if next.is_none() {
+                        let mut inj = lock(injector);
+                        let depth = inj.len() as u64;
+                        if depth > 0 {
+                            update_max(&counters.max_queue_depth, depth);
+                            // Keep one, bank the rest of the batch locally.
+                            let batch = (inj.len() / (2 * jobs)).max(1).min(inj.len());
+                            next = inj.pop_front();
+                            let mut own = lock(&deques[worker]);
+                            for _ in 1..batch {
+                                if let Some(i) = inj.pop_front() {
+                                    own.push_back(i);
+                                }
+                            }
+                        }
+                    }
+                    // 3. Steal the oldest task from a sibling.
+                    if next.is_none() {
+                        for other in (0..jobs).filter(|&o| o != worker) {
+                            if let Some(i) = lock(&deques[other]).pop_front() {
+                                counters.stolen.fetch_add(1, Ordering::Relaxed);
+                                next = Some(i);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(index) = next else {
+                        // Tasks never spawn tasks, so empty-everywhere
+                        // means this worker is permanently done.
+                        let drained =
+                            lock(injector).is_empty() && deques.iter().all(|d| lock(d).is_empty());
+                        if drained {
+                            return;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let (outcome, timing) = execute(index, worker, task, retries, epoch, counters);
+                    on_done(index, &outcome);
+                    *lock(&result_slots[index]) = Some((outcome, timing));
+                });
+            }
+        });
+
+        for (index, slot) in result_slots.into_iter().enumerate() {
+            let (outcome, timing) = slot
+                .into_inner()
+                .expect("pool lock poisoned")
+                .unwrap_or_else(|| panic!("task {index} never completed"));
+            outcomes[index] = Some(outcome);
+            timings.push(timing);
+        }
+        timings.sort_by_key(|t| (t.start_us, t.index));
+    }
+
+    let stats = PoolStats {
+        jobs,
+        executed: n_tasks as u64,
+        stolen: counters.stolen.load(Ordering::Relaxed),
+        retried: counters.retried.load(Ordering::Relaxed),
+        panicked: counters.panicked.load(Ordering::Relaxed),
+        max_queue_depth: counters.max_queue_depth.load(Ordering::Relaxed),
+        busy_us: counters.busy_us.load(Ordering::Relaxed),
+        wall_us: epoch.elapsed().as_micros() as u64,
+    };
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect();
+    (outcomes, timings, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_indexed_by_task_not_by_completion_order() {
+        for jobs in [1, 4] {
+            let (outcomes, timings, stats) = run_tasks(jobs, 32, 0, |i| i * i, |_, _| {});
+            assert_eq!(outcomes.len(), 32);
+            for (i, o) in outcomes.iter().enumerate() {
+                match o {
+                    TaskOutcome::Done { value, attempts } => {
+                        assert_eq!(*value, i * i);
+                        assert_eq!(*attempts, 1);
+                    }
+                    TaskOutcome::Poisoned { .. } => panic!("no task panics here"),
+                }
+            }
+            assert_eq!(timings.len(), 32);
+            assert_eq!(stats.executed, 32);
+            assert_eq!(stats.panicked, 0);
+        }
+    }
+
+    #[test]
+    fn panics_are_contained_and_retried() {
+        let attempts_seen = AtomicUsize::new(0);
+        let (outcomes, _, stats) = run_tasks(
+            2,
+            4,
+            2,
+            |i| {
+                if i == 3 {
+                    attempts_seen.fetch_add(1, Ordering::Relaxed);
+                    panic!("trial {i} exploded");
+                }
+                i
+            },
+            |_, _| {},
+        );
+        match &outcomes[3] {
+            TaskOutcome::Poisoned { error, attempts } => {
+                assert!(error.contains("trial 3 exploded"));
+                assert_eq!(*attempts, 3, "1 try + 2 retries");
+            }
+            TaskOutcome::Done { .. } => panic!("task 3 always panics"),
+        }
+        assert_eq!(attempts_seen.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.panicked, 3);
+        assert_eq!(stats.retried, 2);
+        // The other three tasks still completed.
+        assert!(matches!(outcomes[0], TaskOutcome::Done { value: 0, .. }));
+        assert!(matches!(outcomes[2], TaskOutcome::Done { value: 2, .. }));
+    }
+
+    #[test]
+    fn a_flaky_task_succeeds_within_the_retry_budget() {
+        let tries = AtomicUsize::new(0);
+        let (outcomes, _, _) = run_tasks(
+            1,
+            1,
+            3,
+            |_| {
+                if tries.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                7u64
+            },
+            |_, _| {},
+        );
+        assert!(matches!(
+            outcomes[0],
+            TaskOutcome::Done {
+                value: 7,
+                attempts: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn on_done_fires_once_per_task() {
+        let fired = AtomicUsize::new(0);
+        let (_, _, _) = run_tasks(
+            3,
+            10,
+            0,
+            |i| i,
+            |_, _| {
+                fired.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(fired.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn more_jobs_than_tasks_is_fine() {
+        let (outcomes, _, stats) = run_tasks(16, 2, 0, |i| i, |_, _| {});
+        assert_eq!(outcomes.len(), 2);
+        assert!(stats.jobs <= 2);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let (_, _, stats) = run_tasks(2, 8, 0, |i| i * 3, |_, _| {});
+        let u = stats.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+}

@@ -1,0 +1,553 @@
+//! The sweep runner: enumerate → (resume) → shard on the pool →
+//! checkpoint → aggregate.
+//!
+//! [`run_sweep`] is the one entry point. It expands a [`SweepSpec`]
+//! into trials, drops any trial already recorded in the manifest (when
+//! resuming), runs the rest on the work-stealing pool with panic
+//! containment, checkpoints the manifest after every completion, and
+//! finally aggregates each metric across the seed axis with
+//! [`unxpec_stats::Summary`] — in *enumeration* order, which is what
+//! makes the aggregates (and [`SweepReport::aggregate_digest`])
+//! byte-identical regardless of worker count.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use unxpec_stats::Summary;
+use unxpec_telemetry::{spans_to_chrome_json, MetricsRegistry, Span};
+
+use crate::experiment::{output_digest, TrialOutput};
+use crate::manifest::{CompletedTrial, Manifest, PoisonedTrial};
+use crate::pool::{run_tasks, PoolStats, TaskOutcome};
+use crate::registry::Registry;
+use crate::spec::{SpecError, SweepSpec, Trial};
+use crate::TrialCtx;
+
+/// Execution options — everything about *how* to run a spec that does
+/// not change *what* it computes (and so stays out of the spec digest).
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 or 1 runs serially on the caller thread.
+    pub jobs: usize,
+    /// Retries per panicking trial before it is poisoned.
+    pub retries: u32,
+    /// Manifest path for checkpoint/resume. `None` disables both.
+    pub manifest: Option<PathBuf>,
+}
+
+/// One completed trial in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// The enumerated trial.
+    pub trial: Trial,
+    /// Its output.
+    pub output: TrialOutput,
+    /// Digest of the output.
+    pub digest: u64,
+    /// Attempts used (1 = first try).
+    pub attempts: u32,
+    /// Whether the result was spliced in from the manifest.
+    pub resumed: bool,
+}
+
+/// A per-(experiment, variant, metric) summary across the seed axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Experiment name.
+    pub experiment: String,
+    /// Variant name.
+    pub variant: String,
+    /// Metric name.
+    pub metric: String,
+    /// Summary over the seed axis (completed trials only).
+    pub summary: Summary,
+}
+
+/// Everything a sweep produced.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Digest of the spec that ran.
+    pub spec_digest: u64,
+    /// Completed trials in enumeration order.
+    pub results: Vec<TrialResult>,
+    /// Poisoned trials in enumeration order.
+    pub poisoned: Vec<PoisonedTrial>,
+    /// Per-cell metric summaries in enumeration order.
+    pub aggregates: Vec<Aggregate>,
+    /// FNV-1a over every trial's digest (poisoned trials contribute
+    /// their key + error) in enumeration order — one number that two
+    /// runs match on iff they produced identical results.
+    pub aggregate_digest: u64,
+    /// How many results came from the manifest instead of running.
+    pub resumed: usize,
+    /// Pool counters (jobs, steals, retries, utilization…).
+    pub stats: PoolStats,
+    /// One wall-clock span per executed trial, on per-worker tracks.
+    pub spans: Vec<Span>,
+}
+
+/// Why a sweep could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The spec failed to enumerate.
+    Spec(SpecError),
+    /// The manifest exists but belongs to a different spec.
+    ManifestMismatch {
+        /// Digest recorded in the manifest.
+        manifest: u64,
+        /// Digest of the requested spec.
+        spec: u64,
+    },
+    /// Manifest I/O or parse failure.
+    Manifest(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Spec(e) => write!(f, "{e}"),
+            SweepError::ManifestMismatch { manifest, spec } => write!(
+                f,
+                "manifest belongs to spec {manifest:#x}, not {spec:#x}; \
+                 delete it or point --manifest elsewhere"
+            ),
+            SweepError::Manifest(e) => write!(f, "manifest: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<SpecError> for SweepError {
+    fn from(e: SpecError) -> Self {
+        SweepError::Spec(e)
+    }
+}
+
+/// Runs `spec`'s trials from `registry` under `opts`.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    registry: &Registry,
+    opts: &SweepOptions,
+) -> Result<SweepReport, SweepError> {
+    let spec_digest = spec.digest();
+    let trials = spec.enumerate(registry)?;
+
+    // Resume: load the manifest if present and splice out done trials.
+    let mut manifest = Manifest::new(spec_digest, spec.root_seed);
+    if let Some(path) = &opts.manifest {
+        if path.exists() {
+            let loaded = Manifest::load(path).map_err(SweepError::Manifest)?;
+            if loaded.spec_digest != spec_digest {
+                return Err(SweepError::ManifestMismatch {
+                    manifest: loaded.spec_digest,
+                    spec: spec_digest,
+                });
+            }
+            manifest = loaded;
+            // A resumed run retries previously-poisoned trials.
+            manifest.poisoned.clear();
+        }
+    }
+    let done: std::collections::HashMap<&str, &CompletedTrial> = manifest
+        .completed
+        .iter()
+        .map(|t| (t.key.as_str(), t))
+        .collect();
+    let pending: Vec<&Trial> = trials
+        .iter()
+        .filter(|t| !done.contains_key(t.key.as_str()))
+        .collect();
+    let resumed = trials.len() - pending.len();
+
+    // Shard the pending trials on the pool. Each task owns exactly one
+    // trial; the checkpoint callback appends to the manifest under a
+    // lock and rewrites it atomically.
+    let checkpoint = Mutex::new(manifest.clone());
+    let (outcomes, timings, stats) = run_tasks(
+        opts.jobs,
+        pending.len(),
+        opts.retries,
+        |i| {
+            let trial = pending[i];
+            let exp = registry
+                .get(&trial.experiment)
+                .expect("enumerate checked the registry");
+            exp.run(&TrialCtx {
+                seed: trial.seed,
+                scale: spec.scale,
+                variant: trial.variant.clone(),
+            })
+        },
+        |i, outcome| {
+            if opts.manifest.is_none() {
+                return;
+            }
+            let trial = pending[i];
+            let mut m = checkpoint.lock().expect("checkpoint lock poisoned");
+            match outcome {
+                TaskOutcome::Done { value, attempts } => {
+                    manifest_push_completed(&mut m, trial, value, *attempts)
+                }
+                TaskOutcome::Poisoned { error, attempts } => m.poisoned.push(PoisonedTrial {
+                    key: trial.key.clone(),
+                    error: error.clone(),
+                    attempts: *attempts,
+                }),
+            }
+            if let Some(path) = &opts.manifest {
+                // A failed checkpoint write must not kill the sweep;
+                // the final save reports the error instead.
+                let _ = m.save(path);
+            }
+        },
+    );
+
+    // Reassemble results in enumeration order: resumed trials from the
+    // manifest, fresh trials from their pool slot.
+    let mut fresh: std::collections::HashMap<&str, (TrialOutput, u32)> = Default::default();
+    let mut poisoned_fresh: std::collections::HashMap<&str, (String, u32)> = Default::default();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            TaskOutcome::Done { value, attempts } => {
+                fresh.insert(pending[i].key.as_str(), (value, attempts));
+            }
+            TaskOutcome::Poisoned { error, attempts } => {
+                poisoned_fresh.insert(pending[i].key.as_str(), (error, attempts));
+            }
+        }
+    }
+    let mut results = Vec::new();
+    let mut poisoned = Vec::new();
+    for trial in &trials {
+        if let Some(rec) = done.get(trial.key.as_str()) {
+            results.push(TrialResult {
+                trial: trial.clone(),
+                output: rec.output.clone(),
+                digest: rec.digest,
+                attempts: rec.attempts,
+                resumed: true,
+            });
+        } else if let Some((output, attempts)) = fresh.remove(trial.key.as_str()) {
+            let digest = output_digest(&output);
+            results.push(TrialResult {
+                trial: trial.clone(),
+                output,
+                digest,
+                attempts,
+                resumed: false,
+            });
+        } else if let Some((error, attempts)) = poisoned_fresh.remove(trial.key.as_str()) {
+            poisoned.push(PoisonedTrial {
+                key: trial.key.clone(),
+                error,
+                attempts,
+            });
+        }
+    }
+
+    // Final, authoritative manifest write (the incremental writes are
+    // best-effort). Recorded trials outside the current selection are
+    // kept: a narrowed spec must not drop earlier checkpoints.
+    if let Some(path) = &opts.manifest {
+        let mut final_manifest = Manifest::new(spec_digest, spec.root_seed);
+        for r in &results {
+            final_manifest.completed.push(CompletedTrial {
+                key: r.trial.key.clone(),
+                digest: r.digest,
+                attempts: r.attempts,
+                output: r.output.clone(),
+            });
+        }
+        let selected: std::collections::HashSet<&str> =
+            trials.iter().map(|t| t.key.as_str()).collect();
+        for rec in &manifest.completed {
+            if !selected.contains(rec.key.as_str()) {
+                final_manifest.completed.push(rec.clone());
+            }
+        }
+        final_manifest.poisoned = poisoned.clone();
+        final_manifest.save(path).map_err(SweepError::Manifest)?;
+    }
+
+    let aggregates = aggregate(&results);
+    let aggregate_digest = digest_run(&results, &poisoned);
+    let spans = timings
+        .iter()
+        .map(|t| Span {
+            name: pending[t.index].key.clone(),
+            track: t.worker as u64,
+            start_us: t.start_us,
+            dur_us: t.dur_us,
+            args: vec![("attempts".to_string(), u64::from(t.attempts))],
+        })
+        .collect();
+
+    Ok(SweepReport {
+        spec_digest,
+        results,
+        poisoned,
+        aggregates,
+        aggregate_digest,
+        resumed,
+        stats,
+        spans,
+    })
+}
+
+fn manifest_push_completed(m: &mut Manifest, trial: &Trial, output: &TrialOutput, attempts: u32) {
+    m.completed.push(CompletedTrial {
+        key: trial.key.clone(),
+        digest: output_digest(output),
+        attempts,
+        output: output.clone(),
+    });
+}
+
+/// Groups completed trials by (experiment, variant) and summarizes
+/// each metric across the seed axis, all in enumeration order.
+fn aggregate(results: &[TrialResult]) -> Vec<Aggregate> {
+    let mut cells: Vec<(String, String)> = Vec::new();
+    for r in results {
+        let cell = (r.trial.experiment.clone(), r.trial.variant.clone());
+        if !cells.contains(&cell) {
+            cells.push(cell);
+        }
+    }
+    let mut out = Vec::new();
+    for (experiment, variant) in cells {
+        let in_cell: Vec<&TrialResult> = results
+            .iter()
+            .filter(|r| r.trial.experiment == experiment && r.trial.variant == variant)
+            .collect();
+        // The first trial fixes the metric row order for the cell.
+        let Some(first) = in_cell.first() else {
+            continue;
+        };
+        for (metric, _) in &first.output.metrics {
+            let values: Vec<f64> = in_cell
+                .iter()
+                .filter_map(|r| {
+                    r.output
+                        .metrics
+                        .iter()
+                        .find(|(name, _)| name == metric)
+                        .map(|(_, v)| *v)
+                })
+                .collect();
+            if values.is_empty() {
+                continue;
+            }
+            out.push(Aggregate {
+                experiment: experiment.clone(),
+                variant: variant.clone(),
+                metric: metric.clone(),
+                summary: Summary::of(&values),
+            });
+        }
+    }
+    out
+}
+
+/// FNV-1a chain over every trial outcome in enumeration order.
+fn digest_run(results: &[TrialResult], poisoned: &[PoisonedTrial]) -> u64 {
+    use unxpec::experiments::seeding::fnv1a64;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in results {
+        mix(fnv1a64(&r.trial.key));
+        mix(r.digest);
+    }
+    for p in poisoned {
+        mix(fnv1a64(&p.key));
+        mix(fnv1a64(&p.error));
+    }
+    h
+}
+
+impl SweepReport {
+    /// The report's Chrome/Perfetto trace document (one track per
+    /// worker).
+    pub fn chrome_trace(&self) -> String {
+        let mut tracks: Vec<(u64, String)> = Vec::new();
+        for s in &self.spans {
+            if !tracks.iter().any(|(t, _)| *t == s.track) {
+                tracks.push((s.track, format!("worker-{}", s.track)));
+            }
+        }
+        tracks.sort_by_key(|(t, _)| *t);
+        spans_to_chrome_json("unxpec-sweep", &tracks, &self.spans)
+    }
+
+    /// The report's counters and trial-duration histogram as a
+    /// [`MetricsRegistry`] (for `--metrics-out`).
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.inc(
+            "sweep.trials_total",
+            self.results.len() as u64 + self.poisoned.len() as u64,
+        );
+        m.inc("sweep.trials_resumed", self.resumed as u64);
+        m.inc("sweep.trials_poisoned", self.poisoned.len() as u64);
+        m.inc("sweep.pool.jobs", self.stats.jobs as u64);
+        m.inc("sweep.pool.executed", self.stats.executed);
+        m.inc("sweep.pool.stolen", self.stats.stolen);
+        m.inc("sweep.pool.retried", self.stats.retried);
+        m.inc("sweep.pool.panicked", self.stats.panicked);
+        m.inc("sweep.pool.max_queue_depth", self.stats.max_queue_depth);
+        m.inc("sweep.pool.busy_us", self.stats.busy_us);
+        m.inc("sweep.pool.wall_us", self.stats.wall_us);
+        m.inc(
+            "sweep.pool.utilization_millipct",
+            (self.stats.utilization() * 100_000.0) as u64,
+        );
+        for t in &self.spans {
+            m.observe("sweep.trial_duration_us", t.dur_us);
+        }
+        m
+    }
+}
+
+impl std::fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sweep {:#018x} — {} trial(s), {} resumed, {} poisoned",
+            self.spec_digest,
+            self.results.len() + self.poisoned.len(),
+            self.resumed,
+            self.poisoned.len()
+        )?;
+        writeln!(
+            f,
+            "pool: {} job(s), {} stolen, {} retried, utilization {:.0}%, wall {:.1} ms",
+            self.stats.jobs,
+            self.stats.stolen,
+            self.stats.retried,
+            self.stats.utilization() * 100.0,
+            self.stats.wall_us as f64 / 1000.0
+        )?;
+        let mut cell = (String::new(), String::new());
+        for a in &self.aggregates {
+            if (a.experiment.clone(), a.variant.clone()) != cell {
+                cell = (a.experiment.clone(), a.variant.clone());
+                writeln!(f, "{}/{}:", a.experiment, a.variant)?;
+            }
+            writeln!(
+                f,
+                "  {:<28} mean {:>12.4}  std {:>10.4}  min {:>12.4}  max {:>12.4}  n {}",
+                a.metric,
+                a.summary.mean,
+                a.summary.std_dev,
+                a.summary.min,
+                a.summary.max,
+                a.summary.n
+            )?;
+        }
+        for p in &self.poisoned {
+            writeln!(
+                f,
+                "POISONED {} after {} attempt(s): {}",
+                p.key, p.attempts, p.error
+            )?;
+        }
+        writeln!(f, "aggregate digest {:#018x}", self.aggregate_digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::FnExperiment;
+
+    fn toy_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(FnExperiment::new("mul", &["x2", "x3"], |ctx| {
+            let factor = if ctx.variant == "x2" { 2 } else { 3 };
+            let v = (ctx.seed % 1000) * factor;
+            TrialOutput::new(format!("v={v}"), vec![("v", v as f64)])
+        }));
+        r
+    }
+
+    fn toy_spec() -> SweepSpec {
+        let mut spec = SweepSpec::quick();
+        spec.experiments = vec!["mul".into()];
+        spec.seeds = 4;
+        spec
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let spec = toy_spec();
+        let reg = toy_registry();
+        let serial = run_sweep(
+            &spec,
+            &reg,
+            &SweepOptions {
+                jobs: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let parallel = run_sweep(
+            &spec,
+            &reg,
+            &SweepOptions {
+                jobs: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.aggregate_digest, parallel.aggregate_digest);
+        assert_eq!(serial.aggregates, parallel.aggregates);
+        assert_eq!(serial.results.len(), parallel.results.len());
+        for (a, b) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(a.trial.key, b.trial.key);
+            assert_eq!(a.output, b.output);
+        }
+    }
+
+    #[test]
+    fn aggregates_summarize_the_seed_axis() {
+        let report = run_sweep(&toy_spec(), &toy_registry(), &SweepOptions::default()).unwrap();
+        assert_eq!(report.aggregates.len(), 2); // one metric x two variants
+        let a = &report.aggregates[0];
+        assert_eq!((a.experiment.as_str(), a.variant.as_str()), ("mul", "x2"));
+        assert_eq!(a.summary.n, 4);
+        // The mean is exactly what the identity-derived seeds predict.
+        let expected: Vec<f64> = (0..4)
+            .map(|i| {
+                let seed = unxpec::experiments::seeding::indexed(toy_spec().root_seed, "mul/x2", i);
+                (seed % 1000) as f64 * 2.0
+            })
+            .collect();
+        assert_eq!(a.summary, Summary::of(&expected));
+    }
+
+    #[test]
+    fn report_renders_and_exports() {
+        let report = run_sweep(&toy_spec(), &toy_registry(), &SweepOptions::default()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("mul/x2:"));
+        assert!(text.contains("aggregate digest"));
+        unxpec_telemetry::json::validate(&report.chrome_trace()).expect("trace JSON");
+        let metrics = report.metrics_registry().to_json();
+        assert!(metrics.contains("sweep.pool.executed"));
+    }
+
+    #[test]
+    fn unknown_experiment_is_a_spec_error() {
+        let mut spec = toy_spec();
+        spec.experiments = vec!["ghost".into()];
+        match run_sweep(&spec, &toy_registry(), &SweepOptions::default()) {
+            Err(SweepError::Spec(SpecError::UnknownExperiment(name))) => {
+                assert_eq!(name, "ghost")
+            }
+            other => panic!("expected UnknownExperiment, got {other:?}"),
+        }
+    }
+}

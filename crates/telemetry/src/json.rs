@@ -1,10 +1,11 @@
-//! A minimal JSON syntax checker.
+//! Minimal JSON support: a syntax checker and a document parser.
 //!
 //! The exporters hand-roll their JSON (no serde in this workspace), so
 //! the tests need an independent way to assert the output actually
-//! parses. This is a strict recursive-descent validator for RFC 8259
-//! syntax — it does not build a document tree, it only accepts or
-//! rejects.
+//! parses ([`validate`]), and the sweep harness's checkpoint manifests
+//! need to be read back ([`parse`] / [`Value`]). Both are strict
+//! recursive-descent implementations of RFC 8259 syntax; `validate`
+//! stays allocation-free by only accepting or rejecting.
 
 /// Validates that `s` is one complete JSON value (plus trailing
 /// whitespace). Returns the byte offset and message of the first error.
@@ -174,9 +175,222 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+/// One parsed JSON value.
+///
+/// Numbers are kept as `f64` (integers up to 2^53 round-trip exactly,
+/// which covers every quantity the manifests store; 64-bit digests are
+/// serialized as hex *strings* for this reason).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Object members in document order (duplicate keys preserved).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` into a [`Value`] tree. Returns the first error with its
+/// byte offset, like [`validate`].
+pub fn parse(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            let start = *pos;
+            object(b, pos)?;
+            parse_object(b, start)
+        }
+        Some(b'[') => {
+            let start = *pos;
+            array(b, pos)?;
+            parse_array(b, start)
+        }
+        Some(b'"') => {
+            let start = *pos;
+            string(b, pos)?;
+            Ok(Value::Str(unescape(&b[start + 1..*pos - 1])))
+        }
+        Some(b't') => literal(b, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => literal(b, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'n') => literal(b, pos, b"null").map(|()| Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            number(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos]).expect("validated ASCII number");
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number at byte {start}: {e}"))
+        }
+        Some(_) => Err(format!("unexpected character at byte {pos}")),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+// The two container re-parsers walk the already-validated span again,
+// this time collecting children. Validation first keeps the error paths
+// in one place (the validator) and the collectors panic-free.
+fn parse_object(b: &[u8], start: usize) -> Result<Value, String> {
+    let mut pos = start + 1; // '{'
+    let mut members = Vec::new();
+    skip_ws(b, &mut pos);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(b, &mut pos);
+        let key_start = pos;
+        string(b, &mut pos)?;
+        let key = unescape(&b[key_start + 1..pos - 1]);
+        skip_ws(b, &mut pos);
+        pos += 1; // ':'
+        let v = parse_value(b, &mut pos)?;
+        members.push((key, v));
+        skip_ws(b, &mut pos);
+        match b.get(pos) {
+            Some(b',') => pos += 1,
+            _ => return Ok(Value::Obj(members)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], start: usize) -> Result<Value, String> {
+    let mut pos = start + 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, &mut pos);
+    if b.get(pos) == Some(&b']') {
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, &mut pos)?);
+        skip_ws(b, &mut pos);
+        match b.get(pos) {
+            Some(b',') => pos += 1,
+            _ => return Ok(Value::Arr(items)),
+        }
+    }
+}
+
+/// Decodes the body of a validated JSON string (without its quotes).
+fn unescape(body: &[u8]) -> String {
+    let mut out = String::with_capacity(body.len());
+    let mut i = 0;
+    while i < body.len() {
+        if body[i] == b'\\' {
+            i += 1;
+            match body[i] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hex = std::str::from_utf8(&body[i + 1..i + 5]).expect("validated hex");
+                    let code = u32::from_str_radix(hex, 16).expect("validated hex");
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    i += 4;
+                }
+                _ => unreachable!("validator accepts only known escapes"),
+            }
+            i += 1;
+        } else {
+            // Multi-byte UTF-8 sequences pass through unchanged.
+            let ch_len = utf8_len(body[i]);
+            out.push_str(std::str::from_utf8(&body[i..i + ch_len]).expect("input was valid UTF-8"));
+            i += ch_len;
+        }
+    }
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{escape, parse, validate, Value};
 
     #[test]
     fn accepts_valid_documents() {
@@ -209,5 +423,46 @@ mod tests {
         ] {
             assert!(validate(doc).is_err(), "{doc:?} wrongly accepted");
         }
+    }
+
+    #[test]
+    fn parse_builds_the_tree() {
+        let v = parse(r#"{"a": [1, 2.5, "x\n"], "b": {"c": null, "d": true}}"#).expect("parses");
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_str(),
+            Some("x\n")
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for doc in ["", "{", "[1,]", "{\"a\":}", "[1] trailing"] {
+            assert!(parse(doc).is_err(), "{doc:?} wrongly parsed");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "line1\nline2\t\"quoted\" back\\slash \u{1} é 日本";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        validate(&doc).expect("escaped doc is valid");
+        let v = parse(&doc).expect("parses");
+        assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly_up_to_2_53() {
+        let doc = "[0, 9007199254740992, -3, 0.5]";
+        let v = parse(doc).expect("parses");
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(0));
+        assert_eq!(arr[1].as_u64(), Some(9007199254740992));
+        assert_eq!(arr[2].as_f64(), Some(-3.0));
+        assert_eq!(arr[3].as_u64(), None, "fractions are not u64s");
     }
 }

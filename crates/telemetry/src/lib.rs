@@ -18,8 +18,9 @@
 //! * [`MetricsRegistry`] — named counters and log₂-bucketed
 //!   [`LogHistogram`]s with hand-rolled JSON/CSV export;
 //! * exporters — [`chrome::chrome_trace_json`] (opens in
-//!   `chrome://tracing` / Perfetto), [`timeline::rollback_timeline`]
-//!   (ASCII), and the registry dumps.
+//!   `chrome://tracing` / Perfetto), [`span::spans_to_chrome_json`]
+//!   (host-side spans, e.g. sweep-harness trials),
+//!   [`timeline::rollback_timeline`] (ASCII), and the registry dumps.
 //!
 //! # Example
 //!
@@ -40,10 +41,12 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod probe;
+pub mod span;
 pub mod timeline;
 
 pub use chrome::{chrome_trace_json, rollback_spans, RollbackSpan};
 pub use event::{CacheLevel, Event, Track};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use probe::{CountingProbe, NullProbe, Probe, RingBuffer, Telemetry};
+pub use span::{spans_to_chrome_json, Span};
 pub use timeline::rollback_timeline;

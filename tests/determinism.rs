@@ -40,8 +40,8 @@ fn leakage_render_is_reproducible() {
 
 #[test]
 fn rollback_sweep_is_reproducible() {
-    let a = rollback::run(true, 4, 5);
-    let b = rollback::run(true, 4, 5);
+    let a = rollback::run(true, 4, 5, 0x5eed);
+    let b = rollback::run(true, 4, 5, 0x5eed);
     for (pa, pb) in a.points.iter().zip(&b.points) {
         assert_eq!(pa, pb);
     }
@@ -74,7 +74,7 @@ fn telemetry_event_streams_are_reproducible() {
     // instrumented rounds produce byte-identical event streams and
     // Chrome trace documents.
     let capture = || {
-        let cap = trace::run(false, 1 << 14);
+        let cap = trace::run(false, 1 << 14, 0x5eed);
         (cap.events(), cap.chrome_trace(), cap.cleanup0, cap.cleanup1)
     };
     assert_eq!(capture(), capture());

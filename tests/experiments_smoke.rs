@@ -12,7 +12,7 @@ fn table1_renders() {
 
 #[test]
 fn fig2_fig13_shapes() {
-    let quiet = resolution::run(4);
+    let quiet = resolution::run(4, 0x5eed);
     let noisy = resolution::run_host_like(4, 1);
     for sweep in [&quiet, &noisy] {
         assert!(sweep.mean_for_fn(3) > sweep.mean_for_fn(1) + 100.0);
@@ -23,8 +23,8 @@ fn fig2_fig13_shapes() {
 
 #[test]
 fn fig3_and_fig6_bands() {
-    let no_es = rollback::run(false, 3, 4);
-    let es = rollback::run(true, 3, 4);
+    let no_es = rollback::run(false, 3, 4, 0x5eed);
+    let es = rollback::run(true, 3, 4, 0x5eed);
     let d0 = no_es.single_load_difference();
     let d1 = es.single_load_difference();
     assert!((15.0..=30.0).contains(&d0), "{d0}");

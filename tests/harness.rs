@@ -1,0 +1,203 @@
+//! Integration tests for the sweep harness: parallel-equals-serial
+//! determinism, checkpoint/resume from a manifest, and panic
+//! containment with bounded retry (`docs/harness.md`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use unxpec_harness::{
+    run_sweep, FnExperiment, Manifest, Registry, SweepError, SweepOptions, SweepSpec, TrialOutput,
+};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("unxpec-harness-it-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// jobs=1 and jobs=8 must produce identical results, aggregates, and
+/// digests on real paper experiments — the acceptance property of the
+/// whole harness.
+#[test]
+fn parallel_sweep_equals_serial_sweep_on_real_experiments() {
+    let registry = Registry::builtin();
+    let mut spec = SweepSpec::quick();
+    // timeline is the cheapest seeded experiment with two variants.
+    spec.experiments = vec!["timeline".into(), "secret-pattern".into()];
+    spec.seeds = 3;
+
+    let serial = run_sweep(
+        &spec,
+        &registry,
+        &SweepOptions {
+            jobs: 1,
+            ..Default::default()
+        },
+    )
+    .expect("serial sweep");
+    let parallel = run_sweep(
+        &spec,
+        &registry,
+        &SweepOptions {
+            jobs: 8,
+            ..Default::default()
+        },
+    )
+    .expect("parallel sweep");
+
+    assert_eq!(serial.aggregate_digest, parallel.aggregate_digest);
+    assert_eq!(serial.aggregates, parallel.aggregates);
+    assert_eq!(serial.results.len(), parallel.results.len());
+    for (a, b) in serial.results.iter().zip(&parallel.results) {
+        assert_eq!(a.trial.key, b.trial.key, "enumeration order differs");
+        assert_eq!(a.trial.seed, b.trial.seed, "derived seed differs");
+        assert_eq!(a.output, b.output, "trial {} output differs", a.trial.key);
+        assert_eq!(a.digest, b.digest);
+    }
+    assert!(serial.poisoned.is_empty() && parallel.poisoned.is_empty());
+}
+
+fn counting_registry(runs: Arc<AtomicUsize>) -> Registry {
+    let mut r = Registry::new();
+    r.register(FnExperiment::new("count", &["default"], move |ctx| {
+        runs.fetch_add(1, Ordering::Relaxed);
+        TrialOutput::new(
+            format!("seed {}", ctx.seed),
+            vec![("seed_mod", (ctx.seed % 97) as f64)],
+        )
+    }));
+    r
+}
+
+#[test]
+fn resume_from_manifest_skips_completed_trials() {
+    let dir = tmpdir("resume");
+    let manifest = dir.join("manifest.json");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let registry = counting_registry(runs.clone());
+    let mut spec = SweepSpec::quick();
+    spec.experiments = vec!["count".into()];
+    spec.seeds = 5;
+    let opts = SweepOptions {
+        jobs: 2,
+        retries: 0,
+        manifest: Some(manifest.clone()),
+    };
+
+    let first = run_sweep(&spec, &registry, &opts).expect("first run");
+    assert_eq!(runs.load(Ordering::Relaxed), 5);
+    assert_eq!(first.resumed, 0);
+    assert!(manifest.exists(), "manifest checkpointed");
+
+    // Second run: every trial comes from the manifest, nothing
+    // executes, and the aggregates are byte-identical.
+    let second = run_sweep(&spec, &registry, &opts).expect("resumed run");
+    assert_eq!(runs.load(Ordering::Relaxed), 5, "no trial re-ran");
+    assert_eq!(second.resumed, 5);
+    assert_eq!(second.aggregate_digest, first.aggregate_digest);
+    assert_eq!(second.aggregates, first.aggregates);
+
+    // Growing the seed axis only runs the new trials.
+    spec.seeds = 8;
+    let third = run_sweep(&spec, &registry, &opts).expect("grown run");
+    assert_eq!(runs.load(Ordering::Relaxed), 8, "only 3 new trials ran");
+    assert_eq!(third.resumed, 5);
+    assert_eq!(third.results.len(), 8);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_for_a_different_spec_is_rejected() {
+    let dir = tmpdir("mismatch");
+    let manifest = dir.join("manifest.json");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let registry = counting_registry(runs);
+    let mut spec = SweepSpec::quick();
+    spec.experiments = vec!["count".into()];
+    spec.seeds = 2;
+    let opts = SweepOptions {
+        jobs: 1,
+        retries: 0,
+        manifest: Some(manifest.clone()),
+    };
+    run_sweep(&spec, &registry, &opts).expect("first run");
+
+    spec.root_seed ^= 0xffff;
+    match run_sweep(&spec, &registry, &opts) {
+        Err(SweepError::ManifestMismatch { manifest, spec }) => assert_ne!(manifest, spec),
+        other => panic!("expected ManifestMismatch, got {other:?}"),
+    }
+
+    // The manifest file itself still parses and belongs to run 1.
+    let m = Manifest::load(&manifest).expect("manifest still valid");
+    assert_eq!(m.completed.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_panic_is_contained_and_reported() {
+    let mut registry = Registry::new();
+    registry.register(FnExperiment::new("mixed", &["ok", "boom"], |ctx| {
+        if ctx.variant == "boom" {
+            panic!("injected failure for seed {}", ctx.seed);
+        }
+        TrialOutput::new("fine".into(), vec![("one", 1.0)])
+    }));
+    let mut spec = SweepSpec::quick();
+    spec.experiments = vec!["mixed".into()];
+    spec.seeds = 3;
+    let report = run_sweep(
+        &spec,
+        &registry,
+        &SweepOptions {
+            jobs: 4,
+            retries: 1,
+            manifest: None,
+        },
+    )
+    .expect("sweep survives panicking trials");
+
+    assert_eq!(report.results.len(), 3, "ok trials all completed");
+    assert_eq!(report.poisoned.len(), 3, "boom trials all poisoned");
+    for p in &report.poisoned {
+        assert!(p.key.starts_with("mixed/boom/"), "key {}", p.key);
+        assert!(p.error.contains("injected failure"), "error {}", p.error);
+        assert_eq!(p.attempts, 2, "1 try + 1 retry");
+    }
+    assert_eq!(report.stats.panicked, 6);
+    assert_eq!(report.stats.retried, 3);
+    // The report renders the poisoned trials.
+    let text = report.to_string();
+    assert!(text.contains("POISONED mixed/boom/s0"));
+}
+
+#[test]
+fn flaky_trial_recovers_within_the_retry_budget() {
+    let tries = Arc::new(AtomicUsize::new(0));
+    let mut registry = Registry::new();
+    let tries_in = tries.clone();
+    registry.register(FnExperiment::new("flaky", &["default"], move |_| {
+        if tries_in.fetch_add(1, Ordering::Relaxed) < 2 {
+            panic!("transient fault");
+        }
+        TrialOutput::new("recovered".into(), vec![])
+    }));
+    let mut spec = SweepSpec::quick();
+    spec.experiments = vec!["flaky".into()];
+    spec.seeds = 1;
+    let report = run_sweep(
+        &spec,
+        &registry,
+        &SweepOptions {
+            jobs: 1,
+            retries: 3,
+            manifest: None,
+        },
+    )
+    .expect("sweep");
+    assert!(report.poisoned.is_empty());
+    assert_eq!(report.results[0].attempts, 3);
+    assert_eq!(report.results[0].output.rendered, "recovered");
+}

@@ -28,7 +28,7 @@ fn enabled_telemetry_does_not_perturb_timing() {
 
 #[test]
 fn attack_round_trace_is_valid_chrome_json() {
-    let cap = trace::run(false, 1 << 15);
+    let cap = trace::run(false, 1 << 15, 0x5eed);
     let doc = cap.chrome_trace();
     json::validate(&doc).expect("trace must be valid JSON");
     assert!(doc.contains("\"traceEvents\""));
@@ -42,7 +42,7 @@ fn attack_round_trace_is_valid_chrome_json() {
 
 #[test]
 fn rollback_span_duration_differs_with_the_secret() {
-    let cap = trace::run(false, 1 << 15);
+    let cap = trace::run(false, 1 << 15, 0x5eed);
     // The sender squash's cleanup (single L1 install, paper §IV) shows
     // up only when secret = 1.
     assert!(
@@ -75,7 +75,7 @@ fn rollback_span_duration_differs_with_the_secret() {
 
 #[test]
 fn eviction_sets_add_restorations_to_the_trace() {
-    let cap = trace::run(true, 1 << 15);
+    let cap = trace::run(true, 1 << 15, 0x5eed);
     let restores = cap
         .secret1
         .iter()
@@ -83,14 +83,14 @@ fn eviction_sets_add_restorations_to_the_trace() {
         .count();
     assert!(restores >= 1, "priming the set must force a restoration");
     assert!(
-        cap.cleanup1 > trace::run(false, 1 << 15).cleanup1,
+        cap.cleanup1 > trace::run(false, 1 << 15, 0x5eed).cleanup1,
         "restoration makes the secret-1 rollback longer still"
     );
 }
 
 #[test]
 fn metrics_dumps_are_valid_json_and_cover_the_stack() {
-    let cap = trace::run(false, 1 << 15);
+    let cap = trace::run(false, 1 << 15, 0x5eed);
     let doc = cap.metrics.to_json();
     json::validate(&doc).expect("metrics dump must be valid JSON");
     for key in [
