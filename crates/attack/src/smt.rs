@@ -112,8 +112,7 @@ pub fn prime_probe_against_nomo(prime_lines: usize) -> PrimeProbeOutcome {
     let set = hier.l1_set_of(victim_line);
     let attacker_resident = hier
         .l1d()
-        .set_contents(set)
-        .iter()
+        .set_lines(set)
         .flatten()
         .filter(|m| m.line != victim_line)
         .count();

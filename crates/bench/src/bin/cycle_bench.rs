@@ -1,0 +1,250 @@
+//! Cycle-loop throughput benchmark: simulated cycles per wall-clock
+//! second on the figure-reproduction workloads (see `BENCH.md`,
+//! "Cycle-loop benchmark methodology").
+//!
+//! ```text
+//! cycle_bench [--scale quick|full] [--iters N] [--out BENCH_PR3.json]
+//!             [--baseline <file>] [--max-regression F] [--check]
+//! ```
+//!
+//! Each workload of the SPEC-2017-like suite runs to a fixed committed
+//! instruction count under the unsafe baseline and under CleanupSpec
+//! (the paper's defense, exercising the squash/rollback path). The
+//! simulated outcome is deterministic; only wall time varies, so every
+//! `(workload, scheme)` cell is run `--iters` times and the *best*
+//! wall time is kept (minimum-of-N rejects scheduler noise without
+//! biasing the simulated-cycle numerator, which is identical across
+//! repeats).
+//!
+//! `--baseline <file>` embeds a prior report's aggregate throughput
+//! and the resulting speedup into the emitted JSON; with `--check`,
+//! the process exits non-zero when throughput regressed by more than
+//! `--max-regression` (default 0.25) — the CI bench-smoke gate.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use unxpec::cpu::Core;
+use unxpec::defense::CleanupSpec;
+use unxpec::telemetry::json::{self, escape};
+use unxpec::workloads::{spec2017_like_suite, Workload};
+
+/// One measured `(workload, scheme)` cell.
+struct Cell {
+    workload: &'static str,
+    scheme: &'static str,
+    sim_cycles: u64,
+    wall_us_best: u128,
+}
+
+impl Cell {
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / (self.wall_us_best as f64 / 1e6)
+    }
+}
+
+fn run_cell(w: &Workload, scheme: &'static str, insts: u64, iters: u32) -> Cell {
+    let mut sim_cycles = 0;
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let mut core = Core::table_i();
+        if scheme == "cleanupspec" {
+            core.set_defense(Box::new(CleanupSpec::new()));
+        }
+        w.install(&mut core);
+        let start = Instant::now();
+        let r = core.run_with_milestone(w.program(), None, insts);
+        let wall = start.elapsed().as_micros().max(1);
+        if sim_cycles == 0 {
+            sim_cycles = r.stats.cycles;
+        } else {
+            assert_eq!(sim_cycles, r.stats.cycles, "non-deterministic simulation");
+        }
+        best = best.min(wall);
+    }
+    Cell {
+        workload: w.name(),
+        scheme,
+        sim_cycles,
+        wall_us_best: best,
+    }
+}
+
+fn render_json(
+    scale: &str,
+    insts: u64,
+    iters: u32,
+    cells: &[Cell],
+    baseline: Option<(&str, f64, f64)>,
+) -> String {
+    let total_cycles: u64 = cells.iter().map(|c| c.sim_cycles).sum();
+    let total_us: u128 = cells.iter().map(|c| c.wall_us_best).sum();
+    let aggregate = total_cycles as f64 / (total_us as f64 / 1e6);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"unxpec-cycle-bench-v1\",");
+    let _ = writeln!(out, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(out, "  \"insts_per_workload\": {insts},");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    out.push_str("  \"results\": [");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"workload\": \"{}\", \"scheme\": \"{}\", \"sim_cycles\": {}, \"wall_us\": {}, \"cycles_per_sec\": {:.0}}}",
+            escape(c.workload),
+            escape(c.scheme),
+            c.sim_cycles,
+            c.wall_us_best,
+            c.cycles_per_sec()
+        );
+    }
+    out.push_str("\n  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"aggregate\": {{\"sim_cycles\": {total_cycles}, \"wall_us\": {total_us}, \"cycles_per_sec\": {aggregate:.0}}}{}",
+        if baseline.is_some() { "," } else { "" }
+    );
+    if let Some((path, base_cps, speedup)) = baseline {
+        let _ = writeln!(
+            out,
+            "  \"baseline\": {{\"path\": \"{}\", \"cycles_per_sec\": {base_cps:.0}, \"speedup\": {speedup:.3}}}",
+            escape(path)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn load_baseline_cps(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    let v = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("parse baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    v.get("aggregate")
+        .and_then(|a| a.get("cycles_per_sec"))
+        .and_then(|c| c.as_f64())
+        .unwrap_or_else(|| {
+            eprintln!("baseline {path} has no aggregate.cycles_per_sec");
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let mut scale = "quick".to_string();
+    let mut iters: u32 = 3;
+    let mut out_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression = 0.25_f64;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--check" {
+            check = true;
+            continue;
+        }
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("{arg} needs an argument");
+            std::process::exit(2);
+        });
+        match arg.as_str() {
+            "--scale" => match value.as_str() {
+                "quick" | "full" => scale = value,
+                other => {
+                    eprintln!("--scale must be quick or full, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--iters" => {
+                iters = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--iters needs a positive integer, got {value:?}");
+                    std::process::exit(2);
+                });
+                if iters == 0 {
+                    eprintln!("--iters must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => out_path = Some(PathBuf::from(value)),
+            "--baseline" => baseline_path = Some(value),
+            "--max-regression" => {
+                max_regression = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-regression needs a float, got {value:?}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let insts: u64 = if scale == "full" { 400_000 } else { 80_000 };
+    let suite = spec2017_like_suite();
+    let mut cells = Vec::new();
+    println!(
+        "{:<14} {:<12} {:>12} {:>10} {:>14}",
+        "workload", "scheme", "sim cycles", "wall us", "cycles/sec"
+    );
+    for w in &suite {
+        for scheme in ["unsafe", "cleanupspec"] {
+            let cell = run_cell(w, scheme, insts, iters);
+            println!(
+                "{:<14} {:<12} {:>12} {:>10} {:>14.0}",
+                cell.workload,
+                cell.scheme,
+                cell.sim_cycles,
+                cell.wall_us_best,
+                cell.cycles_per_sec()
+            );
+            cells.push(cell);
+        }
+    }
+    let total_cycles: u64 = cells.iter().map(|c| c.sim_cycles).sum();
+    let total_us: u128 = cells.iter().map(|c| c.wall_us_best).sum();
+    let aggregate = total_cycles as f64 / (total_us as f64 / 1e6);
+    println!(
+        "{:<14} {:<12} {:>12} {:>10} {:>14.0}",
+        "AGGREGATE", "", total_cycles, total_us, aggregate
+    );
+
+    let baseline = baseline_path.as_deref().map(|p| {
+        let base_cps = load_baseline_cps(p);
+        let speedup = aggregate / base_cps;
+        println!("baseline {p}: {base_cps:.0} cycles/sec -> speedup {speedup:.3}x");
+        (p, base_cps, speedup)
+    });
+
+    let body = render_json(&scale, insts, iters, &cells, baseline);
+    if let Some(path) = &out_path {
+        std::fs::write(path, &body).unwrap_or_else(|e| {
+            eprintln!("write {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        println!("(wrote {})", path.display());
+    }
+
+    if check {
+        let Some((p, base_cps, speedup)) = baseline else {
+            eprintln!("--check requires --baseline");
+            std::process::exit(2);
+        };
+        if speedup < 1.0 - max_regression {
+            eprintln!(
+                "REGRESSION: {aggregate:.0} cycles/sec is {:.1}% below baseline {p} ({base_cps:.0}); limit {:.0}%",
+                (1.0 - speedup) * 100.0,
+                max_regression * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("regression check passed ({speedup:.3}x vs {p})");
+    }
+}

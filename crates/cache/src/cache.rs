@@ -5,9 +5,10 @@ use unxpec_mem::LineAddr;
 use crate::ceaser::CeaserMapper;
 use crate::config::CacheConfig;
 use crate::effects::Victim;
+use crate::error::CacheError;
 use crate::line::{CoherenceState, LineMeta, SpecTag};
 use crate::nomo::NomoPartition;
-use crate::replacement::{new_policy, ReplacementPolicy};
+use crate::replacement::PolicyImpl;
 use crate::stats::CacheStats;
 
 /// How the set index is derived from a line address.
@@ -37,17 +38,20 @@ pub struct Cache {
     name: &'static str,
     cfg: CacheConfig,
     ways: Vec<Option<LineMeta>>, // sets * ways, row-major
-    policy: Box<dyn ReplacementPolicy>,
+    policy: PolicyImpl,
     mapper: IndexMapper,
     partition: NomoPartition,
     stats: CacheStats,
+    /// Valid-line count, maintained incrementally by every slot
+    /// mutation so occupancy queries never rescan the tag array.
+    resident: usize,
 }
 
 impl Cache {
     /// Builds a conventionally indexed cache (L1 style).
     pub fn new(name: &'static str, cfg: CacheConfig, partition: NomoPartition, seed: u64) -> Self {
         cfg.validate();
-        let policy = new_policy(cfg.replacement, cfg.sets, cfg.ways, seed);
+        let policy = PolicyImpl::new(cfg.replacement, cfg.sets, cfg.ways, seed);
         Cache {
             name,
             ways: vec![None; cfg.sets * cfg.ways],
@@ -55,6 +59,7 @@ impl Cache {
             mapper: IndexMapper::Modulo,
             partition,
             stats: CacheStats::default(),
+            resident: 0,
             cfg,
         }
     }
@@ -68,7 +73,7 @@ impl Cache {
     ) -> Self {
         cfg.validate();
         let ways = cfg.ways;
-        let policy = new_policy(cfg.replacement, cfg.sets, ways, seed);
+        let policy = PolicyImpl::new(cfg.replacement, cfg.sets, ways, seed);
         Cache {
             name,
             ways: vec![None; cfg.sets * cfg.ways],
@@ -76,6 +81,7 @@ impl Cache {
             mapper: IndexMapper::Ceaser(CeaserMapper::new(ceaser_seed, cfg.sets)),
             partition: NomoPartition::disabled(ways),
             stats: CacheStats::default(),
+            resident: 0,
             cfg,
         }
     }
@@ -106,13 +112,21 @@ impl Cache {
         &mut self.ways[set * self.cfg.ways + way]
     }
 
+    /// The slots of `set`, in way order (a contiguous row of the flat
+    /// tag array, so the scan is a single bounds check plus a linear
+    /// walk).
+    fn set_slots(&self, set: usize) -> &[Option<LineMeta>] {
+        let base = set * self.cfg.ways;
+        &self.ways[base..base + self.cfg.ways]
+    }
+
     /// Finds `line` without touching replacement state or stats.
     pub fn probe(&self, line: LineAddr) -> Option<(usize, usize)> {
         let set = self.set_index(line);
-        (0..self.cfg.ways).find_map(|way| match self.slot(set, way) {
-            Some(meta) if meta.line == line => Some((set, way)),
-            _ => None,
-        })
+        self.set_slots(set)
+            .iter()
+            .position(|slot| matches!(slot, Some(meta) if meta.line == line))
+            .map(|way| (set, way))
     }
 
     /// Whether `line` is resident.
@@ -164,7 +178,7 @@ impl Cache {
             .find(|&w| self.slot(set, w).is_none())
         {
             Some(invalid_way) => invalid_way,
-            None => self.policy.choose_victim(set, &allowed),
+            None => self.policy.choose_victim(set, allowed),
         };
         let victim = self.slot(set, way).map(|old| {
             self.stats.evictions += 1;
@@ -177,6 +191,9 @@ impl Cache {
                 was_speculative: old.spec.is_some(),
             }
         });
+        if victim.is_none() {
+            self.resident += 1;
+        }
         *self.slot_mut(set, way) = Some(meta);
         self.policy.on_access(set, way);
         InsertOutcome { set, way, victim }
@@ -195,12 +212,13 @@ impl Cache {
             set < self.cfg.sets && way < self.cfg.ways,
             "slot out of range"
         );
-        if let Some(existing) = self.slot(set, way) {
-            assert_eq!(
+        match self.slot(set, way) {
+            Some(existing) => assert_eq!(
                 existing.line, meta.line,
                 "{}: restoring over a different resident line",
                 self.name
-            );
+            ),
+            None => self.resident += 1,
         }
         self.stats.restores += 1;
         *self.slot_mut(set, way) = Some(meta);
@@ -211,6 +229,7 @@ impl Cache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<(usize, usize, LineMeta)> {
         let (set, way) = self.probe(line)?;
         let meta = self.slot_mut(set, way).take().expect("probed valid");
+        self.resident -= 1;
         self.stats.invalidations += 1;
         if meta.state.is_dirty() {
             self.stats.writebacks += 1;
@@ -270,9 +289,17 @@ impl Cache {
         self.stats.reset();
     }
 
-    /// Number of valid lines currently resident.
+    /// Number of valid lines currently resident. O(1): the count is
+    /// maintained incrementally by insert/invalidate/flush rather than
+    /// rescanning the sets×ways tag array.
     pub fn resident_count(&self) -> usize {
-        self.ways.iter().filter(|w| w.is_some()).count()
+        debug_assert_eq!(
+            self.resident,
+            self.ways.iter().filter(|w| w.is_some()).count(),
+            "{}: occupancy counter drifted from the tag array",
+            self.name
+        );
+        self.resident
     }
 
     /// The line currently held in `(set, way)`, if any.
@@ -288,9 +315,27 @@ impl Cache {
         self.slot(set, way).map(|m| m.line)
     }
 
-    /// Lines resident in `set`, in way order.
-    pub fn set_contents(&self, set: usize) -> Vec<Option<LineMeta>> {
-        (0..self.cfg.ways).map(|w| *self.slot(set, w)).collect()
+    /// The slots of `set` in way order, without copying the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set_lines(&self, set: usize) -> impl Iterator<Item = Option<LineMeta>> + '_ {
+        assert!(set < self.cfg.sets, "set out of range");
+        self.set_slots(set).iter().copied()
+    }
+
+    /// Copies the slots of `set` into `buf` (cleared first), so callers
+    /// that need an owned snapshot can reuse one scratch buffer across
+    /// calls instead of allocating a fresh `Vec` per set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn read_set_into(&self, set: usize, buf: &mut Vec<Option<LineMeta>>) {
+        assert!(set < self.cfg.sets, "set out of range");
+        buf.clear();
+        buf.extend_from_slice(self.set_slots(set));
     }
 
     /// Drops every resident line (used by CEASER remap, which must migrate
@@ -301,19 +346,24 @@ impl Cache {
                 self.stats.invalidations += 1;
             }
         }
+        self.resident = 0;
     }
 
     /// Re-keys the CEASER mapping and flushes residents.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if this cache is not CEASER-indexed.
-    pub fn remap(&mut self, seed: u64) {
+    /// Returns [`CacheError::RemapUnsupported`] (leaving contents and
+    /// mapping untouched) if this cache is not CEASER-indexed; a remap
+    /// of a modulo-indexed cache is a configuration bug the caller must
+    /// surface, not a reason to take down a sweep worker.
+    pub fn remap(&mut self, seed: u64) -> Result<(), CacheError> {
         match &mut self.mapper {
             IndexMapper::Ceaser(m) => m.remap(seed),
-            IndexMapper::Modulo => panic!("{}: remap on a non-randomized cache", self.name),
+            IndexMapper::Modulo => return Err(CacheError::RemapUnsupported { cache: self.name }),
         }
         self.flush_all();
+        Ok(())
     }
 }
 
@@ -408,8 +458,8 @@ mod tests {
             c.insert(LineMeta::clean(LineAddr::new(i * 2)), 1);
         }
         // Way 0 of both sets must still be empty.
-        assert!(c.set_contents(0)[0].is_none());
-        assert!(c.set_contents(1)[0].is_none());
+        assert!(c.slot_line(0, 0).is_none());
+        assert!(c.slot_line(1, 0).is_none());
     }
 
     #[test]
@@ -469,7 +519,56 @@ mod tests {
         };
         let mut c = Cache::new_randomized("l2", cfg, 0, 1);
         c.insert(LineMeta::clean(LineAddr::new(5)), 0);
-        c.remap(99);
+        c.remap(99).expect("randomized cache remaps");
         assert_eq!(c.resident_count(), 0);
+    }
+
+    #[test]
+    fn remap_on_modulo_cache_is_a_typed_error() {
+        let mut c = small_cache();
+        let line = LineAddr::new(3);
+        c.insert(LineMeta::clean(line), 0);
+        let err = c.remap(7).expect_err("modulo cache must refuse");
+        assert_eq!(err, CacheError::RemapUnsupported { cache: "t" });
+        // The refusal leaves contents untouched.
+        assert!(c.contains(line));
+        assert_eq!(c.resident_count(), 1);
+    }
+
+    #[test]
+    fn occupancy_counter_tracks_every_mutation() {
+        let mut c = small_cache();
+        assert_eq!(c.resident_count(), 0);
+        // Fill beyond capacity of one set: evictions keep the count flat.
+        for i in 0..3 {
+            c.insert(LineMeta::clean(LineAddr::new(i * 4)), 0);
+        }
+        assert_eq!(c.resident_count(), 2);
+        let (set, way, _) = c.invalidate(LineAddr::new(8)).expect("resident");
+        assert_eq!(c.resident_count(), 1);
+        // Restore into the vacated slot counts back up; restoring over
+        // the same line again does not double-count.
+        c.insert_at(set, way, LineMeta::clean(LineAddr::new(8)));
+        assert_eq!(c.resident_count(), 2);
+        c.insert_at(set, way, LineMeta::clean(LineAddr::new(8)));
+        assert_eq!(c.resident_count(), 2);
+        c.flush_all();
+        assert_eq!(c.resident_count(), 0);
+    }
+
+    #[test]
+    fn set_lines_matches_slot_view() {
+        let mut c = small_cache();
+        c.insert(LineMeta::clean(LineAddr::new(0)), 0);
+        c.insert(LineMeta::clean(LineAddr::new(4)), 0);
+        let row: Vec<Option<LineAddr>> = c.set_lines(0).map(|m| m.map(|m| m.line)).collect();
+        assert_eq!(row.len(), 2);
+        for (way, line) in row.iter().enumerate() {
+            assert_eq!(*line, c.slot_line(0, way));
+        }
+        let mut scratch = vec![None; 99];
+        c.read_set_into(0, &mut scratch);
+        assert_eq!(scratch.len(), 2);
+        assert_eq!(scratch[0].map(|m| m.line), row[0]);
     }
 }

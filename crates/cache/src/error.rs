@@ -1,0 +1,41 @@
+//! Typed cache-layer errors.
+//!
+//! Library code must not panic on recoverable misuse: under the sweep
+//! harness a panic poisons a whole worker and burns a retry, so
+//! operations that can legitimately be refused (like remapping a
+//! conventionally indexed cache) report a typed error the caller can
+//! route into a trial failure instead.
+
+/// An operation a cache level refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// `remap` was called on a cache without a keyed index mapper
+    /// (CEASER remaps are only meaningful on randomized caches).
+    RemapUnsupported {
+        /// Display name of the cache that refused.
+        cache: &'static str,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::RemapUnsupported { cache } => {
+                write!(f, "{cache}: remap on a non-randomized cache")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cache() {
+        let e = CacheError::RemapUnsupported { cache: "L1D" };
+        assert_eq!(e.to_string(), "L1D: remap on a non-randomized cache");
+    }
+}

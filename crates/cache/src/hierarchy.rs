@@ -539,6 +539,20 @@ impl CacheHierarchy {
         self.prefetch_fills
     }
 
+    /// Re-keys the L2's CEASER mapping (periodic remap of a randomized
+    /// cache), flushing its residents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::RemapUnsupported`] when the hierarchy was
+    /// built without CEASER indexing (`ceaser_enabled: false`) — the L2
+    /// then has no key to rotate, and the caller (an experiment driver
+    /// or sweep trial) must treat the request as a configuration error
+    /// rather than dying in a panic that would poison a pool worker.
+    pub fn remap_l2(&mut self, seed: u64) -> Result<(), crate::error::CacheError> {
+        self.l2.remap(seed)
+    }
+
     /// Resets all counters (not contents).
     pub fn reset_stats(&mut self) {
         self.l1d.reset_stats();
@@ -568,6 +582,36 @@ mod tests {
 
     fn hier() -> CacheHierarchy {
         CacheHierarchy::new(HierarchyConfig::table_i(), 1)
+    }
+
+    #[test]
+    fn remap_l2_rotates_the_ceaser_key() {
+        let mut h = hier(); // Table I enables CEASER in the L2
+        let line = LineAddr::new(0x2468);
+        h.access_data(line, 0, None);
+        assert!(h.l2_contains(line));
+        let before: Vec<usize> = (0..64u64).map(|i| h.l2_set_of(LineAddr::new(i))).collect();
+        h.remap_l2(0x5eed).expect("CEASER L2 remaps");
+        assert!(!h.l2_contains(line), "remap flushes residents");
+        let after: Vec<usize> = (0..64u64).map(|i| h.l2_set_of(LineAddr::new(i))).collect();
+        assert_ne!(before, after, "new key must change the index mapping");
+    }
+
+    #[test]
+    fn remap_l2_without_ceaser_is_a_typed_error() {
+        let cfg = HierarchyConfig {
+            ceaser_enabled: false,
+            ..HierarchyConfig::table_i()
+        };
+        let mut h = CacheHierarchy::new(cfg, 1);
+        let line = LineAddr::new(0x2468);
+        h.access_data(line, 0, None);
+        let err = h.remap_l2(1).expect_err("plain L2 must refuse remap");
+        assert_eq!(
+            err,
+            crate::error::CacheError::RemapUnsupported { cache: "L2" }
+        );
+        assert!(h.l2_contains(line), "refused remap leaves contents alone");
     }
 
     #[test]

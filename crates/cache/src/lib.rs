@@ -38,6 +38,7 @@ mod cache;
 mod ceaser;
 mod config;
 mod effects;
+mod error;
 mod hierarchy;
 mod line;
 mod mshr;
@@ -50,13 +51,14 @@ pub use cache::{Cache, InsertOutcome};
 pub use ceaser::CeaserMapper;
 pub use config::{CacheConfig, HierarchyConfig};
 pub use effects::{AccessOutcome, Effect, ExternalProbe, HitLevel, Victim};
+pub use error::CacheError;
 pub use hierarchy::CacheHierarchy;
 pub use line::{CoherenceState, LineMeta, SpecTag};
 pub use mshr::{MshrEntry, MshrFile};
 pub use noise::NoiseModel;
 pub use nomo::NomoPartition;
 pub use replacement::{
-    LruPolicy, RandomPolicy, ReplacementKind, ReplacementPolicy, TreePlruPolicy,
+    new_policy, LruPolicy, RandomPolicy, ReplacementKind, ReplacementPolicy, TreePlruPolicy,
 };
 pub use stats::CacheStats;
 

@@ -8,11 +8,18 @@
 //! exactly that.
 
 /// Way partition of a set-associative cache between hardware threads.
+///
+/// The per-thread allowed-way lists are precomputed at construction:
+/// [`NomoPartition::allowed_ways`] sits on the cache fill path (every
+/// miss consults it), so it hands out a borrowed slice instead of
+/// rebuilding a `Vec` per fill.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NomoPartition {
     ways: usize,
     reserved: usize,
     threads: usize,
+    /// `allowed[t]` = the ways thread `t` may allocate into.
+    allowed: Vec<Vec<usize>>,
 }
 
 impl NomoPartition {
@@ -28,10 +35,18 @@ impl NomoPartition {
             reserved * threads <= ways,
             "reserved ways ({reserved} x {threads}) exceed associativity ({ways})"
         );
+        let allowed = (0..threads)
+            .map(|t| {
+                let mut w: Vec<usize> = (t * reserved..(t + 1) * reserved).collect();
+                w.extend(reserved * threads..ways);
+                w
+            })
+            .collect();
         NomoPartition {
             ways,
             reserved,
             threads,
+            allowed,
         }
     }
 
@@ -41,6 +56,7 @@ impl NomoPartition {
             ways,
             reserved: 0,
             threads: 1,
+            allowed: vec![(0..ways).collect()],
         }
     }
 
@@ -56,14 +72,12 @@ impl NomoPartition {
     ///
     /// Panics if `thread` is out of range while partitioning is active
     /// (a disabled partition accepts any thread).
-    pub fn allowed_ways(&self, thread: usize) -> Vec<usize> {
+    pub fn allowed_ways(&self, thread: usize) -> &[usize] {
         if self.reserved == 0 {
-            return (0..self.ways).collect();
+            return &self.allowed[0];
         }
         assert!(thread < self.threads, "thread {thread} out of range");
-        let mut ways: Vec<usize> = (thread * self.reserved..(thread + 1) * self.reserved).collect();
-        ways.extend(self.reserved * self.threads..self.ways);
-        ways
+        &self.allowed[thread]
     }
 
     /// Whether `thread` may evict the line currently held in `way`.

@@ -51,6 +51,49 @@ pub fn new_policy(
     }
 }
 
+/// Closed-set policy dispatch for the cache's own hot path.
+///
+/// `Cache::access` touches replacement state on every hit; routing that
+/// through `Box<dyn ReplacementPolicy>` costs an indirect call per
+/// access that the optimizer cannot see through. The enum devirtualizes
+/// it: the match inlines, and the default [`RandomPolicy`]'s empty
+/// `on_access` disappears entirely. The trait stays public for
+/// standalone policy experiments; the simulator's caches use this.
+#[derive(Debug)]
+pub(crate) enum PolicyImpl {
+    Random(RandomPolicy),
+    Lru(LruPolicy),
+    TreePlru(TreePlruPolicy),
+}
+
+impl PolicyImpl {
+    pub(crate) fn new(kind: ReplacementKind, sets: usize, ways: usize, seed: u64) -> Self {
+        match kind {
+            ReplacementKind::Random => PolicyImpl::Random(RandomPolicy::new(seed)),
+            ReplacementKind::Lru => PolicyImpl::Lru(LruPolicy::new(sets, ways)),
+            ReplacementKind::TreePlru => PolicyImpl::TreePlru(TreePlruPolicy::new(sets, ways)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_access(&mut self, set: usize, way: usize) {
+        match self {
+            PolicyImpl::Random(_) => {}
+            PolicyImpl::Lru(p) => p.on_access(set, way),
+            PolicyImpl::TreePlru(p) => p.on_access(set, way),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn choose_victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        match self {
+            PolicyImpl::Random(p) => p.choose_victim(set, candidates),
+            PolicyImpl::Lru(p) => p.choose_victim(set, candidates),
+            PolicyImpl::TreePlru(p) => p.choose_victim(set, candidates),
+        }
+    }
+}
+
 /// Uniformly random replacement, as CleanupSpec requires for the L1.
 #[derive(Debug)]
 pub struct RandomPolicy {

@@ -144,9 +144,8 @@ proptest! {
         // The other thread's reserved ways must still be empty.
         let other = 1 - thread;
         for set in 0..8 {
-            let contents = cache.set_contents(set);
-            for (way, slot) in contents
-                .iter()
+            for (way, slot) in cache
+                .set_lines(set)
                 .enumerate()
                 .take((other + 1) * 2)
                 .skip(other * 2)

@@ -61,6 +61,13 @@ impl RunResult {
 }
 
 /// A speculation frame: one unresolved conditional branch.
+///
+/// Frames are pooled by the [`Core`] and recycled across branches: the
+/// struct is ~600 bytes of checkpoint state plus two effect buffers, so
+/// allocating (and memmoving) one per branch dominated the cycle loop.
+/// Pooled frames live in `Box`es — pushing one into the open-frame
+/// stack moves a pointer, not the checkpoint arrays — and their effect
+/// buffers keep their capacity from squash to squash.
 #[derive(Debug)]
 struct Frame {
     epoch: SpecTag,
@@ -79,8 +86,66 @@ struct Frame {
     /// `(seq, line)` of invisible-policy speculative loads (filled only
     /// at commit).
     spec_lines: Vec<(u64, unxpec_mem::LineAddr)>,
-    loads: usize,
-    insts: usize,
+    /// Run-wide load/instruction counts when the frame opened. The
+    /// frame's own totals are derived by subtraction at squash time, so
+    /// dispatch never walks the open-frame stack to bump counters.
+    loads_at_open: u64,
+    insts_at_open: u64,
+}
+
+impl Frame {
+    /// A blank frame for the pool.
+    fn blank() -> Self {
+        Frame {
+            epoch: SpecTag(0),
+            branch_pc: 0,
+            dispatch_cycle: 0,
+            resolve_cycle: 0,
+            mispredicted: false,
+            correct_pc: 0,
+            ckpt_regs: [0; NUM_REGS],
+            ckpt_avail: [0; NUM_REGS],
+            ckpt_last_complete: 0,
+            ckpt_last_mem: 0,
+            open_seq: 0,
+            effects: Vec::new(),
+            spec_lines: Vec::new(),
+            loads_at_open: 0,
+            insts_at_open: 0,
+        }
+    }
+
+    /// Re-arms a pooled frame for a new unresolved branch, snapshotting
+    /// the architectural checkpoint from `st`. The effect buffers are
+    /// cleared but keep their capacity.
+    #[allow(clippy::too_many_arguments)]
+    fn arm(
+        &mut self,
+        st: &Exec,
+        epoch: SpecTag,
+        branch_pc: PcIndex,
+        dispatch_cycle: Cycle,
+        resolve_cycle: Cycle,
+        mispredicted: bool,
+        correct_pc: PcIndex,
+        open_seq: u64,
+    ) {
+        self.epoch = epoch;
+        self.branch_pc = branch_pc;
+        self.dispatch_cycle = dispatch_cycle;
+        self.resolve_cycle = resolve_cycle;
+        self.mispredicted = mispredicted;
+        self.correct_pc = correct_pc;
+        self.ckpt_regs = st.regs;
+        self.ckpt_avail = st.avail;
+        self.ckpt_last_complete = st.last_complete;
+        self.ckpt_last_mem = st.last_mem;
+        self.open_seq = open_seq;
+        self.effects.clear();
+        self.spec_lines.clear();
+        self.loads_at_open = st.loads_issued;
+        self.insts_at_open = st.dispatched();
+    }
 }
 
 /// The simulated machine: core + caches + memory + predictor + defense.
@@ -103,6 +168,21 @@ pub struct Core {
     next_seq: u64,
     tracing: bool,
     telemetry: Telemetry,
+    /// Recycled speculation frames (see [`Frame`]); popped on branch
+    /// dispatch, pushed back on resolve/squash. The boxing is the
+    /// point (not `clippy::vec_box` noise): moving a frame between the
+    /// pool and the open-frame stack must move a pointer, not ~600
+    /// bytes of checkpoint arrays.
+    #[allow(clippy::vec_box)]
+    frame_pool: Vec<Box<Frame>>,
+    /// Open-frame stack storage, reused across runs.
+    #[allow(clippy::vec_box)]
+    frames_storage: Vec<Box<Frame>>,
+    /// ROB release-cycle queue storage, reused across runs.
+    rob_storage: std::collections::VecDeque<Cycle>,
+    /// Scratch effect list handed to the defense on squash/commit;
+    /// reused so steady-state squashes allocate nothing.
+    effects_scratch: Vec<Effect>,
 }
 
 impl Core {
@@ -123,7 +203,24 @@ impl Core {
             next_seq: 1,
             tracing: false,
             telemetry: Telemetry::disabled(),
+            frame_pool: Vec::new(),
+            frames_storage: Vec::new(),
+            rob_storage: std::collections::VecDeque::new(),
+            effects_scratch: Vec::new(),
         }
+    }
+
+    /// Returns `frame` to the pool, dropping its per-branch contents but
+    /// keeping the effect buffers' capacity.
+    fn recycle_frame(&mut self, frame: Box<Frame>) {
+        self.frame_pool.push(frame);
+    }
+
+    /// A frame from the pool (or a fresh one while the pool warms up).
+    fn take_frame(&mut self) -> Box<Frame> {
+        self.frame_pool
+            .pop()
+            .unwrap_or_else(|| Box::new(Frame::blank()))
     }
 
     /// Table-I machine with the default configuration everywhere.
@@ -267,15 +364,19 @@ impl Core {
             last_complete: start_cycle,
             last_mem: start_cycle,
             fence_floor: start_cycle,
-            frames: Vec::new(),
-            rob: std::collections::VecDeque::new(),
+            frames: std::mem::take(&mut self.frames_storage),
+            rob: std::mem::take(&mut self.rob_storage),
             load_issue_cycle: 0,
             loads_in_cycle: 0,
+            loads_issued: 0,
             stats: RunStats::default(),
             hit_limit: false,
             trace: if self.tracing { Some(Vec::new()) } else { None },
             trace_seq: 0,
             tel_seq: 0,
+            earliest_resolve: None,
+            mispredict_frames: 0,
+            earliest_mispredict: None,
         };
 
         loop {
@@ -347,6 +448,15 @@ impl Core {
         let end = st.cur_cycle.max(st.last_complete);
         st.stats.cycles = end - start_cycle;
         self.clock = end + 1;
+        // Hand the run's scratch structures back for the next run:
+        // frames still open at a limit-bounded exit go to the pool, and
+        // the (now empty) stack and ROB queue keep their capacity.
+        while let Some(frame) = st.frames.pop() {
+            self.frame_pool.push(frame);
+        }
+        self.frames_storage = st.frames;
+        st.rob.clear();
+        self.rob_storage = st.rob;
         RunResult {
             stats: st.stats,
             regs: st.regs,
@@ -362,9 +472,6 @@ impl Core {
             st.stats.squashed_insts += 1;
         } else {
             st.stats.committed_insts += 1;
-        }
-        for f in &mut st.frames {
-            f.insts += 1;
         }
         let squash_at = st.earliest_mispredict_resolve();
         self.telemetry.emit(Event::Dispatch {
@@ -486,13 +593,15 @@ impl Core {
                     }
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    for f in &mut st.frames {
-                        f.loads += 1;
-                        for e in &outcome.effects {
-                            f.effects.push((seq, *e));
-                        }
-                        if let Some(line) = deferred_line {
-                            f.spec_lines.push((seq, line));
+                    st.loads_issued += 1;
+                    if !outcome.effects.is_empty() || deferred_line.is_some() {
+                        for f in &mut st.frames {
+                            for e in &outcome.effects {
+                                f.effects.push((seq, *e));
+                            }
+                            if let Some(line) = deferred_line {
+                                f.spec_lines.push((seq, line));
+                            }
                         }
                     }
                 }
@@ -567,23 +676,19 @@ impl Core {
                 let followed_pc = if predicted { target } else { st.pc + 1 };
                 let epoch = SpecTag(self.next_epoch);
                 self.next_epoch += 1;
-                st.frames.push(Frame {
+                let mut frame = self.take_frame();
+                frame.arm(
+                    st,
                     epoch,
-                    branch_pc: st.pc,
-                    dispatch_cycle: d,
-                    resolve_cycle: resolve,
-                    mispredicted: predicted != actual,
+                    st.pc,
+                    d,
+                    resolve,
+                    predicted != actual,
                     correct_pc,
-                    ckpt_regs: st.regs,
-                    ckpt_avail: st.avail,
-                    ckpt_last_complete: st.last_complete,
-                    ckpt_last_mem: st.last_mem,
-                    open_seq: self.next_seq,
-                    effects: Vec::new(),
-                    spec_lines: Vec::new(),
-                    loads: 0,
-                    insts: 0,
-                });
+                    self.next_seq,
+                );
+                st.frames.push(frame);
+                st.refresh_frame_cache();
                 complete = resolve;
                 st.pc = followed_pc;
             }
@@ -603,23 +708,19 @@ impl Core {
                 }
                 let epoch = SpecTag(self.next_epoch);
                 self.next_epoch += 1;
-                st.frames.push(Frame {
+                let mut frame = self.take_frame();
+                frame.arm(
+                    st,
                     epoch,
-                    branch_pc: st.pc,
-                    dispatch_cycle: d,
-                    resolve_cycle: resolve,
-                    mispredicted: predicted != actual,
-                    correct_pc: actual,
-                    ckpt_regs: st.regs,
-                    ckpt_avail: st.avail,
-                    ckpt_last_complete: st.last_complete,
-                    ckpt_last_mem: st.last_mem,
-                    open_seq: self.next_seq,
-                    effects: Vec::new(),
-                    spec_lines: Vec::new(),
-                    loads: 0,
-                    insts: 0,
-                });
+                    st.pc,
+                    d,
+                    resolve,
+                    predicted != actual,
+                    actual,
+                    self.next_seq,
+                );
+                st.frames.push(frame);
+                st.refresh_frame_cache();
                 complete = resolve;
                 st.pc = predicted;
             }
@@ -683,31 +784,29 @@ impl Core {
                     }
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    for f in &mut st.frames {
-                        f.loads += 1;
-                        for e in &outcome.effects {
-                            f.effects.push((seq, *e));
+                    st.loads_issued += 1;
+                    if !outcome.effects.is_empty() {
+                        for f in &mut st.frames {
+                            for e in &outcome.effects {
+                                f.effects.push((seq, *e));
+                            }
                         }
                     }
                     let epoch = SpecTag(self.next_epoch);
                     self.next_epoch += 1;
-                    st.frames.push(Frame {
+                    let mut frame = self.take_frame();
+                    frame.arm(
+                        st,
                         epoch,
-                        branch_pc: st.pc,
-                        dispatch_cycle: d,
-                        resolve_cycle: resolve,
-                        mispredicted: predicted != actual,
-                        correct_pc: actual,
-                        ckpt_regs: st.regs,
-                        ckpt_avail: st.avail,
-                        ckpt_last_complete: st.last_complete,
-                        ckpt_last_mem: st.last_mem,
-                        open_seq: self.next_seq,
-                        effects: Vec::new(),
-                        spec_lines: Vec::new(),
-                        loads: 0,
-                        insts: 0,
-                    });
+                        st.pc,
+                        d,
+                        resolve,
+                        predicted != actual,
+                        actual,
+                        self.next_seq,
+                    );
+                    st.frames.push(frame);
+                    st.refresh_frame_cache();
                     complete = resolve;
                     st.pc = predicted;
                 }
@@ -744,11 +843,15 @@ impl Core {
     fn resolve_frame(&mut self, st: &mut Exec, idx: usize) {
         if !st.frames[idx].mispredicted {
             let frame = st.frames.remove(idx);
+            st.refresh_frame_cache();
             st.stall_to(frame.resolve_cycle);
             if st.frames.is_empty() {
                 if !frame.effects.is_empty() {
-                    let effects: Vec<Effect> = frame.effects.iter().map(|(_, e)| *e).collect();
-                    self.defense.on_commit_epoch(&mut self.hier, &effects);
+                    self.effects_scratch.clear();
+                    self.effects_scratch
+                        .extend(frame.effects.iter().map(|(_, e)| *e));
+                    self.defense
+                        .on_commit_epoch(&mut self.hier, &self.effects_scratch);
                 }
                 // Invisible-policy loads expose their data now: the
                 // buffered fills become architectural.
@@ -756,18 +859,29 @@ impl Core {
                     self.hier.access_data(*line, frame.resolve_cycle, None);
                 }
             }
+            self.recycle_frame(frame);
             return;
         }
 
-        // Mis-speculation: squash this frame and everything younger.
-        let younger = st.frames.split_off(idx);
-        let frame = younger.into_iter().next().expect("frame at idx");
+        // Mis-speculation: squash this frame and everything younger
+        // (draining in place — no tail Vec is split off).
+        let mut drained = st.frames.drain(idx..);
+        let frame = drained.next().expect("frame at idx");
+        for younger in drained {
+            self.frame_pool.push(younger);
+        }
+        st.refresh_frame_cache();
         let resolve = frame.resolve_cycle;
-        let effects: Vec<Effect> = frame.effects.iter().map(|(_, e)| *e).collect();
+        self.effects_scratch.clear();
+        self.effects_scratch
+            .extend(frame.effects.iter().map(|(_, e)| *e));
         let open_seq = frame.open_seq;
+        let squashed_loads = (st.loads_issued - frame.loads_at_open) as usize;
+        let squashed_insts = (st.dispatched() - frame.insts_at_open) as usize;
 
-        let l1_installs = effects.iter().filter(|e| e.is_l1()).count();
-        let l1_evictions = effects
+        let l1_installs = self.effects_scratch.iter().filter(|e| e.is_l1()).count();
+        let l1_evictions = self
+            .effects_scratch
             .iter()
             .filter(|e| e.is_l1() && e.victim().is_some())
             .count();
@@ -775,16 +889,16 @@ impl Core {
             resolve_cycle: resolve,
             branch_pc: frame.branch_pc,
             epoch: frame.epoch,
-            transient_effects: effects,
-            squashed_loads: frame.loads,
-            squashed_insts: frame.insts,
+            transient_effects: &self.effects_scratch,
+            squashed_loads,
+            squashed_insts,
         };
         self.telemetry.emit(Event::SquashBegin {
             cycle: resolve,
             branch_pc: frame.branch_pc,
             epoch: frame.epoch.0,
-            squashed_loads: frame.loads as u64,
-            squashed_insts: frame.insts as u64,
+            squashed_loads: squashed_loads as u64,
+            squashed_insts: squashed_insts as u64,
         });
         let redirect = self.defense.on_squash(&mut self.hier, &info).max(resolve);
         self.telemetry.emit(Event::SquashEnd {
@@ -814,7 +928,7 @@ impl Core {
             dispatch_cycle: frame.dispatch_cycle,
             resolve_cycle: resolve,
             redirect_cycle: redirect,
-            squashed_loads: frame.loads,
+            squashed_loads,
             l1_installs,
             l1_evictions,
         });
@@ -831,15 +945,30 @@ struct Exec {
     last_complete: Cycle,
     last_mem: Cycle,
     fence_floor: Cycle,
-    frames: Vec<Frame>,
+    /// Open speculation frames, oldest first (boxed so push/drain move
+    /// pointers, not checkpoint arrays — see [`Core::frame_pool`]).
+    #[allow(clippy::vec_box)]
+    frames: Vec<Box<Frame>>,
     rob: std::collections::VecDeque<Cycle>,
     load_issue_cycle: Cycle,
     loads_in_cycle: u64,
+    /// Loads issued this run (wrong-path included) — the minuend for
+    /// per-frame load counts derived at squash time.
+    loads_issued: u64,
     stats: RunStats,
     hit_limit: bool,
     trace: Option<Vec<TraceEvent>>,
     trace_seq: u64,
     tel_seq: u64,
+    /// Cached frame-stack summary, refreshed only when the stack
+    /// changes (per branch, not per instruction): the min resolve cycle
+    /// and its index, the mispredicted-frame count, and the earliest
+    /// mispredicted resolve. `resolve_cycle` and `mispredicted` are
+    /// immutable after a frame is pushed, so the cache cannot go stale
+    /// between stack mutations.
+    earliest_resolve: Option<(Cycle, usize)>,
+    mispredict_frames: usize,
+    earliest_mispredict: Option<Cycle>,
 }
 
 impl Exec {
@@ -894,25 +1023,55 @@ impl Exec {
         self.frames.last().map(|f| f.epoch)
     }
 
+    /// Instructions dispatched this run (committed + squashed) — the
+    /// minuend for per-frame instruction counts derived at squash time.
+    fn dispatched(&self) -> u64 {
+        self.stats.committed_insts + self.stats.squashed_insts
+    }
+
+    /// Rebuilds the cached frame-stack summary. Called after every
+    /// push/remove/drain of `frames`; the per-instruction queries below
+    /// then read the cache in O(1) instead of rescanning the stack.
+    fn refresh_frame_cache(&mut self) {
+        self.earliest_resolve = None;
+        self.mispredict_frames = 0;
+        self.earliest_mispredict = None;
+        for (i, f) in self.frames.iter().enumerate() {
+            // Strict `<` keeps the first index on ties, matching the
+            // old `min_by_key` scan.
+            if self
+                .earliest_resolve
+                .is_none_or(|(c, _)| f.resolve_cycle < c)
+            {
+                self.earliest_resolve = Some((f.resolve_cycle, i));
+            }
+            if f.mispredicted {
+                self.mispredict_frames += 1;
+                self.earliest_mispredict = Some(
+                    self.earliest_mispredict
+                        .map_or(f.resolve_cycle, |c| c.min(f.resolve_cycle)),
+                );
+            }
+        }
+    }
+
     fn has_mispredicted_frame(&self) -> bool {
-        self.frames.iter().any(|f| f.mispredicted)
+        self.mispredict_frames > 0
     }
 
     fn earliest_mispredict_resolve(&self) -> Option<Cycle> {
-        self.frames
-            .iter()
-            .filter(|f| f.mispredicted)
-            .map(|f| f.resolve_cycle)
-            .min()
+        self.earliest_mispredict
     }
 
     fn earliest_frame(&self) -> Option<usize> {
-        (0..self.frames.len()).min_by_key(|&i| self.frames[i].resolve_cycle)
+        self.earliest_resolve.map(|(_, i)| i)
     }
 
     fn earliest_resolvable(&self, now: Cycle) -> Option<usize> {
-        self.earliest_frame()
-            .filter(|&i| self.frames[i].resolve_cycle <= now)
+        match self.earliest_resolve {
+            Some((c, i)) if c <= now => Some(i),
+            _ => None,
+        }
     }
 }
 

@@ -12,8 +12,14 @@ use unxpec_cache::{CacheHierarchy, Cycle, Effect, ExternalProbe, SpecTag};
 use unxpec_mem::LineAddr;
 
 /// Everything the core knows about one squash event.
+///
+/// The effect list is borrowed from the core's reusable squash scratch
+/// buffer rather than owned: squashes are the steady-state hot path of
+/// every figure-reproduction run, and handing each defense an owned
+/// `Vec` forced an allocation per squash for data the defense only
+/// reads during `on_squash`.
 #[derive(Debug, Clone)]
-pub struct SquashInfo {
+pub struct SquashInfo<'a> {
     /// Cycle the mispredicted branch resolved (T2).
     pub resolve_cycle: Cycle,
     /// Static PC of the mispredicted branch.
@@ -21,7 +27,7 @@ pub struct SquashInfo {
     /// Speculation epoch being squashed (younger epochs die with it).
     pub epoch: SpecTag,
     /// Cache-state effects of the squashed loads, oldest first.
-    pub transient_effects: Vec<Effect>,
+    pub transient_effects: &'a [Effect],
     /// Number of squashed loads that had issued a cache access.
     pub squashed_loads: usize,
     /// Number of squashed instructions of any kind.
@@ -80,7 +86,7 @@ pub trait Defense: std::fmt::Debug + Send {
     ///
     /// The baseline (no defense) returns `info.resolve_cycle` unchanged;
     /// the core adds its own pipeline-refill penalty on top.
-    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo) -> Cycle;
+    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo<'_>) -> Cycle;
 
     /// Called when a speculation epoch resolves *correct*, with the
     /// effects of the loads that executed under it. The default clears
@@ -131,10 +137,10 @@ impl Defense for UnsafeBaseline {
         "unsafe-baseline"
     }
 
-    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo) -> Cycle {
+    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo<'_>) -> Cycle {
         // Footprints stay; tags are cleared so later squashes do not
         // confuse stale installs with their own.
-        for effect in &info.transient_effects {
+        for effect in info.transient_effects {
             hier.commit_line(effect.installed_line());
         }
         info.resolve_cycle
@@ -156,7 +162,7 @@ mod tests {
             resolve_cycle: 500,
             branch_pc: 3,
             epoch: SpecTag(1),
-            transient_effects: out.effects.clone(),
+            transient_effects: &out.effects,
             squashed_loads: 1,
             squashed_insts: 2,
         };

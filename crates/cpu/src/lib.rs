@@ -44,7 +44,7 @@ pub use predictor::{
     AlwaysTaken, BimodalPredictor, BranchPredictor, Btb, GsharePredictor, NeverTaken,
     ReturnStackBuffer,
 };
-pub use program::{Program, ProgramBuilder};
+pub use program::{AsmError, Program, ProgramBuilder};
 pub use stats::{RunStats, SquashRecord};
 pub use trace::{ExecTrace, TraceEvent};
 

@@ -65,6 +65,49 @@ enum Pending {
     Call { at: PcIndex, label: String },
 }
 
+/// An assembly error surfaced by [`ProgramBuilder::try_build`].
+///
+/// Carries the offending label name and the instruction index so a
+/// workload generator composing programs from fragments can report
+/// *which* emitted instruction referenced the missing target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch, jump, or call referenced a label that was never
+    /// defined. `at` is the index of the referencing instruction.
+    UndefinedLabel { label: String, at: PcIndex },
+    /// A label name was bound at two positions.
+    DuplicateLabel {
+        label: String,
+        first: PcIndex,
+        second: PcIndex,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label, at } => {
+                write!(
+                    f,
+                    "undefined label {label:?} referenced by instruction {at}"
+                )
+            }
+            AsmError::DuplicateLabel {
+                label,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "label {label:?} defined twice (instruction {first} and {second})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
 /// Assembler with forward-reference label support.
 ///
 /// # Examples
@@ -86,6 +129,7 @@ pub struct ProgramBuilder {
     insts: Vec<Inst>,
     labels: HashMap<String, PcIndex>,
     pending: Vec<Pending>,
+    duplicates: Vec<AsmError>,
 }
 
 impl ProgramBuilder {
@@ -101,12 +145,17 @@ impl ProgramBuilder {
 
     /// Defines `name` at the current position.
     ///
-    /// # Panics
-    ///
-    /// Panics if the label was already defined.
+    /// Redefining a label is recorded and reported as an
+    /// [`AsmError::DuplicateLabel`] when the program is built.
     pub fn label(&mut self, name: &str) -> &mut Self {
-        let prev = self.labels.insert(name.to_owned(), self.here());
-        assert!(prev.is_none(), "label {name:?} defined twice");
+        let here = self.here();
+        if let Some(first) = self.labels.insert(name.to_owned(), here) {
+            self.duplicates.push(AsmError::DuplicateLabel {
+                label: name.to_owned(),
+                first,
+                second: here,
+            });
+        }
         self
     }
 
@@ -290,42 +339,54 @@ impl ProgramBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if any referenced label was never defined.
-    pub fn build(mut self) -> Program {
+    /// Panics if assembly fails; use [`ProgramBuilder::try_build`] for
+    /// the recoverable form.
+    pub fn build(self) -> Program {
+        self.try_build()
+            .map_err(|e| e.to_string())
+            .expect("assembly")
+    }
+
+    /// Resolves labels and produces the program, reporting duplicate
+    /// definitions and unresolved references as typed [`AsmError`]s
+    /// instead of panicking.
+    pub fn try_build(mut self) -> Result<Program, AsmError> {
+        if let Some(dup) = std::mem::take(&mut self.duplicates).into_iter().next() {
+            return Err(dup);
+        }
         for pending in std::mem::take(&mut self.pending) {
             match pending {
                 Pending::Branch { at, label } => {
-                    let target = *self
-                        .labels
-                        .get(&label)
-                        .unwrap_or_else(|| panic!("undefined label {label:?}"));
+                    let target = self.lookup(label, at)?;
                     if let Inst::Branch { target: t, .. } = &mut self.insts[at] {
                         *t = target;
                     }
                 }
                 Pending::Jump { at, label } => {
-                    let target = *self
-                        .labels
-                        .get(&label)
-                        .unwrap_or_else(|| panic!("undefined label {label:?}"));
+                    let target = self.lookup(label, at)?;
                     if let Inst::Jump { target: t, .. } = &mut self.insts[at] {
                         *t = target;
                     }
                 }
                 Pending::Call { at, label } => {
-                    let target = *self
-                        .labels
-                        .get(&label)
-                        .unwrap_or_else(|| panic!("undefined label {label:?}"));
+                    let target = self.lookup(label, at)?;
                     if let Inst::Call { target: t, .. } = &mut self.insts[at] {
                         *t = target;
                     }
                 }
             }
         }
-        Program {
+        Ok(Program {
             insts: self.insts,
             labels: self.labels,
+        })
+    }
+
+    /// Looks up `label` for the instruction at `at`.
+    fn lookup(&self, label: String, at: PcIndex) -> Result<PcIndex, AsmError> {
+        match self.labels.get(&label) {
+            Some(target) => Ok(*target),
+            None => Err(AsmError::UndefinedLabel { label, at }),
         }
     }
 }
@@ -352,19 +413,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "undefined label")]
-    fn undefined_label_panics() {
+    fn undefined_label_is_a_typed_error() {
         let mut b = ProgramBuilder::new();
+        b.nop();
         b.jump("nowhere");
-        let _ = b.build();
+        let err = b.try_build().expect_err("must not assemble");
+        assert_eq!(
+            err,
+            AsmError::UndefinedLabel {
+                label: "nowhere".into(),
+                at: 1,
+            }
+        );
+        assert!(err.to_string().contains("undefined label \"nowhere\""));
+        assert!(err.to_string().contains("instruction 1"));
     }
 
     #[test]
-    #[should_panic(expected = "defined twice")]
-    fn duplicate_label_panics() {
+    fn duplicate_label_is_a_typed_error() {
         let mut b = ProgramBuilder::new();
         b.label("x");
+        b.nop();
         b.label("x");
+        b.halt();
+        let err = b.try_build().expect_err("must not assemble");
+        assert_eq!(
+            err,
+            AsmError::DuplicateLabel {
+                label: "x".into(),
+                first: 0,
+                second: 1,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn build_panics_on_assembly_error() {
+        let mut b = ProgramBuilder::new();
+        b.jump("nowhere");
+        let _ = b.build();
     }
 
     #[test]

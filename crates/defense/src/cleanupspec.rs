@@ -74,7 +74,17 @@ pub struct CleanupSpec {
     mode: CleanupMode,
     restore_enabled: bool,
     stats: CleanupStats,
+    /// Reusable undo records for one rollback: `(set, way, victim)`
+    /// restores collected during the invalidation walk and applied in a
+    /// batch. Pre-sized to the squash-window bound so the per-squash
+    /// hot path never grows it.
+    restore_scratch: Vec<(usize, usize, LineAddr)>,
 }
+
+/// Upper bound on restores per squash: a squash window cannot evict
+/// more distinct non-speculative L1 victims than the load-queue-bounded
+/// transient burst can install.
+const RESTORE_SCRATCH_CAPACITY: usize = 64;
 
 impl CleanupSpec {
     /// CleanupSpec in `Cleanup_FOR_L1L2` mode with calibrated timing.
@@ -84,6 +94,7 @@ impl CleanupSpec {
             mode: CleanupMode::ForL1L2,
             restore_enabled: true,
             stats: CleanupStats::default(),
+            restore_scratch: Vec::with_capacity(RESTORE_SCRATCH_CAPACITY),
         }
     }
 
@@ -123,9 +134,15 @@ impl CleanupSpec {
     ) -> (u64, u64, u64) {
         let mut l1_inv = 0;
         let mut l2_inv = 0;
-        let mut restores = 0;
+        self.restore_scratch.clear();
         // Walk newest-first so that chained displacements (a transient
         // line evicted by a younger transient line) unwind correctly.
+        // Restores are *recorded* during the walk and applied in a
+        // batch afterwards: only the oldest transient install of a slot
+        // can have a non-speculative victim, so at most one restore
+        // targets any (set, way) per squash and deferral cannot change
+        // the final state — but it lets one pre-sized scratch buffer
+        // serve every squash of the run.
         for effect in effects.iter().rev() {
             match *effect {
                 Effect::FillL1 {
@@ -161,12 +178,7 @@ impl CleanupSpec {
                                 // back; its own FillL1 effect already
                                 // handles it.
                                 if !v.was_speculative {
-                                    hier.restore_l1(vset, vway, v.line);
-                                    restores += 1;
-                                    hier.telemetry().emit(Event::RollbackRestore {
-                                        cycle: now,
-                                        line: v.line.raw(),
-                                    });
+                                    self.restore_scratch.push((vset, vway, v.line));
                                 }
                             }
                         }
@@ -186,6 +198,14 @@ impl CleanupSpec {
                 }
             }
         }
+        let restores = self.restore_scratch.len() as u64;
+        for &(set, way, line) in &self.restore_scratch {
+            hier.restore_l1(set, way, line);
+            hier.telemetry().emit(Event::RollbackRestore {
+                cycle: now,
+                line: line.raw(),
+            });
+        }
         (l1_inv, l2_inv, restores)
     }
 }
@@ -195,7 +215,7 @@ impl Defense for CleanupSpec {
         "cleanupspec"
     }
 
-    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo) -> Cycle {
+    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo<'_>) -> Cycle {
         self.stats.rollbacks += 1;
         let detect_done = info.resolve_cycle + self.timing.detect_delay;
 
@@ -216,7 +236,7 @@ impl Defense for CleanupSpec {
 
         // T5: invalidate + restore.
         let (l1_inv, l2_inv, restores) =
-            self.rollback_state(hier, &info.transient_effects, info.resolve_cycle);
+            self.rollback_state(hier, info.transient_effects, info.resolve_cycle);
         self.stats.l1_invalidated += l1_inv;
         self.stats.l2_invalidated += l2_inv;
         self.stats.restored += restores;
@@ -293,7 +313,7 @@ mod tests {
         CacheHierarchy::new(HierarchyConfig::table_i(), 1)
     }
 
-    fn squash_info(resolve: Cycle, effects: Vec<Effect>, loads: usize) -> SquashInfo {
+    fn squash_info(resolve: Cycle, effects: &[Effect], loads: usize) -> SquashInfo<'_> {
         SquashInfo {
             resolve_cycle: resolve,
             branch_pc: 0,
@@ -308,7 +328,7 @@ mod tests {
     fn empty_rollback_is_nearly_free() {
         let mut h = hier();
         let mut d = CleanupSpec::new();
-        let end = d.on_squash(&mut h, &squash_info(1000, vec![], 0));
+        let end = d.on_squash(&mut h, &squash_info(1000, &[], 0));
         assert_eq!(end - 1000, d.timing.detect_delay);
         assert_eq!(d.stats().empty_rollbacks, 1);
     }
@@ -319,7 +339,7 @@ mod tests {
         let line = LineAddr::new(0x99);
         let out = h.access_data(line, 0, Some(SpecTag(1)));
         let mut d = CleanupSpec::new();
-        let end = d.on_squash(&mut h, &squash_info(1000, out.effects, 1));
+        let end = d.on_squash(&mut h, &squash_info(1000, &out.effects, 1));
         assert!(!h.l1_contains(line), "transient install must be gone");
         assert!(!h.l2_contains(line), "L1L2 mode cleans L2 too");
         let cleanup = end - 1000;
@@ -344,7 +364,7 @@ mod tests {
         let transient = LineAddr::new(set + 99 * sets);
         let out = h.access_data(transient, 500, Some(SpecTag(1)));
         let mut d = CleanupSpec::new();
-        let end = d.on_squash(&mut h, &squash_info(1000, out.effects, 1));
+        let end = d.on_squash(&mut h, &squash_info(1000, &out.effects, 1));
         assert!(!h.l1_contains(transient));
         for v in &victims {
             assert!(h.l1_contains(*v), "victim {v} restored");
@@ -371,7 +391,7 @@ mod tests {
             .and_then(|e| e.victim())
             .expect("eviction");
         let mut d = CleanupSpec::new().without_restoration();
-        d.on_squash(&mut h, &squash_info(1000, out.effects.clone(), 1));
+        d.on_squash(&mut h, &squash_info(1000, &out.effects, 1));
         assert!(!h.l1_contains(transient));
         assert!(!h.l1_contains(victim.line), "no restoration in ablation");
         assert_eq!(d.stats().restored, 0);
@@ -383,7 +403,7 @@ mod tests {
         let line = LineAddr::new(0x123);
         let out = h.access_data(line, 0, Some(SpecTag(1)));
         let mut d = CleanupSpec::new().with_mode(CleanupMode::ForL1);
-        d.on_squash(&mut h, &squash_info(1000, out.effects, 1));
+        d.on_squash(&mut h, &squash_info(1000, &out.effects, 1));
         assert!(!h.l1_contains(line));
         assert!(h.l2_contains(line), "ForL1 mode keeps the L2 install");
     }
@@ -397,11 +417,11 @@ mod tests {
             let out = h.access_data(LineAddr::new(0x4000 + i), 0, Some(SpecTag(1)));
             effects.extend(out.effects);
         }
-        let end8 = d.on_squash(&mut h, &squash_info(1000, effects, 8)) - 1000;
+        let end8 = d.on_squash(&mut h, &squash_info(1000, &effects, 8)) - 1000;
         let mut h1 = hier();
         let out = h1.access_data(LineAddr::new(0x4000), 0, Some(SpecTag(1)));
         let mut d1 = CleanupSpec::new();
-        let end1 = d1.on_squash(&mut h1, &squash_info(1000, out.effects, 1)) - 1000;
+        let end1 = d1.on_squash(&mut h1, &squash_info(1000, &out.effects, 1)) - 1000;
         assert!(
             end8 > end1,
             "more installs, more cleanup ({end8} vs {end1})"
@@ -417,7 +437,7 @@ mod tests {
         // miss is inflight.
         let out = h.access_data(line, 0, Some(SpecTag(1)));
         let mut d = CleanupSpec::new();
-        let end = d.on_squash(&mut h, &squash_info(50, out.effects, 1));
+        let end = d.on_squash(&mut h, &squash_info(50, &out.effects, 1));
         assert_eq!(d.stats().mshr_cancelled, 1);
         // mshr_clean_cost is charged on top of detection.
         assert!(end >= 50 + d.timing.detect_delay + d.timing.mshr_clean_cost);
@@ -429,7 +449,7 @@ mod tests {
         // A non-speculative (correct-path) miss inflight until ~118.
         h.access_data(LineAddr::new(0x777), 0, None);
         let mut d = CleanupSpec::new();
-        let end = d.on_squash(&mut h, &squash_info(20, vec![], 0));
+        let end = d.on_squash(&mut h, &squash_info(20, &[], 0));
         assert!(
             end >= 100,
             "cleanup must wait for safe inflight loads, got {end}"
@@ -451,7 +471,7 @@ mod tests {
         let out = h.access_data(transient, 500, Some(SpecTag(1)));
         tel.clear();
         let mut d = CleanupSpec::new();
-        d.on_squash(&mut h, &squash_info(1000, out.effects, 1));
+        d.on_squash(&mut h, &squash_info(1000, &out.effects, 1));
         let events = tel.snapshot();
         let invalidates = events
             .iter()
@@ -477,7 +497,7 @@ mod tests {
         let mut h = hier();
         let out = h.access_data(LineAddr::new(0x42), 0, Some(SpecTag(1)));
         let mut d = CleanupSpec::new();
-        d.on_squash(&mut h, &squash_info(1000, out.effects, 1));
+        d.on_squash(&mut h, &squash_info(1000, &out.effects, 1));
         let mut reg = MetricsRegistry::new();
         d.record_metrics(&mut reg);
         assert_eq!(reg.counter("cleanupspec.rollbacks"), 1);
@@ -497,7 +517,7 @@ mod tests {
             let mut h = hier();
             let out = h.access_data(LineAddr::new(base), 0, Some(SpecTag(1)));
             let mut d = CleanupSpec::new();
-            d.on_squash(&mut h, &squash_info(1000, out.effects, 1)) - 1000
+            d.on_squash(&mut h, &squash_info(1000, &out.effects, 1)) - 1000
         };
         assert_eq!(cost(0x1000), cost(0x2040));
     }
@@ -520,7 +540,7 @@ mod report_tests {
                 resolve_cycle: 1000,
                 branch_pc: 0,
                 epoch: SpecTag(1),
-                transient_effects: out.effects,
+                transient_effects: &out.effects,
                 squashed_loads: 1,
                 squashed_insts: 1,
             },

@@ -77,7 +77,7 @@ impl Defense for ConstantTimeRollback {
         "constant-time-rollback"
     }
 
-    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo) -> Cycle {
+    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo<'_>) -> Cycle {
         let real_end = self.inner.on_squash(hier, info);
         let padded_end = info.resolve_cycle + self.constant;
         if real_end > padded_end {
@@ -98,12 +98,12 @@ mod tests {
     use super::*;
     use unxpec_cache::{HierarchyConfig, SpecTag};
 
-    fn squash_info(resolve: Cycle) -> SquashInfo {
+    fn squash_info(resolve: Cycle) -> SquashInfo<'static> {
         SquashInfo {
             resolve_cycle: resolve,
             branch_pc: 0,
             epoch: SpecTag(1),
-            transient_effects: vec![],
+            transient_effects: &[],
             squashed_loads: 0,
             squashed_insts: 1,
         }
@@ -128,7 +128,7 @@ mod tests {
         }
         let mut d = ConstantTimeRollback::new(5);
         let info = SquashInfo {
-            transient_effects: effects,
+            transient_effects: &effects,
             squashed_loads: 8,
             ..squash_info(1000)
         };
@@ -150,7 +150,7 @@ mod tests {
         let out = h1.access_data(unxpec_mem::LineAddr::new(0x200), 0, Some(SpecTag(1)));
         let mut d1 = ConstantTimeRollback::new(65);
         let info = SquashInfo {
-            transient_effects: out.effects,
+            transient_effects: &out.effects,
             squashed_loads: 1,
             ..squash_info(1000)
         };

@@ -99,7 +99,7 @@ impl Defense for DelayOnMiss {
         predicted
     }
 
-    fn on_squash(&mut self, _hier: &mut CacheHierarchy, info: &SquashInfo) -> Cycle {
+    fn on_squash(&mut self, _hier: &mut CacheHierarchy, info: &SquashInfo<'_>) -> Cycle {
         self.squashes += 1;
         // Speculative misses never issued, speculative hits changed
         // nothing (the L1 uses random replacement, so not even the

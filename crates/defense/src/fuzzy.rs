@@ -67,7 +67,7 @@ impl Defense for FuzzyCleanup {
         "fuzzy-cleanup"
     }
 
-    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo) -> Cycle {
+    fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo<'_>) -> Cycle {
         let real_end = self.inner.on_squash(hier, info);
         let dummy = if self.dummy_span == 0 {
             0
@@ -90,12 +90,12 @@ mod tests {
     use super::*;
     use unxpec_cache::{HierarchyConfig, SpecTag};
 
-    fn squash_info(resolve: Cycle) -> SquashInfo {
+    fn squash_info(resolve: Cycle) -> SquashInfo<'static> {
         SquashInfo {
             resolve_cycle: resolve,
             branch_pc: 0,
             epoch: SpecTag(1),
-            transient_effects: vec![],
+            transient_effects: &[],
             squashed_loads: 0,
             squashed_insts: 1,
         }

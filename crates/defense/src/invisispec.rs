@@ -74,7 +74,7 @@ impl Defense for InvisiSpec {
         self.extra_latency
     }
 
-    fn on_squash(&mut self, _hier: &mut CacheHierarchy, info: &SquashInfo) -> Cycle {
+    fn on_squash(&mut self, _hier: &mut CacheHierarchy, info: &SquashInfo<'_>) -> Cycle {
         // Nothing was filled, so nothing needs undoing: the squash is
         // timing-neutral regardless of what the transient loads touched.
         self.squashes += 1;
@@ -149,7 +149,7 @@ mod tests {
             resolve_cycle: 700,
             branch_pc: 0,
             epoch: SpecTag(1),
-            transient_effects: vec![],
+            transient_effects: &[],
             squashed_loads: 5,
             squashed_insts: 9,
         };

@@ -17,7 +17,7 @@ fn effects_for(hier: &mut CacheHierarchy, lines: &[u64]) -> (Vec<unxpec_cache::E
     (effects, lines.len())
 }
 
-fn info(resolve: u64, effects: Vec<unxpec_cache::Effect>, loads: usize) -> SquashInfo {
+fn info(resolve: u64, effects: &[unxpec_cache::Effect], loads: usize) -> SquashInfo<'_> {
     SquashInfo {
         resolve_cycle: resolve,
         branch_pc: 0,
@@ -36,7 +36,7 @@ proptest! {
             let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
             let (effects, loads) = effects_for(&mut hier, &lines[..k]);
             let mut d = CleanupSpec::new();
-            d.on_squash(&mut hier, &info(100_000, effects, loads)) - 100_000
+            d.on_squash(&mut hier, &info(100_000, &effects, loads)) - 100_000
         };
         let some = cost(1);
         let all = cost(lines.len());
@@ -52,7 +52,7 @@ proptest! {
         let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
         let (effects, loads) = effects_for(&mut hier, &lines);
         let mut d = ConstantTimeRollback::new(constant);
-        let end = d.on_squash(&mut hier, &info(50_000, effects, loads));
+        let end = d.on_squash(&mut hier, &info(50_000, &effects, loads));
         prop_assert!(end >= 50_000 + constant, "stall below the constant");
     }
 
@@ -63,11 +63,11 @@ proptest! {
     ) {
         let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
         let mut plain = CleanupSpec::new();
-        let base = plain.on_squash(&mut hier, &info(10_000, vec![], 0));
+        let base = plain.on_squash(&mut hier, &info(10_000, &[], 0));
         let mut fuzzy = FuzzyCleanup::new(span, seed);
         for i in 0..10u64 {
             let t = 20_000 + i * 1000;
-            let end = fuzzy.on_squash(&mut hier, &info(t, vec![], 0));
+            let end = fuzzy.on_squash(&mut hier, &info(t, &[], 0));
             let extra = end - t - (base - 10_000);
             prop_assert!(extra <= span, "dummy delay {extra} exceeds span {span}");
         }
@@ -81,7 +81,7 @@ proptest! {
         let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
         let (effects, loads) = effects_for(&mut hier, &lines);
         let mut d = CleanupSpec::new();
-        d.on_squash(&mut hier, &info(1_000_000, effects, loads));
+        d.on_squash(&mut hier, &info(1_000_000, &effects, loads));
         for l in &lines {
             prop_assert!(
                 !hier.l1_contains(LineAddr::new(*l)),

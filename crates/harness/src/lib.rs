@@ -53,4 +53,6 @@ pub use manifest::{CompletedTrial, Manifest, PoisonedTrial};
 pub use pool::{run_tasks, PoolStats, TaskOutcome, TaskTiming};
 pub use registry::Registry;
 pub use spec::{SweepSpec, Trial};
-pub use sweep::{run_sweep, Aggregate, SweepError, SweepOptions, SweepReport, TrialResult};
+pub use sweep::{
+    run_sweep, Aggregate, SweepError, SweepOptions, SweepReport, TrialResult, WorkerLoad,
+};

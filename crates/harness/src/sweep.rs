@@ -368,7 +368,50 @@ fn digest_run(results: &[TrialResult], poisoned: &[PoisonedTrial]) -> u64 {
     h
 }
 
+/// One worker's share of a sweep, derived from the trial spans: which
+/// worker ran how many trials and for how long. This is what a
+/// `--jobs N` run reports as per-worker throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerLoad {
+    /// Worker index (the span track).
+    pub worker: u64,
+    /// Trials whose final attempt ran on this worker.
+    pub trials: u64,
+    /// Microseconds this worker spent inside trials.
+    pub busy_us: u64,
+}
+
+impl WorkerLoad {
+    /// Completed trials per second of busy time.
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.busy_us == 0 {
+            return 0.0;
+        }
+        self.trials as f64 * 1e6 / self.busy_us as f64
+    }
+}
+
 impl SweepReport {
+    /// Per-worker throughput, sorted by worker index.
+    pub fn worker_loads(&self) -> Vec<WorkerLoad> {
+        let mut loads: Vec<WorkerLoad> = Vec::new();
+        for s in &self.spans {
+            match loads.iter_mut().find(|l| l.worker == s.track) {
+                Some(l) => {
+                    l.trials += 1;
+                    l.busy_us += s.dur_us;
+                }
+                None => loads.push(WorkerLoad {
+                    worker: s.track,
+                    trials: 1,
+                    busy_us: s.dur_us,
+                }),
+            }
+        }
+        loads.sort_by_key(|l| l.worker);
+        loads
+    }
+
     /// The report's Chrome/Perfetto trace document (one track per
     /// worker).
     pub fn chrome_trace(&self) -> String {
@@ -407,6 +450,10 @@ impl SweepReport {
         for t in &self.spans {
             m.observe("sweep.trial_duration_us", t.dur_us);
         }
+        for l in self.worker_loads() {
+            m.inc(&format!("sweep.worker{}.trials", l.worker), l.trials);
+            m.inc(&format!("sweep.worker{}.busy_us", l.worker), l.busy_us);
+        }
         m
     }
 }
@@ -430,6 +477,16 @@ impl std::fmt::Display for SweepReport {
             self.stats.utilization() * 100.0,
             self.stats.wall_us as f64 / 1000.0
         )?;
+        for l in self.worker_loads() {
+            writeln!(
+                f,
+                "  worker {}: {} trial(s), busy {:.1} ms, {:.1} trials/s",
+                l.worker,
+                l.trials,
+                l.busy_us as f64 / 1000.0,
+                l.trials_per_sec()
+            )?;
+        }
         let mut cell = (String::new(), String::new());
         for a in &self.aggregates {
             if (a.experiment.clone(), a.variant.clone()) != cell {

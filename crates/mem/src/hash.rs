@@ -1,0 +1,103 @@
+//! Deterministic fast hashing for line-addressed maps.
+//!
+//! The backing store is consulted on every simulated load and store, so
+//! its map must not pay SipHash prices for 8-byte keys. This hasher is
+//! the classic Fx/rustc word-folding multiply: one rotate, one xor and
+//! one multiply per 8-byte word. Two properties matter here:
+//!
+//! * **deterministic** — no per-process random state, so `Debug` dumps
+//!   and iteration-dependent diagnostics are stable across runs (the
+//!   simulation itself never observes map order);
+//! * **high-entropy top bits** — hashbrown steers on the upper bits of
+//!   the hash, and the final multiply avalanches the low address bits
+//!   (which, for line addresses, are the only ones that vary) upward.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word-folding hasher (FxHash-style), deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher64 {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.fold(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`] — plugs into `HashMap`.
+pub type BuildFxHasher = BuildHasherDefault<FxHasher64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher64::default();
+        let mut b = FxHasher64::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // Sequential line addresses must not collapse onto a few
+        // buckets: check the top byte (hashbrown's steering bits)
+        // takes many distinct values over a small dense range.
+        let tops: std::collections::HashSet<u8> = (0..256u64)
+            .map(|i| {
+                let mut h = FxHasher64::default();
+                h.write_u64(i);
+                (h.finish() >> 56) as u8
+            })
+            .collect();
+        assert!(tops.len() > 128, "only {} distinct top bytes", tops.len());
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut m: HashMap<u64, u64, BuildFxHasher> = HashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.get(&999), Some(&2997));
+    }
+}

@@ -69,6 +69,30 @@ impl ArrayHandle {
     }
 }
 
+/// A layout lookup failure, carrying the missing name and what the
+/// layout actually holds so a typo in an attack program reads as a
+/// diagnostic rather than a bare panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutError {
+    /// The name that was requested.
+    pub name: String,
+    /// Every name the layout does define, sorted.
+    pub known: Vec<String>,
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no array named {:?} in layout (known: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// A finished address-space layout: name → [`ArrayHandle`].
 #[derive(Debug, Clone, Default)]
 pub struct MemoryLayout {
@@ -82,15 +106,28 @@ impl MemoryLayout {
         self.arrays.get(name).copied()
     }
 
+    /// Looks up an array by name, reporting the known names on failure.
+    pub fn try_array(&self, name: &str) -> Result<ArrayHandle, LayoutError> {
+        self.get(name).ok_or_else(|| {
+            let mut known: Vec<String> = self.arrays.keys().cloned().collect();
+            known.sort();
+            LayoutError {
+                name: name.to_owned(),
+                known,
+            }
+        })
+    }
+
     /// Looks up an array by name.
     ///
     /// # Panics
     ///
     /// Panics if no array with that name exists; use [`MemoryLayout::get`]
-    /// for a fallible lookup.
+    /// or [`MemoryLayout::try_array`] for fallible lookups.
     pub fn array(&self, name: &str) -> ArrayHandle {
-        self.get(name)
-            .unwrap_or_else(|| panic!("no array named {name:?} in layout"))
+        self.try_array(name)
+            .map_err(|e| e.to_string())
+            .expect("layout lookup")
     }
 
     /// First address past every allocated array.
@@ -211,5 +248,16 @@ mod tests {
     fn missing_array_is_none() {
         let layout = LayoutBuilder::new(0).build();
         assert!(layout.get("nope").is_none());
+    }
+
+    #[test]
+    fn missing_array_error_names_known_arrays() {
+        let layout = LayoutBuilder::new(0).array("P", 64).array("A", 64).build();
+        let err = layout.try_array("nope").expect_err("lookup must fail");
+        assert_eq!(err.name, "nope");
+        assert_eq!(err.known, vec!["A".to_string(), "P".to_string()]);
+        let msg = err.to_string();
+        assert!(msg.contains("no array named \"nope\""), "{msg}");
+        assert!(msg.contains("known: A, P"), "{msg}");
     }
 }

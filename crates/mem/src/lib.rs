@@ -25,9 +25,11 @@
 //! addresses symbolically.
 
 mod addr;
+mod hash;
 mod layout;
 mod memory;
 
 pub use addr::{Addr, LineAddr, CACHE_LINE_BYTES, LINE_OFFSET_BITS};
-pub use layout::{ArrayHandle, LayoutBuilder, MemoryLayout};
+pub use hash::{BuildFxHasher, FxHasher64};
+pub use layout::{ArrayHandle, LayoutBuilder, LayoutError, MemoryLayout};
 pub use memory::Memory;

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::hash::BuildFxHasher;
 use crate::{Addr, LineAddr, CACHE_LINE_BYTES};
 
 /// The architectural memory of the simulated machine.
@@ -22,7 +23,10 @@ use crate::{Addr, LineAddr, CACHE_LINE_BYTES};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    lines: HashMap<LineAddr, [u8; CACHE_LINE_BYTES as usize]>,
+    // Keyed with the deterministic Fx hasher: this map sits on the
+    // critical path of every simulated load and store, and its order is
+    // never observable, so SipHash buys nothing here.
+    lines: HashMap<LineAddr, [u8; CACHE_LINE_BYTES as usize], BuildFxHasher>,
 }
 
 impl Memory {

@@ -173,6 +173,71 @@ fn injected_panic_is_contained_and_reported() {
     assert!(text.contains("POISONED mixed/boom/s0"));
 }
 
+/// Regression: a trial that panics once and then succeeds must be
+/// counted exactly once everywhere — one attempt chain in the pool
+/// counters (`retried == panicked == 1`), one manifest entry with the
+/// attempt count, and no poisoned record.
+#[test]
+fn panic_once_then_succeed_is_not_double_counted() {
+    let dir = tmpdir("flaky-accounting");
+    let manifest = dir.join("manifest.json");
+    let tries = Arc::new(AtomicUsize::new(0));
+    let mut registry = Registry::new();
+    let tries_in = tries.clone();
+    registry.register(FnExperiment::new("once", &["default"], move |_| {
+        if tries_in.fetch_add(1, Ordering::Relaxed) == 0 {
+            panic!("first attempt dies");
+        }
+        TrialOutput::new("second attempt fine".into(), vec![("v", 1.0)])
+    }));
+    let mut spec = SweepSpec::quick();
+    spec.experiments = vec!["once".into()];
+    spec.seeds = 1;
+    let report = run_sweep(
+        &spec,
+        &registry,
+        &SweepOptions {
+            jobs: 2,
+            retries: 2,
+            manifest: Some(manifest.clone()),
+        },
+    )
+    .expect("sweep");
+
+    // Pool counters: one panicking attempt, one retry, nothing more.
+    assert_eq!(report.stats.panicked, 1, "one attempt panicked");
+    assert_eq!(report.stats.retried, 1, "one retry, not one per counter");
+    assert_eq!(report.stats.executed, 1);
+    assert!(report.poisoned.is_empty(), "the trial ultimately succeeded");
+    assert_eq!(report.results.len(), 1);
+    assert_eq!(report.results[0].attempts, 2, "1 panic + 1 success");
+
+    // Metrics export mirrors the counters rather than re-deriving them.
+    let metrics = report.metrics_registry();
+    assert_eq!(metrics.counter("sweep.pool.retried"), 1);
+    assert_eq!(metrics.counter("sweep.pool.panicked"), 1);
+    assert_eq!(metrics.counter("sweep.trials_poisoned"), 0);
+    assert_eq!(metrics.counter("sweep.trials_total"), 1);
+
+    // Manifest: exactly one completed record (the incremental
+    // checkpoint and the final write must not both append it), carrying
+    // the final attempt count, and no poisoned carcass.
+    let m = Manifest::load(&manifest).expect("manifest");
+    assert_eq!(m.completed.len(), 1, "one record for one trial");
+    assert_eq!(m.completed[0].attempts, 2);
+    assert!(m.poisoned.is_empty());
+
+    // The trial span reports the full attempt chain once.
+    assert_eq!(report.spans.len(), 1);
+    assert_eq!(report.spans[0].args, vec![("attempts".to_string(), 2)]);
+
+    // Per-worker throughput covers the one executed trial.
+    let loads = report.worker_loads();
+    assert_eq!(loads.iter().map(|l| l.trials).sum::<u64>(), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn flaky_trial_recovers_within_the_retry_budget() {
     let tries = Arc::new(AtomicUsize::new(0));

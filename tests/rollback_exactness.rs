@@ -12,13 +12,7 @@ use unxpec::mem::LineAddr;
 fn l1_snapshot(hier: &CacheHierarchy) -> Vec<Vec<Option<LineAddr>>> {
     let sets = hier.config().l1d.sets;
     (0..sets)
-        .map(|s| {
-            hier.l1d()
-                .set_contents(s)
-                .into_iter()
-                .map(|m| m.map(|m| m.line))
-                .collect()
-        })
+        .map(|s| hier.l1d().set_lines(s).map(|m| m.map(|m| m.line)).collect())
         .collect()
 }
 
@@ -55,7 +49,7 @@ proptest! {
             resolve_cycle: cycle + 10,
             branch_pc: 0,
             epoch: SpecTag(1),
-            transient_effects: effects,
+            transient_effects: &effects,
             squashed_loads: loads,
             squashed_insts: loads,
         };
@@ -67,6 +61,48 @@ proptest! {
         // loads never ran.
         for (s, (b, a)) in before.iter().zip(&after).enumerate() {
             prop_assert_eq!(b, a, "set {} diverged after rollback", s);
+        }
+    }
+
+    /// Pooled-buffer reuse: one `CleanupSpec` instance (whose restore
+    /// scratch is reused across rollbacks) must stay exact over
+    /// *consecutive* squashes — the second burst's rollback must not
+    /// see stale records from the first.
+    #[test]
+    fn consecutive_squashes_on_one_defense_stay_exact(
+        warm in proptest::collection::vec(0u64..4096, 0..300),
+        bursts in proptest::collection::vec(
+            proptest::collection::vec(0u64..4096, 1..24), 2..5),
+    ) {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::table_i(), 1);
+        let mut cycle = 0;
+        for w in &warm {
+            cycle = hier.access_data(LineAddr::new(*w), cycle, None).complete_cycle;
+        }
+        let before = l1_snapshot(&hier);
+        let mut defense = CleanupSpec::new();
+
+        for (i, burst) in bursts.iter().enumerate() {
+            let tag = SpecTag(i as u64 + 1);
+            let mut effects = Vec::new();
+            for t in burst {
+                let out = hier.access_data(LineAddr::new(*t), cycle, Some(tag));
+                cycle = out.complete_cycle;
+                effects.extend(out.effects);
+            }
+            let info = SquashInfo {
+                resolve_cycle: cycle + 10,
+                branch_pc: 0,
+                epoch: tag,
+                transient_effects: &effects,
+                squashed_loads: burst.len(),
+                squashed_insts: burst.len(),
+            };
+            cycle = unxpec::cpu::Defense::on_squash(&mut defense, &mut hier, &info);
+            let after = l1_snapshot(&hier);
+            for (s, (b, a)) in before.iter().zip(&after).enumerate() {
+                prop_assert_eq!(b, a, "squash {}: set {} diverged", i, s);
+            }
         }
     }
 
@@ -97,7 +133,7 @@ proptest! {
                 resolve_cycle: 1000,
                 branch_pc: 0,
                 epoch: SpecTag(1),
-                transient_effects: out.effects,
+                transient_effects: &out.effects,
                 squashed_loads: 1,
                 squashed_insts: 1,
             };
