@@ -1,0 +1,512 @@
+//! Secret-taint dataflow over the micro-ISA.
+//!
+//! A forward abstract interpretation with two facts per register:
+//!
+//! * an **abstract value** — either a small set of concrete constants
+//!   (address arithmetic over `mov`-ed bases stays exact) or `Top`;
+//! * a **taint chain** — `None`, or the PCs through which a
+//!   secret-derived value flowed into the register.
+//!
+//! Taint is seeded by loads whose abstract address set intersects a
+//! secret-labeled region (the `SECRET` array of
+//! `unxpec_attack::AttackLayout`, or any region the caller labels), and
+//! propagates through ALU results, address computation, and
+//! load-to-load chains (a load with a tainted base produces a tainted
+//! value). The join is path-insensitive over *all* CFG edges — including
+//! the predictor-reachable ones — so facts hold on transient paths too.
+//!
+//! Seeding is a *may*-analysis: a load whose abstract address set
+//! intersects a secret region seeds taint, and a load whose address is
+//! `Top` **also** seeds — a statically-unresolved address may alias the
+//! secret region (on the BTB-poisoned Spectre-v2 surface the gadget is
+//! entered with attacker-controlled register state, so nothing better
+//! can be said). The cost is the usual conservative one: dependent
+//! loads behind any unresolvable pointer chase inside a speculative
+//! window are reported as potential transmitters.
+
+use std::collections::BTreeSet;
+
+use unxpec_cpu::{Inst, Operand, PcIndex, Program, NUM_REGS};
+use unxpec_mem::MemoryLayout;
+
+use crate::cfg::Cfg;
+
+/// Cap on tracked constants per register; larger sets widen to `Top`.
+const CONST_CAP: usize = 64;
+
+/// Cap on recorded taint-chain length (reporting aid only).
+const CHAIN_CAP: usize = 16;
+
+/// An address range holding secret data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecretRegion {
+    /// Region name (for reports).
+    pub name: String,
+    /// First byte address.
+    pub base: u64,
+    /// Length in bytes.
+    pub len_bytes: u64,
+}
+
+impl SecretRegion {
+    /// Labels the named array of `layout` as secret.
+    pub fn from_layout(layout: &MemoryLayout, name: &str) -> Option<SecretRegion> {
+        layout.get(name).map(|h| SecretRegion {
+            name: name.to_owned(),
+            base: h.base().raw(),
+            len_bytes: h.len_bytes(),
+        })
+    }
+
+    /// Whether `addr` falls in the region (any byte of an 8-byte word).
+    pub fn contains_word(&self, addr: u64) -> bool {
+        // A word load at `addr` touches [addr, addr + 8).
+        addr < self.base + self.len_bytes && addr + 8 > self.base
+    }
+}
+
+/// Abstract register value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsValue {
+    /// Statically unknown.
+    Top,
+    /// One of a small set of concrete values.
+    Consts(BTreeSet<u64>),
+}
+
+impl AbsValue {
+    fn singleton(v: u64) -> AbsValue {
+        AbsValue::Consts(std::iter::once(v).collect())
+    }
+
+    fn join(&self, other: &AbsValue) -> AbsValue {
+        match (self, other) {
+            (AbsValue::Consts(a), AbsValue::Consts(b)) => {
+                let u: BTreeSet<u64> = a.union(b).copied().collect();
+                if u.len() > CONST_CAP {
+                    AbsValue::Top
+                } else {
+                    AbsValue::Consts(u)
+                }
+            }
+            _ => AbsValue::Top,
+        }
+    }
+
+    fn map(&self, f: impl Fn(u64) -> u64) -> AbsValue {
+        match self {
+            AbsValue::Top => AbsValue::Top,
+            AbsValue::Consts(s) => AbsValue::Consts(s.iter().map(|&v| f(v)).collect()),
+        }
+    }
+
+    fn combine(&self, other: &AbsValue, f: impl Fn(u64, u64) -> u64) -> AbsValue {
+        match (self, other) {
+            (AbsValue::Consts(a), AbsValue::Consts(b)) => {
+                if a.len().saturating_mul(b.len()) > CONST_CAP {
+                    return AbsValue::Top;
+                }
+                AbsValue::Consts(
+                    a.iter()
+                        .flat_map(|&x| b.iter().map(move |&y| (x, y)))
+                        .map(|(x, y)| f(x, y))
+                        .collect(),
+                )
+            }
+            _ => AbsValue::Top,
+        }
+    }
+
+    /// The single constant, if the set has exactly one element.
+    pub fn as_singleton(&self) -> Option<u64> {
+        match self {
+            AbsValue::Consts(s) if s.len() == 1 => s.iter().next().copied(),
+            _ => None,
+        }
+    }
+}
+
+/// Per-register fact: abstract value plus optional taint chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RegFact {
+    val: AbsValue,
+    taint: Option<Vec<PcIndex>>,
+}
+
+/// Abstract machine state: one fact per architectural register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    regs: Vec<RegFact>,
+}
+
+impl AbsState {
+    /// Entry state: every register unknown and clean (the machine is
+    /// persistent across runs, so entry values are not assumed zero).
+    fn entry() -> AbsState {
+        AbsState {
+            regs: vec![
+                RegFact {
+                    val: AbsValue::Top,
+                    taint: None,
+                };
+                NUM_REGS
+            ],
+        }
+    }
+
+    /// The abstract value of register `r`.
+    pub fn value(&self, r: usize) -> &AbsValue {
+        &self.regs[r].val
+    }
+
+    /// The taint chain of register `r`, if tainted.
+    pub fn taint(&self, r: usize) -> Option<&[PcIndex]> {
+        self.regs[r].taint.as_deref()
+    }
+
+    /// Joins `other` into `self`; reports whether anything widened.
+    ///
+    /// The taint *chain* is auxiliary (first-writer-wins) so the
+    /// change check only looks at values and taint presence — that
+    /// keeps the join monotone and the fixpoint finite.
+    fn join_from(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.regs.iter_mut().zip(&other.regs) {
+            let joined = mine.val.join(&theirs.val);
+            if joined != mine.val {
+                mine.val = joined;
+                changed = true;
+            }
+            if mine.taint.is_none() && theirs.taint.is_some() {
+                mine.taint = theirs.taint.clone();
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+fn operand_value(state: &AbsState, op: Operand) -> AbsValue {
+    match op {
+        Operand::Reg(r) => state.regs[r.index()].val.clone(),
+        Operand::Imm(i) => AbsValue::singleton(i),
+    }
+}
+
+fn operand_taint(state: &AbsState, op: Operand) -> Option<Vec<PcIndex>> {
+    match op {
+        Operand::Reg(r) => state.regs[r.index()].taint.clone(),
+        Operand::Imm(_) => None,
+    }
+}
+
+fn merge_taint(
+    a: Option<Vec<PcIndex>>,
+    b: Option<Vec<PcIndex>>,
+    through: PcIndex,
+) -> Option<Vec<PcIndex>> {
+    let mut chain = match (a, b) {
+        (Some(a), _) => a,
+        (None, Some(b)) => b,
+        (None, None) => return None,
+    };
+    if chain.len() < CHAIN_CAP && chain.last() != Some(&through) {
+        chain.push(through);
+    }
+    Some(chain)
+}
+
+/// Applies `inst` at `pc` to `state`, seeding taint from `secrets`.
+fn transfer(state: &AbsState, pc: PcIndex, inst: Inst, secrets: &[SecretRegion]) -> AbsState {
+    let mut out = state.clone();
+    match inst {
+        Inst::MovImm { dst, imm } => {
+            out.regs[dst.index()] = RegFact {
+                val: AbsValue::singleton(imm),
+                taint: None,
+            };
+        }
+        Inst::Alu { op, dst, a, b } => {
+            let av = &state.regs[a.index()].val;
+            let bv = operand_value(state, b);
+            let taint = merge_taint(
+                state.regs[a.index()].taint.clone(),
+                operand_taint(state, b),
+                pc,
+            );
+            out.regs[dst.index()] = RegFact {
+                val: av.combine(&bv, |x, y| op.apply(x, y)),
+                taint,
+            };
+        }
+        Inst::Load { dst, base, offset } => {
+            let addr = state.regs[base.index()]
+                .val
+                .map(|b| b.wrapping_add(offset as u64));
+            let seeded = match &addr {
+                AbsValue::Consts(set) => set
+                    .iter()
+                    .any(|&a| secrets.iter().any(|r| r.contains_word(a))),
+                // A Top address may alias the secret region (see
+                // module docs), so it seeds too.
+                AbsValue::Top => !secrets.is_empty(),
+            };
+            let inherited = state.regs[base.index()].taint.clone();
+            let taint = if seeded {
+                merge_taint(inherited, Some(Vec::new()), pc)
+            } else {
+                inherited.map(|mut c| {
+                    if c.len() < CHAIN_CAP && c.last() != Some(&pc) {
+                        c.push(pc);
+                    }
+                    c
+                })
+            };
+            out.regs[dst.index()] = RegFact {
+                val: AbsValue::Top,
+                taint,
+            };
+        }
+        Inst::ReadTime { dst } => {
+            out.regs[dst.index()] = RegFact {
+                val: AbsValue::Top,
+                taint: None,
+            };
+        }
+        Inst::Call { sp, .. } => {
+            out.regs[sp.index()].val = state.regs[sp.index()].val.map(|v| v.wrapping_sub(8));
+        }
+        Inst::Ret { sp } => {
+            out.regs[sp.index()].val = state.regs[sp.index()].val.map(|v| v.wrapping_add(8));
+        }
+        Inst::Store { .. }
+        | Inst::Flush { .. }
+        | Inst::Fence
+        | Inst::Branch { .. }
+        | Inst::Jump { .. }
+        | Inst::JumpInd { .. }
+        | Inst::Nop
+        | Inst::Halt => {}
+    }
+    out
+}
+
+/// A transient access whose address is secret-dependent.
+#[derive(Debug, Clone)]
+pub struct Transmitter {
+    /// PC of the tainted-address load.
+    pub pc: PcIndex,
+    /// Taint chain: seed load first, then each propagating instruction.
+    pub chain: Vec<PcIndex>,
+}
+
+/// Result of the taint pass: the fixpoint in-states plus the
+/// tainted-address accesses found.
+#[derive(Debug, Clone)]
+pub struct TaintResult {
+    in_states: Vec<Option<AbsState>>,
+    /// Tainted-address loads, ascending by PC (not yet window-filtered).
+    pub transmitters: Vec<Transmitter>,
+}
+
+impl TaintResult {
+    /// The fixpoint state on entry to `pc` (`None` if unreachable).
+    pub fn state_at(&self, pc: PcIndex) -> Option<&AbsState> {
+        self.in_states.get(pc).and_then(Option::as_ref)
+    }
+}
+
+/// Runs the taint fixpoint over `program`.
+pub fn taint_analysis(program: &Program, cfg: &Cfg, secrets: &[SecretRegion]) -> TaintResult {
+    let len = program.len();
+    let mut in_states: Vec<Option<AbsState>> = vec![None; len];
+    if len == 0 {
+        return TaintResult {
+            in_states,
+            transmitters: Vec::new(),
+        };
+    }
+    in_states[0] = Some(AbsState::entry());
+    let mut worklist: Vec<PcIndex> = vec![0];
+    let mut iterations = 0usize;
+    // The lattice has finite height (CONST_CAP constants per register,
+    // boolean taint), so this terminates; the explicit cap is a
+    // belt-and-braces guard against a transfer-function bug.
+    let max_iterations = len
+        .saturating_mul(NUM_REGS)
+        .saturating_mul(CONST_CAP)
+        .saturating_add(1024);
+    while let Some(pc) = worklist.pop() {
+        iterations += 1;
+        if iterations > max_iterations {
+            break;
+        }
+        let Some(inst) = program.fetch(pc) else {
+            continue;
+        };
+        let Some(state) = in_states[pc].clone() else {
+            continue;
+        };
+        let out = transfer(&state, pc, inst, secrets);
+        for &succ in cfg.successors(pc) {
+            let changed = match &mut in_states[succ] {
+                Some(existing) => existing.join_from(&out),
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+            };
+            if changed && !worklist.contains(&succ) {
+                worklist.push(succ);
+            }
+        }
+    }
+
+    // Collect tainted-address accesses: a load whose base register is
+    // tainted and whose address can actually vary (a singleton constant
+    // address cannot carry the secret).
+    let mut transmitters = Vec::new();
+    for (pc, &inst) in program.instructions().iter().enumerate() {
+        let Inst::Load { base, .. } = inst else {
+            continue;
+        };
+        let Some(state) = in_states[pc].as_ref() else {
+            continue;
+        };
+        let fact = &state.regs[base.index()];
+        if fact.taint.is_some() && fact.val.as_singleton().is_none() {
+            let mut chain = fact.taint.clone().unwrap_or_default();
+            if chain.last() != Some(&pc) && chain.len() < CHAIN_CAP {
+                chain.push(pc);
+            }
+            transmitters.push(Transmitter { pc, chain });
+        }
+    }
+    TaintResult {
+        in_states,
+        transmitters,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+    use unxpec_cpu::{Cond, ProgramBuilder, Reg};
+
+    fn secret() -> Vec<SecretRegion> {
+        vec![SecretRegion {
+            name: "SECRET".into(),
+            base: 0x5000,
+            len_bytes: 8,
+        }]
+    }
+
+    fn run(program: &Program) -> TaintResult {
+        let cfg = Cfg::build(program);
+        taint_analysis(program, &cfg, &secret())
+    }
+
+    #[test]
+    fn classic_gadget_is_a_transmitter() {
+        // r1 = &secret; r2 = [r1]; r3 = r2 << 6; r4 = r3 + probe; [r4]
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x5000);
+        b.load(Reg(2), Reg(1), 0); // 1: seed
+        b.shl(Reg(3), Reg(2), 6u64); // 2: propagate
+        b.add(Reg(4), Reg(3), Reg(1)); // 3: propagate
+        b.load(Reg(5), Reg(4), 0); // 4: transmit
+        b.halt();
+        let r = run(&b.build());
+        assert_eq!(r.transmitters.len(), 1);
+        assert_eq!(r.transmitters[0].pc, 4);
+        assert_eq!(r.transmitters[0].chain, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn untainted_loads_do_not_transmit() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x9000); // not the secret
+        b.load(Reg(2), Reg(1), 0);
+        b.shl(Reg(3), Reg(2), 6u64);
+        b.add(Reg(3), Reg(3), Reg(1));
+        b.load(Reg(4), Reg(3), 0);
+        b.halt();
+        let r = run(&b.build());
+        assert!(r.transmitters.is_empty());
+    }
+
+    #[test]
+    fn load_to_load_chains_propagate_taint() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x5000);
+        b.load(Reg(2), Reg(1), 0); // seed
+        b.load(Reg(3), Reg(2), 0); // tainted base -> tainted value AND transmitter
+        b.load(Reg(4), Reg(3), 0); // second hop still tainted
+        b.halt();
+        let r = run(&b.build());
+        let pcs: Vec<_> = r.transmitters.iter().map(|t| t.pc).collect();
+        assert_eq!(pcs, vec![2, 3]);
+    }
+
+    #[test]
+    fn singleton_address_cannot_transmit() {
+        // Taint the register, then overwrite the address with a mov:
+        // the load's base is clean again.
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x5000);
+        b.load(Reg(2), Reg(1), 0); // tainted
+        b.mov(Reg(2), 0x9000); // kill
+        b.load(Reg(3), Reg(2), 0);
+        b.halt();
+        let r = run(&b.build());
+        assert!(r.transmitters.is_empty());
+    }
+
+    #[test]
+    fn join_over_branch_arms_keeps_both_constants() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x10);
+        b.branch(Cond::Lt, Reg(2), 5u64, "other"); // r2 is Top
+        b.mov(Reg(1), 0x20);
+        b.label("other");
+        b.nop(); // 3: join point
+        b.halt();
+        let p = b.build();
+        let r = run(&p);
+        let st = r.state_at(3).expect("reachable");
+        match st.value(1) {
+            AbsValue::Consts(s) => {
+                assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![0x10, 0x20]);
+            }
+            AbsValue::Top => panic!("join lost the constants"),
+        }
+    }
+
+    #[test]
+    fn oob_index_arithmetic_reaches_the_secret() {
+        // The v1 pattern: A base + 8 * index where index joins
+        // {in-bounds, oob} and A+8*oob == secret.
+        let a_base = 0x4000u64;
+        let oob = (0x5000 - a_base) / 8;
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(10), a_base); // A base
+        b.mov(Reg(1), 0); // training index
+        b.branch(Cond::Eq, Reg(9), 1u64, "attack");
+        b.jump("use");
+        b.label("attack");
+        b.mov(Reg(1), oob);
+        b.label("use");
+        b.shl(Reg(3), Reg(1), 3u64);
+        b.add(Reg(4), Reg(3), Reg(10));
+        b.load(Reg(5), Reg(4), 0); // seeds from {0x4000, 0x5000}
+        b.shl(Reg(6), Reg(5), 6u64);
+        b.add(Reg(6), Reg(6), Reg(10));
+        b.load(Reg(7), Reg(6), 0); // transmits
+        b.halt();
+        let r = run(&b.build());
+        assert_eq!(r.transmitters.len(), 1);
+        let t = &r.transmitters[0];
+        assert!(t.chain.len() >= 2, "chain records seed and transmit");
+    }
+}

@@ -1,0 +1,447 @@
+//! Per-defense leakage verdicts over the taint + window results.
+//!
+//! A *transmitter* (tainted-address load) that sits inside some
+//! speculative window can execute transiently and touch a
+//! secret-dependent cache line before the squash. Whether that becomes
+//! *observable* depends on the defense:
+//!
+//! | defense       | transient footprint      | verdict                |
+//! |---------------|--------------------------|------------------------|
+//! | `Unsafe`      | persists after squash    | leak (cache footprint) |
+//! | `CleanupSpec` | undone — but the undo
+//! |               | takes secret-dependent
+//! |               | time                     | leak (rollback timing) |
+//! | `InvisiSpec`  | never installed          | clean                  |
+//! | `DelayOnMiss` | miss never issued        | clean                  |
+//! | `ConstantTime`| undone in fixed time     | clean                  |
+//!
+//! The `CleanupSpec` row is the unXpec result: undo-based defenses close
+//! the footprint channel and open a rollback-timing channel, so the
+//! static verdict must flip from "clean" to "leak" the moment the
+//! cleanup work depends on which lines the wrong path touched.
+
+use unxpec_cpu::{CoreConfig, PcIndex, Program};
+use unxpec_telemetry::json::escape;
+use unxpec_telemetry::{Event, Telemetry};
+
+use crate::cfg::Cfg;
+use crate::taint::{taint_analysis, SecretRegion, TaintResult, Transmitter};
+use crate::window::{speculative_windows, SpecKind, SpecWindow};
+
+/// The defense models the analyzer reasons about.
+///
+/// Codes are stable across releases — they key the JSON output and the
+/// telemetry events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DefenseModel {
+    /// No defense: the transient footprint persists (baseline Spectre).
+    Unsafe,
+    /// Undo-based: footprint rolled back in footprint-dependent time.
+    CleanupSpec,
+    /// Hide-based: transient loads bypass the cache entirely.
+    InvisiSpec,
+    /// Delay-based: transient misses never issue.
+    DelayOnMiss,
+    /// Undo-based with constant-time rollback (the unXpec mitigation).
+    ConstantTime,
+}
+
+impl DefenseModel {
+    /// Every model, in code order.
+    pub const ALL: [DefenseModel; 5] = [
+        DefenseModel::Unsafe,
+        DefenseModel::CleanupSpec,
+        DefenseModel::InvisiSpec,
+        DefenseModel::DelayOnMiss,
+        DefenseModel::ConstantTime,
+    ];
+
+    /// Stable numeric code.
+    pub fn code(self) -> u64 {
+        match self {
+            DefenseModel::Unsafe => 0,
+            DefenseModel::CleanupSpec => 1,
+            DefenseModel::InvisiSpec => 2,
+            DefenseModel::DelayOnMiss => 3,
+            DefenseModel::ConstantTime => 4,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DefenseModel::Unsafe => "unsafe",
+            DefenseModel::CleanupSpec => "cleanupspec",
+            DefenseModel::InvisiSpec => "invisispec",
+            DefenseModel::DelayOnMiss => "delay-on-miss",
+            DefenseModel::ConstantTime => "constant-time",
+        }
+    }
+
+    /// The observable channel a windowed transmitter opens under this
+    /// defense, or `None` when the defense closes both channels.
+    pub fn channel(self) -> Option<Channel> {
+        match self {
+            DefenseModel::Unsafe => Some(Channel::CacheFootprint),
+            DefenseModel::CleanupSpec => Some(Channel::RollbackTiming),
+            DefenseModel::InvisiSpec | DefenseModel::DelayOnMiss | DefenseModel::ConstantTime => {
+                None
+            }
+        }
+    }
+}
+
+/// How the secret escapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// Classic Spectre: the line left behind after the squash.
+    CacheFootprint,
+    /// unXpec: how long the post-squash rollback takes.
+    RollbackTiming,
+}
+
+impl Channel {
+    /// Stable numeric code.
+    pub fn code(self) -> u64 {
+        match self {
+            Channel::CacheFootprint => 0,
+            Channel::RollbackTiming => 1,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Channel::CacheFootprint => "cache-footprint",
+            Channel::RollbackTiming => "rollback-timing",
+        }
+    }
+}
+
+/// The analyzer's answer for one (program, defense) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// At least one transient secret-dependent access is observable.
+    Leak(Channel),
+    /// No observable transient leak found.
+    Clean,
+}
+
+impl Verdict {
+    /// Whether the verdict is a leak.
+    pub fn is_leak(self) -> bool {
+        matches!(self, Verdict::Leak(_))
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Leak(_) => "leak",
+            Verdict::Clean => "clean",
+        }
+    }
+}
+
+/// One observable transient access under one defense.
+#[derive(Debug, Clone)]
+pub struct LeakReport {
+    /// Program the report is about.
+    pub program: String,
+    /// Defense under which the access is observable.
+    pub defense: DefenseModel,
+    /// The channel it leaks through.
+    pub channel: Channel,
+    /// PC of the tainted-address load.
+    pub pc: PcIndex,
+    /// The speculation source whose window covers it.
+    pub spec_pc: PcIndex,
+    /// Kind of that source.
+    pub spec_kind: SpecKind,
+    /// Shortest transient distance from source to access.
+    pub window_len: usize,
+    /// Taint chain from seed load to this access.
+    pub taint_chain: Vec<PcIndex>,
+}
+
+impl LeakReport {
+    /// Deterministic JSON object for this report.
+    pub fn to_json(&self) -> String {
+        let chain = self
+            .taint_chain
+            .iter()
+            .map(|pc| pc.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"program\":\"{}\",\"defense\":\"{}\",\"channel\":\"{}\",\"pc\":{},\"spec_pc\":{},\"spec_kind\":\"{}\",\"window_len\":{},\"taint_chain\":[{}]}}",
+            escape(&self.program),
+            self.defense.label(),
+            self.channel.label(),
+            self.pc,
+            self.spec_pc,
+            self.spec_kind.label(),
+            self.window_len,
+            chain,
+        )
+    }
+
+    /// The telemetry event for this report.
+    pub fn to_event(&self) -> Event {
+        Event::AnalysisLeak {
+            pc: self.pc,
+            spec_pc: self.spec_pc,
+            window_len: self.window_len as u64,
+            defense_code: self.defense.code(),
+            channel_code: self.channel.code(),
+        }
+    }
+}
+
+/// A transmitter together with the covering window, for reporting.
+#[derive(Debug, Clone)]
+pub struct WindowedTransmitter {
+    /// The tainted-address load.
+    pub transmitter: Transmitter,
+    /// The covering speculation source.
+    pub spec_pc: PcIndex,
+    /// Kind of that source.
+    pub spec_kind: SpecKind,
+    /// Shortest transient distance from source to load.
+    pub distance: usize,
+}
+
+/// Full analyzer output for one program.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// Program name.
+    pub name: String,
+    /// Number of static instructions analyzed.
+    pub instructions: usize,
+    /// Speculation sources found.
+    pub spec_points: Vec<PcIndex>,
+    /// Transmitters inside some speculative window. Each transmitter is
+    /// paired with its *closest* covering source.
+    pub windowed: Vec<WindowedTransmitter>,
+    /// One report per (defense with an open channel, windowed
+    /// transmitter), sorted by (defense code, pc).
+    pub reports: Vec<LeakReport>,
+    /// The taint fixpoint (kept for callers that want the states).
+    pub taint: TaintResult,
+}
+
+impl ProgramAnalysis {
+    /// Verdict for `defense`.
+    pub fn verdict(&self, defense: DefenseModel) -> Verdict {
+        match defense.channel() {
+            Some(ch) if !self.windowed.is_empty() => Verdict::Leak(ch),
+            _ => Verdict::Clean,
+        }
+    }
+
+    /// Deterministic JSON object: name, verdict per defense, reports.
+    pub fn to_json(&self) -> String {
+        let verdicts = DefenseModel::ALL
+            .iter()
+            .map(|&d| {
+                format!(
+                    "{{\"defense\":\"{}\",\"verdict\":\"{}\"}}",
+                    d.label(),
+                    self.verdict(d).label()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let reports = self
+            .reports
+            .iter()
+            .map(LeakReport::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"program\":\"{}\",\"instructions\":{},\"spec_points\":{},\"windowed_transmitters\":{},\"verdicts\":[{}],\"reports\":[{}]}}",
+            escape(&self.name),
+            self.instructions,
+            self.spec_points.len(),
+            self.windowed.len(),
+            verdicts,
+            reports,
+        )
+    }
+
+    /// Emits one [`Event::AnalysisLeak`] per report.
+    pub fn emit(&self, telemetry: &Telemetry) {
+        for report in &self.reports {
+            telemetry.emit(report.to_event());
+        }
+    }
+}
+
+/// Runs the full pipeline: CFG, windows, taint, per-defense verdicts.
+pub fn analyze(
+    name: &str,
+    program: &Program,
+    secrets: &[SecretRegion],
+    config: &CoreConfig,
+) -> ProgramAnalysis {
+    let cfg = Cfg::build(program);
+    let windows = speculative_windows(program, &cfg, config);
+    let taint = taint_analysis(program, &cfg, secrets);
+    let windowed = windowed_transmitters(&taint.transmitters, &windows);
+    let mut reports = Vec::new();
+    for &defense in &DefenseModel::ALL {
+        let Some(channel) = defense.channel() else {
+            continue;
+        };
+        for wt in &windowed {
+            reports.push(LeakReport {
+                program: name.to_owned(),
+                defense,
+                channel,
+                pc: wt.transmitter.pc,
+                spec_pc: wt.spec_pc,
+                spec_kind: wt.spec_kind,
+                window_len: wt.distance,
+                taint_chain: wt.transmitter.chain.clone(),
+            });
+        }
+    }
+    reports.sort_by_key(|r| (r.defense.code(), r.pc, r.spec_pc));
+    ProgramAnalysis {
+        name: name.to_owned(),
+        instructions: program.len(),
+        spec_points: cfg.speculation_points().to_vec(),
+        windowed,
+        reports,
+        taint,
+    }
+}
+
+/// Pairs each transmitter with its closest covering window, dropping
+/// transmitters no window reaches (they only run architecturally).
+fn windowed_transmitters(
+    transmitters: &[Transmitter],
+    windows: &[SpecWindow],
+) -> Vec<WindowedTransmitter> {
+    transmitters
+        .iter()
+        .filter_map(|t| {
+            windows
+                .iter()
+                .filter_map(|w| w.reach.get(&t.pc).map(|&d| (w, d)))
+                .min_by_key(|&(w, d)| (d, w.spec_pc))
+                .map(|(w, d)| WindowedTransmitter {
+                    transmitter: t.clone(),
+                    spec_pc: w.spec_pc,
+                    spec_kind: w.kind,
+                    distance: d,
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+    use unxpec_cpu::{Cond, ProgramBuilder, Reg};
+    use unxpec_telemetry::json::validate;
+    use unxpec_telemetry::Track;
+
+    fn secret() -> Vec<SecretRegion> {
+        vec![SecretRegion {
+            name: "SECRET".into(),
+            base: 0x5000,
+            len_bytes: 8,
+        }]
+    }
+
+    /// The Figure-6 shape: bounds check mispredicts, wrong path loads
+    /// the secret and uses it as an address.
+    fn spectre_like() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x5000); // 0
+        b.branch(Cond::Lt, Reg(9), 1u64, "done"); // 1: bounds check
+        b.load(Reg(2), Reg(1), 0); // 2: transient secret read
+        b.shl(Reg(3), Reg(2), 6u64); // 3
+        b.add(Reg(3), Reg(3), Reg(1)); // 4
+        b.load(Reg(4), Reg(3), 0); // 5: transmit
+        b.label("done");
+        b.halt(); // 6
+        b.build()
+    }
+
+    #[test]
+    fn spectre_like_leaks_under_unsafe_and_cleanupspec_only() {
+        let p = spectre_like();
+        let a = analyze("fig6", &p, &secret(), &CoreConfig::table_i());
+        assert_eq!(a.windowed.len(), 1);
+        assert_eq!(a.windowed[0].transmitter.pc, 5);
+        assert_eq!(a.windowed[0].spec_pc, 1);
+        assert_eq!(
+            a.verdict(DefenseModel::Unsafe),
+            Verdict::Leak(Channel::CacheFootprint)
+        );
+        assert_eq!(
+            a.verdict(DefenseModel::CleanupSpec),
+            Verdict::Leak(Channel::RollbackTiming)
+        );
+        assert_eq!(a.verdict(DefenseModel::InvisiSpec), Verdict::Clean);
+        assert_eq!(a.verdict(DefenseModel::DelayOnMiss), Verdict::Clean);
+        assert_eq!(a.verdict(DefenseModel::ConstantTime), Verdict::Clean);
+        // One open-channel defense x one transmitter each.
+        assert_eq!(a.reports.len(), 2);
+    }
+
+    #[test]
+    fn architectural_only_access_is_clean_everywhere() {
+        // No speculation source at all: the same gadget minus the branch.
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x5000);
+        b.load(Reg(2), Reg(1), 0);
+        b.shl(Reg(3), Reg(2), 6u64);
+        b.add(Reg(3), Reg(3), Reg(1));
+        b.load(Reg(4), Reg(3), 0);
+        b.halt();
+        let p = b.build();
+        let a = analyze("arch", &p, &secret(), &CoreConfig::table_i());
+        assert!(!a.taint.transmitters.is_empty(), "still a transmitter");
+        assert!(a.windowed.is_empty(), "but no window covers it");
+        for d in DefenseModel::ALL {
+            assert_eq!(a.verdict(d), Verdict::Clean);
+        }
+    }
+
+    #[test]
+    fn json_is_valid_and_deterministic() {
+        let p = spectre_like();
+        let a = analyze("fig6", &p, &secret(), &CoreConfig::table_i());
+        let j1 = a.to_json();
+        let j2 = analyze("fig6", &p, &secret(), &CoreConfig::table_i()).to_json();
+        assert_eq!(j1, j2);
+        validate(&j1).expect("valid JSON");
+        assert!(j1.contains("\"defense\":\"cleanupspec\",\"verdict\":\"leak\""));
+        assert!(j1.contains("\"defense\":\"constant-time\",\"verdict\":\"clean\""));
+    }
+
+    #[test]
+    fn reports_flow_through_telemetry() {
+        let p = spectre_like();
+        let a = analyze("fig6", &p, &secret(), &CoreConfig::table_i());
+        let t = Telemetry::ring(16);
+        a.emit(&t);
+        let events = t.snapshot();
+        assert_eq!(events.len(), 2);
+        for e in &events {
+            assert_eq!(e.track(), Track::Analysis);
+            assert_eq!(e.name(), "analysis_leak");
+        }
+    }
+
+    #[test]
+    fn defense_codes_are_stable() {
+        let codes: Vec<u64> = DefenseModel::ALL.iter().map(|d| d.code()).collect();
+        assert_eq!(codes, vec![0, 1, 2, 3, 4]);
+        assert_eq!(Channel::CacheFootprint.code(), 0);
+        assert_eq!(Channel::RollbackTiming.code(), 1);
+    }
+}

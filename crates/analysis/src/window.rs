@@ -1,0 +1,192 @@
+//! The speculative-window pass: which instructions can execute
+//! transiently under each speculation source.
+//!
+//! # The bound
+//!
+//! A wrong-path instruction must occupy a ROB entry younger than the
+//! unresolved speculation source, so at most `rob_entries - 1` can be in
+//! flight at once; with release-queue semantics the core keeps
+//! dispatching until the resolve cycle, adding at most one
+//! dispatch-group of slack at each end. The window bound is therefore
+//!
+//! ```text
+//! bound = rob_entries + 2 * dispatch_width
+//! ```
+//!
+//! dynamic instructions — the same `192 + 8` envelope the simulator's
+//! own ROB-pressure test asserts on the Table-I machine. Every
+//! dynamically fetched wrong path is a walk over CFG successor edges
+//! starting at a successor of the speculation source (nested squashes
+//! only restart the walk from a node already on it), so the set of PCs
+//! reachable within `bound` steps over-approximates everything the
+//! simulator can transiently execute. The property test in
+//! `tests/analysis.rs` checks exactly this against [`unxpec_cpu::ExecTrace`].
+
+use std::collections::BTreeMap;
+
+use unxpec_cpu::{CoreConfig, Inst, PcIndex, Program};
+
+use crate::cfg::Cfg;
+
+/// What kind of speculation source opened the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecKind {
+    /// A conditional branch (Spectre-v1 surface).
+    ConditionalBranch,
+    /// An indirect jump through the BTB (Spectre-v2 surface).
+    IndirectJump,
+    /// A return through the RSB (SpectreRSB surface).
+    Return,
+}
+
+impl SpecKind {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpecKind::ConditionalBranch => "branch",
+            SpecKind::IndirectJump => "jump-indirect",
+            SpecKind::Return => "return",
+        }
+    }
+}
+
+/// The transient reach of one speculation source: every PC fetchable
+/// before the source resolves, with its shortest CFG distance (in
+/// instructions) from the source.
+#[derive(Debug, Clone)]
+pub struct SpecWindow {
+    /// The speculation source.
+    pub spec_pc: PcIndex,
+    /// Its kind.
+    pub kind: SpecKind,
+    /// Reachable PC -> shortest distance (>= 1) from the source.
+    pub reach: BTreeMap<PcIndex, usize>,
+}
+
+impl SpecWindow {
+    /// Whether `pc` can execute transiently under this source.
+    pub fn contains(&self, pc: PcIndex) -> bool {
+        self.reach.contains_key(&pc)
+    }
+
+    /// Number of distinct PCs in the window.
+    pub fn len(&self) -> usize {
+        self.reach.len()
+    }
+
+    /// Whether the window is empty (source has no successors).
+    pub fn is_empty(&self) -> bool {
+        self.reach.is_empty()
+    }
+}
+
+/// The dynamic-instruction bound on any one speculative window implied
+/// by `config`'s ROB capacity and dispatch width.
+pub fn window_bound(config: &CoreConfig) -> usize {
+    config.rob_entries + 2 * config.dispatch_width as usize
+}
+
+/// Computes the speculative window of every speculation source in
+/// `program`: a bounded BFS from the source's CFG successors.
+pub fn speculative_windows(program: &Program, cfg: &Cfg, config: &CoreConfig) -> Vec<SpecWindow> {
+    let bound = window_bound(config);
+    cfg.speculation_points()
+        .iter()
+        .map(|&spec_pc| {
+            let kind = match program.fetch(spec_pc) {
+                Some(Inst::JumpInd { .. }) => SpecKind::IndirectJump,
+                Some(Inst::Ret { .. }) => SpecKind::Return,
+                _ => SpecKind::ConditionalBranch,
+            };
+            let mut reach: BTreeMap<PcIndex, usize> = BTreeMap::new();
+            let mut frontier: Vec<PcIndex> = cfg.successors(spec_pc).to_vec();
+            let mut depth = 1usize;
+            while !frontier.is_empty() && depth <= bound {
+                let mut next = Vec::new();
+                for pc in frontier {
+                    if reach.contains_key(&pc) {
+                        continue;
+                    }
+                    reach.insert(pc, depth);
+                    next.extend(cfg.successors(pc).iter().copied());
+                }
+                next.sort_unstable();
+                next.dedup();
+                frontier = next;
+                depth += 1;
+            }
+            SpecWindow {
+                spec_pc,
+                kind,
+                reach,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+    use unxpec_cpu::{Cond, ProgramBuilder, Reg};
+
+    fn windows_of(program: &Program) -> Vec<SpecWindow> {
+        let cfg = Cfg::build(program);
+        speculative_windows(program, &cfg, &CoreConfig::table_i())
+    }
+
+    #[test]
+    fn straight_line_window_spans_both_arms() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0); // 0
+        b.branch(Cond::Lt, Reg(1), 4u64, "t"); // 1
+        b.nop(); // 2 (fall-through arm)
+        b.label("t");
+        b.halt(); // 3
+        let w = windows_of(&b.build());
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].spec_pc, 1);
+        assert_eq!(w[0].kind, SpecKind::ConditionalBranch);
+        assert!(w[0].contains(2) && w[0].contains(3));
+        assert!(!w[0].contains(0), "older instructions are not transient");
+        assert_eq!(w[0].reach[&2], 1);
+    }
+
+    #[test]
+    fn bound_caps_an_infinite_loop() {
+        let mut b = ProgramBuilder::new();
+        b.label("spin");
+        b.branch(Cond::Eq, Reg(0), 0u64, "spin"); // 0: tight loop
+        b.halt(); // 1
+        let program = b.build();
+        let cfg = Cfg::build(&program);
+        let mut small = CoreConfig::table_i();
+        small.rob_entries = 4;
+        small.dispatch_width = 1;
+        let w = speculative_windows(&program, &cfg, &small);
+        // Reachable set saturates at the loop's two PCs regardless of
+        // how long the bound lets the BFS run.
+        assert_eq!(w[0].len(), 2);
+        assert_eq!(window_bound(&small), 6);
+    }
+
+    #[test]
+    fn table_i_bound_matches_the_rob_envelope() {
+        assert_eq!(window_bound(&CoreConfig::table_i()), 200);
+    }
+
+    #[test]
+    fn window_distance_grows_along_the_path() {
+        let mut b = ProgramBuilder::new();
+        b.branch(Cond::Lt, Reg(1), 1u64, "far"); // 0
+        b.nop(); // 1
+        b.nop(); // 2
+        b.label("far");
+        b.halt(); // 3
+        let w = windows_of(&b.build());
+        assert_eq!(w[0].reach[&1], 1);
+        assert_eq!(w[0].reach[&2], 2);
+        // PC 3 is one hop via the taken edge, not three via fall-through.
+        assert_eq!(w[0].reach[&3], 1);
+    }
+}

@@ -54,6 +54,7 @@ mod interference;
 mod layout;
 mod multilevel;
 mod pilot;
+pub mod registry;
 mod sender;
 mod smt;
 mod spectre;
@@ -69,6 +70,7 @@ pub use interference::InterferenceChannel;
 pub use layout::{AttackLayout, MAX_CHAIN, MAX_LOADS};
 pub use multilevel::{LevelCalibration, MultiLevelChannel};
 pub use pilot::{Drift, PilotChannel, PilotOutcome};
+pub use registry::{find, registry, ProgramSpec, TriggerKind};
 pub use sender::{build_round_program, RoundRegs};
 pub use smt::{
     prime_probe_against_nomo, probe_coherence_downgrade, probe_speculative_window,

@@ -177,7 +177,7 @@ impl MultiLevelChannel {
 
 /// The sender program: like the one-bit round, but the body issues
 /// `P[64·k]` loads gated per bit position via branch-free arithmetic.
-fn build_multilevel_round(layout: &AttackLayout, train_iters: u64) -> Program {
+pub(crate) fn build_multilevel_round(layout: &AttackLayout, train_iters: u64) -> Program {
     let regs = RoundRegs::default();
     let mut b = ProgramBuilder::new();
     b.mov(R_ABASE, layout.a_base().raw());

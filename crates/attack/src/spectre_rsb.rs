@@ -67,7 +67,7 @@ impl SpectreRsb {
         this
     }
 
-    fn build_round(layout: &AttackLayout) -> Program {
+    pub(crate) fn build_round(layout: &AttackLayout) -> Program {
         let regs = RoundRegs::default();
         let mut b = ProgramBuilder::new();
         b.mov(SP, 0x9_0000);

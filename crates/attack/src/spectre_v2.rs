@@ -84,7 +84,7 @@ impl SpectreV2 {
     /// target loaded from flushed memory, opening the speculation
     /// window) transiently executes the gadget because the attacker
     /// poisoned the BTB.
-    fn build_round(layout: &AttackLayout) -> (Program, usize, usize) {
+    pub(crate) fn build_round(layout: &AttackLayout) -> (Program, usize, usize) {
         let regs = RoundRegs::default();
         let mut b = ProgramBuilder::new();
         b.mov(R_ABASE, layout.a_base().raw());

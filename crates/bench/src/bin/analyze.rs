@@ -1,0 +1,101 @@
+//! Static transient-leakage analysis of the registered attack programs.
+//!
+//! ```text
+//! analyze [--json] [--list] [<name>...]
+//! ```
+//!
+//! With no names, analyzes every entry in the attack-program registry
+//! (`spectre`, `spectre_v2`, `spectre_rsb`, `eviction`, `multilevel`,
+//! `smt`, `adaptive`). The default output is a human-readable verdict
+//! table per program; `--json` emits one deterministic JSON document
+//! (the format `analysis_golden.json` pins in CI). Exit status is 2 on
+//! unknown names, 0 otherwise — a leak verdict is the *expected* result
+//! for attack programs, not an error.
+
+use std::process::ExitCode;
+
+use unxpec::analysis::{analyze, DefenseModel, SecretRegion};
+use unxpec::attack::registry::{registry, ProgramSpec};
+use unxpec::cpu::CoreConfig;
+
+fn analyze_spec(spec: &ProgramSpec) -> unxpec::analysis::ProgramAnalysis {
+    let secrets: Vec<SecretRegion> =
+        SecretRegion::from_layout(spec.layout().memory_layout(), "SECRET")
+            .into_iter()
+            .collect();
+    analyze(spec.name, spec.program(), &secrets, &CoreConfig::table_i())
+}
+
+fn print_human(spec: &ProgramSpec, a: &unxpec::analysis::ProgramAnalysis) {
+    println!("{} — {}", spec.name, spec.description);
+    println!(
+        "  {} instructions, {} speculation points, {} windowed transmitters",
+        a.instructions,
+        a.spec_points.len(),
+        a.windowed.len()
+    );
+    for wt in &a.windowed {
+        println!(
+            "  transmitter pc {} (via {} at pc {}, distance {}) chain {:?}",
+            wt.transmitter.pc,
+            wt.spec_kind.label(),
+            wt.spec_pc,
+            wt.distance,
+            wt.transmitter.chain
+        );
+    }
+    for d in DefenseModel::ALL {
+        let v = a.verdict(d);
+        let channel = match v {
+            unxpec::analysis::Verdict::Leak(ch) => format!(" ({})", ch.label()),
+            unxpec::analysis::Verdict::Clean => String::new(),
+        };
+        println!("  {:>13}: {}{}", d.label(), v.label(), channel);
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            other => names.push(other.to_owned()),
+        }
+    }
+    let all = registry();
+    if list {
+        for s in &all {
+            println!("{} — {}", s.name, s.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&ProgramSpec> = if names.is_empty() {
+        all.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for n in &names {
+            match all.iter().find(|s| s.name == *n) {
+                Some(s) => sel.push(s),
+                None => {
+                    eprintln!("unknown program {n:?}; use --list");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        sel
+    };
+    if json {
+        let docs: Vec<String> = selected.iter().map(|s| analyze_spec(s).to_json()).collect();
+        println!("{{\"programs\":[{}]}}", docs.join(","));
+    } else {
+        for s in selected {
+            let a = analyze_spec(s);
+            print_human(s, &a);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -228,7 +228,7 @@ impl Cache {
     /// Invalidates `line`. Returns the vacated `(set, way, meta)`.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<(usize, usize, LineMeta)> {
         let (set, way) = self.probe(line)?;
-        let meta = self.slot_mut(set, way).take().expect("probed valid");
+        let meta = self.slot_mut(set, way).take()?;
         self.resident -= 1;
         self.stats.invalidations += 1;
         if meta.state.is_dirty() {
@@ -252,7 +252,7 @@ impl Cache {
     /// copy). Returns the previous state if the line was resident.
     pub fn downgrade(&mut self, line: LineAddr) -> Option<CoherenceState> {
         let (set, way) = self.probe(line)?;
-        let meta = self.slot_mut(set, way).as_mut().expect("probed valid");
+        let meta = self.slot_mut(set, way).as_mut()?;
         let prev = meta.state;
         if prev.is_valid() {
             meta.state = CoherenceState::Shared;
@@ -368,6 +368,7 @@ impl Cache {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::replacement::ReplacementKind;

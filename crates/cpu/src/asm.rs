@@ -332,6 +332,7 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::core::Core;

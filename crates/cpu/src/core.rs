@@ -406,10 +406,10 @@ impl Core {
             let inst = match program.fetch(st.pc) {
                 Some(inst) => inst,
                 None => {
-                    if st.has_mispredicted_frame() {
+                    if let Some(resolve) = st.earliest_mispredict_resolve() {
                         // Wrong-path fetch ran off the program; stall
                         // until the squash redirects us.
-                        st.stall_to(st.earliest_mispredict_resolve().expect("frame exists"));
+                        st.stall_to(resolve);
                         continue;
                     }
                     // Correct path fell off the end: treat as halt.
@@ -418,8 +418,8 @@ impl Core {
             };
 
             if inst == Inst::Halt {
-                if st.has_mispredicted_frame() {
-                    st.stall_to(st.earliest_mispredict_resolve().expect("frame exists"));
+                if let Some(resolve) = st.earliest_mispredict_resolve() {
+                    st.stall_to(resolve);
                     continue;
                 }
                 // Drain remaining (correct) frames and finish.
@@ -433,11 +433,12 @@ impl Core {
 
             // ROB occupancy.
             if st.rob.len() >= self.cfg.rob_entries {
-                let release = st.rob.pop_front().expect("rob nonempty");
-                if release > st.peek_dispatch_cycle() {
-                    st.stall_to(release);
-                    // Frames may resolve during the stall.
-                    continue;
+                if let Some(release) = st.rob.pop_front() {
+                    if release > st.peek_dispatch_cycle() {
+                        st.stall_to(release);
+                        // Frames may resolve during the stall.
+                        continue;
+                    }
                 }
             }
 
@@ -507,14 +508,13 @@ impl Core {
                 let addr = Addr::new(st.regs[base.index()].wrapping_add(offset as u64) & !7);
                 let ready = st.avail[base.index()].max(d).max(st.fence_floor);
                 let start = st.alloc_load_slot(ready, self.cfg.load_ports);
-                let suppressed = squash_at.map(|s| start >= s).unwrap_or(false);
-                if suppressed {
+                let suppressed = squash_at.filter(|&s| start >= s);
+                if let Some(squash) = suppressed {
                     // Squash arrives before this load could issue: it
                     // never produces a value, so dependents only become
                     // "ready" at the squash itself (where they die too).
                     // This keeps dependent wrong-path loads from firing
                     // with a garbage address.
-                    let squash = squash_at.expect("suppression implies a pending squash");
                     st.regs[dst.index()] = 0;
                     st.avail[dst.index()] = squash;
                     complete = start;
@@ -811,7 +811,9 @@ impl Core {
                     st.pc = predicted;
                 }
             }
-            Inst::Halt => unreachable!("halt handled in the main loop"),
+            // Halt is intercepted by the main loop before dispatch, so
+            // there is nothing to execute; `complete` stays at `d`.
+            Inst::Halt => {}
         }
 
         st.last_complete = st.last_complete.max(complete);
@@ -866,7 +868,11 @@ impl Core {
         // Mis-speculation: squash this frame and everything younger
         // (draining in place — no tail Vec is split off).
         let mut drained = st.frames.drain(idx..);
-        let frame = drained.next().expect("frame at idx");
+        let Some(frame) = drained.next() else {
+            // `idx` always comes from `earliest_frame`, so the drain is
+            // never empty; bail out rather than panic if it ever is.
+            return;
+        };
         for younger in drained {
             self.frame_pool.push(younger);
         }
@@ -1076,6 +1082,7 @@ impl Exec {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::isa::Cond;
@@ -1378,6 +1385,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod trace_tests {
     use super::*;
     use crate::isa::Cond;
@@ -1453,6 +1461,7 @@ mod trace_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod edge_tests {
     use super::*;
     use crate::isa::Cond;
@@ -1602,6 +1611,7 @@ mod edge_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod telemetry_tests {
     use super::*;
     use crate::isa::Cond;
@@ -1703,6 +1713,7 @@ mod telemetry_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod jump_ind_tests {
     use super::*;
     use crate::program::ProgramBuilder;
@@ -1797,6 +1808,7 @@ mod jump_ind_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod call_ret_tests {
     use super::*;
     use crate::program::ProgramBuilder;

@@ -148,6 +148,7 @@ impl Defense for UnsafeBaseline {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use unxpec_cache::HierarchyConfig;

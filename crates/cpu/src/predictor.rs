@@ -263,6 +263,7 @@ impl BranchPredictor for NeverTaken {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

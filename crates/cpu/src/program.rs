@@ -37,6 +37,23 @@ impl Program {
     pub fn instructions(&self) -> &[Inst] {
         &self.insts
     }
+
+    /// All defined labels as `(name, position)` pairs, in unspecified
+    /// order (static-analysis passes use this to name CFG nodes).
+    pub fn labels(&self) -> impl Iterator<Item = (&str, PcIndex)> {
+        self.labels.iter().map(|(name, pc)| (name.as_str(), *pc))
+    }
+
+    /// Positions of every `Call` instruction — the return sites
+    /// (`pc + 1`) are what the return stack buffer can predict, which
+    /// is exactly the transient-successor set of a `Ret`.
+    pub fn call_sites(&self) -> impl Iterator<Item = PcIndex> + '_ {
+        self.insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, Inst::Call { .. }))
+            .map(|(pc, _)| pc)
+    }
 }
 
 impl fmt::Display for Program {
@@ -341,6 +358,9 @@ impl ProgramBuilder {
     ///
     /// Panics if assembly fails; use [`ProgramBuilder::try_build`] for
     /// the recoverable form.
+    // A documented panicking wrapper over try_build, kept for test and
+    // builder ergonomics.
+    #[allow(clippy::disallowed_methods)]
     pub fn build(self) -> Program {
         self.try_build()
             .map_err(|e| e.to_string())
@@ -392,6 +412,7 @@ impl ProgramBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 
@@ -453,6 +474,25 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.jump("nowhere");
         let _ = b.build();
+    }
+
+    #[test]
+    fn labels_and_call_sites_enumerate() {
+        let mut b = ProgramBuilder::new();
+        b.label("entry");
+        b.call("f", Reg(30));
+        b.halt();
+        b.label("f");
+        b.call("g", Reg(30));
+        b.ret(Reg(30));
+        b.label("g");
+        b.ret(Reg(30));
+        let p = b.build();
+        let mut labels: Vec<(&str, PcIndex)> = p.labels().collect();
+        labels.sort();
+        assert_eq!(labels, vec![("entry", 0), ("f", 2), ("g", 4)]);
+        let calls: Vec<PcIndex> = p.call_sites().collect();
+        assert_eq!(calls, vec![0, 2]);
     }
 
     #[test]

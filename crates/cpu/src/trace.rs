@@ -125,6 +125,7 @@ impl fmt::Display for ExecTrace {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::isa::Reg;

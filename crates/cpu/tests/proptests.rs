@@ -1,5 +1,7 @@
 //! Property tests for the CPU building blocks.
 
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)] // tests are exempt from the no-panic policy
+
 use proptest::prelude::*;
 use unxpec_cpu::{
     AluOp, BimodalPredictor, BranchPredictor, Cond, Core, GsharePredictor, ProgramBuilder, Reg,

@@ -303,6 +303,7 @@ impl Defense for CleanupSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use unxpec_cache::{HierarchyConfig, SpecTag};
@@ -524,6 +525,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod report_tests {
     use super::*;
     use unxpec_cache::{HierarchyConfig, SpecTag};
@@ -552,6 +554,7 @@ mod report_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod empty_rollback_claim {
     use super::*;
     use unxpec_cpu::Core;

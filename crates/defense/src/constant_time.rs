@@ -94,6 +94,7 @@ impl Defense for ConstantTimeRollback {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use unxpec_cache::{HierarchyConfig, SpecTag};

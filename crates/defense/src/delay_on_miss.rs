@@ -119,6 +119,7 @@ impl Defense for DelayOnMiss {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use unxpec_cpu::{Cond, Core, NeverTaken, ProgramBuilder, Reg};

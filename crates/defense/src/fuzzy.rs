@@ -86,6 +86,7 @@ impl Defense for FuzzyCleanup {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use unxpec_cache::{HierarchyConfig, SpecTag};

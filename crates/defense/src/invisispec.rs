@@ -92,6 +92,7 @@ impl Defense for InvisiSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use unxpec_cache::SpecTag;

@@ -73,6 +73,7 @@ impl Default for CleanupTiming {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,7 @@
 //! Property tests for the defenses.
 
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)] // tests are exempt from the no-panic policy
+
 use proptest::prelude::*;
 use unxpec_cache::{CacheHierarchy, HierarchyConfig, SpecTag};
 use unxpec_cpu::{Defense, SquashInfo};

@@ -152,6 +152,7 @@ impl fmt::Display for LineAddr {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

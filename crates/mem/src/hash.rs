@@ -39,7 +39,9 @@ impl Hasher for FxHasher64 {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            self.fold(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(word));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {
@@ -64,6 +66,7 @@ impl Hasher for FxHasher64 {
 pub type BuildFxHasher = BuildHasherDefault<FxHasher64>;
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use std::collections::HashMap;

@@ -124,6 +124,9 @@ impl MemoryLayout {
     ///
     /// Panics if no array with that name exists; use [`MemoryLayout::get`]
     /// or [`MemoryLayout::try_array`] for fallible lookups.
+    // A documented panicking accessor over try_array, kept for test and
+    // driver ergonomics.
+    #[allow(clippy::disallowed_methods)]
     pub fn array(&self, name: &str) -> ArrayHandle {
         self.try_array(name)
             .map_err(|e| e.to_string())
@@ -204,6 +207,7 @@ impl LayoutBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -61,7 +61,9 @@ impl Memory {
         match self.lines.get(&addr.line()) {
             Some(line) => {
                 let off = addr.line_offset() as usize;
-                u64::from_le_bytes(line[off..off + 8].try_into().expect("8 bytes"))
+                let mut word = [0u8; 8];
+                word.copy_from_slice(&line[off..off + 8]);
+                u64::from_le_bytes(word)
             }
             None => 0,
         }
@@ -86,6 +88,7 @@ impl Memory {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

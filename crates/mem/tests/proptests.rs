@@ -1,5 +1,7 @@
 //! Property tests for addressing and the backing store.
 
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)] // tests are exempt from the no-panic policy
+
 use proptest::prelude::*;
 use unxpec_mem::{Addr, LayoutBuilder, LineAddr, Memory, CACHE_LINE_BYTES};
 

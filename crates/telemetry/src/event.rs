@@ -36,16 +36,19 @@ pub enum Track {
     L2,
     Mshr,
     Defense,
+    /// Static-analysis findings (no cycle semantics; rendered at t=0).
+    Analysis,
 }
 
 impl Track {
     /// All tracks, in display order.
-    pub const ALL: [Track; 5] = [
+    pub const ALL: [Track; 6] = [
         Track::Pipeline,
         Track::L1,
         Track::L2,
         Track::Mshr,
         Track::Defense,
+        Track::Analysis,
     ];
 
     /// Stable display name.
@@ -56,6 +59,7 @@ impl Track {
             Track::L2 => "cache.l2",
             Track::Mshr => "mshr",
             Track::Defense => "defense",
+            Track::Analysis => "analysis",
         }
     }
 
@@ -67,6 +71,7 @@ impl Track {
             Track::L2 => 3,
             Track::Mshr => 4,
             Track::Defense => 5,
+            Track::Analysis => 6,
         }
     }
 }
@@ -157,6 +162,20 @@ pub enum Event {
     },
     /// Rollback restored an evicted victim into the L1.
     RollbackRestore { cycle: Cycle, line: u64 },
+
+    // ----- Static analysis --------------------------------------------------
+    /// The static leak analyzer flagged a transient access. `pc` is the
+    /// transmitting instruction, `spec_pc` the speculation source whose
+    /// window contains it, and the codes are the stable ids of
+    /// `unxpec-analysis`'s `DefenseModel` / `Channel` enums (kept as raw
+    /// integers so this crate stays dependency-free).
+    AnalysisLeak {
+        pc: usize,
+        spec_pc: usize,
+        window_len: u64,
+        defense_code: u64,
+        channel_code: u64,
+    },
 }
 
 impl Event {
@@ -178,6 +197,8 @@ impl Event {
             | Event::MshrCancel { cycle, .. }
             | Event::RollbackInvalidate { cycle, .. }
             | Event::RollbackRestore { cycle, .. } => cycle,
+            // Static findings have no cycle; they sort before any run.
+            Event::AnalysisLeak { .. } => 0,
         }
     }
 
@@ -202,6 +223,7 @@ impl Event {
             Event::MshrAlloc { .. } | Event::MshrMerge { .. } | Event::MshrCancel { .. } => {
                 Track::Mshr
             }
+            Event::AnalysisLeak { .. } => Track::Analysis,
         }
     }
 
@@ -223,6 +245,7 @@ impl Event {
             Event::MshrCancel { .. } => "mshr_cancel",
             Event::RollbackInvalidate { .. } => "rollback_invalidate",
             Event::RollbackRestore { .. } => "rollback_restore",
+            Event::AnalysisLeak { .. } => "analysis_leak",
         }
     }
 
@@ -281,6 +304,19 @@ impl Event {
             Event::RollbackInvalidate { line, .. } | Event::RollbackRestore { line, .. } => {
                 vec![("line", line)]
             }
+            Event::AnalysisLeak {
+                pc,
+                spec_pc,
+                window_len,
+                defense_code,
+                channel_code,
+            } => vec![
+                ("pc", pc as u64),
+                ("spec_pc", spec_pc as u64),
+                ("window_len", window_len),
+                ("defense_code", defense_code),
+                ("channel_code", channel_code),
+            ],
         }
     }
 }
@@ -367,6 +403,23 @@ mod tests {
             let _ = e.track();
             let _ = e.args();
         }
+    }
+
+    #[test]
+    fn analysis_leak_routes_to_the_analysis_track() {
+        let e = Event::AnalysisLeak {
+            pc: 12,
+            spec_pc: 9,
+            window_len: 200,
+            defense_code: 1,
+            channel_code: 1,
+        };
+        assert_eq!(e.cycle(), 0, "static findings predate the run");
+        assert_eq!(e.track(), Track::Analysis);
+        assert_eq!(e.name(), "analysis_leak");
+        let args = e.args();
+        assert_eq!(args[0], ("pc", 12));
+        assert_eq!(args[1], ("spec_pc", 9));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! must exhibit the same channel as the builder-generated one.
 
 use unxpec::attack::AttackLayout;
-use unxpec::cpu::{parse_asm, Core, Reg};
+use unxpec::cpu::{parse_asm, AsmError, Cond, Core, ProgramBuilder, Reg};
 use unxpec::defense::CleanupSpec;
 
 fn load_round() -> unxpec::cpu::Program {
@@ -23,6 +23,36 @@ fn asm_addresses_match_the_layout() {
     assert_eq!(layout.secret_addr().raw(), 0x104800);
     assert_eq!(layout.chain_node(0).raw(), 0x104880);
     assert_eq!(layout.oob_index(), 248);
+}
+
+#[test]
+fn duplicate_labels_are_rejected_with_a_typed_error() {
+    // Regression: binding one label name at two positions used to
+    // silently rebind it, making a branch target depend on emission
+    // order. Both assembler front ends must reject it.
+    let mut b = ProgramBuilder::new();
+    b.label("spot");
+    b.nop();
+    b.label("spot");
+    b.branch(Cond::Eq, Reg(1), 0u64, "spot");
+    b.halt();
+    match b.try_build() {
+        Err(AsmError::DuplicateLabel {
+            label,
+            first,
+            second,
+        }) => {
+            assert_eq!(label, "spot");
+            assert_eq!((first, second), (0, 1));
+        }
+        other => panic!("expected DuplicateLabel, got {other:?}"),
+    }
+
+    let err = parse_asm("dup:\n  nop\ndup:\n  halt\n").expect_err("duplicate must not parse");
+    assert!(
+        err.to_string().contains("defined twice"),
+        "unexpected parse error: {err}"
+    );
 }
 
 #[test]
