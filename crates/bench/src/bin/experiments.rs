@@ -113,7 +113,10 @@ fn main() {
         names.push("trace".to_string());
     }
     for dir in [&csv_dir, &svg_dir].into_iter().flatten() {
-        std::fs::create_dir_all(dir).expect("create output dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("create output dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
     }
     let opts = Options {
         scale: if quick {
@@ -164,6 +167,10 @@ fn main() {
                 eprintln!("experiment {:?} panicked: {error}", names[i]);
                 failed = true;
             }
+            TaskOutcome::TimedOut { error, .. } => {
+                eprintln!("experiment {:?} timed out: {error}", names[i]);
+                failed = true;
+            }
         }
     }
     if failed {
@@ -174,7 +181,10 @@ fn main() {
 fn write_csv(opts: &Options, out: &mut String, name: &str, csv: String) {
     if let Some(dir) = &opts.csv_dir {
         let path = dir.join(format!("{name}.csv"));
-        std::fs::write(&path, csv).expect("write csv");
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("write csv {}: {e}", path.display());
+            std::process::exit(2);
+        }
         let _ = writeln!(out, "(wrote {})", path.display());
     }
 }
@@ -182,7 +192,10 @@ fn write_csv(opts: &Options, out: &mut String, name: &str, csv: String) {
 fn write_svg(opts: &Options, out: &mut String, name: &str, svg: String) {
     if let Some(dir) = &opts.svg_dir {
         let path = dir.join(format!("{name}.svg"));
-        std::fs::write(&path, svg).expect("write svg");
+        if let Err(e) = std::fs::write(&path, svg) {
+            eprintln!("write svg {}: {e}", path.display());
+            std::process::exit(2);
+        }
         let _ = writeln!(out, "(wrote {})", path.display());
     }
 }
@@ -301,7 +314,10 @@ fn run_one(name: &str, opts: &Options, out: &mut String) {
                 trace::run(false, 1 << 15, seed)
             });
             if let Some(path) = &opts.trace_out {
-                std::fs::write(path, r.chrome_trace()).expect("write trace");
+                if let Err(e) = std::fs::write(path, r.chrome_trace()) {
+                    eprintln!("write trace {}: {e}", path.display());
+                    std::process::exit(2);
+                }
                 let _ = writeln!(out, "(wrote {})", path.display());
             }
             if let Some(path) = &opts.metrics_out {
@@ -310,7 +326,10 @@ fn run_one(name: &str, opts: &Options, out: &mut String) {
                 } else {
                     r.metrics.to_json()
                 };
-                std::fs::write(path, body).expect("write metrics");
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("write metrics {}: {e}", path.display());
+                    std::process::exit(2);
+                }
                 let _ = writeln!(out, "(wrote {})", path.display());
             }
         }
@@ -373,6 +392,22 @@ fn run_one(name: &str, opts: &Options, out: &mut String) {
                 "symbol accuracy over 64 symbols: {:.1}%\n",
                 acc * 100.0
             );
+        }
+        "chaos" => {
+            use unxpec::cache::FaultKind;
+            use unxpec::experiments::chaos::{self, ChaosMode};
+            let _ = writeln!(
+                out,
+                "==== Robustness — seeded fault injection, sanitizer armed ===="
+            );
+            for mode in [
+                ChaosMode::Control,
+                ChaosMode::Mixed,
+                ChaosMode::Single(FaultKind::WedgeFill),
+                ChaosMode::Sabotage,
+            ] {
+                let _ = writeln!(out, "{}", chaos::run(mode, 100, seed));
+            }
         }
         other => unreachable!("names are validated in main: {other:?}"),
     }

@@ -5,20 +5,29 @@
 //! sweep [--experiments a,b,..] [--variants x,y] [--scale quick|paper]
 //!       [--seeds N] [--root-seed S] [--spec <file>]
 //!       [--jobs N] [--retries N] [--manifest <file>]
+//!       [--deadline-ms N] [--backoff-ms N] [--quarantine-after N]
+//!       [--diagnostics-dir <dir>]
 //!       [--trace-out <file>] [--metrics-out <file>] [--list]
 //! ```
 //!
 //! The identity flags (`--experiments`, `--variants`, `--scale`,
 //! `--seeds`, `--root-seed`, or a `--spec` key=value file they
-//! override) define *what* runs; `--jobs`/`--retries`/`--manifest`
-//! only change *how*. Per-trial seeds derive from the root seed and
-//! the trial's identity, so any `--jobs` value produces the same
-//! aggregates and the same aggregate digest. With `--manifest`,
-//! completed trials are checkpointed after each finish; rerunning the
-//! same spec against the same manifest skips them. `--trace-out`
-//! writes per-trial wall-clock spans as Chrome/Perfetto trace JSON
-//! (one track per worker) and `--metrics-out` the pool counters
-//! (`.csv` extension selects CSV, anything else JSON).
+//! override) define *what* runs; the remaining flags only change
+//! *how*. Per-trial seeds derive from the root seed and the trial's
+//! identity, so any `--jobs` value produces the same aggregates and
+//! the same aggregate digest. With `--manifest`, completed trials are
+//! checkpointed after each finish; rerunning the same spec against the
+//! same manifest skips them. `--deadline-ms` turns slow trials into
+//! typed timeouts, `--backoff-ms` paces panic retries,
+//! `--quarantine-after` benches keys that keep failing across resumes,
+//! and `--diagnostics-dir` writes one reproduction bundle per failing
+//! trial (see `docs/fault_injection.md`). `--trace-out` writes
+//! per-trial wall-clock spans as Chrome/Perfetto trace JSON (one track
+//! per worker) and `--metrics-out` the pool counters (`.csv` extension
+//! selects CSV, anything else JSON).
+//!
+//! Exit codes: 0 clean, 1 when any trial poisoned, timed out, or was
+//! quarantined, 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 
@@ -31,7 +40,7 @@ fn main() {
     let mut opts = SweepOptions {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         retries: 1,
-        manifest: None,
+        ..SweepOptions::default()
     };
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
@@ -103,6 +112,26 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--deadline-ms" => {
+                let ms: u64 = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--deadline-ms needs an integer, got {value:?}");
+                    std::process::exit(2);
+                });
+                opts.deadline_ms = Some(ms);
+            }
+            "--backoff-ms" => {
+                opts.backoff_ms = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--backoff-ms needs an integer, got {value:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--quarantine-after" => {
+                opts.quarantine_after = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--quarantine-after needs an integer, got {value:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--diagnostics-dir" => opts.diagnostics_dir = Some(PathBuf::from(value)),
             "--manifest" => opts.manifest = Some(PathBuf::from(value)),
             "--trace-out" => trace_out = Some(PathBuf::from(value)),
             "--metrics-out" => metrics_out = Some(PathBuf::from(value)),
@@ -122,7 +151,10 @@ fn main() {
     };
     print!("{report}");
     if let Some(path) = &trace_out {
-        std::fs::write(path, report.chrome_trace()).expect("write trace");
+        if let Err(e) = std::fs::write(path, report.chrome_trace()) {
+            eprintln!("write trace {}: {e}", path.display());
+            std::process::exit(2);
+        }
         println!("(wrote {})", path.display());
     }
     if let Some(path) = &metrics_out {
@@ -132,10 +164,20 @@ fn main() {
         } else {
             m.to_json()
         };
-        std::fs::write(path, body).expect("write metrics");
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("write metrics {}: {e}", path.display());
+            std::process::exit(2);
+        }
         println!("(wrote {})", path.display());
     }
-    if !report.poisoned.is_empty() {
+    let failures = report.poisoned.len() + report.timed_out.len() + report.quarantined.len();
+    if failures > 0 {
+        eprintln!(
+            "sweep finished with {} poisoned, {} timed-out, {} quarantined trial(s)",
+            report.poisoned.len(),
+            report.timed_out.len(),
+            report.quarantined.len()
+        );
         std::process::exit(1);
     }
 }

@@ -46,6 +46,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "workloads",
     "scorecard",
     "ablations",
+    "chaos",
     "all",
 ];
 

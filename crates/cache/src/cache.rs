@@ -302,6 +302,43 @@ impl Cache {
         self.resident
     }
 
+    /// Recounts the tag array and checks it against the incremental
+    /// occupancy counter — the sanitizer's ground-truth cross-check,
+    /// available in release builds (unlike the `debug_assert` in
+    /// [`Cache::resident_count`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns `(counter, recount)` when the incremental counter has
+    /// drifted from the tag array.
+    pub fn verify_occupancy(&self) -> Result<(), (usize, usize)> {
+        let recount = self.ways.iter().filter(|w| w.is_some()).count();
+        if self.resident == recount {
+            Ok(())
+        } else {
+            Err((self.resident, recount))
+        }
+    }
+
+    /// Corrupts the incremental occupancy counter by `delta` without
+    /// touching the tag array. Exists solely so mutation tests can
+    /// prove the sanitizer catches counter drift; never call it from
+    /// simulation code.
+    #[doc(hidden)]
+    pub fn corrupt_resident_counter_for_tests(&mut self, delta: isize) {
+        self.resident = self.resident.saturating_add_signed(delta);
+    }
+
+    /// Phantom-touches `(set, way)` in the replacement policy — the
+    /// fault injector's replacement-state perturbation. Out-of-range
+    /// coordinates are ignored. Tag state, stats, and occupancy are
+    /// untouched; only future victim choices shift.
+    pub fn perturb_replacement(&mut self, set: usize, way: usize) {
+        if set < self.cfg.sets && way < self.cfg.ways {
+            self.policy.on_access(set, way);
+        }
+    }
+
     /// The line currently held in `(set, way)`, if any.
     ///
     /// # Panics

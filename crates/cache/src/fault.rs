@@ -1,0 +1,509 @@
+//! Deterministic fault injection for the cache hierarchy.
+//!
+//! The unXpec channel lives in CleanupSpec's rollback corner cases, and
+//! related attacks (Speculative Interference, SpectreRewind) show that
+//! undo defenses break exactly under the contention and
+//! resource-exhaustion conditions that ordinary workloads rarely hit.
+//! A [`FaultInjector`] *manufactures* those conditions on demand:
+//! delayed, reordered, or wedged fill responses; MSHR exhaustion;
+//! spurious evictions of architectural lines; replacement-state
+//! perturbation; and squash-during-rollback interrupts.
+//!
+//! Every decision is drawn from per-site [`FaultStream`]s forked from
+//! one seed, so a fault schedule is a pure function of `(plan, seed)`
+//! and never of execution order: a parallel sweep under injection
+//! replays byte-identically, and a diagnostics bundle reproduces any
+//! trial from the seed alone. A plan with every rate at zero draws
+//! nothing and perturbs nothing — the disabled injector is
+//! byte-identical to no injector at all.
+
+use unxpec_mem::FaultStream;
+
+use crate::Cycle;
+
+/// The kinds of fault the injector can introduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A fill response is delayed by a bounded extra latency.
+    DelayFill,
+    /// A fill response is delivered out of order: it completes one full
+    /// memory-service window late, behind its successor.
+    ReorderFill,
+    /// A fill response wedges — it completes so far in the future that
+    /// the core can never retire past the load without tripping the
+    /// forward-progress watchdog.
+    WedgeFill,
+    /// The MSHR file reports artificial backpressure, as if every entry
+    /// were occupied.
+    MshrExhaust,
+    /// A resident, non-speculative L1 line is evicted out from under
+    /// the program.
+    SpuriousEvict,
+    /// Replacement metadata is perturbed (a phantom touch of a random
+    /// way), shifting future victim choices.
+    ReplacePerturb,
+    /// A second squash arrives mid-rollback; the cleanup walk restarts
+    /// and is charged extra cycles.
+    SquashDuringRollback,
+}
+
+impl FaultKind {
+    /// Every kind, in stable order (telemetry code order).
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::DelayFill,
+        FaultKind::ReorderFill,
+        FaultKind::WedgeFill,
+        FaultKind::MshrExhaust,
+        FaultKind::SpuriousEvict,
+        FaultKind::ReplacePerturb,
+        FaultKind::SquashDuringRollback,
+    ];
+
+    /// Stable numeric code (used in `Event::FaultInjected`).
+    pub fn code(self) -> u64 {
+        match self {
+            FaultKind::DelayFill => 1,
+            FaultKind::ReorderFill => 2,
+            FaultKind::WedgeFill => 3,
+            FaultKind::MshrExhaust => 4,
+            FaultKind::SpuriousEvict => 5,
+            FaultKind::ReplacePerturb => 6,
+            FaultKind::SquashDuringRollback => 7,
+        }
+    }
+
+    /// Stable snake_case name (used in fault schedules and docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::DelayFill => "delay_fill",
+            FaultKind::ReorderFill => "reorder_fill",
+            FaultKind::WedgeFill => "wedge_fill",
+            FaultKind::MshrExhaust => "mshr_exhaust",
+            FaultKind::SpuriousEvict => "spurious_evict",
+            FaultKind::ReplacePerturb => "replace_perturb",
+            FaultKind::SquashDuringRollback => "squash_during_rollback",
+        }
+    }
+
+    /// Parses a [`FaultKind::name`] back into the kind.
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    fn index(self) -> usize {
+        (self.code() - 1) as usize
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Injection rates (per mille per opportunity) and magnitudes.
+///
+/// The default plan has every rate at zero: an injector built from it
+/// draws no random values and perturbs nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Per-mille rate of delayed fill responses.
+    pub delay_fill: u32,
+    /// Extra latency range (inclusive) for a delayed fill.
+    pub delay_fill_cycles: (Cycle, Cycle),
+    /// Per-mille rate of reordered fill responses.
+    pub reorder_fill: u32,
+    /// Per-mille rate of wedged fill responses.
+    pub wedge_fill: u32,
+    /// Completion offset of a wedged fill (far beyond any watchdog
+    /// budget by default).
+    pub wedge_fill_cycles: Cycle,
+    /// Per-mille rate of artificial MSHR backpressure.
+    pub mshr_exhaust: u32,
+    /// Stall charged when MSHR exhaustion fires.
+    pub mshr_exhaust_cycles: Cycle,
+    /// Per-mille rate of spurious L1 evictions (per completed fill).
+    pub spurious_evict: u32,
+    /// Per-mille rate of replacement-metadata perturbation (per data
+    /// access).
+    pub replace_perturb: u32,
+    /// Per-mille rate of a squash arriving mid-rollback.
+    pub squash_during_rollback: u32,
+    /// Extra cycles charged when a rollback is interrupted and redone.
+    pub squash_during_rollback_cycles: Cycle,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            delay_fill: 0,
+            delay_fill_cycles: (20, 200),
+            reorder_fill: 0,
+            wedge_fill: 0,
+            wedge_fill_cycles: 1 << 30,
+            mshr_exhaust: 0,
+            mshr_exhaust_cycles: 64,
+            spurious_evict: 0,
+            replace_perturb: 0,
+            squash_during_rollback: 0,
+            squash_during_rollback_cycles: 16,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The all-zero plan (injects nothing).
+    pub fn disabled() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan firing only `kind`, at `per_mille` per opportunity.
+    pub fn only(kind: FaultKind, per_mille: u32) -> Self {
+        let mut plan = FaultPlan::default();
+        match kind {
+            FaultKind::DelayFill => plan.delay_fill = per_mille,
+            FaultKind::ReorderFill => plan.reorder_fill = per_mille,
+            FaultKind::WedgeFill => plan.wedge_fill = per_mille,
+            FaultKind::MshrExhaust => plan.mshr_exhaust = per_mille,
+            FaultKind::SpuriousEvict => plan.spurious_evict = per_mille,
+            FaultKind::ReplacePerturb => plan.replace_perturb = per_mille,
+            FaultKind::SquashDuringRollback => plan.squash_during_rollback = per_mille,
+        }
+        plan
+    }
+
+    /// A plan firing every kind except wedges at `per_mille` (wedges
+    /// end runs by design, so a mixed-chaos plan keeps them out).
+    pub fn uniform(per_mille: u32) -> Self {
+        FaultPlan {
+            delay_fill: per_mille,
+            reorder_fill: per_mille,
+            mshr_exhaust: per_mille,
+            spurious_evict: per_mille,
+            replace_perturb: per_mille,
+            squash_during_rollback: per_mille,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The rate configured for `kind`.
+    pub fn rate(&self, kind: FaultKind) -> u32 {
+        match kind {
+            FaultKind::DelayFill => self.delay_fill,
+            FaultKind::ReorderFill => self.reorder_fill,
+            FaultKind::WedgeFill => self.wedge_fill,
+            FaultKind::MshrExhaust => self.mshr_exhaust,
+            FaultKind::SpuriousEvict => self.spurious_evict,
+            FaultKind::ReplacePerturb => self.replace_perturb,
+            FaultKind::SquashDuringRollback => self.squash_during_rollback,
+        }
+    }
+
+    /// Whether any kind can ever fire.
+    pub fn enabled(&self) -> bool {
+        FaultKind::ALL.into_iter().any(|k| self.rate(k) > 0)
+    }
+}
+
+/// One fault that actually fired (the injector's schedule log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// What fired.
+    pub kind: FaultKind,
+    /// Simulated cycle of the injection site.
+    pub cycle: Cycle,
+    /// Kind-specific magnitude: extra cycles for timing faults, a
+    /// packed `(set << 16) | way` for placement faults.
+    pub detail: u64,
+}
+
+/// The deterministic fault injector attached to a [`CacheHierarchy`].
+///
+/// Each injection site draws from its own forked [`FaultStream`], so
+/// decisions at one site never shift the alignment of another's —
+/// enabling one fault kind leaves every other kind's schedule intact.
+///
+/// [`CacheHierarchy`]: crate::CacheHierarchy
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_cache::{FaultInjector, FaultKind, FaultPlan};
+///
+/// let mut inj = FaultInjector::new(FaultPlan::only(FaultKind::DelayFill, 1000), 7);
+/// let (kind, extra) = inj.fill_fault(100, 80).expect("rate 1000 always fires");
+/// assert_eq!(kind, FaultKind::DelayFill);
+/// assert!(extra > 0);
+/// assert_eq!(inj.log().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+    fill: FaultStream,
+    mshr: FaultStream,
+    evict: FaultStream,
+    replace: FaultStream,
+    rollback: FaultStream,
+    log: Vec<FaultRecord>,
+    counts: [u64; 7],
+}
+
+/// Cap on the retained schedule log; diagnostics only ever need a
+/// bounded tail, and a chaos run can fire millions of faults.
+const LOG_CAPACITY: usize = 4096;
+
+impl FaultInjector {
+    /// An injector executing `plan` under `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        let root = FaultStream::new(seed);
+        FaultInjector {
+            plan,
+            seed,
+            fill: root.fork("fill"),
+            mshr: root.fork("mshr"),
+            evict: root.fork("evict"),
+            replace: root.fork("replace"),
+            rollback: root.fork("rollback"),
+            log: Vec::new(),
+            counts: [0; 7],
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The seed the streams were forked from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether any fault can ever fire.
+    pub fn enabled(&self) -> bool {
+        self.plan.enabled()
+    }
+
+    fn record(&mut self, kind: FaultKind, cycle: Cycle, detail: u64) {
+        self.counts[kind.index()] += 1;
+        if self.log.len() < LOG_CAPACITY {
+            self.log.push(FaultRecord {
+                kind,
+                cycle,
+                detail,
+            });
+        }
+    }
+
+    /// Fill-response fault for a miss serviced from memory at `cycle`
+    /// with base service latency `base_service`. Returns the extra
+    /// completion latency, if a fault fired. Wedges take precedence
+    /// over reorders over delays; at most one fires per fill.
+    pub fn fill_fault(&mut self, cycle: Cycle, base_service: Cycle) -> Option<(FaultKind, Cycle)> {
+        if self.plan.wedge_fill > 0 && self.fill.fires(self.plan.wedge_fill) {
+            let extra = self.plan.wedge_fill_cycles;
+            self.record(FaultKind::WedgeFill, cycle, extra);
+            return Some((FaultKind::WedgeFill, extra));
+        }
+        if self.plan.reorder_fill > 0 && self.fill.fires(self.plan.reorder_fill) {
+            // Delivered behind its successor: one extra full service
+            // window, so the next miss's response overtakes this one.
+            let extra = base_service.max(1);
+            self.record(FaultKind::ReorderFill, cycle, extra);
+            return Some((FaultKind::ReorderFill, extra));
+        }
+        if self.plan.delay_fill > 0 && self.fill.fires(self.plan.delay_fill) {
+            let (lo, hi) = self.plan.delay_fill_cycles;
+            let extra = self.fill.range(lo.max(1), hi.max(1));
+            self.record(FaultKind::DelayFill, cycle, extra);
+            return Some((FaultKind::DelayFill, extra));
+        }
+        None
+    }
+
+    /// Artificial MSHR backpressure at `cycle`: the stall to charge on
+    /// top of the real next-free cycle, if the fault fired.
+    pub fn mshr_pressure(&mut self, cycle: Cycle) -> Option<Cycle> {
+        if self.plan.mshr_exhaust > 0 && self.mshr.fires(self.plan.mshr_exhaust) {
+            let extra = self.plan.mshr_exhaust_cycles;
+            self.record(FaultKind::MshrExhaust, cycle, extra);
+            return Some(extra);
+        }
+        None
+    }
+
+    /// Spurious-eviction target after a fill at `cycle`: a `(set, way)`
+    /// pick in an L1 of the given geometry, if the fault fired. The
+    /// hierarchy evicts the slot only if it holds a non-speculative
+    /// line (architectural state may be perturbed; in-window transient
+    /// state belongs to the rollback oracle).
+    pub fn spurious_evict(
+        &mut self,
+        cycle: Cycle,
+        sets: usize,
+        ways: usize,
+    ) -> Option<(usize, usize)> {
+        if self.plan.spurious_evict > 0 && self.evict.fires(self.plan.spurious_evict) {
+            let set = self.evict.pick(sets);
+            let way = self.evict.pick(ways);
+            self.record(
+                FaultKind::SpuriousEvict,
+                cycle,
+                ((set as u64) << 16) | way as u64,
+            );
+            return Some((set, way));
+        }
+        None
+    }
+
+    /// Replacement-perturbation target for a data access at `cycle`: a
+    /// `(set, way)` to phantom-touch, if the fault fired.
+    pub fn replace_perturb(
+        &mut self,
+        cycle: Cycle,
+        sets: usize,
+        ways: usize,
+    ) -> Option<(usize, usize)> {
+        if self.plan.replace_perturb > 0 && self.replace.fires(self.plan.replace_perturb) {
+            let set = self.replace.pick(sets);
+            let way = self.replace.pick(ways);
+            self.record(
+                FaultKind::ReplacePerturb,
+                cycle,
+                ((set as u64) << 16) | way as u64,
+            );
+            return Some((set, way));
+        }
+        None
+    }
+
+    /// Whether a squash interrupts the rollback in progress at `cycle`;
+    /// returns the extra cleanup cycles to charge for the redo.
+    pub fn interrupt_rollback(&mut self, cycle: Cycle) -> Option<Cycle> {
+        if self.plan.squash_during_rollback > 0
+            && self.rollback.fires(self.plan.squash_during_rollback)
+        {
+            let extra = self.plan.squash_during_rollback_cycles;
+            self.record(FaultKind::SquashDuringRollback, cycle, extra);
+            return Some(extra);
+        }
+        None
+    }
+
+    /// The schedule of faults that fired, in order (capped at an
+    /// internal bound; [`FaultInjector::injected_total`] is exact).
+    pub fn log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// How many faults of `kind` fired.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total faults fired across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The fault schedule as stable `kind@cycle:detail` lines, for
+    /// diagnostics bundles.
+    pub fn schedule_lines(&self) -> Vec<String> {
+        self.log
+            .iter()
+            .map(|r| format!("{}@{}:{}", r.kind, r.cycle, r.detail))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_draws_nothing_and_fires_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::disabled(), 42);
+        for cycle in 0..1000 {
+            assert!(inj.fill_fault(cycle, 80).is_none());
+            assert!(inj.mshr_pressure(cycle).is_none());
+            assert!(inj.spurious_evict(cycle, 64, 8).is_none());
+            assert!(inj.replace_perturb(cycle, 64, 8).is_none());
+            assert!(inj.interrupt_rollback(cycle).is_none());
+        }
+        assert_eq!(inj.injected_total(), 0);
+        assert!(inj.log().is_empty());
+        assert!(!inj.enabled());
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_plan_and_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultPlan::uniform(100), seed);
+            for cycle in 0..500 {
+                inj.fill_fault(cycle, 80);
+                inj.mshr_pressure(cycle);
+                inj.spurious_evict(cycle, 64, 8);
+            }
+            inj.schedule_lines()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn sites_are_independent_streams() {
+        // Draining one site must not shift another's decisions.
+        let mut a = FaultInjector::new(FaultPlan::uniform(100), 9);
+        let mut b = FaultInjector::new(FaultPlan::uniform(100), 9);
+        for cycle in 0..200 {
+            a.fill_fault(cycle, 80); // extra draws at the fill site only
+        }
+        let picks_a: Vec<_> = (0..50).map(|c| a.spurious_evict(c, 64, 8)).collect();
+        let picks_b: Vec<_> = (0..50).map(|c| b.spurious_evict(c, 64, 8)).collect();
+        assert_eq!(picks_a, picks_b);
+    }
+
+    #[test]
+    fn wedge_dominates_the_fill_site() {
+        let mut plan = FaultPlan::uniform(1000);
+        plan.wedge_fill = 1000;
+        let mut inj = FaultInjector::new(plan, 3);
+        let (kind, extra) = inj.fill_fault(10, 80).unwrap();
+        assert_eq!(kind, FaultKind::WedgeFill);
+        assert_eq!(extra, plan.wedge_fill_cycles);
+    }
+
+    #[test]
+    fn only_plans_fire_only_their_kind() {
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::only(kind, 1000);
+            assert!(plan.enabled());
+            assert_eq!(plan.rate(kind), 1000);
+            for other in FaultKind::ALL {
+                if other != kind {
+                    assert_eq!(plan.rate(other), 0, "{kind} plan leaks into {other}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_is_capped_but_counts_are_exact() {
+        let mut inj = FaultInjector::new(FaultPlan::only(FaultKind::MshrExhaust, 1000), 1);
+        for cycle in 0..(LOG_CAPACITY as u64 + 500) {
+            inj.mshr_pressure(cycle);
+        }
+        assert_eq!(inj.log().len(), LOG_CAPACITY);
+        assert_eq!(inj.injected_total(), LOG_CAPACITY as u64 + 500);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("nope"), None);
+    }
+}

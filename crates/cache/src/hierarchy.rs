@@ -6,6 +6,7 @@ use unxpec_telemetry::{CacheLevel, Event, MetricsRegistry, Telemetry};
 use crate::cache::Cache;
 use crate::config::HierarchyConfig;
 use crate::effects::{AccessOutcome, Effect, ExternalProbe, HitLevel};
+use crate::fault::{FaultInjector, FaultKind};
 use crate::line::{LineMeta, SpecTag};
 use crate::mshr::MshrFile;
 use crate::noise::NoiseModel;
@@ -32,6 +33,10 @@ pub struct CacheHierarchy {
     noise: NoiseModel,
     prefetch_fills: u64,
     telemetry: Telemetry,
+    /// Optional deterministic fault injector. `None` (the default) and
+    /// an injector whose plan never fires are both byte-identical to an
+    /// unfaulted hierarchy.
+    faults: Option<Box<FaultInjector>>,
 }
 
 impl CacheHierarchy {
@@ -74,6 +79,7 @@ impl CacheHierarchy {
             noise: NoiseModel::quiet(),
             prefetch_fills: 0,
             telemetry: Telemetry::disabled(),
+            faults: None,
             cfg,
         }
     }
@@ -81,6 +87,37 @@ impl CacheHierarchy {
     /// Replaces the noise model.
     pub fn set_noise(&mut self, noise: NoiseModel) {
         self.noise = noise;
+    }
+
+    /// Attaches a deterministic fault injector. Each fault that fires
+    /// is logged in the injector and emitted as
+    /// [`Event::FaultInjected`] through the telemetry sink.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(Box::new(injector));
+    }
+
+    /// Detaches and returns the injector (with its schedule log).
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.faults.take().map(|b| *b)
+    }
+
+    /// The attached injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_deref()
+    }
+
+    /// Asks the injector whether a squash interrupts the rollback in
+    /// progress at `cycle` (the squash-during-rollback fault). Returns
+    /// the extra cleanup cycles to charge; defenses redo their
+    /// (idempotent) cleanup walk and stall that much longer.
+    pub fn fault_interrupt_rollback(&mut self, cycle: Cycle) -> Option<Cycle> {
+        let extra = self.faults.as_deref_mut()?.interrupt_rollback(cycle)?;
+        self.telemetry.emit(Event::FaultInjected {
+            cycle,
+            kind: FaultKind::SquashDuringRollback.code(),
+            detail: extra,
+        });
+        Some(extra)
     }
 
     /// Attaches a telemetry handle; cache, MSHR and rollback events are
@@ -121,6 +158,21 @@ impl CacheHierarchy {
         thread: usize,
     ) -> AccessOutcome {
         let l1_lat = self.cfg.l1d.hit_latency;
+        // Replacement-state perturbation: a phantom touch of a random
+        // L1 way that shifts future victim choices without moving data.
+        let (l1_sets, l1_ways) = (self.cfg.l1d.sets, self.cfg.l1d.ways);
+        if let Some((set, way)) = self
+            .faults
+            .as_deref_mut()
+            .and_then(|f| f.replace_perturb(cycle, l1_sets, l1_ways))
+        {
+            self.l1d.perturb_replacement(set, way);
+            self.telemetry.emit(Event::FaultInjected {
+                cycle,
+                kind: FaultKind::ReplacePerturb.code(),
+                detail: ((set as u64) << 16) | way as u64,
+            });
+        }
         // A line whose fill is still inflight is not servable from L1 yet
         // even though the tag state is mutated eagerly: merge into the
         // MSHR entry and complete when the original fill does.
@@ -156,7 +208,21 @@ impl CacheHierarchy {
         });
         // Structural hazard: the miss cannot leave the L1 until an MSHR
         // entry is available.
-        let issue = self.mshrs.next_free_cycle(cycle).max(cycle);
+        let mut issue = self.mshrs.next_free_cycle(cycle).max(cycle);
+        // MSHR-exhaustion fault: artificial backpressure, as if the
+        // file were full until `issue + extra`.
+        if let Some(extra) = self
+            .faults
+            .as_deref_mut()
+            .and_then(|f| f.mshr_pressure(cycle))
+        {
+            issue += extra;
+            self.telemetry.emit(Event::FaultInjected {
+                cycle,
+                kind: FaultKind::MshrExhaust.code(),
+                detail: extra,
+            });
+        }
         let mut effects = Vec::new();
         // L2 pipeline occupancy.
         let l2_start = (issue + l1_lat).max(self.l2_next_free);
@@ -177,7 +243,24 @@ impl CacheHierarchy {
             // Memory: bank pipelining plus noise.
             let mem_start = (l2_start + self.cfg.l2.hit_latency).max(self.mem_next_free);
             self.mem_next_free = mem_start + self.cfg.mem_init_interval;
-            let service = self.cfg.mem_latency + self.noise.sample_mem_extra();
+            let mut service = self.cfg.mem_latency + self.noise.sample_mem_extra();
+            // Fill-response faults: delayed, reordered (behind its
+            // successor), or wedged (never effectively completing —
+            // downstream consumers block until the forward-progress
+            // watchdog or run limit ends the run).
+            let base_service = self.cfg.mem_latency;
+            if let Some((kind, extra)) = self
+                .faults
+                .as_deref_mut()
+                .and_then(|f| f.fill_fault(mem_start, base_service))
+            {
+                service += extra;
+                self.telemetry.emit(Event::FaultInjected {
+                    cycle: mem_start,
+                    kind: kind.code(),
+                    detail: extra,
+                });
+            }
             let done = mem_start + service;
             let fill = self.l2.insert(
                 LineMeta {
@@ -257,6 +340,26 @@ impl CacheHierarchy {
             complete_cycle: data_cycle,
             speculative: spec.is_some(),
         });
+        // Spurious-eviction fault: an architectural (non-speculative)
+        // L1 line vanishes out from under the program. Speculative
+        // installs are off limits — in-window transient state belongs
+        // to the rollback oracle, not the chaos plan.
+        if let Some((set, way)) = self
+            .faults
+            .as_deref_mut()
+            .and_then(|f| f.spurious_evict(data_cycle, l1_sets, l1_ways))
+        {
+            if let Some(target) = self.l1d.slot_line(set, way) {
+                if target != line && !self.l1d.is_speculative(target) {
+                    self.l1d.invalidate(target);
+                    self.telemetry.emit(Event::FaultInjected {
+                        cycle: data_cycle,
+                        kind: FaultKind::SpuriousEvict.code(),
+                        detail: target.raw(),
+                    });
+                }
+            }
+        }
         // Next-line prefetch: only demand (non-speculative) misses
         // trigger it, so prefetched lines never enter a rollback.
         if self.cfg.next_line_prefetch && spec.is_none() {
@@ -526,6 +629,21 @@ impl CacheHierarchy {
     /// Direct access to the L2 (tests and ablations).
     pub fn l2(&self) -> &Cache {
         &self.l2
+    }
+
+    /// Corrupts the L1D's incremental occupancy counter by `delta`
+    /// without touching the tag array. Exists solely so sanitizer
+    /// mutation tests and the chaos experiment's `sabotage` variant can
+    /// prove counter drift is caught; never call it from simulation
+    /// code.
+    #[doc(hidden)]
+    pub fn corrupt_l1_resident_counter_for_tests(&mut self, delta: isize) {
+        self.l1d.corrupt_resident_counter_for_tests(delta);
+    }
+
+    /// MSHR file, read-only (the sanitizer's leak accounting).
+    pub fn mshrs(&self) -> &MshrFile {
+        &self.mshrs
     }
 
     /// MSHR file (tests).

@@ -39,6 +39,7 @@ mod ceaser;
 mod config;
 mod effects;
 mod error;
+mod fault;
 mod hierarchy;
 mod line;
 mod mshr;
@@ -52,6 +53,7 @@ pub use ceaser::CeaserMapper;
 pub use config::{CacheConfig, HierarchyConfig};
 pub use effects::{AccessOutcome, Effect, ExternalProbe, HitLevel, Victim};
 pub use error::CacheError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use hierarchy::CacheHierarchy;
 pub use line::{CoherenceState, LineMeta, SpecTag};
 pub use mshr::{MshrEntry, MshrFile};

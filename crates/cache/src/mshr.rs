@@ -41,6 +41,11 @@ pub struct MshrFile {
     entries: Vec<MshrEntry>,
     peak_occupancy: usize,
     cancelled_speculative: u64,
+    /// Lifetime allocations, for leak accounting: every allocated
+    /// entry must eventually retire or be cancelled.
+    allocated_total: u64,
+    /// Lifetime releases (retirements + cancellations).
+    released_total: u64,
 }
 
 impl MshrFile {
@@ -56,11 +61,15 @@ impl MshrFile {
             entries: Vec::with_capacity(capacity),
             peak_occupancy: 0,
             cancelled_speculative: 0,
+            allocated_total: 0,
+            released_total: 0,
         }
     }
 
     fn retire_completed(&mut self, now: Cycle) {
+        let before = self.entries.len();
         self.entries.retain(|e| e.complete_cycle > now);
+        self.released_total += (before - self.entries.len()) as u64;
     }
 
     /// Finds an inflight entry for `line`, retiring completed entries
@@ -98,6 +107,7 @@ impl MshrFile {
             complete_cycle,
             spec,
         });
+        self.allocated_total += 1;
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         Ok(())
     }
@@ -152,6 +162,7 @@ impl MshrFile {
             !squashed
         });
         self.cancelled_speculative += cancelled.len() as u64;
+        self.released_total += cancelled.len() as u64;
         cancelled
     }
 
@@ -181,11 +192,40 @@ impl MshrFile {
         self.capacity
     }
 
+    /// Lifetime allocations (for leak accounting).
+    pub fn allocated_total(&self) -> u64 {
+        self.allocated_total
+    }
+
+    /// Lifetime releases: retirements plus cancellations.
+    pub fn released_total(&self) -> u64 {
+        self.released_total
+    }
+
+    /// Checks the allocate/release ledger against the live entry list.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(allocated, released, live)` when the ledger disagrees
+    /// with the entries actually held, or when occupancy exceeds
+    /// capacity — either means an entry leaked or was double-freed.
+    pub fn verify_accounting(&self) -> Result<(), (u64, u64, usize)> {
+        let live = self.entries.len();
+        let balanced = self.allocated_total == self.released_total + live as u64;
+        if balanced && live <= self.capacity {
+            Ok(())
+        } else {
+            Err((self.allocated_total, self.released_total, live))
+        }
+    }
+
     /// Registers the file's counters under the `mshr.` namespace.
     pub fn record_metrics(&self, reg: &mut unxpec_telemetry::MetricsRegistry) {
         reg.set("mshr.capacity", self.capacity as u64);
         reg.set("mshr.peak_occupancy", self.peak_occupancy as u64);
         reg.set("mshr.cancelled_speculative", self.cancelled_speculative);
+        reg.set("mshr.allocated_total", self.allocated_total);
+        reg.set("mshr.released_total", self.released_total);
     }
 }
 
@@ -260,6 +300,21 @@ mod tests {
         assert_eq!(m.latest_safe_completion(0), None);
         m.allocate(LineAddr::new(2), 0, 250, None).unwrap();
         assert_eq!(m.latest_safe_completion(0), Some(250));
+    }
+
+    #[test]
+    fn ledger_balances_across_allocate_retire_and_cancel() {
+        let mut m = MshrFile::new(4);
+        m.allocate(LineAddr::new(1), 0, 50, None).unwrap();
+        m.allocate(LineAddr::new(2), 0, 500, Some(SpecTag(1)))
+            .unwrap();
+        m.allocate(LineAddr::new(3), 0, 500, None).unwrap();
+        assert!(m.verify_accounting().is_ok());
+        m.occupancy(60); // retires line 1
+        m.cancel_speculative(60, |_| true); // cancels line 2
+        assert!(m.verify_accounting().is_ok());
+        assert_eq!(m.allocated_total(), 3);
+        assert_eq!(m.released_total(), 2);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Chaos experiment: every registry attack program under seeded fault
+//! injection with the runtime invariant sanitizer armed.
+//!
+//! This is the robustness counterpart of the paper experiments: instead
+//! of measuring the channel, it measures the *simulator's* failure
+//! behaviour. One variant exists per [`FaultKind`] plus a `none`
+//! control, a `mixed` plan over every recoverable kind, and a
+//! `sabotage` variant that seeds a deliberate occupancy-counter
+//! corruption the sanitizer must catch. The contract under test:
+//!
+//! * recoverable faults (delays, reorders, MSHR pressure, spurious
+//!   evictions, replacement perturbation, squash-during-rollback) end
+//!   in a clean halt with unchanged architectural invariants;
+//! * a wedged fill ends in a **typed**
+//!   [`InvariantViolation::Livelock`] — never a hang;
+//! * seeded state corruption ends in a typed
+//!   `InvariantViolation::OccupancyMismatch` — never silently-wrong
+//!   numbers.
+//!
+//! Fault schedules derive from the trial seed via
+//! [`super::seeding::indexed`], so a chaos trial reproduces bit for bit
+//! under any `--jobs` setting, and the report carries the schedule plus
+//! the trailing telemetry events as diagnostics lines for the harness's
+//! per-failure bundles.
+
+use std::fmt;
+
+use unxpec_attack::registry;
+use unxpec_cache::{FaultInjector, FaultKind, FaultPlan};
+use unxpec_cpu::{Core, InvariantViolation, SanitizerConfig};
+use unxpec_defense::CleanupSpec;
+use unxpec_telemetry::Telemetry;
+
+use super::seeding;
+
+/// Telemetry ring capacity per program run — enough to keep the events
+/// around each injection site without unbounded growth.
+const EVENT_RING: usize = 256;
+
+/// Trailing telemetry events carried into the diagnostics lines.
+const EVENT_TAIL: usize = 8;
+
+/// Committed-instruction bound per program run: far beyond any registry
+/// program's length, so hitting it means the run truncated abnormally.
+const MAX_COMMITTED: u64 = 1 << 20;
+
+/// Where Return-trigger rounds expect the driver to publish the escape
+/// (redirected return) PC — see `SpectreRsb::measure_bit`.
+const ESCAPE_SLOT: u64 = 0x8_0000;
+
+/// Which perturbation a chaos variant applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// No faults, sanitizer armed — the byte-identity control.
+    Control,
+    /// A single fault kind at the configured rate.
+    Single(FaultKind),
+    /// Every recoverable kind at the configured rate
+    /// ([`FaultPlan::uniform`]; wedges excluded by design).
+    Mixed,
+    /// No injected faults, but the L1 occupancy counter is corrupted
+    /// before the run — the sanitizer-mutation probe.
+    Sabotage,
+}
+
+impl ChaosMode {
+    /// Variant names, in registry order: `none`, one per fault kind,
+    /// `mixed`, `sabotage`.
+    pub fn variant_names() -> Vec<&'static str> {
+        let mut names = vec!["none"];
+        names.extend(FaultKind::ALL.iter().map(|k| k.name()));
+        names.push("mixed");
+        names.push("sabotage");
+        names
+    }
+
+    /// Parses a variant name from [`ChaosMode::variant_names`].
+    pub fn from_variant(name: &str) -> Option<ChaosMode> {
+        match name {
+            "none" => Some(ChaosMode::Control),
+            "mixed" => Some(ChaosMode::Mixed),
+            "sabotage" => Some(ChaosMode::Sabotage),
+            other => FaultKind::from_name(other).map(ChaosMode::Single),
+        }
+    }
+
+    /// The variant's registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosMode::Control => "none",
+            ChaosMode::Single(kind) => kind.name(),
+            ChaosMode::Mixed => "mixed",
+            ChaosMode::Sabotage => "sabotage",
+        }
+    }
+
+    /// The fault plan this mode injects at `per_mille`.
+    pub fn plan(self, per_mille: u32) -> FaultPlan {
+        match self {
+            ChaosMode::Control | ChaosMode::Sabotage => FaultPlan::disabled(),
+            ChaosMode::Single(kind) => FaultPlan::only(kind, per_mille),
+            ChaosMode::Mixed => FaultPlan::uniform(per_mille),
+        }
+    }
+}
+
+/// How one program run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosVerdict {
+    /// Clean halt, no invariant tripped.
+    Clean,
+    /// The run stopped on its cycle/instruction bound.
+    Truncated,
+    /// The sanitizer turned a fault into a typed violation.
+    Violation(InvariantViolation),
+}
+
+impl ChaosVerdict {
+    /// Short label for the report table (`clean`, `truncated`, or the
+    /// violation's snake_case name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosVerdict::Clean => "clean",
+            ChaosVerdict::Truncated => "truncated",
+            ChaosVerdict::Violation(v) => v.name(),
+        }
+    }
+}
+
+/// One registry program's outcome under the chaos plan.
+#[derive(Debug, Clone)]
+pub struct ProgramChaos {
+    /// Registry program name.
+    pub program: &'static str,
+    /// How the run ended.
+    pub verdict: ChaosVerdict,
+    /// Faults the injector actually fired during the run.
+    pub faults_injected: u64,
+    /// Sanitizer check passes completed.
+    pub checks_run: u64,
+}
+
+/// The chaos experiment's result across every registry program.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Which perturbation ran.
+    pub mode: ChaosMode,
+    /// Injection rate, per mille per opportunity.
+    pub rate_per_mille: u32,
+    /// The trial's root seed.
+    pub seed: u64,
+    /// One row per registry program, in registry order.
+    pub runs: Vec<ProgramChaos>,
+    /// Fault schedules and trailing telemetry of every non-clean run,
+    /// for the harness's per-failure diagnostics bundle.
+    pub diagnostics: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Total faults fired across all programs.
+    pub fn faults_total(&self) -> u64 {
+        self.runs.iter().map(|r| r.faults_injected).sum()
+    }
+
+    /// Runs that ended in a typed violation.
+    pub fn violations(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| matches!(r.verdict, ChaosVerdict::Violation(_)))
+            .count()
+    }
+
+    /// Runs that ended cleanly.
+    pub fn clean_runs(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.verdict == ChaosVerdict::Clean)
+            .count()
+    }
+
+    /// Whether any run stopped on a cycle/instruction bound — surfaced
+    /// by the harness as a typed timeout, never aggregated silently.
+    pub fn any_truncated(&self) -> bool {
+        self.runs
+            .iter()
+            .any(|r| r.verdict == ChaosVerdict::Truncated)
+    }
+
+    /// Total sanitizer check passes across all programs.
+    pub fn checks_total(&self) -> u64 {
+        self.runs.iter().map(|r| r.checks_run).sum()
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos variant={} rate={}/1000 seed={:#x}",
+            self.mode.name(),
+            self.rate_per_mille,
+            self.seed
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:<20} {:>7} {:>7}",
+            "program", "outcome", "faults", "checks"
+        )?;
+        for run in &self.runs {
+            writeln!(
+                f,
+                "  {:<12} {:<20} {:>7} {:>7}",
+                run.program,
+                run.verdict.label(),
+                run.faults_injected,
+                run.checks_run
+            )?;
+        }
+        write!(
+            f,
+            "  total: {} faults injected, {} typed violations, {} clean",
+            self.faults_total(),
+            self.violations(),
+            self.clean_runs()
+        )
+    }
+}
+
+/// Runs every registry attack program once under `mode` at
+/// `rate_per_mille`, sanitizer armed, fault streams derived from
+/// `seed`. Never panics and never hangs: wedged fills surface as typed
+/// [`InvariantViolation::Livelock`] via the retirement watchdog, and
+/// every other abnormal end is a [`ChaosVerdict`] variant.
+pub fn run(mode: ChaosMode, rate_per_mille: u32, seed: u64) -> ChaosReport {
+    let mut runs = Vec::new();
+    let mut diagnostics = Vec::new();
+    for (index, spec) in registry::registry().iter().enumerate() {
+        let program_seed = seeding::indexed(seed, "chaos/program", index as u64);
+        let mut core = Core::table_i();
+        core.set_defense(Box::new(CleanupSpec::new()));
+        core.set_sanitizer(SanitizerConfig::default());
+        core.set_telemetry(Telemetry::ring(EVENT_RING));
+        spec.layout().install(core.mem_mut(), spec.fn_accesses);
+        // Return-trigger rounds read their redirected return target from
+        // `ESCAPE_SLOT` (the attacker driver publishes it the same way);
+        // without it the stale return falls to PC 0 and spins.
+        if let Some(escape) = spec.program().label("escape") {
+            core.mem_mut()
+                .write_u64(unxpec_mem::Addr::new(ESCAPE_SLOT), escape as u64);
+        }
+        core.hierarchy_mut()
+            .set_fault_injector(FaultInjector::new(mode.plan(rate_per_mille), program_seed));
+        if mode == ChaosMode::Sabotage {
+            // Seeded counter drift. The corruption happens on an empty
+            // cache whose counter saturates at zero, so the drift must
+            // be positive; the seed only varies its magnitude.
+            let delta = 1 + (program_seed & 3) as isize;
+            core.hierarchy_mut()
+                .corrupt_l1_resident_counter_for_tests(delta);
+        }
+        let verdict = match core.run_checked_for(spec.program(), MAX_COMMITTED) {
+            Ok(result) if result.hit_limit => ChaosVerdict::Truncated,
+            Ok(_) => ChaosVerdict::Clean,
+            Err(violation) => ChaosVerdict::Violation(violation),
+        };
+        let checks_run = core.sanitizer().map_or(0, |s| s.checks_run());
+        let injector = core
+            .hierarchy_mut()
+            .take_fault_injector()
+            .expect("injector installed above");
+        if verdict != ChaosVerdict::Clean {
+            diagnostics.push(format!(
+                "program={} verdict={} faults={}",
+                spec.name,
+                verdict.label(),
+                injector.injected_total()
+            ));
+            if let ChaosVerdict::Violation(v) = &verdict {
+                diagnostics.push(format!("  violation code={} {v}", v.code()));
+            }
+            for line in injector.schedule_lines() {
+                diagnostics.push(format!("  schedule {line}"));
+            }
+            let events = core.telemetry().snapshot();
+            let tail = events.len().saturating_sub(EVENT_TAIL);
+            for event in &events[tail..] {
+                let args: Vec<String> = event
+                    .args()
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                diagnostics.push(format!(
+                    "  event cycle={} {} {}",
+                    event.cycle(),
+                    event.name(),
+                    args.join(" ")
+                ));
+            }
+        }
+        runs.push(ProgramChaos {
+            program: spec.name,
+            verdict,
+            faults_injected: injector.injected_total(),
+            checks_run,
+        });
+    }
+    ChaosReport {
+        mode,
+        rate_per_mille,
+        seed,
+        runs,
+        diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_round_trip() {
+        let names = ChaosMode::variant_names();
+        assert_eq!(names.len(), 10); // none + 7 kinds + mixed + sabotage
+        for name in names {
+            let mode = ChaosMode::from_variant(name).expect("listed variant parses");
+            assert_eq!(mode.name(), name);
+        }
+        assert!(ChaosMode::from_variant("bogus").is_none());
+    }
+
+    #[test]
+    fn control_mode_runs_every_program_clean() {
+        let report = run(ChaosMode::Control, 0, 0x5eed);
+        assert_eq!(report.runs.len(), registry::registry().len());
+        assert_eq!(report.clean_runs(), report.runs.len(), "{report}");
+        assert_eq!(report.faults_total(), 0);
+        assert!(report.checks_total() > 0, "sanitizer must actually check");
+        assert!(report.diagnostics.is_empty());
+        assert!(report.to_string().contains("variant=none"));
+    }
+
+    #[test]
+    fn sabotage_trips_occupancy_mismatch_on_every_program() {
+        let report = run(ChaosMode::Sabotage, 0, 0x5eed);
+        assert_eq!(report.violations(), report.runs.len(), "{report}");
+        for r in &report.runs {
+            assert_eq!(r.verdict.label(), "occupancy_mismatch", "{}", r.program);
+        }
+        assert!(!report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn wedged_fills_end_in_typed_livelock_not_a_hang() {
+        let report = run(ChaosMode::Single(FaultKind::WedgeFill), 1000, 0x5eed);
+        assert!(
+            report.runs.iter().any(|r| r.verdict.label() == "livelock"),
+            "a certain wedge must trip the watchdog: {report}"
+        );
+    }
+
+    #[test]
+    fn mixed_chaos_is_survivable_and_deterministic() {
+        let a = run(ChaosMode::Mixed, 100, 0x5eed);
+        let b = run(ChaosMode::Mixed, 100, 0x5eed);
+        assert!(a.faults_total() > 0, "rate 100/1000 must fire somewhere");
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.faults_total(), b.faults_total());
+    }
+}

@@ -25,9 +25,12 @@
 //! [`votes`] the §VI-D samples-per-bit noise-suppression trade.
 //! [`trace::run`] captures a fully instrumented round per secret value
 //! for the Chrome/Perfetto and metrics exporters (see
-//! `docs/observability.md`).
+//! `docs/observability.md`), and [`chaos`] drives every registry attack
+//! program under seeded fault injection with the runtime invariant
+//! sanitizer armed (see `docs/fault_injection.md`).
 
 pub mod ablations;
+pub mod chaos;
 pub mod defense_costs;
 pub mod leakage;
 pub mod overhead;

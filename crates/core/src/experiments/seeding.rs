@@ -16,40 +16,19 @@
 //! That independence from execution order is what lets an N-way
 //! parallel sweep reproduce a serial run bit for bit.
 //!
+//! The arithmetic itself lives in [`unxpec_mem::seed`] at the bottom of
+//! the crate graph, so the cache-level fault-injection streams
+//! ([`unxpec_mem::FaultStream`]) derive from *exactly* the same
+//! primitives — injection decisions inherit the same order-independence
+//! guarantee as trial seeds.
+//!
 //! [`AttackConfig::with_seed`]: unxpec_attack::AttackConfig::with_seed
+
+pub use unxpec_mem::seed::{fnv1a64, indexed, splitmix64, stream};
 
 /// The workspace-wide default root seed (also
 /// [`AttackConfig`](unxpec_attack::AttackConfig)'s default).
 pub const DEFAULT_ROOT_SEED: u64 = 0x5eed;
-
-/// Sebastiano Vigna's splitmix64 finalizer: a bijective avalanche mix.
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// FNV-1a over `label`'s bytes — the stable label hash.
-pub fn fnv1a64(label: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in label.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// The seed for the experiment stream `label` under `root`.
-pub fn stream(root: u64, label: &str) -> u64 {
-    splitmix64(root ^ fnv1a64(label))
-}
-
-/// The seed for repetition `index` of stream `label` under `root`
-/// (e.g. one trial of a seed-axis sweep).
-pub fn indexed(root: u64, label: &str, index: u64) -> u64 {
-    splitmix64(stream(root, label).wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
-}
 
 #[cfg(test)]
 mod tests {
@@ -82,5 +61,13 @@ mod tests {
         for x in 0..10_000u64 {
             assert!(seen.insert(splitmix64(x)));
         }
+    }
+
+    #[test]
+    fn fault_streams_share_the_experiment_derivation() {
+        // A FaultStream forked by label must agree with the experiment
+        // stream helper — one arithmetic, two consumers.
+        let fs = unxpec_mem::FaultStream::new(99).fork("chaos");
+        assert_eq!(fs.seed(), stream(99, "chaos"));
     }
 }

@@ -36,6 +36,7 @@ use crate::defense::{Defense, FillPolicy, SquashInfo, UnsafeBaseline};
 use crate::isa::{Inst, Operand, PcIndex, Reg, NUM_REGS};
 use crate::predictor::{BimodalPredictor, BranchPredictor, Btb, ReturnStackBuffer};
 use crate::program::Program;
+use crate::sanitizer::{InvariantViolation, RollbackCheck, Sanitizer, SanitizerConfig};
 use crate::stats::{RunStats, SquashRecord};
 use crate::trace::{ExecTrace, TraceEvent};
 
@@ -183,6 +184,9 @@ pub struct Core {
     /// Scratch effect list handed to the defense on squash/commit;
     /// reused so steady-state squashes allocate nothing.
     effects_scratch: Vec<Effect>,
+    /// Optional runtime invariant sanitizer (`None` costs one pointer
+    /// check at squash boundaries and nothing in the dispatch loop).
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl Core {
@@ -207,6 +211,7 @@ impl Core {
             frames_storage: Vec::new(),
             rob_storage: std::collections::VecDeque::new(),
             effects_scratch: Vec::new(),
+            sanitizer: None,
         }
     }
 
@@ -316,6 +321,74 @@ impl Core {
         &self.telemetry
     }
 
+    /// Enables the runtime invariant sanitizer for subsequent runs.
+    ///
+    /// The sanitizer is purely observational: with no faults injected,
+    /// checked runs produce byte-identical results to unchecked runs.
+    /// Violations are recorded (first one wins), emitted as
+    /// `Event::InvariantTrip`, and surfaced by [`Core::run_checked`].
+    pub fn set_sanitizer(&mut self, cfg: SanitizerConfig) -> &mut Self {
+        self.sanitizer = Some(Box::new(Sanitizer::new(cfg)));
+        self
+    }
+
+    /// Disables the sanitizer.
+    pub fn clear_sanitizer(&mut self) -> &mut Self {
+        self.sanitizer = None;
+        self
+    }
+
+    /// The sanitizer state, if enabled.
+    pub fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.sanitizer.as_deref()
+    }
+
+    /// Removes and returns the first invariant violation recorded by the
+    /// sanitizer, if any.
+    pub fn take_invariant_trip(&mut self) -> Option<InvariantViolation> {
+        self.sanitizer.as_deref_mut().and_then(Sanitizer::take_trip)
+    }
+
+    /// Runs `program` with the invariant sanitizer active, returning a
+    /// typed error if any invariant trips.
+    ///
+    /// Enables a default-configured sanitizer if none is set; a sanitizer
+    /// installed via [`Core::set_sanitizer`] (e.g. with a custom livelock
+    /// budget) is kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] observed during the run.
+    /// The run itself still terminates cleanly (the violation ends it
+    /// early with `hit_limit` semantics), so the machine can keep being
+    /// used afterwards — with suspect state.
+    pub fn run_checked(&mut self, program: &Program) -> Result<RunResult, InvariantViolation> {
+        self.run_checked_for(program, u64::MAX)
+    }
+
+    /// Like [`Core::run_checked`] with a committed-instruction bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] observed during the run.
+    pub fn run_checked_for(
+        &mut self,
+        program: &Program,
+        max_committed: u64,
+    ) -> Result<RunResult, InvariantViolation> {
+        if self.sanitizer.is_none() {
+            self.sanitizer = Some(Box::new(Sanitizer::new(SanitizerConfig::default())));
+        }
+        if let Some(san) = self.sanitizer.as_deref_mut() {
+            san.reset();
+        }
+        let result = self.run_for(program, max_committed);
+        match self.take_invariant_trip() {
+            Some(violation) => Err(violation),
+            None => Ok(result),
+        }
+    }
+
     /// Registers machine-level counters into `reg`: the cache
     /// hierarchy's and the active defense's. Per-run counters come from
     /// [`RunStats::record_metrics`] on the result.
@@ -387,6 +460,13 @@ impl Core {
                 st.hit_limit = true;
                 break;
             }
+            // A tripped invariant ends the run at the next loop head:
+            // the machine state is already suspect, so continuing would
+            // only bury the root cause.
+            if self.sanitizer.as_deref().is_some_and(Sanitizer::tripped) {
+                st.hit_limit = true;
+                break;
+            }
             if st.stats.milestone_cycle.is_none() {
                 if let Some(m) = milestone {
                     if st.stats.committed_insts >= m {
@@ -435,6 +515,28 @@ impl Core {
             if st.rob.len() >= self.cfg.rob_entries {
                 if let Some(release) = st.rob.pop_front() {
                     if release > st.peek_dispatch_cycle() {
+                        // Retirement watchdog: a release absurdly far in
+                        // the future (a wedged fill) would stall forever;
+                        // convert it to a typed livelock instead.
+                        let stalled = release - st.peek_dispatch_cycle();
+                        if let Some(san) = self.sanitizer.as_deref_mut() {
+                            let budget = san.config().livelock_budget;
+                            if budget > 0 && stalled > budget {
+                                let violation = InvariantViolation::Livelock {
+                                    pc: st.pc,
+                                    rob_head: release,
+                                    cycles_stalled: stalled,
+                                };
+                                self.telemetry.emit(Event::InvariantTrip {
+                                    cycle: st.cur_cycle,
+                                    code: violation.code(),
+                                    detail: violation.detail(),
+                                });
+                                san.note(violation);
+                                st.hit_limit = true;
+                                break;
+                            }
+                        }
                         st.stall_to(release);
                         // Frames may resolve during the stall.
                         continue;
@@ -445,6 +547,10 @@ impl Core {
             let d = st.take_dispatch_slot(self.cfg.dispatch_width);
             self.execute(&mut st, program, inst, d);
         }
+
+        // Run-end structural audit (no-op when the sanitizer is off or
+        // already tripped).
+        self.structural_checks(&st);
 
         let end = st.cur_cycle.max(st.last_complete);
         st.stats.cycles = end - start_cycle;
@@ -912,6 +1018,10 @@ impl Core {
             branch_pc: frame.branch_pc,
             epoch: frame.epoch.0,
         });
+        if self.sanitizer.is_some() {
+            self.rollback_oracle(frame.epoch, redirect);
+            self.structural_checks(st);
+        }
 
         // Roll the architectural path back to the checkpoint.
         st.regs = frame.ckpt_regs;
@@ -938,6 +1048,152 @@ impl Core {
             l1_installs,
             l1_evictions,
         });
+    }
+
+    /// Structural invariant audit: occupancy recounts, the MSHR ledger,
+    /// and ROB release-queue monotonicity. Runs at squash boundaries and
+    /// at run end — never per instruction — and records the first
+    /// violation as an `Event::InvariantTrip` plus a typed trip on the
+    /// sanitizer. No-op when the sanitizer is off or already tripped.
+    fn structural_checks(&mut self, st: &Exec) {
+        let Some(san) = self.sanitizer.as_deref_mut() else {
+            return;
+        };
+        if san.tripped() {
+            return;
+        }
+        let cfg = *san.config();
+        let mut found = None;
+        if cfg.check_occupancy {
+            if let Err((counted, recounted)) = self.hier.l1d().verify_occupancy() {
+                found = Some(InvariantViolation::OccupancyMismatch {
+                    level: 1,
+                    counted,
+                    recounted,
+                });
+            } else if let Err((counted, recounted)) = self.hier.l2().verify_occupancy() {
+                found = Some(InvariantViolation::OccupancyMismatch {
+                    level: 2,
+                    counted,
+                    recounted,
+                });
+            }
+        }
+        if found.is_none() && cfg.check_mshr {
+            if let Err((allocated, released, live)) = self.hier.mshrs().verify_accounting() {
+                found = Some(InvariantViolation::MshrLeak {
+                    allocated,
+                    released,
+                    live,
+                });
+            }
+        }
+        if found.is_none() && cfg.check_rob {
+            let mut prev = 0;
+            for &next in &st.rob {
+                if next < prev {
+                    found = Some(InvariantViolation::RobOrder { prev, next });
+                    break;
+                }
+                prev = next;
+            }
+        }
+        san.record_check();
+        if let Some(violation) = found {
+            self.telemetry.emit(Event::InvariantTrip {
+                cycle: st.cur_cycle,
+                code: violation.code(),
+                detail: violation.detail(),
+            });
+            san.note(violation);
+        }
+    }
+
+    /// Rollback-exactness oracle, run right after a squash handled by a
+    /// defense claiming [`Defense::rollback_exact`]: verify line by line
+    /// that the caches look as if the squashed loads never ran.
+    ///
+    /// Two tiers:
+    /// * *tag check* (unconditional) — no line installed by a squashed
+    ///   load may still carry a squashed-epoch speculation tag;
+    /// * *residency checks* (skipped once spurious-evict faults have
+    ///   fired, because an injected eviction legitimately removes lines
+    ///   the defense restored) — installed L1 lines are gone unless they
+    ///   were prior-resident victims getting restored, and every
+    ///   non-speculative victim is back.
+    ///
+    /// `self.effects_scratch` still holds the squashed effect list the
+    /// defense saw.
+    fn rollback_oracle(&mut self, epoch: SpecTag, cycle: Cycle) {
+        let Some(san) = self.sanitizer.as_deref_mut() else {
+            return;
+        };
+        if san.tripped() || !san.config().check_rollback || !self.defense.rollback_exact() {
+            return;
+        }
+        let spurious_evicts = self
+            .hier
+            .fault_injector()
+            .map_or(0, |f| f.count(unxpec_cache::FaultKind::SpuriousEvict))
+            > 0;
+        let mut found = None;
+        for effect in &self.effects_scratch {
+            let line = effect.installed_line();
+            let tag = if effect.is_l1() {
+                self.hier.l1d().spec_tag(line)
+            } else {
+                self.hier.l2().spec_tag(line)
+            };
+            if tag.is_some_and(|t| t.0 >= epoch.0) {
+                found = Some(InvariantViolation::RollbackMismatch {
+                    line: line.raw(),
+                    which: RollbackCheck::TagRemains,
+                });
+                break;
+            }
+        }
+        if found.is_none() && !spurious_evicts {
+            for effect in &self.effects_scratch {
+                if !effect.is_l1() {
+                    continue;
+                }
+                let line = effect.installed_line();
+                // A transient install of a line that an older squashed
+                // fill evicted (non-speculatively resident before the
+                // window) legitimately ends up resident again: the
+                // rollback restores it as that fill's victim.
+                let reinstated = self.effects_scratch.iter().any(|e| {
+                    e.is_l1()
+                        && e.victim()
+                            .is_some_and(|v| !v.was_speculative && v.line == line)
+                });
+                if !reinstated && self.hier.l1_contains(line) {
+                    found = Some(InvariantViolation::RollbackMismatch {
+                        line: line.raw(),
+                        which: RollbackCheck::InstallSurvived,
+                    });
+                    break;
+                }
+                if let Some(victim) = effect.victim() {
+                    if !victim.was_speculative && !self.hier.l1_contains(victim.line) {
+                        found = Some(InvariantViolation::RollbackMismatch {
+                            line: victim.line.raw(),
+                            which: RollbackCheck::VictimLost,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        san.record_check();
+        if let Some(violation) = found {
+            self.telemetry.emit(Event::InvariantTrip {
+                cycle,
+                code: violation.code(),
+                detail: violation.detail(),
+            });
+            san.note(violation);
+        }
     }
 }
 

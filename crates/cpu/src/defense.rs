@@ -81,6 +81,16 @@ pub trait Defense: std::fmt::Debug + Send {
         false
     }
 
+    /// Whether `on_squash` claims *exact* state rollback — the caches
+    /// end up as if the transient loads never ran. Defenses returning
+    /// `true` opt into the sanitizer's rollback-exactness oracle, which
+    /// re-checks the restored state line by line after every squash.
+    /// Default `false` (the baseline leaves footprints; invisible
+    /// schemes never create any).
+    fn rollback_exact(&self) -> bool {
+        false
+    }
+
     /// Handles a squash: roll back or hide state as the scheme dictates
     /// and return the cycle at which the front end may resume fetching.
     ///

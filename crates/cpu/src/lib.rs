@@ -32,6 +32,7 @@ mod defense;
 mod isa;
 mod predictor;
 mod program;
+mod sanitizer;
 mod stats;
 mod trace;
 
@@ -45,6 +46,7 @@ pub use predictor::{
     ReturnStackBuffer,
 };
 pub use program::{AsmError, Program, ProgramBuilder};
+pub use sanitizer::{InvariantViolation, RollbackCheck, Sanitizer, SanitizerConfig};
 pub use stats::{RunStats, SquashRecord};
 pub use trace::{ExecTrace, TraceEvent};
 

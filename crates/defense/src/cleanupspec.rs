@@ -151,24 +151,36 @@ impl CleanupSpec {
                     way,
                     victim,
                 } => {
-                    let slot = match hier.rollback_invalidate_l1(line) {
-                        Some((vset, vway)) => {
-                            l1_inv += 1;
-                            debug_assert_eq!((vset, vway), (set, way), "install moved");
-                            hier.telemetry().emit(Event::RollbackInvalidate {
-                                cycle: now,
-                                level: CacheLevel::L1,
-                                line: line.raw(),
-                            });
-                            Some((vset, vway))
+                    // Only still-speculative residents are invalidated:
+                    // a squashed install always carries its epoch tag,
+                    // so the guard changes nothing in normal operation —
+                    // but it makes the walk idempotent (a restored,
+                    // now-architectural line at the same address must
+                    // survive a redone walk after an injected
+                    // squash-during-rollback interruption).
+                    let slot = if hier.l1_is_speculative(line) {
+                        match hier.rollback_invalidate_l1(line) {
+                            Some((vset, vway)) => {
+                                l1_inv += 1;
+                                debug_assert_eq!((vset, vway), (set, way), "install moved");
+                                hier.telemetry().emit(Event::RollbackInvalidate {
+                                    cycle: now,
+                                    level: CacheLevel::L1,
+                                    line: line.raw(),
+                                });
+                                Some((vset, vway))
+                            }
+                            None => None,
                         }
+                    } else if hier.l1_slot_is_empty(set, way) {
                         // The install is already gone: a *younger*
                         // transient line displaced it and its own
                         // rollback (walked first) vacated the way. The
                         // victim of this older install still needs
                         // restoring into the recorded slot.
-                        None if hier.l1_slot_is_empty(set, way) => Some((set, way)),
-                        None => None,
+                        Some((set, way))
+                    } else {
+                        None
                     };
                     if let Some((vset, vway)) = slot {
                         if self.restore_enabled {
@@ -185,7 +197,10 @@ impl CleanupSpec {
                     }
                 }
                 Effect::FillL2 { line, .. } => {
-                    if self.mode == CleanupMode::ForL1L2 && hier.rollback_invalidate_l2(line) {
+                    if self.mode == CleanupMode::ForL1L2
+                        && hier.l2().is_speculative(line)
+                        && hier.rollback_invalidate_l2(line)
+                    {
                         l2_inv += 1;
                         hier.telemetry().emit(Event::RollbackInvalidate {
                             cycle: now,
@@ -213,6 +228,14 @@ impl CleanupSpec {
 impl Defense for CleanupSpec {
     fn name(&self) -> &'static str {
         "cleanupspec"
+    }
+
+    fn rollback_exact(&self) -> bool {
+        // Only the full configuration (restore + both levels) leaves the
+        // caches exactly as if the transient loads never ran; the
+        // ablations intentionally leave state behind, so the sanitizer's
+        // oracle must not hold them to that claim.
+        self.restore_enabled && self.mode == CleanupMode::ForL1L2
     }
 
     fn on_squash(&mut self, hier: &mut CacheHierarchy, info: &SquashInfo<'_>) -> Cycle {
@@ -243,9 +266,26 @@ impl Defense for CleanupSpec {
         if l1_inv + l2_inv + restores == 0 && cancelled == 0 {
             self.stats.empty_rollbacks += 1;
         }
-        let end = t4
+        let mut end = t4
             + self.timing.invalidation_cost(l1_inv + l2_inv)
             + self.timing.restoration_cost(restores);
+        // Fault hook: an injected squash-during-rollback interrupts the
+        // walk, which restarts from scratch once the interruption
+        // clears. The walk is idempotent — re-invalidating vanished
+        // lines and re-checking restored slots changes nothing — so only
+        // the *time* grows: the injected interruption plus a full redo.
+        if let Some(extra) = hier.fault_interrupt_rollback(info.resolve_cycle) {
+            let (r1, r2, r3) =
+                self.rollback_state(hier, info.transient_effects, info.resolve_cycle);
+            debug_assert_eq!(
+                (r1, r2, r3),
+                (0, 0, 0),
+                "rollback redo must be a state no-op"
+            );
+            end += extra
+                + self.timing.invalidation_cost(l1_inv + l2_inv)
+                + self.timing.restoration_cost(restores);
+        }
         self.stats.stall_cycles += end - info.resolve_cycle;
         end
     }

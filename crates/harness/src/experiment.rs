@@ -26,6 +26,16 @@ pub struct TrialOutput {
     /// sweep runner. Order is significant: the first trial of a
     /// (experiment, variant) cell fixes the aggregate row order.
     pub metrics: Vec<(String, f64)>,
+    /// Whether any simulated run inside the trial ended on its cycle or
+    /// instruction limit (`RunResult::hit_limit`) rather than a clean
+    /// halt. The sweep surfaces such trials as typed timeouts instead
+    /// of silently aggregating truncated numbers.
+    pub truncated: bool,
+    /// Free-form diagnostics lines (fault schedules, trailing telemetry
+    /// events) carried into the sweep's per-failure diagnostics bundle.
+    /// Not part of the output digest: diagnostics describe *how* a
+    /// trial ran, not *what* it computed.
+    pub diagnostics: Vec<String>,
 }
 
 impl TrialOutput {
@@ -37,19 +47,38 @@ impl TrialOutput {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
+            truncated: false,
+            diagnostics: Vec::new(),
         }
+    }
+
+    /// Marks the output as produced by a limit-truncated run.
+    pub fn with_truncated(mut self, truncated: bool) -> Self {
+        self.truncated = truncated;
+        self
+    }
+
+    /// Attaches diagnostics lines for the failure bundle.
+    pub fn with_diagnostics(mut self, diagnostics: Vec<String>) -> Self {
+        self.diagnostics = diagnostics;
+        self
     }
 }
 
 /// FNV-1a digest over a trial's rendered output and metric bits — the
 /// value the manifest records and the parallel-equals-serial tests
-/// compare.
+/// compare. The `truncated` flag is mixed in only when set, so every
+/// digest recorded before the flag existed is unchanged.
 pub fn output_digest(out: &TrialOutput) -> u64 {
     let mut h = fnv1a64(&out.rendered);
     for (name, value) in &out.metrics {
         h ^= fnv1a64(name);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
         h ^= value.to_bits();
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if out.truncated {
+        h ^= fnv1a64("truncated");
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h

@@ -49,8 +49,8 @@ pub mod spec;
 pub mod sweep;
 
 pub use experiment::{output_digest, Experiment, FnExperiment, TrialCtx, TrialOutput};
-pub use manifest::{CompletedTrial, Manifest, PoisonedTrial};
-pub use pool::{run_tasks, PoolStats, TaskOutcome, TaskTiming};
+pub use manifest::{CompletedTrial, Manifest, PoisonedTrial, QuarantinedTrial, TimedOutTrial};
+pub use pool::{run_tasks, run_tasks_with, PoolStats, RunPolicy, TaskOutcome, TaskTiming};
 pub use registry::Registry;
 pub use spec::{SweepSpec, Trial};
 pub use sweep::{

@@ -1,20 +1,31 @@
 //! The checkpoint/resume manifest: a JSON record of every trial a
-//! sweep has finished (or poisoned), keyed by trial identity.
+//! sweep has finished (or poisoned, timed out, quarantined), keyed by
+//! trial identity.
 //!
 //! The sweep runner appends to the manifest after each trial and
 //! rewrites it atomically (temp file + rename), so a killed run leaves
-//! a loadable manifest behind. On resume, trials whose key appears in
-//! `completed` are spliced back into the report from their recorded
-//! rendered output and metrics — byte for byte what the original run
-//! produced, because trial seeds are identity-derived. A manifest is
-//! only valid for the spec that produced it: [`Manifest::spec_digest`]
-//! must match [`SweepSpec::digest`](crate::SweepSpec::digest).
+//! a loadable manifest behind. Version 2 documents additionally carry
+//! an FNV-1a *content checksum* over every recorded field, so a torn
+//! or bit-flipped file is detected on load rather than silently
+//! resuming from wrong data. When strict parsing fails,
+//! [`Manifest::load_lenient`] salvages what it can: the writer emits
+//! one record per line, so recovery walks the lines, keeps every entry
+//! that still parses, and reports what it dropped — a crash mid-write
+//! costs at most the trailing record, never the whole checkpoint.
+//!
+//! On resume, trials whose key appears in `completed` are spliced back
+//! into the report from their recorded rendered output and metrics —
+//! byte for byte what the original run produced, because trial seeds
+//! are identity-derived. A manifest is only valid for the spec that
+//! produced it: [`Manifest::spec_digest`] must match
+//! [`SweepSpec::digest`](crate::SweepSpec::digest).
 //!
 //! 64-bit digests are serialized as `0x`-prefixed hex strings because
 //! the JSON layer keeps numbers as `f64` (exact only to 2^53).
 
 use std::path::Path;
 
+use unxpec::experiments::seeding::fnv1a64;
 use unxpec_telemetry::json::{self, escape, Value};
 
 use crate::experiment::TrialOutput;
@@ -28,7 +39,7 @@ pub struct CompletedTrial {
     pub digest: u64,
     /// Attempts the trial needed.
     pub attempts: u32,
-    /// The recorded output (rendered text + metrics).
+    /// The recorded output (rendered text + metrics + truncation flag).
     pub output: TrialOutput,
 }
 
@@ -41,6 +52,32 @@ pub struct PoisonedTrial {
     pub error: String,
     /// Attempts made.
     pub attempts: u32,
+    /// Runs (including resumed ones) in which this key has failed.
+    pub failures: u32,
+}
+
+/// A trial that blew the per-trial wall-clock deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedOutTrial {
+    /// Trial identity.
+    pub key: String,
+    /// What the deadline check observed.
+    pub error: String,
+    /// Attempts made before the deadline expired.
+    pub attempts: u32,
+    /// Runs (including resumed ones) in which this key has failed.
+    pub failures: u32,
+}
+
+/// A trial cell failed often enough that resumed runs skip it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedTrial {
+    /// Trial identity.
+    pub key: String,
+    /// The most recent failure's message.
+    pub error: String,
+    /// Failing runs accumulated before quarantine.
+    pub failures: u32,
 }
 
 /// The on-disk checkpoint state of one sweep.
@@ -55,6 +92,10 @@ pub struct Manifest {
     pub completed: Vec<CompletedTrial>,
     /// Poisoned trials in completion order.
     pub poisoned: Vec<PoisonedTrial>,
+    /// Deadline-exceeded trials in completion order.
+    pub timed_out: Vec<TimedOutTrial>,
+    /// Quarantined trial cells (skipped on resume).
+    pub quarantined: Vec<QuarantinedTrial>,
 }
 
 fn hex(v: u64) -> String {
@@ -69,6 +110,82 @@ fn parse_hex(v: &Value) -> Result<u64, String> {
     u64::from_str_radix(raw, 16).map_err(|e| format!("digest {s:?}: {e}"))
 }
 
+fn field_str(item: &Value, name: &str, what: &str) -> Result<String, String> {
+    item.get(name)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what} entry missing {name}"))
+}
+
+fn field_u32(item: &Value, name: &str, what: &str) -> Result<u32, String> {
+    item.get(name)
+        .and_then(Value::as_u64)
+        .map(|v| v as u32)
+        .ok_or_else(|| format!("{what} entry missing {name}"))
+}
+
+/// `failures` was introduced in version 2; older records count as one
+/// failing run.
+fn field_failures(item: &Value) -> u32 {
+    item.get("failures")
+        .and_then(Value::as_u64)
+        .map_or(1, |v| v as u32)
+}
+
+fn completed_from(item: &Value) -> Result<CompletedTrial, String> {
+    let key = field_str(item, "key", "completed")?;
+    let digest = parse_hex(item.get("digest").ok_or("completed entry missing digest")?)?;
+    let attempts = field_u32(item, "attempts", "completed")?;
+    let mut metrics = Vec::new();
+    match item.get("metrics") {
+        Some(Value::Obj(members)) => {
+            for (name, value) in members {
+                let v = value
+                    .as_f64()
+                    .ok_or_else(|| format!("metric {name:?} is not a number"))?;
+                metrics.push((name.clone(), v));
+            }
+        }
+        _ => return Err(format!("completed entry {key:?} missing metrics{{}}")),
+    }
+    let rendered = field_str(item, "rendered", "completed")?;
+    let truncated = matches!(item.get("truncated"), Some(Value::Bool(true)));
+    let mut output = TrialOutput::new(rendered, vec![]).with_truncated(truncated);
+    output.metrics = metrics;
+    Ok(CompletedTrial {
+        key,
+        digest,
+        attempts,
+        output,
+    })
+}
+
+fn poisoned_from(item: &Value) -> Result<PoisonedTrial, String> {
+    Ok(PoisonedTrial {
+        key: field_str(item, "key", "poisoned")?,
+        error: field_str(item, "error", "poisoned")?,
+        attempts: field_u32(item, "attempts", "poisoned")?,
+        failures: field_failures(item),
+    })
+}
+
+fn timed_out_from(item: &Value) -> Result<TimedOutTrial, String> {
+    Ok(TimedOutTrial {
+        key: field_str(item, "key", "timed_out")?,
+        error: field_str(item, "error", "timed_out")?,
+        attempts: field_u32(item, "attempts", "timed_out")?,
+        failures: field_failures(item),
+    })
+}
+
+fn quarantined_from(item: &Value) -> Result<QuarantinedTrial, String> {
+    Ok(QuarantinedTrial {
+        key: field_str(item, "key", "quarantined")?,
+        error: field_str(item, "error", "quarantined")?,
+        failures: field_failures(item),
+    })
+}
+
 impl Manifest {
     /// An empty manifest for `spec_digest`/`root_seed`.
     pub fn new(spec_digest: u64, root_seed: u64) -> Self {
@@ -79,10 +196,61 @@ impl Manifest {
         }
     }
 
-    /// Serializes the manifest as JSON.
+    /// FNV-1a chain over every recorded field — the content checksum a
+    /// version-2 document carries, recomputed and compared on parse.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.spec_digest);
+        mix(self.root_seed);
+        mix(fnv1a64("completed"));
+        mix(self.completed.len() as u64);
+        for t in &self.completed {
+            mix(fnv1a64(&t.key));
+            mix(t.digest);
+            mix(u64::from(t.attempts));
+            mix(u64::from(t.output.truncated));
+            mix(fnv1a64(&t.output.rendered));
+            for (name, value) in &t.output.metrics {
+                mix(fnv1a64(name));
+                mix(value.to_bits());
+            }
+        }
+        mix(fnv1a64("poisoned"));
+        mix(self.poisoned.len() as u64);
+        for t in &self.poisoned {
+            mix(fnv1a64(&t.key));
+            mix(fnv1a64(&t.error));
+            mix(u64::from(t.attempts));
+            mix(u64::from(t.failures));
+        }
+        mix(fnv1a64("timed_out"));
+        mix(self.timed_out.len() as u64);
+        for t in &self.timed_out {
+            mix(fnv1a64(&t.key));
+            mix(fnv1a64(&t.error));
+            mix(u64::from(t.attempts));
+            mix(u64::from(t.failures));
+        }
+        mix(fnv1a64("quarantined"));
+        mix(self.quarantined.len() as u64);
+        for t in &self.quarantined {
+            mix(fnv1a64(&t.key));
+            mix(fnv1a64(&t.error));
+            mix(u64::from(t.failures));
+        }
+        h
+    }
+
+    /// Serializes the manifest as JSON (version 2, one record per line
+    /// so [`Manifest::load_lenient`] can salvage a torn file).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"version\": 2,\n");
+        out.push_str(&format!("  \"checksum\": \"{}\",\n", hex(self.checksum())));
         out.push_str(&format!(
             "  \"spec_digest\": \"{}\",\n  \"root_seed\": {},\n",
             hex(self.spec_digest),
@@ -94,11 +262,15 @@ impl Manifest {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    {{\"key\": \"{}\", \"digest\": \"{}\", \"attempts\": {}, \"metrics\": {{",
+                "\n    {{\"key\": \"{}\", \"digest\": \"{}\", \"attempts\": {}, ",
                 escape(&t.key),
                 hex(t.digest),
                 t.attempts
             ));
+            if t.output.truncated {
+                out.push_str("\"truncated\": true, ");
+            }
+            out.push_str("\"metrics\": {");
             for (j, (name, value)) in t.output.metrics.iter().enumerate() {
                 if j > 0 {
                     out.push_str(", ");
@@ -116,24 +288,52 @@ impl Manifest {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    {{\"key\": \"{}\", \"error\": \"{}\", \"attempts\": {}}}",
+                "\n    {{\"key\": \"{}\", \"error\": \"{}\", \"attempts\": {}, \"failures\": {}}}",
                 escape(&t.key),
                 escape(&t.error),
-                t.attempts
+                t.attempts,
+                t.failures
+            ));
+        }
+        out.push_str("\n  ],\n  \"timed_out\": [");
+        for (i, t) in self.timed_out.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"key\": \"{}\", \"error\": \"{}\", \"attempts\": {}, \"failures\": {}}}",
+                escape(&t.key),
+                escape(&t.error),
+                t.attempts,
+                t.failures
+            ));
+        }
+        out.push_str("\n  ],\n  \"quarantined\": [");
+        for (i, t) in self.quarantined.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"key\": \"{}\", \"error\": \"{}\", \"failures\": {}}}",
+                escape(&t.key),
+                escape(&t.error),
+                t.failures
             ));
         }
         out.push_str("\n  ]\n}\n");
         out
     }
 
-    /// Parses a manifest document.
+    /// Parses a manifest document. Accepts version 1 (no checksum, no
+    /// timed-out/quarantined sections) and version 2 (checksum
+    /// verified against the recorded fields).
     pub fn parse(text: &str) -> Result<Self, String> {
         let doc = json::parse(text)?;
         let version = doc
             .get("version")
             .and_then(Value::as_u64)
             .ok_or("manifest missing version")?;
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(format!("unsupported manifest version {version}"));
         }
         let spec_digest = parse_hex(doc.get("spec_digest").ok_or("missing spec_digest")?)?;
@@ -141,86 +341,171 @@ impl Manifest {
             .get("root_seed")
             .and_then(Value::as_u64)
             .ok_or("manifest missing root_seed")?;
-        let mut completed = Vec::new();
+        let mut manifest = Manifest::new(spec_digest, root_seed);
         for item in doc
             .get("completed")
             .and_then(Value::as_arr)
             .ok_or("manifest missing completed[]")?
         {
-            let key = item
-                .get("key")
-                .and_then(Value::as_str)
-                .ok_or("completed entry missing key")?
-                .to_string();
-            let digest = parse_hex(item.get("digest").ok_or("completed entry missing digest")?)?;
-            let attempts = item
-                .get("attempts")
-                .and_then(Value::as_u64)
-                .ok_or("completed entry missing attempts")? as u32;
-            let mut metrics = Vec::new();
-            match item.get("metrics") {
-                Some(Value::Obj(members)) => {
-                    for (name, value) in members {
-                        let v = value
-                            .as_f64()
-                            .ok_or_else(|| format!("metric {name:?} is not a number"))?;
-                        metrics.push((name.clone(), v));
-                    }
-                }
-                _ => return Err(format!("completed entry {key:?} missing metrics{{}}")),
-            }
-            let rendered = item
-                .get("rendered")
-                .and_then(Value::as_str)
-                .ok_or("completed entry missing rendered")?
-                .to_string();
-            completed.push(CompletedTrial {
-                key,
-                digest,
-                attempts,
-                output: TrialOutput { rendered, metrics },
-            });
+            manifest.completed.push(completed_from(item)?);
         }
-        let mut poisoned = Vec::new();
         for item in doc
             .get("poisoned")
             .and_then(Value::as_arr)
             .ok_or("manifest missing poisoned[]")?
         {
-            poisoned.push(PoisonedTrial {
-                key: item
-                    .get("key")
-                    .and_then(Value::as_str)
-                    .ok_or("poisoned entry missing key")?
-                    .to_string(),
-                error: item
-                    .get("error")
-                    .and_then(Value::as_str)
-                    .ok_or("poisoned entry missing error")?
-                    .to_string(),
-                attempts: item
-                    .get("attempts")
-                    .and_then(Value::as_u64)
-                    .ok_or("poisoned entry missing attempts")? as u32,
-            });
+            manifest.poisoned.push(poisoned_from(item)?);
         }
-        Ok(Manifest {
-            spec_digest,
-            root_seed,
-            completed,
-            poisoned,
-        })
+        if version >= 2 {
+            for item in doc
+                .get("timed_out")
+                .and_then(Value::as_arr)
+                .ok_or("manifest missing timed_out[]")?
+            {
+                manifest.timed_out.push(timed_out_from(item)?);
+            }
+            for item in doc
+                .get("quarantined")
+                .and_then(Value::as_arr)
+                .ok_or("manifest missing quarantined[]")?
+            {
+                manifest.quarantined.push(quarantined_from(item)?);
+            }
+            let recorded = parse_hex(doc.get("checksum").ok_or("manifest missing checksum")?)?;
+            let computed = manifest.checksum();
+            if recorded != computed {
+                return Err(format!(
+                    "checksum mismatch: recorded {}, computed {} — manifest is corrupt",
+                    hex(recorded),
+                    hex(computed)
+                ));
+            }
+        }
+        Ok(manifest)
     }
 
-    /// Loads a manifest from `path`.
+    /// Loads a manifest from `path`, strictly.
     pub fn load(path: &Path) -> Result<Self, String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
         Manifest::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
     }
 
+    /// Loads a manifest, recovering from corruption where possible.
+    ///
+    /// A clean document parses strictly and returns `(manifest, None)`.
+    /// A truncated or corrupt one goes through line-oriented salvage:
+    /// the writer emits one record per line, so every line that still
+    /// parses is kept and everything else is dropped, with a warning
+    /// describing the damage. Only an unreadable file or an
+    /// unrecoverable header (no spec digest) remains an error.
+    pub fn load_lenient(path: &Path) -> Result<(Self, Option<String>), String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        match Manifest::parse(&text) {
+            Ok(m) => Ok((m, None)),
+            Err(err) => {
+                let (manifest, salvaged, dropped) = Manifest::recover(&text)
+                    .map_err(|e| format!("recover {}: {e} (after: {err})", path.display()))?;
+                Ok((
+                    manifest,
+                    Some(format!(
+                        "manifest {} was corrupt ({err}); recovered {salvaged} record(s), \
+                         dropped {dropped} damaged line(s)",
+                        path.display()
+                    )),
+                ))
+            }
+        }
+    }
+
+    /// Line-oriented salvage of a damaged document. Returns the
+    /// recovered manifest plus (salvaged, dropped) record counts.
+    fn recover(text: &str) -> Result<(Self, usize, usize), String> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Section {
+            None,
+            Completed,
+            Poisoned,
+            TimedOut,
+            Quarantined,
+        }
+        let mut spec_digest = None;
+        let mut root_seed = 0u64;
+        let mut manifest = Manifest::default();
+        let mut section = Section::None;
+        let mut salvaged = 0usize;
+        let mut dropped = 0usize;
+        // Parse a single `"name": value` line as a one-member object.
+        let header_value = |line: &str| -> Option<Value> {
+            let body = line.trim().trim_end_matches(',');
+            json::parse(&format!("{{{body}}}")).ok()
+        };
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.contains("\"spec_digest\"") && spec_digest.is_none() {
+                if let Some(v) = header_value(raw) {
+                    if let Some(d) = v.get("spec_digest").and_then(|d| parse_hex(d).ok()) {
+                        spec_digest = Some(d);
+                        continue;
+                    }
+                }
+            }
+            if line.contains("\"root_seed\"") && section == Section::None {
+                if let Some(v) = header_value(raw) {
+                    if let Some(s) = v.get("root_seed").and_then(Value::as_u64) {
+                        root_seed = s;
+                        continue;
+                    }
+                }
+            }
+            if line.starts_with("\"completed\"") {
+                section = Section::Completed;
+                continue;
+            }
+            if line.starts_with("\"poisoned\"") {
+                section = Section::Poisoned;
+                continue;
+            }
+            if line.starts_with("\"timed_out\"") {
+                section = Section::TimedOut;
+                continue;
+            }
+            if line.starts_with("\"quarantined\"") {
+                section = Section::Quarantined;
+                continue;
+            }
+            if !line.starts_with('{') || section == Section::None {
+                continue;
+            }
+            let entry = line.trim_end_matches(',');
+            let parsed = json::parse(entry).ok().and_then(|item| match section {
+                Section::Completed => completed_from(&item)
+                    .ok()
+                    .map(|t| manifest.completed.push(t)),
+                Section::Poisoned => poisoned_from(&item).ok().map(|t| manifest.poisoned.push(t)),
+                Section::TimedOut => timed_out_from(&item)
+                    .ok()
+                    .map(|t| manifest.timed_out.push(t)),
+                Section::Quarantined => quarantined_from(&item)
+                    .ok()
+                    .map(|t| manifest.quarantined.push(t)),
+                Section::None => None,
+            });
+            match parsed {
+                Some(()) => salvaged += 1,
+                None => dropped += 1,
+            }
+        }
+        let spec_digest = spec_digest.ok_or("spec_digest unrecoverable")?;
+        manifest.spec_digest = spec_digest;
+        manifest.root_seed = root_seed;
+        Ok((manifest, salvaged, dropped))
+    }
+
     /// Writes the manifest atomically: temp file in the same
-    /// directory, then rename over `path`.
+    /// directory, then rename over `path`. The document carries the
+    /// content checksum, so a torn write is detectable on load.
     pub fn save(&self, path: &Path) -> Result<(), String> {
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, self.to_json())
@@ -235,6 +520,8 @@ mod tests {
     use super::*;
 
     fn sample() -> Manifest {
+        let mut output = TrialOutput::new("line1\nline2 \"quoted\"".to_string(), vec![]);
+        output.metrics = vec![("diff".into(), 22.5), ("neg".into(), -0.125)];
         Manifest {
             spec_digest: 0xdead_beef_0bad_cafe,
             root_seed: 0x5eed,
@@ -242,15 +529,24 @@ mod tests {
                 key: "rollback/es/s0".into(),
                 digest: u64::MAX,
                 attempts: 2,
-                output: TrialOutput {
-                    rendered: "line1\nline2 \"quoted\"".into(),
-                    metrics: vec![("diff".into(), 22.5), ("neg".into(), -0.125)],
-                },
+                output,
             }],
             poisoned: vec![PoisonedTrial {
                 key: "pdf/no-es/s1".into(),
                 error: "index out of bounds: the len is 0".into(),
                 attempts: 3,
+                failures: 2,
+            }],
+            timed_out: vec![TimedOutTrial {
+                key: "leakage/es/s0".into(),
+                error: "deadline exceeded: ran 9.1 s against a budget of 2.0 s".into(),
+                attempts: 1,
+                failures: 1,
+            }],
+            quarantined: vec![QuarantinedTrial {
+                key: "rate/default/s2".into(),
+                error: "trial exploded".into(),
+                failures: 3,
             }],
         }
     }
@@ -262,6 +558,15 @@ mod tests {
         json::validate(&text).expect("manifest JSON validates");
         let back = Manifest::parse(&text).expect("manifest parses");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn truncated_flag_round_trips() {
+        let mut m = sample();
+        m.completed[0].output.truncated = true;
+        let text = m.to_json();
+        assert!(text.contains("\"truncated\": true"));
+        assert_eq!(Manifest::parse(&text).expect("parses"), m);
     }
 
     #[test]
@@ -292,5 +597,87 @@ mod tests {
         assert!(Manifest::parse(wrong_version)
             .unwrap_err()
             .contains("version"));
+    }
+
+    #[test]
+    fn version_1_documents_still_load() {
+        let v1 = concat!(
+            "{\"version\": 1, \"spec_digest\": \"0xabc\", \"root_seed\": 7,\n",
+            " \"completed\": [{\"key\": \"a/x/s0\", \"digest\": \"0x1\", \"attempts\": 1,",
+            " \"metrics\": {\"m\": 2}, \"rendered\": \"ok\"}],\n",
+            " \"poisoned\": [{\"key\": \"a/x/s1\", \"error\": \"boom\", \"attempts\": 2}]}"
+        );
+        let m = Manifest::parse(v1).expect("v1 parses");
+        assert_eq!(m.spec_digest, 0xabc);
+        assert_eq!(m.completed.len(), 1);
+        assert!(!m.completed[0].output.truncated);
+        assert_eq!(
+            m.poisoned[0].failures, 1,
+            "legacy records count one failure"
+        );
+        assert!(m.timed_out.is_empty());
+    }
+
+    #[test]
+    fn a_flipped_bit_fails_the_checksum() {
+        let text = sample().to_json();
+        let tampered = text.replacen("\"attempts\": 2", "\"attempts\": 9", 1);
+        assert_ne!(text, tampered, "tamper target must exist");
+        let err = Manifest::parse(&tampered).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn a_truncated_manifest_recovers_to_the_last_good_entry() {
+        let mut m = sample();
+        let mut second = TrialOutput::new("fine".to_string(), vec![]);
+        second.metrics = vec![("m".into(), 1.0)];
+        m.completed.push(CompletedTrial {
+            key: "rollback/es/s1".into(),
+            digest: 42,
+            attempts: 1,
+            output: second,
+        });
+        let text = m.to_json();
+        // Cut the file mid-way through the second completed record, as
+        // a crash during a non-atomic write would.
+        let cut = text.find("rollback/es/s1").unwrap() + 20;
+        let torn = &text[..cut];
+        assert!(Manifest::parse(torn).is_err(), "torn file must not parse");
+        let dir = std::env::temp_dir().join("unxpec-harness-manifest-recover");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        std::fs::write(&path, torn).unwrap();
+        let (recovered, warning) = Manifest::load_lenient(&path).unwrap();
+        let warning = warning.expect("recovery must warn");
+        assert!(warning.contains("recovered"), "{warning}");
+        assert_eq!(recovered.spec_digest, m.spec_digest);
+        assert_eq!(recovered.root_seed, m.root_seed);
+        assert_eq!(recovered.completed.len(), 1, "first record survives");
+        assert_eq!(recovered.completed[0], m.completed[0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_clean_manifest_loads_leniently_without_warning() {
+        let dir = std::env::temp_dir().join("unxpec-harness-manifest-clean");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        let m = sample();
+        m.save(&path).unwrap();
+        let (loaded, warning) = Manifest::load_lenient(&path).unwrap();
+        assert_eq!(loaded, m);
+        assert!(warning.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pure_garbage_is_unrecoverable() {
+        let dir = std::env::temp_dir().join("unxpec-harness-manifest-garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        std::fs::write(&path, "\x00\x01 nothing json-like here").unwrap();
+        assert!(Manifest::load_lenient(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

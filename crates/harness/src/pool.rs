@@ -11,14 +11,18 @@
 //! protocol is needed.
 //!
 //! Each task attempt runs under [`std::panic::catch_unwind`]; a panic
-//! is retried in place up to the retry budget and then reported as
-//! [`TaskOutcome::Poisoned`] with the panic payload, leaving the rest
-//! of the pool untouched.
+//! is retried in place — after a deterministic, bounded backoff — up
+//! to the retry budget and then reported as [`TaskOutcome::Poisoned`]
+//! with the panic payload, leaving the rest of the pool untouched. A
+//! [`RunPolicy`] deadline bounds each task's wall clock: tasks cannot
+//! be preempted mid-attempt, so the check is cooperative (applied when
+//! an attempt finishes), turning a slow-but-finite task into a typed
+//! [`TaskOutcome::TimedOut`] instead of a silently slow sweep.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What happened to one task.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,16 +41,78 @@ pub enum TaskOutcome<T> {
         /// Total attempts made (retry budget + 1).
         attempts: u32,
     },
+    /// The task exceeded the [`RunPolicy`] wall-clock deadline. The
+    /// check is cooperative — the attempt ran to completion (or
+    /// panicked) first — so a timed-out task never wedges a worker;
+    /// its value is discarded because a result that blew its budget
+    /// must not be silently aggregated.
+    TimedOut {
+        /// What the deadline check observed.
+        error: String,
+        /// Attempts made before the deadline expired.
+        attempts: u32,
+    },
 }
 
 impl<T> TaskOutcome<T> {
     /// The attempt count regardless of outcome.
     pub fn attempts(&self) -> u32 {
         match self {
-            TaskOutcome::Done { attempts, .. } | TaskOutcome::Poisoned { attempts, .. } => {
-                *attempts
-            }
+            TaskOutcome::Done { attempts, .. }
+            | TaskOutcome::Poisoned { attempts, .. }
+            | TaskOutcome::TimedOut { attempts, .. } => *attempts,
         }
+    }
+}
+
+/// How tasks are retried and bounded — everything about failure
+/// handling that [`run_tasks_with`] needs beyond the task itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Retries per panicking task before it is poisoned.
+    pub retries: u32,
+    /// Per-task wall-clock budget across all attempts; `None` means
+    /// unbounded. Checked cooperatively after each attempt.
+    pub deadline: Option<Duration>,
+    /// Base pause before the first retry; each further retry doubles
+    /// it (capped by [`RunPolicy::backoff_cap`]). Zero sleeps not at
+    /// all. Deterministic: the pause is a pure function of the attempt
+    /// number, never of load or randomness.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff pause.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            retries: 0,
+            deadline: None,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RunPolicy {
+    /// A policy that only retries, like the classic `run_tasks` call.
+    pub fn with_retries(retries: u32) -> Self {
+        RunPolicy {
+            retries,
+            ..RunPolicy::default()
+        }
+    }
+
+    /// The pause before retry number `attempt` (1-based attempt that
+    /// just failed): `backoff_base << (attempt - 1)`, capped.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let shift = (attempt.saturating_sub(1)).min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << shift)
+            .min(self.backoff_cap)
     }
 }
 
@@ -78,6 +144,8 @@ pub struct PoolStats {
     pub retried: u64,
     /// Attempts that panicked.
     pub panicked: u64,
+    /// Tasks that blew the wall-clock deadline.
+    pub timed_out: u64,
     /// Maximum injector queue depth observed at grab time.
     pub max_queue_depth: u64,
     /// Microseconds workers spent inside tasks, summed over workers.
@@ -101,6 +169,7 @@ struct Counters {
     stolen: AtomicU64,
     retried: AtomicU64,
     panicked: AtomicU64,
+    timed_out: AtomicU64,
     max_queue_depth: AtomicU64,
     busy_us: AtomicU64,
 }
@@ -130,7 +199,7 @@ fn execute<T, F>(
     index: usize,
     worker: usize,
     task: &F,
-    retries: u32,
+    policy: &RunPolicy,
     epoch: Instant,
     counters: &Counters,
 ) -> (TaskOutcome<T>, TaskTiming)
@@ -140,19 +209,48 @@ where
     let start = Instant::now();
     let start_us = start.duration_since(epoch).as_micros() as u64;
     let mut attempts = 0u32;
+    let over_deadline = |elapsed: Duration| policy.deadline.is_some_and(|d| elapsed > d);
     let outcome = loop {
         attempts += 1;
         match catch_unwind(AssertUnwindSafe(|| task(index))) {
-            Ok(value) => break TaskOutcome::Done { value, attempts },
+            Ok(value) => {
+                let elapsed = start.elapsed();
+                if over_deadline(elapsed) {
+                    counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                    break TaskOutcome::TimedOut {
+                        error: format!(
+                            "deadline exceeded: ran {:.3} s against a budget of {:.3} s",
+                            elapsed.as_secs_f64(),
+                            policy.deadline.unwrap_or_default().as_secs_f64()
+                        ),
+                        attempts,
+                    };
+                }
+                break TaskOutcome::Done { value, attempts };
+            }
             Err(payload) => {
                 counters.panicked.fetch_add(1, Ordering::Relaxed);
-                if attempts > retries {
+                if attempts > policy.retries {
                     break TaskOutcome::Poisoned {
                         error: panic_message(payload),
                         attempts,
                     };
                 }
+                // The deadline also bounds the retry loop: once it is
+                // spent, stop burning attempts on a task that cannot
+                // finish in budget anyway.
+                if over_deadline(start.elapsed()) {
+                    counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                    break TaskOutcome::TimedOut {
+                        error: format!("deadline exceeded after panic: {}", panic_message(payload)),
+                        attempts,
+                    };
+                }
                 counters.retried.fetch_add(1, Ordering::Relaxed);
+                let pause = policy.backoff_for(attempts);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
             }
         }
     };
@@ -196,12 +294,36 @@ where
     F: Fn(usize) -> T + Sync,
     C: Fn(usize, &TaskOutcome<T>) + Sync,
 {
+    run_tasks_with(
+        jobs,
+        n_tasks,
+        &RunPolicy::with_retries(retries),
+        task,
+        on_done,
+    )
+}
+
+/// [`run_tasks`] with a full [`RunPolicy`]: deadline and backoff in
+/// addition to the retry budget.
+pub fn run_tasks_with<T, F, C>(
+    jobs: usize,
+    n_tasks: usize,
+    policy: &RunPolicy,
+    task: F,
+    on_done: C,
+) -> (Vec<TaskOutcome<T>>, Vec<TaskTiming>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: Fn(usize, &TaskOutcome<T>) + Sync,
+{
     let jobs = jobs.max(1).min(n_tasks.max(1));
     let epoch = Instant::now();
     let counters = Counters {
         stolen: AtomicU64::new(0),
         retried: AtomicU64::new(0),
         panicked: AtomicU64::new(0),
+        timed_out: AtomicU64::new(0),
         max_queue_depth: AtomicU64::new(0),
         busy_us: AtomicU64::new(0),
     };
@@ -215,7 +337,7 @@ where
             .max_queue_depth
             .store(n_tasks as u64, Ordering::Relaxed);
         for (index, slot) in outcomes.iter_mut().enumerate() {
-            let (outcome, timing) = execute(index, 0, &task, retries, epoch, &counters);
+            let (outcome, timing) = execute(index, 0, &task, policy, epoch, &counters);
             on_done(index, &outcome);
             *slot = Some(outcome);
             timings.push(timing);
@@ -276,7 +398,7 @@ where
                         std::thread::yield_now();
                         continue;
                     };
-                    let (outcome, timing) = execute(index, worker, task, retries, epoch, counters);
+                    let (outcome, timing) = execute(index, worker, task, policy, epoch, counters);
                     on_done(index, &outcome);
                     *lock(&result_slots[index]) = Some((outcome, timing));
                 });
@@ -300,6 +422,7 @@ where
         stolen: counters.stolen.load(Ordering::Relaxed),
         retried: counters.retried.load(Ordering::Relaxed),
         panicked: counters.panicked.load(Ordering::Relaxed),
+        timed_out: counters.timed_out.load(Ordering::Relaxed),
         max_queue_depth: counters.max_queue_depth.load(Ordering::Relaxed),
         busy_us: counters.busy_us.load(Ordering::Relaxed),
         wall_us: epoch.elapsed().as_micros() as u64,
@@ -327,7 +450,7 @@ mod tests {
                         assert_eq!(*value, i * i);
                         assert_eq!(*attempts, 1);
                     }
-                    TaskOutcome::Poisoned { .. } => panic!("no task panics here"),
+                    other => panic!("no task fails here: {other:?}"),
                 }
             }
             assert_eq!(timings.len(), 32);
@@ -357,7 +480,7 @@ mod tests {
                 assert!(error.contains("trial 3 exploded"));
                 assert_eq!(*attempts, 3, "1 try + 2 retries");
             }
-            TaskOutcome::Done { .. } => panic!("task 3 always panics"),
+            other => panic!("task 3 always panics: {other:?}"),
         }
         assert_eq!(attempts_seen.load(Ordering::Relaxed), 3);
         assert_eq!(stats.panicked, 3);
@@ -418,5 +541,119 @@ mod tests {
         let (_, _, stats) = run_tasks(2, 8, 0, |i| i * 3, |_, _| {});
         let u = stats.utilization();
         assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn a_slow_task_becomes_a_typed_timeout() {
+        let policy = RunPolicy {
+            deadline: Some(Duration::from_millis(5)),
+            ..RunPolicy::default()
+        };
+        let (outcomes, _, stats) = run_tasks_with(
+            1,
+            2,
+            &policy,
+            |i| {
+                if i == 1 {
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+                i
+            },
+            |_, _| {},
+        );
+        assert!(matches!(outcomes[0], TaskOutcome::Done { value: 0, .. }));
+        match &outcomes[1] {
+            TaskOutcome::TimedOut { error, attempts } => {
+                assert!(error.contains("deadline exceeded"), "{error}");
+                assert_eq!(*attempts, 1);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert_eq!(stats.timed_out, 1);
+    }
+
+    #[test]
+    fn the_deadline_also_cuts_the_retry_loop_short() {
+        let policy = RunPolicy {
+            retries: 1000,
+            deadline: Some(Duration::from_millis(5)),
+            ..RunPolicy::default()
+        };
+        let tries = AtomicUsize::new(0);
+        let (outcomes, _, _) = run_tasks_with(
+            1,
+            1,
+            &policy,
+            |_| {
+                tries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(10));
+                panic!("always fails, slowly");
+            },
+            |_, _| {},
+        );
+        assert!(
+            matches!(outcomes[0], TaskOutcome::TimedOut { .. }),
+            "retrying past the deadline must stop: {:?}",
+            outcomes[0]
+        );
+        assert!(
+            tries.load(Ordering::Relaxed) < 1000,
+            "deadline must bound the retry loop"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_per_retry_and_is_capped() {
+        let p = RunPolicy {
+            retries: 10,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+            ..RunPolicy::default()
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(35), "capped");
+        assert_eq!(
+            p.backoff_for(60),
+            Duration::from_millis(35),
+            "shift saturates"
+        );
+        assert_eq!(RunPolicy::default().backoff_for(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn retries_pause_for_the_configured_backoff() {
+        let policy = RunPolicy {
+            retries: 2,
+            backoff_base: Duration::from_millis(10),
+            ..RunPolicy::default()
+        };
+        let tries = AtomicUsize::new(0);
+        let start = Instant::now();
+        let (outcomes, _, _) = run_tasks_with(
+            1,
+            1,
+            &policy,
+            |_| {
+                if tries.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                1u8
+            },
+            |_, _| {},
+        );
+        assert!(matches!(
+            outcomes[0],
+            TaskOutcome::Done {
+                value: 1,
+                attempts: 3
+            }
+        ));
+        // Two pauses: 10 ms then 20 ms. Allow slop below but insist on
+        // most of it having elapsed.
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "backoff pauses must actually happen"
+        );
     }
 }

@@ -12,8 +12,9 @@
 //! aggregate them across the seed axis.
 
 use unxpec::experiments::{
-    ablations, defense_costs, leakage, overhead, pdf, rate, resolution, robustness, rollback,
-    scorecard, secret_pattern, table1, timeline, trace, triggers, votes, workload_profile, Scale,
+    ablations, chaos, defense_costs, leakage, overhead, pdf, rate, resolution, robustness,
+    rollback, scorecard, secret_pattern, table1, timeline, trace, triggers, votes,
+    workload_profile, Scale,
 };
 
 use crate::experiment::{Experiment, FnExperiment, TrialOutput};
@@ -123,10 +124,9 @@ impl Registry {
                 .iter()
                 .map(|(name, diff, _)| (format!("{name}_diff"), *diff))
                 .collect();
-            TrialOutput {
-                rendered: m.to_string(),
-                metrics,
-            }
+            let mut out = TrialOutput::new(m.to_string(), vec![]);
+            out.metrics = metrics;
+            out
         }));
         r.register(FnExperiment::new("votes", &["no-es", "es"], |ctx| {
             let sweep = votes::run(
@@ -256,6 +256,23 @@ impl Registry {
         r.register(FnExperiment::new("scorecard", &["default"], |ctx| {
             let quick = ctx.scale.timing_samples < Scale::paper().timing_samples;
             TrialOutput::new(scorecard::run(quick, ctx.seed).to_string(), vec![])
+        }));
+        let chaos_variants = chaos::ChaosMode::variant_names();
+        r.register(FnExperiment::new("chaos", &chaos_variants, |ctx| {
+            let mode = chaos::ChaosMode::from_variant(&ctx.variant)
+                .expect("registry only enumerates listed chaos variants");
+            let report = chaos::run(mode, 100, ctx.seed);
+            TrialOutput::new(
+                report.to_string(),
+                vec![
+                    ("faults_injected", report.faults_total() as f64),
+                    ("typed_violations", report.violations() as f64),
+                    ("clean_runs", report.clean_runs() as f64),
+                    ("sanitizer_checks", report.checks_total() as f64),
+                ],
+            )
+            .with_truncated(report.any_truncated())
+            .with_diagnostics(report.diagnostics)
         }));
         r
     }

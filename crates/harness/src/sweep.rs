@@ -10,15 +10,16 @@
 //! makes the aggregates (and [`SweepReport::aggregate_digest`])
 //! byte-identical regardless of worker count.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use unxpec_stats::Summary;
-use unxpec_telemetry::{spans_to_chrome_json, MetricsRegistry, Span};
+use unxpec_telemetry::{json::escape, spans_to_chrome_json, MetricsRegistry, Span};
 
 use crate::experiment::{output_digest, TrialOutput};
-use crate::manifest::{CompletedTrial, Manifest, PoisonedTrial};
-use crate::pool::{run_tasks, PoolStats, TaskOutcome};
+use crate::manifest::{CompletedTrial, Manifest, PoisonedTrial, QuarantinedTrial, TimedOutTrial};
+use crate::pool::{run_tasks_with, PoolStats, RunPolicy, TaskOutcome};
 use crate::registry::Registry;
 use crate::spec::{SpecError, SweepSpec, Trial};
 use crate::TrialCtx;
@@ -33,6 +34,24 @@ pub struct SweepOptions {
     pub retries: u32,
     /// Manifest path for checkpoint/resume. `None` disables both.
     pub manifest: Option<PathBuf>,
+    /// Per-trial wall-clock deadline in milliseconds; 0 or `None`
+    /// means unbounded. Checked cooperatively after each attempt (see
+    /// [`RunPolicy::deadline`]).
+    pub deadline_ms: Option<u64>,
+    /// Base pause in milliseconds before the first panic retry; each
+    /// further retry doubles it (bounded). 0 retries immediately.
+    pub backoff_ms: u64,
+    /// Quarantine a trial key once it has failed in this many runs
+    /// (poisoned or timed out, accumulated across resumes via the
+    /// manifest). Quarantined keys are skipped, recorded in the
+    /// manifest, and reported — a repeatedly failing cell stops
+    /// burning retries on every resume. 0 disables quarantine.
+    pub quarantine_after: u32,
+    /// Directory for per-failure diagnostics bundles: one JSON file
+    /// per poisoned/timed-out/quarantined trial, carrying everything
+    /// needed to reproduce it (trial identity, derived seed, root
+    /// seed, scale, error, diagnostics lines). `None` disables.
+    pub diagnostics_dir: Option<PathBuf>,
 }
 
 /// One completed trial in the report.
@@ -72,6 +91,16 @@ pub struct SweepReport {
     pub results: Vec<TrialResult>,
     /// Poisoned trials in enumeration order.
     pub poisoned: Vec<PoisonedTrial>,
+    /// Timed-out trials in enumeration order — both pool-deadline
+    /// blowouts and limit-truncated simulations (`RunResult::hit_limit`
+    /// surfaced through [`TrialOutput::truncated`]). Excluded from the
+    /// aggregates: a truncated number is not a measurement.
+    pub timed_out: Vec<TimedOutTrial>,
+    /// Quarantined trial keys skipped this run.
+    pub quarantined: Vec<QuarantinedTrial>,
+    /// Recoveries and other non-fatal conditions encountered while
+    /// running (e.g. a corrupt manifest salvaged on resume).
+    pub warnings: Vec<String>,
     /// Per-cell metric summaries in enumeration order.
     pub aggregates: Vec<Aggregate>,
     /// FNV-1a over every trial's digest (poisoned trials contribute
@@ -132,42 +161,93 @@ pub fn run_sweep(
 ) -> Result<SweepReport, SweepError> {
     let spec_digest = spec.digest();
     let trials = spec.enumerate(registry)?;
+    let mut warnings = Vec::new();
 
     // Resume: load the manifest if present and splice out done trials.
+    // The load is lenient — a torn or corrupt checkpoint is salvaged
+    // to its last good record with a warning instead of failing the
+    // whole sweep.
     let mut manifest = Manifest::new(spec_digest, spec.root_seed);
     if let Some(path) = &opts.manifest {
         if path.exists() {
-            let loaded = Manifest::load(path).map_err(SweepError::Manifest)?;
+            let (loaded, warning) = Manifest::load_lenient(path).map_err(SweepError::Manifest)?;
             if loaded.spec_digest != spec_digest {
                 return Err(SweepError::ManifestMismatch {
                     manifest: loaded.spec_digest,
                     spec: spec_digest,
                 });
             }
+            warnings.extend(warning);
             manifest = loaded;
-            // A resumed run retries previously-poisoned trials.
-            manifest.poisoned.clear();
         }
     }
+    // Failure history drives quarantine: keys that failed (poisoned or
+    // timed out) in `failures` prior runs, plus keys already
+    // quarantined. Retryable failure records are then cleared — a
+    // resumed run retries them unless quarantined.
+    let mut prior_failures: std::collections::HashMap<String, (u32, String)> = Default::default();
+    for p in &manifest.poisoned {
+        prior_failures.insert(p.key.clone(), (p.failures, p.error.clone()));
+    }
+    for t in &manifest.timed_out {
+        let entry = prior_failures
+            .entry(t.key.clone())
+            .or_insert((0, t.error.clone()));
+        entry.0 = entry.0.max(t.failures);
+    }
+    for q in &manifest.quarantined {
+        prior_failures.insert(q.key.clone(), (q.failures, q.error.clone()));
+    }
+    let previously_quarantined: std::collections::HashSet<String> =
+        manifest.quarantined.iter().map(|q| q.key.clone()).collect();
+    let prior_quarantined = std::mem::take(&mut manifest.quarantined);
+    manifest.poisoned.clear();
+    manifest.timed_out.clear();
+
     let done: std::collections::HashMap<&str, &CompletedTrial> = manifest
         .completed
         .iter()
         .map(|t| (t.key.as_str(), t))
         .collect();
+    let is_quarantined = |key: &str| {
+        previously_quarantined.contains(key)
+            || (opts.quarantine_after > 0
+                && prior_failures
+                    .get(key)
+                    .is_some_and(|(n, _)| *n >= opts.quarantine_after))
+    };
     let pending: Vec<&Trial> = trials
         .iter()
-        .filter(|t| !done.contains_key(t.key.as_str()))
+        .filter(|t| !done.contains_key(t.key.as_str()) && !is_quarantined(&t.key))
         .collect();
-    let resumed = trials.len() - pending.len();
+    let resumed =
+        trials.len() - pending.len() - trials.iter().filter(|t| is_quarantined(&t.key)).count();
+
+    // One more failing run for `key` than the manifest remembers.
+    let bump_failures = |key: &str| -> u32 {
+        prior_failures
+            .get(key)
+            .map_or(0, |(n, _)| *n)
+            .saturating_add(1)
+    };
 
     // Shard the pending trials on the pool. Each task owns exactly one
     // trial; the checkpoint callback appends to the manifest under a
     // lock and rewrites it atomically.
+    let policy = RunPolicy {
+        retries: opts.retries,
+        deadline: opts
+            .deadline_ms
+            .filter(|ms| *ms > 0)
+            .map(Duration::from_millis),
+        backoff_base: Duration::from_millis(opts.backoff_ms),
+        ..RunPolicy::default()
+    };
     let checkpoint = Mutex::new(manifest.clone());
-    let (outcomes, timings, stats) = run_tasks(
+    let (outcomes, timings, stats) = run_tasks_with(
         opts.jobs,
         pending.len(),
-        opts.retries,
+        &policy,
         |i| {
             let trial = pending[i];
             let exp = registry
@@ -193,6 +273,13 @@ pub fn run_sweep(
                     key: trial.key.clone(),
                     error: error.clone(),
                     attempts: *attempts,
+                    failures: bump_failures(&trial.key),
+                }),
+                TaskOutcome::TimedOut { error, attempts } => m.timed_out.push(TimedOutTrial {
+                    key: trial.key.clone(),
+                    error: error.clone(),
+                    attempts: *attempts,
+                    failures: bump_failures(&trial.key),
                 }),
             }
             if let Some(path) = &opts.manifest {
@@ -204,9 +291,14 @@ pub fn run_sweep(
     );
 
     // Reassemble results in enumeration order: resumed trials from the
-    // manifest, fresh trials from their pool slot.
+    // manifest, fresh trials from their pool slot. A completed trial
+    // whose output is limit-truncated (`RunResult::hit_limit`) is
+    // routed to the typed timed-out list rather than aggregated — it
+    // still checkpoints as completed (rerunning it would deterministically
+    // truncate again), but its numbers never enter a summary.
     let mut fresh: std::collections::HashMap<&str, (TrialOutput, u32)> = Default::default();
     let mut poisoned_fresh: std::collections::HashMap<&str, (String, u32)> = Default::default();
+    let mut timed_out_fresh: std::collections::HashMap<&str, (String, u32)> = Default::default();
     for (i, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
             TaskOutcome::Done { value, attempts } => {
@@ -215,50 +307,112 @@ pub fn run_sweep(
             TaskOutcome::Poisoned { error, attempts } => {
                 poisoned_fresh.insert(pending[i].key.as_str(), (error, attempts));
             }
+            TaskOutcome::TimedOut { error, attempts } => {
+                timed_out_fresh.insert(pending[i].key.as_str(), (error, attempts));
+            }
         }
     }
     let mut results = Vec::new();
     let mut poisoned = Vec::new();
-    for trial in &trials {
-        if let Some(rec) = done.get(trial.key.as_str()) {
-            results.push(TrialResult {
-                trial: trial.clone(),
-                output: rec.output.clone(),
-                digest: rec.digest,
-                attempts: rec.attempts,
-                resumed: true,
+    let mut timed_out: Vec<TimedOutTrial> = Vec::new();
+    let mut pool_timed_out: Vec<TimedOutTrial> = Vec::new();
+    let mut quarantined: Vec<QuarantinedTrial> = Vec::new();
+    let mut completed_records: Vec<CompletedTrial> = Vec::new();
+    // Diagnostics payloads for truncated completions, keyed for the
+    // bundle writer below.
+    let mut truncated_diag: std::collections::HashMap<String, Vec<String>> = Default::default();
+    let truncation_error = "simulation truncated: run ended on its cycle/instruction limit \
+                            (RunResult::hit_limit)";
+    let mut route_completed = |trial: &Trial,
+                               output: TrialOutput,
+                               digest: u64,
+                               attempts: u32,
+                               was_resumed: bool,
+                               results: &mut Vec<TrialResult>,
+                               timed_out: &mut Vec<TimedOutTrial>| {
+        completed_records.push(CompletedTrial {
+            key: trial.key.clone(),
+            digest,
+            attempts,
+            output: output.clone(),
+        });
+        if output.truncated {
+            truncated_diag.insert(trial.key.clone(), output.diagnostics.clone());
+            timed_out.push(TimedOutTrial {
+                key: trial.key.clone(),
+                error: truncation_error.to_string(),
+                attempts,
+                failures: 1,
             });
-        } else if let Some((output, attempts)) = fresh.remove(trial.key.as_str()) {
-            let digest = output_digest(&output);
+        } else {
             results.push(TrialResult {
                 trial: trial.clone(),
                 output,
                 digest,
                 attempts,
-                resumed: false,
+                resumed: was_resumed,
             });
+        }
+    };
+    for trial in &trials {
+        if is_quarantined(&trial.key) {
+            let (failures, error) = prior_failures
+                .get(trial.key.as_str())
+                .cloned()
+                .unwrap_or((opts.quarantine_after.max(1), String::new()));
+            quarantined.push(QuarantinedTrial {
+                key: trial.key.clone(),
+                error,
+                failures,
+            });
+        } else if let Some(rec) = done.get(trial.key.as_str()) {
+            route_completed(
+                trial,
+                rec.output.clone(),
+                rec.digest,
+                rec.attempts,
+                true,
+                &mut results,
+                &mut timed_out,
+            );
+        } else if let Some((output, attempts)) = fresh.remove(trial.key.as_str()) {
+            let digest = output_digest(&output);
+            route_completed(
+                trial,
+                output,
+                digest,
+                attempts,
+                false,
+                &mut results,
+                &mut timed_out,
+            );
         } else if let Some((error, attempts)) = poisoned_fresh.remove(trial.key.as_str()) {
             poisoned.push(PoisonedTrial {
                 key: trial.key.clone(),
                 error,
                 attempts,
+                failures: bump_failures(&trial.key),
             });
+        } else if let Some((error, attempts)) = timed_out_fresh.remove(trial.key.as_str()) {
+            let rec = TimedOutTrial {
+                key: trial.key.clone(),
+                error,
+                attempts,
+                failures: bump_failures(&trial.key),
+            };
+            pool_timed_out.push(rec.clone());
+            timed_out.push(rec);
         }
     }
 
     // Final, authoritative manifest write (the incremental writes are
     // best-effort). Recorded trials outside the current selection are
-    // kept: a narrowed spec must not drop earlier checkpoints.
+    // kept: a narrowed spec must not drop earlier checkpoints. Only
+    // pool-level timeouts are recorded for retry on resume; truncated
+    // completions stay in `completed` (they are deterministic).
     if let Some(path) = &opts.manifest {
         let mut final_manifest = Manifest::new(spec_digest, spec.root_seed);
-        for r in &results {
-            final_manifest.completed.push(CompletedTrial {
-                key: r.trial.key.clone(),
-                digest: r.digest,
-                attempts: r.attempts,
-                output: r.output.clone(),
-            });
-        }
+        final_manifest.completed = completed_records.clone();
         let selected: std::collections::HashSet<&str> =
             trials.iter().map(|t| t.key.as_str()).collect();
         for rec in &manifest.completed {
@@ -267,11 +421,54 @@ pub fn run_sweep(
             }
         }
         final_manifest.poisoned = poisoned.clone();
+        final_manifest.timed_out = pool_timed_out.clone();
+        final_manifest.quarantined = quarantined.clone();
+        for rec in &prior_quarantined {
+            if !selected.contains(rec.key.as_str()) {
+                final_manifest.quarantined.push(rec.clone());
+            }
+        }
         final_manifest.save(path).map_err(SweepError::Manifest)?;
     }
 
+    // Per-failure diagnostics bundles: one JSON file per poisoned,
+    // timed-out, or quarantined trial, self-contained enough to
+    // reproduce the trial from the file alone.
+    if let Some(dir) = &opts.diagnostics_dir {
+        let by_key: std::collections::HashMap<&str, &Trial> =
+            trials.iter().map(|t| (t.key.as_str(), t)).collect();
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            warnings.push(format!("diagnostics dir {}: {e}", dir.display()));
+        } else {
+            let mut write =
+                |key: &str, outcome: &str, error: &str, attempts: u32, failures: u32| {
+                    let Some(trial) = by_key.get(key) else { return };
+                    let diag = truncated_diag.get(key).map(Vec::as_slice).unwrap_or(&[]);
+                    if let Err(e) = write_diagnostics_bundle(
+                        dir, spec, trial, outcome, error, attempts, failures, diag,
+                    ) {
+                        warnings.push(e);
+                    }
+                };
+            for p in &poisoned {
+                write(&p.key, "poisoned", &p.error, p.attempts, p.failures);
+            }
+            for t in &timed_out {
+                let kind = if truncated_diag.contains_key(&t.key) {
+                    "truncated"
+                } else {
+                    "timed_out"
+                };
+                write(&t.key, kind, &t.error, t.attempts, t.failures);
+            }
+            for q in &quarantined {
+                write(&q.key, "quarantined", &q.error, 0, q.failures);
+            }
+        }
+    }
+
     let aggregates = aggregate(&results);
-    let aggregate_digest = digest_run(&results, &poisoned);
+    let aggregate_digest = digest_run(&results, &poisoned, &timed_out, &quarantined);
     let spans = timings
         .iter()
         .map(|t| Span {
@@ -287,6 +484,9 @@ pub fn run_sweep(
         spec_digest,
         results,
         poisoned,
+        timed_out,
+        quarantined,
+        warnings,
         aggregates,
         aggregate_digest,
         resumed,
@@ -302,6 +502,61 @@ fn manifest_push_completed(m: &mut Manifest, trial: &Trial, output: &TrialOutput
         attempts,
         output: output.clone(),
     });
+}
+
+/// Writes one trial's diagnostics bundle:
+/// `<dir>/<key with '/' -> '_'>.json` carrying the trial identity, the
+/// derived and root seeds, the scale identity, the outcome, and any
+/// diagnostics lines the trial recorded (fault schedule, trailing
+/// telemetry events). Everything needed to reproduce the trial lives
+/// in this one file.
+#[allow(clippy::too_many_arguments)]
+fn write_diagnostics_bundle(
+    dir: &Path,
+    spec: &SweepSpec,
+    trial: &Trial,
+    outcome: &str,
+    error: &str,
+    attempts: u32,
+    failures: u32,
+    diagnostics: &[String],
+) -> Result<(), String> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"key\": \"{}\",\n", escape(&trial.key)));
+    out.push_str(&format!(
+        "  \"experiment\": \"{}\",\n  \"variant\": \"{}\",\n  \"seed_index\": {},\n",
+        escape(&trial.experiment),
+        escape(&trial.variant),
+        trial.seed_index
+    ));
+    out.push_str(&format!(
+        "  \"seed\": \"{:#x}\",\n  \"root_seed\": \"{:#x}\",\n  \"spec_digest\": \"{:#x}\",\n",
+        trial.seed,
+        spec.root_seed,
+        spec.digest()
+    ));
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n  \"config\": \"{}\",\n",
+        escape(&spec.scale_name),
+        escape(&spec.canonical_string())
+    ));
+    out.push_str(&format!(
+        "  \"outcome\": \"{}\",\n  \"error\": \"{}\",\n  \"attempts\": {},\n  \"failures\": {},\n",
+        escape(outcome),
+        escape(error),
+        attempts,
+        failures
+    ));
+    out.push_str("  \"diagnostics\": [");
+    for (i, line) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\"", escape(line)));
+    }
+    out.push_str("\n  ]\n}\n");
+    let path = dir.join(format!("{}.json", trial.key.replace('/', "_")));
+    std::fs::write(&path, out).map_err(|e| format!("bundle {}: {e}", path.display()))
 }
 
 /// Groups completed trials by (experiment, variant) and summarizes
@@ -350,7 +605,12 @@ fn aggregate(results: &[TrialResult]) -> Vec<Aggregate> {
 }
 
 /// FNV-1a chain over every trial outcome in enumeration order.
-fn digest_run(results: &[TrialResult], poisoned: &[PoisonedTrial]) -> u64 {
+fn digest_run(
+    results: &[TrialResult],
+    poisoned: &[PoisonedTrial],
+    timed_out: &[TimedOutTrial],
+    quarantined: &[QuarantinedTrial],
+) -> u64 {
     use unxpec::experiments::seeding::fnv1a64;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |v: u64| {
@@ -364,6 +624,14 @@ fn digest_run(results: &[TrialResult], poisoned: &[PoisonedTrial]) -> u64 {
     for p in poisoned {
         mix(fnv1a64(&p.key));
         mix(fnv1a64(&p.error));
+    }
+    for t in timed_out {
+        mix(fnv1a64(&t.key));
+        mix(fnv1a64(&t.error));
+    }
+    for q in quarantined {
+        mix(fnv1a64(&q.key));
+        mix(u64::from(q.failures));
     }
     h
 }
@@ -435,11 +703,14 @@ impl SweepReport {
         );
         m.inc("sweep.trials_resumed", self.resumed as u64);
         m.inc("sweep.trials_poisoned", self.poisoned.len() as u64);
+        m.inc("sweep.trials_timed_out", self.timed_out.len() as u64);
+        m.inc("sweep.trials_quarantined", self.quarantined.len() as u64);
         m.inc("sweep.pool.jobs", self.stats.jobs as u64);
         m.inc("sweep.pool.executed", self.stats.executed);
         m.inc("sweep.pool.stolen", self.stats.stolen);
         m.inc("sweep.pool.retried", self.stats.retried);
         m.inc("sweep.pool.panicked", self.stats.panicked);
+        m.inc("sweep.pool.timed_out", self.stats.timed_out);
         m.inc("sweep.pool.max_queue_depth", self.stats.max_queue_depth);
         m.inc("sweep.pool.busy_us", self.stats.busy_us);
         m.inc("sweep.pool.wall_us", self.stats.wall_us);
@@ -460,13 +731,21 @@ impl SweepReport {
 
 impl std::fmt::Display for SweepReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for w in &self.warnings {
+            writeln!(f, "WARNING {w}")?;
+        }
         writeln!(
             f,
-            "sweep {:#018x} — {} trial(s), {} resumed, {} poisoned",
+            "sweep {:#018x} — {} trial(s), {} resumed, {} poisoned, {} timed out, {} quarantined",
             self.spec_digest,
-            self.results.len() + self.poisoned.len(),
+            self.results.len()
+                + self.poisoned.len()
+                + self.timed_out.len()
+                + self.quarantined.len(),
             self.resumed,
-            self.poisoned.len()
+            self.poisoned.len(),
+            self.timed_out.len(),
+            self.quarantined.len()
         )?;
         writeln!(
             f,
@@ -509,6 +788,20 @@ impl std::fmt::Display for SweepReport {
                 f,
                 "POISONED {} after {} attempt(s): {}",
                 p.key, p.attempts, p.error
+            )?;
+        }
+        for t in &self.timed_out {
+            writeln!(
+                f,
+                "TIMEOUT {} after {} attempt(s): {}",
+                t.key, t.attempts, t.error
+            )?;
+        }
+        for q in &self.quarantined {
+            writeln!(
+                f,
+                "QUARANTINED {} after {} failing run(s): {}",
+                q.key, q.failures, q.error
             )?;
         }
         writeln!(f, "aggregate digest {:#018x}", self.aggregate_digest)
@@ -606,5 +899,206 @@ mod tests {
             }
             other => panic!("expected UnknownExperiment, got {other:?}"),
         }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("unxpec-sweep-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// One variant always panics, the other computes.
+    fn flaky_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(FnExperiment::new("flaky", &["good", "bad"], |ctx| {
+            assert!(ctx.variant != "bad", "cell is broken");
+            TrialOutput::new("ok".into(), vec![("v", 1.0)])
+        }));
+        r
+    }
+
+    fn flaky_spec() -> SweepSpec {
+        let mut spec = SweepSpec::quick();
+        spec.experiments = vec!["flaky".into()];
+        spec.seeds = 1;
+        spec
+    }
+
+    #[test]
+    fn truncated_outputs_become_typed_timeouts_not_aggregates() {
+        let mut r = Registry::new();
+        r.register(FnExperiment::new("limit", &["clean", "hit"], |ctx| {
+            TrialOutput::new("partial".into(), vec![("v", 1.0)])
+                .with_truncated(ctx.variant == "hit")
+                .with_diagnostics(vec!["fault fill_wedge @ cycle 100".into()])
+        }));
+        let mut spec = SweepSpec::quick();
+        spec.experiments = vec!["limit".into()];
+        spec.seeds = 2;
+        let report = run_sweep(&spec, &r, &SweepOptions::default()).unwrap();
+        assert_eq!(report.results.len(), 2, "only clean trials aggregate");
+        assert_eq!(
+            report.timed_out.len(),
+            2,
+            "truncated trials are typed timeouts"
+        );
+        assert!(report.timed_out[0].error.contains("hit_limit"));
+        assert!(
+            report.aggregates.iter().all(|a| a.variant == "clean"),
+            "no truncated cell in aggregates"
+        );
+        let text = report.to_string();
+        assert!(text.contains("TIMEOUT limit/hit/s0"), "{text}");
+    }
+
+    #[test]
+    fn truncated_trials_checkpoint_and_stay_timeouts_on_resume() {
+        let dir = temp_dir("truncated-resume");
+        let manifest_path = dir.join("manifest.json");
+        let mk = || {
+            let mut r = Registry::new();
+            r.register(FnExperiment::new("limit", &["hit"], |_| {
+                TrialOutput::new("partial".into(), vec![("v", 1.0)]).with_truncated(true)
+            }));
+            r
+        };
+        let mut spec = SweepSpec::quick();
+        spec.experiments = vec!["limit".into()];
+        spec.seeds = 1;
+        let opts = SweepOptions {
+            manifest: Some(manifest_path.clone()),
+            ..Default::default()
+        };
+        let first = run_sweep(&spec, &mk(), &opts).unwrap();
+        assert_eq!(first.timed_out.len(), 1);
+        let saved = Manifest::load(&manifest_path).unwrap();
+        assert_eq!(saved.completed.len(), 1, "truncated trials checkpoint");
+        assert!(saved.completed[0].output.truncated);
+        assert!(saved.timed_out.is_empty(), "not a retryable pool timeout");
+        let second = run_sweep(&spec, &mk(), &opts).unwrap();
+        assert_eq!(second.resumed, 1, "resumed from the checkpoint");
+        assert_eq!(second.timed_out.len(), 1, "still surfaced as a timeout");
+        assert_eq!(first.aggregate_digest, second.aggregate_digest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_failures_are_quarantined_with_diagnostics_bundles() {
+        let dir = temp_dir("quarantine");
+        let manifest_path = dir.join("manifest.json");
+        let bundles = dir.join("diag");
+        let opts = SweepOptions {
+            manifest: Some(manifest_path.clone()),
+            quarantine_after: 2,
+            diagnostics_dir: Some(bundles.clone()),
+            ..Default::default()
+        };
+        // Run 1 and 2: the bad cell poisons (failures 1, then 2).
+        let r1 = run_sweep(&flaky_spec(), &flaky_registry(), &opts).unwrap();
+        assert_eq!(r1.poisoned.len(), 1);
+        assert_eq!(r1.poisoned[0].failures, 1);
+        assert!(r1.quarantined.is_empty());
+        let r2 = run_sweep(&flaky_spec(), &flaky_registry(), &opts).unwrap();
+        assert_eq!(r2.poisoned[0].failures, 2);
+        // Run 3: the cell has hit the quarantine threshold — skipped,
+        // recorded, reported.
+        let r3 = run_sweep(&flaky_spec(), &flaky_registry(), &opts).unwrap();
+        assert!(r3.poisoned.is_empty(), "quarantined cell must not run");
+        assert_eq!(r3.quarantined.len(), 1);
+        assert_eq!(r3.quarantined[0].key, "flaky/bad/s0");
+        assert_eq!(r3.quarantined[0].failures, 2);
+        let saved = Manifest::load(&manifest_path).unwrap();
+        assert_eq!(saved.quarantined.len(), 1);
+        // Run 4: quarantine persists via the manifest.
+        let r4 = run_sweep(&flaky_spec(), &flaky_registry(), &opts).unwrap();
+        assert_eq!(r4.quarantined.len(), 1);
+        // Each failure wrote a reproducible diagnostics bundle.
+        let bundle = bundles.join("flaky_bad_s0.json");
+        let text = std::fs::read_to_string(&bundle).unwrap();
+        unxpec_telemetry::json::validate(&text).expect("bundle is valid JSON");
+        let doc = unxpec_telemetry::json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("key").and_then(|v| v.as_str()),
+            Some("flaky/bad/s0")
+        );
+        assert_eq!(
+            doc.get("outcome").and_then(|v| v.as_str()),
+            Some("quarantined")
+        );
+        assert!(doc.get("seed").is_some());
+        assert!(doc.get("config").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_corrupt_manifest_recovers_with_a_warning_instead_of_failing() {
+        let dir = temp_dir("recover");
+        let manifest_path = dir.join("manifest.json");
+        let opts = SweepOptions {
+            manifest: Some(manifest_path.clone()),
+            ..Default::default()
+        };
+        let first = run_sweep(&toy_spec(), &toy_registry(), &opts).unwrap();
+        assert!(first.warnings.is_empty());
+        // Tear the file mid-record, as a crash during a plain write
+        // would.
+        let text = std::fs::read_to_string(&manifest_path).unwrap();
+        let cut = text.len() * 2 / 3;
+        std::fs::write(&manifest_path, &text[..cut]).unwrap();
+        let second = run_sweep(&toy_spec(), &toy_registry(), &opts).unwrap();
+        assert_eq!(second.warnings.len(), 1, "recovery must warn");
+        assert!(
+            second.warnings[0].contains("recovered"),
+            "{}",
+            second.warnings[0]
+        );
+        assert!(second.resumed > 0, "salvaged records are reused");
+        assert_eq!(
+            first.aggregate_digest, second.aggregate_digest,
+            "recovery plus rerun reproduces the run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pool_deadline_timeouts_reach_the_manifest_and_are_retried_on_resume() {
+        let dir = temp_dir("deadline");
+        let manifest_path = dir.join("manifest.json");
+        let mk_slow = || {
+            let mut r = Registry::new();
+            r.register(FnExperiment::new("slow", &["default"], |_| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                TrialOutput::new("late".into(), vec![])
+            }));
+            r
+        };
+        let mut spec = SweepSpec::quick();
+        spec.experiments = vec!["slow".into()];
+        spec.seeds = 1;
+        let strict = SweepOptions {
+            manifest: Some(manifest_path.clone()),
+            deadline_ms: Some(1),
+            ..Default::default()
+        };
+        let report = run_sweep(&spec, &mk_slow(), &strict).unwrap();
+        assert_eq!(report.timed_out.len(), 1);
+        assert_eq!(report.stats.timed_out, 1);
+        let saved = Manifest::load(&manifest_path).unwrap();
+        assert_eq!(
+            saved.timed_out.len(),
+            1,
+            "pool timeouts checkpoint for retry"
+        );
+        // Resume with a sane deadline: the trial reruns and completes.
+        let relaxed = SweepOptions {
+            manifest: Some(manifest_path.clone()),
+            deadline_ms: Some(60_000),
+            ..Default::default()
+        };
+        let report = run_sweep(&spec, &mk_slow(), &relaxed).unwrap();
+        assert!(report.timed_out.is_empty());
+        assert_eq!(report.results.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,169 @@
+//! Deterministic, counter-addressed random streams for fault injection.
+//!
+//! A [`FaultStream`] is the primitive every injector draws from. Unlike
+//! a stateful RNG whose output depends on how many values anyone else
+//! consumed, each draw here is a pure function of `(seed, counter)` —
+//! the stream is just [`splitmix64`](crate::seed::splitmix64) indexed
+//! by a private draw counter. Two consequences matter for the
+//! simulator:
+//!
+//! 1. **Replayability.** A diagnostics bundle only needs the seed and
+//!    the draw count to replay every fault decision of a trial.
+//! 2. **Schedule isolation.** Distinct injection sites derive distinct
+//!    sub-streams with [`FaultStream::fork`], so adding a draw at one
+//!    site never shifts the decisions made at another.
+
+use crate::seed::{fnv1a64, splitmix64};
+
+/// A deterministic stream of fault-injection decisions.
+///
+/// # Examples
+///
+/// ```
+/// use unxpec_mem::FaultStream;
+///
+/// let mut a = FaultStream::new(7);
+/// let mut b = FaultStream::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert_eq!(a.draws(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultStream {
+    seed: u64,
+    counter: u64,
+}
+
+impl FaultStream {
+    /// A stream rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultStream { seed, counter: 0 }
+    }
+
+    /// A labelled sub-stream: decisions at one injection site stay
+    /// independent of the draw count at every other site.
+    pub fn fork(&self, label: &str) -> Self {
+        FaultStream::new(splitmix64(self.seed ^ fnv1a64(label)))
+    }
+
+    /// The seed this stream was rooted at.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many values have been drawn (for diagnostics bundles).
+    pub fn draws(&self) -> u64 {
+        self.counter
+    }
+
+    /// The next 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let v = splitmix64(self.seed ^ self.counter.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        self.counter += 1;
+        v
+    }
+
+    /// `true` with probability `per_mille / 1000` (uniform, unbiased
+    /// enough for injection rates; `per_mille >= 1000` always fires).
+    pub fn fires(&mut self, per_mille: u32) -> bool {
+        if per_mille == 0 {
+            return false;
+        }
+        if per_mille >= 1000 {
+            // Still consume a draw so that a rate change never shifts
+            // the alignment of later decisions.
+            self.counter += 1;
+            return true;
+        }
+        self.next_u64() % 1000 < u64::from(per_mille)
+    }
+
+    /// A uniform pick in `0..n` (`n == 0` returns 0 without drawing).
+    pub fn pick(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform value in `lo..=hi` (degenerate ranges return `lo`
+    /// without drawing).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_a_pure_function_of_seed_and_counter() {
+        let mut a = FaultStream::new(42);
+        let first: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let mut b = FaultStream::new(42);
+        let second: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(first, second);
+        assert_eq!(a.draws(), 8);
+    }
+
+    #[test]
+    fn forks_are_label_sensitive_and_counter_independent() {
+        let mut root = FaultStream::new(9);
+        // Draining the parent must not move the children.
+        let before = root.fork("mshr");
+        for _ in 0..100 {
+            root.next_u64();
+        }
+        assert_eq!(before, root.fork("mshr"));
+        assert_ne!(root.fork("mshr").next_u64(), root.fork("fill").next_u64());
+    }
+
+    #[test]
+    fn rate_zero_never_fires_and_consumes_nothing() {
+        let mut s = FaultStream::new(3);
+        for _ in 0..100 {
+            assert!(!s.fires(0));
+        }
+        assert_eq!(s.draws(), 0);
+    }
+
+    #[test]
+    fn rate_full_always_fires_but_still_counts_draws() {
+        let mut s = FaultStream::new(3);
+        for _ in 0..10 {
+            assert!(s.fires(1000));
+        }
+        assert_eq!(s.draws(), 10);
+    }
+
+    #[test]
+    fn mid_rates_fire_roughly_proportionally() {
+        let mut s = FaultStream::new(0x5eed);
+        let hits = (0..10_000).filter(|_| s.fires(100)).count();
+        assert!((800..1200).contains(&hits), "~10% expected, got {hits}");
+    }
+
+    #[test]
+    fn pick_stays_in_bounds() {
+        let mut s = FaultStream::new(1);
+        for _ in 0..1000 {
+            assert!(s.pick(7) < 7);
+        }
+        assert_eq!(s.pick(0), 0);
+    }
+
+    #[test]
+    fn range_is_inclusive_and_degenerate_safe() {
+        let mut s = FaultStream::new(2);
+        for _ in 0..1000 {
+            let v = s.range(10, 13);
+            assert!((10..=13).contains(&v));
+        }
+        assert_eq!(s.range(5, 5), 5);
+        assert_eq!(s.range(9, 3), 9);
+    }
+}

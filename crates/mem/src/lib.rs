@@ -25,11 +25,14 @@
 //! addresses symbolically.
 
 mod addr;
+mod fault;
 mod hash;
 mod layout;
 mod memory;
+pub mod seed;
 
 pub use addr::{Addr, LineAddr, CACHE_LINE_BYTES, LINE_OFFSET_BITS};
+pub use fault::FaultStream;
 pub use hash::{BuildFxHasher, FxHasher64};
 pub use layout::{ArrayHandle, LayoutBuilder, LayoutError, MemoryLayout};
 pub use memory::Memory;

@@ -38,17 +38,20 @@ pub enum Track {
     Defense,
     /// Static-analysis findings (no cycle semantics; rendered at t=0).
     Analysis,
+    /// Fault injection and invariant-sanitizer activity.
+    Chaos,
 }
 
 impl Track {
     /// All tracks, in display order.
-    pub const ALL: [Track; 6] = [
+    pub const ALL: [Track; 7] = [
         Track::Pipeline,
         Track::L1,
         Track::L2,
         Track::Mshr,
         Track::Defense,
         Track::Analysis,
+        Track::Chaos,
     ];
 
     /// Stable display name.
@@ -60,6 +63,7 @@ impl Track {
             Track::Mshr => "mshr",
             Track::Defense => "defense",
             Track::Analysis => "analysis",
+            Track::Chaos => "chaos",
         }
     }
 
@@ -72,6 +76,7 @@ impl Track {
             Track::Mshr => 4,
             Track::Defense => 5,
             Track::Analysis => 6,
+            Track::Chaos => 7,
         }
     }
 }
@@ -176,6 +181,25 @@ pub enum Event {
         defense_code: u64,
         channel_code: u64,
     },
+
+    // ----- Fault injection and invariant sanitizer -------------------------
+    /// The fault injector fired. `kind` is the stable code of
+    /// `unxpec_cache::FaultKind` (kept as a raw integer so this crate
+    /// stays dependency-free); `detail` is kind-specific (extra cycles
+    /// for timing faults, a line or packed slot for placement faults).
+    FaultInjected {
+        cycle: Cycle,
+        kind: u64,
+        detail: u64,
+    },
+    /// The runtime invariant sanitizer tripped. `code` is the stable
+    /// code of `unxpec_cpu::InvariantViolation`; `detail` is
+    /// violation-specific context (counter values, PC, stall length).
+    InvariantTrip {
+        cycle: Cycle,
+        code: u64,
+        detail: u64,
+    },
 }
 
 impl Event {
@@ -196,7 +220,9 @@ impl Event {
             | Event::MshrMerge { cycle, .. }
             | Event::MshrCancel { cycle, .. }
             | Event::RollbackInvalidate { cycle, .. }
-            | Event::RollbackRestore { cycle, .. } => cycle,
+            | Event::RollbackRestore { cycle, .. }
+            | Event::FaultInjected { cycle, .. }
+            | Event::InvariantTrip { cycle, .. } => cycle,
             // Static findings have no cycle; they sort before any run.
             Event::AnalysisLeak { .. } => 0,
         }
@@ -224,6 +250,7 @@ impl Event {
                 Track::Mshr
             }
             Event::AnalysisLeak { .. } => Track::Analysis,
+            Event::FaultInjected { .. } | Event::InvariantTrip { .. } => Track::Chaos,
         }
     }
 
@@ -246,6 +273,8 @@ impl Event {
             Event::RollbackInvalidate { .. } => "rollback_invalidate",
             Event::RollbackRestore { .. } => "rollback_restore",
             Event::AnalysisLeak { .. } => "analysis_leak",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::InvariantTrip { .. } => "invariant_trip",
         }
     }
 
@@ -317,6 +346,12 @@ impl Event {
                 ("defense_code", defense_code),
                 ("channel_code", channel_code),
             ],
+            Event::FaultInjected { kind, detail, .. } => {
+                vec![("kind", kind), ("detail", detail)]
+            }
+            Event::InvariantTrip { code, detail, .. } => {
+                vec![("code", code), ("detail", detail)]
+            }
         }
     }
 }
@@ -396,6 +431,16 @@ mod tests {
                 line: 9,
             },
             Event::RollbackRestore { cycle: 15, line: 3 },
+            Event::FaultInjected {
+                cycle: 16,
+                kind: 1,
+                detail: 80,
+            },
+            Event::InvariantTrip {
+                cycle: 17,
+                code: 4,
+                detail: 9,
+            },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.cycle(), i as u64 + 1);
@@ -428,6 +473,25 @@ mod tests {
         tids.sort_unstable();
         tids.dedup();
         assert_eq!(tids.len(), Track::ALL.len());
+    }
+
+    #[test]
+    fn chaos_events_route_to_the_chaos_track() {
+        let fault = Event::FaultInjected {
+            cycle: 40,
+            kind: 3,
+            detail: 1 << 30,
+        };
+        let trip = Event::InvariantTrip {
+            cycle: 41,
+            code: 2,
+            detail: 0,
+        };
+        assert_eq!(fault.track(), Track::Chaos);
+        assert_eq!(trip.track(), Track::Chaos);
+        assert_eq!(fault.name(), "fault_injected");
+        assert_eq!(trip.name(), "invariant_trip");
+        assert_eq!(fault.args(), vec![("kind", 3), ("detail", 1 << 30)]);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Fault-injection robustness properties (see `docs/fault_injection.md`):
+//!
+//! * an armed sanitizer plus a disabled injector is byte-identical to a
+//!   plain run, for every registry attack program and any seed;
+//! * seeded occupancy-counter corruption is *caught* — the mutation
+//!   test proving the sanitizer's cross-check has teeth;
+//! * a wedged fill ends in a typed `Livelock`, never a hang.
+
+use proptest::prelude::*;
+use unxpec::attack::registry::registry;
+use unxpec::cache::{FaultInjector, FaultKind, FaultPlan};
+use unxpec::cpu::{Core, InvariantViolation, RunResult, SanitizerConfig};
+use unxpec::defense::CleanupSpec;
+use unxpec::mem::Addr;
+
+/// Committed-instruction bound: generous for every registry program,
+/// small enough that a spinning run still ends promptly.
+const MAX_COMMITTED: u64 = 1 << 20;
+
+/// Builds a core ready to run registry program `index`: CleanupSpec
+/// defense, layout installed, Return-trigger escape slot published.
+fn prepared_core(index: usize) -> Core {
+    let spec = &registry()[index];
+    let mut core = Core::table_i();
+    core.set_defense(Box::new(CleanupSpec::new()));
+    spec.layout().install(core.mem_mut(), spec.fn_accesses);
+    if let Some(escape) = spec.program().label("escape") {
+        core.mem_mut().write_u64(Addr::new(0x8_0000), escape as u64);
+    }
+    core
+}
+
+/// Every observable bit of a run, rendered for equality comparison:
+/// architectural registers, termination mode, and the full statistics
+/// block including per-squash records.
+fn fingerprint(r: &RunResult) -> String {
+    format!(
+        "regs={:?} hit_limit={} cycles={} committed={} loads={} branches={} \
+         mispredicts={} squashed={} cleanup_stall={} squashes={:?}",
+        r.regs,
+        r.hit_limit,
+        r.stats.cycles,
+        r.stats.committed_insts,
+        r.stats.committed_loads,
+        r.stats.branches,
+        r.stats.mispredicts,
+        r.stats.squashed_insts,
+        r.stats.cleanup_stall_cycles,
+        r.stats.squashes,
+    )
+}
+
+#[test]
+fn armed_sanitizer_with_disabled_injector_is_byte_identical() {
+    for (index, spec) in registry().iter().enumerate() {
+        let plain = prepared_core(index).run_for(spec.program(), MAX_COMMITTED);
+
+        let mut checked = prepared_core(index);
+        checked.set_sanitizer(SanitizerConfig::default());
+        checked
+            .hierarchy_mut()
+            .set_fault_injector(FaultInjector::new(FaultPlan::disabled(), 0x5eed));
+        let result = checked
+            .run_checked_for(spec.program(), MAX_COMMITTED)
+            .unwrap_or_else(|v| panic!("{}: sanitizer tripped without faults: {v}", spec.name));
+
+        assert_eq!(
+            fingerprint(&plain),
+            fingerprint(&result),
+            "{}: checked run diverged from plain run",
+            spec.name
+        );
+        let injector = checked
+            .hierarchy_mut()
+            .take_fault_injector()
+            .expect("installed above");
+        assert_eq!(injector.injected_total(), 0, "{}", spec.name);
+        let sanitizer = checked.sanitizer().expect("sanitizer armed");
+        assert!(sanitizer.checks_run() > 0, "{}: checks must run", spec.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The disabled injector draws nothing, so its seed must be
+    /// irrelevant: checked runs are identical to plain runs for *any*
+    /// injector seed, not just the default.
+    #[test]
+    fn disabled_injector_identity_holds_for_any_seed(
+        seed in any::<u64>(),
+        index in 0usize..7,
+    ) {
+        let spec = &registry()[index];
+        let plain = prepared_core(index).run_for(spec.program(), MAX_COMMITTED);
+
+        let mut checked = prepared_core(index);
+        checked.set_sanitizer(SanitizerConfig::default());
+        checked
+            .hierarchy_mut()
+            .set_fault_injector(FaultInjector::new(FaultPlan::disabled(), seed));
+        let result = checked.run_checked_for(spec.program(), MAX_COMMITTED);
+        prop_assert!(result.is_ok(), "tripped: {}", result.unwrap_err());
+        prop_assert_eq!(
+            fingerprint(&plain),
+            fingerprint(&result.expect("checked above"))
+        );
+    }
+}
+
+#[test]
+fn seeded_occupancy_corruption_is_caught_not_ignored() {
+    for delta in [1isize, 3] {
+        let spec = &registry()[0];
+        let mut core = prepared_core(0);
+        core.set_sanitizer(SanitizerConfig::default());
+        core.hierarchy_mut()
+            .corrupt_l1_resident_counter_for_tests(delta);
+        let err = core
+            .run_checked_for(spec.program(), MAX_COMMITTED)
+            .expect_err("corrupted counter must trip the sanitizer");
+        match err {
+            InvariantViolation::OccupancyMismatch {
+                level,
+                counted,
+                recounted,
+            } => {
+                assert_eq!(level, 1);
+                assert_eq!(
+                    counted as isize - recounted as isize,
+                    delta,
+                    "the reported drift is the injected drift"
+                );
+            }
+            other => panic!("wrong violation: {other}"),
+        }
+        assert_eq!(err.code(), 1);
+    }
+}
+
+#[test]
+fn wedged_fills_surface_as_typed_livelock_never_a_hang() {
+    let mut livelocks = 0;
+    for (index, spec) in registry().iter().enumerate() {
+        let mut core = prepared_core(index);
+        core.set_sanitizer(SanitizerConfig::default());
+        core.hierarchy_mut().set_fault_injector(FaultInjector::new(
+            FaultPlan::only(FaultKind::WedgeFill, 1000),
+            0x5eed,
+        ));
+        // Every path must terminate: a clean halt (the wedge only hit
+        // squashed loads), a bound, or the watchdog's typed Livelock.
+        match core.run_checked_for(spec.program(), MAX_COMMITTED) {
+            Err(InvariantViolation::Livelock { cycles_stalled, .. }) => {
+                assert!(cycles_stalled > 0, "{}", spec.name);
+                livelocks += 1;
+            }
+            Err(other) => panic!("{}: unexpected violation {other}", spec.name),
+            Ok(_) => {}
+        }
+    }
+    assert!(
+        livelocks > 0,
+        "wedging every fill must stall retirement somewhere"
+    );
+}

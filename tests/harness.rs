@@ -83,6 +83,7 @@ fn resume_from_manifest_skips_completed_trials() {
         jobs: 2,
         retries: 0,
         manifest: Some(manifest.clone()),
+        ..SweepOptions::default()
     };
 
     let first = run_sweep(&spec, &registry, &opts).expect("first run");
@@ -121,6 +122,7 @@ fn manifest_for_a_different_spec_is_rejected() {
         jobs: 1,
         retries: 0,
         manifest: Some(manifest.clone()),
+        ..SweepOptions::default()
     };
     run_sweep(&spec, &registry, &opts).expect("first run");
 
@@ -155,6 +157,7 @@ fn injected_panic_is_contained_and_reported() {
             jobs: 4,
             retries: 1,
             manifest: None,
+            ..SweepOptions::default()
         },
     )
     .expect("sweep survives panicking trials");
@@ -200,6 +203,7 @@ fn panic_once_then_succeed_is_not_double_counted() {
             jobs: 2,
             retries: 2,
             manifest: Some(manifest.clone()),
+            ..SweepOptions::default()
         },
     )
     .expect("sweep");
@@ -259,6 +263,7 @@ fn flaky_trial_recovers_within_the_retry_budget() {
             jobs: 1,
             retries: 3,
             manifest: None,
+            ..SweepOptions::default()
         },
     )
     .expect("sweep");

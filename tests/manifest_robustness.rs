@@ -1,0 +1,146 @@
+//! Manifest-parsing robustness: no input — valid, truncated, bit-flipped,
+//! or random garbage — may ever panic the parser or the lenient
+//! recovery path. Corruption must surface as `Err` or as a salvaged
+//! manifest with a warning (see `docs/fault_injection.md`).
+
+use proptest::prelude::*;
+use unxpec_harness::{
+    output_digest, CompletedTrial, Manifest, PoisonedTrial, QuarantinedTrial, TimedOutTrial,
+    TrialOutput,
+};
+
+/// A populated v2 manifest exercising every record section.
+fn sample_manifest() -> Manifest {
+    let mut m = Manifest::new(0xdead_beef, 0x5eed);
+    let mut out = TrialOutput::new("rendered body".into(), vec![]);
+    out.metrics = vec![("metric_a".into(), 1.5), ("metric_b".into(), -0.25)];
+    m.completed.push(CompletedTrial {
+        key: "exp/var/s0".into(),
+        digest: output_digest(&out),
+        attempts: 1,
+        output: out,
+    });
+    let mut truncated = TrialOutput::new("truncated body".into(), vec![]);
+    truncated.truncated = true;
+    m.completed.push(CompletedTrial {
+        key: "exp/var/s1".into(),
+        digest: output_digest(&truncated),
+        attempts: 2,
+        output: truncated,
+    });
+    m.poisoned.push(PoisonedTrial {
+        key: "exp/var/s2".into(),
+        error: "panicked at 'boom'".into(),
+        attempts: 3,
+        failures: 2,
+    });
+    m.timed_out.push(TimedOutTrial {
+        key: "exp/var/s3".into(),
+        error: "deadline exceeded".into(),
+        attempts: 1,
+        failures: 1,
+    });
+    m.quarantined.push(QuarantinedTrial {
+        key: "exp/var/s4".into(),
+        error: "panicked thrice".into(),
+        failures: 3,
+    });
+    m
+}
+
+/// Characters JSON structure is built from — input drawn here reaches
+/// deeper parser layers than raw bytes do.
+const JSONISH: &[char] = &[
+    '{', '}', '[', ']', ',', ':', '"', '0', '1', '9', 'a', 'e', 'x', ' ', '\n', '.', '-', '\\',
+];
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "unxpec-manifest-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes: parse returns Ok or Err, never panics.
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = Manifest::parse(&text);
+    }
+
+    /// Arbitrary *JSON-looking* input reaches deeper parser layers and
+    /// still must not panic.
+    #[test]
+    fn parse_never_panics_on_jsonish_input(
+        indices in proptest::collection::vec(0usize..JSONISH.len(), 0..512),
+    ) {
+        let body: String = indices.iter().map(|&i| JSONISH[i]).collect();
+        let _ = Manifest::parse(&format!("{{{body}}}"));
+        let _ = Manifest::parse(&body);
+    }
+
+    /// Every prefix of a valid manifest either parses, recovers
+    /// leniently with a warning, or fails typed — never panics, and
+    /// recovery never invents records that were not in the prefix.
+    #[test]
+    fn truncation_never_panics_and_recovery_is_sound(cut in 0usize..2000) {
+        let manifest = sample_manifest();
+        let text = manifest.to_json();
+        let cut = cut.min(text.len());
+        // The writer emits pure ASCII, so any byte index is a char
+        // boundary.
+        let prefix = text.get(..cut).expect("manifest JSON is ASCII");
+        let _ = Manifest::parse(prefix);
+
+        let path = temp_path("prefix");
+        std::fs::write(&path, prefix).expect("write prefix");
+        let loaded = Manifest::load_lenient(&path);
+        std::fs::remove_file(&path).ok();
+        if let Ok((recovered, _warning)) = loaded {
+            prop_assert!(recovered.completed.len() <= manifest.completed.len());
+            prop_assert!(recovered.poisoned.len() <= manifest.poisoned.len());
+            prop_assert!(recovered.timed_out.len() <= manifest.timed_out.len());
+            prop_assert!(recovered.quarantined.len() <= manifest.quarantined.len());
+            for trial in &recovered.completed {
+                prop_assert!(
+                    manifest.completed.iter().any(|t| t == trial),
+                    "recovered a record the original never held"
+                );
+            }
+        }
+    }
+
+    /// Single-byte corruption anywhere in a valid manifest: the
+    /// checksum or parser rejects it, or lenient recovery salvages —
+    /// no panic either way.
+    #[test]
+    fn bit_flips_never_panic(pos in 0usize..2000, flip in 1u8..=255) {
+        let text = sample_manifest().to_json();
+        let mut bytes = text.into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        let corrupt = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = Manifest::parse(&corrupt);
+
+        let path = temp_path("flip");
+        std::fs::write(&path, &corrupt).expect("write corrupt");
+        let _ = Manifest::load_lenient(&path);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn the_sample_manifest_round_trips_cleanly() {
+    let manifest = sample_manifest();
+    let parsed = Manifest::parse(&manifest.to_json()).expect("round trip");
+    assert_eq!(parsed.completed, manifest.completed);
+    assert_eq!(parsed.poisoned, manifest.poisoned);
+    assert_eq!(parsed.timed_out, manifest.timed_out);
+    assert_eq!(parsed.quarantined, manifest.quarantined);
+}
