@@ -113,6 +113,11 @@ impl SpectreRsb {
         &self.core
     }
 
+    /// The machine, mutably (e.g. to attach telemetry before a round).
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
     /// Runs one round against `secret`, returning `(latency,
     /// footprint_visible)`.
     pub fn measure_bit(&mut self, secret: bool) -> (u64, bool) {

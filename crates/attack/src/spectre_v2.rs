@@ -125,6 +125,11 @@ impl SpectreV2 {
         &self.core
     }
 
+    /// The machine, mutably (e.g. to attach telemetry before a round).
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
     /// Runs one round against `secret`.
     pub fn measure_bit(&mut self, secret: bool) -> V2Observation {
         self.layout.set_secret(self.core.mem_mut(), secret);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--quick] [--jobs N] [--seed S] [--list]
-//!             [--csv <dir>] [--svg <dir>]
+//!             [--csv <dir>] [--svg <dir>] [--serve-metrics ADDR]
 //!             [--trace-out <file>] [--metrics-out <file>] [<name>...]
 //! ```
 //!
@@ -22,7 +22,10 @@
 //! Chrome/Perfetto trace-event JSON (open in `chrome://tracing` or
 //! <https://ui.perfetto.dev>) and `--metrics-out <file>` its metrics
 //! registry (`.csv` extension selects CSV, anything else JSON); either
-//! flag adds `trace` to the run list if absent.
+//! flag adds `trace` to the run list if absent. `--serve-metrics ADDR`
+//! exposes live run progress (`experiments.progress.*`, per-experiment
+//! latency) at `/metrics` and `/metrics.json` while the batch runs —
+//! see `docs/observability.md`.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -32,8 +35,9 @@ use unxpec::experiments::{
     ablations, defense_costs, leakage, overhead, pdf, rate, resolution, robustness, rollback,
     scorecard, secret_pattern, table1, timeline, trace, triggers, votes, workload_profile, Scale,
 };
+use unxpec::telemetry::{MetricsHub, MetricsServer};
 use unxpec_bench::{timed_to, EXPERIMENTS};
-use unxpec_harness::{run_tasks, TaskOutcome};
+use unxpec_harness::{run_tasks_with, RunPolicy, TaskEvent, TaskOutcome};
 
 struct Options {
     scale: Scale,
@@ -55,6 +59,7 @@ fn main() {
     let mut svg_dir = None;
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut serve_metrics: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
@@ -64,7 +69,8 @@ fn main() {
                 }
                 return;
             }
-            "--jobs" | "--seed" | "--csv" | "--svg" | "--trace-out" | "--metrics-out" => {
+            "--jobs" | "--seed" | "--csv" | "--svg" | "--trace-out" | "--metrics-out"
+            | "--serve-metrics" => {
                 let value = args.next().unwrap_or_else(|| {
                     eprintln!("{arg} needs an argument");
                     std::process::exit(2);
@@ -89,6 +95,7 @@ fn main() {
                     "--csv" => csv_dir = Some(PathBuf::from(value)),
                     "--svg" => svg_dir = Some(PathBuf::from(value)),
                     "--trace-out" => trace_out = Some(PathBuf::from(value)),
+                    "--serve-metrics" => serve_metrics = Some(value),
                     _ => metrics_out = Some(PathBuf::from(value)),
                 }
             }
@@ -132,22 +139,68 @@ fn main() {
         metrics_out,
     };
 
+    // Live exposition: bound before the pool starts so a scraper can
+    // watch from experiment zero. The hub only sees pool bookkeeping —
+    // experiment output is untouched by it.
+    let mut live: Option<MetricsHub> = None;
+    let mut server = None;
+    if let Some(addr) = &serve_metrics {
+        let hub = MetricsHub::new();
+        match MetricsServer::serve(addr, hub.clone()) {
+            Ok(s) => {
+                eprintln!("serving live metrics on http://{}/metrics", s.addr());
+                hub.update(|m| {
+                    m.set("experiments.progress.total", names.len() as u64);
+                    m.set("experiments.progress.done", 0);
+                    m.set("experiments.progress.jobs", jobs as u64);
+                });
+                live = Some(hub);
+                server = Some(s);
+            }
+            Err(e) => {
+                eprintln!("--serve-metrics {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // Run the experiments on the harness pool. Each task renders into
     // its own buffer; with --jobs 1 blocks stream as they finish (the
     // pool runs inline, in order), otherwise they print afterwards in
     // command order — identical content either way, because every
     // experiment's seed comes from (root seed, name) alone.
     let serial = jobs == 1;
-    let (outcomes, _, _) = run_tasks(
+    let (outcomes, _, _) = run_tasks_with(
         jobs,
         names.len(),
-        0,
+        &RunPolicy::default(),
         |i| {
             let mut out = String::new();
             run_one(&names[i], &opts, &mut out);
             out
         },
-        |_, outcome| {
+        |event| {
+            let TaskEvent::Finished {
+                index,
+                outcome,
+                timing,
+                ..
+            } = event
+            else {
+                return;
+            };
+            if let Some(hub) = &live {
+                hub.update(|m| {
+                    m.inc("experiments.progress.done", 1);
+                    if matches!(outcome, TaskOutcome::Poisoned { .. }) {
+                        m.inc("experiments.progress.poisoned", 1);
+                    }
+                    m.observe(
+                        &format!("experiments.{}.latency_us", names[index]),
+                        timing.dur_us,
+                    );
+                });
+            }
             if serial {
                 if let TaskOutcome::Done { value, .. } = outcome {
                     print!("{value}");
@@ -155,6 +208,9 @@ fn main() {
             }
         },
     );
+    if let Some(s) = server.as_mut() {
+        s.shutdown();
+    }
     let mut failed = false;
     for (i, outcome) in outcomes.iter().enumerate() {
         match outcome {

@@ -1,0 +1,92 @@
+//! Cycle-attribution profiler for one instrumented attack round.
+//!
+//! ```text
+//! profile [--eviction-sets] [--ring N] [--seed S] [--out <file>]
+//! ```
+//!
+//! Runs the instrumented `trace` experiment (one secret-0 and one
+//! secret-1 round through a telemetry ring) and folds each round's
+//! event stream into a hierarchical cycle-attribution profile:
+//! instruction latency split architectural/wrong-path and by PC, MSHR
+//! occupancy split speculative/architectural, cache miss service by
+//! level, and the rollback bracket partitioned across its undo actions
+//! (invalidate / restore / MSHR cancel). The ASCII trees print to
+//! stdout; `--out` additionally writes both rounds as collapsed stacks
+//! (`frame;frame weight` — direct flamegraph.pl / speedscope input).
+//! The secret is visible as extra weight under `rollback` in the
+//! secret-1 round. See `docs/observability.md`.
+
+use std::path::PathBuf;
+
+use unxpec::experiments::seeding::DEFAULT_ROOT_SEED;
+use unxpec::experiments::trace;
+use unxpec::telemetry::cycle_profile;
+
+fn main() {
+    let mut eviction_sets = false;
+    let mut ring: usize = 1 << 15;
+    let mut seed = DEFAULT_ROOT_SEED;
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--eviction-sets" => eviction_sets = true,
+            "--ring" | "--seed" | "--out" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("{arg} needs an argument");
+                    std::process::exit(2);
+                });
+                match arg.as_str() {
+                    "--ring" => {
+                        ring = value.parse().unwrap_or_else(|_| {
+                            eprintln!("--ring needs a positive integer, got {value:?}");
+                            std::process::exit(2);
+                        });
+                    }
+                    "--seed" => {
+                        seed = unxpec_harness::spec::parse_seed(&value).unwrap_or_else(|| {
+                            eprintln!("--seed needs a u64 (decimal or 0x hex), got {value:?}");
+                            std::process::exit(2);
+                        });
+                    }
+                    _ => out = Some(PathBuf::from(value)),
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cap = trace::run(eviction_sets, ring, seed);
+    let mut profiles = Vec::new();
+    for (label, events) in [("secret0", &cap.secret0), ("secret1", &cap.secret1)] {
+        let mut prof = cycle_profile(events);
+        // Distinct roots so both rounds coexist in one collapsed-stack
+        // file (and the flamegraph shows them side by side).
+        prof.name = format!("cycles.{label}");
+        println!("== {label} round ({} events) ==", events.len());
+        print!("{}", prof.render_ascii());
+        profiles.push(prof);
+    }
+    let r0 = profiles[0].child("rollback").map_or(0, |n| n.total());
+    let r1 = profiles[1].child("rollback").map_or(0, |n| n.total());
+    println!(
+        "rollback cycles: secret0 {r0}, secret1 {r1}, difference {} (the channel)",
+        r1.saturating_sub(r0)
+    );
+
+    if let Some(path) = &out {
+        let mut body = String::new();
+        for prof in &profiles {
+            body.push_str(&prof.collapsed());
+        }
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("write profile {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("(wrote {})", path.display());
+    }
+}

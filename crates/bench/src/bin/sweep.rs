@@ -6,7 +6,8 @@
 //!       [--seeds N] [--root-seed S] [--spec <file>]
 //!       [--jobs N] [--retries N] [--manifest <file>]
 //!       [--deadline-ms N] [--backoff-ms N] [--quarantine-after N]
-//!       [--diagnostics-dir <dir>]
+//!       [--diagnostics-dir <dir>] [--serve-metrics ADDR]
+//!       [--self-profile-ms N] [--profile-out <file>]
 //!       [--trace-out <file>] [--metrics-out <file>] [--list]
 //! ```
 //!
@@ -24,7 +25,14 @@
 //! trial (see `docs/fault_injection.md`). `--trace-out` writes
 //! per-trial wall-clock spans as Chrome/Perfetto trace JSON (one track
 //! per worker) and `--metrics-out` the pool counters (`.csv` extension
-//! selects CSV, anything else JSON).
+//! selects CSV, anything else JSON). `--serve-metrics ADDR` (e.g.
+//! `127.0.0.1:9184`) exposes live progress at `/metrics` (Prometheus
+//! text) and `/metrics.json` while the sweep runs — scraping never
+//! perturbs results. `--self-profile-ms N` samples what every worker
+//! is doing each N ms; `--profile-out` writes the resulting wall-clock
+//! profile as collapsed stacks (flamegraph.pl / speedscope input), and
+//! the ASCII tree prints with the report (see
+//! `docs/observability.md`).
 //!
 //! Exit codes: 0 clean, 1 when any trial poisoned, timed out, or was
 //! quarantined, 2 on usage or I/O errors.
@@ -32,6 +40,7 @@
 use std::path::PathBuf;
 
 use unxpec::experiments::Scale;
+use unxpec::telemetry::{MetricsHub, MetricsServer};
 use unxpec_harness::{run_sweep, spec::parse_seed, Registry, SweepOptions, SweepSpec};
 
 fn main() {
@@ -44,6 +53,8 @@ fn main() {
     };
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut serve_metrics: Option<String> = None;
+    let mut profile_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -133,10 +144,42 @@ fn main() {
             }
             "--diagnostics-dir" => opts.diagnostics_dir = Some(PathBuf::from(value)),
             "--manifest" => opts.manifest = Some(PathBuf::from(value)),
+            "--serve-metrics" => serve_metrics = Some(value),
+            "--self-profile-ms" => {
+                let ms: u64 = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--self-profile-ms needs an integer, got {value:?}");
+                    std::process::exit(2);
+                });
+                opts.self_profile_ms = Some(ms);
+            }
+            "--profile-out" => profile_out = Some(PathBuf::from(value)),
             "--trace-out" => trace_out = Some(PathBuf::from(value)),
             "--metrics-out" => metrics_out = Some(PathBuf::from(value)),
             other => {
                 eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // --profile-out implies sampling even if no interval was given.
+    if profile_out.is_some() && opts.self_profile_ms.is_none() {
+        opts.self_profile_ms = Some(5);
+    }
+    // Live exposition: bind before the sweep starts so a scraper can
+    // watch from trial zero. The hub only ever sees harness-side
+    // bookkeeping, so results stay byte-identical with it attached.
+    let mut server = None;
+    if let Some(addr) = &serve_metrics {
+        let hub = MetricsHub::new();
+        match MetricsServer::serve(addr, hub.clone()) {
+            Ok(s) => {
+                eprintln!("serving live metrics on http://{}/metrics", s.addr());
+                opts.live = Some(hub);
+                server = Some(s);
+            }
+            Err(e) => {
+                eprintln!("--serve-metrics {addr}: {e}");
                 std::process::exit(2);
             }
         }
@@ -149,7 +192,22 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Leave the endpoint up until after the final counters land, then
+    // shut it down explicitly (Drop would too; this orders the log).
+    if let Some(s) = server.as_mut() {
+        s.shutdown();
+    }
     print!("{report}");
+    if let Some(profile) = &report.self_profile {
+        print!("self-profile (sample counts):\n{}", profile.render_ascii());
+        if let Some(path) = &profile_out {
+            if let Err(e) = std::fs::write(path, profile.collapsed()) {
+                eprintln!("write profile {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            println!("(wrote {})", path.display());
+        }
+    }
     if let Some(path) = &trace_out {
         if let Err(e) = std::fs::write(path, report.chrome_trace()) {
             eprintln!("write trace {}: {e}", path.display());

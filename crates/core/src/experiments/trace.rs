@@ -71,6 +71,9 @@ pub fn run(use_eviction_sets: bool, ring_capacity: usize, seed: u64) -> TraceCap
     chan.core_mut().set_telemetry(tel.clone());
     chan.measure_bit(false);
     let secret0 = tel.snapshot();
+    // Ring accounting must be read per round: `clear()` also resets
+    // the drop counter, so bank round 0's drops before wiping.
+    let dropped0 = tel.dropped();
     tel.clear();
     chan.measure_bit(true);
     let secret1 = tel.snapshot();
@@ -104,6 +107,14 @@ pub fn run(use_eviction_sets: bool, ring_capacity: usize, seed: u64) -> TraceCap
 
     let mut metrics = MetricsRegistry::new();
     chan.core().record_metrics(&mut metrics);
+    // Sink accounting across both rounds: how much the ring kept and
+    // how much fell out (an undersized ring shows up in the dump, not
+    // just in a by-hand `tel.dropped()` call).
+    metrics.inc(
+        "telemetry.retained_events",
+        (secret0.len() + secret1.len()) as u64,
+    );
+    metrics.inc("telemetry.dropped_events", dropped0 + tel.dropped());
     TraceCapture {
         secret0,
         secret1,

@@ -44,13 +44,17 @@
 pub mod experiment;
 pub mod manifest;
 pub mod pool;
+pub mod profiler;
 pub mod registry;
 pub mod spec;
 pub mod sweep;
 
 pub use experiment::{output_digest, Experiment, FnExperiment, TrialCtx, TrialOutput};
 pub use manifest::{CompletedTrial, Manifest, PoisonedTrial, QuarantinedTrial, TimedOutTrial};
-pub use pool::{run_tasks, run_tasks_with, PoolStats, RunPolicy, TaskOutcome, TaskTiming};
+pub use pool::{
+    run_tasks, run_tasks_with, PoolStats, RunPolicy, TaskEvent, TaskOutcome, TaskTiming,
+};
+pub use profiler::SelfProfiler;
 pub use registry::Registry;
 pub use spec::{SweepSpec, Trial};
 pub use sweep::{

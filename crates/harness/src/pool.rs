@@ -116,6 +116,35 @@ impl RunPolicy {
     }
 }
 
+/// Lifecycle notification delivered to the [`run_tasks_with`] callback
+/// on the worker thread that owns the task.
+///
+/// `Started` fires before the first attempt, `Finished` after the
+/// outcome is decided — the pair is what live observers (progress
+/// metrics, the sampling self-profiler) need to know which worker is
+/// doing what *right now*, not just after the fact.
+#[derive(Debug)]
+pub enum TaskEvent<'a, T> {
+    /// Task `index` is about to run its first attempt on `worker`.
+    Started {
+        /// Task index as submitted.
+        index: usize,
+        /// Worker thread about to run it.
+        worker: usize,
+    },
+    /// Task `index` finished with `outcome`.
+    Finished {
+        /// Task index as submitted.
+        index: usize,
+        /// Worker thread that ran it.
+        worker: usize,
+        /// What happened.
+        outcome: &'a TaskOutcome<T>,
+        /// Wall-clock timing of the run.
+        timing: &'a TaskTiming,
+    },
+}
+
 /// Wall-clock timing of one task's final attempt, for trace spans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskTiming {
@@ -299,23 +328,28 @@ where
         n_tasks,
         &RunPolicy::with_retries(retries),
         task,
-        on_done,
+        |event| {
+            if let TaskEvent::Finished { index, outcome, .. } = event {
+                on_done(index, outcome);
+            }
+        },
     )
 }
 
-/// [`run_tasks`] with a full [`RunPolicy`]: deadline and backoff in
-/// addition to the retry budget.
+/// [`run_tasks`] with a full [`RunPolicy`] (deadline and backoff in
+/// addition to the retry budget) and the full [`TaskEvent`] lifecycle
+/// callback instead of the completion-only shorthand.
 pub fn run_tasks_with<T, F, C>(
     jobs: usize,
     n_tasks: usize,
     policy: &RunPolicy,
     task: F,
-    on_done: C,
+    on_event: C,
 ) -> (Vec<TaskOutcome<T>>, Vec<TaskTiming>, PoolStats)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
-    C: Fn(usize, &TaskOutcome<T>) + Sync,
+    C: Fn(TaskEvent<'_, T>) + Sync,
 {
     let jobs = jobs.max(1).min(n_tasks.max(1));
     let epoch = Instant::now();
@@ -337,8 +371,14 @@ where
             .max_queue_depth
             .store(n_tasks as u64, Ordering::Relaxed);
         for (index, slot) in outcomes.iter_mut().enumerate() {
+            on_event(TaskEvent::Started { index, worker: 0 });
             let (outcome, timing) = execute(index, 0, &task, policy, epoch, &counters);
-            on_done(index, &outcome);
+            on_event(TaskEvent::Finished {
+                index,
+                worker: 0,
+                outcome: &outcome,
+                timing: &timing,
+            });
             *slot = Some(outcome);
             timings.push(timing);
         }
@@ -356,7 +396,7 @@ where
                 let result_slots = &result_slots;
                 let counters = &counters;
                 let task = &task;
-                let on_done = &on_done;
+                let on_event = &on_event;
                 scope.spawn(move || loop {
                     // 1. Own deque (LIFO keeps the batch cache-warm).
                     let mut next = lock(&deques[worker]).pop_back();
@@ -398,8 +438,14 @@ where
                         std::thread::yield_now();
                         continue;
                     };
+                    on_event(TaskEvent::Started { index, worker });
                     let (outcome, timing) = execute(index, worker, task, policy, epoch, counters);
-                    on_done(index, &outcome);
+                    on_event(TaskEvent::Finished {
+                        index,
+                        worker,
+                        outcome: &outcome,
+                        timing: &timing,
+                    });
                     *lock(&result_slots[index]) = Some((outcome, timing));
                 });
             }
@@ -530,6 +576,42 @@ mod tests {
     }
 
     #[test]
+    fn lifecycle_events_pair_started_with_finished() {
+        use std::collections::HashMap;
+        for jobs in [1, 4] {
+            let seen: Mutex<HashMap<usize, (u32, u32)>> = Mutex::new(HashMap::new());
+            run_tasks_with(
+                jobs,
+                16,
+                &RunPolicy::default(),
+                |i| i,
+                |event| match event {
+                    TaskEvent::Started { index, .. } => {
+                        seen.lock().unwrap().entry(index).or_insert((0, 0)).0 += 1;
+                    }
+                    TaskEvent::Finished {
+                        index,
+                        worker,
+                        outcome,
+                        timing,
+                    } => {
+                        let mut s = seen.lock().unwrap();
+                        let entry = s.entry(index).or_insert((0, 0));
+                        assert_eq!(entry.0, 1, "Finished before Started for {index}");
+                        entry.1 += 1;
+                        assert_eq!(timing.index, index);
+                        assert_eq!(timing.worker, worker);
+                        assert!(matches!(outcome, TaskOutcome::Done { .. }));
+                    }
+                },
+            );
+            let seen = seen.into_inner().unwrap();
+            assert_eq!(seen.len(), 16);
+            assert!(seen.values().all(|&(s, f)| s == 1 && f == 1));
+        }
+    }
+
+    #[test]
     fn more_jobs_than_tasks_is_fine() {
         let (outcomes, _, stats) = run_tasks(16, 2, 0, |i| i, |_, _| {});
         assert_eq!(outcomes.len(), 2);
@@ -559,7 +641,7 @@ mod tests {
                 }
                 i
             },
-            |_, _| {},
+            |_| {},
         );
         assert!(matches!(outcomes[0], TaskOutcome::Done { value: 0, .. }));
         match &outcomes[1] {
@@ -589,7 +671,7 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(10));
                 panic!("always fails, slowly");
             },
-            |_, _| {},
+            |_| {},
         );
         assert!(
             matches!(outcomes[0], TaskOutcome::TimedOut { .. }),
@@ -640,7 +722,7 @@ mod tests {
                 }
                 1u8
             },
-            |_, _| {},
+            |_| {},
         );
         assert!(matches!(
             outcomes[0],

@@ -15,11 +15,14 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use unxpec_stats::Summary;
-use unxpec_telemetry::{json::escape, spans_to_chrome_json, MetricsRegistry, Span};
+use unxpec_telemetry::{
+    json::escape, spans_to_chrome_json, MetricsHub, MetricsRegistry, Span, SpanNode,
+};
 
 use crate::experiment::{output_digest, TrialOutput};
 use crate::manifest::{CompletedTrial, Manifest, PoisonedTrial, QuarantinedTrial, TimedOutTrial};
-use crate::pool::{run_tasks_with, PoolStats, RunPolicy, TaskOutcome};
+use crate::pool::{run_tasks_with, PoolStats, RunPolicy, TaskEvent, TaskOutcome};
+use crate::profiler::SelfProfiler;
 use crate::registry::Registry;
 use crate::spec::{SpecError, SweepSpec, Trial};
 use crate::TrialCtx;
@@ -52,6 +55,17 @@ pub struct SweepOptions {
     /// needed to reproduce it (trial identity, derived seed, root
     /// seed, scale, error, diagnostics lines). `None` disables.
     pub diagnostics_dir: Option<PathBuf>,
+    /// Live metrics hub to stream progress into while the sweep runs
+    /// (`sweep.progress.*`, per-worker throughput, per-experiment
+    /// latency histograms). Updates happen only on the harness's
+    /// bookkeeping path — never inside a trial — so attaching a hub
+    /// (and scraping it) leaves results byte-identical. `None`
+    /// disables.
+    pub live: Option<MetricsHub>,
+    /// Sampling interval in milliseconds for the wall-clock
+    /// self-profiler ([`crate::profiler::SelfProfiler`]). `None`
+    /// disables; the profile lands in [`SweepReport::self_profile`].
+    pub self_profile_ms: Option<u64>,
 }
 
 /// One completed trial in the report.
@@ -113,6 +127,9 @@ pub struct SweepReport {
     pub stats: PoolStats,
     /// One wall-clock span per executed trial, on per-worker tracks.
     pub spans: Vec<Span>,
+    /// Sampling self-profile of the pool (sample-count weights), when
+    /// [`SweepOptions::self_profile_ms`] was set.
+    pub self_profile: Option<SpanNode>,
 }
 
 /// Why a sweep could not run.
@@ -244,6 +261,24 @@ pub fn run_sweep(
         ..RunPolicy::default()
     };
     let checkpoint = Mutex::new(manifest.clone());
+
+    // Live progress: seed the totals before the pool starts so a
+    // scraper sees the denominator immediately. Everything written to
+    // the hub happens on the bookkeeping path — results never read it.
+    if let Some(hub) = &opts.live {
+        let quarantined_now = trials.iter().filter(|t| is_quarantined(&t.key)).count();
+        hub.update(|m| {
+            m.set("sweep.progress.total", trials.len() as u64);
+            m.set("sweep.progress.resumed", resumed as u64);
+            m.set("sweep.progress.quarantined", quarantined_now as u64);
+            m.set("sweep.progress.done", resumed as u64);
+            m.set("sweep.progress.jobs", opts.jobs.max(1) as u64);
+        });
+    }
+    let profiler = opts
+        .self_profile_ms
+        .map(|ms| SelfProfiler::start(opts.jobs.max(1), Duration::from_millis(ms.max(1))));
+
     let (outcomes, timings, stats) = run_tasks_with(
         opts.jobs,
         pending.len(),
@@ -259,36 +294,73 @@ pub fn run_sweep(
                 variant: trial.variant.clone(),
             })
         },
-        |i, outcome| {
-            if opts.manifest.is_none() {
-                return;
-            }
-            let trial = pending[i];
-            let mut m = checkpoint.lock().expect("checkpoint lock poisoned");
-            match outcome {
-                TaskOutcome::Done { value, attempts } => {
-                    manifest_push_completed(&mut m, trial, value, *attempts)
+        |event| match event {
+            TaskEvent::Started { index, worker } => {
+                if let Some(p) = &profiler {
+                    p.worker_started(worker, &pending[index].key);
                 }
-                TaskOutcome::Poisoned { error, attempts } => m.poisoned.push(PoisonedTrial {
-                    key: trial.key.clone(),
-                    error: error.clone(),
-                    attempts: *attempts,
-                    failures: bump_failures(&trial.key),
-                }),
-                TaskOutcome::TimedOut { error, attempts } => m.timed_out.push(TimedOutTrial {
-                    key: trial.key.clone(),
-                    error: error.clone(),
-                    attempts: *attempts,
-                    failures: bump_failures(&trial.key),
-                }),
             }
-            if let Some(path) = &opts.manifest {
-                // A failed checkpoint write must not kill the sweep;
-                // the final save reports the error instead.
-                let _ = m.save(path);
+            TaskEvent::Finished {
+                index,
+                worker,
+                outcome,
+                timing,
+            } => {
+                let trial = pending[index];
+                if let Some(p) = &profiler {
+                    p.worker_finished(worker);
+                }
+                if let Some(hub) = &opts.live {
+                    hub.update(|m| {
+                        m.inc("sweep.progress.done", 1);
+                        match outcome {
+                            TaskOutcome::Done { .. } => {}
+                            TaskOutcome::Poisoned { .. } => m.inc("sweep.progress.poisoned", 1),
+                            TaskOutcome::TimedOut { .. } => m.inc("sweep.progress.timed_out", 1),
+                        }
+                        m.inc(
+                            "sweep.progress.retries",
+                            u64::from(outcome.attempts().saturating_sub(1)),
+                        );
+                        m.inc(&format!("sweep.worker{worker}.trials"), 1);
+                        m.inc(&format!("sweep.worker{worker}.busy_us"), timing.dur_us);
+                        m.observe("sweep.trial_duration_us", timing.dur_us);
+                        m.observe(
+                            &format!("sweep.exp.{}.latency_us", trial.experiment),
+                            timing.dur_us,
+                        );
+                    });
+                }
+                if opts.manifest.is_none() {
+                    return;
+                }
+                let mut m = checkpoint.lock().expect("checkpoint lock poisoned");
+                match outcome {
+                    TaskOutcome::Done { value, attempts } => {
+                        manifest_push_completed(&mut m, trial, value, *attempts)
+                    }
+                    TaskOutcome::Poisoned { error, attempts } => m.poisoned.push(PoisonedTrial {
+                        key: trial.key.clone(),
+                        error: error.clone(),
+                        attempts: *attempts,
+                        failures: bump_failures(&trial.key),
+                    }),
+                    TaskOutcome::TimedOut { error, attempts } => m.timed_out.push(TimedOutTrial {
+                        key: trial.key.clone(),
+                        error: error.clone(),
+                        attempts: *attempts,
+                        failures: bump_failures(&trial.key),
+                    }),
+                }
+                if let Some(path) = &opts.manifest {
+                    // A failed checkpoint write must not kill the sweep;
+                    // the final save reports the error instead.
+                    let _ = m.save(path);
+                }
             }
         },
     );
+    let self_profile = profiler.map(SelfProfiler::stop);
 
     // Reassemble results in enumeration order: resumed trials from the
     // manifest, fresh trials from their pool slot. A completed trial
@@ -492,6 +564,7 @@ pub fn run_sweep(
         resumed,
         stats,
         spans,
+        self_profile,
     })
 }
 

@@ -1,0 +1,259 @@
+//! Live metrics exposition: a std-only TCP endpoint serving the
+//! registry while a run is in flight.
+//!
+//! A multi-hour chaos or matrix sweep is a black box without this — the
+//! harness writes its metrics dump only at the end. [`MetricsHub`] is a
+//! cloneable, lock-guarded registry the harness updates as trials
+//! finish, and [`MetricsServer`] is a tiny HTTP/1.0 server (no
+//! dependencies, one accept thread) exposing it:
+//!
+//! * `GET /metrics` — Prometheus-style text exposition (counters as
+//!   `# TYPE x counter` + value; histograms as `_count`/`_sum` plus
+//!   `{quantile="..."}` summary lines from the log₂-bucket estimates);
+//! * `GET /metrics.json` — the registry's JSON dump, verbatim;
+//! * `GET /` — a plain index naming the two routes.
+//!
+//! The cardinal rule is that scraping must never perturb the sweep:
+//! the hub is written on the harness's bookkeeping path only (never
+//! inside a trial), the server touches nothing but the hub, and
+//! `tests/observability.rs` pins byte-identical sweep results with the
+//! endpoint active and hammered mid-run.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::metrics::MetricsRegistry;
+
+/// Shared, cloneable handle over a live [`MetricsRegistry`].
+///
+/// Producers (the sweep harness) call [`MetricsHub::update`] from their
+/// bookkeeping path; consumers (the server, tests) take point-in-time
+/// [`MetricsHub::snapshot`]s. Clones share one registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    inner: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl MetricsHub {
+    /// A hub around an empty registry.
+    pub fn new() -> Self {
+        MetricsHub::default()
+    }
+
+    /// Runs `f` with exclusive access to the live registry.
+    pub fn update<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.inner.lock().expect("metrics hub poisoned"))
+    }
+
+    /// A point-in-time copy of the registry.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.inner.lock().expect("metrics hub poisoned").clone()
+    }
+}
+
+/// Sanitizes a registry name into the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other byte becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders `reg` in the Prometheus text exposition format (version
+/// 0.0.4). Counters export as counters; each log₂ histogram exports as
+/// a summary: `_count`, `_sum`, and `{quantile="0.5|0.9|0.99"}` lines
+/// carrying the bucket-interpolated estimates.
+pub fn prometheus_text(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in reg.counters() {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p} {value}\n"));
+    }
+    for (name, h) in reg.histograms() {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} summary\n"));
+        for (q, est) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+            out.push_str(&format!("{p}{{quantile=\"{q}\"}} {}\n", est.unwrap_or(0)));
+        }
+        out.push_str(&format!("{p}_sum {}\n{p}_count {}\n", h.sum(), h.count()));
+    }
+    out
+}
+
+/// The live exposition server: one daemon accept thread over a
+/// [`MetricsHub`]. Dropping the handle (or calling
+/// [`MetricsServer::shutdown`]) stops the thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an
+    /// ephemeral port — read it back from [`MetricsServer::addr`]) and
+    /// starts serving `hub`.
+    pub fn serve(addr: &str, hub: MetricsHub) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("metrics-server".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // Serve inline: requests are tiny, responses are
+                        // bounded by the registry size, and one scraper
+                        // at a time is the realistic load.
+                        let _ = handle(stream, &hub);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle(mut stream: TcpStream, hub: &MetricsHub) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            prometheus_text(&hub.snapshot()),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", hub.snapshot().to_json()),
+        "/" => (
+            "200 OK",
+            "text/plain",
+            "unxpec live metrics\n  /metrics       Prometheus text\n  /metrics.json  JSON snapshot\n".to_string(),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    stream.write_all(
+        format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// One-shot scrape helper (used by tests and the CI smoke job driver):
+/// fetches `path` from a running server and returns the response body.
+pub fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: unxpec\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed HTTP response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_text_sanitizes_and_summarizes() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("sweep.progress.done", 7);
+        for v in [5, 10, 100] {
+            reg.observe("sweep.trial_duration_us", v);
+        }
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE sweep_progress_done counter"));
+        assert!(text.contains("sweep_progress_done 7"));
+        assert!(text.contains("sweep_trial_duration_us_count 3"));
+        assert!(text.contains("sweep_trial_duration_us_sum 115"));
+        assert!(text.contains("sweep_trial_duration_us{quantile=\"0.5\"}"));
+        assert!(!text.contains("sweep.progress"), "dots must be sanitized");
+    }
+
+    #[test]
+    fn server_serves_text_json_index_and_404() {
+        let hub = MetricsHub::new();
+        hub.update(|reg| reg.inc("sweep.progress.done", 3));
+        let server = MetricsServer::serve("127.0.0.1:0", hub.clone()).expect("bind");
+        let addr = server.addr();
+
+        let text = scrape(addr, "/metrics").expect("scrape text");
+        assert!(text.contains("sweep_progress_done 3"));
+
+        hub.update(|reg| reg.inc("sweep.progress.done", 2));
+        let json = scrape(addr, "/metrics.json").expect("scrape json");
+        assert!(json.contains("\"sweep.progress.done\": 5"), "{json}");
+        crate::json::validate(&json).expect("json route must validate");
+
+        let index = scrape(addr, "/").expect("scrape index");
+        assert!(index.contains("/metrics.json"));
+        let missing = scrape(addr, "/nope").expect("scrape 404");
+        assert!(missing.contains("not found"));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_unblocks_accept() {
+        let mut server = MetricsServer::serve("127.0.0.1:0", MetricsHub::new()).expect("bind");
+        server.shutdown();
+        server.shutdown();
+        // A post-shutdown scrape must not hang; whether it errors or
+        // catches a last in-flight accept is timing-dependent.
+        let _ = scrape(server.addr(), "/metrics");
+    }
+}

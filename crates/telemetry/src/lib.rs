@@ -38,15 +38,21 @@
 
 pub mod chrome;
 pub mod event;
+pub mod expose;
+pub mod forensics;
 pub mod json;
 pub mod metrics;
 pub mod probe;
+pub mod profile;
 pub mod span;
 pub mod timeline;
 
 pub use chrome::{chrome_trace_json, rollback_spans, RollbackSpan};
 pub use event::{CacheLevel, Event, Track};
+pub use expose::{prometheus_text, scrape, MetricsHub, MetricsServer};
+pub use forensics::{fold_episodes, render_digest, trace_verdict, Episode};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use probe::{CountingProbe, NullProbe, Probe, RingBuffer, Telemetry};
-pub use span::{spans_to_chrome_json, Span};
+pub use profile::cycle_profile;
+pub use span::{spans_to_chrome_json, Span, SpanNode};
 pub use timeline::rollback_timeline;

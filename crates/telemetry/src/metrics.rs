@@ -92,6 +92,52 @@ impl LogHistogram {
             .collect()
     }
 
+    /// Estimates the `q`-quantile (`0.0 < q <= 1.0`) from the log₂
+    /// buckets: the bucket holding the rank is found by a cumulative
+    /// walk and the value is interpolated linearly inside it, then
+    /// clamped to the observed `[min, max]`. The estimate is exact for
+    /// bucket boundaries and within one bucket width otherwise —
+    /// that is the resolution a power-of-two histogram buys.
+    ///
+    /// Returns `None` when the histogram is empty or `q` is out of
+    /// range.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        // 1-based rank of the requested observation.
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lower, upper) = bucket_bounds(i);
+                let into = (rank - seen) as f64 / n as f64;
+                let est = lower as f64 + into * (upper - lower) as f64;
+                return Some((est as u64).clamp(self.min, self.max));
+            }
+            seen += n;
+        }
+        Some(self.max)
+    }
+
+    /// The p50 estimate (`None` when empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// The p90 estimate (`None` when empty).
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// The p99 estimate (`None` when empty).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (b, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -101,6 +147,16 @@ impl LogHistogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+/// `[lower, upper)` value bounds of bucket `i` (bucket 64 is clamped
+/// to `u64::MAX`).
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 1),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), 1u64 << i),
     }
 }
 
@@ -150,6 +206,11 @@ impl MetricsRegistry {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// Number of registered counters.
     pub fn counter_count(&self) -> usize {
         self.counters.len()
@@ -191,13 +252,16 @@ impl MetricsRegistry {
             }
             first = false;
             out.push_str(&format!(
-                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean_milli\": {}, \"buckets\": [",
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean_milli\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
                 escape_json(k),
                 h.count(),
                 h.sum(),
                 h.min().unwrap_or(0),
                 h.max().unwrap_or(0),
                 (h.mean() * 1000.0).round() as u64,
+                h.p50().unwrap_or(0),
+                h.p90().unwrap_or(0),
+                h.p99().unwrap_or(0),
             ));
             for (i, (lower, n)) in h.nonzero_buckets().iter().enumerate() {
                 if i > 0 {
@@ -212,23 +276,96 @@ impl MetricsRegistry {
     }
 
     /// CSV dump: `kind,name,field,value` rows — counters first, then
-    /// each histogram's summary fields and non-empty buckets.
+    /// each histogram's summary fields, quantile estimates, and
+    /// non-empty buckets. Name fields are RFC-4180 quoted, so labels
+    /// containing commas, quotes, or newlines survive a round-trip.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("kind,name,field,value\n");
         for (k, v) in &self.counters {
-            out.push_str(&format!("counter,{k},value,{v}\n"));
+            out.push_str(&format!("counter,{},value,{v}\n", csv_field(k)));
         }
         for (k, h) in &self.histograms {
+            let k = csv_field(k);
             out.push_str(&format!("histogram,{k},count,{}\n", h.count()));
             out.push_str(&format!("histogram,{k},sum,{}\n", h.sum()));
             out.push_str(&format!("histogram,{k},min,{}\n", h.min().unwrap_or(0)));
             out.push_str(&format!("histogram,{k},max,{}\n", h.max().unwrap_or(0)));
+            out.push_str(&format!("histogram,{k},p50,{}\n", h.p50().unwrap_or(0)));
+            out.push_str(&format!("histogram,{k},p90,{}\n", h.p90().unwrap_or(0)));
+            out.push_str(&format!("histogram,{k},p99,{}\n", h.p99().unwrap_or(0)));
             for (lower, n) in h.nonzero_buckets() {
                 out.push_str(&format!("histogram,{k},bucket_ge_{lower},{n}\n"));
             }
         }
         out
     }
+
+    /// Plain-text dump for terminals: counters first, then one line
+    /// per histogram with count/mean and the p50/p90/p99 estimates.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{k:<width$}  n {} mean {:.1} p50 {} p90 {} p99 {} max {}\n",
+                h.count(),
+                h.mean(),
+                h.p50().unwrap_or(0),
+                h.p90().unwrap_or(0),
+                h.p99().unwrap_or(0),
+                h.max().unwrap_or(0),
+            ));
+        }
+        out
+    }
+}
+
+/// RFC-4180 quoting for one CSV field: fields containing a comma,
+/// double quote, CR, or LF are wrapped in double quotes with embedded
+/// quotes doubled; everything else passes through bare.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Splits one RFC-4180 CSV record into its fields, undoing
+/// [`csv_field`] quoting. Newlines inside quoted fields must already be
+/// part of `record` (the caller is responsible for logical-line
+/// assembly). Unterminated quotes consume to the end of the record.
+pub fn split_csv_record(record: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = record.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if field.is_empty() => quoted = true,
+            ',' if !quoted => fields.push(std::mem::take(&mut field)),
+            c => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
 }
 
 /// Escapes the characters JSON strings cannot contain bare. Metric
@@ -345,5 +482,89 @@ mod tests {
     fn escape_handles_specials() {
         assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape_json("plain.path"), "plain.path");
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let mut h = LogHistogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Log2 buckets bound the estimate, not the exact rank, so allow
+        // one bucket of slack around the true percentiles.
+        let p50 = h.p50().unwrap();
+        let p90 = h.p90().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!((32..=64).contains(&p50), "p50 estimate {p50}");
+        assert!((64..=100).contains(&p90), "p90 estimate {p90}");
+        assert!(p99 >= p90 && p99 <= 100, "p99 estimate {p99}");
+        assert!(p50 <= p90, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn quantiles_of_constant_data_are_exact() {
+        let mut h = LogHistogram::default();
+        for _ in 0..10 {
+            h.observe(42);
+        }
+        // min == max clamps every estimate to the single observed value.
+        assert_eq!(h.p50(), Some(42));
+        assert_eq!(h.p90(), Some(42));
+        assert_eq!(h.p99(), Some(42));
+        assert_eq!(LogHistogram::default().p50(), None);
+    }
+
+    #[test]
+    fn csv_quoting_round_trips_hostile_labels() {
+        for name in [
+            "plain",
+            "has,comma",
+            "has\"quote",
+            "multi\nline",
+            "cr\rlf,\"both\"",
+        ] {
+            let quoted = csv_field(name);
+            let record = format!("counter,{quoted},value,1");
+            let fields = split_csv_record(&record);
+            assert_eq!(fields.len(), 4, "field count for {name:?}");
+            assert_eq!(fields[1], name, "round-trip of {name:?}");
+        }
+        // Exporter path: a hostile metric name stays one logical record.
+        let mut m = MetricsRegistry::new();
+        m.inc("exp,\"x\".done", 7);
+        let csv = m.to_csv();
+        let row = csv
+            .lines()
+            .find(|l| l.starts_with("counter,"))
+            .expect("counter row");
+        let fields = split_csv_record(row);
+        assert_eq!(fields[1], "exp,\"x\".done");
+        assert_eq!(fields[3], "7");
+    }
+
+    #[test]
+    fn ascii_dump_prints_quantiles() {
+        let mut m = MetricsRegistry::new();
+        m.inc("sweep.progress.done", 12);
+        for v in [10, 20, 30, 40] {
+            m.observe("trial_us", v);
+        }
+        let text = m.to_ascii();
+        assert!(text.contains("sweep.progress.done"));
+        assert!(text.contains("p50"), "ascii dump must show p50: {text}");
+        assert!(text.contains("p99"), "ascii dump must show p99: {text}");
+    }
+
+    #[test]
+    fn csv_emits_quantile_rows() {
+        let mut m = MetricsRegistry::new();
+        m.observe("h", 9);
+        let csv = m.to_csv();
+        for field in ["p50", "p90", "p99"] {
+            assert!(
+                csv.lines().any(|l| l == format!("histogram,h,{field},9")),
+                "missing {field} row in {csv}"
+            );
+        }
     }
 }

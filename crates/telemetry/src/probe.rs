@@ -242,6 +242,15 @@ impl Telemetry {
             }
         }
     }
+
+    /// Registers the sink's own accounting into `metrics`: how many
+    /// events the ring retained and how many it silently evicted.
+    /// Surfacing `telemetry.dropped_events` in every dump means an
+    /// undersized ring shows up in the same place its data would have.
+    pub fn record_metrics(&self, metrics: &mut crate::metrics::MetricsRegistry) {
+        metrics.inc("telemetry.retained_events", self.len() as u64);
+        metrics.inc("telemetry.dropped_events", self.dropped());
+    }
 }
 
 #[cfg(test)]

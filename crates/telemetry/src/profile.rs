@@ -1,0 +1,262 @@
+//! Cycle-attribution profiler: folds a run's event stream into a
+//! hierarchical [`SpanNode`] profile.
+//!
+//! A Chrome trace shows *when* things happened; the profile shows
+//! *where the cycles went* — aggregated across the whole stream and
+//! grouped by cause, which is how shared-resource channels (MSHR
+//! occupancy, rollback phases; see *Speculative Interference Attacks*
+//! in PAPERS.md) become visible without scrubbing a timeline. The tree
+//! has four top-level frames:
+//!
+//! * `inst` / `inst.wrong_path` — dispatch→complete latency per
+//!   instruction, with a `pc_<n>` child per static PC. Wrong-path
+//!   totals are the transient window the attack lives in.
+//! * `mshr` — miss-handling occupancy (`alloc`→`complete_cycle`
+//!   inflight intervals), split `speculative` / `architectural`.
+//! * `cache` — miss→fill latency per level (`l1`, `l2`), the memory
+//!   side of the same intervals.
+//! * `rollback` — each squash's T2→T6 bracket, partitioned among the
+//!   undo actions inside it (`invalidate.l1/.l2`, `restore`), with the
+//!   unattributed remainder charged to `rollback` itself. Children sum
+//!   exactly to the cleanup duration — the unXpec channel, itemized.
+//!
+//! Weights are cycles. Because frames count *overlapping* occupancy
+//! (two inflight MSHRs both accrue), the tree's total is cycle-weighted
+//! work, not wall-clock cycles.
+
+use crate::event::{CacheLevel, Event};
+use crate::span::SpanNode;
+
+fn level_frame(level: CacheLevel) -> &'static str {
+    match level {
+        CacheLevel::L1 => "l1",
+        CacheLevel::L2 => "l2",
+    }
+}
+
+/// Folds `events` into a cycle-attribution profile rooted at `cycles`.
+pub fn cycle_profile(events: &[Event]) -> SpanNode {
+    let mut root = SpanNode::root("cycles");
+
+    // Instruction latency: dispatch..complete paired by seq.
+    let mut open_insts: Vec<(u64, u64)> = Vec::new(); // seq, dispatch cycle
+    for e in events {
+        match *e {
+            Event::Dispatch { cycle, seq, .. } => open_insts.push((seq, cycle)),
+            Event::Complete {
+                cycle,
+                seq,
+                pc,
+                wrong_path,
+            } => {
+                if let Some(pos) = open_insts.iter().position(|(s, _)| *s == seq) {
+                    let (_, start) = open_insts.remove(pos);
+                    let frame = if wrong_path {
+                        "inst.wrong_path"
+                    } else {
+                        "inst"
+                    };
+                    root.record(
+                        &[frame, &format!("pc_{pc}")],
+                        cycle.saturating_sub(start).max(1),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // MSHR occupancy: each allocation books its fill cycle up front.
+    for e in events {
+        if let Event::MshrAlloc {
+            cycle,
+            complete_cycle,
+            speculative,
+            ..
+        } = *e
+        {
+            let kind = if speculative {
+                "speculative"
+            } else {
+                "architectural"
+            };
+            root.record(&["mshr", kind], complete_cycle.saturating_sub(cycle).max(1));
+        }
+    }
+
+    // Cache miss latency: each miss to the next fill of the same line
+    // at the same level.
+    for (i, e) in events.iter().enumerate() {
+        if let Event::CacheMiss { cycle, level, line } = *e {
+            let fill = events[i + 1..].iter().find_map(|f| match *f {
+                Event::CacheFill {
+                    cycle: fc,
+                    level: fl,
+                    line: fline,
+                    ..
+                } if fl == level && fline == line => Some(fc),
+                _ => None,
+            });
+            if let Some(fc) = fill {
+                root.record(
+                    &["cache", level_frame(level)],
+                    fc.saturating_sub(cycle).max(1),
+                );
+            }
+        }
+    }
+
+    // Rollback brackets: partition each T2→T6 window among the undo
+    // actions inside it. Each action is charged the cycles since the
+    // previous action (or the bracket's begin), and whatever is left at
+    // squash_end is charged to the bracket itself, so the children plus
+    // self sum exactly to the cleanup duration.
+    let mut bracket: Option<u64> = None; // cursor cycle inside an open bracket
+    for e in events {
+        match *e {
+            Event::SquashBegin { cycle, .. } => bracket = Some(cycle),
+            Event::RollbackInvalidate { cycle, level, .. } => {
+                if let Some(cursor) = bracket {
+                    root.record(
+                        &["rollback", "invalidate", level_frame(level)],
+                        cycle.saturating_sub(cursor),
+                    );
+                    bracket = Some(cycle);
+                }
+            }
+            Event::RollbackRestore { cycle, .. } => {
+                if let Some(cursor) = bracket {
+                    root.record(&["rollback", "restore"], cycle.saturating_sub(cursor));
+                    bracket = Some(cycle);
+                }
+            }
+            Event::MshrCancel { cycle, .. } => {
+                if let Some(cursor) = bracket {
+                    root.record(&["rollback", "mshr_cancel"], cycle.saturating_sub(cursor));
+                    bracket = Some(cycle);
+                }
+            }
+            Event::SquashEnd { cycle, .. } => {
+                if let Some(cursor) = bracket.take() {
+                    root.record(&["rollback"], cycle.saturating_sub(cursor));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> Vec<Event> {
+        vec![
+            Event::Dispatch {
+                cycle: 0,
+                seq: 1,
+                pc: 4,
+            },
+            Event::CacheMiss {
+                cycle: 2,
+                level: CacheLevel::L1,
+                line: 0x40,
+            },
+            Event::MshrAlloc {
+                cycle: 2,
+                line: 0x40,
+                complete_cycle: 102,
+                speculative: true,
+            },
+            Event::CacheFill {
+                cycle: 102,
+                level: CacheLevel::L1,
+                line: 0x40,
+                speculative: true,
+            },
+            Event::Complete {
+                cycle: 102,
+                seq: 1,
+                pc: 4,
+                wrong_path: true,
+            },
+            Event::SquashBegin {
+                cycle: 110,
+                branch_pc: 3,
+                epoch: 9,
+                squashed_loads: 1,
+                squashed_insts: 1,
+            },
+            Event::RollbackInvalidate {
+                cycle: 125,
+                level: CacheLevel::L1,
+                line: 0x40,
+            },
+            Event::RollbackRestore {
+                cycle: 135,
+                line: 0x7,
+            },
+            Event::SquashEnd {
+                cycle: 140,
+                branch_pc: 3,
+                epoch: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn rollback_children_sum_to_the_cleanup_duration() {
+        let profile = cycle_profile(&run());
+        let rb = profile.child("rollback").expect("rollback frame");
+        // T2=110 → T6=140: 15 to the invalidate, 10 to the restore,
+        // 5 unattributed tail on the bracket itself.
+        assert_eq!(rb.total(), 30);
+        assert_eq!(rb.self_weight, 5);
+        assert_eq!(rb.child("invalidate").unwrap().total(), 15);
+        assert_eq!(rb.child("restore").unwrap().self_weight, 10);
+    }
+
+    #[test]
+    fn instruction_and_mshr_frames_attribute_latency() {
+        let profile = cycle_profile(&run());
+        let wp = profile.child("inst.wrong_path").expect("wrong-path frame");
+        assert_eq!(wp.child("pc_4").unwrap().self_weight, 102);
+        assert_eq!(
+            profile
+                .child("mshr")
+                .and_then(|m| m.child("speculative"))
+                .unwrap()
+                .self_weight,
+            100
+        );
+        assert_eq!(
+            profile
+                .child("cache")
+                .and_then(|c| c.child("l1"))
+                .unwrap()
+                .self_weight,
+            100
+        );
+    }
+
+    #[test]
+    fn collapsed_output_is_flamegraph_shaped() {
+        let collapsed = cycle_profile(&run()).collapsed();
+        assert!(collapsed.contains("cycles;rollback;invalidate;l1 15\n"));
+        assert!(collapsed.contains("cycles;inst.wrong_path;pc_4 102\n"));
+        for line in collapsed.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("stack + weight");
+            assert!(stack.starts_with("cycles"));
+            weight.parse::<u64>().expect("numeric weight");
+        }
+    }
+
+    #[test]
+    fn empty_stream_gives_an_empty_root() {
+        let profile = cycle_profile(&[]);
+        assert_eq!(profile.total(), 0);
+        assert!(profile.collapsed().is_empty());
+    }
+}

@@ -67,6 +67,119 @@ pub fn spans_to_chrome_json(
     out
 }
 
+/// A node in a hierarchical attribution profile.
+///
+/// Each node carries a *self* weight (cycles or samples charged
+/// directly to it) and children charged to more specific frames; a
+/// node's *total* is its self weight plus every descendant's. The tree
+/// is what both the cycle-attribution profiler and the harness's
+/// sampling self-profiler accumulate into, and it exports as
+/// collapsed-stack lines any flamegraph renderer accepts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Frame name (one path segment).
+    pub name: String,
+    /// Weight charged directly to this frame.
+    pub self_weight: u64,
+    /// Child frames, in first-recorded order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Creates an empty root. The root's name is conventionally the
+    /// profile's name (e.g. `"cycles"` or `"sweep"`).
+    pub fn root(name: &str) -> Self {
+        SpanNode {
+            name: name.to_string(),
+            ..SpanNode::default()
+        }
+    }
+
+    /// Charges `weight` to the frame at `path` below this node,
+    /// creating intermediate frames as needed. An empty path charges
+    /// this node itself.
+    pub fn record(&mut self, path: &[&str], weight: u64) {
+        match path.split_first() {
+            None => self.self_weight += weight,
+            Some((head, rest)) => self.child_mut(head).record(rest, weight),
+        }
+    }
+
+    /// The child named `name`, created empty if absent.
+    pub fn child_mut(&mut self, name: &str) -> &mut SpanNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(SpanNode::root(name));
+        self.children.last_mut().expect("just pushed")
+    }
+
+    /// The child named `name`, if present.
+    pub fn child(&self, name: &str) -> Option<&SpanNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Self weight plus every descendant's (the flamegraph frame width).
+    pub fn total(&self) -> u64 {
+        self.self_weight + self.children.iter().map(SpanNode::total).sum::<u64>()
+    }
+
+    /// Merges `other` into this tree (weights add, children by name).
+    pub fn merge(&mut self, other: &SpanNode) {
+        self.self_weight += other.self_weight;
+        for c in &other.children {
+            self.child_mut(&c.name).merge(c);
+        }
+    }
+
+    /// Collapsed-stack export: one `frame;frame;frame weight` line per
+    /// node with non-zero self weight, root first. Feed the output to
+    /// `flamegraph.pl` / `inferno` / speedscope unchanged. Semicolons
+    /// inside frame names are replaced with `:` so they cannot split a
+    /// stack.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        self.collapse_into(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collapse_into(&self, stack: &mut Vec<String>, out: &mut String) {
+        stack.push(self.name.replace(';', ":"));
+        if self.self_weight > 0 {
+            out.push_str(&format!("{} {}\n", stack.join(";"), self.self_weight));
+        }
+        for c in &self.children {
+            c.collapse_into(stack, out);
+        }
+        stack.pop();
+    }
+
+    /// ASCII tree rendering with per-frame total/self weights and the
+    /// share of the root's total, heaviest child first.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let grand = self.total().max(1);
+        self.render_into("", grand, &mut out);
+        out
+    }
+
+    fn render_into(&self, indent: &str, grand: u64, out: &mut String) {
+        out.push_str(&format!(
+            "{indent}{}  total {} self {} ({:.1}%)\n",
+            self.name,
+            self.total(),
+            self.self_weight,
+            100.0 * self.total() as f64 / grand as f64
+        ));
+        let mut kids: Vec<&SpanNode> = self.children.iter().collect();
+        kids.sort_by_key(|c| std::cmp::Reverse(c.total()));
+        let deeper = format!("{indent}  ");
+        for c in kids {
+            c.render_into(&deeper, grand, out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +220,51 @@ mod tests {
     fn zero_duration_spans_get_a_visible_floor() {
         let doc = spans_to_chrome_json("p", &[], &sample());
         assert!(doc.contains("\"dur\":1,"));
+    }
+
+    #[test]
+    fn span_node_totals_and_collapsed_agree() {
+        let mut root = SpanNode::root("cycles");
+        root.record(&["inst", "pc_40"], 10);
+        root.record(&["inst", "pc_40"], 5);
+        root.record(&["inst", "pc_44"], 3);
+        root.record(&["rollback", "invalidate"], 20);
+        root.record(&["rollback"], 2);
+        assert_eq!(root.total(), 40);
+        assert_eq!(root.child("inst").unwrap().total(), 18);
+        let collapsed = root.collapsed();
+        assert!(collapsed.contains("cycles;inst;pc_40 15\n"));
+        assert!(collapsed.contains("cycles;rollback;invalidate 20\n"));
+        assert!(collapsed.contains("cycles;rollback 2\n"));
+        // Sum of collapsed weights reconstructs the grand total.
+        let sum: u64 = collapsed
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(sum, root.total());
+    }
+
+    #[test]
+    fn span_node_merge_adds_by_name() {
+        let mut a = SpanNode::root("r");
+        a.record(&["x"], 1);
+        let mut b = SpanNode::root("r");
+        b.record(&["x"], 2);
+        b.record(&["y", "z"], 3);
+        a.merge(&b);
+        assert_eq!(a.child("x").unwrap().self_weight, 3);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn ascii_tree_sorts_heaviest_first_and_sanitizes() {
+        let mut root = SpanNode::root("sweep");
+        root.record(&["worker-0", "a;b"], 1);
+        root.record(&["worker-1"], 9);
+        let text = root.render_ascii();
+        let w1 = text.find("worker-1").unwrap();
+        let w0 = text.find("worker-0").unwrap();
+        assert!(w1 < w0, "heaviest child must render first:\n{text}");
+        assert!(root.collapsed().contains("a:b"), "semicolons sanitized");
     }
 }

@@ -1,0 +1,169 @@
+//! Trace-level cross-validation: for every program in the attack
+//! registry, the rollback forensics reconstruction (episodes folded
+//! from a raw telemetry snapshot) must classify the channel exactly as
+//! the static analyzer predicts — a cache-footprint leak under the
+//! unsafe baseline, a rollback-timing leak under CleanupSpec. This is
+//! the third witness next to the static analyzer (PR 4) and the
+//! end-to-end simulator measurements (`tests/analysis.rs`): same
+//! verdicts, derived only from the event stream.
+
+use unxpec::analysis::{analyze, DefenseModel, SecretRegion, Verdict};
+use unxpec::attack::registry::{registry, ProgramSpec, TriggerKind};
+use unxpec::attack::{SpectreRsb, SpectreV2};
+use unxpec::cpu::{Core, CoreConfig, Defense, ProgramBuilder, Reg, UnsafeBaseline};
+use unxpec::defense::CleanupSpec;
+use unxpec::telemetry::{fold_episodes, render_digest, trace_verdict, Event, Telemetry};
+
+const RING: usize = 1 << 16;
+
+fn defense_for(model: DefenseModel) -> Box<dyn Defense> {
+    match model {
+        DefenseModel::Unsafe => Box::new(UnsafeBaseline),
+        DefenseModel::CleanupSpec => Box::new(CleanupSpec::new()),
+        other => unreachable!("only the two leaking models are driven here: {other:?}"),
+    }
+}
+
+/// One instrumented secret-0 and one secret-1 round of `spec` under
+/// `model`, after untraced warmups — the same capture discipline as
+/// the `report` binary.
+fn capture_events(spec: &ProgramSpec, model: DefenseModel) -> Vec<Event> {
+    let tel = Telemetry::ring(RING);
+    match spec.trigger {
+        TriggerKind::ConditionalBranch => {
+            let mut core = Core::table_i();
+            core.set_defense(defense_for(model));
+            spec.layout().install(core.mem_mut(), spec.fn_accesses);
+            let mut vb = ProgramBuilder::new();
+            vb.mov(Reg(1), spec.layout().secret_addr().raw());
+            vb.load(Reg(2), Reg(1), 0);
+            vb.halt();
+            let victim = vb.build();
+            let round = |core: &mut Core, secret: bool| {
+                spec.layout().set_secret(core.mem_mut(), secret);
+                core.run(&victim);
+                core.run(spec.program());
+            };
+            round(&mut core, false);
+            round(&mut core, true);
+            core.set_telemetry(tel.clone());
+            round(&mut core, false);
+            round(&mut core, true);
+        }
+        TriggerKind::IndirectJump => {
+            let mut attacker = SpectreV2::new(defense_for(model));
+            attacker.core_mut().set_telemetry(tel.clone());
+            attacker.measure_bit(false);
+            attacker.measure_bit(true);
+        }
+        TriggerKind::Return => {
+            let mut attacker = SpectreRsb::new(defense_for(model));
+            attacker.core_mut().set_telemetry(tel.clone());
+            attacker.measure_bit(false);
+            attacker.measure_bit(true);
+        }
+    }
+    assert_eq!(tel.dropped(), 0, "{}: capture ring overflowed", spec.name);
+    tel.snapshot()
+}
+
+fn check_program(name: &str) {
+    let spec = registry()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("registered program");
+    let secrets: Vec<SecretRegion> =
+        SecretRegion::from_layout(spec.layout().memory_layout(), "SECRET")
+            .into_iter()
+            .collect();
+    let analysis = analyze(spec.name, spec.program(), &secrets, &CoreConfig::table_i());
+
+    for model in [DefenseModel::Unsafe, DefenseModel::CleanupSpec] {
+        let events = capture_events(&spec, model);
+        let episodes = fold_episodes(&events);
+        assert!(
+            !episodes.is_empty(),
+            "{name} under {}: an attack round must produce speculative episodes",
+            model.label()
+        );
+        let dynamic = trace_verdict(&episodes);
+        let statik = match analysis.verdict(model) {
+            Verdict::Leak(channel) => channel.label(),
+            Verdict::Clean => "clean",
+        };
+        assert_eq!(
+            dynamic,
+            statik,
+            "{name} under {}: forensics verdict disagrees with the static analyzer\n{}",
+            model.label(),
+            render_digest(&format!("{name} under {}", model.label()), &episodes)
+        );
+    }
+
+    // CleanupSpec episodes must show the undo machinery itself, not
+    // just the aggregate verdict: at least one episode with undo
+    // actions and a non-trivial cleanup duration (the channel).
+    let events = capture_events(&spec, DefenseModel::CleanupSpec);
+    let episodes = fold_episodes(&events);
+    let leaky = episodes
+        .iter()
+        .find(|ep| ep.channel() == Some("rollback-timing"))
+        .expect("a rollback-timing episode under CleanupSpec");
+    assert!(leaky.undo_actions() > 0);
+    assert!(
+        leaky.cleanup_cycles() >= 8,
+        "{name}: secret-dependent cleanup must be visible, got {}",
+        leaky.cleanup_cycles()
+    );
+}
+
+#[test]
+fn spectre_forensics_agree_with_the_analyzer() {
+    check_program("spectre");
+}
+
+#[test]
+fn spectre_v2_forensics_agree_with_the_analyzer() {
+    check_program("spectre_v2");
+}
+
+#[test]
+fn spectre_rsb_forensics_agree_with_the_analyzer() {
+    check_program("spectre_rsb");
+}
+
+#[test]
+fn eviction_forensics_agree_with_the_analyzer() {
+    check_program("eviction");
+}
+
+#[test]
+fn multilevel_forensics_agree_with_the_analyzer() {
+    check_program("multilevel");
+}
+
+#[test]
+fn smt_forensics_agree_with_the_analyzer() {
+    check_program("smt");
+}
+
+#[test]
+fn adaptive_forensics_agree_with_the_analyzer() {
+    check_program("adaptive");
+}
+
+/// The digest renderer over a real capture: markdown table, T-marks,
+/// and the summary verdict line.
+#[test]
+fn digest_renders_the_timeline_marks() {
+    let spec = registry()
+        .into_iter()
+        .find(|s| s.name == "spectre")
+        .expect("registered program");
+    let events = capture_events(&spec, DefenseModel::CleanupSpec);
+    let episodes = fold_episodes(&events);
+    let digest = render_digest("spectre under cleanupspec", &episodes);
+    assert!(digest.starts_with("### spectre under cleanupspec"));
+    assert!(digest.contains("| ep | trigger pc | T1 | T2 | T3 | T4 | T5 | T6 |"));
+    assert!(digest.contains("verdict: **rollback-timing**"));
+}

@@ -1,11 +1,20 @@
 //! End-to-end telemetry: a traced attack round must export a valid
 //! Chrome trace in which the CleanupSpec rollback is a span whose
 //! duration depends on the secret — the unXpec channel, made visible.
+//! The structural half validates the exported document itself —
+//! bracket matching, span well-formedness, track metadata — over
+//! adversarial (fault-injected) chaos captures.
 
+use unxpec::attack::registry::{registry, TriggerKind};
 use unxpec::attack::{AttackConfig, UnxpecChannel};
+use unxpec::cache::FaultInjector;
+use unxpec::cpu::{Core, ProgramBuilder, Reg};
 use unxpec::defense::CleanupSpec;
+use unxpec::experiments::chaos::ChaosMode;
 use unxpec::experiments::trace;
-use unxpec::telemetry::{json, rollback_spans, Event, MetricsRegistry, Telemetry};
+use unxpec::telemetry::{
+    chrome_trace_json, json, rollback_spans, Event, MetricsRegistry, Telemetry,
+};
 
 #[test]
 fn enabled_telemetry_does_not_perturb_timing() {
@@ -125,6 +134,219 @@ fn ring_keeps_the_newest_events_when_over_capacity() {
         (92..100).collect::<Vec<_>>(),
         "newest wins, oldest first"
     );
+}
+
+// ---------------------------------------------------------------------
+// Chrome-trace structural validity
+// ---------------------------------------------------------------------
+
+/// Per-program event captures of a chaos-style sweep: every
+/// conditional-branch registry program driven under CleanupSpec with
+/// the mixed fault plan armed — the most adversarial streams the
+/// simulator produces (delayed/reordered fills, spurious evictions,
+/// double squashes).
+fn chaos_sweep_captures() -> Vec<(&'static str, Vec<Event>)> {
+    let mut captures = Vec::new();
+    for spec in registry() {
+        if spec.trigger != TriggerKind::ConditionalBranch {
+            continue;
+        }
+        let mut core = Core::table_i();
+        core.set_defense(Box::new(CleanupSpec::new()));
+        spec.layout().install(core.mem_mut(), spec.fn_accesses);
+        core.hierarchy_mut()
+            .set_fault_injector(FaultInjector::new(ChaosMode::Mixed.plan(30), 0xc4a05));
+        let tel = Telemetry::ring(1 << 16);
+        core.set_telemetry(tel.clone());
+        let mut vb = ProgramBuilder::new();
+        vb.mov(Reg(1), spec.layout().secret_addr().raw());
+        vb.load(Reg(2), Reg(1), 0);
+        vb.halt();
+        let victim = vb.build();
+        for secret in [false, true, true, false] {
+            spec.layout().set_secret(core.mem_mut(), secret);
+            core.run(&victim);
+            core.run(spec.program());
+        }
+        assert_eq!(tel.dropped(), 0, "{}: capture ring overflowed", spec.name);
+        captures.push((spec.name, tel.snapshot()));
+    }
+    assert!(!captures.is_empty());
+    captures
+}
+
+/// Every squash bracket must be balanced — each `squash_begin` has
+/// exactly one matching `squash_end` with the same epoch, later in the
+/// stream — even with fault injection perturbing fills mid-rollback.
+#[test]
+fn squash_brackets_are_balanced_in_chaos_captures() {
+    for (name, events) in chaos_sweep_captures() {
+        let mut open: Vec<u64> = Vec::new();
+        let mut begins = 0usize;
+        for e in &events {
+            match *e {
+                Event::SquashBegin { epoch, .. } => {
+                    begins += 1;
+                    open.push(epoch);
+                }
+                Event::SquashEnd { cycle, epoch, .. } => {
+                    let pos = open
+                        .iter()
+                        .rposition(|&ep| ep == epoch)
+                        .unwrap_or_else(|| panic!("{name}: end of epoch {epoch} without begin"));
+                    open.remove(pos);
+                    let _ = cycle;
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "{name}: unmatched squash_begin: {open:?}");
+        // The exporter turns every bracket into a complete X span — no
+        // dangling B/E-style halves survive into the document.
+        let spans = rollback_spans(&events);
+        assert_eq!(spans.len(), begins, "{name}: bracket lost in pairing");
+        let doc = chrome_trace_json(&events);
+        json::validate(&doc).expect("valid chaos trace JSON");
+        assert!(!doc.contains("\"ph\":\"B\"") && !doc.contains("\"ph\":\"E\""));
+        assert_eq!(
+            doc.matches("\"name\":\"rollback\",\"ph\":\"X\"").count(),
+            begins,
+            "{name}: every bracket must export as one X span"
+        );
+    }
+}
+
+/// Structural invariants of the exported document, checked through the
+/// JSON parser (not substring luck): X spans have positive durations
+/// and sane bounds, defense-track spans are monotone in document order
+/// and never partially overlap, instants are thread-scoped, and every
+/// referenced track carries `thread_name` metadata.
+#[test]
+fn chrome_spans_are_well_formed_and_tracks_are_monotone() {
+    for (name, events) in chaos_sweep_captures() {
+        let doc = chrome_trace_json(&events);
+        let root = json::parse(&doc).expect("parse chaos trace");
+        let trace_events = root
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+
+        let mut named_tracks = std::collections::BTreeSet::new();
+        let mut used_tracks = std::collections::BTreeSet::new();
+        let mut defense_spans: Vec<(u64, u64)> = Vec::new();
+        let mut last_defense_ts = 0u64;
+        for ev in trace_events {
+            let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+            let tid = ev.get("tid").and_then(|v| v.as_u64());
+            match ph {
+                "M" => {
+                    if let Some(tid) = tid {
+                        named_tracks.insert(tid);
+                    }
+                }
+                "X" => {
+                    let tid = tid.expect("span tid");
+                    used_tracks.insert(tid);
+                    let ts = ev.get("ts").and_then(|v| v.as_u64()).expect("span ts");
+                    let dur = ev.get("dur").and_then(|v| v.as_u64()).expect("span dur");
+                    assert!(dur >= 1, "{name}: zero-width span at ts {ts}");
+                    // tid 5 is the defense track (see Track::tid).
+                    if tid == 5 {
+                        assert!(
+                            ts >= last_defense_ts,
+                            "{name}: defense spans out of order at ts {ts}"
+                        );
+                        last_defense_ts = ts;
+                        defense_spans.push((ts, ts + dur));
+                    }
+                }
+                "i" => {
+                    let tid = tid.expect("instant tid");
+                    used_tracks.insert(tid);
+                    assert_eq!(
+                        ev.get("s").and_then(|v| v.as_str()),
+                        Some("t"),
+                        "{name}: instants must be thread-scoped"
+                    );
+                }
+                other => panic!("{name}: unexpected phase {other:?}"),
+            }
+        }
+        assert!(
+            used_tracks.is_subset(&named_tracks),
+            "{name}: events on unnamed tracks: {used_tracks:?} vs {named_tracks:?}"
+        );
+        // Well-formed nesting on the defense track: overlapping
+        // rollback brackets are legal only when fault injection
+        // restarted a cleanup walk (`SquashDuringRollback` charges the
+        // first bracket extra cycles, pushing its redirect past the
+        // next resolve) — each overlap must be explained by an
+        // injected fault in the same capture.
+        let faults = events
+            .iter()
+            .filter(|e| e.name() == "fault_injected")
+            .count();
+        for pair in defense_spans.windows(2) {
+            let ((s1, e1), (s2, e2)) = (pair[0], pair[1]);
+            if s2 < e1 && e2 > e1 {
+                assert!(
+                    faults > 0,
+                    "{name}: rollback spans [{s1},{e1}) and [{s2},{e2}) overlap \
+                     without any injected fault to explain it"
+                );
+            }
+        }
+        assert!(!defense_spans.is_empty(), "{name}: no rollback spans");
+        // Undo instants happen inside their enclosing bracket.
+        for e in &events {
+            if matches!(
+                e,
+                Event::RollbackInvalidate { .. }
+                    | Event::RollbackRestore { .. }
+                    | Event::MshrCancel { .. }
+            ) {
+                let c = e.cycle();
+                assert!(
+                    defense_spans.iter().any(|&(s, en)| s <= c && c <= en),
+                    "{name}: undo event at cycle {c} outside every rollback span"
+                );
+            }
+        }
+    }
+}
+
+/// Without fault injection the strong invariant holds: rollback
+/// brackets on the defense track are strictly disjoint, in cycle
+/// order, and every undo instant falls inside its bracket.
+#[test]
+fn unfaulted_rollback_spans_are_disjoint_and_contain_their_undos() {
+    let cap = trace::run(false, 1 << 15, 0x5eed);
+    for events in [&cap.secret0, &cap.secret1] {
+        let spans = rollback_spans(events);
+        assert!(!spans.is_empty());
+        for pair in spans.windows(2) {
+            assert!(
+                pair[1].start >= pair[0].start + pair[0].duration,
+                "unfaulted rollback brackets must be disjoint: {pair:?}"
+            );
+        }
+        for e in events.iter() {
+            if matches!(
+                e,
+                Event::RollbackInvalidate { .. }
+                    | Event::RollbackRestore { .. }
+                    | Event::MshrCancel { .. }
+            ) {
+                let c = e.cycle();
+                assert!(
+                    spans
+                        .iter()
+                        .any(|s| s.start <= c && c <= s.start + s.duration),
+                    "undo event at cycle {c} outside every rollback bracket"
+                );
+            }
+        }
+    }
 }
 
 #[test]
