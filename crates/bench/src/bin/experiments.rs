@@ -37,7 +37,7 @@ use unxpec::experiments::{
 };
 use unxpec::telemetry::{MetricsHub, MetricsServer};
 use unxpec_bench::{timed_to, EXPERIMENTS};
-use unxpec_harness::{run_tasks_with, RunPolicy, TaskEvent, TaskOutcome};
+use unxpec_harness::{default_jobs, run_tasks_with, RunPolicy, TaskEvent, TaskOutcome};
 
 struct Options {
     scale: Scale,
@@ -53,7 +53,7 @@ fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut names: Vec<String> = Vec::new();
     let mut quick = false;
-    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut jobs = default_jobs();
     let mut root_seed = DEFAULT_ROOT_SEED;
     let mut csv_dir = None;
     let mut svg_dir = None;

@@ -1,0 +1,154 @@
+//! The long-running multi-tenant sweep service (see `docs/service.md`).
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-max-bytes N]
+//!       [--jobs N] [--retries N] [--deadline-ms N] [--backoff-ms N]
+//!       [--quarantine-after N] [--max-tenant-inflight N]
+//!       [--serve-metrics ADDR] [--once]
+//! ```
+//!
+//! Clients speak the line-delimited JSON protocol on `--addr`
+//! (default `127.0.0.1:9733`; port 0 picks an ephemeral port, printed
+//! on startup). With `--cache-dir`, every trial result is persisted
+//! under its cell digest and repeated cells are served from disk —
+//! byte-identical to a fresh run, across restarts. `--cache-max-bytes`
+//! bounds the cache with LRU eviction (0 = unbounded).
+//! `--serve-metrics` exposes `service.jobs.*`, `service.cache.*`, and
+//! per-tenant queue-latency histograms at `/metrics`. `--once` exits
+//! after the first idle moment with at least one job served (CI smoke
+//! mode); without it the server runs until killed.
+//!
+//! Exit codes: 0 clean shutdown, 2 on usage or bind errors.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use unxpec::telemetry::{MetricsHub, MetricsServer};
+use unxpec_harness::{default_jobs, Registry};
+use unxpec_service::{CacheConfig, Service, ServiceConfig, TcpFront};
+
+fn parsed<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs an integer, got {value:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:9733".to_string();
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_max_bytes: u64 = 0;
+    let mut serve_metrics: Option<String> = None;
+    let mut once = false;
+    let mut config = ServiceConfig {
+        jobs: default_jobs(),
+        ..ServiceConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--once" {
+            once = true;
+            continue;
+        }
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("{arg} needs an argument");
+            std::process::exit(2);
+        });
+        match arg.as_str() {
+            "--addr" => addr = value,
+            "--cache-dir" => cache_dir = Some(std::path::PathBuf::from(value)),
+            "--cache-max-bytes" => cache_max_bytes = parsed(&arg, &value),
+            "--jobs" => config.jobs = parsed(&arg, &value),
+            "--retries" => config.retries = parsed(&arg, &value),
+            "--deadline-ms" => config.deadline_ms = parsed(&arg, &value),
+            "--backoff-ms" => config.backoff_ms = parsed(&arg, &value),
+            "--quarantine-after" => config.quarantine_after = parsed(&arg, &value),
+            "--max-tenant-inflight" => config.max_tenant_inflight = parsed(&arg, &value),
+            "--serve-metrics" => serve_metrics = Some(value),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    config.cache = cache_dir.map(|dir| CacheConfig {
+        dir,
+        max_bytes: cache_max_bytes,
+    });
+
+    let mut metrics_server = None;
+    if let Some(metrics_addr) = &serve_metrics {
+        let hub = MetricsHub::new();
+        match MetricsServer::serve(metrics_addr, hub.clone()) {
+            Ok(s) => {
+                eprintln!("serving live metrics on http://{}/metrics", s.addr());
+                config.hub = Some(hub);
+                metrics_server = Some(s);
+            }
+            Err(e) => {
+                eprintln!("--serve-metrics {metrics_addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut service = match Service::new(Registry::builtin(), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("service: {e}");
+            std::process::exit(2);
+        }
+    };
+    service.start_worker();
+    let service = Arc::new(service);
+
+    let front = match TcpFront::start(Arc::clone(&service), &addr) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("sweep service listening on {}", front.addr());
+
+    if once {
+        // CI smoke mode: wait until at least one job was submitted and
+        // everything submitted so far has finished, then exit cleanly.
+        loop {
+            std::thread::sleep(Duration::from_millis(100));
+            if service_idle(&service) {
+                break;
+            }
+        }
+    } else {
+        // Run until killed; park the main thread cheaply.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    drop(front);
+    if let Some(s) = metrics_server.as_mut() {
+        s.shutdown();
+    }
+}
+
+/// Whether at least one job exists and none are open (smoke-mode stop
+/// condition). Uses only public service surface: probing job ids in
+/// submission order until one is unknown.
+fn service_idle(service: &Service) -> bool {
+    let mut any = false;
+    for n in 1u64.. {
+        match service.status(&format!("j{n}")) {
+            Ok(status) => {
+                any = true;
+                if !status.finished() {
+                    return false;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    any
+}

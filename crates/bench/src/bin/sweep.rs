@@ -41,13 +41,15 @@ use std::path::PathBuf;
 
 use unxpec::experiments::Scale;
 use unxpec::telemetry::{MetricsHub, MetricsServer};
-use unxpec_harness::{run_sweep, spec::parse_seed, Registry, SweepOptions, SweepSpec};
+use unxpec_harness::{
+    default_jobs, run_sweep, spec::parse_seed, Registry, SweepOptions, SweepSpec,
+};
 
 fn main() {
     let registry = Registry::builtin();
     let mut spec = SweepSpec::quick();
     let mut opts = SweepOptions {
-        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        jobs: default_jobs(),
         retries: 1,
         ..SweepOptions::default()
     };

@@ -1,0 +1,150 @@
+//! Command-line client for the sweep service (see `docs/service.md`).
+//!
+//! ```text
+//! sweep-client [--addr HOST:PORT] submit --tenant NAME (--spec FILE | --spec-text TEXT) [--wait]
+//! sweep-client [--addr HOST:PORT] status  JOB
+//! sweep-client [--addr HOST:PORT] results JOB [--out FILE]
+//! sweep-client [--addr HOST:PORT] cancel  JOB
+//! ```
+//!
+//! `submit` prints the job id; with `--wait` it streams progress to
+//! stderr and prints the deterministic result document to stdout when
+//! the job finishes. `results` prints (or writes) the same document
+//! for an already-finished job — two runs of the same spec produce
+//! byte-identical documents, whether computed or cache-served.
+//!
+//! Exit codes: 0 clean, 1 when the job finished with failed or skipped
+//! trials, 2 on usage, connection, or protocol errors.
+
+use unxpec_service::{Client, RemoteStatus, ServiceError};
+
+fn fail(e: ServiceError) -> ! {
+    eprintln!("sweep-client: {e}");
+    std::process::exit(2);
+}
+
+fn degraded_exit(status: &RemoteStatus) -> ! {
+    if status.failed + status.skipped > 0 {
+        eprintln!(
+            "job {} finished degraded: {} failed, {} skipped",
+            status.job, status.failed, status.skipped
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:9733".to_string();
+    let mut command: Option<String> = None;
+    let mut job: Option<String> = None;
+    let mut tenant = "default".to_string();
+    let mut spec_text: Option<String> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut wait = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => fail(ServiceError::Parse("--addr needs an argument".into())),
+            },
+            "--tenant" => match args.next() {
+                Some(v) => tenant = v,
+                None => fail(ServiceError::Parse("--tenant needs an argument".into())),
+            },
+            "--spec" => match args.next() {
+                Some(path) => match std::fs::read_to_string(&path) {
+                    Ok(text) => spec_text = Some(text),
+                    Err(e) => fail(ServiceError::Io(format!("read {path}: {e}"))),
+                },
+                None => fail(ServiceError::Parse("--spec needs a file".into())),
+            },
+            "--spec-text" => match args.next() {
+                Some(v) => spec_text = Some(v),
+                None => fail(ServiceError::Parse("--spec-text needs an argument".into())),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(std::path::PathBuf::from(v)),
+                None => fail(ServiceError::Parse("--out needs a file".into())),
+            },
+            "--wait" => wait = true,
+            "submit" | "status" | "results" | "cancel" => command = Some(arg),
+            other if command.is_some() && job.is_none() && !other.starts_with("--") => {
+                job = Some(other.to_string());
+            }
+            other => fail(ServiceError::Parse(format!("unknown argument {other:?}"))),
+        }
+    }
+
+    let Some(command) = command else {
+        eprintln!("usage: sweep-client [--addr HOST:PORT] submit|status|results|cancel ...");
+        std::process::exit(2);
+    };
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| fail(e));
+
+    match command.as_str() {
+        "submit" => {
+            let Some(spec) = spec_text else {
+                eprintln!("submit needs --spec FILE or --spec-text TEXT");
+                std::process::exit(2);
+            };
+            let submitted = client.submit(&tenant, &spec).unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "submitted job {} ({} trial(s)) as tenant {tenant}",
+                submitted.job, submitted.trials
+            );
+            if wait {
+                let status = client
+                    .stream(&submitted.job, |done, total| {
+                        eprintln!("progress {done}/{total}");
+                    })
+                    .unwrap_or_else(|e| fail(e));
+                let text = client.results(&submitted.job).unwrap_or_else(|e| fail(e));
+                print!("{text}");
+                degraded_exit(&status);
+            }
+            // Without --wait, stdout is just the job id for scripting.
+            println!("{}", submitted.job);
+        }
+        "status" => {
+            let Some(job) = job else {
+                eprintln!("status needs a job id");
+                std::process::exit(2);
+            };
+            let s = client.status(&job).unwrap_or_else(|e| fail(e));
+            println!(
+                "job {} total {} done {} cached {} failed {} skipped {} open {} finished {}",
+                s.job, s.total, s.done, s.cached, s.failed, s.skipped, s.open, s.finished
+            );
+        }
+        "results" => {
+            let Some(job) = job else {
+                eprintln!("results needs a job id");
+                std::process::exit(2);
+            };
+            let status = client.status(&job).unwrap_or_else(|e| fail(e));
+            let text = client.results(&job).unwrap_or_else(|e| fail(e));
+            match &out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &text) {
+                        fail(ServiceError::Io(format!("write {}: {e}", path.display())));
+                    }
+                    eprintln!("(wrote {})", path.display());
+                }
+                None => print!("{text}"),
+            }
+            degraded_exit(&status);
+        }
+        "cancel" => {
+            let Some(job) = job else {
+                eprintln!("cancel needs a job id");
+                std::process::exit(2);
+            };
+            let skipped = client.cancel(&job).unwrap_or_else(|e| fail(e));
+            println!("cancelled job {job}: {skipped} trial(s) skipped");
+        }
+        _ => std::process::exit(2),
+    }
+}

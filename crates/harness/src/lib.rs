@@ -41,6 +41,7 @@
 //!
 //! [`Span`]: unxpec_telemetry::Span
 
+pub mod digest;
 pub mod experiment;
 pub mod manifest;
 pub mod pool;
@@ -49,14 +50,16 @@ pub mod registry;
 pub mod spec;
 pub mod sweep;
 
+pub use digest::{canonical_digest, cell_digest, DIGEST_VERSION, SIMULATOR_VERSION};
 pub use experiment::{output_digest, Experiment, FnExperiment, TrialCtx, TrialOutput};
 pub use manifest::{CompletedTrial, Manifest, PoisonedTrial, QuarantinedTrial, TimedOutTrial};
 pub use pool::{
-    run_tasks, run_tasks_with, PoolStats, RunPolicy, TaskEvent, TaskOutcome, TaskTiming,
+    default_jobs, run_tasks, run_tasks_with, PoolStats, RunPolicy, TaskEvent, TaskOutcome,
+    TaskTiming,
 };
 pub use profiler::SelfProfiler;
 pub use registry::Registry;
 pub use spec::{SweepSpec, Trial};
 pub use sweep::{
-    run_sweep, Aggregate, SweepError, SweepOptions, SweepReport, TrialResult, WorkerLoad,
+    aggregate, run_sweep, Aggregate, SweepError, SweepOptions, SweepReport, TrialResult, WorkerLoad,
 };

@@ -24,6 +24,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+/// The default worker count for the sweep/experiments binaries and the
+/// service: the machine's available parallelism, clamped to `[1, 64]`.
+/// The upper clamp keeps a many-core box from spawning hundreds of
+/// workers whose injector contention outweighs their throughput;
+/// `--jobs` overrides it in both directions.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().clamp(1, 64))
+}
+
 /// What happened to one task.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TaskOutcome<T> {

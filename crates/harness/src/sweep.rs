@@ -633,8 +633,10 @@ fn write_diagnostics_bundle(
 }
 
 /// Groups completed trials by (experiment, variant) and summarizes
-/// each metric across the seed axis, all in enumeration order.
-fn aggregate(results: &[TrialResult]) -> Vec<Aggregate> {
+/// each metric across the seed axis, all in enumeration order. Public
+/// because the sweep service aggregates per-job results the same way —
+/// a cache-served job must render exactly like a freshly computed one.
+pub fn aggregate(results: &[TrialResult]) -> Vec<Aggregate> {
     let mut cells: Vec<(String, String)> = Vec::new();
     for r in results {
         let cell = (r.trial.experiment.clone(), r.trial.variant.clone());

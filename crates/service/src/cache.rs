@@ -1,0 +1,435 @@
+//! The persistent content-addressed result cache.
+//!
+//! Every trial result is stored under its [`cell_digest`] — a stable,
+//! versioned address covering exactly the inputs that determine the
+//! trial's output (see `unxpec_harness::digest`). A repeated cell, no
+//! matter which tenant submits it or when, is served from disk instead
+//! of re-simulated, and the served bytes are identical to a fresh run:
+//! rendered text verbatim, metric `f64`s through Rust's
+//! shortest-round-trip formatting, and the stored output digest
+//! re-verified on every read.
+//!
+//! Layout and durability:
+//!
+//! * **Sharded directories** — entry `key` lives at
+//!   `<dir>/<key % 256 as hex>/<key as 016x>.json`, keeping any single
+//!   directory small even at millions of entries.
+//! * **Atomic writes** — entries are written to a `.tmp` sibling and
+//!   renamed into place; a crash mid-write can never leave a torn
+//!   entry under the final name.
+//! * **Integrity checksum** — each entry carries an FNV-1a checksum
+//!   over every recorded field *and* the trial's output digest; a
+//!   bit-flipped or truncated entry fails validation on read, is
+//!   deleted, counts into [`CacheStats::corrupt`], and falls back to
+//!   re-simulation.
+//! * **LRU size bound** — the cache tracks total bytes and evicts
+//!   least-recently-used entries once `max_bytes` is exceeded (0 means
+//!   unbounded). Recency is in-memory; after a restart it resets to
+//!   key order until reads re-establish it.
+//!
+//! Diagnostics lines are *not* cached: they describe how a particular
+//! execution ran (fault schedules, telemetry tails), not what the cell
+//! computes, and they are excluded from the output digest for the same
+//! reason.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+
+use unxpec::experiments::seeding::fnv1a64;
+use unxpec_harness::{output_digest, TrialOutput};
+use unxpec_telemetry::json::{self, escape, Value};
+
+use crate::error::ServiceError;
+
+/// Where the cache lives and how big it may grow.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Root directory (created if absent).
+    pub dir: PathBuf,
+    /// Total size bound in bytes; 0 disables eviction.
+    pub max_bytes: u64,
+}
+
+/// Counters the service mirrors into `service.cache.*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Reads served from a valid entry.
+    pub hits: u64,
+    /// Reads that found no (valid) entry.
+    pub misses: u64,
+    /// Entries evicted by the LRU size bound.
+    pub evictions: u64,
+    /// Entries that failed checksum/digest validation and were dropped.
+    pub corrupt: u64,
+    /// Current total size of all entries, in bytes (a gauge).
+    pub bytes: u64,
+}
+
+/// The on-disk cache plus its in-memory index.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    max_bytes: u64,
+    /// key → entry file size.
+    sizes: HashMap<u64, u64>,
+    /// LRU order, oldest at the front.
+    order: VecDeque<u64>,
+    stats: CacheStats,
+}
+
+/// Entry-format version; bump on any layout change so old files read
+/// as corrupt instead of mis-parsing.
+const ENTRY_VERSION: u64 = 1;
+
+fn hex(v: u64) -> String {
+    format!("{v:#x}")
+}
+
+fn parse_hex(v: &Value) -> Option<u64> {
+    let s = v.as_str()?;
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+/// FNV-1a chain over every field of an entry, mixed with the output
+/// digest. This is what detects a flipped bit or a truncated file.
+fn entry_checksum(key: u64, digest: u64, output: &TrialOutput) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(ENTRY_VERSION);
+    mix(key);
+    mix(digest);
+    mix(u64::from(output.truncated));
+    mix(output.metrics.len() as u64);
+    for (name, value) in &output.metrics {
+        mix(fnv1a64(name));
+        mix(value.to_bits());
+    }
+    mix(fnv1a64(&output.rendered));
+    h
+}
+
+fn entry_json(key: u64, output: &TrialOutput) -> String {
+    let digest = output_digest(output);
+    let mut out = format!(
+        "{{\"v\": {ENTRY_VERSION}, \"key\": \"{}\", \"digest\": \"{}\", \"checksum\": \"{}\", ",
+        hex(key),
+        hex(digest),
+        hex(entry_checksum(key, digest, output))
+    );
+    if output.truncated {
+        out.push_str("\"truncated\": true, ");
+    }
+    out.push_str("\"metrics\": {");
+    for (i, (name, value)) in output.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", escape(name), value));
+    }
+    out.push_str(&format!(
+        "}}, \"rendered\": \"{}\"}}\n",
+        escape(&output.rendered)
+    ));
+    out
+}
+
+/// Parses and fully validates one entry file's text for `key`.
+fn parse_entry(key: u64, text: &str) -> Result<TrialOutput, String> {
+    let doc = json::parse(text)?;
+    if doc.get("v").and_then(Value::as_u64) != Some(ENTRY_VERSION) {
+        return Err("entry version mismatch".to_string());
+    }
+    if doc.get("key").and_then(parse_hex) != Some(key) {
+        return Err("entry key does not match its address".to_string());
+    }
+    let digest = doc
+        .get("digest")
+        .and_then(parse_hex)
+        .ok_or("entry missing digest")?;
+    let recorded = doc
+        .get("checksum")
+        .and_then(parse_hex)
+        .ok_or("entry missing checksum")?;
+    let rendered = doc
+        .get("rendered")
+        .and_then(Value::as_str)
+        .ok_or("entry missing rendered")?
+        .to_string();
+    let truncated = matches!(doc.get("truncated"), Some(Value::Bool(true)));
+    let mut metrics = Vec::new();
+    match doc.get("metrics") {
+        Some(Value::Obj(members)) => {
+            for (name, value) in members {
+                let v = value
+                    .as_f64()
+                    .ok_or_else(|| format!("metric {name:?} is not a number"))?;
+                metrics.push((name.clone(), v));
+            }
+        }
+        _ => return Err("entry missing metrics{}".to_string()),
+    }
+    let mut output = TrialOutput::new(rendered, vec![]).with_truncated(truncated);
+    output.metrics = metrics;
+    if entry_checksum(key, digest, &output) != recorded {
+        return Err("entry checksum mismatch".to_string());
+    }
+    if output_digest(&output) != digest {
+        return Err("entry output digest mismatch".to_string());
+    }
+    Ok(output)
+}
+
+impl ResultCache {
+    /// Opens (or creates) the cache at `config.dir` and indexes every
+    /// existing entry by filename. Contents are validated lazily, on
+    /// read — a corrupt entry costs its own miss, never the open.
+    pub fn open(config: &CacheConfig) -> Result<Self, ServiceError> {
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| ServiceError::Cache(format!("create {}: {e}", config.dir.display())))?;
+        let mut sizes = HashMap::new();
+        let shards = std::fs::read_dir(&config.dir)
+            .map_err(|e| ServiceError::Cache(format!("scan {}: {e}", config.dir.display())))?;
+        for shard in shards.flatten() {
+            if !shard.path().is_dir() {
+                continue;
+            }
+            let Ok(files) = std::fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let name = file.file_name();
+                let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
+                    continue; // leftover .tmp files and strangers are ignored
+                };
+                let Ok(key) = u64::from_str_radix(stem, 16) else {
+                    continue;
+                };
+                let size = file.metadata().map(|m| m.len()).unwrap_or(0);
+                sizes.insert(key, size);
+            }
+        }
+        // Restart recency: oldest-first in key order, re-established by
+        // reads as the cache warms back up.
+        let mut order: Vec<u64> = sizes.keys().copied().collect();
+        order.sort_unstable();
+        let bytes = sizes.values().sum();
+        Ok(ResultCache {
+            dir: config.dir.clone(),
+            max_bytes: config.max_bytes,
+            sizes,
+            order: order.into(),
+            stats: CacheStats {
+                bytes,
+                ..CacheStats::default()
+            },
+        })
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir
+            .join(format!("{:02x}", key & 0xff))
+            .join(format!("{key:016x}.json"))
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key);
+    }
+
+    fn forget(&mut self, key: u64) {
+        if let Some(size) = self.sizes.remove(&key) {
+            self.stats.bytes = self.stats.bytes.saturating_sub(size);
+        }
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+    }
+
+    /// Looks `key` up. A valid entry counts a hit and refreshes its
+    /// recency; a missing entry counts a miss; a corrupt entry counts
+    /// both a miss and [`CacheStats::corrupt`], and the damaged file is
+    /// deleted so the recomputed result can take its place.
+    pub fn get(&mut self, key: u64) -> Option<TrialOutput> {
+        if !self.sizes.contains_key(&key) {
+            self.stats.misses += 1;
+            return None;
+        }
+        let path = self.path_for(key);
+        let outcome = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read: {e}"))
+            .and_then(|text| parse_entry(key, &text));
+        match outcome {
+            Ok(output) => {
+                self.touch(key);
+                self.stats.hits += 1;
+                Some(output)
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&path);
+                self.forget(key);
+                self.stats.corrupt += 1;
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `output` under `key` (atomic temp + rename), then
+    /// enforces the size bound by evicting least-recently-used entries.
+    /// A single entry larger than the whole bound is kept — evicting it
+    /// would make the cell uncacheable forever.
+    pub fn put(&mut self, key: u64, output: &TrialOutput) -> Result<(), ServiceError> {
+        let text = entry_json(key, output);
+        let path = self.path_for(key);
+        let shard = path
+            .parent()
+            .ok_or_else(|| ServiceError::Cache("entry path has no shard dir".to_string()))?;
+        std::fs::create_dir_all(shard)
+            .map_err(|e| ServiceError::Cache(format!("create {}: {e}", shard.display())))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &text)
+            .map_err(|e| ServiceError::Cache(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            ServiceError::Cache(format!(
+                "rename {} -> {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })?;
+        self.forget(key); // replacing an entry must not double-count bytes
+        self.sizes.insert(key, text.len() as u64);
+        self.stats.bytes += text.len() as u64;
+        self.order.push_back(key);
+        while self.max_bytes > 0 && self.stats.bytes > self.max_bytes && self.order.len() > 1 {
+            let Some(oldest) = self.order.front().copied() else {
+                break;
+            };
+            let _ = std::fs::remove_file(self.path_for(oldest));
+            self.forget(oldest);
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str, max_bytes: u64) -> (CacheConfig, ResultCache) {
+        let dir = std::env::temp_dir().join(format!("unxpec-service-cache-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = CacheConfig { dir, max_bytes };
+        let cache = ResultCache::open(&config).expect("open cache");
+        (config, cache)
+    }
+
+    fn output(tag: &str) -> TrialOutput {
+        let mut o = TrialOutput::new(format!("rendered {tag}\nline two"), vec![]);
+        o.metrics = vec![("diff".into(), 22.5), ("neg".into(), -0.125)];
+        o
+    }
+
+    #[test]
+    fn round_trips_exactly_and_counts_hits() {
+        let (config, mut cache) = temp_cache("roundtrip", 0);
+        assert!(cache.get(7).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        let o = output("a");
+        cache.put(7, &o).expect("put");
+        let back = cache.get(7).expect("hit");
+        assert_eq!(back.rendered, o.rendered);
+        assert_eq!(back.metrics, o.metrics);
+        assert_eq!(output_digest(&back), output_digest(&o));
+        assert_eq!(cache.stats().hits, 1);
+        // A new process over the same directory sees the entry.
+        let mut reopened = ResultCache::open(&config).expect("reopen");
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(
+            reopened.get(7).expect("persistent hit").rendered,
+            o.rendered
+        );
+        std::fs::remove_dir_all(&config.dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_fall_back_to_miss_and_are_deleted() {
+        let (config, mut cache) = temp_cache("corrupt", 0);
+        cache.put(9, &output("x")).expect("put");
+        let path = cache.path_for(9);
+        let text = std::fs::read_to_string(&path).expect("entry exists");
+        std::fs::write(&path, text.replacen("22.5", "23.5", 1)).expect("tamper");
+        assert!(cache.get(9).is_none(), "flipped metric must not serve");
+        assert_eq!(cache.stats().corrupt, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!(!path.exists(), "damaged entry is deleted");
+        // The slot is reusable after the fallback recompute.
+        cache.put(9, &output("x")).expect("re-put");
+        assert!(cache.get(9).is_some());
+        std::fs::remove_dir_all(&config.dir).ok();
+    }
+
+    #[test]
+    fn lru_bound_evicts_oldest_first() {
+        let (config, mut cache) = temp_cache("lru", 400);
+        for key in 0..6u64 {
+            cache.put(key, &output(&format!("k{key}"))).expect("put");
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "tiny bound must evict");
+        assert!(stats.bytes <= 400, "bound holds: {} bytes", stats.bytes);
+        assert!(cache.get(5).is_some(), "newest entry survives");
+        assert!(cache.get(0).is_none(), "oldest entry was evicted");
+        std::fs::remove_dir_all(&config.dir).ok();
+    }
+
+    #[test]
+    fn a_get_refreshes_recency() {
+        let (config, mut cache) = temp_cache("recency", 0);
+        cache.put(1, &output("one")).expect("put");
+        cache.put(2, &output("two")).expect("put");
+        assert!(cache.get(1).is_some(), "refresh key 1");
+        // Shrink the bound by replacing entries until eviction: key 2 is
+        // now the least recently used and must go first.
+        cache.max_bytes = cache.stats().bytes; // exactly full
+        cache.put(3, &output("six")).expect("put evicts"); // same entry size as "one"/"two"
+        assert!(cache.get(2).is_none(), "LRU key 2 evicted");
+        assert!(cache.get(1).is_some(), "refreshed key 1 survives");
+        std::fs::remove_dir_all(&config.dir).ok();
+    }
+
+    #[test]
+    fn oversized_single_entry_is_kept() {
+        let (config, mut cache) = temp_cache("oversized", 10);
+        cache.put(1, &output("big")).expect("put");
+        assert_eq!(cache.len(), 1, "sole entry over the bound is kept");
+        assert!(cache.get(1).is_some());
+        std::fs::remove_dir_all(&config.dir).ok();
+    }
+}

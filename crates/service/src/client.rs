@@ -1,0 +1,173 @@
+//! A blocking client for the sweep service protocol.
+//!
+//! One TCP connection, line-delimited JSON both ways (see
+//! [`crate::protocol`]). The client is what the `sweep-client` binary
+//! and the integration tests speak; it never panics on malformed
+//! server output — everything surfaces as a [`ServiceError`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use unxpec_telemetry::json::Value;
+
+use crate::error::ServiceError;
+use crate::protocol::{parse_response, render_request, Request};
+
+/// What `submit` returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submitted {
+    /// Server-assigned job id.
+    pub job: String,
+    /// Enumerated trial count.
+    pub trials: u64,
+}
+
+/// Job counters as reported by `status` / the final `stream` line.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RemoteStatus {
+    /// Job id.
+    pub job: String,
+    /// Total trials.
+    pub total: u64,
+    /// Trials resolved with an output.
+    pub done: u64,
+    /// Of those, served from the cache (or coalesced).
+    pub cached: u64,
+    /// Failed trials.
+    pub failed: u64,
+    /// Skipped (cancelled) trials.
+    pub skipped: u64,
+    /// Trials still pending or running.
+    pub open: u64,
+    /// Whether every trial reached a terminal state.
+    pub finished: bool,
+}
+
+/// A connected client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn num(doc: &Value, field: &str) -> u64 {
+    doc.get(field).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn status_from(doc: &Value) -> RemoteStatus {
+    RemoteStatus {
+        job: doc
+            .get("job")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        total: num(doc, "total"),
+        done: num(doc, "done"),
+        cached: num(doc, "cached"),
+        failed: num(doc, "failed"),
+        skipped: num(doc, "skipped"),
+        open: num(doc, "open"),
+        finished: matches!(doc.get("finished"), Some(Value::Bool(true))),
+    }
+}
+
+impl Client {
+    /// Connects to a running service at `addr` (e.g. `127.0.0.1:9733`).
+    pub fn connect(addr: &str) -> Result<Client, ServiceError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServiceError::Io(e.to_string()))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        Ok(Client {
+            writer: stream,
+            reader: BufReader::new(reader),
+        })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Value, ServiceError> {
+        self.writer
+            .write_all(render_request(request).as_bytes())
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> Result<Value, ServiceError> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ServiceError::Io("server closed the connection".to_string()));
+        }
+        parse_response(line.trim_end())
+    }
+
+    /// Submits `spec` (harness `key=value` text) for `tenant`.
+    pub fn submit(&mut self, tenant: &str, spec: &str) -> Result<Submitted, ServiceError> {
+        let doc = self.round_trip(&Request::Submit {
+            tenant: tenant.to_string(),
+            spec: spec.to_string(),
+        })?;
+        let job = doc
+            .get("job")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServiceError::Parse("submit response missing job".to_string()))?
+            .to_string();
+        Ok(Submitted {
+            job,
+            trials: num(&doc, "trials"),
+        })
+    }
+
+    /// Fetches the job's counters.
+    pub fn status(&mut self, job: &str) -> Result<RemoteStatus, ServiceError> {
+        let doc = self.round_trip(&Request::Status {
+            job: job.to_string(),
+        })?;
+        Ok(status_from(&doc))
+    }
+
+    /// Streams progress until the job finishes; calls `on_progress`
+    /// with `(done, total)` per event and returns the final status.
+    pub fn stream(
+        &mut self,
+        job: &str,
+        mut on_progress: impl FnMut(u64, u64),
+    ) -> Result<RemoteStatus, ServiceError> {
+        self.writer
+            .write_all(
+                render_request(&Request::Stream {
+                    job: job.to_string(),
+                })
+                .as_bytes(),
+            )
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        loop {
+            let doc = self.read_line()?;
+            if doc.get("event").and_then(Value::as_str) == Some("progress") {
+                on_progress(num(&doc, "done"), num(&doc, "total"));
+                continue;
+            }
+            return Ok(status_from(&doc));
+        }
+    }
+
+    /// Fetches the deterministic result document of a finished job.
+    pub fn results(&mut self, job: &str) -> Result<String, ServiceError> {
+        let doc = self.round_trip(&Request::Results {
+            job: job.to_string(),
+        })?;
+        doc.get("text")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServiceError::Parse("results response missing text".to_string()))
+    }
+
+    /// Cancels the job's pending trials; returns how many were skipped.
+    pub fn cancel(&mut self, job: &str) -> Result<u64, ServiceError> {
+        let doc = self.round_trip(&Request::Cancel {
+            job: job.to_string(),
+        })?;
+        Ok(num(&doc, "skipped"))
+    }
+}

@@ -1,0 +1,113 @@
+//! The service's typed error path.
+//!
+//! Everything the socket layer, the protocol parser, and the cache can
+//! get wrong surfaces as a [`ServiceError`] — never a panic: the
+//! server must survive any byte stream a client sends it, and the
+//! crate's clippy deny tables (`disallowed_methods`/`disallowed_macros`)
+//! enforce that lib code has no `unwrap`/`expect`/`panic!` to reach.
+//!
+//! The binaries map errors onto the workspace's exit-code convention:
+//! `0` clean, `1` when a job finished degraded (poisoned / timed-out /
+//! quarantined / cancelled trials), `2` on usage, connection, or
+//! protocol errors.
+
+/// Why a service operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The listener could not bind its address.
+    Bind {
+        /// Address that failed to bind.
+        addr: String,
+        /// The I/O error text.
+        error: String,
+    },
+    /// Accepting a connection failed.
+    Accept(String),
+    /// Reading from or writing to a connection failed.
+    Io(String),
+    /// A request or response line was not valid protocol JSON.
+    Parse(String),
+    /// The peer speaks a different protocol version.
+    Version {
+        /// The version this build implements.
+        expected: u32,
+        /// The version the peer sent.
+        got: u64,
+    },
+    /// The request named an operation the protocol doesn't have.
+    UnknownOp(String),
+    /// The request named a job the server doesn't know.
+    UnknownJob(String),
+    /// The job still has open trials (`results` before completion).
+    NotFinished(String),
+    /// A submitted spec failed to parse or enumerate.
+    Spec(String),
+    /// The result cache could not be opened or written.
+    Cache(String),
+    /// The peer reported a failure (`{"ok": false, ...}`).
+    Remote(String),
+}
+
+impl ServiceError {
+    /// Stable machine-readable code carried in error responses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Bind { .. } => "bind",
+            ServiceError::Accept(_) => "accept",
+            ServiceError::Io(_) => "io",
+            ServiceError::Parse(_) => "parse",
+            ServiceError::Version { .. } => "version",
+            ServiceError::UnknownOp(_) => "unknown-op",
+            ServiceError::UnknownJob(_) => "unknown-job",
+            ServiceError::NotFinished(_) => "not-finished",
+            ServiceError::Spec(_) => "spec",
+            ServiceError::Cache(_) => "cache",
+            ServiceError::Remote(_) => "remote",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Bind { addr, error } => write!(f, "bind {addr}: {error}"),
+            ServiceError::Accept(e) => write!(f, "accept: {e}"),
+            ServiceError::Io(e) => write!(f, "connection: {e}"),
+            ServiceError::Parse(e) => write!(f, "protocol parse: {e}"),
+            ServiceError::Version { expected, got } => write!(
+                f,
+                "protocol version mismatch: peer speaks v{got}, this build speaks v{expected}"
+            ),
+            ServiceError::UnknownOp(op) => write!(f, "unknown op {op:?}"),
+            ServiceError::UnknownJob(job) => write!(f, "unknown job {job:?}"),
+            ServiceError::NotFinished(job) => {
+                write!(f, "job {job:?} still has open trials; wait or stream first")
+            }
+            ServiceError::Spec(e) => write!(f, "spec: {e}"),
+            ServiceError::Cache(e) => write!(f, "cache: {e}"),
+            ServiceError::Remote(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_messages_are_stable() {
+        let e = ServiceError::Version {
+            expected: 1,
+            got: 9,
+        };
+        assert_eq!(e.code(), "version");
+        assert!(e.to_string().contains("v9"));
+        assert_eq!(ServiceError::UnknownJob("j7".into()).code(), "unknown-job");
+        assert!(ServiceError::UnknownJob("j7".into())
+            .to_string()
+            .contains("j7"));
+    }
+}

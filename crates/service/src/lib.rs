@@ -1,0 +1,41 @@
+//! A multi-tenant sweep job server with a persistent content-addressed
+//! result cache.
+//!
+//! The crate turns the one-shot sweep harness (`unxpec-harness`) into a
+//! long-running service: many clients submit [`SweepSpec`] jobs over a
+//! line-delimited JSON TCP protocol, a fair-share scheduler slices
+//! their trials onto the harness's work-stealing pool round-robin
+//! across tenants, and every trial result is keyed by a stable
+//! [`cell_digest`](unxpec_harness::cell_digest) and persisted in an
+//! on-disk cache — a repeated cell is a cache hit whose results are
+//! byte-identical to a fresh run, across server restarts.
+//!
+//! Layering:
+//!
+//! * [`protocol`] — the wire format (`submit`/`status`/`results`/
+//!   `stream`/`cancel`, versioned, typed errors).
+//! * [`cache`] — the sharded, checksummed, LRU-bounded result store.
+//! * [`server`] — the scheduler, the [`Service`] API, and the
+//!   [`TcpFront`] listener.
+//! * [`client`] — the blocking client the `sweep-client` binary uses.
+//!
+//! Everything is std-only and panic-free (clippy deny tables ban
+//! `unwrap`/`expect`/`panic!` in lib code); failures surface as
+//! [`ServiceError`] and map onto the workspace's 0/1/2 exit-code
+//! convention in the binaries.
+//!
+//! [`SweepSpec`]: unxpec_harness::SweepSpec
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheConfig, CacheStats, ResultCache};
+pub use client::{Client, RemoteStatus, Submitted};
+pub use error::ServiceError;
+pub use protocol::{parse_request, parse_response, render_request, Request, PROTOCOL_VERSION};
+pub use server::{JobStatus, Service, ServiceConfig, TcpFront};

@@ -1,0 +1,219 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line (the `stream` op sends
+//! several lines, ending with a `"done"` event). Every request carries
+//! an explicit `"v"` field so version skew fails with a typed
+//! [`ServiceError::Version`] instead of a confusing parse error.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"v": 1, "op": "submit",  "tenant": "alice", "spec": "scale=quick\nexperiments=timing"}
+//! {"v": 1, "op": "status",  "job": "j1"}
+//! {"v": 1, "op": "results", "job": "j1"}
+//! {"v": 1, "op": "stream",  "job": "j1"}
+//! {"v": 1, "op": "cancel",  "job": "j1"}
+//! ```
+//!
+//! Responses are `{"ok": true, ...}` on success and
+//! `{"ok": false, "code": "<ServiceError code>", "error": "..."}` on
+//! failure. The `results` payload contains only deterministic content
+//! (trial keys, digests, metrics, rendered text in enumeration order),
+//! which is what makes cache-served results byte-identical to a fresh
+//! run; execution metadata (timings, cached counts) lives in `status`.
+
+use unxpec_telemetry::json::{self, escape, Value};
+
+use crate::error::ServiceError;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a sweep: the spec is the harness's `key=value` text.
+    Submit {
+        /// Tenant the job is accounted to (fair-share scheduling key).
+        tenant: String,
+        /// `SweepSpec::parse` input.
+        spec: String,
+    },
+    /// Job progress and execution metadata.
+    Status {
+        /// Job id as returned by submit.
+        job: String,
+    },
+    /// Deterministic result payload for a finished job.
+    Results {
+        /// Job id as returned by submit.
+        job: String,
+    },
+    /// Progress events until the job finishes.
+    Stream {
+        /// Job id as returned by submit.
+        job: String,
+    },
+    /// Cancel a job's pending trials.
+    Cancel {
+        /// Job id as returned by submit.
+        job: String,
+    },
+}
+
+fn field<'a>(doc: &'a Value, name: &str) -> Result<&'a str, ServiceError> {
+    doc.get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServiceError::Parse(format!("request missing string field {name:?}")))
+}
+
+/// Parses one request line, enforcing the protocol version first.
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let doc = json::parse(line).map_err(ServiceError::Parse)?;
+    let got = doc
+        .get("v")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServiceError::Parse("request missing version field \"v\"".to_string()))?;
+    if got != u64::from(PROTOCOL_VERSION) {
+        return Err(ServiceError::Version {
+            expected: PROTOCOL_VERSION,
+            got,
+        });
+    }
+    let op = field(&doc, "op")?;
+    match op {
+        "submit" => Ok(Request::Submit {
+            tenant: field(&doc, "tenant")?.to_string(),
+            spec: field(&doc, "spec")?.to_string(),
+        }),
+        "status" => Ok(Request::Status {
+            job: field(&doc, "job")?.to_string(),
+        }),
+        "results" => Ok(Request::Results {
+            job: field(&doc, "job")?.to_string(),
+        }),
+        "stream" => Ok(Request::Stream {
+            job: field(&doc, "job")?.to_string(),
+        }),
+        "cancel" => Ok(Request::Cancel {
+            job: field(&doc, "job")?.to_string(),
+        }),
+        other => Err(ServiceError::UnknownOp(other.to_string())),
+    }
+}
+
+/// Renders a request line (the client side of [`parse_request`]).
+pub fn render_request(request: &Request) -> String {
+    match request {
+        Request::Submit { tenant, spec } => format!(
+            "{{\"v\": {PROTOCOL_VERSION}, \"op\": \"submit\", \"tenant\": \"{}\", \"spec\": \"{}\"}}\n",
+            escape(tenant),
+            escape(spec)
+        ),
+        Request::Status { job } => op_line("status", job),
+        Request::Results { job } => op_line("results", job),
+        Request::Stream { job } => op_line("stream", job),
+        Request::Cancel { job } => op_line("cancel", job),
+    }
+}
+
+fn op_line(op: &str, job: &str) -> String {
+    format!(
+        "{{\"v\": {PROTOCOL_VERSION}, \"op\": \"{op}\", \"job\": \"{}\"}}\n",
+        escape(job)
+    )
+}
+
+/// The error-response line for `error`.
+pub fn error_response(error: &ServiceError) -> String {
+    format!(
+        "{{\"ok\": false, \"code\": \"{}\", \"error\": \"{}\"}}\n",
+        error.code(),
+        escape(&error.to_string())
+    )
+}
+
+/// Parses one response line; `{"ok": false}` becomes
+/// [`ServiceError::Remote`] carrying the server's message.
+pub fn parse_response(line: &str) -> Result<Value, ServiceError> {
+    let doc = json::parse(line).map_err(ServiceError::Parse)?;
+    match doc.get("ok") {
+        Some(Value::Bool(true)) => Ok(doc),
+        Some(Value::Bool(false)) => {
+            let code = doc.get("code").and_then(Value::as_str).unwrap_or("remote");
+            let message = doc
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified failure");
+            Err(ServiceError::Remote(format!("[{code}] {message}")))
+        }
+        _ => Ok(doc), // stream events carry no "ok" field
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit {
+                tenant: "alice".into(),
+                spec: "scale=quick\nexperiments=timing".into(),
+            },
+            Request::Status { job: "j1".into() },
+            Request::Results { job: "j2".into() },
+            Request::Stream { job: "j3".into() },
+            Request::Cancel { job: "j4".into() },
+        ];
+        for req in reqs {
+            let line = render_request(&req);
+            assert_eq!(parse_request(line.trim_end()).expect("parse"), req);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let err = parse_request("{\"v\": 2, \"op\": \"status\", \"job\": \"j1\"}")
+            .expect_err("must reject");
+        assert_eq!(err.code(), "version");
+        assert!(matches!(
+            err,
+            ServiceError::Version {
+                expected: 1,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn garbage_and_unknown_ops_are_typed() {
+        assert_eq!(
+            parse_request("not json").expect_err("parse").code(),
+            "parse"
+        );
+        assert_eq!(
+            parse_request("{\"v\": 1, \"op\": \"frobnicate\"}")
+                .expect_err("op")
+                .code(),
+            "unknown-op"
+        );
+        assert_eq!(
+            parse_request("{\"v\": 1, \"op\": \"submit\", \"tenant\": \"t\"}")
+                .expect_err("missing spec")
+                .code(),
+            "parse"
+        );
+    }
+
+    #[test]
+    fn error_responses_surface_as_remote() {
+        let line = error_response(&ServiceError::UnknownJob("j9".into()));
+        let err = parse_response(line.trim_end()).expect_err("remote");
+        assert_eq!(err.code(), "remote");
+        assert!(err.to_string().contains("unknown-job"));
+        assert!(err.to_string().contains("j9"));
+    }
+}

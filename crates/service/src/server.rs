@@ -1,0 +1,997 @@
+//! The multi-tenant sweep job server.
+//!
+//! [`Service`] owns the job table, the fair-share scheduler, and the
+//! result cache. Clients submit [`SweepSpec`]s (as the harness's
+//! `key=value` text); the scheduler slices pending trials into batches
+//! for the harness's work-stealing pool, round-robining across
+//! *tenants* so one tenant's thousand-trial sweep cannot starve
+//! another's smoke test:
+//!
+//! * Each scheduling tick walks tenants in first-appearance order,
+//!   starting one past the tenant that got the previous slot, and takes
+//!   at most one trial per visit — dispatch order interleaves tenants
+//!   even when their queue depths differ by orders of magnitude.
+//! * Per-tenant concurrency inside a batch is additionally bounded by
+//!   [`ServiceConfig::max_tenant_inflight`].
+//! * Every candidate trial is first looked up in the
+//!   [`ResultCache`] by its [`cell_digest`]; a hit resolves without
+//!   consuming a pool slot. Identical cells *within* one batch are
+//!   coalesced: one execution, every waiter shares the output.
+//! * Failure handling reuses the sweep harness's machinery — the pool's
+//!   retry/deadline/backoff [`RunPolicy`], plus cell-level quarantine
+//!   after repeated poisonings so a deterministic panic cannot eat the
+//!   retry budget of every tenant that submits it.
+//!
+//! The scheduler runs either on a background worker thread
+//! ([`Service::start_worker`]) or manually ([`Service::tick`]), which is
+//! how tests drive it deterministically. [`TcpFront`] is the
+//! line-delimited JSON listener described in [`crate::protocol`].
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use unxpec::experiments::Scale;
+use unxpec_harness::{
+    aggregate, cell_digest, default_jobs, output_digest, run_tasks_with, Registry, RunPolicy,
+    SweepSpec, TaskOutcome, Trial, TrialCtx, TrialOutput, TrialResult, DIGEST_VERSION,
+    SIMULATOR_VERSION,
+};
+use unxpec_telemetry::MetricsHub;
+
+use crate::cache::{CacheConfig, CacheStats, ResultCache};
+use crate::error::ServiceError;
+use crate::protocol::{self, Request};
+
+/// Everything the service is configured with.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pool worker threads per batch.
+    pub jobs: usize,
+    /// Retries per panicking trial.
+    pub retries: u32,
+    /// Per-trial wall-clock budget in ms; 0 = unbounded.
+    pub deadline_ms: u64,
+    /// Base retry backoff in ms (doubling, capped at 2 s).
+    pub backoff_ms: u64,
+    /// Poison/timeout count after which a cell is quarantined; 0
+    /// disables quarantine.
+    pub quarantine_after: u32,
+    /// Max trials one tenant may hold in a single batch; 0 = no bound
+    /// beyond the batch size itself.
+    pub max_tenant_inflight: usize,
+    /// Result cache location and bound; `None` runs cacheless.
+    pub cache: Option<CacheConfig>,
+    /// Live metrics sink (`service.*` names); `None` disables.
+    pub hub: Option<MetricsHub>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            jobs: default_jobs(),
+            retries: 1,
+            deadline_ms: 0,
+            backoff_ms: 0,
+            quarantine_after: 3,
+            max_tenant_inflight: 0,
+            cache: None,
+            hub: None,
+        }
+    }
+}
+
+/// One trial's lifecycle inside a job.
+#[derive(Debug, Clone, PartialEq)]
+enum Slot {
+    Pending,
+    Running,
+    Done {
+        output: TrialOutput,
+        digest: u64,
+        cached: bool,
+    },
+    Failed {
+        kind: &'static str,
+        error: String,
+        attempts: u32,
+    },
+    Skipped,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    id: String,
+    tenant: String,
+    spec: SweepSpec,
+    trials: Vec<Trial>,
+    cells: Vec<u64>,
+    slots: Vec<Slot>,
+    submitted: Instant,
+    cancelled: bool,
+    /// Whether the job's completion was already counted into metrics.
+    counted: bool,
+}
+
+impl JobEntry {
+    fn finished(&self) -> bool {
+        !self
+            .slots
+            .iter()
+            .any(|s| matches!(s, Slot::Pending | Slot::Running))
+    }
+
+    fn next_pending(&self) -> Option<usize> {
+        self.slots.iter().position(|s| matches!(s, Slot::Pending))
+    }
+}
+
+/// A point-in-time view of one job, as returned by [`Service::status`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Job id (`"j1"`, `"j2"`, …).
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Total enumerated trials.
+    pub total: usize,
+    /// Trials resolved with an output.
+    pub done: usize,
+    /// Of those, trials served from the cache (or coalesced).
+    pub cached: usize,
+    /// Trials that failed (poisoned / timed out / quarantined).
+    pub failed: usize,
+    /// Trials skipped by cancellation.
+    pub skipped: usize,
+    /// Trials still pending or running.
+    pub open: usize,
+    /// Whether the job was cancelled.
+    pub cancelled: bool,
+}
+
+impl JobStatus {
+    /// Whether every trial has reached a terminal slot.
+    pub fn finished(&self) -> bool {
+        self.open == 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct SchedulerState {
+    jobs: Vec<JobEntry>,
+    next_job: u64,
+    /// Tenants in first-appearance order — the round-robin ring.
+    tenants: Vec<String>,
+    /// Ring index of the tenant that gets the *next* slot.
+    rr: usize,
+    /// `(tenant, trial key)` per pool dispatch, in dispatch order. The
+    /// fairness tests read this; it is capped so a long-lived server
+    /// doesn't grow without bound.
+    dispatch_log: Vec<(String, String)>,
+    /// Consecutive poison/timeout count per cell digest.
+    cell_failures: HashMap<u64, u32>,
+    /// Cells quarantined after repeated failures.
+    quarantined: std::collections::HashSet<u64>,
+    shutdown: bool,
+}
+
+const DISPATCH_LOG_CAP: usize = 4096;
+
+struct Inner {
+    state: Mutex<SchedulerState>,
+    /// Wakes the worker thread on submissions and shutdown.
+    wake: Condvar,
+    /// Signals job completion to `wait`ers.
+    done: Condvar,
+    registry: Registry,
+    config: ServiceConfig,
+    cache: Option<Mutex<ResultCache>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The job server. Cheap to share: clones of the `Arc` inside
+/// [`TcpFront`] and the worker thread all point at one scheduler.
+pub struct Service {
+    inner: Arc<Inner>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// What one pool task carries back: the experiment output, or the
+/// (unreachable post-enumeration) registry miss.
+type TaskValue = Result<TrialOutput, String>;
+
+struct BatchItem {
+    job: usize,
+    slot: usize,
+    cell: u64,
+    experiment: String,
+    variant: String,
+    seed: u64,
+    scale: Scale,
+}
+
+impl Service {
+    /// Builds a service over `registry`, opening the cache if one is
+    /// configured. No scheduler runs yet: call [`Service::start_worker`]
+    /// for a live server or [`Service::tick`] from tests.
+    pub fn new(registry: Registry, config: ServiceConfig) -> Result<Self, ServiceError> {
+        let cache = match &config.cache {
+            Some(cache_config) => Some(Mutex::new(ResultCache::open(cache_config)?)),
+            None => None,
+        };
+        let service = Service {
+            inner: Arc::new(Inner {
+                state: Mutex::new(SchedulerState::default()),
+                wake: Condvar::new(),
+                done: Condvar::new(),
+                registry,
+                config,
+                cache,
+            }),
+            worker: None,
+        };
+        service.publish_cache_stats();
+        Ok(service)
+    }
+
+    /// Spawns the background scheduler thread. Idempotent per service:
+    /// a second call is ignored.
+    pub fn start_worker(&mut self) {
+        if self.worker.is_some() {
+            return;
+        }
+        let inner = Arc::clone(&self.inner);
+        let spawned = std::thread::Builder::new()
+            .name("sweep-scheduler".to_string())
+            .spawn(move || loop {
+                let progressed = Inner::tick(&inner) > 0;
+                let mut st = lock(&inner.state);
+                if st.shutdown {
+                    break;
+                }
+                if !progressed && !Inner::has_pending(&st) {
+                    // Timed wait: a missed notify costs 50 ms, not a hang.
+                    let (guard, _) = inner
+                        .wake
+                        .wait_timeout(st, Duration::from_millis(50))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = guard;
+                }
+                drop(st);
+            });
+        if let Ok(handle) = spawned {
+            self.worker = Some(handle);
+        }
+    }
+
+    /// Parses and enumerates `spec_text` for `tenant`, queues the job,
+    /// and returns `(job id, trial count)`.
+    pub fn submit(&self, tenant: &str, spec_text: &str) -> Result<(String, usize), ServiceError> {
+        let spec = SweepSpec::parse(spec_text).map_err(|e| ServiceError::Spec(format!("{e:?}")))?;
+        let trials = spec
+            .enumerate(&self.inner.registry)
+            .map_err(|e| ServiceError::Spec(format!("{e:?}")))?;
+        let cells: Vec<u64> = trials
+            .iter()
+            .map(|t| cell_digest(&spec, &t.experiment, &t.variant, t.seed_index))
+            .collect();
+        let n = trials.len();
+        let mut st = lock(&self.inner.state);
+        st.next_job += 1;
+        let id = format!("j{}", st.next_job);
+        if !st.tenants.iter().any(|t| t == tenant) {
+            st.tenants.push(tenant.to_string());
+        }
+        st.jobs.push(JobEntry {
+            id: id.clone(),
+            tenant: tenant.to_string(),
+            spec,
+            trials,
+            cells,
+            slots: vec![Slot::Pending; n],
+            submitted: Instant::now(),
+            cancelled: false,
+            counted: false,
+        });
+        drop(st);
+        self.hub_inc("service.jobs.submitted", 1);
+        self.inner.wake.notify_all();
+        // Zero-trial jobs are born finished; tell any waiter.
+        if n == 0 {
+            self.inner.done.notify_all();
+        }
+        Ok((id, n))
+    }
+
+    /// One scheduling pass: resolve what the cache can, run one pool
+    /// batch for the rest. Returns the number of trials that reached a
+    /// terminal slot (0 = nothing to do). Public so tests can drive
+    /// the scheduler deterministically without the worker thread.
+    pub fn tick(&self) -> usize {
+        Inner::tick(&self.inner)
+    }
+
+    /// The job's current counters.
+    pub fn status(&self, job: &str) -> Result<JobStatus, ServiceError> {
+        let st = lock(&self.inner.state);
+        let entry = Inner::find(&st, job)?;
+        Ok(Inner::status_of(entry))
+    }
+
+    /// Blocks until `job` finishes (or `timeout` passes); returns the
+    /// final status.
+    pub fn wait(&self, job: &str, timeout: Duration) -> Result<JobStatus, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.inner.state);
+        loop {
+            let status = Inner::status_of(Inner::find(&st, job)?);
+            if status.finished() {
+                return Ok(status);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(status);
+            }
+            let step = (deadline - now).min(Duration::from_millis(50));
+            let (guard, _) = self
+                .inner
+                .done
+                .wait_timeout(st, step)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Marks every pending trial of `job` skipped. Running trials
+    /// finish their current attempt. Returns the number skipped.
+    pub fn cancel(&self, job: &str) -> Result<usize, ServiceError> {
+        let mut st = lock(&self.inner.state);
+        let index = st
+            .jobs
+            .iter()
+            .position(|j| j.id == job)
+            .ok_or_else(|| ServiceError::UnknownJob(job.to_string()))?;
+        let entry = &mut st.jobs[index];
+        entry.cancelled = true;
+        let mut skipped = 0;
+        for slot in &mut entry.slots {
+            if matches!(slot, Slot::Pending) {
+                *slot = Slot::Skipped;
+                skipped += 1;
+            }
+        }
+        let finished = entry.finished();
+        drop(st);
+        self.hub_inc("service.jobs.cancelled", 1);
+        if finished {
+            self.inner.done.notify_all();
+        }
+        Ok(skipped)
+    }
+
+    /// The deterministic result document for a finished job — see
+    /// [`render_results`]. Errors if the job still has open trials.
+    pub fn results(&self, job: &str) -> Result<String, ServiceError> {
+        let st = lock(&self.inner.state);
+        let entry = Inner::find(&st, job)?;
+        if !entry.finished() {
+            return Err(ServiceError::NotFinished(job.to_string()));
+        }
+        Ok(render_results(entry))
+    }
+
+    /// The `(tenant, trial key)` pool-dispatch sequence, for fairness
+    /// assertions and debugging.
+    pub fn dispatch_log(&self) -> Vec<(String, String)> {
+        lock(&self.inner.state).dispatch_log.clone()
+    }
+
+    /// Cache counters, if a cache is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.inner.cache.as_ref().map(|c| lock(c).stats())
+    }
+
+    /// Stops the worker thread (if running). Called by `Drop`.
+    pub fn shutdown(&mut self) {
+        lock(&self.inner.state).shutdown = true;
+        self.inner.wake.notify_all();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn hub_inc(&self, name: &str, by: u64) {
+        if let Some(hub) = &self.inner.config.hub {
+            hub.inc(name, by);
+        }
+    }
+
+    fn publish_cache_stats(&self) {
+        Inner::publish_cache_stats(&self.inner);
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn find<'a>(st: &'a SchedulerState, job: &str) -> Result<&'a JobEntry, ServiceError> {
+        st.jobs
+            .iter()
+            .find(|j| j.id == job)
+            .ok_or_else(|| ServiceError::UnknownJob(job.to_string()))
+    }
+
+    fn status_of(entry: &JobEntry) -> JobStatus {
+        let mut status = JobStatus {
+            id: entry.id.clone(),
+            tenant: entry.tenant.clone(),
+            total: entry.slots.len(),
+            done: 0,
+            cached: 0,
+            failed: 0,
+            skipped: 0,
+            open: 0,
+            cancelled: entry.cancelled,
+        };
+        for slot in &entry.slots {
+            match slot {
+                Slot::Pending | Slot::Running => status.open += 1,
+                Slot::Done { cached, .. } => {
+                    status.done += 1;
+                    if *cached {
+                        status.cached += 1;
+                    }
+                }
+                Slot::Failed { .. } => status.failed += 1,
+                Slot::Skipped => status.skipped += 1,
+            }
+        }
+        status
+    }
+
+    fn has_pending(st: &SchedulerState) -> bool {
+        st.jobs.iter().any(|j| j.next_pending().is_some())
+    }
+
+    fn publish_cache_stats(inner: &Arc<Inner>) {
+        let (Some(hub), Some(cache)) = (&inner.config.hub, &inner.cache) else {
+            return;
+        };
+        let stats = lock(cache).stats();
+        hub.update(|m| {
+            m.set("service.cache.hits", stats.hits);
+            m.set("service.cache.misses", stats.misses);
+            m.set("service.cache.evictions", stats.evictions);
+            m.set("service.cache.corrupt", stats.corrupt);
+            m.set("service.cache.bytes", stats.bytes);
+        });
+    }
+
+    /// One scheduling pass. See [`Service::tick`].
+    fn tick(inner: &Arc<Inner>) -> usize {
+        let mut st = lock(&inner.state);
+        if st.shutdown {
+            return 0;
+        }
+        let batch_cap = inner.config.jobs.max(1);
+        let tenant_cap = if inner.config.max_tenant_inflight == 0 {
+            usize::MAX
+        } else {
+            inner.config.max_tenant_inflight
+        };
+        let mut batch: Vec<BatchItem> = Vec::new();
+        let mut waiters: HashMap<u64, Vec<(usize, usize)>> = HashMap::new();
+        let mut inflight: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut per_tenant: HashMap<String, usize> = HashMap::new();
+        let mut resolved = 0usize;
+        let mut cache_hits = 0u64;
+        let mut quarantine_drops = 0u64;
+
+        loop {
+            let n_tenants = st.tenants.len();
+            if n_tenants == 0 || batch.len() >= batch_cap {
+                break;
+            }
+            // One pass over the tenant ring, starting at `rr`, taking
+            // at most one trial per tenant per visit. The start is
+            // fixed before the pass: `rr` itself advances per dispatch.
+            let start = st.rr;
+            let mut progressed = false;
+            for offset in 0..n_tenants {
+                let ring = (start + offset) % n_tenants;
+                let tenant = st.tenants[ring].clone();
+                if *per_tenant.get(&tenant).unwrap_or(&0) >= tenant_cap {
+                    continue;
+                }
+                let found = st.jobs.iter().enumerate().find_map(|(i, j)| {
+                    if j.tenant == tenant {
+                        j.next_pending().map(|s| (i, s))
+                    } else {
+                        None
+                    }
+                });
+                let Some((job_idx, slot_idx)) = found else {
+                    continue;
+                };
+                progressed = true;
+                let cell = st.jobs[job_idx].cells[slot_idx];
+                if st.quarantined.contains(&cell) {
+                    st.jobs[job_idx].slots[slot_idx] = Slot::Failed {
+                        kind: "quarantined",
+                        error: "cell quarantined after repeated failures".to_string(),
+                        attempts: 0,
+                    };
+                    resolved += 1;
+                    quarantine_drops += 1;
+                } else if let Some(output) = inner.cache.as_ref().and_then(|c| lock(c).get(cell)) {
+                    let digest = output_digest(&output);
+                    st.jobs[job_idx].slots[slot_idx] = Slot::Done {
+                        output,
+                        digest,
+                        cached: true,
+                    };
+                    resolved += 1;
+                    cache_hits += 1;
+                } else if inflight.contains(&cell) {
+                    // Same cell already executing in this batch: share
+                    // the leader's output instead of re-running it.
+                    st.jobs[job_idx].slots[slot_idx] = Slot::Running;
+                    waiters.entry(cell).or_default().push((job_idx, slot_idx));
+                } else {
+                    let entry = &mut st.jobs[job_idx];
+                    entry.slots[slot_idx] = Slot::Running;
+                    let trial = &entry.trials[slot_idx];
+                    let queued_us = entry.submitted.elapsed().as_micros() as u64;
+                    let key = trial.key.clone();
+                    batch.push(BatchItem {
+                        job: job_idx,
+                        slot: slot_idx,
+                        cell,
+                        experiment: trial.experiment.clone(),
+                        variant: trial.variant.clone(),
+                        seed: trial.seed,
+                        scale: entry.spec.scale,
+                    });
+                    inflight.insert(cell);
+                    *per_tenant.entry(tenant.clone()).or_insert(0) += 1;
+                    if st.dispatch_log.len() < DISPATCH_LOG_CAP {
+                        st.dispatch_log.push((tenant.clone(), key));
+                    }
+                    if let Some(hub) = &inner.config.hub {
+                        hub.observe(
+                            &format!("service.tenant.{tenant}.queue_latency_us"),
+                            queued_us,
+                        );
+                    }
+                }
+                // This tenant consumed the turn either way; the next
+                // slot goes to the tenant after it.
+                st.rr = (ring + 1) % n_tenants;
+                if batch.len() >= batch_cap {
+                    break;
+                }
+            }
+            // Every pass either consumed at least one pending trial
+            // (progressed) or proved there is nothing dispatchable.
+            if !progressed {
+                break;
+            }
+        }
+        drop(st);
+
+        let mut puts: Vec<(u64, TrialOutput)> = Vec::new();
+        let executed = batch.len();
+        if executed > 0 {
+            let policy = RunPolicy {
+                retries: inner.config.retries,
+                deadline: (inner.config.deadline_ms > 0)
+                    .then(|| Duration::from_millis(inner.config.deadline_ms)),
+                backoff_base: Duration::from_millis(inner.config.backoff_ms),
+                backoff_cap: Duration::from_secs(2),
+            };
+            let registry = &inner.registry;
+            let (outcomes, _timings, _stats) = run_tasks_with(
+                inner.config.jobs,
+                executed,
+                &policy,
+                |index| -> TaskValue {
+                    let item = &batch[index];
+                    let experiment = registry
+                        .get(&item.experiment)
+                        .ok_or_else(|| format!("experiment {:?} vanished", item.experiment))?;
+                    Ok(experiment.run(&TrialCtx {
+                        seed: item.seed,
+                        scale: item.scale,
+                        variant: item.variant.clone(),
+                    }))
+                },
+                |_event| {},
+            );
+
+            let mut st = lock(&inner.state);
+            let mut coalesced = 0u64;
+            let mut poisoned = 0u64;
+            let mut timed_out = 0u64;
+            for (index, outcome) in outcomes.into_iter().enumerate() {
+                let item = &batch[index];
+                let fan_out = waiters.remove(&item.cell).unwrap_or_default();
+                match outcome {
+                    TaskOutcome::Done {
+                        value: Ok(output),
+                        attempts: _,
+                    } => {
+                        let digest = output_digest(&output);
+                        st.cell_failures.remove(&item.cell);
+                        for &(job_idx, slot_idx) in &fan_out {
+                            st.jobs[job_idx].slots[slot_idx] = Slot::Done {
+                                output: output.clone(),
+                                digest,
+                                cached: true,
+                            };
+                            coalesced += 1;
+                        }
+                        puts.push((item.cell, output.clone()));
+                        st.jobs[item.job].slots[item.slot] = Slot::Done {
+                            output,
+                            digest,
+                            cached: false,
+                        };
+                    }
+                    TaskOutcome::Done {
+                        value: Err(error), ..
+                    } => {
+                        for &(job_idx, slot_idx) in &fan_out {
+                            st.jobs[job_idx].slots[slot_idx] = Slot::Failed {
+                                kind: "spec",
+                                error: error.clone(),
+                                attempts: 1,
+                            };
+                        }
+                        st.jobs[item.job].slots[item.slot] = Slot::Failed {
+                            kind: "spec",
+                            error,
+                            attempts: 1,
+                        };
+                    }
+                    TaskOutcome::Poisoned { error, attempts } => {
+                        poisoned += 1;
+                        Self::record_failure(&mut st, inner, item.cell);
+                        for &(job_idx, slot_idx) in &fan_out {
+                            st.jobs[job_idx].slots[slot_idx] = Slot::Failed {
+                                kind: "poisoned",
+                                error: error.clone(),
+                                attempts,
+                            };
+                        }
+                        st.jobs[item.job].slots[item.slot] = Slot::Failed {
+                            kind: "poisoned",
+                            error,
+                            attempts,
+                        };
+                    }
+                    TaskOutcome::TimedOut { error, attempts } => {
+                        timed_out += 1;
+                        Self::record_failure(&mut st, inner, item.cell);
+                        for &(job_idx, slot_idx) in &fan_out {
+                            st.jobs[job_idx].slots[slot_idx] = Slot::Failed {
+                                kind: "timed-out",
+                                error: error.clone(),
+                                attempts,
+                            };
+                        }
+                        st.jobs[item.job].slots[item.slot] = Slot::Failed {
+                            kind: "timed-out",
+                            error,
+                            attempts,
+                        };
+                    }
+                }
+            }
+            if let Some(hub) = &inner.config.hub {
+                hub.update(|m| {
+                    m.inc("service.trials.executed", executed as u64);
+                    m.inc("service.trials.coalesced", coalesced);
+                    m.inc("service.trials.poisoned", poisoned);
+                    m.inc("service.trials.timed_out", timed_out);
+                });
+            }
+            drop(st);
+        }
+
+        // Persist fresh outputs outside the state lock (lock order is
+        // always state → cache, never both held across the pool run).
+        if let Some(cache) = &inner.cache {
+            let mut guard = lock(cache);
+            for (cell, output) in &puts {
+                let _ = guard.put(*cell, output);
+            }
+        }
+
+        // Completion bookkeeping: count each job's terminal transition
+        // exactly once (a job with any failed trial counts as failed).
+        let mut completed_jobs = 0u64;
+        let mut failed_jobs = 0u64;
+        {
+            let mut st = lock(&inner.state);
+            for entry in &mut st.jobs {
+                if entry.finished() && !entry.counted {
+                    entry.counted = true;
+                    if entry.slots.iter().any(|s| matches!(s, Slot::Failed { .. })) {
+                        failed_jobs += 1;
+                    } else {
+                        completed_jobs += 1;
+                    }
+                }
+            }
+        }
+        if completed_jobs + failed_jobs > 0 {
+            if let Some(hub) = &inner.config.hub {
+                hub.update(|m| {
+                    m.inc("service.jobs.completed", completed_jobs);
+                    m.inc("service.jobs.failed", failed_jobs);
+                });
+            }
+            inner.done.notify_all();
+        }
+        if let Some(hub) = &inner.config.hub {
+            hub.inc("service.trials.cached", cache_hits);
+            hub.inc("service.trials.quarantined", quarantine_drops);
+        }
+        Self::publish_cache_stats(inner);
+        if resolved > 0 {
+            inner.done.notify_all();
+        }
+        resolved + executed
+    }
+
+    fn record_failure(st: &mut SchedulerState, inner: &Arc<Inner>, cell: u64) {
+        let count = st.cell_failures.entry(cell).or_insert(0);
+        *count += 1;
+        let threshold = inner.config.quarantine_after;
+        if threshold > 0 && *count >= threshold {
+            st.quarantined.insert(cell);
+        }
+    }
+}
+
+/// Renders the deterministic result document for a finished job: trial
+/// keys, output digests, metrics, and seed-axis aggregates, in
+/// enumeration order. Contains *only* values that are pure functions
+/// of the spec — no timings, no cache provenance — which is what makes
+/// a cache-served rerun byte-identical to the cold run.
+fn render_results(entry: &JobEntry) -> String {
+    let mut out = String::new();
+    out.push_str("# unxpec service results v1\n");
+    out.push_str(&format!(
+        "# digest-version {DIGEST_VERSION} simulator-version {SIMULATOR_VERSION}\n"
+    ));
+    out.push_str(&format!("spec {:#018x}\n", entry.spec.digest()));
+    let mut completed: Vec<TrialResult> = Vec::new();
+    for (index, slot) in entry.slots.iter().enumerate() {
+        let trial = &entry.trials[index];
+        match slot {
+            Slot::Done { output, digest, .. } => {
+                out.push_str(&format!("trial {} digest {:#018x}", trial.key, digest));
+                if output.truncated {
+                    out.push_str(" truncated");
+                }
+                out.push('\n');
+                for (name, value) in &output.metrics {
+                    out.push_str(&format!("  metric {name} {value}\n"));
+                }
+                completed.push(TrialResult {
+                    trial: trial.clone(),
+                    output: output.clone(),
+                    digest: *digest,
+                    attempts: 1,
+                    resumed: false,
+                });
+            }
+            Slot::Failed { kind, .. } => {
+                out.push_str(&format!("trial {} failed {kind}\n", trial.key));
+            }
+            Slot::Skipped => {
+                out.push_str(&format!("trial {} skipped\n", trial.key));
+            }
+            Slot::Pending | Slot::Running => {
+                out.push_str(&format!("trial {} open\n", trial.key));
+            }
+        }
+    }
+    for a in aggregate(&completed) {
+        out.push_str(&format!(
+            "aggregate {} {} {} mean {} std {} min {} max {} n {}\n",
+            a.experiment,
+            a.variant,
+            a.metric,
+            a.summary.mean,
+            a.summary.std_dev,
+            a.summary.min,
+            a.summary.max,
+            a.summary.n
+        ));
+    }
+    out
+}
+
+/// The line-delimited JSON TCP listener over a shared [`Service`].
+pub struct TcpFront {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TcpFront {
+    /// Binds `addr` (port 0 for ephemeral) and starts accepting
+    /// connections, each served on its own thread.
+    pub fn start(service: Arc<Service>, addr: &str) -> Result<TcpFront, ServiceError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Bind {
+            addr: addr.to_string(),
+            error: e.to_string(),
+        })?;
+        let local = listener.local_addr().map_err(|e| ServiceError::Bind {
+            addr: addr.to_string(),
+            error: e.to_string(),
+        })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("sweep-acceptor".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let per_conn = Arc::clone(&service);
+                    let _ = std::thread::Builder::new()
+                        .name("sweep-conn".to_string())
+                        .spawn(move || {
+                            let _ = serve_connection(&per_conn, stream);
+                        });
+                }
+            })
+            .map_err(|e| ServiceError::Accept(e.to_string()))?;
+        Ok(TcpFront {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpFront {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(service: &Service, stream: TcpStream) -> Result<(), ServiceError> {
+    let reader = stream
+        .try_clone()
+        .map_err(|e| ServiceError::Io(e.to_string()))?;
+    let mut writer = stream;
+    let lines = BufReader::new(reader).lines();
+    for line in lines {
+        let line = line.map_err(|e| ServiceError::Io(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::parse_request(&line) {
+            Ok(request) => handle_request(service, &mut writer, request),
+            Err(e) => Err(e),
+        };
+        match response {
+            Ok(body) => {
+                writer
+                    .write_all(body.as_bytes())
+                    .map_err(|e| ServiceError::Io(e.to_string()))?;
+            }
+            Err(e) => {
+                writer
+                    .write_all(protocol::error_response(&e).as_bytes())
+                    .map_err(|io| ServiceError::Io(io.to_string()))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn handle_request(
+    service: &Service,
+    writer: &mut TcpStream,
+    request: Request,
+) -> Result<String, ServiceError> {
+    use unxpec_telemetry::json::escape;
+    match request {
+        Request::Submit { tenant, spec } => {
+            let (job, trials) = service.submit(&tenant, &spec)?;
+            Ok(format!(
+                "{{\"ok\": true, \"job\": \"{}\", \"trials\": {trials}}}\n",
+                escape(&job)
+            ))
+        }
+        Request::Status { job } => {
+            let s = service.status(&job)?;
+            Ok(status_line(&s))
+        }
+        Request::Results { job } => {
+            let text = service.results(&job)?;
+            Ok(format!(
+                "{{\"ok\": true, \"job\": \"{}\", \"text\": \"{}\"}}\n",
+                escape(&job),
+                escape(&text)
+            ))
+        }
+        Request::Cancel { job } => {
+            let skipped = service.cancel(&job)?;
+            Ok(format!(
+                "{{\"ok\": true, \"job\": \"{}\", \"skipped\": {skipped}}}\n",
+                escape(&job)
+            ))
+        }
+        Request::Stream { job } => {
+            // Progress events until the job finishes, then one final
+            // status line with "ok". Each event is its own line.
+            let mut last_open = usize::MAX;
+            loop {
+                let s = service.wait(&job, Duration::from_millis(200))?;
+                if s.open != last_open {
+                    last_open = s.open;
+                    let event = format!(
+                        "{{\"event\": \"progress\", \"done\": {}, \"cached\": {}, \"failed\": {}, \"total\": {}}}\n",
+                        s.done, s.cached, s.failed, s.total
+                    );
+                    writer
+                        .write_all(event.as_bytes())
+                        .map_err(|e| ServiceError::Io(e.to_string()))?;
+                }
+                if s.finished() {
+                    return Ok(status_line(&s));
+                }
+            }
+        }
+    }
+}
+
+fn status_line(s: &JobStatus) -> String {
+    use unxpec_telemetry::json::escape;
+    format!(
+        "{{\"ok\": true, \"job\": \"{}\", \"tenant\": \"{}\", \"total\": {}, \"done\": {}, \"cached\": {}, \"failed\": {}, \"skipped\": {}, \"open\": {}, \"finished\": {}, \"cancelled\": {}}}\n",
+        escape(&s.id),
+        escape(&s.tenant),
+        s.total,
+        s.done,
+        s.cached,
+        s.failed,
+        s.skipped,
+        s.open,
+        s.finished(),
+        s.cancelled
+    )
+}

@@ -52,6 +52,22 @@ impl MetricsHub {
     pub fn snapshot(&self) -> MetricsRegistry {
         self.inner.lock().expect("metrics hub poisoned").clone()
     }
+
+    /// Shorthand for a single counter bump — callers with one metric
+    /// to record shouldn't need an [`MetricsHub::update`] closure.
+    pub fn inc(&self, name: &str, by: u64) {
+        self.update(|m| m.inc(name, by));
+    }
+
+    /// Shorthand for setting a single gauge.
+    pub fn set(&self, name: &str, value: u64) {
+        self.update(|m| m.set(name, value));
+    }
+
+    /// Shorthand for one histogram observation.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.update(|m| m.observe(name, value));
+    }
 }
 
 /// Sanitizes a registry name into the Prometheus metric-name alphabet

@@ -1,0 +1,353 @@
+//! Integration tests for the multi-tenant sweep service
+//! (`docs/service.md`): fair cross-tenant scheduling, cache-hit
+//! results byte-identical to cold runs, cache survival across a
+//! server restart, the TCP protocol end-to-end, a pinned golden cell
+//! digest, and corruption robustness of the on-disk cache.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use unxpec_harness::{cell_digest, FnExperiment, Registry, SweepSpec, TrialOutput, DIGEST_VERSION};
+use unxpec_service::{CacheConfig, Client, ResultCache, Service, ServiceConfig, TcpFront};
+use unxpec_telemetry::MetricsHub;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("unxpec-service-it-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A deterministic two-variant experiment that counts executions, so
+/// tests can prove cache hits never re-run the simulator. The metric
+/// exercises the f64 round-trip with a non-terminating binary fraction.
+fn counting_registry(counter: Arc<AtomicUsize>) -> Registry {
+    let mut registry = Registry::new();
+    registry.register(FnExperiment::new("count", &["a", "b"], move |ctx| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        let mut out = TrialOutput::new(
+            format!("variant {} seed {:#x}", ctx.variant, ctx.seed),
+            vec![],
+        );
+        out.metrics = vec![
+            ("seed_tenth".into(), (ctx.seed % 1000) as f64 / 10.0),
+            ("neg".into(), -0.3),
+        ];
+        out
+    }));
+    registry
+}
+
+fn drive(service: &Service) {
+    while service.tick() > 0 {}
+}
+
+const SPEC: &str = "experiments = count\nseeds = 4\nroot-seed = 0x5eed";
+/// Same shape as [`SPEC`] but disjoint cells — used where in-batch
+/// coalescing of identical cells would hide the scheduling order.
+const SPEC_B: &str = "experiments = count\nseeds = 4\nroot-seed = 0xb0b";
+
+#[test]
+fn two_tenants_interleave_fairly_and_both_complete() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let service = Service::new(
+        counting_registry(Arc::clone(&counter)),
+        ServiceConfig {
+            jobs: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+
+    let (alice_job, alice_trials) = service.submit("alice", SPEC).expect("submit alice");
+    let (bob_job, bob_trials) = service.submit("bob", SPEC_B).expect("submit bob");
+    assert_eq!(alice_trials, 8); // 2 variants x 4 seeds
+    assert_eq!(bob_trials, 8);
+    drive(&service);
+
+    let alice = service.status(&alice_job).expect("status");
+    let bob = service.status(&bob_job).expect("status");
+    assert!(alice.finished() && bob.finished(), "both tenants complete");
+    assert_eq!(alice.done, 8);
+    assert_eq!(bob.done, 8);
+
+    // Fairness: while both tenants have pending trials the scheduler
+    // alternates strictly, even though alice submitted first.
+    let log = service.dispatch_log();
+    let tenants: Vec<&str> = log.iter().map(|(t, _)| t.as_str()).collect();
+    assert!(tenants.len() >= 8, "dispatch log records pool dispatches");
+    for pair in tenants[..8.min(tenants.len())].windows(2) {
+        assert_ne!(
+            pair[0], pair[1],
+            "dispatches must alternate tenants while both are pending: {tenants:?}"
+        );
+    }
+}
+
+#[test]
+fn cache_hits_are_byte_identical_and_skip_execution() {
+    let dir = tmpdir("byteident");
+    let counter = Arc::new(AtomicUsize::new(0));
+    let hub = MetricsHub::new();
+    let service = Service::new(
+        counting_registry(Arc::clone(&counter)),
+        ServiceConfig {
+            jobs: 3,
+            cache: Some(CacheConfig {
+                dir: dir.clone(),
+                max_bytes: 0,
+            }),
+            hub: Some(hub.clone()),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+
+    let (cold, _) = service.submit("alice", SPEC).expect("submit cold");
+    drive(&service);
+    let cold_text = service.results(&cold).expect("cold results");
+    let cold_runs = counter.load(Ordering::SeqCst);
+    assert_eq!(cold_runs, 8, "cold job executes every trial");
+
+    // Second submission of the same spec (different tenant, same
+    // cells): all hits, zero executions, byte-identical document.
+    let (warm, _) = service.submit("bob", SPEC).expect("submit warm");
+    drive(&service);
+    let warm_text = service.results(&warm).expect("warm results");
+    assert_eq!(counter.load(Ordering::SeqCst), cold_runs, "no re-execution");
+    assert_eq!(
+        warm_text, cold_text,
+        "cache-served results are byte-identical"
+    );
+    let status = service.status(&warm).expect("status");
+    assert_eq!(status.cached, status.total, "every trial was a cache hit");
+
+    // The hub mirrors the cache counters.
+    let snapshot = hub.snapshot();
+    assert_eq!(snapshot.counter("service.cache.hits"), 8);
+    assert!(snapshot.counter("service.cache.bytes") > 0);
+    assert_eq!(snapshot.counter("service.jobs.completed"), 2);
+    assert_eq!(snapshot.counter("service.trials.executed"), 8);
+    assert_eq!(snapshot.counter("service.trials.cached"), 8);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restarting_the_server_preserves_the_cache() {
+    let dir = tmpdir("restart");
+    let cache = Some(CacheConfig {
+        dir: dir.clone(),
+        max_bytes: 0,
+    });
+
+    // First server lifetime: run the sweep cold, then drop the server.
+    let cold_text = {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let service = Service::new(
+            counting_registry(counter),
+            ServiceConfig {
+                jobs: 2,
+                cache: cache.clone(),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("first server");
+        let (job, _) = service.submit("alice", SPEC).expect("submit");
+        drive(&service);
+        service.results(&job).expect("results")
+    };
+
+    // Second lifetime over the same directory: resubmission is served
+    // entirely from disk — the fresh counter never moves.
+    let counter = Arc::new(AtomicUsize::new(0));
+    let service = Service::new(
+        counting_registry(Arc::clone(&counter)),
+        ServiceConfig {
+            jobs: 2,
+            cache,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("second server");
+    let (job, _) = service.submit("carol", SPEC).expect("resubmit");
+    drive(&service);
+    assert_eq!(counter.load(Ordering::SeqCst), 0, "restart re-ran nothing");
+    let warm_text = service.results(&job).expect("results");
+    assert_eq!(
+        warm_text, cold_text,
+        "restart-served results byte-identical"
+    );
+    let status = service.status(&job).expect("status");
+    assert_eq!(status.cached, status.total);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tcp_protocol_serves_concurrent_clients_end_to_end() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut service = Service::new(
+        counting_registry(counter),
+        ServiceConfig {
+            jobs: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+    service.start_worker();
+    let service = Arc::new(service);
+    let front = TcpFront::start(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = front.addr().to_string();
+
+    let addr2 = addr.clone();
+    let bob = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr2).expect("bob connects");
+        let submitted = client.submit("bob", SPEC).expect("bob submits");
+        let status = client
+            .stream(&submitted.job, |_done, _total| {})
+            .expect("bob streams");
+        assert!(status.finished);
+        client.results(&submitted.job).expect("bob results")
+    });
+
+    let mut client = Client::connect(&addr).expect("alice connects");
+    let submitted = client.submit("alice", SPEC).expect("alice submits");
+    assert_eq!(submitted.trials, 8);
+    let status = client
+        .stream(&submitted.job, |_done, _total| {})
+        .expect("alice streams");
+    assert!(status.finished);
+    assert_eq!(status.done, 8);
+    let alice_text = client.results(&submitted.job).expect("alice results");
+    let bob_text = bob.join().expect("bob thread");
+    assert_eq!(alice_text, bob_text, "same spec, same document");
+
+    // Protocol-level errors come back typed, not as dropped sockets.
+    let err = client.results("j999").expect_err("unknown job");
+    assert!(err.to_string().contains("unknown-job"), "{err}");
+    let err = client
+        .submit("alice", "scale = warp9")
+        .expect_err("bad spec");
+    assert!(err.to_string().contains("spec"), "{err}");
+}
+
+/// The pinned digest of the golden spec's first cell
+/// (`timeline`, first variant, seed index 0). If this assertion ever
+/// fails without an intentional `DIGEST_VERSION` bump, the cache key
+/// derivation changed and every persisted cache would silently miss
+/// (or worse, collide).
+const GOLDEN_CELL_DIGEST: u64 = 0x4b55_3aa1_6edf_0aa6;
+
+#[test]
+fn golden_spec_cell_digest_is_pinned() {
+    assert_eq!(
+        DIGEST_VERSION, 1,
+        "bumping DIGEST_VERSION invalidates GOLDEN_CELL_DIGEST; re-pin it"
+    );
+    let text = std::fs::read_to_string("tests/golden/service_spec.txt").expect("golden spec");
+    let spec = SweepSpec::parse(&text).expect("parse");
+    let trials = spec.enumerate(&Registry::builtin()).expect("enumerate");
+    let first = &trials[0];
+    assert_eq!(first.experiment, "timeline");
+    assert_eq!(first.seed_index, 0);
+    let digest = cell_digest(&spec, &first.experiment, &first.variant, first.seed_index);
+    assert_eq!(
+        digest, GOLDEN_CELL_DIGEST,
+        "cell digest of the committed golden spec changed: {digest:#018x}"
+    );
+}
+
+fn seeded_entry(dir: &Path) -> (ResultCache, TrialOutput) {
+    let config = CacheConfig {
+        dir: dir.to_path_buf(),
+        max_bytes: 0,
+    };
+    let mut cache = ResultCache::open(&config).expect("open");
+    let mut output = TrialOutput::new("rendered line\nsecond line".into(), vec![]);
+    output.metrics = vec![("diff".into(), 22.5), ("frac".into(), 0.1)];
+    cache.put(0xfeed, &output).expect("put");
+    (cache, output)
+}
+
+fn entry_path(dir: &std::path::Path) -> PathBuf {
+    dir.join(format!("{:02x}", 0xfeedu64 & 0xff))
+        .join(format!("{:016x}.json", 0xfeedu64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single-byte corruption of a cache entry either leaves a
+    /// byte-identical valid entry (flips that don't change the stored
+    /// document, e.g. restoring the same byte) or falls back to a
+    /// counted miss — never a panic, never a wrong result.
+    #[test]
+    fn bit_flipped_entries_fall_back_to_resimulation(pos in 0usize..4096, flip in 1u8..=255) {
+        let dir = tmpdir(&format!("prop-flip-{pos}-{flip}"));
+        let (mut cache, original) = seeded_entry(&dir);
+        let path = entry_path(&dir);
+        let mut bytes = std::fs::read(&path).expect("entry bytes");
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        std::fs::write(&path, &bytes).expect("tamper");
+        match cache.get(0xfeed) {
+            Some(served) => {
+                // Only a semantically identical document may be served.
+                prop_assert_eq!(served.rendered, original.rendered);
+                prop_assert_eq!(served.metrics, original.metrics);
+                prop_assert_eq!(cache.stats().corrupt, 0);
+            }
+            None => {
+                prop_assert_eq!(cache.stats().corrupt, 1);
+                prop_assert!(!path.exists(), "damaged entry must be deleted");
+                // The recompute path repopulates the slot.
+                cache.put(0xfeed, &original).expect("re-put");
+                prop_assert!(cache.get(0xfeed).is_some());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Truncating an entry at any point is detected the same way.
+    #[test]
+    fn truncated_entries_fall_back_to_resimulation(cut in 0usize..4096) {
+        let dir = tmpdir(&format!("prop-cut-{cut}"));
+        let (mut cache, original) = seeded_entry(&dir);
+        let path = entry_path(&dir);
+        let bytes = std::fs::read(&path).expect("entry bytes");
+        let cut = cut % bytes.len(); // strictly shorter than the file
+        std::fs::write(&path, &bytes[..cut]).expect("truncate");
+        prop_assert!(cache.get(0xfeed).is_none(), "truncated entry must miss");
+        prop_assert_eq!(cache.stats().corrupt, 1);
+        cache.put(0xfeed, &original).expect("re-put");
+        prop_assert!(cache.get(0xfeed).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn cancel_skips_pending_trials_and_results_reflect_it() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let service = Service::new(
+        counting_registry(counter),
+        ServiceConfig {
+            jobs: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+    let (job, trials) = service.submit("alice", SPEC).expect("submit");
+    service.tick(); // run one batch, leave the rest pending
+    let skipped = service.cancel(&job).expect("cancel");
+    assert!(skipped > 0 && skipped < trials, "some trials were skipped");
+    let status = service.wait(&job, Duration::from_secs(5)).expect("wait");
+    assert!(status.finished());
+    assert_eq!(status.skipped, skipped);
+    let text = service.results(&job).expect("results");
+    assert!(
+        text.contains("skipped"),
+        "document marks skipped trials:\n{text}"
+    );
+}
