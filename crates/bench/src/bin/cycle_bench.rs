@@ -5,6 +5,7 @@
 //! ```text
 //! cycle_bench [--scale quick|full] [--iters N] [--out BENCH_PR3.json]
 //!             [--baseline <file>] [--max-regression F] [--check]
+//!             [--min-ff-speedup F]
 //! ```
 //!
 //! Each workload of the SPEC-2017-like suite runs to a fixed committed
@@ -20,15 +21,25 @@
 //! and the resulting speedup into the emitted JSON; with `--check`,
 //! the process exits non-zero when throughput regressed by more than
 //! `--max-regression` (default 0.25) — the CI bench-smoke gate.
+//!
+//! A second, two-speed section runs the fast-forward-friendly suite
+//! under both execution modes (see `docs/simulator_internals.md`,
+//! "Two-speed execution"). The detailed aggregate above stays the only
+//! `--check` comparand; the two-speed section additionally asserts the
+//! simulated outcome is mode-invariant per workload and reports the
+//! fast-forward wall-clock speedup in the `fast_forward` JSON object.
+//! `--min-ff-speedup F` turns that speedup into a gate: exit non-zero
+//! when the aggregate fast-forward speedup falls below `F` — the CI
+//! ff-smoke floor.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use unxpec::cpu::Core;
+use unxpec::cpu::{Core, ExecMode};
 use unxpec::defense::CleanupSpec;
 use unxpec::telemetry::json::{self, escape};
-use unxpec::workloads::{spec2017_like_suite, Workload};
+use unxpec::workloads::{fast_forward_friendly_suite, spec2017_like_suite, Workload};
 
 /// One measured `(workload, scheme)` cell.
 struct Cell {
@@ -71,18 +82,133 @@ fn run_cell(w: &Workload, scheme: &'static str, insts: u64, iters: u32) -> Cell 
     }
 }
 
+/// One workload of the two-speed section: the same program measured in
+/// both modes. The architectural outcome (committed instructions and
+/// final register file) is asserted mode-invariant; cycle counts are
+/// reported per mode because outside the strict exactness envelope the
+/// fast-forward timing model may drift slightly — which is exactly why
+/// the execution mode participates in every cell digest.
+struct ModeCell {
+    workload: &'static str,
+    detailed_cycles: u64,
+    fast_forward_cycles: u64,
+    ff_regions: u64,
+    /// Fraction of committed instructions the fast-forward interpreter
+    /// executed (the rest ran detailed between regions).
+    ff_coverage: f64,
+    detailed_us_best: u128,
+    fast_forward_us_best: u128,
+}
+
+impl ModeCell {
+    /// Simulated-throughput speedup: (cycles/sec fast-forward) over
+    /// (cycles/sec detailed), each mode with its own cycle numerator.
+    fn speedup(&self) -> f64 {
+        let det = self.detailed_cycles as f64 / self.detailed_us_best as f64;
+        let ff = self.fast_forward_cycles as f64 / self.fast_forward_us_best as f64;
+        ff / det
+    }
+}
+
+fn run_mode(
+    w: &Workload,
+    mode: ExecMode,
+    insts: u64,
+    iters: u32,
+) -> (unxpec::cpu::RunResult, u128) {
+    let mut first: Option<unxpec::cpu::RunResult> = None;
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let mut core = Core::table_i();
+        core.set_mode(mode);
+        w.install(&mut core);
+        let start = Instant::now();
+        let r = core.run_with_milestone(w.program(), None, insts);
+        let wall = start.elapsed().as_micros().max(1);
+        best = best.min(wall);
+        match &first {
+            None => first = Some(r),
+            Some(f) => assert_eq!(
+                f.stats.cycles,
+                r.stats.cycles,
+                "non-deterministic simulation in {} mode",
+                mode.label()
+            ),
+        }
+    }
+    let Some(first) = first else {
+        unreachable!("iters is validated to be at least 1");
+    };
+    (first, best)
+}
+
+fn run_mode_cell(w: &Workload, insts: u64, iters: u32) -> ModeCell {
+    let (det, det_us) = run_mode(w, ExecMode::Detailed, insts, iters);
+    let (ff, ff_us) = run_mode(w, ExecMode::FastForward, insts, iters);
+    assert_eq!(
+        det.stats.committed_insts,
+        ff.stats.committed_insts,
+        "{}: fast-forward changed the committed instruction count",
+        w.name()
+    );
+    assert_eq!(
+        det.regs,
+        ff.regs,
+        "{}: fast-forward changed the architectural register file",
+        w.name()
+    );
+    assert!(
+        ff.stats.ff_regions > 0,
+        "{}: fast-forward never engaged",
+        w.name()
+    );
+    ModeCell {
+        workload: w.name(),
+        detailed_cycles: det.stats.cycles,
+        fast_forward_cycles: ff.stats.cycles,
+        ff_regions: ff.stats.ff_regions,
+        ff_coverage: ff.stats.ff_committed_insts as f64 / ff.stats.committed_insts.max(1) as f64,
+        detailed_us_best: det_us,
+        fast_forward_us_best: ff_us,
+    }
+}
+
+/// Aggregate simulated-throughput speedup across the two-speed suite.
+fn aggregate_mode_speedup(mode_cells: &[ModeCell]) -> f64 {
+    let det_cycles: u64 = mode_cells.iter().map(|c| c.detailed_cycles).sum();
+    let ff_cycles: u64 = mode_cells.iter().map(|c| c.fast_forward_cycles).sum();
+    let det_us: u128 = mode_cells
+        .iter()
+        .map(|c| c.detailed_us_best)
+        .sum::<u128>()
+        .max(1);
+    let ff_us: u128 = mode_cells
+        .iter()
+        .map(|c| c.fast_forward_us_best)
+        .sum::<u128>()
+        .max(1);
+    let det = det_cycles as f64 / det_us as f64;
+    let ff = ff_cycles as f64 / ff_us as f64;
+    if det > 0.0 {
+        ff / det
+    } else {
+        0.0
+    }
+}
+
 fn render_json(
     scale: &str,
     insts: u64,
     iters: u32,
     cells: &[Cell],
+    mode_cells: &[ModeCell],
     baseline: Option<(&str, f64, f64)>,
 ) -> String {
     let total_cycles: u64 = cells.iter().map(|c| c.sim_cycles).sum();
     let total_us: u128 = cells.iter().map(|c| c.wall_us_best).sum();
     let aggregate = total_cycles as f64 / (total_us as f64 / 1e6);
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"unxpec-cycle-bench-v1\",");
+    let _ = writeln!(out, "  \"schema\": \"unxpec-cycle-bench-v2\",");
     let _ = writeln!(out, "  \"scale\": \"{scale}\",");
     let _ = writeln!(out, "  \"insts_per_workload\": {insts},");
     let _ = writeln!(out, "  \"iters\": {iters},");
@@ -102,6 +228,29 @@ fn render_json(
         );
     }
     out.push_str("\n  ],\n");
+    out.push_str("  \"fast_forward\": {\n    \"results\": [");
+    for (i, c) in mode_cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n      {{\"workload\": \"{}\", \"detailed_cycles\": {}, \"fast_forward_cycles\": {}, \"ff_regions\": {}, \"ff_coverage\": {:.3}, \"detailed_wall_us\": {}, \"fast_forward_wall_us\": {}, \"speedup\": {:.3}}}",
+            escape(c.workload),
+            c.detailed_cycles,
+            c.fast_forward_cycles,
+            c.ff_regions,
+            c.ff_coverage,
+            c.detailed_us_best,
+            c.fast_forward_us_best,
+            c.speedup()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n    ],\n    \"aggregate\": {{\"speedup\": {:.3}}}\n  }},",
+        aggregate_mode_speedup(mode_cells)
+    );
     let _ = writeln!(
         out,
         "  \"aggregate\": {{\"sim_cycles\": {total_cycles}, \"wall_us\": {total_us}, \"cycles_per_sec\": {aggregate:.0}}}{}",
@@ -143,6 +292,7 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut max_regression = 0.25_f64;
     let mut check = false;
+    let mut min_ff_speedup: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -180,6 +330,12 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--min-ff-speedup" => {
+                min_ff_speedup = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("--min-ff-speedup needs a float, got {value:?}");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown flag {other:?}");
                 std::process::exit(2);
@@ -216,6 +372,42 @@ fn main() {
         "AGGREGATE", "", total_cycles, total_us, aggregate
     );
 
+    // Two-speed section: same simulated outcome, two execution speeds.
+    // Deliberately kept out of `cells` so the --check comparand above
+    // still measures exactly what pre-two-speed baselines measured.
+    let ff_suite = fast_forward_friendly_suite();
+    let mut mode_cells = Vec::new();
+    println!(
+        "\n{:<14} {:>12} {:>10} {:>9} {:>12} {:>12} {:>8}",
+        "two-speed", "det cycles", "ff regions", "coverage", "detailed us", "ff us", "speedup"
+    );
+    for w in &ff_suite {
+        let cell = run_mode_cell(w, insts, iters);
+        println!(
+            "{:<14} {:>12} {:>10} {:>8.1}% {:>12} {:>12} {:>7.2}x",
+            cell.workload,
+            cell.detailed_cycles,
+            cell.ff_regions,
+            cell.ff_coverage * 100.0,
+            cell.detailed_us_best,
+            cell.fast_forward_us_best,
+            cell.speedup()
+        );
+        mode_cells.push(cell);
+    }
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>12} {:>7.2}x",
+        "AGGREGATE",
+        "",
+        "",
+        mode_cells.iter().map(|c| c.detailed_us_best).sum::<u128>(),
+        mode_cells
+            .iter()
+            .map(|c| c.fast_forward_us_best)
+            .sum::<u128>(),
+        aggregate_mode_speedup(&mode_cells)
+    );
+
     let baseline = baseline_path.as_deref().map(|p| {
         let base_cps = load_baseline_cps(p);
         let speedup = aggregate / base_cps;
@@ -223,7 +415,7 @@ fn main() {
         (p, base_cps, speedup)
     });
 
-    let body = render_json(&scale, insts, iters, &cells, baseline);
+    let body = render_json(&scale, insts, iters, &cells, &mode_cells, baseline);
     if let Some(path) = &out_path {
         std::fs::write(path, &body).unwrap_or_else(|e| {
             eprintln!("write {}: {e}", path.display());
@@ -246,5 +438,20 @@ fn main() {
             std::process::exit(1);
         }
         println!("regression check passed ({speedup:.3}x vs {p})");
+    }
+
+    // Fast-forward throughput floor: the two-speed section above already
+    // asserted mode-invariant simulated outcomes per workload; this gate
+    // additionally pins that the fast path stays meaningfully faster
+    // than the detailed core in wall-clock terms.
+    if let Some(floor) = min_ff_speedup {
+        let got = aggregate_mode_speedup(&mode_cells);
+        if got < floor {
+            eprintln!(
+                "FF REGRESSION: aggregate fast-forward speedup {got:.2}x is below the {floor:.2}x floor"
+            );
+            std::process::exit(1);
+        }
+        println!("fast-forward speedup check passed ({got:.2}x >= {floor:.2}x)");
     }
 }

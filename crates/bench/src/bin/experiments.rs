@@ -1,10 +1,15 @@
 //! Regenerates every table and figure of the unXpec paper.
 //!
 //! ```text
-//! experiments [--quick] [--jobs N] [--seed S] [--list]
+//! experiments [--quick] [--fast-forward] [--jobs N] [--seed S] [--list]
 //!             [--csv <dir>] [--svg <dir>] [--serve-metrics ADDR]
 //!             [--trace-out <file>] [--metrics-out <file>] [<name>...]
 //! ```
+//!
+//! `--fast-forward` runs the workload-suite experiments (fig12,
+//! defense-costs, workloads) on the two-speed fast-forward core; the
+//! attack-channel experiments spend their cycles inside speculative
+//! episodes, where the two-speed core is detailed by construction.
 //!
 //! With no names, runs everything. Names: table1, fig2, fig3, fig6,
 //! fig7, fig8, fig9, fig10, fig11, rate, fig12, fig13, votes,
@@ -30,6 +35,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use unxpec::cpu::ExecMode;
 use unxpec::experiments::seeding::{self, DEFAULT_ROOT_SEED};
 use unxpec::experiments::{
     ablations, defense_costs, leakage, overhead, pdf, rate, resolution, robustness, rollback,
@@ -42,6 +48,7 @@ use unxpec_harness::{default_jobs, run_tasks_with, RunPolicy, TaskEvent, TaskOut
 struct Options {
     scale: Scale,
     quick: bool,
+    mode: ExecMode,
     root_seed: u64,
     csv_dir: Option<PathBuf>,
     svg_dir: Option<PathBuf>,
@@ -53,6 +60,7 @@ fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut names: Vec<String> = Vec::new();
     let mut quick = false;
+    let mut mode = ExecMode::Detailed;
     let mut jobs = default_jobs();
     let mut root_seed = DEFAULT_ROOT_SEED;
     let mut csv_dir = None;
@@ -63,6 +71,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--fast-forward" => mode = ExecMode::FastForward,
             "--list" => {
                 for name in EXPERIMENTS {
                     println!("{name}");
@@ -132,6 +141,7 @@ fn main() {
             Scale::paper()
         },
         quick,
+        mode,
         root_seed,
         csv_dir,
         svg_dir,
@@ -335,7 +345,7 @@ fn run_one(name: &str, opts: &Options, out: &mut String) {
         }
         "fig12" => {
             let r = timed_to(out, "Fig. 12 — constant-time rollback overhead", || {
-                overhead::run(scale.workload_warmup, scale.workload_measure)
+                overhead::run_with_mode(scale.workload_warmup, scale.workload_measure, opts.mode)
             });
             write_csv(opts, out, "fig12", r.to_csv());
             write_svg(opts, out, "fig12", r.to_svg());
@@ -355,7 +365,11 @@ fn run_one(name: &str, opts: &Options, out: &mut String) {
         }
         "workloads" => {
             timed_to(out, "Extension — workload suite profile", || {
-                workload_profile::run(scale.workload_warmup, scale.workload_measure)
+                workload_profile::run_with_mode(
+                    scale.workload_warmup,
+                    scale.workload_measure,
+                    opts.mode,
+                )
             });
         }
         "timeline" => {
@@ -401,7 +415,11 @@ fn run_one(name: &str, opts: &Options, out: &mut String) {
         }
         "defense-costs" => {
             let r = timed_to(out, "Extension — defense landscape costs", || {
-                defense_costs::run(scale.workload_warmup, scale.workload_measure)
+                defense_costs::run_with_mode(
+                    scale.workload_warmup,
+                    scale.workload_measure,
+                    opts.mode,
+                )
             });
             write_csv(opts, out, "defense_costs", r.to_csv());
         }

@@ -4,8 +4,13 @@
 //! serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-max-bytes N]
 //!       [--jobs N] [--retries N] [--deadline-ms N] [--backoff-ms N]
 //!       [--quarantine-after N] [--max-tenant-inflight N]
-//!       [--serve-metrics ADDR] [--once]
+//!       [--serve-metrics ADDR] [--once] [--fast-forward]
 //! ```
+//!
+//! `--fast-forward` forces every submitted spec onto the two-speed
+//! fast-forward core; the mode participates in each cell digest, so a
+//! fast-forward server never serves (or pollutes) detailed-mode cache
+//! entries.
 //!
 //! Clients speak the line-delimited JSON protocol on `--addr`
 //! (default `127.0.0.1:9733`; port 0 picks an ephemeral port, printed
@@ -23,6 +28,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use unxpec::cpu::ExecMode;
 use unxpec::telemetry::{MetricsHub, MetricsServer};
 use unxpec_harness::{default_jobs, Registry};
 use unxpec_service::{CacheConfig, Service, ServiceConfig, TcpFront};
@@ -49,6 +55,10 @@ fn main() {
     while let Some(arg) = args.next() {
         if arg == "--once" {
             once = true;
+            continue;
+        }
+        if arg == "--fast-forward" {
+            config.mode_override = Some(ExecMode::FastForward);
             continue;
         }
         let value = args.next().unwrap_or_else(|| {

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sweep [--experiments a,b,..] [--variants x,y] [--scale quick|paper]
-//!       [--seeds N] [--root-seed S] [--spec <file>]
+//!       [--seeds N] [--root-seed S] [--spec <file>] [--fast-forward]
 //!       [--jobs N] [--retries N] [--manifest <file>]
 //!       [--deadline-ms N] [--backoff-ms N] [--quarantine-after N]
 //!       [--diagnostics-dir <dir>] [--serve-metrics ADDR]
@@ -12,9 +12,11 @@
 //! ```
 //!
 //! The identity flags (`--experiments`, `--variants`, `--scale`,
-//! `--seeds`, `--root-seed`, or a `--spec` key=value file they
-//! override) define *what* runs; the remaining flags only change
-//! *how*. Per-trial seeds derive from the root seed and the trial's
+//! `--seeds`, `--root-seed`, `--fast-forward`, or a `--spec` key=value
+//! file they override) define *what* runs; the remaining flags only
+//! change *how*. `--fast-forward` runs the simulated cores on the
+//! two-speed fast-forward path — it participates in every cell digest,
+//! so manifests and caches never mix modes. Per-trial seeds derive from the root seed and the trial's
 //! identity, so any `--jobs` value produces the same aggregates and
 //! the same aggregate digest. With `--manifest`, completed trials are
 //! checkpointed after each finish; rerunning the same spec against the
@@ -65,6 +67,10 @@ fn main() {
                 println!("{name}: {}", variants.join(", "));
             }
             return;
+        }
+        if arg == "--fast-forward" {
+            spec.mode = unxpec::cpu::ExecMode::FastForward;
+            continue;
         }
         let value = args.next().unwrap_or_else(|| {
             eprintln!("{arg} needs an argument");

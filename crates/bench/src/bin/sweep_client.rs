@@ -3,18 +3,24 @@
 //! ```text
 //! sweep-client [--addr HOST:PORT] submit --tenant NAME (--spec FILE | --spec-text TEXT) [--wait]
 //! sweep-client [--addr HOST:PORT] status  JOB
+//! sweep-client [--addr HOST:PORT] wait    JOB [--timeout-ms N]
 //! sweep-client [--addr HOST:PORT] results JOB [--out FILE]
 //! sweep-client [--addr HOST:PORT] cancel  JOB
 //! ```
 //!
 //! `submit` prints the job id; with `--wait` it streams progress to
 //! stderr and prints the deterministic result document to stdout when
-//! the job finishes. `results` prints (or writes) the same document
-//! for an already-finished job — two runs of the same spec produce
+//! the job finishes. `wait` blocks until the job finishes (default
+//! 60 s); a deadline expiry is the typed `wait-timeout` error, exit
+//! code 2 — never a success that could be mistaken for completion.
+//! `results` prints (or writes) the same document for an
+//! already-finished job — two runs of the same spec produce
 //! byte-identical documents, whether computed or cache-served.
 //!
 //! Exit codes: 0 clean, 1 when the job finished with failed or skipped
-//! trials, 2 on usage, connection, or protocol errors.
+//! trials, 2 on usage, connection, protocol, or wait-timeout errors.
+
+use std::time::Duration;
 
 use unxpec_service::{Client, RemoteStatus, ServiceError};
 
@@ -42,6 +48,7 @@ fn main() {
     let mut spec_text: Option<String> = None;
     let mut out: Option<std::path::PathBuf> = None;
     let mut wait = false;
+    let mut timeout_ms: u64 = 60_000;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,7 +77,13 @@ fn main() {
                 None => fail(ServiceError::Parse("--out needs a file".into())),
             },
             "--wait" => wait = true,
-            "submit" | "status" | "results" | "cancel" => command = Some(arg),
+            "--timeout-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => timeout_ms = v,
+                None => fail(ServiceError::Parse(
+                    "--timeout-ms needs milliseconds".into(),
+                )),
+            },
+            "submit" | "status" | "wait" | "results" | "cancel" => command = Some(arg),
             other if command.is_some() && job.is_none() && !other.starts_with("--") => {
                 job = Some(other.to_string());
             }
@@ -79,7 +92,7 @@ fn main() {
     }
 
     let Some(command) = command else {
-        eprintln!("usage: sweep-client [--addr HOST:PORT] submit|status|results|cancel ...");
+        eprintln!("usage: sweep-client [--addr HOST:PORT] submit|status|wait|results|cancel ...");
         std::process::exit(2);
     };
     let mut client = Client::connect(&addr).unwrap_or_else(|e| fail(e));
@@ -118,6 +131,22 @@ fn main() {
                 "job {} total {} done {} cached {} failed {} skipped {} open {} finished {}",
                 s.job, s.total, s.done, s.cached, s.failed, s.skipped, s.open, s.finished
             );
+        }
+        "wait" => {
+            let Some(job) = job else {
+                eprintln!("wait needs a job id");
+                std::process::exit(2);
+            };
+            // A deadline expiry surfaces as the typed wait-timeout
+            // error via `fail` (exit 2), distinct from a finished job.
+            let s = client
+                .wait(&job, Duration::from_millis(timeout_ms))
+                .unwrap_or_else(|e| fail(e));
+            println!(
+                "job {} total {} done {} cached {} failed {} skipped {}",
+                s.job, s.total, s.done, s.cached, s.failed, s.skipped
+            );
+            degraded_exit(&s);
         }
         "results" => {
             let Some(job) = job else {

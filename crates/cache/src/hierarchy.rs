@@ -383,6 +383,71 @@ impl CacheHierarchy {
         }
     }
 
+    /// Functional-fill access for the fast-forward execution mode: the
+    /// exact tag/recency/victim transitions of [`Self::access_data_as`]
+    /// for a committed (`spec = None`, thread-0) access, minus everything
+    /// a committed straight-line region cannot need — no MSHR entry (the
+    /// request is architecturally complete before the next one issues),
+    /// no effect list (there is no open speculation frame to undo into),
+    /// no telemetry, and no fault hooks (the core refuses fast-forward
+    /// under an armed injector).
+    ///
+    /// Bank occupancy (`l2_next_free` / `mem_next_free`) is still booked
+    /// and the noise stream still sampled on memory misses, so the
+    /// hierarchy's timing state and RNG position hand off exactly when
+    /// the core drops back into detailed mode.
+    pub fn access_data_functional(&mut self, line: LineAddr, cycle: Cycle) -> (Cycle, HitLevel) {
+        let l1_lat = self.cfg.l1d.hit_latency;
+        if self.l1d.access(line).is_some() {
+            return (cycle + l1_lat, HitLevel::L1);
+        }
+        let l2_start = (cycle + l1_lat).max(self.l2_next_free);
+        self.l2_next_free = l2_start + self.cfg.l2_init_interval;
+        let (level, data_cycle) = if self.l2.access(line).is_some() {
+            (HitLevel::L2, l2_start + self.cfg.l2.hit_latency)
+        } else {
+            let mem_start = (l2_start + self.cfg.l2.hit_latency).max(self.mem_next_free);
+            self.mem_next_free = mem_start + self.cfg.mem_init_interval;
+            let service = self.cfg.mem_latency + self.noise.sample_mem_extra();
+            self.l2.insert(LineMeta::clean(line), 0);
+            (HitLevel::Memory, mem_start + service)
+        };
+        let fill = self.l1d.insert(LineMeta::clean(line), 0);
+        if let Some(victim) = fill.victim {
+            if !self.l2.contains(victim.line) {
+                self.l2.insert(LineMeta::clean(victim.line), 0);
+            }
+            if victim.dirty {
+                self.l2.mark_dirty(victim.line);
+            }
+        }
+        // Same demand-prefetch condition as the detailed path; with no
+        // MSHR traffic in a fast-forward region the file is idle, so the
+        // availability clause reduces to the lookup.
+        if self.cfg.next_line_prefetch {
+            let next = line.offset(1);
+            if !self.l1d.contains(next)
+                && self.mshrs.lookup(next, cycle).is_none()
+                && self.mshrs.next_free_cycle(data_cycle) <= data_cycle
+            {
+                if !self.l2.contains(next) {
+                    self.l2.insert(LineMeta::clean(next), 0);
+                }
+                self.l1d.insert(LineMeta::clean(next), 0);
+                self.prefetch_fills += 1;
+            }
+        }
+        (data_cycle, level)
+    }
+
+    /// Functional-fill committed store: [`Self::access_data_functional`]
+    /// plus the dirty mark, mirroring [`Self::write_data`].
+    pub fn write_data_functional(&mut self, line: LineAddr, cycle: Cycle) -> (Cycle, HitLevel) {
+        let out = self.access_data_functional(line, cycle);
+        self.l1d.mark_dirty(line);
+        out
+    }
+
     /// Timing-only access that never mutates cache state — the path an
     /// Invisible-style defense (e.g. InvisiSpec) forces speculative loads
     /// onto: the data is fetched into a shadow buffer, so no level fills
@@ -580,6 +645,17 @@ impl CacheHierarchy {
     /// Latest completion of inflight non-speculative misses (T4 wait).
     pub fn inflight_safe_completion(&mut self, now: Cycle) -> Option<Cycle> {
         self.mshrs.latest_safe_completion(now)
+    }
+
+    /// True when every miss issued before `now` has delivered its fill:
+    /// the MSHR file holds no in-flight entry. Fast-forward regions
+    /// require this — the functional access path has no MSHR merge, so
+    /// an in-flight miss (typically a squashed wrong-path load, whose
+    /// MSHR a rollback deliberately leaves running) would make a
+    /// detailed-mode re-execution merge and wait for the fill where the
+    /// functional model would hit the already-installed line.
+    pub fn memory_quiescent(&mut self, now: Cycle) -> bool {
+        self.mshrs.occupancy(now) == 0
     }
 
     // ----- Introspection (attack construction and tests) ---------------

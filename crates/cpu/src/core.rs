@@ -40,6 +40,34 @@ use crate::sanitizer::{InvariantViolation, RollbackCheck, Sanitizer, SanitizerCo
 use crate::stats::{RunStats, SquashRecord};
 use crate::trace::{ExecTrace, TraceEvent};
 
+/// Execution speed of the core (ROADMAP item 2(b)).
+///
+/// The default is the fully detailed model; [`ExecMode::FastForward`]
+/// enables the two-speed core, which runs architecturally-committed
+/// straight-line regions in a functional interpreter and drops back
+/// into the detailed core at every speculation source
+/// (branch / indirect jump / return), staying detailed until the
+/// speculative episode fully resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Cycle-accurate out-of-order modeling for every instruction.
+    #[default]
+    Detailed,
+    /// Two-speed: functional interpretation between speculative
+    /// episodes, detailed modeling inside them.
+    FastForward,
+}
+
+impl ExecMode {
+    /// Stable label, used by CLIs and the sweep digest.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Detailed => "detailed",
+            ExecMode::FastForward => "fast-forward",
+        }
+    }
+}
+
 /// Result of running a program.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -167,6 +195,7 @@ pub struct Core {
     clock: Cycle,
     next_epoch: u64,
     next_seq: u64,
+    mode: ExecMode,
     tracing: bool,
     telemetry: Telemetry,
     /// Recycled speculation frames (see [`Frame`]); popped on branch
@@ -187,6 +216,18 @@ pub struct Core {
     /// Optional runtime invariant sanitizer (`None` costs one pointer
     /// check at squash boundaries and nothing in the dispatch loop).
     sanitizer: Option<Box<Sanitizer>>,
+    /// Per-PC straight-line span lengths for the fast-forward
+    /// interpreter, precomputed at run start (fast-forward runs only).
+    /// `ff_spans[pc]` counts the consecutive instructions starting at
+    /// `pc` that neither transfer control nor fence — the stretch the
+    /// span fast path may execute without per-instruction loop-head
+    /// checks. Storage is reused across runs.
+    ff_spans: Vec<u32>,
+    /// Pre-decoded span-safe instructions, parallel to the program (and
+    /// to [`Self::ff_spans`]): the span loop dispatches once on the flat
+    /// [`FfUop::kind`] instead of walking the nested `Inst` → `Operand`
+    /// → `AluOp` matches per instruction. Storage is reused across runs.
+    ff_plan: Vec<FfUop>,
 }
 
 impl Core {
@@ -205,6 +246,7 @@ impl Core {
             clock: 0,
             next_epoch: 1,
             next_seq: 1,
+            mode: ExecMode::Detailed,
             tracing: false,
             telemetry: Telemetry::disabled(),
             frame_pool: Vec::new(),
@@ -212,6 +254,8 @@ impl Core {
             rob_storage: std::collections::VecDeque::new(),
             effects_scratch: Vec::new(),
             sanitizer: None,
+            ff_spans: Vec::new(),
+            ff_plan: Vec::new(),
         }
     }
 
@@ -299,6 +343,17 @@ impl Core {
     /// The core configuration.
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+
+    /// Selects the execution mode for subsequent runs (see [`ExecMode`]).
+    pub fn set_mode(&mut self, mode: ExecMode) -> &mut Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Enables or disables per-instruction tracing for subsequent runs.
@@ -428,6 +483,16 @@ impl Core {
         max_committed: u64,
     ) -> RunResult {
         let start_cycle = self.clock;
+        // Fast-forward is only engaged for runs the functional path can
+        // model faithfully: per-instruction tracing needs the detailed
+        // core's event stream, and fault injection hooks the detailed
+        // access path.
+        let ff = self.mode == ExecMode::FastForward
+            && !self.tracing
+            && self.hier.fault_injector().is_none();
+        if ff {
+            self.compute_ff_plan(program);
+        }
         let mut st = Exec {
             pc: 0,
             regs: [0; NUM_REGS],
@@ -473,6 +538,25 @@ impl Core {
                         st.stats.milestone_cycle = Some(st.cur_cycle - start_cycle);
                     }
                 }
+            }
+
+            // Two-speed core: with no open frames, every in-flight
+            // instruction is architecturally committed, so straight-line
+            // code runs in the functional interpreter until the next
+            // speculation source. The memory system must also be
+            // quiescent: the functional path has no MSHR merge, so an
+            // in-flight miss (e.g. a squashed wrong-path load whose MSHR
+            // the rollback leaves running) must drain in detailed mode,
+            // where a re-execution of the same line merges and waits.
+            // Re-entering the loop re-checks bounds; the follow-up probe
+            // makes no progress and falls through to the detailed core
+            // for the trigger instruction.
+            if ff
+                && st.frames.is_empty()
+                && self.hier.memory_quiescent(st.cur_cycle)
+                && self.fast_forward(&mut st, program, start_cycle, milestone, max_committed)
+            {
+                continue;
             }
 
             // Resolve frames whose branches have resolved by now.
@@ -570,6 +654,363 @@ impl Core {
             hit_limit: st.hit_limit,
             trace: st.trace.map(|events| ExecTrace { events }),
         }
+    }
+
+    /// Rebuilds [`Self::ff_spans`] and [`Self::ff_plan`] for `program`:
+    /// one backward pass marking, per PC, how many consecutive
+    /// instructions from there on are span-safe — they neither transfer
+    /// control (every transfer re-enters the outer loop so `pc` stays
+    /// explicit) nor fence (a fence's `stall_to` can advance the clock
+    /// arbitrarily, which would break the span fast path's
+    /// one-cycle-per-instruction headroom bound against `max_cycles`) —
+    /// and pre-decoding each instruction into its flat [`FfUop`] form.
+    fn compute_ff_plan(&mut self, program: &Program) {
+        let insts = program.instructions();
+        self.ff_spans.clear();
+        self.ff_spans.resize(insts.len(), 0);
+        self.ff_plan.clear();
+        self.ff_plan
+            .extend(insts.iter().map(|&inst| FfUop::decode(inst)));
+        let mut run = 0u32;
+        for (i, uop) in self.ff_plan.iter().enumerate().rev() {
+            run = match uop.kind {
+                FfKind::Barrier => 0,
+                _ => run.saturating_add(1),
+            };
+            self.ff_spans[i] = run;
+        }
+    }
+
+    /// The fast-forward functional interpreter: executes committed
+    /// straight-line instructions from the current PC until the next
+    /// speculation source (`Branch` / `JumpInd` / `Ret`), `Halt`, the
+    /// program end, or a run bound. Returns whether any instruction was
+    /// executed.
+    ///
+    /// Timing state advances with the exact detailed-mode formulas —
+    /// dispatch-slot arithmetic, operand-ready chains, load ports,
+    /// fences, the hierarchy's bank bookings and noise stream — so the
+    /// hand-off back into the detailed core is seamless. What is skipped
+    /// is machinery committed straight-line code cannot need: ROB
+    /// modeling, MSHR entries, per-instruction telemetry and trace,
+    /// effect fan-out (there is no open frame to undo into), and
+    /// wrong-path logic. The sanitizer's structural audit brackets every
+    /// region so a hand-off that corrupts cache structure trips
+    /// immediately.
+    fn fast_forward(
+        &mut self,
+        st: &mut Exec,
+        program: &Program,
+        start_cycle: Cycle,
+        milestone: Option<u64>,
+        max_committed: u64,
+    ) -> bool {
+        // Hoisted loop invariants: the config scalars and the combined
+        // instruction bound are loop-constant, and the milestone only
+        // needs re-checking while it is still pending — committed
+        // counts are monotone, so once recorded it stays recorded.
+        let inst_limit = max_committed.min(self.cfg.max_insts);
+        let cycle_limit = start_cycle.saturating_add(self.cfg.max_cycles);
+        let dispatch_width = self.cfg.dispatch_width;
+        let load_ports = self.cfg.load_ports;
+        let alu_latency = self.cfg.alu_latency;
+        let mul_latency = self.cfg.mul_latency;
+        let mut milestone_pending = milestone.filter(|_| st.stats.milestone_cycle.is_none());
+        let insts = program.instructions();
+        let mut executed = 0u64;
+        loop {
+            // Same per-instruction bounds and milestone discipline as the
+            // detailed loop head.
+            if st.cur_cycle > cycle_limit || st.stats.committed_insts >= inst_limit {
+                break;
+            }
+            if let Some(m) = milestone_pending {
+                if st.stats.committed_insts >= m {
+                    st.stats.milestone_cycle = Some(st.cur_cycle - start_cycle);
+                    milestone_pending = None;
+                }
+            }
+            let Some(&inst) = insts.get(st.pc) else {
+                break;
+            };
+            if inst == Inst::Halt || inst.is_speculation_source() {
+                break;
+            }
+            if executed == 0 {
+                self.structural_checks(st);
+                self.telemetry.emit(Event::ModeSwitch {
+                    cycle: st.cur_cycle,
+                    fast_forward: true,
+                });
+                st.stats.ff_regions += 1;
+            }
+
+            // Span fast path: a precomputed stretch of span-safe
+            // instructions runs in a tight slice loop with the loop-head
+            // checks amortized to once per span. The clamps keep it
+            // exactly equivalent to per-instruction execution: the span
+            // stops at the instruction bound, at a pending milestone (so
+            // the head records it at the same commit count), and within
+            // the cycle headroom (the clock advances at most one cycle
+            // per dispatched instruction, so `cycle_limit` cannot be
+            // crossed mid-span). The arms below mirror the general path
+            // minus per-instruction `pc`/counter updates, which batch.
+            let mut span = u64::from(self.ff_spans.get(st.pc).copied().unwrap_or(0));
+            span = span.min(inst_limit - st.stats.committed_insts);
+            if let Some(m) = milestone_pending {
+                span = span.min(m - st.stats.committed_insts);
+            }
+            span = span.min(cycle_limit - st.cur_cycle);
+            if span > 1 {
+                let end = st.pc + span as usize;
+                // The clock, dispatch slots, and completion horizons live
+                // in locals for the span: nothing inside a span can stall
+                // the clock or move the fence floor, so the only per-inst
+                // state updates are these registers plus the register
+                // file — written back once when the span ends.
+                let mut cur_cycle = st.cur_cycle;
+                let mut slots_left = st.slots_left;
+                let mut last_complete = st.last_complete;
+                let mut last_mem = st.last_mem;
+                let fence_floor = st.fence_floor;
+                // Register-register / register-immediate ALU arms share
+                // everything but the operand-ready chain and the value
+                // expression; the macros keep the sixteen arms honest
+                // about using identical timing math.
+                macro_rules! rr {
+                    ($u:expr, $d:expr, $lat:expr, $f:expr) => {{
+                        let av = st.regs[$u.ai()];
+                        let bv = st.regs[$u.bi()];
+                        let ready = st.avail[$u.ai()].max(st.avail[$u.bi()]).max($d);
+                        let done = ready + $lat;
+                        st.regs[$u.dsti()] = $f(av, bv);
+                        st.avail[$u.dsti()] = done;
+                        done
+                    }};
+                }
+                macro_rules! ri {
+                    ($u:expr, $d:expr, $lat:expr, $f:expr) => {{
+                        let av = st.regs[$u.ai()];
+                        let ready = st.avail[$u.ai()].max($d);
+                        let done = ready + $lat;
+                        st.regs[$u.dsti()] = $f(av, $u.imm);
+                        st.avail[$u.dsti()] = done;
+                        done
+                    }};
+                }
+                for &u in &self.ff_plan[st.pc..end] {
+                    if slots_left == 0 {
+                        cur_cycle += 1;
+                        slots_left = dispatch_width;
+                    }
+                    slots_left -= 1;
+                    let d = cur_cycle;
+                    let complete = match u.kind {
+                        FfKind::Nop => d,
+                        FfKind::MovImm => {
+                            st.regs[u.dsti()] = u.imm;
+                            st.avail[u.dsti()] = d;
+                            d
+                        }
+                        FfKind::AddRR => rr!(u, d, alu_latency, u64::wrapping_add),
+                        FfKind::SubRR => rr!(u, d, alu_latency, u64::wrapping_sub),
+                        FfKind::MulRR => rr!(u, d, mul_latency, u64::wrapping_mul),
+                        FfKind::AndRR => rr!(u, d, alu_latency, |a, b| a & b),
+                        FfKind::OrRR => rr!(u, d, alu_latency, |a, b| a | b),
+                        FfKind::XorRR => rr!(u, d, alu_latency, |a, b| a ^ b),
+                        FfKind::ShlRR => {
+                            rr!(u, d, alu_latency, |a: u64, b: u64| a.wrapping_shl(b as u32))
+                        }
+                        FfKind::ShrRR => {
+                            rr!(u, d, alu_latency, |a: u64, b: u64| a.wrapping_shr(b as u32))
+                        }
+                        FfKind::AddRI => ri!(u, d, alu_latency, u64::wrapping_add),
+                        FfKind::SubRI => ri!(u, d, alu_latency, u64::wrapping_sub),
+                        FfKind::MulRI => ri!(u, d, mul_latency, u64::wrapping_mul),
+                        FfKind::AndRI => ri!(u, d, alu_latency, |a, b| a & b),
+                        FfKind::OrRI => ri!(u, d, alu_latency, |a, b| a | b),
+                        FfKind::XorRI => ri!(u, d, alu_latency, |a, b| a ^ b),
+                        FfKind::ShlRI => {
+                            ri!(u, d, alu_latency, |a: u64, b: u64| a.wrapping_shl(b as u32))
+                        }
+                        FfKind::ShrRI => {
+                            ri!(u, d, alu_latency, |a: u64, b: u64| a.wrapping_shr(b as u32))
+                        }
+                        FfKind::Load => {
+                            let addr = Addr::new(st.regs[u.ai()].wrapping_add(u.imm) & !7);
+                            let ready = st.avail[u.ai()].max(d).max(fence_floor);
+                            let start = st.alloc_load_slot(ready, load_ports);
+                            let (done, _level) =
+                                self.hier.access_data_functional(addr.line(), start);
+                            st.regs[u.dsti()] = self.mem.read_u64(addr);
+                            st.avail[u.dsti()] = done;
+                            last_mem = last_mem.max(done);
+                            st.stats.committed_loads += 1;
+                            self.next_seq += 1;
+                            st.loads_issued += 1;
+                            done
+                        }
+                        FfKind::Store => {
+                            let addr = Addr::new(st.regs[u.ai()].wrapping_add(u.imm) & !7);
+                            let ready = st.avail[u.ai()]
+                                .max(st.avail[u.dsti()])
+                                .max(d)
+                                .max(fence_floor);
+                            self.mem.write_u64(addr, st.regs[u.dsti()]);
+                            let (done, _level) =
+                                self.hier.write_data_functional(addr.line(), ready);
+                            last_mem = last_mem.max(done);
+                            done
+                        }
+                        FfKind::Flush => {
+                            let addr = Addr::new(st.regs[u.ai()].wrapping_add(u.imm));
+                            let ready = st.avail[u.ai()].max(d).max(fence_floor);
+                            let done = self.hier.flush_line(addr.line(), ready);
+                            last_mem = last_mem.max(done);
+                            done
+                        }
+                        FfKind::ReadTime => {
+                            let start = last_complete.max(d);
+                            st.regs[u.dsti()] = start;
+                            st.avail[u.dsti()] = start + self.cfg.timer_latency;
+                            start + self.cfg.timer_latency
+                        }
+                        // Excluded from spans by compute_ff_plan.
+                        FfKind::Barrier => {
+                            debug_assert!(false, "barrier instruction inside a span");
+                            d
+                        }
+                    };
+                    last_complete = last_complete.max(complete);
+                }
+                st.cur_cycle = cur_cycle;
+                st.slots_left = slots_left;
+                st.last_complete = last_complete;
+                st.last_mem = last_mem;
+                st.pc = end;
+                st.stats.committed_insts += span;
+                executed += span;
+                continue;
+            }
+
+            executed += 1;
+            st.stats.committed_insts += 1;
+            let d = st.take_dispatch_slot(dispatch_width);
+            let mut complete = d;
+            match inst {
+                Inst::Nop => {
+                    st.pc += 1;
+                }
+                Inst::MovImm { dst, imm } => {
+                    st.regs[dst.index()] = imm;
+                    st.avail[dst.index()] = d;
+                    st.pc += 1;
+                }
+                Inst::Alu { op, dst, a, b } => {
+                    let (bv, bav) = st.operand(b);
+                    let ready = st.avail[a.index()].max(bav).max(d);
+                    let av = st.regs[a.index()];
+                    use crate::isa::AluOp;
+                    let (val, done) = match op {
+                        AluOp::Add => (av.wrapping_add(bv), ready + alu_latency),
+                        AluOp::Sub => (av.wrapping_sub(bv), ready + alu_latency),
+                        AluOp::Mul => (av.wrapping_mul(bv), ready + mul_latency),
+                        AluOp::And => (av & bv, ready + alu_latency),
+                        AluOp::Or => (av | bv, ready + alu_latency),
+                        AluOp::Xor => (av ^ bv, ready + alu_latency),
+                        AluOp::Shl => (av.wrapping_shl(bv as u32), ready + alu_latency),
+                        AluOp::Shr => (av.wrapping_shr(bv as u32), ready + alu_latency),
+                    };
+                    st.regs[dst.index()] = val;
+                    st.avail[dst.index()] = done;
+                    complete = done;
+                    st.pc += 1;
+                }
+                Inst::Load { dst, base, offset } => {
+                    // No open frame means no speculation tag, which in the
+                    // detailed core forces `FillPolicy::Eager` regardless
+                    // of the defense — so the functional fill is exact.
+                    let addr = Addr::new(st.regs[base.index()].wrapping_add(offset as u64) & !7);
+                    let ready = st.avail[base.index()].max(d).max(st.fence_floor);
+                    let start = st.alloc_load_slot(ready, load_ports);
+                    let (done, _level) = self.hier.access_data_functional(addr.line(), start);
+                    st.regs[dst.index()] = self.mem.read_u64(addr);
+                    st.avail[dst.index()] = done;
+                    st.last_mem = st.last_mem.max(done);
+                    complete = done;
+                    st.stats.committed_loads += 1;
+                    // Keep the load sequence numbering aligned with the
+                    // detailed core: frames armed after this region derive
+                    // their effect-retention cutoffs from these counters.
+                    self.next_seq += 1;
+                    st.loads_issued += 1;
+                    st.pc += 1;
+                }
+                Inst::Store { src, base, offset } => {
+                    let addr = Addr::new(st.regs[base.index()].wrapping_add(offset as u64) & !7);
+                    let ready = st.avail[base.index()]
+                        .max(st.avail[src.index()])
+                        .max(d)
+                        .max(st.fence_floor);
+                    self.mem.write_u64(addr, st.regs[src.index()]);
+                    let (done, _level) = self.hier.write_data_functional(addr.line(), ready);
+                    st.last_mem = st.last_mem.max(done);
+                    complete = done;
+                    st.pc += 1;
+                }
+                Inst::Flush { base, offset } => {
+                    let addr = Addr::new(st.regs[base.index()].wrapping_add(offset as u64));
+                    let ready = st.avail[base.index()].max(d).max(st.fence_floor);
+                    let done = self.hier.flush_line(addr.line(), ready);
+                    st.last_mem = st.last_mem.max(done);
+                    complete = done;
+                    st.pc += 1;
+                }
+                Inst::Fence => {
+                    let done = st.last_mem.max(d);
+                    st.fence_floor = st.fence_floor.max(done);
+                    st.stall_to(done);
+                    complete = done;
+                    st.pc += 1;
+                }
+                Inst::ReadTime { dst } => {
+                    let start = st.last_complete.max(d);
+                    st.regs[dst.index()] = start;
+                    st.avail[dst.index()] = start + self.cfg.timer_latency;
+                    complete = start + self.cfg.timer_latency;
+                    st.pc += 1;
+                }
+                Inst::Jump { target } => {
+                    st.pc = target;
+                }
+                Inst::Call { target, sp } => {
+                    let ret_pc = (st.pc + 1) as u64;
+                    let new_sp = st.regs[sp.index()].wrapping_sub(8);
+                    let ready = st.avail[sp.index()].max(d).max(st.fence_floor);
+                    st.regs[sp.index()] = new_sp;
+                    st.avail[sp.index()] = ready + 1;
+                    let addr = Addr::new(new_sp & !7);
+                    self.mem.write_u64(addr, ret_pc);
+                    let (done, _level) = self.hier.write_data_functional(addr.line(), ready);
+                    st.last_mem = st.last_mem.max(done);
+                    complete = done;
+                    self.ras.push(st.pc + 1);
+                    st.pc = target;
+                }
+                // Speculation sources and Halt exit the region above.
+                Inst::Branch { .. } | Inst::JumpInd { .. } | Inst::Ret { .. } | Inst::Halt => {}
+            }
+            st.last_complete = st.last_complete.max(complete);
+        }
+        if executed > 0 {
+            st.stats.ff_committed_insts += executed;
+            self.telemetry.emit(Event::ModeSwitch {
+                cycle: st.cur_cycle,
+                fast_forward: false,
+            });
+            self.structural_checks(st);
+        }
+        executed > 0
     }
 
     fn execute(&mut self, st: &mut Exec, _program: &Program, inst: Inst, d: Cycle) {
@@ -1193,6 +1634,132 @@ impl Core {
                 detail: violation.detail(),
             });
             san.note(violation);
+        }
+    }
+}
+
+/// Dispatch tag for a pre-decoded span-safe instruction. ALU ops split
+/// into register/immediate forms so the span loop resolves the right
+/// operand at decode time instead of re-matching `Operand` per
+/// execution, and the op folds into the same dispatch as the kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FfKind {
+    Nop,
+    MovImm,
+    AddRR,
+    SubRR,
+    MulRR,
+    AndRR,
+    OrRR,
+    XorRR,
+    ShlRR,
+    ShrRR,
+    AddRI,
+    SubRI,
+    MulRI,
+    AndRI,
+    OrRI,
+    XorRI,
+    ShlRI,
+    ShrRI,
+    Load,
+    Store,
+    Flush,
+    ReadTime,
+    /// Anything not span-safe (control flow, fences, `Halt`). Present in
+    /// the plan so it stays index-parallel to the program, but
+    /// [`Core::compute_ff_plan`] gives these PCs a zero span length, so
+    /// the span loop never dispatches one.
+    Barrier,
+}
+
+/// One pre-decoded span-safe instruction: a flat `(kind, regs, imm)`
+/// record the fast-forward span loop executes with a single jump-table
+/// dispatch. `dst` holds the source register for `Store` (which writes
+/// memory, not a register); `imm` holds the immediate for `MovImm` and
+/// `*RI` forms and the byte displacement (as raw `u64` bits) for memory
+/// ops.
+#[derive(Debug, Clone, Copy)]
+struct FfUop {
+    kind: FfKind,
+    dst: u8,
+    a: u8,
+    b: u8,
+    imm: u64,
+}
+
+impl FfUop {
+    /// Register-file index of the `dst` field. Decode validated the raw
+    /// number, so the mask is a no-op that lets the span loop index the
+    /// register file without bounds checks.
+    #[inline(always)]
+    fn dsti(self) -> usize {
+        (self.dst & (NUM_REGS as u8 - 1)) as usize
+    }
+
+    /// Register-file index of the `a` field (see [`Self::dsti`]).
+    #[inline(always)]
+    fn ai(self) -> usize {
+        (self.a & (NUM_REGS as u8 - 1)) as usize
+    }
+
+    /// Register-file index of the `b` field (see [`Self::dsti`]).
+    #[inline(always)]
+    fn bi(self) -> usize {
+        (self.b & (NUM_REGS as u8 - 1)) as usize
+    }
+
+    fn decode(inst: Inst) -> FfUop {
+        use crate::isa::AluOp;
+        let uop = |kind, dst: u8, a: u8, b: u8, imm: u64| {
+            // The detailed path panics on an out-of-range register at
+            // execution; pre-decode keeps that contract by rejecting it
+            // here, which is what makes the masked (unchecked) indexing
+            // in the span loop exact.
+            assert!(
+                (dst as usize) < NUM_REGS && (a as usize) < NUM_REGS && (b as usize) < NUM_REGS,
+                "register out of range in fast-forward pre-decode"
+            );
+            FfUop {
+                kind,
+                dst,
+                a,
+                b,
+                imm,
+            }
+        };
+        match inst {
+            Inst::Nop => uop(FfKind::Nop, 0, 0, 0, 0),
+            Inst::MovImm { dst, imm } => uop(FfKind::MovImm, dst.0, 0, 0, imm),
+            Inst::Alu { op, dst, a, b } => {
+                let (rr, ri) = match op {
+                    AluOp::Add => (FfKind::AddRR, FfKind::AddRI),
+                    AluOp::Sub => (FfKind::SubRR, FfKind::SubRI),
+                    AluOp::Mul => (FfKind::MulRR, FfKind::MulRI),
+                    AluOp::And => (FfKind::AndRR, FfKind::AndRI),
+                    AluOp::Or => (FfKind::OrRR, FfKind::OrRI),
+                    AluOp::Xor => (FfKind::XorRR, FfKind::XorRI),
+                    AluOp::Shl => (FfKind::ShlRR, FfKind::ShlRI),
+                    AluOp::Shr => (FfKind::ShrRR, FfKind::ShrRI),
+                };
+                match b {
+                    Operand::Reg(r) => uop(rr, dst.0, a.0, r.0, 0),
+                    Operand::Imm(i) => uop(ri, dst.0, a.0, 0, i),
+                }
+            }
+            Inst::Load { dst, base, offset } => uop(FfKind::Load, dst.0, base.0, 0, offset as u64),
+            Inst::Store { src, base, offset } => {
+                uop(FfKind::Store, src.0, base.0, 0, offset as u64)
+            }
+            Inst::Flush { base, offset } => uop(FfKind::Flush, 0, base.0, 0, offset as u64),
+            Inst::ReadTime { dst } => uop(FfKind::ReadTime, dst.0, 0, 0, 0),
+            Inst::Fence
+            | Inst::Branch { .. }
+            | Inst::Jump { .. }
+            | Inst::JumpInd { .. }
+            | Inst::Call { .. }
+            | Inst::Ret { .. }
+            | Inst::Halt => uop(FfKind::Barrier, 0, 0, 0, 0),
         }
     }
 }
@@ -2170,5 +2737,200 @@ mod call_ret_tests {
         // the branch mispredicted.
         assert_eq!(r.stats.mispredicts, 1);
         assert_eq!(core.ras().depth(), 0, "balanced RSB after the run");
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod fast_forward_tests {
+    use super::*;
+    use crate::isa::Cond;
+    use crate::program::ProgramBuilder;
+    use unxpec_mem::Addr;
+
+    /// Straight-line stretches with fence-settled memory traffic, broken
+    /// up by data-dependent branches — the shape whose two-speed
+    /// execution is provably exact (every access completes before the
+    /// next one issues, so skipping MSHR entries cannot change timing).
+    fn settled_mixed_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x8000);
+        b.mov(Reg(2), 0);
+        b.mov(Reg(5), 0);
+        for i in 0..20i64 {
+            b.add(Reg(3), Reg(2), i as u64);
+            b.mul(Reg(4), Reg(3), 3u64);
+            b.load(Reg(6), Reg(1), i * 64);
+            b.fence();
+            b.add(Reg(2), Reg(2), Reg(6));
+            b.store(Reg(2), Reg(1), i * 64);
+            b.fence();
+        }
+        b.and(Reg(7), Reg(2), 1u64);
+        b.branch(Cond::Eq, Reg(7), 0u64, "even");
+        b.add(Reg(5), Reg(5), 1u64);
+        b.label("even");
+        for _ in 0..10 {
+            b.mul(Reg(8), Reg(2), 7u64);
+            b.add(Reg(5), Reg(5), Reg(8));
+        }
+        b.halt();
+        b.build()
+    }
+
+    fn seed_memory(core: &mut Core) {
+        for i in 0..20u64 {
+            core.mem_mut()
+                .write_u64(Addr::new(0x8000 + i * 64), i * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_detailed_exactly_on_settled_program() {
+        let program = settled_mixed_program();
+        let mut detailed = Core::table_i();
+        seed_memory(&mut detailed);
+        let rd = detailed.run(&program);
+
+        let mut ff = Core::table_i();
+        ff.set_mode(ExecMode::FastForward);
+        seed_memory(&mut ff);
+        let rf = ff.run(&program);
+
+        assert_eq!(rf.regs, rd.regs, "architectural registers diverged");
+        assert_eq!(rf.stats.cycles, rd.stats.cycles, "cycle counts diverged");
+        assert_eq!(rf.stats.committed_insts, rd.stats.committed_insts);
+        assert_eq!(rf.stats.committed_loads, rd.stats.committed_loads);
+        assert_eq!(rf.stats.branches, rd.stats.branches);
+        assert_eq!(rf.stats.mispredicts, rd.stats.mispredicts);
+        assert_eq!(rf.stats.squashes.len(), rd.stats.squashes.len());
+        for i in 0..20u64 {
+            let line = Addr::new(0x8000 + i * 64).line();
+            assert_eq!(
+                ff.hierarchy().l1_contains(line),
+                detailed.hierarchy().l1_contains(line),
+                "L1 residency diverged for line {i}"
+            );
+        }
+        assert!(rf.stats.ff_regions > 0, "fast-forward never engaged");
+        assert!(rf.stats.ff_committed_insts > 0);
+        assert_eq!(rd.stats.ff_regions, 0, "detailed run must not fast-forward");
+    }
+
+    #[test]
+    fn fast_forward_waits_for_inflight_wrong_path_miss() {
+        // Fuzz-found divergence, minimized: a mispredicted branch whose
+        // wrong path issues a load miss, squashed while the miss is
+        // still in flight. The rollback leaves the MSHR running, so the
+        // committed re-execution of the same load *merges* with it in
+        // the detailed core and waits for the fill (~130 cycles) — but
+        // the functional path has no MSHR merge and would hit the
+        // already-installed L1 line in 4 cycles. The memory-quiescence
+        // gate keeps the region after the squash in detailed mode until
+        // the miss drains, so both runs report identical cycles.
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 0x8000);
+        b.flush(Reg(1), 40);
+        b.fence();
+        // Taken branch (r2 == 0 < imm); predicted not-taken, so the
+        // fall-through wrong path runs the load at "skip" speculatively.
+        b.branch(Cond::Lt, Reg(2), 1u64, "skip");
+        b.mul(Reg(4), Reg(1), Reg(4));
+        b.nop();
+        b.label("skip");
+        b.load(Reg(7), Reg(1), 336);
+        b.fence();
+        b.halt();
+        let program = b.build();
+
+        let mut detailed = Core::table_i();
+        seed_memory(&mut detailed);
+        let rd = detailed.run(&program);
+
+        let mut ff = Core::table_i();
+        ff.set_mode(ExecMode::FastForward);
+        seed_memory(&mut ff);
+        let rf = ff.run(&program);
+
+        assert_eq!(rd.stats.squashes.len(), 1, "the branch must mispredict");
+        assert_eq!(rf.stats.squashes.len(), 1);
+        assert_eq!(rf.regs, rd.regs, "architectural registers diverged");
+        assert_eq!(rf.stats.cycles, rd.stats.cycles, "cycle counts diverged");
+        assert!(rf.stats.ff_regions > 0, "fast-forward never engaged");
+    }
+
+    #[test]
+    fn fast_forward_is_inert_without_the_mode() {
+        let program = settled_mixed_program();
+        let mut core = Core::table_i();
+        let r = core.run(&program);
+        assert_eq!(r.stats.ff_regions, 0);
+        assert_eq!(r.stats.ff_committed_insts, 0);
+    }
+
+    #[test]
+    fn tracing_disengages_fast_forward() {
+        // Per-instruction tracing needs the detailed event stream, so a
+        // traced run silently stays all-detailed even in FF mode.
+        let program = settled_mixed_program();
+        let mut core = Core::table_i();
+        core.set_mode(ExecMode::FastForward).set_tracing(true);
+        let r = core.run(&program);
+        assert_eq!(r.stats.ff_regions, 0);
+        let trace = r.trace.expect("tracing was enabled");
+        assert_eq!(
+            trace.events.len() as u64,
+            r.stats.committed_insts + r.stats.squashed_insts,
+            "trace must cover every dispatched instruction"
+        );
+    }
+
+    #[test]
+    fn sanitizer_stays_clean_across_mode_switches() {
+        let program = settled_mixed_program();
+        let mut core = Core::table_i();
+        core.set_mode(ExecMode::FastForward);
+        seed_memory(&mut core);
+        let r = core
+            .run_checked(&program)
+            .expect("no invariant may trip across FF/detailed hand-offs");
+        assert!(r.stats.ff_regions > 0, "fast-forward must engage");
+    }
+
+    #[test]
+    fn milestone_accounting_matches_between_modes() {
+        let program = settled_mixed_program();
+        let mut detailed = Core::table_i();
+        let rd = detailed.run_with_milestone(&program, Some(50), u64::MAX);
+        let mut ff = Core::table_i();
+        ff.set_mode(ExecMode::FastForward);
+        let rf = ff.run_with_milestone(&program, Some(50), u64::MAX);
+        assert_eq!(rf.stats.milestone_cycle, rd.stats.milestone_cycle);
+    }
+
+    #[test]
+    fn mode_switch_events_bracket_regions() {
+        let program = settled_mixed_program();
+        let sink = unxpec_telemetry::Telemetry::ring(4096);
+        let mut core = Core::table_i();
+        core.set_mode(ExecMode::FastForward)
+            .set_telemetry(sink.clone());
+        let r = core.run(&program);
+        let events = sink.snapshot();
+        let switches: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ModeSwitch { fast_forward, .. } => Some(*fast_forward),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            switches.len() as u64,
+            2 * r.stats.ff_regions,
+            "every region must open and close a switch span"
+        );
+        for pair in switches.chunks(2) {
+            assert_eq!(pair, [true, false], "spans must alternate enter/exit");
+        }
     }
 }

@@ -36,7 +36,7 @@ mod sanitizer;
 mod stats;
 mod trace;
 
-pub use crate::core::{Core, RunResult};
+pub use crate::core::{Core, ExecMode, RunResult};
 pub use asm::{parse_asm, ParseAsmError};
 pub use config::CoreConfig;
 pub use defense::{Defense, FillPolicy, SquashInfo, UnsafeBaseline};

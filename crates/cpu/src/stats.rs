@@ -64,6 +64,13 @@ pub struct RunStats {
     /// (see `Core::run_with_milestone`; the paper's `startinst_count`
     /// warmup methodology).
     pub milestone_cycle: Option<Cycle>,
+    /// Committed instructions executed by the fast-forward functional
+    /// interpreter (a subset of `committed_insts`; zero in all-detailed
+    /// runs).
+    pub ff_committed_insts: u64,
+    /// Fast-forward regions entered (mode switches into the functional
+    /// interpreter; zero in all-detailed runs).
+    pub ff_regions: u64,
 }
 
 impl RunStats {
@@ -106,6 +113,17 @@ impl RunStats {
         reg.set("core.squashed_insts", self.squashed_insts);
         reg.set("core.cleanup_stall_cycles", self.cleanup_stall_cycles);
         reg.set("core.ipc_milli", (self.ipc() * 1000.0).round() as u64);
+        // Mode counters appear only for runs that actually fast-forwarded,
+        // so detailed-mode metric dumps stay byte-identical to pre-two-speed
+        // builds.
+        if self.ff_regions > 0 {
+            reg.set("core.mode.ff_committed_insts", self.ff_committed_insts);
+            reg.set("core.mode.ff_regions", self.ff_regions);
+            reg.set(
+                "core.mode.detailed_committed_insts",
+                self.committed_insts - self.ff_committed_insts,
+            );
+        }
         for r in &self.squashes {
             reg.observe("squash.resolution_time", r.resolution_time());
             reg.observe("squash.cleanup_cycles", r.cleanup_cycles());

@@ -29,7 +29,11 @@ use unxpec::experiments::seeding::fnv1a64;
 use crate::spec::SweepSpec;
 
 /// Version of the digest scheme (field set + combination rule).
-pub const DIGEST_VERSION: u32 = 1;
+///
+/// v2: added the execution-mode field (two-speed core) — every cell
+/// digest moved, so v1 cache entries miss instead of aliasing across
+/// the mode axis.
+pub const DIGEST_VERSION: u32 = 2;
 
 /// Behavioral version of the simulator whose outputs are being cached.
 /// Part of every cell digest: bump it when simulator semantics change
@@ -75,6 +79,7 @@ pub fn cell_digest(spec: &SweepSpec, experiment: &str, variant: &str, seed_index
         ("workload-warmup", spec.scale.workload_warmup.to_string()),
         ("workload-measure", spec.scale.workload_measure.to_string()),
         ("root-seed", format!("{:#x}", spec.root_seed)),
+        ("mode", spec.mode.label().to_string()),
     ])
 }
 
@@ -104,6 +109,13 @@ mod tests {
         let mut other = spec.clone();
         other.scale.pdf_samples += 1;
         assert_ne!(base, cell_digest(&other, "rollback", "es", 0));
+        let mut other = spec.clone();
+        other.mode = unxpec::cpu::ExecMode::FastForward;
+        assert_ne!(
+            base,
+            cell_digest(&other, "rollback", "es", 0),
+            "cached results must never mix execution modes"
+        );
     }
 
     #[test]

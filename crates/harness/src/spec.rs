@@ -8,6 +8,7 @@
 //! *identity string*, so the seed of any trial is a pure function of
 //! the spec, independent of worker count and execution order.
 
+use unxpec::cpu::ExecMode;
 use unxpec::experiments::seeding::{self, fnv1a64};
 use unxpec::experiments::{Scale, ScaleError};
 
@@ -30,6 +31,12 @@ pub struct SweepSpec {
     pub seeds: u64,
     /// Root seed every trial seed derives from.
     pub root_seed: u64,
+    /// Execution mode every trial's simulated cores run under. Part of
+    /// the spec's identity (a fast-forward sweep is not interchangeable
+    /// with a detailed one), but appended to the canonical string only
+    /// when non-default so every existing detailed-mode manifest stays
+    /// valid.
+    pub mode: ExecMode,
 }
 
 /// One enumerated trial of a sweep.
@@ -93,6 +100,7 @@ impl SweepSpec {
             scale: Scale::quick(),
             seeds: 2,
             root_seed: seeding::DEFAULT_ROOT_SEED,
+            mode: ExecMode::Detailed,
         }
     }
 
@@ -114,7 +122,7 @@ impl SweepSpec {
     /// the grid and still reuse every recorded trial. Execution
     /// options (jobs, retries, output paths) are not identity either.
     pub fn canonical_string(&self) -> String {
-        format!(
+        let mut s = format!(
             "scale={},{},{},{},{};root-seed={:#x}",
             self.scale.timing_samples,
             self.scale.pdf_samples,
@@ -122,7 +130,15 @@ impl SweepSpec {
             self.scale.workload_warmup,
             self.scale.workload_measure,
             self.root_seed
-        )
+        );
+        // The default (detailed) mode is deliberately not spelled out:
+        // every manifest written before the two-speed core exists is a
+        // detailed manifest, and must keep digesting identically.
+        if self.mode != ExecMode::Detailed {
+            s.push_str(";mode=");
+            s.push_str(self.mode.label());
+        }
+        s
     }
 
     /// FNV-1a digest of [`SweepSpec::canonical_string`].
@@ -215,6 +231,11 @@ impl SweepSpec {
                     spec.root_seed =
                         parse_seed(value).ok_or_else(|| SpecError::Parse(line.to_string()))?;
                 }
+                "mode" => match value {
+                    "detailed" => spec.mode = ExecMode::Detailed,
+                    "fast-forward" => spec.mode = ExecMode::FastForward,
+                    _ => return Err(SpecError::Parse(line.to_string())),
+                },
                 _ => return Err(SpecError::Parse(line.to_string())),
             }
         }
@@ -307,6 +328,32 @@ mod tests {
         let mut c = SweepSpec::quick();
         c.scale.pdf_samples += 1;
         assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn mode_is_identity_but_detailed_stays_silent() {
+        let detailed = SweepSpec::quick();
+        let mut ff = SweepSpec::quick();
+        ff.mode = ExecMode::FastForward;
+        assert_ne!(
+            detailed.digest(),
+            ff.digest(),
+            "fast-forward sweeps must never alias detailed manifests"
+        );
+        assert!(
+            !detailed.canonical_string().contains("mode"),
+            "pre-two-speed manifests must keep digesting identically"
+        );
+        assert!(ff.canonical_string().ends_with(";mode=fast-forward"));
+    }
+
+    #[test]
+    fn parse_accepts_mode() {
+        let spec = SweepSpec::parse("mode=fast-forward\n").unwrap();
+        assert_eq!(spec.mode, ExecMode::FastForward);
+        let spec = SweepSpec::parse("mode=detailed\n").unwrap();
+        assert_eq!(spec.mode, ExecMode::Detailed);
+        assert!(SweepSpec::parse("mode=warp").is_err());
     }
 
     #[test]

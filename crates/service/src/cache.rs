@@ -24,16 +24,22 @@
 //!   re-simulation.
 //! * **LRU size bound** — the cache tracks total bytes and evicts
 //!   least-recently-used entries once `max_bytes` is exceeded (0 means
-//!   unbounded). Recency is in-memory; after a restart it resets to
-//!   key order until reads re-establish it.
+//!   unbounded). Recency is in-memory; after a restart it is seeded
+//!   from file modification times (oldest first, key as tie-break), so
+//!   eviction order survives a restart instead of decaying to
+//!   arbitrary key order. An entry whose metadata cannot be read at
+//!   open — including a dangling symlink where an entry should be —
+//!   is treated as corrupt and deleted rather than silently indexed
+//!   at size 0 (which would let the byte bound be exceeded).
 //!
 //! Diagnostics lines are *not* cached: they describe how a particular
 //! execution ran (fault schedules, telemetry tails), not what the cell
 //! computes, and they are excluded from the output digest for the same
 //! reason.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
 use unxpec::experiments::seeding::fnv1a64;
 use unxpec_harness::{output_digest, TrialOutput};
@@ -72,8 +78,14 @@ pub struct ResultCache {
     max_bytes: u64,
     /// key → entry file size.
     sizes: HashMap<u64, u64>,
-    /// LRU order, oldest at the front.
-    order: VecDeque<u64>,
+    /// Recency index: monotonic stamp → key, oldest stamp first.
+    /// Paired with `stamp_of` so touch/forget/evict are logarithmic
+    /// instead of scanning an insertion-order list.
+    by_stamp: BTreeMap<u64, u64>,
+    /// key → its current stamp in `by_stamp`.
+    stamp_of: HashMap<u64, u64>,
+    /// Next recency stamp to hand out.
+    next_stamp: u64,
     stats: CacheStats,
 }
 
@@ -185,11 +197,17 @@ fn parse_entry(key: u64, text: &str) -> Result<TrialOutput, String> {
 impl ResultCache {
     /// Opens (or creates) the cache at `config.dir` and indexes every
     /// existing entry by filename. Contents are validated lazily, on
-    /// read — a corrupt entry costs its own miss, never the open.
+    /// read — a corrupt entry costs its own miss, never the open. An
+    /// entry whose metadata cannot be read is deleted and counted into
+    /// [`CacheStats::corrupt`] right here: indexing it at size 0 would
+    /// let the LRU byte bound be silently exceeded.
     pub fn open(config: &CacheConfig) -> Result<Self, ServiceError> {
         std::fs::create_dir_all(&config.dir)
             .map_err(|e| ServiceError::Cache(format!("create {}: {e}", config.dir.display())))?;
         let mut sizes = HashMap::new();
+        let mut corrupt = 0u64;
+        // (mtime, key) per surviving entry — the restart recency seed.
+        let mut aged: Vec<(SystemTime, u64)> = Vec::new();
         let shards = std::fs::read_dir(&config.dir)
             .map_err(|e| ServiceError::Cache(format!("scan {}: {e}", config.dir.display())))?;
         for shard in shards.flatten() {
@@ -207,25 +225,41 @@ impl ResultCache {
                 let Ok(key) = u64::from_str_radix(stem, 16) else {
                     continue;
                 };
-                let size = file.metadata().map(|m| m.len()).unwrap_or(0);
-                sizes.insert(key, size);
+                // fs::metadata (not DirEntry::metadata) follows
+                // symlinks, so a dangling link where an entry should
+                // be fails here and is cleaned up like any other
+                // corruption.
+                let Ok(meta) = std::fs::metadata(file.path()) else {
+                    let _ = std::fs::remove_file(file.path());
+                    corrupt += 1;
+                    continue;
+                };
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                sizes.insert(key, meta.len());
+                aged.push((mtime, key));
             }
         }
-        // Restart recency: oldest-first in key order, re-established by
-        // reads as the cache warms back up.
-        let mut order: Vec<u64> = sizes.keys().copied().collect();
-        order.sort_unstable();
+        // Restart recency: oldest mtime first (key as a deterministic
+        // tie-break), refined further by reads as the cache warms up.
+        aged.sort_unstable();
         let bytes = sizes.values().sum();
-        Ok(ResultCache {
+        let mut cache = ResultCache {
             dir: config.dir.clone(),
             max_bytes: config.max_bytes,
             sizes,
-            order: order.into(),
+            by_stamp: BTreeMap::new(),
+            stamp_of: HashMap::new(),
+            next_stamp: 0,
             stats: CacheStats {
                 bytes,
+                corrupt,
                 ..CacheStats::default()
             },
-        })
+        };
+        for (_, key) in aged {
+            cache.touch(key);
+        }
+        Ok(cache)
     }
 
     fn path_for(&self, key: u64) -> PathBuf {
@@ -235,18 +269,21 @@ impl ResultCache {
     }
 
     fn touch(&mut self, key: u64) {
-        if let Some(pos) = self.order.iter().position(|&k| k == key) {
-            self.order.remove(pos);
+        if let Some(stamp) = self.stamp_of.remove(&key) {
+            self.by_stamp.remove(&stamp);
         }
-        self.order.push_back(key);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.by_stamp.insert(stamp, key);
+        self.stamp_of.insert(key, stamp);
     }
 
     fn forget(&mut self, key: u64) {
         if let Some(size) = self.sizes.remove(&key) {
             self.stats.bytes = self.stats.bytes.saturating_sub(size);
         }
-        if let Some(pos) = self.order.iter().position(|&k| k == key) {
-            self.order.remove(pos);
+        if let Some(stamp) = self.stamp_of.remove(&key) {
+            self.by_stamp.remove(&stamp);
         }
     }
 
@@ -304,9 +341,9 @@ impl ResultCache {
         self.forget(key); // replacing an entry must not double-count bytes
         self.sizes.insert(key, text.len() as u64);
         self.stats.bytes += text.len() as u64;
-        self.order.push_back(key);
-        while self.max_bytes > 0 && self.stats.bytes > self.max_bytes && self.order.len() > 1 {
-            let Some(oldest) = self.order.front().copied() else {
+        self.touch(key);
+        while self.max_bytes > 0 && self.stats.bytes > self.max_bytes && self.sizes.len() > 1 {
+            let Some((_, &oldest)) = self.by_stamp.first_key_value() else {
                 break;
             };
             let _ = std::fs::remove_file(self.path_for(oldest));
@@ -421,6 +458,88 @@ mod tests {
         cache.put(3, &output("six")).expect("put evicts"); // same entry size as "one"/"two"
         assert!(cache.get(2).is_none(), "LRU key 2 evicted");
         assert!(cache.get(1).is_some(), "refreshed key 1 survives");
+        std::fs::remove_dir_all(&config.dir).ok();
+    }
+
+    /// Satellite regression: restart recency must follow file mtimes,
+    /// not key order — after a reopen, eviction removes the entry that
+    /// was written longest ago even when its key sorts last.
+    #[test]
+    fn restart_recency_follows_mtime_not_key_order() {
+        let (config, mut cache) = temp_cache("mtime", 0);
+        // Keys chosen so key order (1 < 2 < 9) disagrees with age
+        // order: key 9 is made the *oldest* entry, key 1 the newest.
+        for key in [9u64, 2, 1] {
+            cache.put(key, &output(&format!("k{key}"))).expect("put");
+        }
+        let stamp = |secs: u64| SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(secs);
+        for (key, secs) in [(9u64, 100u64), (2, 200), (1, 300)] {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(cache.path_for(key))
+                .expect("open entry");
+            file.set_modified(stamp(secs)).expect("set mtime");
+        }
+        let mut reopened = ResultCache::open(&config).expect("reopen");
+        // Shrink to exactly-full and insert one strictly smaller entry:
+        // the single eviction must take the mtime-oldest key 9, not
+        // key 1.
+        reopened.max_bytes = reopened.stats().bytes;
+        let tiny = TrialOutput::new("x".into(), vec![]);
+        reopened.put(5, &tiny).expect("put evicts");
+        assert!(reopened.get(9).is_none(), "mtime-oldest key 9 evicted");
+        assert!(reopened.get(1).is_some(), "newest key 1 survives");
+        assert!(reopened.get(2).is_some(), "middle key 2 survives");
+        std::fs::remove_dir_all(&config.dir).ok();
+    }
+
+    /// Satellite regression: an entry whose metadata cannot be read
+    /// (here: a dangling symlink where the entry file should be) is
+    /// deleted at open and counted corrupt, never indexed at size 0.
+    #[cfg(unix)]
+    #[test]
+    fn unreadable_metadata_at_open_is_corrupt_and_deleted() {
+        let (config, mut cache) = temp_cache("badmeta", 0);
+        cache.put(1, &output("good")).expect("put");
+        let bad = cache.path_for(0xaa);
+        std::fs::create_dir_all(bad.parent().expect("shard")).expect("shard dir");
+        std::os::unix::fs::symlink(config.dir.join("no-such-target"), &bad).expect("symlink");
+        let mut reopened = ResultCache::open(&config).expect("reopen");
+        assert_eq!(reopened.stats().corrupt, 1, "dangling entry counted");
+        assert_eq!(reopened.len(), 1, "only the real entry is indexed");
+        assert!(
+            std::fs::symlink_metadata(&bad).is_err(),
+            "dangling entry is deleted at open"
+        );
+        assert!(reopened.get(1).is_some(), "healthy entry still serves");
+        assert!(reopened.get(0xaa).is_none());
+        std::fs::remove_dir_all(&config.dir).ok();
+    }
+
+    /// The indexed recency structure keeps exact LRU order under many
+    /// interleaved touches (the old linear scan's behaviour, kept).
+    #[test]
+    fn eviction_respects_interleaved_touches_at_scale() {
+        let (config, mut cache) = temp_cache("stamps", 0);
+        for key in 0..20u64 {
+            cache.put(key, &output(&format!("k{key}"))).expect("put");
+        }
+        // Refresh the even keys; the odd ones become the LRU tail.
+        for key in (0..20u64).step_by(2) {
+            assert!(cache.get(key).is_some());
+        }
+        // Ten tiny puts against an exactly-full bound: each evicts
+        // exactly the current LRU entry, which must walk the untouched
+        // odd keys in insertion order before any refreshed even key.
+        for (i, expected) in (1..20u64).step_by(2).enumerate() {
+            cache.max_bytes = cache.stats().bytes;
+            let tiny = TrialOutput::new("x".into(), vec![]);
+            cache.put(1000 + i as u64, &tiny).expect("put evicts");
+            assert!(cache.get(expected).is_none(), "odd key {expected} is LRU");
+        }
+        for key in (0..20u64).step_by(2) {
+            assert!(cache.get(key).is_some(), "touched key {key} survives");
+        }
         std::fs::remove_dir_all(&config.dir).ok();
     }
 

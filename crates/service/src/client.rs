@@ -7,6 +7,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use unxpec_telemetry::json::Value;
 
@@ -125,6 +126,28 @@ impl Client {
             job: job.to_string(),
         })?;
         Ok(status_from(&doc))
+    }
+
+    /// Polls `status` until the job finishes and returns the final
+    /// counters. On deadline expiry returns the typed
+    /// [`ServiceError::WaitTimeout`] — mirroring the server-side
+    /// `Service::wait` contract, a still-running job can never be
+    /// mistaken for a finished one.
+    pub fn wait(&mut self, job: &str, timeout: Duration) -> Result<RemoteStatus, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(job)?;
+            if status.finished {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(ServiceError::WaitTimeout {
+                    job: job.to_string(),
+                    waited_ms: timeout.as_millis() as u64,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
     }
 
     /// Streams progress until the job finishes; calls `on_progress`

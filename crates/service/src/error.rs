@@ -40,6 +40,15 @@ pub enum ServiceError {
     UnknownJob(String),
     /// The job still has open trials (`results` before completion).
     NotFinished(String),
+    /// A `wait` reached its deadline before the job finished. Distinct
+    /// from a finished status so callers can never mistake a
+    /// still-running job for a completed one.
+    WaitTimeout {
+        /// The job being waited on.
+        job: String,
+        /// How long the caller waited, in milliseconds.
+        waited_ms: u64,
+    },
     /// A submitted spec failed to parse or enumerate.
     Spec(String),
     /// The result cache could not be opened or written.
@@ -60,6 +69,7 @@ impl ServiceError {
             ServiceError::UnknownOp(_) => "unknown-op",
             ServiceError::UnknownJob(_) => "unknown-job",
             ServiceError::NotFinished(_) => "not-finished",
+            ServiceError::WaitTimeout { .. } => "wait-timeout",
             ServiceError::Spec(_) => "spec",
             ServiceError::Cache(_) => "cache",
             ServiceError::Remote(_) => "remote",
@@ -82,6 +92,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownJob(job) => write!(f, "unknown job {job:?}"),
             ServiceError::NotFinished(job) => {
                 write!(f, "job {job:?} still has open trials; wait or stream first")
+            }
+            ServiceError::WaitTimeout { job, waited_ms } => {
+                write!(f, "job {job:?} still open after waiting {waited_ms} ms")
             }
             ServiceError::Spec(e) => write!(f, "spec: {e}"),
             ServiceError::Cache(e) => write!(f, "cache: {e}"),
@@ -109,5 +122,11 @@ mod tests {
         assert!(ServiceError::UnknownJob("j7".into())
             .to_string()
             .contains("j7"));
+        let timeout = ServiceError::WaitTimeout {
+            job: "j3".into(),
+            waited_ms: 250,
+        };
+        assert_eq!(timeout.code(), "wait-timeout");
+        assert!(timeout.to_string().contains("250 ms"));
     }
 }

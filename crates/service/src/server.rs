@@ -35,6 +35,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use unxpec::cpu::ExecMode;
 use unxpec::experiments::Scale;
 use unxpec_harness::{
     aggregate, cell_digest, default_jobs, output_digest, run_tasks_with, Registry, RunPolicy,
@@ -68,6 +69,11 @@ pub struct ServiceConfig {
     pub cache: Option<CacheConfig>,
     /// Live metrics sink (`service.*` names); `None` disables.
     pub hub: Option<MetricsHub>,
+    /// Forces every submitted spec's execution mode (the `serve`
+    /// binary's `--fast-forward`). Applied *before* cell digests are
+    /// computed, so cached results never mix modes. `None` honours
+    /// whatever mode the spec itself carries.
+    pub mode_override: Option<ExecMode>,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +87,7 @@ impl Default for ServiceConfig {
             max_tenant_inflight: 0,
             cache: None,
             hub: None,
+            mode_override: None,
         }
     }
 }
@@ -166,6 +173,12 @@ struct SchedulerState {
     next_job: u64,
     /// Tenants in first-appearance order — the round-robin ring.
     tenants: Vec<String>,
+    /// Cross-job memo: cell digest → the `(job, slot)` holding a
+    /// completed output for it. Jobs are never removed from `jobs`, so
+    /// the indices stay valid for the server's lifetime. This is what
+    /// lets a later job subscribe to an earlier job's result even when
+    /// no disk cache is configured (or the entry was evicted).
+    completed_cells: HashMap<u64, (usize, usize)>,
     /// Ring index of the tenant that gets the *next* slot.
     rr: usize,
     /// `(tenant, trial key)` per pool dispatch, in dispatch order. The
@@ -215,6 +228,7 @@ struct BatchItem {
     variant: String,
     seed: u64,
     scale: Scale,
+    mode: ExecMode,
 }
 
 impl Service {
@@ -274,7 +288,11 @@ impl Service {
     /// Parses and enumerates `spec_text` for `tenant`, queues the job,
     /// and returns `(job id, trial count)`.
     pub fn submit(&self, tenant: &str, spec_text: &str) -> Result<(String, usize), ServiceError> {
-        let spec = SweepSpec::parse(spec_text).map_err(|e| ServiceError::Spec(format!("{e:?}")))?;
+        let mut spec =
+            SweepSpec::parse(spec_text).map_err(|e| ServiceError::Spec(format!("{e:?}")))?;
+        if let Some(mode) = self.inner.config.mode_override {
+            spec.mode = mode;
+        }
         let trials = spec
             .enumerate(&self.inner.registry)
             .map_err(|e| ServiceError::Spec(format!("{e:?}")))?;
@@ -325,8 +343,11 @@ impl Service {
         Ok(Inner::status_of(entry))
     }
 
-    /// Blocks until `job` finishes (or `timeout` passes); returns the
-    /// final status.
+    /// Blocks until `job` finishes; returns the final status. On
+    /// deadline expiry with trials still open, returns the typed
+    /// [`ServiceError::WaitTimeout`] — never an `Ok` that could be
+    /// mistaken for completion (use [`Service::status`] to observe a
+    /// still-running job's counters).
     pub fn wait(&self, job: &str, timeout: Duration) -> Result<JobStatus, ServiceError> {
         let deadline = Instant::now() + timeout;
         let mut st = lock(&self.inner.state);
@@ -337,7 +358,10 @@ impl Service {
             }
             let now = Instant::now();
             if now >= deadline {
-                return Ok(status);
+                return Err(ServiceError::WaitTimeout {
+                    job: job.to_string(),
+                    waited_ms: timeout.as_millis() as u64,
+                });
             }
             let step = (deadline - now).min(Duration::from_millis(50));
             let (guard, _) = self
@@ -496,6 +520,7 @@ impl Inner {
         let mut per_tenant: HashMap<String, usize> = HashMap::new();
         let mut resolved = 0usize;
         let mut cache_hits = 0u64;
+        let mut memo_hits = 0u64;
         let mut quarantine_drops = 0u64;
 
         loop {
@@ -526,6 +551,21 @@ impl Inner {
                 };
                 progressed = true;
                 let cell = st.jobs[job_idx].cells[slot_idx];
+                // Candidate chain, cheapest source first: quarantine,
+                // then cells already dispatched this batch (before the
+                // disk cache, so an in-batch duplicate never records a
+                // spurious cache miss), then the disk cache, then the
+                // cross-job completed-cell memo, then the pool.
+                let memo_done = if st.quarantined.contains(&cell) || inflight.contains(&cell) {
+                    None
+                } else {
+                    st.completed_cells.get(&cell).copied().and_then(|(j, s)| {
+                        match &st.jobs[j].slots[s] {
+                            Slot::Done { output, digest, .. } => Some((output.clone(), *digest)),
+                            _ => None,
+                        }
+                    })
+                };
                 if st.quarantined.contains(&cell) {
                     st.jobs[job_idx].slots[slot_idx] = Slot::Failed {
                         kind: "quarantined",
@@ -534,8 +574,14 @@ impl Inner {
                     };
                     resolved += 1;
                     quarantine_drops += 1;
+                } else if inflight.contains(&cell) {
+                    // Same cell already executing in this batch: share
+                    // the leader's output instead of re-running it.
+                    st.jobs[job_idx].slots[slot_idx] = Slot::Running;
+                    waiters.entry(cell).or_default().push((job_idx, slot_idx));
                 } else if let Some(output) = inner.cache.as_ref().and_then(|c| lock(c).get(cell)) {
                     let digest = output_digest(&output);
+                    st.completed_cells.insert(cell, (job_idx, slot_idx));
                     st.jobs[job_idx].slots[slot_idx] = Slot::Done {
                         output,
                         digest,
@@ -543,11 +589,18 @@ impl Inner {
                     };
                     resolved += 1;
                     cache_hits += 1;
-                } else if inflight.contains(&cell) {
-                    // Same cell already executing in this batch: share
-                    // the leader's output instead of re-running it.
-                    st.jobs[job_idx].slots[slot_idx] = Slot::Running;
-                    waiters.entry(cell).or_default().push((job_idx, slot_idx));
+                } else if let Some((output, digest)) = memo_done {
+                    // A previous job already computed this cell and the
+                    // disk cache no longer has it (cacheless server or
+                    // evicted entry): subscribe to that result instead
+                    // of re-simulating.
+                    st.jobs[job_idx].slots[slot_idx] = Slot::Done {
+                        output,
+                        digest,
+                        cached: true,
+                    };
+                    resolved += 1;
+                    memo_hits += 1;
                 } else {
                     let entry = &mut st.jobs[job_idx];
                     entry.slots[slot_idx] = Slot::Running;
@@ -562,6 +615,7 @@ impl Inner {
                         variant: trial.variant.clone(),
                         seed: trial.seed,
                         scale: entry.spec.scale,
+                        mode: entry.spec.mode,
                     });
                     inflight.insert(cell);
                     *per_tenant.entry(tenant.clone()).or_insert(0) += 1;
@@ -614,6 +668,7 @@ impl Inner {
                         seed: item.seed,
                         scale: item.scale,
                         variant: item.variant.clone(),
+                        mode: item.mode,
                     }))
                 },
                 |_event| {},
@@ -642,6 +697,7 @@ impl Inner {
                             coalesced += 1;
                         }
                         puts.push((item.cell, output.clone()));
+                        st.completed_cells.insert(item.cell, (item.job, item.slot));
                         st.jobs[item.job].slots[item.slot] = Slot::Done {
                             output,
                             digest,
@@ -746,6 +802,7 @@ impl Inner {
         }
         if let Some(hub) = &inner.config.hub {
             hub.inc("service.trials.cached", cache_hits);
+            hub.inc("service.trials.memoized", memo_hits);
             hub.inc("service.trials.quarantined", quarantine_drops);
         }
         Self::publish_cache_stats(inner);
@@ -960,7 +1017,13 @@ fn handle_request(
             // status line with "ok". Each event is its own line.
             let mut last_open = usize::MAX;
             loop {
-                let s = service.wait(&job, Duration::from_millis(200))?;
+                let s = match service.wait(&job, Duration::from_millis(200)) {
+                    Ok(s) => s,
+                    // A still-running job is normal for stream: emit the
+                    // current counters and keep waiting.
+                    Err(ServiceError::WaitTimeout { .. }) => service.status(&job)?,
+                    Err(e) => return Err(e),
+                };
                 if s.open != last_open {
                     last_open = s.open;
                     let event = format!(

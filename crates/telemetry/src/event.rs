@@ -115,6 +115,12 @@ pub enum Event {
         branch_pc: usize,
         epoch: u64,
     },
+    /// The two-speed core switched execution mode: `fast_forward = true`
+    /// when a committed straight-line region enters the functional
+    /// interpreter, `false` when it drops back into the detailed core at
+    /// the next speculation source. Per-instruction pipeline events are
+    /// elided between a `true`/`false` pair.
+    ModeSwitch { cycle: Cycle, fast_forward: bool },
 
     // ----- Cache hierarchy -----------------------------------------------
     CacheHit {
@@ -211,6 +217,7 @@ impl Event {
             | Event::Complete { cycle, .. }
             | Event::SquashBegin { cycle, .. }
             | Event::SquashEnd { cycle, .. }
+            | Event::ModeSwitch { cycle, .. }
             | Event::CacheHit { cycle, .. }
             | Event::CacheMiss { cycle, .. }
             | Event::CacheFill { cycle, .. }
@@ -231,9 +238,10 @@ impl Event {
     /// The track this event renders on.
     pub fn track(&self) -> Track {
         match *self {
-            Event::Dispatch { .. } | Event::Issue { .. } | Event::Complete { .. } => {
-                Track::Pipeline
-            }
+            Event::Dispatch { .. }
+            | Event::Issue { .. }
+            | Event::Complete { .. }
+            | Event::ModeSwitch { .. } => Track::Pipeline,
             Event::SquashBegin { .. } | Event::SquashEnd { .. } | Event::RollbackRestore { .. } => {
                 Track::Defense
             }
@@ -262,6 +270,7 @@ impl Event {
             Event::Complete { .. } => "complete",
             Event::SquashBegin { .. } => "squash_begin",
             Event::SquashEnd { .. } => "squash_end",
+            Event::ModeSwitch { .. } => "mode_switch",
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
             Event::CacheFill { .. } => "cache_fill",
@@ -310,6 +319,9 @@ impl Event {
             Event::SquashEnd {
                 branch_pc, epoch, ..
             } => vec![("branch_pc", branch_pc as u64), ("epoch", epoch)],
+            Event::ModeSwitch { fast_forward, .. } => {
+                vec![("fast_forward", fast_forward as u64)]
+            }
             Event::CacheHit { line, .. }
             | Event::CacheMiss { line, .. }
             | Event::CacheWriteback { line, .. } => vec![("line", line)],
@@ -440,6 +452,10 @@ mod tests {
                 cycle: 17,
                 code: 4,
                 detail: 9,
+            },
+            Event::ModeSwitch {
+                cycle: 18,
+                fast_forward: true,
             },
         ];
         for (i, e) in events.iter().enumerate() {

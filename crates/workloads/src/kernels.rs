@@ -87,11 +87,25 @@ impl Workload {
     ///
     /// Panics if the working set is not a power of two.
     pub fn new(spec: KernelSpec) -> Self {
+        Self::with_unroll(spec, 1)
+    }
+
+    /// Like [`Workload::new`] but with the loop body replicated `unroll`
+    /// times per backward branch. Large unroll factors produce the long
+    /// committed straight-line stretches the two-speed core's
+    /// fast-forward interpreter feeds on; `unroll = 1` is the classic
+    /// branch-per-iteration shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set is not a power of two or `unroll` is 0.
+    pub fn with_unroll(spec: KernelSpec, unroll: usize) -> Self {
         assert!(
             spec.elements().is_power_of_two(),
             "working set must be a power of two"
         );
-        let program = build_program(&spec);
+        assert!(unroll > 0, "unroll factor must be at least 1");
+        let program = build_program(&spec, unroll);
         Workload { spec, program }
     }
 
@@ -145,79 +159,112 @@ impl Workload {
     }
 }
 
-fn build_program(spec: &KernelSpec) -> Program {
+fn build_program(spec: &KernelSpec, unroll: usize) -> Program {
     let mut b = ProgramBuilder::new();
     let index_mask = spec.elements() - 1;
+    // Heavily unrolled bodies rotate across independent register lanes,
+    // the way a compiler assigns unrolled loop instances their own
+    // accumulators: one serial LCG/accumulator chain threaded through
+    // every instance would leave the core's dispatch width idle and
+    // make the "straight-line compute" suite secretly latency-bound.
+    // Classic single-instance bodies (`unroll < 4`, including the whole
+    // SPEC-like suite) keep the original single-lane register
+    // assignment and produce byte-identical programs. Pointer chases
+    // stay single-lane too: the chase is a serial data structure.
+    let lanes: usize = if unroll >= 4 && !spec.pointer_chase {
+        4
+    } else {
+        1
+    };
+    let r_lcg = [R_LCG, Reg(11), Reg(12), Reg(13)];
+    let r_idx = [R_IDX, Reg(14), Reg(15), Reg(16)];
+    let r_addr = [R_ADDR, Reg(17), Reg(18), Reg(19)];
+    let r_v = [R_V, Reg(20), Reg(21), Reg(22)];
+    let r_w = [R_W, Reg(23), Reg(24), Reg(25)];
     b.mov(R_I, 0);
     b.mov(R_TBL, TABLE_BASE);
     b.mov(R_LCG, spec.seed | 1);
     b.mov(R_CNT, 0);
     b.mov(R_W, 1);
+    for lane in 1..lanes {
+        // Distinct odd seeds per lane keep the index streams
+        // uncorrelated, like distinct unrolled strides would be.
+        b.mov(
+            r_lcg[lane],
+            spec.seed.wrapping_add(lane as u64 * 0x9e37_79b9_7f4a_7c15) | 1,
+        );
+        b.mov(r_w[lane], 1);
+    }
     b.label("loop");
-    if spec.pointer_chase {
-        // i = tbl[i]; the loaded successor doubles as the branch value.
-        b.shl(R_ADDR, R_I, 3u64);
-        b.add(R_ADDR, R_ADDR, R_TBL);
-        b.load(R_I, R_ADDR, 0);
-        b.add(R_V, R_I, 0u64);
-    } else {
-        // LCG index, then load the (random) table value.
-        b.mul(R_LCG, R_LCG, 6364136223846793005u64);
-        b.add(R_LCG, R_LCG, 1442695040888963407u64);
-        b.shr(R_IDX, R_LCG, 33u64);
-        let hot_mask = (spec.elements().min(128 * 8)) - 1;
-        if spec.cold_mask > 0 && hot_mask < index_mask {
-            // Branch-free hot/cold select: cold (full-range) index only
-            // when the chosen LCG bits are all zero.
-            b.shr(R_B, R_LCG, 40u64);
-            b.and(R_B, R_B, spec.cold_mask);
-            b.sub(R_B, R_B, 1u64);
-            b.shr(R_B, R_B, 63u64); // 1 iff cold
-            b.mul(R_B, R_B, index_mask ^ hot_mask);
-            b.or(R_B, R_B, hot_mask);
-            b.and(R_IDX, R_IDX, R_B);
+    for instance in 0..unroll {
+        let lane = instance % lanes;
+        if spec.pointer_chase {
+            // i = tbl[i]; the loaded successor doubles as the branch value.
+            b.shl(R_ADDR, R_I, 3u64);
+            b.add(R_ADDR, R_ADDR, R_TBL);
+            b.load(R_I, R_ADDR, 0);
+            b.add(R_V, R_I, 0u64);
         } else {
-            b.and(R_IDX, R_IDX, index_mask);
+            // LCG index, then load the (random) table value.
+            b.mul(r_lcg[lane], r_lcg[lane], 6364136223846793005u64);
+            b.add(r_lcg[lane], r_lcg[lane], 1442695040888963407u64);
+            b.shr(r_idx[lane], r_lcg[lane], 33u64);
+            let hot_mask = (spec.elements().min(128 * 8)) - 1;
+            if spec.cold_mask > 0 && hot_mask < index_mask {
+                // Branch-free hot/cold select: cold (full-range) index only
+                // when the chosen LCG bits are all zero.
+                b.shr(R_B, r_lcg[lane], 40u64);
+                b.and(R_B, R_B, spec.cold_mask);
+                b.sub(R_B, R_B, 1u64);
+                b.shr(R_B, R_B, 63u64); // 1 iff cold
+                b.mul(R_B, R_B, index_mask ^ hot_mask);
+                b.or(R_B, R_B, hot_mask);
+                b.and(r_idx[lane], r_idx[lane], R_B);
+            } else {
+                b.and(r_idx[lane], r_idx[lane], index_mask);
+            }
+            b.shl(r_addr[lane], r_idx[lane], 3u64);
+            b.add(r_addr[lane], r_addr[lane], R_TBL);
+            b.load(r_v[lane], r_addr[lane], 0);
         }
-        b.shl(R_ADDR, R_IDX, 3u64);
-        b.add(R_ADDR, R_ADDR, R_TBL);
-        b.load(R_V, R_ADDR, 0);
-    }
-    for extra in 1..spec.loads_per_iter {
-        b.load(R_V2, R_ADDR, (extra * 8 % 64) as i64);
-    }
-    // Data-dependent branch.
-    if spec.branch_mask > 0 {
-        b.and(R_B, R_V, spec.branch_mask);
-        b.branch(Cond::Ne, R_B, 0u64, "skip_body");
-    }
-    // The taken/not-taken paths must *diverge*: the body perturbs the
-    // future index stream, so a wrong path does not simply prefetch the
-    // correct path's next loads (which would make every rollback undo a
-    // useful prefetch — real wrong paths rarely do that).
-    if spec.pointer_chase {
-        // The chase's address stream is the data structure itself, so
-        // full spatial divergence is impossible; keep the body ALU-only.
-        // A wrong path that runs ahead down the chain acts as a prefetch
-        // the Undo rollback destroys — a real cost of Undo schemes on
-        // pointer-chasing code, kept rare via the branch profile.
-        b.xor(R_W, R_W, R_V);
-    } else {
-        b.xor(R_LCG, R_LCG, R_V);
-    }
-    for _ in 0..spec.extra_alus {
-        b.mul(R_W, R_W, 0x9e37u64);
-        b.add(R_W, R_W, R_V);
-    }
-    if spec.stores {
-        b.store(R_W, R_ADDR, 0);
-    }
-    if spec.branch_mask > 0 {
-        b.label("skip_body");
-    }
-    // Per-iteration serial work on the common path.
-    for _ in 0..spec.tail_alus {
-        b.mul(R_W, R_W, 0x2545u64);
+        for extra in 1..spec.loads_per_iter {
+            b.load(R_V2, r_addr[lane], (extra * 8 % 64) as i64);
+        }
+        // Data-dependent branch.
+        let skip_label = format!("skip_body_{instance}");
+        if spec.branch_mask > 0 {
+            b.and(R_B, r_v[lane], spec.branch_mask);
+            b.branch(Cond::Ne, R_B, 0u64, &skip_label);
+        }
+        // The taken/not-taken paths must *diverge*: the body perturbs the
+        // future index stream, so a wrong path does not simply prefetch the
+        // correct path's next loads (which would make every rollback undo a
+        // useful prefetch — real wrong paths rarely do that).
+        if spec.pointer_chase {
+            // The chase's address stream is the data structure itself, so
+            // full spatial divergence is impossible; keep the body ALU-only.
+            // A wrong path that runs ahead down the chain acts as a prefetch
+            // the Undo rollback destroys — a real cost of Undo schemes on
+            // pointer-chasing code, kept rare via the branch profile.
+            b.xor(R_W, R_W, R_V);
+        } else {
+            b.xor(r_lcg[lane], r_lcg[lane], r_v[lane]);
+        }
+        for _ in 0..spec.extra_alus {
+            b.mul(r_w[lane], r_w[lane], 0x9e37u64);
+            b.add(r_w[lane], r_w[lane], r_v[lane]);
+        }
+        if spec.stores {
+            b.store(r_w[lane], r_addr[lane], 0);
+        }
+        if spec.branch_mask > 0 {
+            b.label(&skip_label);
+        }
+        // Per-iteration serial work on the common path (serial within
+        // the lane — the chain is the point of `tail_alus`).
+        for _ in 0..spec.tail_alus {
+            b.mul(r_w[lane], r_w[lane], 0x2545u64);
+        }
     }
     // Loop control: a perfectly predictable backward branch.
     b.add(R_CNT, R_CNT, 1u64);
@@ -263,6 +310,45 @@ pub fn spec2017_like_suite() -> Vec<Workload> {
                 })
             },
         )
+        .collect()
+}
+
+/// Fast-forward-friendly kernels: no in-loop data-dependent branch and a
+/// heavily unrolled body, so committed straight-line stretches of several
+/// hundred instructions separate consecutive (perfectly predictable)
+/// loop-control branches. These are the workloads the two-speed core's
+/// throughput claim is measured on — the SPEC-like suite above branches
+/// every iteration and bounds fast-forward coverage by design.
+pub fn fast_forward_friendly_suite() -> Vec<Workload> {
+    let specs = [
+        // name, ws lines, body alus, loads, stores, tail, cold mask, unroll
+        // Working sets stay L1-resident (64x8 = 512 lines in Table I):
+        // hierarchy traffic costs both modes the same wall time, so a
+        // miss-bound kernel would only dilute the mode comparison.
+        ("ff_stream", 512, 6, 1, false, 2, 0, 96),
+        ("ff_compute", 256, 10, 1, false, 4, 0, 64),
+        ("ff_blocked", 128, 4, 2, true, 2, 15, 80),
+    ];
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, ws, alus, loads, stores, tail, cold, unroll))| {
+            Workload::with_unroll(
+                KernelSpec {
+                    name,
+                    working_set_lines: ws,
+                    branch_mask: 0,
+                    pointer_chase: false,
+                    extra_alus: alus,
+                    loads_per_iter: loads,
+                    stores,
+                    tail_alus: tail,
+                    cold_mask: cold,
+                    seed: 0xfa57_0000 + i as u64,
+                },
+                unroll,
+            )
+        })
         .collect()
 }
 

@@ -238,12 +238,12 @@ fn tcp_protocol_serves_concurrent_clients_end_to_end() {
 /// fails without an intentional `DIGEST_VERSION` bump, the cache key
 /// derivation changed and every persisted cache would silently miss
 /// (or worse, collide).
-const GOLDEN_CELL_DIGEST: u64 = 0x4b55_3aa1_6edf_0aa6;
+const GOLDEN_CELL_DIGEST: u64 = 0x6104_1e1f_3bbe_4317;
 
 #[test]
 fn golden_spec_cell_digest_is_pinned() {
     assert_eq!(
-        DIGEST_VERSION, 1,
+        DIGEST_VERSION, 2,
         "bumping DIGEST_VERSION invalidates GOLDEN_CELL_DIGEST; re-pin it"
     );
     let text = std::fs::read_to_string("tests/golden/service_spec.txt").expect("golden spec");
@@ -325,6 +325,111 @@ proptest! {
         prop_assert!(cache.get(0xfeed).is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+#[test]
+fn completed_cells_are_memoized_across_jobs_without_a_disk_cache() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let hub = MetricsHub::new();
+    let service = Service::new(
+        counting_registry(Arc::clone(&counter)),
+        ServiceConfig {
+            jobs: 2,
+            hub: Some(hub.clone()),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+
+    let (cold, _) = service.submit("alice", SPEC).expect("submit cold");
+    drive(&service);
+    assert_eq!(counter.load(Ordering::SeqCst), 8, "cold job executes all");
+    let cold_text = service.results(&cold).expect("cold results");
+
+    // Same cells from another tenant: served from the in-memory
+    // completed-cell table — no disk cache, still zero re-execution.
+    let (warm, _) = service.submit("bob", SPEC).expect("submit warm");
+    drive(&service);
+    assert_eq!(
+        counter.load(Ordering::SeqCst),
+        8,
+        "memo skips re-simulation"
+    );
+    let status = service.status(&warm).expect("status");
+    assert_eq!(status.cached, status.total, "all trials memo-served");
+    assert_eq!(
+        service.results(&warm).expect("warm results"),
+        cold_text,
+        "memo-served results byte-identical"
+    );
+    assert_eq!(hub.snapshot().counter("service.trials.memoized"), 8);
+}
+
+#[test]
+fn concurrent_duplicate_jobs_add_no_extra_cache_misses() {
+    let dir = tmpdir("zeromiss");
+    let counter = Arc::new(AtomicUsize::new(0));
+    let hub = MetricsHub::new();
+    let service = Service::new(
+        counting_registry(Arc::clone(&counter)),
+        ServiceConfig {
+            jobs: 2,
+            cache: Some(CacheConfig {
+                dir: dir.clone(),
+                max_bytes: 0,
+            }),
+            hub: Some(hub.clone()),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+
+    // Both tenants queue the same spec before any scheduling happens,
+    // so every one of bob's cells duplicates a cell that is either
+    // inflight or already completed — never a fresh cache lookup.
+    let (alice, _) = service.submit("alice", SPEC).expect("submit alice");
+    let (bob, _) = service.submit("bob", SPEC).expect("submit bob");
+    drive(&service);
+
+    assert_eq!(counter.load(Ordering::SeqCst), 8, "8 unique cells run once");
+    assert!(service.status(&alice).expect("status").finished());
+    let bob_status = service.status(&bob).expect("status");
+    assert!(bob_status.finished());
+    assert_eq!(bob_status.done, 8);
+    let snapshot = hub.snapshot();
+    assert_eq!(
+        snapshot.counter("service.cache.misses"),
+        8,
+        "duplicate cells must not probe the disk cache again"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wait_deadline_is_a_typed_timeout_not_a_stale_status() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let service = Service::new(
+        counting_registry(counter),
+        ServiceConfig {
+            jobs: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+    let (job, _) = service.submit("alice", SPEC).expect("submit");
+
+    // Nothing ticks the scheduler, so the deadline must expire — and
+    // surface as the typed error, never as a half-finished status.
+    let err = service
+        .wait(&job, Duration::from_millis(50))
+        .expect_err("deadline must expire");
+    assert_eq!(err.code(), "wait-timeout");
+    assert!(err.to_string().contains(&job), "{err}");
+
+    drive(&service);
+    let status = service.wait(&job, Duration::from_secs(5)).expect("wait");
+    assert!(status.finished());
+    assert_eq!(status.done, 8);
 }
 
 #[test]
