@@ -1,0 +1,100 @@
+//! Typed analyzer errors.
+//!
+//! Library code in this crate is panic-free (clippy denies
+//! `unwrap`/`expect`/`panic` outside tests); anything that can fail on
+//! caller input surfaces as an [`AnalysisError`] so the `analyze` and
+//! `witness-replay` binaries can map failures onto the repo-wide
+//! 0/1/2 exit-code convention instead of aborting.
+
+use std::fmt;
+
+use unxpec_cpu::PcIndex;
+
+/// Everything the static analyzer and witness pipeline can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The program has no instructions; there is nothing to analyze.
+    EmptyProgram {
+        /// Registry name of the offending program.
+        program: String,
+    },
+    /// A name was requested that neither the attack registry nor the
+    /// benign registry knows.
+    UnknownProgram {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Witness extraction could not produce a concrete counterexample
+    /// for a leak verdict (e.g. no enumerated path evaluates to a
+    /// secret-distinguishing address).
+    WitnessExtraction {
+        /// Registry name of the program.
+        program: String,
+        /// PC of the transmitter the witness was requested for.
+        transmitter: PcIndex,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The architectural interpreter used for witness extraction ran
+    /// off the rails (PC out of bounds, step budget exhausted, ...).
+    Interpreter {
+        /// Registry name of the program.
+        program: String,
+        /// PC at which interpretation failed.
+        pc: PcIndex,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::EmptyProgram { program } => {
+                write!(f, "program `{program}` is empty")
+            }
+            AnalysisError::UnknownProgram { name } => {
+                write!(
+                    f,
+                    "unknown program `{name}` (not in attack or benign registry)"
+                )
+            }
+            AnalysisError::WitnessExtraction {
+                program,
+                transmitter,
+                reason,
+            } => write!(
+                f,
+                "witness extraction failed for `{program}` transmitter pc {transmitter}: {reason}"
+            ),
+            AnalysisError::Interpreter {
+                program,
+                pc,
+                reason,
+            } => {
+                write!(f, "interpreter error in `{program}` at pc {pc}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AnalysisError::WitnessExtraction {
+            program: "spectre".into(),
+            transmitter: 12,
+            reason: "no distinguishing pair".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("spectre"));
+        assert!(s.contains("12"));
+        assert!(s.contains("no distinguishing pair"));
+    }
+}

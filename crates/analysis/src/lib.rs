@@ -54,13 +54,28 @@
 //! ```
 
 pub mod cfg;
+pub mod error;
+pub mod paths;
+pub mod replay;
 pub mod taint;
 pub mod verdict;
 pub mod window;
+pub mod witness;
 
 pub use cfg::Cfg;
-pub use taint::{taint_analysis, AbsState, AbsValue, SecretRegion, TaintResult, Transmitter};
+pub use error::AnalysisError;
+pub use paths::{Assumption, RefinementStatus, SpecPath, TransmitterRefinement};
+pub use replay::{
+    check_witness, defense_for, refute_clean, replay_program, replay_registry, ProgramReplay,
+    RefutationSweep, ReplayConfig, ReplayReport, WitnessCheck,
+};
+pub use taint::{
+    taint_analysis, taint_analysis_with, AbsState, AbsValue, AnalysisConfig, SecretRegion,
+    TaintResult, Transmitter,
+};
 pub use verdict::{
-    analyze, Channel, DefenseModel, LeakReport, ProgramAnalysis, Verdict, WindowedTransmitter,
+    analyze, analyze_with, document, Channel, DefenseModel, LeakReport, ProgramAnalysis, Verdict,
+    WindowedTransmitter,
 };
 pub use window::{speculative_windows, window_bound, SpecKind, SpecWindow};
+pub use witness::{extract, LeakWitness, PredictedObservable, FALLBACK_PAIRS};

@@ -14,6 +14,10 @@
 //! load-to-load chains (a load with a tainted base produces a tainted
 //! value). The join is path-insensitive over *all* CFG edges — including
 //! the predictor-reachable ones — so facts hold on transient paths too.
+//! Join-induced imprecision (a wide join saturating to `Top` and then
+//! seeding) is repaired by the path-sensitive refinement in
+//! [`crate::paths`], which re-walks each candidate transmitter's
+//! speculative paths individually.
 //!
 //! Seeding is a *may*-analysis: a load whose abstract address set
 //! intersects a secret region seeds taint, and a load whose address is
@@ -26,16 +30,59 @@
 
 use std::collections::BTreeSet;
 
-use unxpec_cpu::{Inst, Operand, PcIndex, Program, NUM_REGS};
+use unxpec_cpu::{AluOp, Cond, Inst, Operand, PcIndex, Program, NUM_REGS};
 use unxpec_mem::MemoryLayout;
 
 use crate::cfg::Cfg;
 
-/// Cap on tracked constants per register; larger sets widen to `Top`.
-const CONST_CAP: usize = 64;
+/// Tunable knobs of the static analyzer.
+///
+/// The defaults reproduce the published analysis; the caps exist so
+/// tests can exercise lattice-saturation boundaries and so callers can
+/// trade precision for time on large programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Cap on tracked constants per register; larger sets widen to
+    /// `Top` (and a `Top` address then *may*-seeds taint).
+    pub const_cap: usize,
+    /// Cap on recorded taint-chain length (reporting aid only).
+    pub chain_cap: usize,
+    /// Total instruction-step budget for the path-sensitive refinement
+    /// of one (speculation source, transmitter) pair. Exhausting it
+    /// leaves the pair *inconclusive*, which is treated as a leak.
+    pub max_path_steps: usize,
+    /// Maximum number of complete speculative paths enumerated per
+    /// (source, transmitter) pair before giving up (inconclusive).
+    pub max_paths: usize,
+    /// How many confirming paths to keep per transmitter for witness
+    /// extraction to try (concrete evaluation can reject a path).
+    pub max_witness_paths: usize,
+}
 
-/// Cap on recorded taint-chain length (reporting aid only).
-const CHAIN_CAP: usize = 16;
+impl AnalysisConfig {
+    /// Default constant-set lattice cap (was a hard-coded constant).
+    pub const DEFAULT_CONST_CAP: usize = 64;
+    /// Default taint-chain length cap.
+    pub const DEFAULT_CHAIN_CAP: usize = 16;
+    /// Default per-pair path-enumeration step budget.
+    pub const DEFAULT_MAX_PATH_STEPS: usize = 200_000;
+    /// Default per-pair enumerated-path cap.
+    pub const DEFAULT_MAX_PATHS: usize = 20_000;
+    /// Default confirming-path retention per transmitter.
+    pub const DEFAULT_MAX_WITNESS_PATHS: usize = 4;
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            const_cap: Self::DEFAULT_CONST_CAP,
+            chain_cap: Self::DEFAULT_CHAIN_CAP,
+            max_path_steps: Self::DEFAULT_MAX_PATH_STEPS,
+            max_paths: Self::DEFAULT_MAX_PATHS,
+            max_witness_paths: Self::DEFAULT_MAX_WITNESS_PATHS,
+        }
+    }
+}
 
 /// An address range holding secret data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,11 +126,11 @@ impl AbsValue {
         AbsValue::Consts(std::iter::once(v).collect())
     }
 
-    fn join(&self, other: &AbsValue) -> AbsValue {
+    fn join(&self, other: &AbsValue, cap: usize) -> AbsValue {
         match (self, other) {
             (AbsValue::Consts(a), AbsValue::Consts(b)) => {
                 let u: BTreeSet<u64> = a.union(b).copied().collect();
-                if u.len() > CONST_CAP {
+                if u.len() > cap {
                     AbsValue::Top
                 } else {
                     AbsValue::Consts(u)
@@ -100,10 +147,10 @@ impl AbsValue {
         }
     }
 
-    fn combine(&self, other: &AbsValue, f: impl Fn(u64, u64) -> u64) -> AbsValue {
+    fn combine(&self, other: &AbsValue, cap: usize, f: impl Fn(u64, u64) -> u64) -> AbsValue {
         match (self, other) {
             (AbsValue::Consts(a), AbsValue::Consts(b)) => {
-                if a.len().saturating_mul(b.len()) > CONST_CAP {
+                if a.len().saturating_mul(b.len()) > cap {
                     return AbsValue::Top;
                 }
                 AbsValue::Consts(
@@ -114,6 +161,39 @@ impl AbsValue {
                 )
             }
             _ => AbsValue::Top,
+        }
+    }
+
+    /// `self & other` with the mask-enumeration refinement: `Top & m`
+    /// is one of the `2^popcount(m)` submasks of `m`, an exact result
+    /// whenever the submask count fits under `cap`. This is what keeps
+    /// `x & 7`-style in-bounds masking out of the may-alias set.
+    fn and(&self, other: &AbsValue, cap: usize) -> AbsValue {
+        match (self, other) {
+            (AbsValue::Consts(_), AbsValue::Consts(_)) => self.combine(other, cap, |x, y| x & y),
+            (AbsValue::Top, AbsValue::Consts(masks)) | (AbsValue::Consts(masks), AbsValue::Top) => {
+                let total: u64 = masks
+                    .iter()
+                    .map(|m| 1u64.checked_shl(m.count_ones()).unwrap_or(u64::MAX))
+                    .sum();
+                if total > cap as u64 {
+                    return AbsValue::Top;
+                }
+                let mut out = BTreeSet::new();
+                for &m in masks {
+                    // Enumerate every submask of m, including 0.
+                    let mut s = m;
+                    loop {
+                        out.insert(s);
+                        if s == 0 {
+                            break;
+                        }
+                        s = (s - 1) & m;
+                    }
+                }
+                AbsValue::Consts(out)
+            }
+            (AbsValue::Top, AbsValue::Top) => AbsValue::Top,
         }
     }
 
@@ -169,10 +249,10 @@ impl AbsState {
     /// The taint *chain* is auxiliary (first-writer-wins) so the
     /// change check only looks at values and taint presence — that
     /// keeps the join monotone and the fixpoint finite.
-    fn join_from(&mut self, other: &AbsState) -> bool {
+    fn join_from(&mut self, other: &AbsState, cap: usize) -> bool {
         let mut changed = false;
         for (mine, theirs) in self.regs.iter_mut().zip(&other.regs) {
-            let joined = mine.val.join(&theirs.val);
+            let joined = mine.val.join(&theirs.val, cap);
             if joined != mine.val {
                 mine.val = joined;
                 changed = true;
@@ -183,6 +263,51 @@ impl AbsState {
             }
         }
         changed
+    }
+
+    /// Refines `self` with the architectural truth of a branch
+    /// predicate: keeps only the constants of `a` (and, when `a` is a
+    /// singleton, of a register operand `b`) for which
+    /// `cond.eval(a, b) == holds`. `Top` facts cannot be refined.
+    ///
+    /// Returns `false` when the constraint empties a constant set — no
+    /// architectural state satisfies the assumption, so the speculative
+    /// path it guards is infeasible.
+    pub(crate) fn refine_branch(&mut self, cond: Cond, a: usize, b: Operand, holds: bool) -> bool {
+        let b_val = match b {
+            Operand::Imm(i) => AbsValue::singleton(i),
+            Operand::Reg(r) => self.regs[r.index()].val.clone(),
+        };
+        // Filter the left comparand against a singleton right side.
+        if let Some(bv) = b_val.as_singleton() {
+            if let AbsValue::Consts(set) = &self.regs[a].val {
+                let kept: BTreeSet<u64> = set
+                    .iter()
+                    .copied()
+                    .filter(|&x| cond.eval(x, bv) == holds)
+                    .collect();
+                if kept.is_empty() {
+                    return false;
+                }
+                self.regs[a].val = AbsValue::Consts(kept);
+            }
+        }
+        // Symmetrically filter a register right side against a
+        // singleton left comparand.
+        if let (Some(av), Operand::Reg(r)) = (self.regs[a].val.as_singleton(), b) {
+            if let AbsValue::Consts(set) = &self.regs[r.index()].val {
+                let kept: BTreeSet<u64> = set
+                    .iter()
+                    .copied()
+                    .filter(|&y| cond.eval(av, y) == holds)
+                    .collect();
+                if kept.is_empty() {
+                    return false;
+                }
+                self.regs[r.index()].val = AbsValue::Consts(kept);
+            }
+        }
+        true
     }
 }
 
@@ -204,20 +329,28 @@ fn merge_taint(
     a: Option<Vec<PcIndex>>,
     b: Option<Vec<PcIndex>>,
     through: PcIndex,
+    chain_cap: usize,
 ) -> Option<Vec<PcIndex>> {
     let mut chain = match (a, b) {
         (Some(a), _) => a,
         (None, Some(b)) => b,
         (None, None) => return None,
     };
-    if chain.len() < CHAIN_CAP && chain.last() != Some(&through) {
+    if chain.len() < chain_cap && chain.last() != Some(&through) {
         chain.push(through);
     }
     Some(chain)
 }
 
 /// Applies `inst` at `pc` to `state`, seeding taint from `secrets`.
-fn transfer(state: &AbsState, pc: PcIndex, inst: Inst, secrets: &[SecretRegion]) -> AbsState {
+pub(crate) fn transfer(
+    state: &AbsState,
+    pc: PcIndex,
+    inst: Inst,
+    secrets: &[SecretRegion],
+    config: &AnalysisConfig,
+) -> AbsState {
+    let cap = config.const_cap;
     let mut out = state.clone();
     match inst {
         Inst::MovImm { dst, imm } => {
@@ -233,11 +366,14 @@ fn transfer(state: &AbsState, pc: PcIndex, inst: Inst, secrets: &[SecretRegion])
                 state.regs[a.index()].taint.clone(),
                 operand_taint(state, b),
                 pc,
+                config.chain_cap,
             );
-            out.regs[dst.index()] = RegFact {
-                val: av.combine(&bv, |x, y| op.apply(x, y)),
-                taint,
+            let val = if op == AluOp::And {
+                av.and(&bv, cap)
+            } else {
+                av.combine(&bv, cap, |x, y| op.apply(x, y))
             };
+            out.regs[dst.index()] = RegFact { val, taint };
         }
         Inst::Load { dst, base, offset } => {
             let addr = state.regs[base.index()]
@@ -253,10 +389,10 @@ fn transfer(state: &AbsState, pc: PcIndex, inst: Inst, secrets: &[SecretRegion])
             };
             let inherited = state.regs[base.index()].taint.clone();
             let taint = if seeded {
-                merge_taint(inherited, Some(Vec::new()), pc)
+                merge_taint(inherited, Some(Vec::new()), pc, config.chain_cap)
             } else {
                 inherited.map(|mut c| {
-                    if c.len() < CHAIN_CAP && c.last() != Some(&pc) {
+                    if c.len() < config.chain_cap && c.last() != Some(&pc) {
                         c.push(pc);
                     }
                     c
@@ -291,6 +427,31 @@ fn transfer(state: &AbsState, pc: PcIndex, inst: Inst, secrets: &[SecretRegion])
     out
 }
 
+/// Whether `inst` at `pc`, executed in `state`, is a transmitter: a
+/// load whose base is tainted and whose address can actually vary (a
+/// singleton constant address cannot carry the secret). Returns the
+/// taint chain extended through `pc`.
+pub(crate) fn transmitter_chain(
+    state: &AbsState,
+    pc: PcIndex,
+    inst: Inst,
+    chain_cap: usize,
+) -> Option<Vec<PcIndex>> {
+    let Inst::Load { base, .. } = inst else {
+        return None;
+    };
+    let fact = &state.regs[base.index()];
+    if fact.taint.is_some() && fact.val.as_singleton().is_none() {
+        let mut chain = fact.taint.clone().unwrap_or_default();
+        if chain.last() != Some(&pc) && chain.len() < chain_cap {
+            chain.push(pc);
+        }
+        Some(chain)
+    } else {
+        None
+    }
+}
+
 /// A transient access whose address is secret-dependent.
 #[derive(Debug, Clone)]
 pub struct Transmitter {
@@ -316,8 +477,18 @@ impl TaintResult {
     }
 }
 
-/// Runs the taint fixpoint over `program`.
+/// Runs the taint fixpoint over `program` with default knobs.
 pub fn taint_analysis(program: &Program, cfg: &Cfg, secrets: &[SecretRegion]) -> TaintResult {
+    taint_analysis_with(program, cfg, secrets, &AnalysisConfig::default())
+}
+
+/// Runs the taint fixpoint over `program` with explicit knobs.
+pub fn taint_analysis_with(
+    program: &Program,
+    cfg: &Cfg,
+    secrets: &[SecretRegion],
+    config: &AnalysisConfig,
+) -> TaintResult {
     let len = program.len();
     let mut in_states: Vec<Option<AbsState>> = vec![None; len];
     if len == 0 {
@@ -329,12 +500,12 @@ pub fn taint_analysis(program: &Program, cfg: &Cfg, secrets: &[SecretRegion]) ->
     in_states[0] = Some(AbsState::entry());
     let mut worklist: Vec<PcIndex> = vec![0];
     let mut iterations = 0usize;
-    // The lattice has finite height (CONST_CAP constants per register,
+    // The lattice has finite height (const_cap constants per register,
     // boolean taint), so this terminates; the explicit cap is a
     // belt-and-braces guard against a transfer-function bug.
     let max_iterations = len
         .saturating_mul(NUM_REGS)
-        .saturating_mul(CONST_CAP)
+        .saturating_mul(config.const_cap)
         .saturating_add(1024);
     while let Some(pc) = worklist.pop() {
         iterations += 1;
@@ -347,10 +518,10 @@ pub fn taint_analysis(program: &Program, cfg: &Cfg, secrets: &[SecretRegion]) ->
         let Some(state) = in_states[pc].clone() else {
             continue;
         };
-        let out = transfer(&state, pc, inst, secrets);
+        let out = transfer(&state, pc, inst, secrets, config);
         for &succ in cfg.successors(pc) {
             let changed = match &mut in_states[succ] {
-                Some(existing) => existing.join_from(&out),
+                Some(existing) => existing.join_from(&out, config.const_cap),
                 slot @ None => {
                     *slot = Some(out.clone());
                     true
@@ -362,23 +533,13 @@ pub fn taint_analysis(program: &Program, cfg: &Cfg, secrets: &[SecretRegion]) ->
         }
     }
 
-    // Collect tainted-address accesses: a load whose base register is
-    // tainted and whose address can actually vary (a singleton constant
-    // address cannot carry the secret).
+    // Collect tainted-address accesses from the fixpoint facts.
     let mut transmitters = Vec::new();
     for (pc, &inst) in program.instructions().iter().enumerate() {
-        let Inst::Load { base, .. } = inst else {
-            continue;
-        };
         let Some(state) = in_states[pc].as_ref() else {
             continue;
         };
-        let fact = &state.regs[base.index()];
-        if fact.taint.is_some() && fact.val.as_singleton().is_none() {
-            let mut chain = fact.taint.clone().unwrap_or_default();
-            if chain.last() != Some(&pc) && chain.len() < CHAIN_CAP {
-                chain.push(pc);
-            }
+        if let Some(chain) = transmitter_chain(state, pc, inst, config.chain_cap) {
             transmitters.push(Transmitter { pc, chain });
         }
     }
@@ -508,5 +669,58 @@ mod tests {
         assert_eq!(r.transmitters.len(), 1);
         let t = &r.transmitters[0];
         assert!(t.chain.len() >= 2, "chain records seed and transmit");
+    }
+
+    #[test]
+    fn const_cap_saturates_to_top_exactly_at_the_boundary() {
+        // Join of exactly `const_cap` distinct constants stays a
+        // constant set; one more widens to Top. Documented behavior of
+        // AnalysisConfig::DEFAULT_CONST_CAP.
+        let cap = AnalysisConfig::DEFAULT_CONST_CAP;
+        let at_cap = (0..cap as u64).fold(AbsValue::singleton(0), |acc, v| {
+            acc.join(&AbsValue::singleton(v), cap)
+        });
+        match &at_cap {
+            AbsValue::Consts(s) => assert_eq!(s.len(), cap, "cap-many constants survive"),
+            AbsValue::Top => panic!("widened below the cap"),
+        }
+        let over = at_cap.join(&AbsValue::singleton(cap as u64), cap);
+        assert_eq!(over, AbsValue::Top, "cap+1 constants widen to Top");
+    }
+
+    #[test]
+    fn and_mask_enumerates_submasks_instead_of_widening() {
+        // x & 7 on an unknown x is one of 8 values — precise under the
+        // default cap — while x & huge_mask still widens.
+        let masked = AbsValue::Top.and(&AbsValue::singleton(7), 64);
+        match &masked {
+            AbsValue::Consts(s) => {
+                assert_eq!(
+                    s.iter().copied().collect::<Vec<_>>(),
+                    (0..8).collect::<Vec<_>>()
+                );
+            }
+            AbsValue::Top => panic!("mask refinement lost"),
+        }
+        let wide = AbsValue::Top.and(&AbsValue::singleton(u64::MAX), 64);
+        assert_eq!(wide, AbsValue::Top);
+    }
+
+    #[test]
+    fn branch_refinement_filters_constants_and_detects_infeasibility() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(1), 3);
+        b.branch(Cond::Lt, Reg(2), 5u64, "other"); // r2 Top: no refinement
+        b.mov(Reg(1), 9);
+        b.label("other");
+        b.nop(); // 3: join -> r1 in {3, 9}
+        b.halt();
+        let p = b.build();
+        let r = run(&p);
+        let mut st = r.state_at(3).expect("reachable").clone();
+        assert!(st.refine_branch(Cond::Lt, 1, unxpec_cpu::Operand::Imm(5), true));
+        assert_eq!(st.value(1).as_singleton(), Some(3));
+        // Now r1 == {3}: requiring r1 >= 5 is infeasible.
+        assert!(!st.refine_branch(Cond::Ge, 1, unxpec_cpu::Operand::Imm(5), true));
     }
 }

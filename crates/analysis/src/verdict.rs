@@ -25,8 +25,9 @@ use unxpec_telemetry::json::escape;
 use unxpec_telemetry::{Event, Telemetry};
 
 use crate::cfg::Cfg;
-use crate::taint::{taint_analysis, SecretRegion, TaintResult, Transmitter};
-use crate::window::{speculative_windows, SpecKind, SpecWindow};
+use crate::paths::{refine_transmitters, RefinementStatus, SpecPath, TransmitterRefinement};
+use crate::taint::{taint_analysis_with, AnalysisConfig, SecretRegion, TaintResult, Transmitter};
+use crate::window::{speculative_windows, window_bound, SpecKind, SpecWindow};
 
 /// The defense models the analyzer reasons about.
 ///
@@ -161,19 +162,32 @@ pub struct LeakReport {
     pub window_len: usize,
     /// Taint chain from seed load to this access.
     pub taint_chain: Vec<PcIndex>,
+    /// Path-sensitive refinement outcome for this transmitter.
+    pub refinement: RefinementStatus,
+    /// One confirming speculative path (wrong-path PCs, source
+    /// excluded, transmitter last); empty when inconclusive.
+    pub path: Vec<PcIndex>,
+    /// The misprediction's branch-predicate assumption, rendered (only
+    /// for conditional-branch sources).
+    pub assumption: Option<String>,
+}
+
+fn pcs_json(pcs: &[PcIndex]) -> String {
+    pcs.iter()
+        .map(|pc| pc.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 impl LeakReport {
     /// Deterministic JSON object for this report.
     pub fn to_json(&self) -> String {
-        let chain = self
-            .taint_chain
-            .iter()
-            .map(|pc| pc.to_string())
-            .collect::<Vec<_>>()
-            .join(",");
+        let assumption = match &self.assumption {
+            Some(a) => format!("\"{}\"", escape(a)),
+            None => "null".to_owned(),
+        };
         format!(
-            "{{\"program\":\"{}\",\"defense\":\"{}\",\"channel\":\"{}\",\"pc\":{},\"spec_pc\":{},\"spec_kind\":\"{}\",\"window_len\":{},\"taint_chain\":[{}]}}",
+            "{{\"program\":\"{}\",\"defense\":\"{}\",\"channel\":\"{}\",\"pc\":{},\"spec_pc\":{},\"spec_kind\":\"{}\",\"window_len\":{},\"taint_chain\":[{}],\"refinement\":\"{}\",\"path\":[{}],\"assumption\":{}}}",
             escape(&self.program),
             self.defense.label(),
             self.channel.label(),
@@ -181,7 +195,10 @@ impl LeakReport {
             self.spec_pc,
             self.spec_kind.label(),
             self.window_len,
-            chain,
+            pcs_json(&self.taint_chain),
+            self.refinement.label(),
+            pcs_json(&self.path),
+            assumption,
         )
     }
 
@@ -208,6 +225,22 @@ pub struct WindowedTransmitter {
     pub spec_kind: SpecKind,
     /// Shortest transient distance from source to load.
     pub distance: usize,
+    /// Path-sensitive refinement outcome (never `Demoted`; demoted
+    /// candidates move to [`ProgramAnalysis::demoted`]).
+    pub status: RefinementStatus,
+    /// Confirming speculative paths, across all covering windows.
+    pub paths: Vec<SpecPath>,
+}
+
+impl WindowedTransmitter {
+    /// The confirming path to report: prefer one from the closest
+    /// window, else any.
+    pub fn reported_path(&self) -> Option<&SpecPath> {
+        self.paths
+            .iter()
+            .find(|p| p.spec_pc == self.spec_pc)
+            .or_else(|| self.paths.first())
+    }
 }
 
 /// Full analyzer output for one program.
@@ -219,9 +252,14 @@ pub struct ProgramAnalysis {
     pub instructions: usize,
     /// Speculation sources found.
     pub spec_points: Vec<PcIndex>,
-    /// Transmitters inside some speculative window. Each transmitter is
-    /// paired with its *closest* covering source.
+    /// Transmitters inside some speculative window that survived the
+    /// path-sensitive refinement. Each transmitter is paired with its
+    /// *closest* covering source.
     pub windowed: Vec<WindowedTransmitter>,
+    /// Candidate transmitters the global fixpoint flagged but the
+    /// path-sensitive pass proved to be join artifacts (no single
+    /// speculative path confirms them).
+    pub demoted: Vec<PcIndex>,
     /// One report per (defense with an open channel, windowed
     /// transmitter), sorted by (defense code, pc).
     pub reports: Vec<LeakReport>,
@@ -258,11 +296,12 @@ impl ProgramAnalysis {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"program\":\"{}\",\"instructions\":{},\"spec_points\":{},\"windowed_transmitters\":{},\"verdicts\":[{}],\"reports\":[{}]}}",
+            "{{\"program\":\"{}\",\"instructions\":{},\"spec_points\":{},\"windowed_transmitters\":{},\"demoted\":[{}],\"verdicts\":[{}],\"reports\":[{}]}}",
             escape(&self.name),
             self.instructions,
             self.spec_points.len(),
             self.windowed.len(),
+            pcs_json(&self.demoted),
             verdicts,
             reports,
         )
@@ -276,23 +315,45 @@ impl ProgramAnalysis {
     }
 }
 
-/// Runs the full pipeline: CFG, windows, taint, per-defense verdicts.
+/// Runs the full pipeline with default analyzer knobs: CFG, windows,
+/// taint, path-sensitive refinement, per-defense verdicts.
 pub fn analyze(
     name: &str,
     program: &Program,
     secrets: &[SecretRegion],
     config: &CoreConfig,
 ) -> ProgramAnalysis {
+    analyze_with(name, program, secrets, config, &AnalysisConfig::default())
+}
+
+/// Runs the full pipeline with explicit analyzer knobs.
+pub fn analyze_with(
+    name: &str,
+    program: &Program,
+    secrets: &[SecretRegion],
+    config: &CoreConfig,
+    knobs: &AnalysisConfig,
+) -> ProgramAnalysis {
     let cfg = Cfg::build(program);
     let windows = speculative_windows(program, &cfg, config);
-    let taint = taint_analysis(program, &cfg, secrets);
-    let windowed = windowed_transmitters(&taint.transmitters, &windows);
+    let taint = taint_analysis_with(program, &cfg, secrets, knobs);
+    let refinements = refine_transmitters(
+        program,
+        &cfg,
+        &windows,
+        &taint,
+        secrets,
+        window_bound(config),
+        knobs,
+    );
+    let (windowed, demoted) = windowed_transmitters(&taint.transmitters, &windows, &refinements);
     let mut reports = Vec::new();
     for &defense in &DefenseModel::ALL {
         let Some(channel) = defense.channel() else {
             continue;
         };
         for wt in &windowed {
+            let path = wt.reported_path();
             reports.push(LeakReport {
                 program: name.to_owned(),
                 defense,
@@ -302,6 +363,9 @@ pub fn analyze(
                 spec_kind: wt.spec_kind,
                 window_len: wt.distance,
                 taint_chain: wt.transmitter.chain.clone(),
+                refinement: wt.status,
+                path: path.map(|p| p.pcs.clone()).unwrap_or_default(),
+                assumption: path.and_then(|p| p.assumption.map(|a| a.describe())),
             });
         }
     }
@@ -311,32 +375,56 @@ pub fn analyze(
         instructions: program.len(),
         spec_points: cfg.speculation_points().to_vec(),
         windowed,
+        demoted,
         reports,
         taint,
     }
 }
 
-/// Pairs each transmitter with its closest covering window, dropping
-/// transmitters no window reaches (they only run architecturally).
+/// Deterministic top-level JSON document over a set of analyses:
+/// programs sorted by name, reports already sorted by (defense code,
+/// transmitter pc, spec pc) within each program. This is the exact
+/// byte format of the committed `analysis_golden.json`.
+pub fn document(analyses: &[ProgramAnalysis]) -> String {
+    let mut sorted: Vec<&ProgramAnalysis> = analyses.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let docs: Vec<String> = sorted.iter().map(|a| a.to_json()).collect();
+    format!("{{\"programs\":[{}]}}\n", docs.join(","))
+}
+
+/// Pairs each surviving transmitter with its closest covering window;
+/// drops transmitters no window reaches (they only run
+/// architecturally) and splits off the candidates the refinement
+/// demoted.
 fn windowed_transmitters(
     transmitters: &[Transmitter],
     windows: &[SpecWindow],
-) -> Vec<WindowedTransmitter> {
-    transmitters
-        .iter()
-        .filter_map(|t| {
-            windows
-                .iter()
-                .filter_map(|w| w.reach.get(&t.pc).map(|&d| (w, d)))
-                .min_by_key(|&(w, d)| (d, w.spec_pc))
-                .map(|(w, d)| WindowedTransmitter {
-                    transmitter: t.clone(),
-                    spec_pc: w.spec_pc,
-                    spec_kind: w.kind,
-                    distance: d,
-                })
-        })
-        .collect()
+    refinements: &[TransmitterRefinement],
+) -> (Vec<WindowedTransmitter>, Vec<PcIndex>) {
+    let mut windowed = Vec::new();
+    let mut demoted = Vec::new();
+    for t in transmitters {
+        let Some((w, d)) = windows
+            .iter()
+            .filter_map(|w| w.reach.get(&t.pc).map(|&d| (w, d)))
+            .min_by_key(|&(w, d)| (d, w.spec_pc))
+        else {
+            continue;
+        };
+        let refinement = refinements.iter().find(|r| r.transmitter == t.pc);
+        match refinement.map(|r| r.status) {
+            Some(RefinementStatus::Demoted) => demoted.push(t.pc),
+            status => windowed.push(WindowedTransmitter {
+                transmitter: t.clone(),
+                spec_pc: w.spec_pc,
+                spec_kind: w.kind,
+                distance: d,
+                status: status.unwrap_or(RefinementStatus::Inconclusive),
+                paths: refinement.map(|r| r.paths.clone()).unwrap_or_default(),
+            }),
+        }
+    }
+    (windowed, demoted)
 }
 
 #[cfg(test)]
@@ -435,6 +523,70 @@ mod tests {
             assert_eq!(e.track(), Track::Analysis);
             assert_eq!(e.name(), "analysis_leak");
         }
+    }
+
+    #[test]
+    fn join_artifact_program_is_clean_after_refinement() {
+        // A switch with more arms than the const cap: the global join
+        // widens the index to Top and seeds a false transmitter; every
+        // individual speculative path carries a singleton, so the
+        // path-sensitive pass demotes it and all verdicts are clean.
+        let table = 0x4000u64;
+        let n = AnalysisConfig::DEFAULT_CONST_CAP + 1;
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg(10), table);
+        for i in 0..n {
+            b.branch(Cond::Eq, Reg(9), i as u64, &format!("arm{i}"));
+        }
+        b.mov(Reg(1), 0);
+        b.jump("use");
+        for i in 0..n {
+            b.label(&format!("arm{i}"));
+            b.mov(Reg(1), i as u64);
+            b.jump("use");
+        }
+        b.label("use");
+        b.shl(Reg(3), Reg(1), 3u64);
+        b.add(Reg(3), Reg(3), Reg(10));
+        b.load(Reg(2), Reg(3), 0);
+        b.shl(Reg(4), Reg(2), 6u64);
+        b.add(Reg(4), Reg(4), Reg(10));
+        b.load(Reg(5), Reg(4), 0);
+        b.halt();
+        let a = analyze("switch", &b.build(), &secret(), &CoreConfig::table_i());
+        assert!(a.windowed.is_empty(), "no transmitter survives refinement");
+        assert!(!a.demoted.is_empty(), "the join artifact is recorded");
+        for d in DefenseModel::ALL {
+            assert_eq!(a.verdict(d), Verdict::Clean);
+        }
+        assert!(a.to_json().contains("\"demoted\":["));
+    }
+
+    #[test]
+    fn confirmed_reports_carry_path_and_assumption() {
+        let p = spectre_like();
+        let a = analyze("fig6", &p, &secret(), &CoreConfig::table_i());
+        assert_eq!(a.reports.len(), 2);
+        for r in &a.reports {
+            assert_eq!(r.refinement, RefinementStatus::Confirmed);
+            assert_eq!(r.path.last(), Some(&r.pc), "path ends at the transmitter");
+            let asm = r.assumption.as_deref().expect("branch source");
+            assert!(asm.contains("pc 1"), "assumption names the branch: {asm}");
+        }
+    }
+
+    #[test]
+    fn document_sorts_programs_by_name() {
+        let p = spectre_like();
+        let core = CoreConfig::table_i();
+        let zeta = analyze("zeta", &p, &secret(), &core);
+        let alpha = analyze("alpha", &p, &secret(), &core);
+        let doc = document(&[zeta, alpha]);
+        let a_at = doc.find("\"program\":\"alpha\"").expect("alpha present");
+        let z_at = doc.find("\"program\":\"zeta\"").expect("zeta present");
+        assert!(a_at < z_at, "programs are name-sorted");
+        assert!(doc.ends_with("]}\n"), "trailing newline pinned");
+        validate(doc.trim_end()).expect("valid JSON");
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Deliberately leak-free programs that stress the analyzer's
+//! precision.
+//!
+//! Every attack-registry entry must be flagged; these entries must
+//! *not* be. Each one reproduces a pattern that defeats a purely
+//! flow-insensitive analysis:
+//!
+//! * `switch_join` — a switch with more arms than the constant-set cap,
+//!   every arm assigning a distinct *in-bounds* probe index. The global
+//!   join widens the index to `Top`, the table load then may-aliases
+//!   the secret and seeds a false transmitter; only the path-sensitive
+//!   pass (`unxpec_analysis::paths`) sees that every individual
+//!   speculative path carries a singleton index and demotes it.
+//! * `masked_stride` — an unknown index masked with `& 7` before use.
+//!   The mask-enumeration transfer in the value lattice keeps the
+//!   address set finite and in-bounds, so even the global pass stays
+//!   clean.
+//!
+//! Both are dynamically secret-independent: no instruction's address or
+//! latency depends on `SECRET`, which the replay harness's refutation
+//! sweep re-checks under every defense.
+
+use unxpec_cpu::{Cond, Program, ProgramBuilder, Reg};
+
+use crate::layout::AttackLayout;
+use crate::registry::{ProgramSpec, TriggerKind, WitnessShape, PAIRS_NONE};
+use crate::sender::RoundRegs;
+
+/// One more switch arm than `unxpec_analysis`'s default constant-set
+/// cap, so the join of the arm constants is guaranteed to widen.
+const SWITCH_ARMS: u64 = 65;
+
+/// Number of L1 sets the benign layouts are built for (Table I).
+const L1_SETS: u64 = 64;
+
+/// The in-bounds probe index mask of `masked_stride` (8 lines).
+const STRIDE_MASK: u64 = 7;
+
+fn switch_join(layout: &AttackLayout) -> Program {
+    let p_base = layout.probe_line(0).raw();
+    let regs = RoundRegs::default();
+    let mut b = ProgramBuilder::new();
+    b.rdtsc(regs.t1);
+    b.mov(Reg(10), p_base);
+    // r9 is never written: statically Top, dynamically 0. Each guard
+    // dispatches to an arm holding a distinct in-bounds table index.
+    for i in 0..SWITCH_ARMS {
+        b.branch(Cond::Eq, Reg(9), i, &format!("arm{i}"));
+    }
+    b.mov(Reg(1), 0); // default arm
+    b.jump("use");
+    for i in 0..SWITCH_ARMS {
+        b.label(&format!("arm{i}"));
+        b.mov(Reg(1), i);
+        b.jump("use");
+    }
+    b.label("use");
+    // Table lookup: index is one of 65 in-bounds constants on every
+    // path, but their join exceeds the cap and widens to Top.
+    b.shl(Reg(3), Reg(1), 6u64);
+    b.add(Reg(3), Reg(3), Reg(10));
+    b.load(Reg(2), Reg(3), 0);
+    // Dependent second lookup: under a widened first address this
+    // looks like a classic transmit; per-path it is constant-indexed.
+    b.shl(Reg(4), Reg(2), 6u64);
+    b.add(Reg(4), Reg(4), Reg(10));
+    b.load(Reg(5), Reg(4), 0);
+    b.rdtsc(regs.t2);
+    b.halt();
+    b.build()
+}
+
+fn masked_stride(layout: &AttackLayout) -> Program {
+    let p_base = layout.probe_line(0).raw();
+    let regs = RoundRegs::default();
+    let mut b = ProgramBuilder::new();
+    b.rdtsc(regs.t1);
+    b.mov(Reg(10), p_base);
+    // Mispredictable guard so the loads sit inside a speculative
+    // window — the interesting case for the analyzer.
+    b.branch(Cond::Ge, Reg(9), STRIDE_MASK + 1, "done");
+    // Unknown index, masked in-bounds before use.
+    b.and(Reg(1), Reg(9), STRIDE_MASK);
+    b.shl(Reg(3), Reg(1), 6u64);
+    b.add(Reg(3), Reg(3), Reg(10));
+    b.load(Reg(2), Reg(3), 0);
+    b.shl(Reg(4), Reg(2), 6u64);
+    b.and(Reg(4), Reg(4), STRIDE_MASK << 6);
+    b.add(Reg(4), Reg(4), Reg(10));
+    b.load(Reg(5), Reg(4), 0);
+    b.label("done");
+    b.rdtsc(regs.t2);
+    b.halt();
+    b.build()
+}
+
+/// Assembles the benign (expected-clean) registry.
+///
+/// Entry names are stable: `switch_join`, `masked_stride`. Kept apart
+/// from [`crate::registry::registry`] so the attack surface stays
+/// exactly the seven programs the channel tests drive; consumers that
+/// want both chain the two.
+pub fn benign_registry() -> Vec<ProgramSpec> {
+    let layout = AttackLayout::new(L1_SETS);
+    let clean = WitnessShape {
+        leaks: false,
+        transmitters: 0,
+        secret_pairs: PAIRS_NONE,
+    };
+    vec![
+        ProgramSpec::new(
+            "switch_join",
+            "65-arm switch over in-bounds table indices: a join-point false positive for flow-insensitive taint",
+            TriggerKind::ConditionalBranch,
+            1,
+            clean,
+            switch_join(&layout),
+            layout.clone(),
+        ),
+        ProgramSpec::new(
+            "masked_stride",
+            "unknown index masked in-bounds (& 7) before a table walk: value-lattice precision keeps it clean",
+            TriggerKind::ConditionalBranch,
+            1,
+            clean,
+            masked_stride(&layout),
+            layout.clone(),
+        ),
+    ]
+}
+
+/// Looks up one benign entry by name.
+pub fn find_benign(name: &str) -> Option<ProgramSpec> {
+    benign_registry().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_registry_has_two_stable_names() {
+        let names: Vec<&str> = benign_registry().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["switch_join", "masked_stride"]);
+    }
+
+    #[test]
+    fn benign_entries_assemble_and_claim_no_leak() {
+        for s in benign_registry() {
+            assert!(s.program().len() > 5, "{} too small", s.name);
+            assert!(!s.witness.leaks, "{} must claim clean", s.name);
+            assert_eq!(s.witness.transmitters, 0);
+            assert!(s.layout().memory_layout().get("SECRET").is_some());
+        }
+    }
+
+    #[test]
+    fn benign_names_do_not_shadow_attack_names() {
+        let attack: Vec<&str> = crate::registry::registry().iter().map(|s| s.name).collect();
+        for s in benign_registry() {
+            assert!(!attack.contains(&s.name), "{} collides", s.name);
+        }
+    }
+}

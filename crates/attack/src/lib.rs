@@ -46,6 +46,7 @@
 //! ```
 
 mod adaptive;
+pub mod benign;
 mod channel;
 mod config;
 mod ecc;
@@ -62,6 +63,7 @@ mod spectre_rsb;
 mod spectre_v2;
 
 pub use adaptive::{SprtDecision, SprtDecoder};
+pub use benign::{benign_registry, find_benign};
 pub use channel::{Calibration, LeakOutcome, MeasurementNoise, RoundObservation, UnxpecChannel};
 pub use config::AttackConfig;
 pub use ecc::{decode_bytes, encode_bytes, hamming74_decode, hamming74_encode};
@@ -70,7 +72,7 @@ pub use interference::InterferenceChannel;
 pub use layout::{AttackLayout, MAX_CHAIN, MAX_LOADS};
 pub use multilevel::{LevelCalibration, MultiLevelChannel};
 pub use pilot::{Drift, PilotChannel, PilotOutcome};
-pub use registry::{find, registry, ProgramSpec, TriggerKind};
+pub use registry::{find, registry, ProgramSpec, TriggerKind, WitnessShape};
 pub use sender::{build_round_program, RoundRegs};
 pub use smt::{
     prime_probe_against_nomo, probe_coherence_downgrade, probe_speculative_window,

@@ -43,6 +43,34 @@ impl TriggerKind {
     }
 }
 
+/// The witness the static analyzer is expected to extract for a
+/// registry program — or to prove absent for a benign one.
+///
+/// This is registry *metadata*: the witness pipeline
+/// (`unxpec_analysis::witness`) derives actual witnesses from the
+/// program text and checks them dynamically; the shape pins the
+/// intended outcome so a silently weakened analysis fails loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WitnessShape {
+    /// Whether the program carries a transient leak at all (attack
+    /// registry: `true`; benign registry: `false`).
+    pub leaks: bool,
+    /// Expected number of transmitters surviving path-sensitive
+    /// refinement.
+    pub transmitters: usize,
+    /// Secret byte pairs worth trying when extracting a distinguishing
+    /// pair, in preference order (multi-level encodings distinguish
+    /// only specific bit positions).
+    pub secret_pairs: &'static [(u8, u8)],
+}
+
+/// Secret pairs for single-bit encoders: bit 0 of the secret byte.
+pub const PAIRS_BIT0: &[(u8, u8)] = &[(0, 1)];
+/// Secret pairs covering the tiers of the 4-level encoder.
+pub const PAIRS_MULTILEVEL: &[(u8, u8)] = &[(0, 1), (0, 2), (0, 3), (1, 3)];
+/// No distinguishing pair exists (benign programs).
+pub const PAIRS_NONE: &[(u8, u8)] = &[];
+
 /// One registered attack program.
 #[derive(Debug, Clone)]
 pub struct ProgramSpec {
@@ -54,11 +82,33 @@ pub struct ProgramSpec {
     pub trigger: TriggerKind,
     /// Chain depth [`AttackLayout::install`] needs for this program.
     pub fn_accesses: u64,
+    /// The witness the analysis is expected to produce (or refute).
+    pub witness: WitnessShape,
     program: Program,
     layout: AttackLayout,
 }
 
 impl ProgramSpec {
+    pub(crate) fn new(
+        name: &'static str,
+        description: &'static str,
+        trigger: TriggerKind,
+        fn_accesses: u64,
+        witness: WitnessShape,
+        program: Program,
+        layout: AttackLayout,
+    ) -> ProgramSpec {
+        ProgramSpec {
+            name,
+            description,
+            trigger,
+            fn_accesses,
+            witness,
+            program,
+            layout,
+        }
+    }
+
     /// The assembled program.
     pub fn program(&self) -> &Program {
         &self.program
@@ -79,13 +129,20 @@ const L1_SETS: u64 = 64;
 /// `eviction`, `multilevel`, `smt`, `adaptive`.
 pub fn registry() -> Vec<ProgramSpec> {
     let layout = AttackLayout::new(L1_SETS);
-    let spec = |name, description, trigger, fn_accesses, program| ProgramSpec {
-        name,
-        description,
-        trigger,
-        fn_accesses,
-        program,
-        layout: layout.clone(),
+    let spec = |name, description, trigger, fn_accesses, transmitters, pairs, program| {
+        ProgramSpec::new(
+            name,
+            description,
+            trigger,
+            fn_accesses,
+            WitnessShape {
+                leaks: true,
+                transmitters,
+                secret_pairs: pairs,
+            },
+            program,
+            layout.clone(),
+        )
     };
     vec![
         spec(
@@ -93,6 +150,8 @@ pub fn registry() -> Vec<ProgramSpec> {
             "unXpec round, paper headline config: one in-branch load, f(1), no eviction sets",
             TriggerKind::ConditionalBranch,
             1,
+            1,
+            PAIRS_BIT0,
             build_round_program(&AttackConfig::paper_no_es(), &layout),
         ),
         spec(
@@ -100,6 +159,8 @@ pub fn registry() -> Vec<ProgramSpec> {
             "unXpec through a poisoned-BTB indirect-jump trigger",
             TriggerKind::IndirectJump,
             1,
+            1,
+            PAIRS_BIT0,
             SpectreV2::build_round(&layout).0,
         ),
         spec(
@@ -107,6 +168,8 @@ pub fn registry() -> Vec<ProgramSpec> {
             "unXpec through a desynchronized-RSB return trigger",
             TriggerKind::Return,
             1,
+            1,
+            PAIRS_BIT0,
             SpectreRsb::build_round(&layout),
         ),
         spec(
@@ -114,6 +177,8 @@ pub fn registry() -> Vec<ProgramSpec> {
             "unXpec round with eviction sets primed so rollback must restore victims",
             TriggerKind::ConditionalBranch,
             1,
+            1,
+            PAIRS_BIT0,
             build_round_program(&AttackConfig::paper_with_es(), &layout),
         ),
         spec(
@@ -121,6 +186,12 @@ pub fn registry() -> Vec<ProgramSpec> {
             "4-level (2 bits/round) unXpec round with tiered encoding loads",
             TriggerKind::ConditionalBranch,
             1,
+            // The tier encoding is branch-free: one seed-adjacent tier-A
+            // load plus 3 tier-B and 4 tier-C predicate loads, all with
+            // secret-derived addresses — 8 transmitters, dynamically
+            // cross-checked by `witness-replay`'s shape gate.
+            8,
+            PAIRS_MULTILEVEL,
             build_multilevel_round(&layout, 8),
         ),
         spec(
@@ -128,6 +199,8 @@ pub fn registry() -> Vec<ProgramSpec> {
             "unXpec round with two encoding loads and an f(2) bound chain",
             TriggerKind::ConditionalBranch,
             2,
+            2,
+            PAIRS_BIT0,
             build_round_program(
                 &AttackConfig::paper_no_es()
                     .with_loads(2)
@@ -140,6 +213,8 @@ pub fn registry() -> Vec<ProgramSpec> {
             "unXpec round with four encoding loads (the SPRT decoder's config)",
             TriggerKind::ConditionalBranch,
             1,
+            4,
+            PAIRS_BIT0,
             build_round_program(&AttackConfig::paper_no_es().with_loads(4), &layout),
         ),
     ]

@@ -187,6 +187,19 @@ pub enum Event {
         defense_code: u64,
         channel_code: u64,
     },
+    /// The replay harness drove a static leak witness through the
+    /// dynamic simulator. `pc`/`spec_pc` mirror [`Event::AnalysisLeak`];
+    /// `confirmed` records whether the predicted observable
+    /// materialized, `delta_cycles` the measured effect size (rounded
+    /// rollback-cycle delta, or footprint mismatch count).
+    WitnessChecked {
+        pc: usize,
+        spec_pc: usize,
+        defense_code: u64,
+        channel_code: u64,
+        confirmed: bool,
+        delta_cycles: u64,
+    },
 
     // ----- Fault injection and invariant sanitizer -------------------------
     /// The fault injector fired. `kind` is the stable code of
@@ -231,7 +244,7 @@ impl Event {
             | Event::FaultInjected { cycle, .. }
             | Event::InvariantTrip { cycle, .. } => cycle,
             // Static findings have no cycle; they sort before any run.
-            Event::AnalysisLeak { .. } => 0,
+            Event::AnalysisLeak { .. } | Event::WitnessChecked { .. } => 0,
         }
     }
 
@@ -257,7 +270,7 @@ impl Event {
             Event::MshrAlloc { .. } | Event::MshrMerge { .. } | Event::MshrCancel { .. } => {
                 Track::Mshr
             }
-            Event::AnalysisLeak { .. } => Track::Analysis,
+            Event::AnalysisLeak { .. } | Event::WitnessChecked { .. } => Track::Analysis,
             Event::FaultInjected { .. } | Event::InvariantTrip { .. } => Track::Chaos,
         }
     }
@@ -282,6 +295,7 @@ impl Event {
             Event::RollbackInvalidate { .. } => "rollback_invalidate",
             Event::RollbackRestore { .. } => "rollback_restore",
             Event::AnalysisLeak { .. } => "analysis_leak",
+            Event::WitnessChecked { .. } => "witness_checked",
             Event::FaultInjected { .. } => "fault_injected",
             Event::InvariantTrip { .. } => "invariant_trip",
         }
@@ -357,6 +371,21 @@ impl Event {
                 ("window_len", window_len),
                 ("defense_code", defense_code),
                 ("channel_code", channel_code),
+            ],
+            Event::WitnessChecked {
+                pc,
+                spec_pc,
+                defense_code,
+                channel_code,
+                confirmed,
+                delta_cycles,
+            } => vec![
+                ("pc", pc as u64),
+                ("spec_pc", spec_pc as u64),
+                ("defense_code", defense_code),
+                ("channel_code", channel_code),
+                ("confirmed", confirmed as u64),
+                ("delta_cycles", delta_cycles),
             ],
             Event::FaultInjected { kind, detail, .. } => {
                 vec![("kind", kind), ("detail", detail)]
@@ -481,6 +510,24 @@ mod tests {
         let args = e.args();
         assert_eq!(args[0], ("pc", 12));
         assert_eq!(args[1], ("spec_pc", 9));
+    }
+
+    #[test]
+    fn witness_checked_routes_to_the_analysis_track() {
+        let e = Event::WitnessChecked {
+            pc: 12,
+            spec_pc: 9,
+            defense_code: 1,
+            channel_code: 1,
+            confirmed: true,
+            delta_cycles: 22,
+        };
+        assert_eq!(e.cycle(), 0, "replay verdicts predate cycle time");
+        assert_eq!(e.track(), Track::Analysis);
+        assert_eq!(e.name(), "witness_checked");
+        let args = e.args();
+        assert_eq!(args[4], ("confirmed", 1));
+        assert_eq!(args[5], ("delta_cycles", 22));
     }
 
     #[test]

@@ -16,9 +16,10 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 use unxpec::analysis::{
-    analyze, speculative_windows, Cfg, Channel, DefenseModel, ProgramAnalysis, SecretRegion,
-    Verdict,
+    analyze, document, speculative_windows, Cfg, Channel, DefenseModel, ProgramAnalysis,
+    SecretRegion, Verdict,
 };
+use unxpec::attack::benign_registry;
 use unxpec::attack::probe_latency;
 use unxpec::attack::registry::{registry, ProgramSpec, TriggerKind};
 use unxpec::cpu::{Cond, Core, CoreConfig, Defense, Program, ProgramBuilder, Reg, UnsafeBaseline};
@@ -303,18 +304,112 @@ fn adaptive_verdicts_match_the_simulator() {
 #[test]
 fn golden_json_matches_the_committed_file() {
     // The committed golden file (diffed in CI by the analysis-smoke
-    // job) must match what the library produces today.
+    // job) must match what the library produces today — over both the
+    // attack registry and the benign expected-clean registry, exactly
+    // as `analyze --json` emits it.
     let committed =
         std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/analysis_golden.json"))
             .expect("analysis_golden.json present");
-    let docs: Vec<String> = registry()
+    let analyses: Vec<ProgramAnalysis> = registry()
         .iter()
-        .map(|s| static_analysis_of(s).to_json())
+        .chain(benign_registry().iter())
+        .map(static_analysis_of)
         .collect();
-    let produced = format!("{{\"programs\":[{}]}}\n", docs.join(","));
+    let produced = document(&analyses);
     assert_eq!(
         committed, produced,
         "analysis_golden.json is stale; regenerate with `analyze --json`"
+    );
+}
+
+#[test]
+fn document_output_is_independent_of_input_order() {
+    // `analyze --json` must be byte-deterministic no matter how the
+    // caller orders the analyses: `document` sorts programs by name,
+    // and each program's reports are sorted by (defense, pc, spec_pc).
+    let mut analyses: Vec<ProgramAnalysis> = registry()
+        .iter()
+        .chain(benign_registry().iter())
+        .map(static_analysis_of)
+        .collect();
+    let forward = document(&analyses);
+    analyses.reverse();
+    let reversed = document(&analyses);
+    assert_eq!(forward, reversed, "document must sort, not echo, its input");
+    let names: Vec<&str> = analyses.iter().map(|a| a.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    for (a, b) in sorted.iter().zip(sorted.iter().skip(1)) {
+        let (ia, ib) = (
+            forward
+                .find(&format!("\"program\":\"{a}\""))
+                .expect("present"),
+            forward
+                .find(&format!("\"program\":\"{b}\""))
+                .expect("present"),
+        );
+        assert!(ia < ib, "{a} must precede {b} in the document");
+    }
+}
+
+#[test]
+fn benign_programs_are_clean_statically_and_dynamically() {
+    // The join-point false positive (`switch_join`) and the masked
+    // stride walker must be clean under every defense *and* show no
+    // live channel in the simulator even undefended.
+    for spec in benign_registry() {
+        let analysis = static_analysis_of(&spec);
+        assert!(
+            analysis.windowed.is_empty(),
+            "{}: no transmitter may survive refinement",
+            spec.name
+        );
+        for d in DefenseModel::ALL {
+            assert_eq!(
+                analysis.verdict(d),
+                Verdict::Clean,
+                "{}: must be statically clean under {}",
+                spec.name,
+                d.label()
+            );
+        }
+    }
+    // switch_join is the canonical join artifact: the flow-insensitive
+    // pass alone would flag it, so its demotion must be on record.
+    let switch_join = benign_registry()
+        .into_iter()
+        .find(|s| s.name == "switch_join")
+        .expect("registered");
+    let analysis = static_analysis_of(&switch_join);
+    assert!(
+        !analysis.demoted.is_empty(),
+        "switch_join must document the demoted join-artifact candidate"
+    );
+}
+
+#[test]
+fn witness_golden_matches_the_committed_file() {
+    // The witness-replay golden (diffed in CI at quick scale) must
+    // reproduce byte-for-byte, and every obligation in it must hold.
+    let committed =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/witness_golden.json"))
+            .expect("witness_golden.json present");
+    let config = unxpec::analysis::ReplayConfig {
+        rounds: 2,
+        sweep_secrets: 2,
+        ..Default::default()
+    };
+    let report = unxpec::analysis::replay_registry(&config, &Default::default())
+        .expect("replay_registry succeeds");
+    assert!(
+        report.all_confirmed(),
+        "every witness must confirm and every sweep must stay dry"
+    );
+    assert_eq!(
+        committed,
+        report.to_json(),
+        "witness_golden.json is stale; regenerate with \
+         `witness-replay --json --rounds 2 --sweep 2`"
     );
 }
 
@@ -379,6 +474,44 @@ proptest! {
                 "wrong-path pc {} (inst {:?}) outside every static window",
                 e.pc,
                 e.inst
+            );
+        }
+    }
+
+    /// Monotonicity of the verdict in the secret region: widening the
+    /// region (same analysis otherwise) can only add taint sources, so
+    /// a leak verdict must never flip to clean, per defense.
+    #[test]
+    fn verdicts_are_monotone_under_secret_widening(
+        ops in proptest::collection::vec(
+            (0u8..255, 0u8..255, 0u8..255, 0u64..1_000_000),
+            1..40,
+        ),
+        widen_down in 0u64..0x1000,
+        widen_up in 0u64..0x1000,
+    ) {
+        let program = build_random_program(&ops);
+        let narrow = vec![SecretRegion {
+            name: "SECRET".into(),
+            base: 0x5000,
+            len_bytes: 64,
+        }];
+        let wide = vec![SecretRegion {
+            name: "SECRET".into(),
+            base: 0x5000 - widen_down,
+            len_bytes: 64 + widen_down + widen_up,
+        }];
+        let config = CoreConfig::table_i();
+        let a_narrow = analyze("narrow", &program, &narrow, &config);
+        let a_wide = analyze("wide", &program, &wide, &config);
+        for d in DefenseModel::ALL {
+            prop_assert!(
+                !a_narrow.verdict(d).is_leak() || a_wide.verdict(d).is_leak(),
+                "{}: leak under the narrow region but clean under the \
+                 widened one (narrow {:?}, wide {:?})",
+                d.label(),
+                a_narrow.verdict(d),
+                a_wide.verdict(d),
             );
         }
     }
