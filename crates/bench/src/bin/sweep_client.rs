@@ -1,12 +1,22 @@
 //! Command-line client for the sweep service (see `docs/service.md`).
 //!
 //! ```text
-//! sweep-client [--addr HOST:PORT] submit --tenant NAME (--spec FILE | --spec-text TEXT) [--wait]
+//! sweep-client [--addr HOST:PORT] [--retries N] [--backoff-ms N]
+//!              submit --tenant NAME (--spec FILE | --spec-text TEXT) [--wait]
 //! sweep-client [--addr HOST:PORT] status  JOB
 //! sweep-client [--addr HOST:PORT] wait    JOB [--timeout-ms N]
 //! sweep-client [--addr HOST:PORT] results JOB [--out FILE]
 //! sweep-client [--addr HOST:PORT] cancel  JOB
 //! ```
+//!
+//! Every command runs over the session-resuming client: a severed
+//! connection (or a restarted server) is retried up to `--retries`
+//! times (default 4) with exponential backoff from `--backoff-ms`
+//! (default 50, doubling, capped at 2 s), a typed `overloaded`
+//! rejection honours the *server's* `retry_after_ms` hint, submission
+//! is idempotent (a retried submit re-attaches to the same job), and a
+//! resumed `--wait` stream replays exactly the missed trial events
+//! from its sequence cursor.
 //!
 //! `submit` prints the job id; with `--wait` it streams progress to
 //! stderr and prints the deterministic result document to stdout when
@@ -22,7 +32,8 @@
 
 use std::time::Duration;
 
-use unxpec_service::{Client, RemoteStatus, ServiceError};
+use unxpec_harness::RunPolicy;
+use unxpec_service::{RemoteStatus, ResilientClient, ServiceError};
 
 fn fail(e: ServiceError) -> ! {
     eprintln!("sweep-client: {e}");
@@ -49,6 +60,8 @@ fn main() {
     let mut out: Option<std::path::PathBuf> = None;
     let mut wait = false;
     let mut timeout_ms: u64 = 60_000;
+    let mut retries: u32 = 4;
+    let mut backoff_ms: u64 = 50;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +69,16 @@ fn main() {
             "--addr" => match args.next() {
                 Some(v) => addr = v,
                 None => fail(ServiceError::Parse("--addr needs an argument".into())),
+            },
+            "--retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retries = v,
+                None => fail(ServiceError::Parse("--retries needs a count".into())),
+            },
+            "--backoff-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => backoff_ms = v,
+                None => fail(ServiceError::Parse(
+                    "--backoff-ms needs milliseconds".into(),
+                )),
             },
             "--tenant" => match args.next() {
                 Some(v) => tenant = v,
@@ -95,7 +118,18 @@ fn main() {
         eprintln!("usage: sweep-client [--addr HOST:PORT] submit|status|wait|results|cancel ...");
         std::process::exit(2);
     };
-    let mut client = Client::connect(&addr).unwrap_or_else(|e| fail(e));
+    // The session-resuming client: the pool's bounded-backoff policy
+    // re-purposed for the wire. Connection setup is lazy, so a dead
+    // server at startup is retried like any other transport failure.
+    let mut client = ResilientClient::new(
+        &addr,
+        RunPolicy {
+            retries,
+            deadline: None,
+            backoff_base: Duration::from_millis(backoff_ms),
+            backoff_cap: Duration::from_secs(2),
+        },
+    );
 
     match command.as_str() {
         "submit" => {

@@ -83,6 +83,26 @@ pub fn cell_digest(spec: &SweepSpec, experiment: &str, variant: &str, seed_index
     ])
 }
 
+/// The stable identity of one *submission*: the cell-identity fields
+/// plus the selection axes (experiments, variants, seed count) that
+/// [`cell_digest`] deliberately leaves out. Two submissions with the
+/// same digest enumerate the same trial list and produce the same
+/// result document, which is what lets the sweep service treat a
+/// re-submitted spec as a re-attach to the existing job instead of a
+/// duplicate — the idempotency key for client session resume.
+pub fn submission_digest(spec: &SweepSpec) -> u64 {
+    let variants = match &spec.variants {
+        Some(v) => v.join(","),
+        None => "*".to_string(),
+    };
+    canonical_digest([
+        ("identity", spec.canonical_string()),
+        ("experiments", spec.experiments.join(",")),
+        ("variants", variants),
+        ("seeds", spec.seeds.to_string()),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +136,28 @@ mod tests {
             cell_digest(&other, "rollback", "es", 0),
             "cached results must never mix execution modes"
         );
+    }
+
+    #[test]
+    fn submission_digest_tracks_selection_axes_too() {
+        let a = SweepSpec::quick();
+        let mut b = SweepSpec::quick();
+        assert_eq!(submission_digest(&a), submission_digest(&b));
+        b.seeds += 1;
+        assert_ne!(
+            submission_digest(&a),
+            submission_digest(&b),
+            "growing the grid is a different submission"
+        );
+        let mut c = SweepSpec::quick();
+        c.experiments = vec!["rollback".into()];
+        assert_ne!(submission_digest(&a), submission_digest(&c));
+        let mut d = SweepSpec::quick();
+        d.variants = Some(vec!["es".into()]);
+        assert_ne!(submission_digest(&a), submission_digest(&d));
+        let mut e = SweepSpec::quick();
+        e.root_seed ^= 1;
+        assert_ne!(submission_digest(&a), submission_digest(&e));
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub mod registry;
 pub mod spec;
 pub mod sweep;
 
-pub use digest::{canonical_digest, cell_digest, DIGEST_VERSION, SIMULATOR_VERSION};
+pub use digest::{
+    canonical_digest, cell_digest, submission_digest, DIGEST_VERSION, SIMULATOR_VERSION,
+};
 pub use experiment::{output_digest, Experiment, FnExperiment, TrialCtx, TrialOutput};
 pub use manifest::{CompletedTrial, Manifest, PoisonedTrial, QuarantinedTrial, TimedOutTrial};
 pub use pool::{

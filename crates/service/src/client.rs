@@ -1,18 +1,23 @@
 //! A blocking client for the sweep service protocol.
 //!
 //! One TCP connection, line-delimited JSON both ways (see
-//! [`crate::protocol`]). The client is what the `sweep-client` binary
-//! and the integration tests speak; it never panics on malformed
-//! server output — everything surfaces as a [`ServiceError`].
+//! [`crate::protocol`]). [`Client`] is the single-connection primitive;
+//! [`ResilientClient`] wraps it with deterministic bounded-backoff
+//! reconnection, idempotent re-submission, and sequence-numbered
+//! stream resume, so a severed connection (or a restarted server)
+//! costs a reconnect, never a lost session. Neither panics on
+//! malformed server output — everything surfaces as a [`ServiceError`].
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use unxpec_harness::RunPolicy;
 use unxpec_telemetry::json::Value;
+use unxpec_telemetry::{Event, Telemetry};
 
 use crate::error::ServiceError;
-use crate::protocol::{parse_response, render_request, Request};
+use crate::protocol::{parse_response, read_frame, render_request, Request, MAX_FRAME_BYTES};
 
 /// What `submit` returns.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,15 +97,13 @@ impl Client {
     }
 
     fn read_line(&mut self) -> Result<Value, ServiceError> {
-        let mut line = String::new();
-        let n = self
-            .reader
-            .read_line(&mut line)
-            .map_err(|e| ServiceError::Io(e.to_string()))?;
-        if n == 0 {
-            return Err(ServiceError::Io("server closed the connection".to_string()));
+        // The same bounded reader the server uses: a garbled or
+        // hostile peer cannot make the client buffer unbounded bytes,
+        // and a mid-frame cut is the typed FrameTruncated.
+        match read_frame(&mut self.reader, MAX_FRAME_BYTES)? {
+            Some(line) => parse_response(line.trim_end()),
+            None => Err(ServiceError::Io("server closed the connection".to_string())),
         }
-        parse_response(line.trim_end())
     }
 
     /// Submits `spec` (harness `key=value` text) for `tenant`.
@@ -150,25 +153,44 @@ impl Client {
         }
     }
 
-    /// Streams progress until the job finishes; calls `on_progress`
-    /// with `(done, total)` per event and returns the final status.
+    /// Streams per-trial events until the job finishes; calls
+    /// `on_progress` with `(done, total)` per event and returns the
+    /// final status.
     pub fn stream(
         &mut self,
         job: &str,
         mut on_progress: impl FnMut(u64, u64),
     ) -> Result<RemoteStatus, ServiceError> {
+        let mut seq = 0;
+        self.stream_from(job, &mut seq, |doc| {
+            on_progress(num(doc, "done"), num(doc, "total"));
+        })
+    }
+
+    /// Streams per-trial events starting at sequence `*seq`, advancing
+    /// `*seq` past every event received — the resume cursor a caller
+    /// keeps across reconnects so a re-issued stream replays exactly
+    /// the missed events. `on_event` sees each raw event document.
+    pub fn stream_from(
+        &mut self,
+        job: &str,
+        seq: &mut u64,
+        mut on_event: impl FnMut(&Value),
+    ) -> Result<RemoteStatus, ServiceError> {
         self.writer
             .write_all(
                 render_request(&Request::Stream {
                     job: job.to_string(),
+                    from: *seq,
                 })
                 .as_bytes(),
             )
             .map_err(|e| ServiceError::Io(e.to_string()))?;
         loop {
             let doc = self.read_line()?;
-            if doc.get("event").and_then(Value::as_str) == Some("progress") {
-                on_progress(num(&doc, "done"), num(&doc, "total"));
+            if doc.get("event").and_then(Value::as_str).is_some() {
+                *seq = num(&doc, "seq") + 1;
+                on_event(&doc);
                 continue;
             }
             return Ok(status_from(&doc));
@@ -192,5 +214,166 @@ impl Client {
             job: job.to_string(),
         })?;
         Ok(num(&doc, "skipped"))
+    }
+}
+
+/// A session-resuming client: [`Client`] plus deterministic bounded
+/// reconnection.
+///
+/// Transport failures (dead connection, truncated frame, wire-garbled
+/// response — a correct server never emits invalid JSON, so a parse
+/// failure on a response is transport damage) trigger a reconnect
+/// after the [`RunPolicy`]'s exponential backoff for that attempt —
+/// the same bounded-backoff machinery the sweep pool retries trials
+/// with. Typed [`ServiceError::Overloaded`] rejections instead honour
+/// the *server's* `retry_after_ms` hint and do not consume the
+/// connection. Everything else (bad spec, unknown job, version skew)
+/// is returned immediately — retrying can't fix semantics.
+///
+/// What makes blind retry *safe* is the server's idempotent submit
+/// (same tenant + same submission digest re-attaches to the existing
+/// job) and the sequence-numbered stream (a re-issued `stream` with
+/// the kept cursor replays exactly the missed events).
+pub struct ResilientClient {
+    addr: String,
+    policy: RunPolicy,
+    telemetry: Telemetry,
+    conn: Option<Client>,
+}
+
+impl ResilientClient {
+    /// Wraps `addr` with reconnect policy `policy` (only `retries`,
+    /// `backoff_base`, and `backoff_cap` are used; `deadline` is the
+    /// pool's concern, not the wire's).
+    pub fn new(addr: &str, policy: RunPolicy) -> Self {
+        ResilientClient {
+            addr: addr.to_string(),
+            policy,
+            telemetry: Telemetry::disabled(),
+            conn: None,
+        }
+    }
+
+    /// Attaches an event sink; reconnects emit
+    /// [`Event::ClientReconnect`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    fn transport_damage(error: &ServiceError) -> bool {
+        matches!(
+            error,
+            ServiceError::Io(_) | ServiceError::FrameTruncated { .. } | ServiceError::Parse(_)
+        )
+    }
+
+    /// Runs `op` against a live connection, reconnecting (with the
+    /// policy's backoff) on transport damage and honouring the server's
+    /// retry hint on overload, up to `retries` recoveries total.
+    /// `resumed_seq` is the caller's live stream cursor (zero for
+    /// non-stream ops); it labels reconnect events.
+    fn with_conn<T>(
+        &mut self,
+        resumed_seq: &std::cell::Cell<u64>,
+        mut op: impl FnMut(&mut Client) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = match self.conn.as_mut() {
+                Some(client) => op(client),
+                None => match Client::connect(&self.addr) {
+                    Ok(mut client) => {
+                        let r = op(&mut client);
+                        self.conn = Some(client);
+                        r
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            let error = match result {
+                Ok(value) => return Ok(value),
+                Err(e) => e,
+            };
+            attempt += 1;
+            if attempt > self.policy.retries {
+                return Err(error);
+            }
+            if let ServiceError::Overloaded { retry_after_ms, .. } = &error {
+                // The connection is fine; the server chose the wait.
+                std::thread::sleep(Duration::from_millis(*retry_after_ms));
+            } else if Self::transport_damage(&error) {
+                self.conn = None;
+                std::thread::sleep(self.policy.backoff_for(attempt));
+                self.telemetry.emit(Event::ClientReconnect {
+                    attempt: u64::from(attempt),
+                    resumed_seq: resumed_seq.get(),
+                });
+            } else {
+                return Err(error);
+            }
+        }
+    }
+
+    /// Submits (or re-attaches to) `spec` for `tenant`.
+    pub fn submit(&mut self, tenant: &str, spec: &str) -> Result<Submitted, ServiceError> {
+        self.with_conn(&std::cell::Cell::new(0), |c| c.submit(tenant, spec))
+    }
+
+    /// Streams `job` to completion across however many connections it
+    /// takes, calling `on_progress` with `(done, total)` per event.
+    /// The sequence cursor survives reconnects — each retry re-issues
+    /// `stream` with `from` set to the cursor, so no event is ever
+    /// delivered twice or skipped.
+    pub fn stream(
+        &mut self,
+        job: &str,
+        mut on_progress: impl FnMut(u64, u64),
+    ) -> Result<RemoteStatus, ServiceError> {
+        let seq = std::cell::Cell::new(0u64);
+        self.with_conn(&seq, |c| {
+            let mut cursor = seq.get();
+            let result = c.stream_from(job, &mut cursor, |doc| {
+                on_progress(num(doc, "done"), num(doc, "total"));
+            });
+            // Keep whatever advanced before a failure: the retry
+            // resumes exactly there.
+            seq.set(cursor);
+            result
+        })
+    }
+
+    /// Fetches the deterministic result document of a finished job.
+    pub fn results(&mut self, job: &str) -> Result<String, ServiceError> {
+        self.with_conn(&std::cell::Cell::new(0), |c| c.results(job))
+    }
+
+    /// Fetches the job's counters.
+    pub fn status(&mut self, job: &str) -> Result<RemoteStatus, ServiceError> {
+        self.with_conn(&std::cell::Cell::new(0), |c| c.status(job))
+    }
+
+    /// Polls `status` (reconnecting as needed) until the job finishes;
+    /// a deadline expiry is the typed [`ServiceError::WaitTimeout`].
+    pub fn wait(&mut self, job: &str, timeout: Duration) -> Result<RemoteStatus, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(job)?;
+            if status.finished {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(ServiceError::WaitTimeout {
+                    job: job.to_string(),
+                    waited_ms: timeout.as_millis() as u64,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Cancels the job's pending trials.
+    pub fn cancel(&mut self, job: &str) -> Result<u64, ServiceError> {
+        self.with_conn(&std::cell::Cell::new(0), |c| c.cancel(job))
     }
 }

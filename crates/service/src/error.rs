@@ -27,6 +27,20 @@ pub enum ServiceError {
     Io(String),
     /// A request or response line was not valid protocol JSON.
     Parse(String),
+    /// A frame exceeded the bounded reader's byte limit. Typed so a
+    /// hostile or garbled peer cannot force unbounded buffering.
+    FrameTooLarge {
+        /// The configured frame byte limit.
+        limit: usize,
+        /// Bytes buffered before the reader gave up (>= limit).
+        got: usize,
+    },
+    /// The stream ended inside an unterminated frame (peer died or a
+    /// chaos fault cut the line mid-frame).
+    FrameTruncated {
+        /// Bytes of partial frame that had arrived.
+        got: usize,
+    },
     /// The peer speaks a different protocol version.
     Version {
         /// The version this build implements.
@@ -53,6 +67,19 @@ pub enum ServiceError {
     Spec(String),
     /// The result cache could not be opened or written.
     Cache(String),
+    /// The job journal could not be opened, appended, or compacted.
+    Journal(String),
+    /// Admission control rejected the submission: the server is over
+    /// its job/byte budget, the tenant is over quota, or the server is
+    /// draining. Carries the server's retry hint so clients can back
+    /// off for a bounded, server-chosen interval.
+    Overloaded {
+        /// How long the client should wait before retrying, in ms.
+        retry_after_ms: u64,
+        /// Which budget rejected the submission (stable token:
+        /// `jobs`, `bytes`, `tenant`, `draining`).
+        reason: String,
+    },
     /// The peer reported a failure (`{"ok": false, ...}`).
     Remote(String),
 }
@@ -65,6 +92,8 @@ impl ServiceError {
             ServiceError::Accept(_) => "accept",
             ServiceError::Io(_) => "io",
             ServiceError::Parse(_) => "parse",
+            ServiceError::FrameTooLarge { .. } => "frame-too-large",
+            ServiceError::FrameTruncated { .. } => "frame-truncated",
             ServiceError::Version { .. } => "version",
             ServiceError::UnknownOp(_) => "unknown-op",
             ServiceError::UnknownJob(_) => "unknown-job",
@@ -72,8 +101,23 @@ impl ServiceError {
             ServiceError::WaitTimeout { .. } => "wait-timeout",
             ServiceError::Spec(_) => "spec",
             ServiceError::Cache(_) => "cache",
+            ServiceError::Journal(_) => "journal",
+            ServiceError::Overloaded { .. } => "overloaded",
             ServiceError::Remote(_) => "remote",
         }
+    }
+
+    /// Whether a client may transparently retry the operation that
+    /// produced this error: connection-level failures (the peer or the
+    /// network died) and overload rejections are retryable; semantic
+    /// errors (bad spec, unknown job, version skew) are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Io(_)
+                | ServiceError::FrameTruncated { .. }
+                | ServiceError::Overloaded { .. }
+        )
     }
 }
 
@@ -84,6 +128,13 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Accept(e) => write!(f, "accept: {e}"),
             ServiceError::Io(e) => write!(f, "connection: {e}"),
             ServiceError::Parse(e) => write!(f, "protocol parse: {e}"),
+            ServiceError::FrameTooLarge { limit, got } => write!(
+                f,
+                "frame exceeds the {limit}-byte bound ({got} bytes buffered)"
+            ),
+            ServiceError::FrameTruncated { got } => {
+                write!(f, "stream ended inside an unterminated frame ({got} bytes)")
+            }
             ServiceError::Version { expected, got } => write!(
                 f,
                 "protocol version mismatch: peer speaks v{got}, this build speaks v{expected}"
@@ -98,6 +149,14 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::Spec(e) => write!(f, "spec: {e}"),
             ServiceError::Cache(e) => write!(f, "cache: {e}"),
+            ServiceError::Journal(e) => write!(f, "journal: {e}"),
+            ServiceError::Overloaded {
+                retry_after_ms,
+                reason,
+            } => write!(
+                f,
+                "server overloaded ({reason}); retry after {retry_after_ms} ms"
+            ),
             ServiceError::Remote(e) => write!(f, "server: {e}"),
         }
     }
@@ -128,5 +187,35 @@ mod tests {
         };
         assert_eq!(timeout.code(), "wait-timeout");
         assert!(timeout.to_string().contains("250 ms"));
+    }
+
+    #[test]
+    fn robustness_errors_have_distinct_codes_and_retry_classes() {
+        let too_large = ServiceError::FrameTooLarge {
+            limit: 1024,
+            got: 2048,
+        };
+        assert_eq!(too_large.code(), "frame-too-large");
+        assert!(too_large.to_string().contains("1024"));
+        assert!(
+            !too_large.is_retryable(),
+            "an oversized frame will be oversized again"
+        );
+
+        let truncated = ServiceError::FrameTruncated { got: 17 };
+        assert_eq!(truncated.code(), "frame-truncated");
+        assert!(truncated.is_retryable(), "a cut line is a dead connection");
+
+        let overloaded = ServiceError::Overloaded {
+            retry_after_ms: 250,
+            reason: "jobs".into(),
+        };
+        assert_eq!(overloaded.code(), "overloaded");
+        assert!(overloaded.to_string().contains("250 ms"));
+        assert!(overloaded.is_retryable());
+
+        assert_eq!(ServiceError::Journal("torn".into()).code(), "journal");
+        assert!(!ServiceError::Spec("bad".into()).is_retryable());
+        assert!(ServiceError::Io("reset".into()).is_retryable());
     }
 }

@@ -1,0 +1,428 @@
+//! The durable write-ahead job journal.
+//!
+//! Every state transition the scheduler must not forget — an accepted
+//! submission, a per-cell completion, a cancellation — is appended to
+//! one journal file as a self-delimiting, FNV-checksummed JSON line
+//! *before* the transition is acknowledged to the client. On restart
+//! the server replays the journal: jobs come back under their original
+//! ids, completed cells resolve through the content-addressed result
+//! cache (zero re-simulation), and only genuinely unfinished cells are
+//! re-enqueued. A `kill -9` mid-sweep therefore costs nothing but the
+//! cells that were actually in flight.
+//!
+//! Durability discipline (same family as the result cache):
+//!
+//! * **Append + flush per record** — each record is one `\n`-terminated
+//!   line flushed to the OS before the write returns, so a killed
+//!   *process* never loses an acknowledged record (only a power loss
+//!   could, and the lenient loader bounds that cost to the torn tail).
+//! * **Per-line FNV checksum** — every record carries an FNV-1a
+//!   checksum over all of its fields; a flipped bit or a torn line
+//!   fails validation on load.
+//! * **Lenient line-by-line salvage** — loading never panics and never
+//!   discards the whole journal: each line either parses and validates
+//!   or is counted into [`JournalRecovery::dropped`] and skipped,
+//!   mirroring the sweep manifest's crash-recovery contract.
+//! * **Atomic compaction** — after a successful replay the journal is
+//!   rewritten from the salvaged records through a `.tmp` sibling and
+//!   `rename`, so corruption never accumulates and a crash mid-compact
+//!   leaves the previous journal intact.
+//!
+//! What is deliberately *not* journaled: trial outputs (they live in
+//! the result cache under the cell digest — the journal only records
+//! *that* a cell finished), and failed slots (a poisoned or timed-out
+//! cell should get a fresh chance after a restart).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use unxpec::experiments::seeding::fnv1a64;
+use unxpec_telemetry::json::{self, escape, Value};
+
+use crate::error::ServiceError;
+
+/// Record-format version; bump on any layout change so old journals
+/// read as corrupt records instead of mis-parsing.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// One durable scheduler transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A submission was accepted: job `job` (numeric part of `"j<n>"`)
+    /// for `tenant`, with the spec exactly as the client sent it.
+    Submit {
+        /// Numeric job id (the `n` of `"j<n>"`).
+        job: u64,
+        /// Owning tenant.
+        tenant: String,
+        /// The submitted spec text, verbatim.
+        spec_text: String,
+    },
+    /// Slot `slot` of job `job` completed with a result stored in the
+    /// cache under `cell`.
+    CellDone {
+        /// Numeric job id.
+        job: u64,
+        /// Slot index within the job's enumeration order.
+        slot: u64,
+        /// The cell digest the output is cached under.
+        cell: u64,
+    },
+    /// Job `job` was cancelled (pending slots skipped).
+    Cancel {
+        /// Numeric job id.
+        job: u64,
+    },
+}
+
+impl JournalRecord {
+    fn type_tag(&self) -> &'static str {
+        match self {
+            JournalRecord::Submit { .. } => "submit",
+            JournalRecord::CellDone { .. } => "done",
+            JournalRecord::Cancel { .. } => "cancel",
+        }
+    }
+
+    /// FNV-1a chain over every field; what detects torn/flipped lines.
+    fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(JOURNAL_VERSION);
+        mix(fnv1a64(self.type_tag()));
+        match self {
+            JournalRecord::Submit {
+                job,
+                tenant,
+                spec_text,
+            } => {
+                mix(*job);
+                mix(fnv1a64(tenant));
+                mix(fnv1a64(spec_text));
+            }
+            JournalRecord::CellDone { job, slot, cell } => {
+                mix(*job);
+                mix(*slot);
+                mix(*cell);
+            }
+            JournalRecord::Cancel { job } => mix(*job),
+        }
+        h
+    }
+
+    /// Renders the record as its one-line JSON form (with trailing
+    /// newline).
+    pub fn render(&self) -> String {
+        let checksum = format!("{:#x}", self.checksum());
+        match self {
+            JournalRecord::Submit {
+                job,
+                tenant,
+                spec_text,
+            } => format!(
+                "{{\"v\": {JOURNAL_VERSION}, \"type\": \"submit\", \"job\": {job}, \"tenant\": \"{}\", \"spec\": \"{}\", \"checksum\": \"{checksum}\"}}\n",
+                escape(tenant),
+                escape(spec_text)
+            ),
+            JournalRecord::CellDone { job, slot, cell } => format!(
+                "{{\"v\": {JOURNAL_VERSION}, \"type\": \"done\", \"job\": {job}, \"slot\": {slot}, \"cell\": \"{cell:#x}\", \"checksum\": \"{checksum}\"}}\n"
+            ),
+            JournalRecord::Cancel { job } => format!(
+                "{{\"v\": {JOURNAL_VERSION}, \"type\": \"cancel\", \"job\": {job}, \"checksum\": \"{checksum}\"}}\n"
+            ),
+        }
+    }
+
+    /// Parses and fully validates one journal line.
+    pub fn parse(line: &str) -> Result<JournalRecord, String> {
+        let doc = json::parse(line)?;
+        if doc.get("v").and_then(Value::as_u64) != Some(JOURNAL_VERSION) {
+            return Err("journal record version mismatch".to_string());
+        }
+        let field_u64 = |name: &str| -> Result<u64, String> {
+            doc.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("record missing numeric field {name:?}"))
+        };
+        let field_str = |name: &str| -> Result<String, String> {
+            doc.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record missing string field {name:?}"))
+        };
+        let field_hex = |name: &str| -> Result<u64, String> {
+            let s = field_str(name)?;
+            let raw = s
+                .strip_prefix("0x")
+                .ok_or_else(|| format!("{name} {s:?} missing 0x prefix"))?;
+            u64::from_str_radix(raw, 16).map_err(|e| format!("{name} {s:?}: {e}"))
+        };
+        let record = match field_str("type")?.as_str() {
+            "submit" => JournalRecord::Submit {
+                job: field_u64("job")?,
+                tenant: field_str("tenant")?,
+                spec_text: field_str("spec")?,
+            },
+            "done" => JournalRecord::CellDone {
+                job: field_u64("job")?,
+                slot: field_u64("slot")?,
+                cell: field_hex("cell")?,
+            },
+            "cancel" => JournalRecord::Cancel {
+                job: field_u64("job")?,
+            },
+            other => return Err(format!("unknown record type {other:?}")),
+        };
+        if record.checksum() != field_hex("checksum")? {
+            return Err("record checksum mismatch".to_string());
+        }
+        Ok(record)
+    }
+}
+
+/// What loading an existing journal recovered.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JournalRecovery {
+    /// Records that parsed and validated, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Lines dropped as corrupt (torn tail, flipped bits, old
+    /// versions). Typed and counted — salvage never panics.
+    pub dropped: u64,
+}
+
+/// The append handle over one journal file.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+    records: u64,
+}
+
+impl Journal {
+    /// Loads (leniently) whatever journal exists at `path`, compacts
+    /// the salvaged records back atomically, and opens the file for
+    /// appending. Returns the handle plus the recovery summary the
+    /// server replays from.
+    pub fn open(path: &Path) -> Result<(Journal, JournalRecovery), ServiceError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    ServiceError::Journal(format!("create {}: {e}", parent.display()))
+                })?;
+            }
+        }
+        let recovery = match std::fs::read_to_string(path) {
+            Ok(text) => Self::salvage(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => JournalRecovery::default(),
+            Err(e) => {
+                return Err(ServiceError::Journal(format!(
+                    "read {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        // Compact: rewrite only the salvaged records, atomically, so a
+        // corrupt tail doesn't survive into the next lifetime (and a
+        // crash mid-compact leaves the old journal intact).
+        let mut compacted = String::new();
+        for record in &recovery.records {
+            compacted.push_str(&record.render());
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &compacted)
+            .map_err(|e| ServiceError::Journal(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            ServiceError::Journal(format!(
+                "rename {} -> {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })?;
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| ServiceError::Journal(format!("open {}: {e}", path.display())))?;
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                file,
+                records: recovery.records.len() as u64,
+            },
+            recovery,
+        ))
+    }
+
+    /// Lenient line-by-line recovery: keep every line that parses and
+    /// validates, count the rest. Never an error, never a panic.
+    pub fn salvage(text: &str) -> JournalRecovery {
+        let mut recovery = JournalRecovery::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match JournalRecord::parse(line) {
+                Ok(record) => recovery.records.push(record),
+                Err(_) => recovery.dropped += 1,
+            }
+        }
+        recovery
+    }
+
+    /// Appends one record and flushes it to the OS. After this returns,
+    /// a killed process cannot lose the record.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), ServiceError> {
+        self.file
+            .write_all(record.render().as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| ServiceError::Journal(format!("append {}: {e}", self.path.display())))?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended or salvaged so far in this lifetime.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the journal currently holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("unxpec-journal-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join("journal.log")
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Submit {
+                job: 1,
+                tenant: "alice".into(),
+                spec_text: "experiments = count\nseeds = 2\n".into(),
+            },
+            JournalRecord::CellDone {
+                job: 1,
+                slot: 0,
+                cell: 0xdead_beef_cafe_f00d,
+            },
+            JournalRecord::Cancel { job: 1 },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_their_line_form() {
+        for record in sample_records() {
+            let line = record.render();
+            assert!(line.ends_with('\n'), "self-delimiting");
+            assert_eq!(line.matches('\n').count(), 1, "exactly one line");
+            assert_eq!(
+                JournalRecord::parse(line.trim_end()).expect("parse"),
+                record
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_rejects_field_tampering() {
+        let line = JournalRecord::Submit {
+            job: 2,
+            tenant: "bob".into(),
+            spec_text: "seeds = 4".into(),
+        }
+        .render();
+        let tampered = line.replacen("bob", "eve", 1);
+        assert!(
+            JournalRecord::parse(tampered.trim_end()).is_err(),
+            "tenant swap must fail the checksum"
+        );
+        let tampered = line.replacen("\"job\": 2", "\"job\": 3", 1);
+        assert!(JournalRecord::parse(tampered.trim_end()).is_err());
+    }
+
+    #[test]
+    fn open_append_reload_preserves_order() {
+        let path = tmp("roundtrip");
+        {
+            let (mut journal, recovery) = Journal::open(&path).expect("open fresh");
+            assert!(recovery.records.is_empty());
+            assert!(journal.is_empty());
+            for record in sample_records() {
+                journal.append(&record).expect("append");
+            }
+            assert_eq!(journal.len(), 3);
+        }
+        let (journal, recovery) = Journal::open(&path).expect("reopen");
+        assert_eq!(recovery.records, sample_records());
+        assert_eq!(recovery.dropped, 0);
+        assert_eq!(journal.len(), 3);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_line_by_line_and_compacted_away() {
+        let path = tmp("torn");
+        {
+            let (mut journal, _) = Journal::open(&path).expect("open");
+            for record in sample_records() {
+                journal.append(&record).expect("append");
+            }
+        }
+        // Simulate a crash mid-append: a partial record at the tail.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("{\"v\": 1, \"type\": \"done\", \"job\": 9, \"slo");
+        std::fs::write(&path, &text).expect("tear");
+
+        let (_, recovery) = Journal::open(&path).expect("reopen");
+        assert_eq!(recovery.records, sample_records(), "intact prefix kept");
+        assert_eq!(recovery.dropped, 1, "torn tail counted, not fatal");
+
+        // Compaction removed the torn line: a third open is clean.
+        let (_, again) = Journal::open(&path).expect("third open");
+        assert_eq!(again.dropped, 0, "compaction scrubbed the torn tail");
+        assert_eq!(again.records.len(), 3);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn version_skew_reads_as_dropped_not_misparsed() {
+        let line = sample_records()[1]
+            .render()
+            .replacen("\"v\": 1", "\"v\": 99", 1);
+        let recovery = Journal::salvage(&line);
+        assert!(recovery.records.is_empty());
+        assert_eq!(recovery.dropped, 1);
+    }
+
+    #[test]
+    fn spec_text_with_newlines_and_quotes_survives() {
+        let record = JournalRecord::Submit {
+            job: 7,
+            tenant: "tenant \"x\"".into(),
+            spec_text: "experiments = a\n# comment with \\ and \"quotes\"\nseeds = 3\n".into(),
+        };
+        let line = record.render();
+        assert_eq!(line.matches('\n').count(), 1, "newlines are escaped");
+        assert_eq!(
+            JournalRecord::parse(line.trim_end()).expect("parse"),
+            record
+        );
+    }
+}

@@ -13,11 +13,16 @@
 //! Layering:
 //!
 //! * [`protocol`] — the wire format (`submit`/`status`/`results`/
-//!   `stream`/`cancel`, versioned, typed errors).
+//!   `stream`/`cancel`, versioned, typed errors, bounded frames).
 //! * [`cache`] — the sharded, checksummed, LRU-bounded result store.
-//! * [`server`] — the scheduler, the [`Service`] API, and the
-//!   [`TcpFront`] listener.
-//! * [`client`] — the blocking client the `sweep-client` binary uses.
+//! * [`journal`] — the durable write-ahead job journal that makes a
+//!   `kill -9` cost zero completed trials.
+//! * [`server`] — the scheduler, admission control, the [`Service`]
+//!   API, and the [`TcpFront`] listener.
+//! * [`client`] — the blocking client plus the reconnecting
+//!   [`ResilientClient`] the `sweep-client` binary uses.
+//! * [`chaosproxy`] — a deterministic seed-driven network-fault proxy
+//!   for torture-testing all of the above.
 //!
 //! Everything is std-only and panic-free (clippy deny tables ban
 //! `unwrap`/`expect`/`panic!` in lib code); failures surface as
@@ -29,13 +34,17 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaosproxy;
 pub mod client;
 pub mod error;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheConfig, CacheStats, ResultCache};
-pub use client::{Client, RemoteStatus, Submitted};
+pub use chaosproxy::{ChaosConfig, ChaosProxy, FaultKind};
+pub use client::{Client, RemoteStatus, ResilientClient, Submitted};
 pub use error::ServiceError;
+pub use journal::{Journal, JournalRecord, JournalRecovery};
 pub use protocol::{parse_request, parse_response, render_request, Request, PROTOCOL_VERSION};
-pub use server::{JobStatus, Service, ServiceConfig, TcpFront};
+pub use server::{AdmissionConfig, JobStatus, Service, ServiceConfig, TcpFront};

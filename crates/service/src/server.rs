@@ -28,8 +28,9 @@
 //! line-delimited JSON listener described in [`crate::protocol`].
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -38,14 +39,15 @@ use std::time::{Duration, Instant};
 use unxpec::cpu::ExecMode;
 use unxpec::experiments::Scale;
 use unxpec_harness::{
-    aggregate, cell_digest, default_jobs, output_digest, run_tasks_with, Registry, RunPolicy,
-    SweepSpec, TaskOutcome, Trial, TrialCtx, TrialOutput, TrialResult, DIGEST_VERSION,
-    SIMULATOR_VERSION,
+    aggregate, cell_digest, default_jobs, output_digest, run_tasks_with, submission_digest,
+    Registry, RunPolicy, SweepSpec, TaskOutcome, Trial, TrialCtx, TrialOutput, TrialResult,
+    DIGEST_VERSION, SIMULATOR_VERSION,
 };
-use unxpec_telemetry::MetricsHub;
+use unxpec_telemetry::{Event, MetricsHub, Telemetry};
 
 use crate::cache::{CacheConfig, CacheStats, ResultCache};
 use crate::error::ServiceError;
+use crate::journal::{Journal, JournalRecord};
 use crate::protocol::{self, Request};
 
 /// Everything the service is configured with.
@@ -74,6 +76,15 @@ pub struct ServiceConfig {
     /// computed, so cached results never mix modes. `None` honours
     /// whatever mode the spec itself carries.
     pub mode_override: Option<ExecMode>,
+    /// Durable write-ahead job journal path; `None` runs journal-less
+    /// (a crash loses open jobs, though completed cells still survive
+    /// in the result cache).
+    pub journal: Option<PathBuf>,
+    /// Admission-control budgets (all unbounded by default).
+    pub admission: AdmissionConfig,
+    /// Event sink for journal-replay / admission / lifecycle events;
+    /// the default disabled handle costs one branch per emit.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +99,39 @@ impl Default for ServiceConfig {
             cache: None,
             hub: None,
             mode_override: None,
+            journal: None,
+            admission: AdmissionConfig::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Admission-control budgets. A submission that would exceed any of
+/// them is rejected with the typed [`ServiceError::Overloaded`] —
+/// carrying [`AdmissionConfig::retry_after_ms`] as the server-chosen
+/// backoff hint — instead of being queued into an unbounded backlog.
+/// Re-attaches to an existing job (same tenant, same submission
+/// digest) are never rejected: a resuming client must always be able
+/// to find its job, even mid-drain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Max unfinished jobs across all tenants; 0 = unbounded.
+    pub max_open_jobs: usize,
+    /// Max total spec bytes across unfinished jobs; 0 = unbounded.
+    pub max_pending_bytes: usize,
+    /// Max unfinished jobs per tenant; 0 = unbounded.
+    pub max_tenant_open_jobs: usize,
+    /// The retry hint carried by every `Overloaded` rejection, in ms.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_open_jobs: 0,
+            max_pending_bytes: 0,
+            max_tenant_open_jobs: 0,
+            retry_after_ms: 250,
         }
     }
 }
@@ -113,11 +157,23 @@ enum Slot {
 #[derive(Debug)]
 struct JobEntry {
     id: String,
+    /// Numeric part of `id` (`"j7"` → 7) — what the journal records.
+    num: u64,
     tenant: String,
     spec: SweepSpec,
+    /// The spec exactly as submitted: journaled verbatim so replay
+    /// re-parses the same text, and summed for the byte budget.
+    spec_text: String,
+    /// [`submission_digest`] of the spec — the idempotency key that
+    /// turns a re-submitted spec into a re-attach.
+    sub_digest: u64,
     trials: Vec<Trial>,
     cells: Vec<u64>,
     slots: Vec<Slot>,
+    /// Rendered per-trial event lines, one per terminal transition, in
+    /// occurrence order. A `stream` request with `from: n` replays
+    /// `events[n..]` — the session-resume ledger.
+    events: Vec<String>,
     submitted: Instant,
     cancelled: bool,
     /// Whether the job's completion was already counted into metrics.
@@ -134,6 +190,35 @@ impl JobEntry {
 
     fn next_pending(&self) -> Option<usize> {
         self.slots.iter().position(|s| matches!(s, Slot::Pending))
+    }
+
+    /// Appends the terminal-transition event for `slot` to the job's
+    /// replayable event ledger. Call *after* the slot is terminal.
+    fn push_event(&mut self, slot: usize) {
+        use unxpec_telemetry::json::escape;
+        let seq = self.events.len();
+        let key = escape(&self.trials[slot].key);
+        let (done, total) = {
+            let done = self
+                .slots
+                .iter()
+                .filter(|s| !matches!(s, Slot::Pending | Slot::Running))
+                .count();
+            (done, self.slots.len())
+        };
+        let line = match &self.slots[slot] {
+            Slot::Done { digest, cached, .. } => format!(
+                "{{\"event\": \"trial\", \"seq\": {seq}, \"trial\": \"{key}\", \"state\": \"done\", \"digest\": \"{digest:#018x}\", \"cached\": {cached}, \"done\": {done}, \"total\": {total}}}\n"
+            ),
+            Slot::Failed { kind, .. } => format!(
+                "{{\"event\": \"trial\", \"seq\": {seq}, \"trial\": \"{key}\", \"state\": \"failed\", \"kind\": \"{kind}\", \"done\": {done}, \"total\": {total}}}\n"
+            ),
+            Slot::Skipped => format!(
+                "{{\"event\": \"trial\", \"seq\": {seq}, \"trial\": \"{key}\", \"state\": \"skipped\", \"done\": {done}, \"total\": {total}}}\n"
+            ),
+            Slot::Pending | Slot::Running => return,
+        };
+        self.events.push(line);
     }
 }
 
@@ -189,6 +274,9 @@ struct SchedulerState {
     cell_failures: HashMap<u64, u32>,
     /// Cells quarantined after repeated failures.
     quarantined: std::collections::HashSet<u64>,
+    /// Draining: stop admitting new work, finish (or leave journaled)
+    /// what is in flight. Set by [`Service::begin_drain`] on SIGTERM.
+    draining: bool,
     shutdown: bool,
 }
 
@@ -203,6 +291,9 @@ struct Inner {
     registry: Registry,
     config: ServiceConfig,
     cache: Option<Mutex<ResultCache>>,
+    /// The write-ahead journal. Lock order: `state` → `journal` (the
+    /// journal is never held across a cache or pool operation).
+    journal: Option<Mutex<Journal>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -233,12 +324,24 @@ struct BatchItem {
 
 impl Service {
     /// Builds a service over `registry`, opening the cache if one is
-    /// configured. No scheduler runs yet: call [`Service::start_worker`]
-    /// for a live server or [`Service::tick`] from tests.
+    /// configured and replaying the job journal if one is. Replay
+    /// re-creates every journaled job under its original id, resolves
+    /// journaled-done cells through the result cache (zero
+    /// re-simulation), and re-enqueues only the cells the previous
+    /// lifetime never finished. No scheduler runs yet: call
+    /// [`Service::start_worker`] for a live server or [`Service::tick`]
+    /// from tests.
     pub fn new(registry: Registry, config: ServiceConfig) -> Result<Self, ServiceError> {
         let cache = match &config.cache {
             Some(cache_config) => Some(Mutex::new(ResultCache::open(cache_config)?)),
             None => None,
+        };
+        let (journal, recovery) = match &config.journal {
+            Some(path) => {
+                let (journal, recovery) = Journal::open(path)?;
+                (Some(Mutex::new(journal)), Some(recovery))
+            }
+            None => (None, None),
         };
         let service = Service {
             inner: Arc::new(Inner {
@@ -248,11 +351,164 @@ impl Service {
                 registry,
                 config,
                 cache,
+                journal,
             }),
             worker: None,
         };
+        if let Some(recovery) = recovery {
+            service.replay(&recovery);
+        }
         service.publish_cache_stats();
         Ok(service)
+    }
+
+    /// Rebuilds scheduler state from a journal recovery. Lenient at
+    /// every step: a record whose job vanished, whose spec no longer
+    /// parses against this build's registry, or whose cell digest no
+    /// longer matches its slot is dropped (and counted) rather than
+    /// fatal — a journal can never brick the server.
+    fn replay(&self, recovery: &crate::journal::JournalRecovery) {
+        let inner = &self.inner;
+        let mut st = lock(&inner.state);
+        let mut dropped = recovery.dropped;
+        let mut replayed = 0u64;
+        for record in &recovery.records {
+            match record {
+                JournalRecord::Submit {
+                    job,
+                    tenant,
+                    spec_text,
+                } => {
+                    let parsed = SweepSpec::parse(spec_text).ok().and_then(|mut spec| {
+                        if let Some(mode) = inner.config.mode_override {
+                            spec.mode = mode;
+                        }
+                        let trials = spec.enumerate(&inner.registry).ok()?;
+                        Some((spec, trials))
+                    });
+                    let Some((spec, trials)) = parsed else {
+                        dropped += 1;
+                        continue;
+                    };
+                    let cells: Vec<u64> = trials
+                        .iter()
+                        .map(|t| cell_digest(&spec, &t.experiment, &t.variant, t.seed_index))
+                        .collect();
+                    let n = trials.len();
+                    st.next_job = st.next_job.max(*job);
+                    if !st.tenants.iter().any(|t| t == tenant) {
+                        st.tenants.push(tenant.clone());
+                    }
+                    st.jobs.push(JobEntry {
+                        id: format!("j{job}"),
+                        num: *job,
+                        tenant: tenant.clone(),
+                        sub_digest: submission_digest(&spec),
+                        spec,
+                        spec_text: spec_text.clone(),
+                        trials,
+                        cells,
+                        slots: vec![Slot::Pending; n],
+                        events: Vec::new(),
+                        submitted: Instant::now(),
+                        cancelled: false,
+                        counted: false,
+                    });
+                }
+                JournalRecord::CellDone { job, slot, cell } => {
+                    let Some(idx) = st.jobs.iter().position(|j| j.num == *job) else {
+                        dropped += 1;
+                        continue;
+                    };
+                    let slot = *slot as usize;
+                    if st.jobs[idx].cells.get(slot) != Some(cell) {
+                        // Spec semantics moved under the journal (new
+                        // digest version, different enumeration): force
+                        // a fresh run rather than trust a stale match.
+                        dropped += 1;
+                        continue;
+                    }
+                    // Same resolution chain as the scheduler: earlier
+                    // replayed jobs first (memo), then the disk cache.
+                    let memo = st.completed_cells.get(cell).copied().and_then(|(j, s)| {
+                        match &st.jobs[j].slots[s] {
+                            Slot::Done { output, digest, .. } => Some((output.clone(), *digest)),
+                            _ => None,
+                        }
+                    });
+                    let resolved = memo.or_else(|| {
+                        inner
+                            .cache
+                            .as_ref()
+                            .and_then(|c| lock(c).get(*cell))
+                            .map(|output| {
+                                let digest = output_digest(&output);
+                                (output, digest)
+                            })
+                    });
+                    // A miss (evicted, corrupt, cacheless server)
+                    // leaves the cell Pending and it re-runs —
+                    // correctness over thrift.
+                    if let Some((output, digest)) = resolved {
+                        st.jobs[idx].slots[slot] = Slot::Done {
+                            output,
+                            digest,
+                            cached: true,
+                        };
+                        st.completed_cells.insert(*cell, (idx, slot));
+                        st.jobs[idx].push_event(slot);
+                        replayed += 1;
+                    }
+                }
+                JournalRecord::Cancel { job } => {
+                    let Some(idx) = st.jobs.iter().position(|j| j.num == *job) else {
+                        dropped += 1;
+                        continue;
+                    };
+                    st.jobs[idx].cancelled = true;
+                    for s in 0..st.jobs[idx].slots.len() {
+                        if matches!(st.jobs[idx].slots[s], Slot::Pending) {
+                            st.jobs[idx].slots[s] = Slot::Skipped;
+                            st.jobs[idx].push_event(s);
+                        }
+                    }
+                }
+            }
+        }
+        // Jobs that came back fully finished were already counted by
+        // the previous lifetime; don't count their completion twice.
+        for entry in &mut st.jobs {
+            if entry.finished() {
+                entry.counted = true;
+            }
+        }
+        let requeued: u64 = st
+            .jobs
+            .iter()
+            .flat_map(|j| j.slots.iter())
+            .filter(|s| matches!(s, Slot::Pending))
+            .count() as u64;
+        let jobs = st.jobs.len() as u64;
+        drop(st);
+        let records = recovery.records.len() as u64;
+        if let Some(hub) = &inner.config.hub {
+            hub.update(|m| {
+                m.set("service.journal.records", records);
+                m.set("service.journal.jobs", jobs);
+                m.set("service.journal.replayed", replayed);
+                m.set("service.journal.requeued", requeued);
+                m.set("service.journal.dropped", dropped);
+            });
+        }
+        inner.config.telemetry.emit(Event::JournalReplay {
+            records,
+            replayed,
+            requeued,
+            dropped,
+        });
+        if requeued > 0 {
+            inner.wake.notify_all();
+        }
     }
 
     /// Spawns the background scheduler thread. Idempotent per service:
@@ -287,12 +543,22 @@ impl Service {
 
     /// Parses and enumerates `spec_text` for `tenant`, queues the job,
     /// and returns `(job id, trial count)`.
+    ///
+    /// Submission is **idempotent**: if this tenant already has a
+    /// non-cancelled job with the same [`submission_digest`], the
+    /// existing job's id is returned instead of queuing a duplicate —
+    /// a reconnecting client that lost the submit response simply
+    /// re-attaches. New work is subject to admission control
+    /// ([`AdmissionConfig`]) and refused with the typed
+    /// [`ServiceError::Overloaded`] while draining; re-attaches are
+    /// exempt from both.
     pub fn submit(&self, tenant: &str, spec_text: &str) -> Result<(String, usize), ServiceError> {
         let mut spec =
             SweepSpec::parse(spec_text).map_err(|e| ServiceError::Spec(format!("{e:?}")))?;
         if let Some(mode) = self.inner.config.mode_override {
             spec.mode = mode;
         }
+        let sub_digest = submission_digest(&spec);
         let trials = spec
             .enumerate(&self.inner.registry)
             .map_err(|e| ServiceError::Spec(format!("{e:?}")))?;
@@ -302,18 +568,49 @@ impl Service {
             .collect();
         let n = trials.len();
         let mut st = lock(&self.inner.state);
+        // Re-attach before admission: a resuming client must find its
+        // job even when the server is saturated or draining.
+        if let Some(existing) = st
+            .jobs
+            .iter()
+            .find(|j| j.tenant == tenant && j.sub_digest == sub_digest && !j.cancelled)
+        {
+            let found = (existing.id.clone(), existing.trials.len());
+            drop(st);
+            self.hub_inc("service.jobs.reattached", 1);
+            return Ok(found);
+        }
+        self.admit(&st, tenant, spec_text.len())?;
         st.next_job += 1;
-        let id = format!("j{}", st.next_job);
+        let num = st.next_job;
+        let id = format!("j{num}");
+        // Write-ahead: the journal holds the submission before the
+        // scheduler can see it, so an acknowledged job survives kill -9.
+        if let Some(journal) = &self.inner.journal {
+            let record = JournalRecord::Submit {
+                job: num,
+                tenant: tenant.to_string(),
+                spec_text: spec_text.to_string(),
+            };
+            if let Err(e) = lock(journal).append(&record) {
+                st.next_job -= 1;
+                return Err(e);
+            }
+        }
         if !st.tenants.iter().any(|t| t == tenant) {
             st.tenants.push(tenant.to_string());
         }
         st.jobs.push(JobEntry {
             id: id.clone(),
+            num,
             tenant: tenant.to_string(),
+            sub_digest,
             spec,
+            spec_text: spec_text.to_string(),
             trials,
             cells,
             slots: vec![Slot::Pending; n],
+            events: Vec::new(),
             submitted: Instant::now(),
             cancelled: false,
             counted: false,
@@ -326,6 +623,52 @@ impl Service {
             self.inner.done.notify_all();
         }
         Ok((id, n))
+    }
+
+    /// Admission control for genuinely new work. Checks the cheapest
+    /// signal first; every rejection carries the configured retry hint
+    /// and a stable reason token (`draining`/`jobs`/`bytes`/`tenant`).
+    fn admit(
+        &self,
+        st: &SchedulerState,
+        tenant: &str,
+        spec_bytes: usize,
+    ) -> Result<(), ServiceError> {
+        let admission = &self.inner.config.admission;
+        let reject = |reason: &str, reason_code: u64| -> ServiceError {
+            let retry_after_ms = admission.retry_after_ms;
+            if let Some(hub) = &self.inner.config.hub {
+                hub.inc("service.admission.rejected", 1);
+                hub.inc(&format!("service.admission.rejected.{reason}"), 1);
+            }
+            self.inner.config.telemetry.emit(Event::AdmissionReject {
+                reason_code,
+                retry_after_ms,
+            });
+            ServiceError::Overloaded {
+                retry_after_ms,
+                reason: reason.to_string(),
+            }
+        };
+        if st.draining {
+            return Err(reject("draining", 4));
+        }
+        let open: Vec<&JobEntry> = st.jobs.iter().filter(|j| !j.finished()).collect();
+        if admission.max_open_jobs > 0 && open.len() >= admission.max_open_jobs {
+            return Err(reject("jobs", 1));
+        }
+        if admission.max_pending_bytes > 0 {
+            let pending: usize = open.iter().map(|j| j.spec_text.len()).sum();
+            if pending + spec_bytes > admission.max_pending_bytes {
+                return Err(reject("bytes", 2));
+            }
+        }
+        if admission.max_tenant_open_jobs > 0
+            && open.iter().filter(|j| j.tenant == tenant).count() >= admission.max_tenant_open_jobs
+        {
+            return Err(reject("tenant", 3));
+        }
+        Ok(())
     }
 
     /// One scheduling pass: resolve what the cache can, run one pool
@@ -385,13 +728,20 @@ impl Service {
         let entry = &mut st.jobs[index];
         entry.cancelled = true;
         let mut skipped = 0;
-        for slot in &mut entry.slots {
-            if matches!(slot, Slot::Pending) {
-                *slot = Slot::Skipped;
+        for s in 0..entry.slots.len() {
+            if matches!(entry.slots[s], Slot::Pending) {
+                entry.slots[s] = Slot::Skipped;
+                entry.push_event(s);
                 skipped += 1;
             }
         }
         let finished = entry.finished();
+        let num = entry.num;
+        if let Some(journal) = &self.inner.journal {
+            // Best-effort: a failed cancel append means a restarted
+            // server re-enqueues the skipped cells, never loses data.
+            let _ = lock(journal).append(&JournalRecord::Cancel { job: num });
+        }
         drop(st);
         self.hub_inc("service.jobs.cancelled", 1);
         if finished {
@@ -420,6 +770,62 @@ impl Service {
     /// Cache counters, if a cache is configured.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.inner.cache.as_ref().map(|c| lock(c).stats())
+    }
+
+    /// The job's replayable event lines starting at sequence `from`,
+    /// plus its current status — the `stream` op's resume primitive.
+    pub fn events_since(
+        &self,
+        job: &str,
+        from: usize,
+    ) -> Result<(Vec<String>, JobStatus), ServiceError> {
+        let st = lock(&self.inner.state);
+        let entry = Inner::find(&st, job)?;
+        let events = entry.events.get(from..).unwrap_or_default().to_vec();
+        Ok((events, Inner::status_of(entry)))
+    }
+
+    /// Enters graceful drain: new submissions are refused with the
+    /// typed `Overloaded{reason: "draining"}` while re-attaches,
+    /// status, stream, results, and cancel keep working. The scheduler
+    /// keeps running so in-flight jobs finish (anything that doesn't is
+    /// already in the journal for the next lifetime).
+    pub fn begin_drain(&self) {
+        lock(&self.inner.state).draining = true;
+        if let Some(hub) = &self.inner.config.hub {
+            hub.set("service.draining", 1);
+        }
+    }
+
+    /// Whether [`Service::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        lock(&self.inner.state).draining
+    }
+
+    /// Blocks until every job has finished or `timeout` elapses;
+    /// returns whether the drain completed. Either way the journal and
+    /// cache are already consistent — every accepted-but-unfinished
+    /// cell is journaled, so a subsequent restart resumes it.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.inner.state);
+        st.draining = true;
+        loop {
+            if st.jobs.iter().all(JobEntry::finished) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let step = (deadline - now).min(Duration::from_millis(50));
+            let (guard, _) = self
+                .inner
+                .done
+                .wait_timeout(st, step)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
     }
 
     /// Stops the worker thread (if running). Called by `Drop`.
@@ -522,6 +928,10 @@ impl Inner {
         let mut cache_hits = 0u64;
         let mut memo_hits = 0u64;
         let mut quarantine_drops = 0u64;
+        // Completed cells to journal this tick (job num, slot, cell).
+        // Appended after the state lock drops; the Submit record always
+        // precedes them because `submit` journals synchronously.
+        let mut journal_done: Vec<JournalRecord> = Vec::new();
 
         loop {
             let n_tenants = st.tenants.len();
@@ -572,6 +982,7 @@ impl Inner {
                         error: "cell quarantined after repeated failures".to_string(),
                         attempts: 0,
                     };
+                    st.jobs[job_idx].push_event(slot_idx);
                     resolved += 1;
                     quarantine_drops += 1;
                 } else if inflight.contains(&cell) {
@@ -587,6 +998,12 @@ impl Inner {
                         digest,
                         cached: true,
                     };
+                    st.jobs[job_idx].push_event(slot_idx);
+                    journal_done.push(JournalRecord::CellDone {
+                        job: st.jobs[job_idx].num,
+                        slot: slot_idx as u64,
+                        cell,
+                    });
                     resolved += 1;
                     cache_hits += 1;
                 } else if let Some((output, digest)) = memo_done {
@@ -599,6 +1016,12 @@ impl Inner {
                         digest,
                         cached: true,
                     };
+                    st.jobs[job_idx].push_event(slot_idx);
+                    journal_done.push(JournalRecord::CellDone {
+                        job: st.jobs[job_idx].num,
+                        slot: slot_idx as u64,
+                        cell,
+                    });
                     resolved += 1;
                     memo_hits += 1;
                 } else {
@@ -694,6 +1117,12 @@ impl Inner {
                                 digest,
                                 cached: true,
                             };
+                            st.jobs[job_idx].push_event(slot_idx);
+                            journal_done.push(JournalRecord::CellDone {
+                                job: st.jobs[job_idx].num,
+                                slot: slot_idx as u64,
+                                cell: item.cell,
+                            });
                             coalesced += 1;
                         }
                         puts.push((item.cell, output.clone()));
@@ -703,6 +1132,12 @@ impl Inner {
                             digest,
                             cached: false,
                         };
+                        st.jobs[item.job].push_event(item.slot);
+                        journal_done.push(JournalRecord::CellDone {
+                            job: st.jobs[item.job].num,
+                            slot: item.slot as u64,
+                            cell: item.cell,
+                        });
                     }
                     TaskOutcome::Done {
                         value: Err(error), ..
@@ -713,12 +1148,14 @@ impl Inner {
                                 error: error.clone(),
                                 attempts: 1,
                             };
+                            st.jobs[job_idx].push_event(slot_idx);
                         }
                         st.jobs[item.job].slots[item.slot] = Slot::Failed {
                             kind: "spec",
                             error,
                             attempts: 1,
                         };
+                        st.jobs[item.job].push_event(item.slot);
                     }
                     TaskOutcome::Poisoned { error, attempts } => {
                         poisoned += 1;
@@ -729,12 +1166,14 @@ impl Inner {
                                 error: error.clone(),
                                 attempts,
                             };
+                            st.jobs[job_idx].push_event(slot_idx);
                         }
                         st.jobs[item.job].slots[item.slot] = Slot::Failed {
                             kind: "poisoned",
                             error,
                             attempts,
                         };
+                        st.jobs[item.job].push_event(item.slot);
                     }
                     TaskOutcome::TimedOut { error, attempts } => {
                         timed_out += 1;
@@ -745,12 +1184,14 @@ impl Inner {
                                 error: error.clone(),
                                 attempts,
                             };
+                            st.jobs[job_idx].push_event(slot_idx);
                         }
                         st.jobs[item.job].slots[item.slot] = Slot::Failed {
                             kind: "timed-out",
                             error,
                             attempts,
                         };
+                        st.jobs[item.job].push_event(item.slot);
                     }
                 }
             }
@@ -771,6 +1212,18 @@ impl Inner {
             let mut guard = lock(cache);
             for (cell, output) in &puts {
                 let _ = guard.put(*cell, output);
+            }
+        }
+
+        // Journal completions after the cache put: a CellDone record
+        // promises the output is resolvable on replay, so it must not
+        // land before the cache entry it points at. Appends are
+        // best-effort — a failed append costs a re-run after restart
+        // (which the cache then absorbs), never correctness.
+        if let Some(journal) = &inner.journal {
+            let mut guard = lock(journal);
+            for record in &journal_done {
+                let _ = guard.append(record);
             }
         }
 
@@ -953,9 +1406,22 @@ fn serve_connection(service: &Service, stream: TcpStream) -> Result<(), ServiceE
         .try_clone()
         .map_err(|e| ServiceError::Io(e.to_string()))?;
     let mut writer = stream;
-    let lines = BufReader::new(reader).lines();
-    for line in lines {
-        let line = line.map_err(|e| ServiceError::Io(e.to_string()))?;
+    let mut reader = BufReader::new(reader);
+    loop {
+        // Bounded frame reader: a peer that never sends a newline can
+        // make the server buffer at most MAX_FRAME_BYTES, and the
+        // failure is a typed response, not a hung or bloated thread.
+        let line = match protocol::read_frame(&mut reader, protocol::MAX_FRAME_BYTES) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                // Tell the peer why before giving up on the stream: the
+                // read position is mid-frame, so resynchronization is
+                // impossible and the connection must close.
+                let _ = writer.write_all(protocol::error_response(&e).as_bytes());
+                return Err(e);
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -976,7 +1442,6 @@ fn serve_connection(service: &Service, stream: TcpStream) -> Result<(), ServiceE
             }
         }
     }
-    Ok(())
 }
 
 fn handle_request(
@@ -1012,30 +1477,30 @@ fn handle_request(
                 escape(&job)
             ))
         }
-        Request::Stream { job } => {
-            // Progress events until the job finishes, then one final
-            // status line with "ok". Each event is its own line.
-            let mut last_open = usize::MAX;
+        Request::Stream { job, from } => {
+            // Per-trial events from sequence `from` until the job
+            // finishes, then one final status line with "ok". A
+            // reconnecting client passes the last sequence number it
+            // saw and receives exactly the events it missed — already-
+            // delivered events are never re-sent, future ones arrive
+            // as they happen.
+            let mut next = from as usize;
             loop {
-                let s = match service.wait(&job, Duration::from_millis(200)) {
-                    Ok(s) => s,
-                    // A still-running job is normal for stream: emit the
-                    // current counters and keep waiting.
-                    Err(ServiceError::WaitTimeout { .. }) => service.status(&job)?,
-                    Err(e) => return Err(e),
-                };
-                if s.open != last_open {
-                    last_open = s.open;
-                    let event = format!(
-                        "{{\"event\": \"progress\", \"done\": {}, \"cached\": {}, \"failed\": {}, \"total\": {}}}\n",
-                        s.done, s.cached, s.failed, s.total
-                    );
+                let (events, status) = service.events_since(&job, next)?;
+                for event in &events {
                     writer
                         .write_all(event.as_bytes())
                         .map_err(|e| ServiceError::Io(e.to_string()))?;
                 }
-                if s.finished() {
-                    return Ok(status_line(&s));
+                next += events.len();
+                if status.finished() {
+                    return Ok(status_line(&status));
+                }
+                match service.wait(&job, Duration::from_millis(200)) {
+                    // Loop re-reads the ledger either way; a timeout
+                    // just means no terminal transition yet.
+                    Ok(_) | Err(ServiceError::WaitTimeout { .. }) => {}
+                    Err(e) => return Err(e),
                 }
             }
         }

@@ -40,11 +40,14 @@ pub enum Track {
     Analysis,
     /// Fault injection and invariant-sanitizer activity.
     Chaos,
+    /// Sweep-service lifecycle: journal replay, admission decisions,
+    /// client reconnects (wall-clock events; rendered at t=0).
+    Service,
 }
 
 impl Track {
     /// All tracks, in display order.
-    pub const ALL: [Track; 7] = [
+    pub const ALL: [Track; 8] = [
         Track::Pipeline,
         Track::L1,
         Track::L2,
@@ -52,6 +55,7 @@ impl Track {
         Track::Defense,
         Track::Analysis,
         Track::Chaos,
+        Track::Service,
     ];
 
     /// Stable display name.
@@ -64,6 +68,7 @@ impl Track {
             Track::Defense => "defense",
             Track::Analysis => "analysis",
             Track::Chaos => "chaos",
+            Track::Service => "service",
         }
     }
 
@@ -77,6 +82,7 @@ impl Track {
             Track::Defense => 5,
             Track::Analysis => 6,
             Track::Chaos => 7,
+            Track::Service => 8,
         }
     }
 }
@@ -219,6 +225,31 @@ pub enum Event {
         code: u64,
         detail: u64,
     },
+
+    // ----- Sweep-service lifecycle ------------------------------------------
+    /// The sweep service replayed its write-ahead job journal on
+    /// startup: `records` valid records were applied, `replayed`
+    /// completed cells were restored without re-simulation, `requeued`
+    /// unfinished cells went back to pending, and `dropped` corrupt
+    /// tail records were salvaged around (wall-clock event; no cycle).
+    JournalReplay {
+        records: u64,
+        replayed: u64,
+        requeued: u64,
+        dropped: u64,
+    },
+    /// Admission control rejected a submission. `reason_code` is the
+    /// stable code of the service's overload reason (1 = job budget,
+    /// 2 = byte budget, 3 = tenant quota, 4 = draining);
+    /// `retry_after_ms` is the hint returned to the client.
+    AdmissionReject {
+        reason_code: u64,
+        retry_after_ms: u64,
+    },
+    /// A resilient client re-established its session after a broken
+    /// connection: `attempt` is the reconnect attempt number,
+    /// `resumed_seq` the per-job event sequence streaming resumed from.
+    ClientReconnect { attempt: u64, resumed_seq: u64 },
 }
 
 impl Event {
@@ -243,8 +274,13 @@ impl Event {
             | Event::RollbackRestore { cycle, .. }
             | Event::FaultInjected { cycle, .. }
             | Event::InvariantTrip { cycle, .. } => cycle,
-            // Static findings have no cycle; they sort before any run.
-            Event::AnalysisLeak { .. } | Event::WitnessChecked { .. } => 0,
+            // Static findings and service lifecycle events have no
+            // cycle; they sort before any run.
+            Event::AnalysisLeak { .. }
+            | Event::WitnessChecked { .. }
+            | Event::JournalReplay { .. }
+            | Event::AdmissionReject { .. }
+            | Event::ClientReconnect { .. } => 0,
         }
     }
 
@@ -272,6 +308,9 @@ impl Event {
             }
             Event::AnalysisLeak { .. } | Event::WitnessChecked { .. } => Track::Analysis,
             Event::FaultInjected { .. } | Event::InvariantTrip { .. } => Track::Chaos,
+            Event::JournalReplay { .. }
+            | Event::AdmissionReject { .. }
+            | Event::ClientReconnect { .. } => Track::Service,
         }
     }
 
@@ -298,6 +337,9 @@ impl Event {
             Event::WitnessChecked { .. } => "witness_checked",
             Event::FaultInjected { .. } => "fault_injected",
             Event::InvariantTrip { .. } => "invariant_trip",
+            Event::JournalReplay { .. } => "journal_replay",
+            Event::AdmissionReject { .. } => "admission_reject",
+            Event::ClientReconnect { .. } => "client_reconnect",
         }
     }
 
@@ -393,6 +435,28 @@ impl Event {
             Event::InvariantTrip { code, detail, .. } => {
                 vec![("code", code), ("detail", detail)]
             }
+            Event::JournalReplay {
+                records,
+                replayed,
+                requeued,
+                dropped,
+            } => vec![
+                ("records", records),
+                ("replayed", replayed),
+                ("requeued", requeued),
+                ("dropped", dropped),
+            ],
+            Event::AdmissionReject {
+                reason_code,
+                retry_after_ms,
+            } => vec![
+                ("reason_code", reason_code),
+                ("retry_after_ms", retry_after_ms),
+            ],
+            Event::ClientReconnect {
+                attempt,
+                resumed_seq,
+            } => vec![("attempt", attempt), ("resumed_seq", resumed_seq)],
         }
     }
 }
@@ -555,6 +619,32 @@ mod tests {
         assert_eq!(fault.name(), "fault_injected");
         assert_eq!(trip.name(), "invariant_trip");
         assert_eq!(fault.args(), vec![("kind", 3), ("detail", 1 << 30)]);
+    }
+
+    #[test]
+    fn service_events_route_to_the_service_track() {
+        let replay = Event::JournalReplay {
+            records: 10,
+            replayed: 7,
+            requeued: 3,
+            dropped: 1,
+        };
+        let reject = Event::AdmissionReject {
+            reason_code: 1,
+            retry_after_ms: 250,
+        };
+        let reconnect = Event::ClientReconnect {
+            attempt: 2,
+            resumed_seq: 5,
+        };
+        for e in [replay, reject, reconnect] {
+            assert_eq!(e.track(), Track::Service);
+            assert_eq!(e.cycle(), 0, "service events are wall-clock");
+            assert!(!e.args().is_empty());
+        }
+        assert_eq!(replay.name(), "journal_replay");
+        assert_eq!(reject.args()[1], ("retry_after_ms", 250));
+        assert_eq!(reconnect.args()[0], ("attempt", 2));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! The network-chaos test matrix (`docs/service.md`, "Chaos proxy").
+//!
+//! Every scenario routes a real client/server session through the
+//! deterministic [`ChaosProxy`] with one fault class dialled up (plus
+//! a mixed scenario), and asserts the strongest property the service
+//! claims: the sweep document a resilient client extracts through a
+//! hostile network is **byte-identical** to the document over an
+//! undamaged connection, with every trial event delivered exactly
+//! once. Non-destructive faults (delay, split) must additionally cost
+//! zero reconnects; destructive faults (truncate, garble, sever) must
+//! actually bite — each scenario's seed is pinned, so "the chaos never
+//! fired" fails the test rather than silently passing it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use unxpec_harness::{FnExperiment, Registry, RunPolicy, TrialOutput};
+use unxpec_service::{
+    ChaosConfig, ChaosProxy, Client, ResilientClient, Service, ServiceConfig, TcpFront,
+};
+use unxpec_telemetry::{Event, Telemetry};
+
+/// Same counting experiment as `tests/service.rs` (integration test
+/// files cannot share modules): deterministic output, counts runs.
+fn counting_registry(counter: Arc<AtomicUsize>) -> Registry {
+    let mut registry = Registry::new();
+    registry.register(FnExperiment::new("count", &["a", "b"], move |ctx| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        let mut out = TrialOutput::new(
+            format!("variant {} seed {:#x}", ctx.variant, ctx.seed),
+            vec![],
+        );
+        out.metrics = vec![("seed_tenth".into(), (ctx.seed % 1000) as f64 / 10.0)];
+        out
+    }));
+    registry
+}
+
+/// Generous recovery budget: chaos scenarios damage many frames and
+/// every retry is cheap (2 ms base backoff, 20 ms cap).
+fn chaos_policy() -> RunPolicy {
+    RunPolicy {
+        retries: 60,
+        deadline: None,
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(20),
+    }
+}
+
+struct Scenario {
+    name: &'static str,
+    config: ChaosConfig,
+    /// Whether the fault class breaks connections (and therefore must
+    /// produce at least one reconnect at this pinned seed).
+    destructive: bool,
+}
+
+#[test]
+fn every_fault_kind_preserves_byte_identical_documents() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut service = Service::new(
+        counting_registry(Arc::clone(&counter)),
+        ServiceConfig {
+            jobs: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+    service.start_worker();
+    let service = Arc::new(service);
+    let front = TcpFront::start(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let upstream = front.addr().to_string();
+
+    let quiet = ChaosConfig {
+        max_delay_ms: 8,
+        ..ChaosConfig::default()
+    };
+    let scenarios = [
+        Scenario {
+            name: "delay",
+            config: ChaosConfig {
+                seed: 0xd31a,
+                delay_permille: 350,
+                ..quiet
+            },
+            destructive: false,
+        },
+        Scenario {
+            name: "split",
+            config: ChaosConfig {
+                seed: 0x5b17,
+                split_permille: 400,
+                ..quiet
+            },
+            destructive: false,
+        },
+        Scenario {
+            name: "truncate",
+            config: ChaosConfig {
+                seed: 0x7a0c,
+                truncate_permille: 200,
+                ..quiet
+            },
+            destructive: true,
+        },
+        Scenario {
+            name: "garble",
+            config: ChaosConfig {
+                seed: 0x6a4b,
+                garble_permille: 200,
+                ..quiet
+            },
+            destructive: true,
+        },
+        Scenario {
+            name: "sever",
+            config: ChaosConfig {
+                seed: 0x5e4e,
+                sever_permille: 150,
+                ..quiet
+            },
+            destructive: true,
+        },
+        Scenario {
+            name: "mixed",
+            config: ChaosConfig {
+                seed: 0x1915,
+                delay_permille: 80,
+                split_permille: 80,
+                truncate_permille: 80,
+                garble_permille: 80,
+                sever_permille: 80,
+                ..quiet
+            },
+            destructive: true,
+        },
+    ];
+
+    for (index, scenario) in scenarios.iter().enumerate() {
+        // A distinct spec per scenario, so each one exercises live
+        // scheduling rather than re-attaching to a finished job.
+        let spec = format!(
+            "experiments = count\nseeds = 4\nroot-seed = {:#x}",
+            0xc4a0_5000 + index
+        );
+
+        // Reference document over an undamaged connection.
+        let reference = {
+            let mut direct = Client::connect(&upstream).expect("direct connect");
+            let submitted = direct
+                .submit(&format!("{}-ref", scenario.name), &spec)
+                .expect("reference submit");
+            direct
+                .stream(&submitted.job, |_, _| {})
+                .expect("reference stream");
+            direct.results(&submitted.job).expect("reference results")
+        };
+
+        let mut proxy =
+            ChaosProxy::start("127.0.0.1:0", &upstream, scenario.config).expect("proxy");
+        let telemetry = Telemetry::ring(256);
+        let mut client = ResilientClient::new(&proxy.addr().to_string(), chaos_policy())
+            .with_telemetry(telemetry.clone());
+
+        let submitted = client
+            .submit(scenario.name, &spec)
+            .unwrap_or_else(|e| panic!("{}: submit failed: {e}", scenario.name));
+        let mut events_seen = 0u64;
+        let status = client
+            .stream(&submitted.job, |_, _| events_seen += 1)
+            .unwrap_or_else(|e| panic!("{}: stream failed: {e}", scenario.name));
+        assert!(status.finished, "{}: job finished", scenario.name);
+        assert_eq!(
+            events_seen, 8,
+            "{}: each trial event delivered exactly once",
+            scenario.name
+        );
+        let text = client
+            .results(&submitted.job)
+            .unwrap_or_else(|e| panic!("{}: results failed: {e}", scenario.name));
+        assert_eq!(
+            text, reference,
+            "{}: document through chaos is byte-identical",
+            scenario.name
+        );
+
+        let reconnects = telemetry
+            .snapshot()
+            .iter()
+            .filter(|e| matches!(e, Event::ClientReconnect { .. }))
+            .count();
+        if scenario.destructive {
+            assert!(
+                reconnects > 0,
+                "{}: pinned seed must actually break the session at least once",
+                scenario.name
+            );
+        } else {
+            assert_eq!(
+                reconnects, 0,
+                "{}: non-destructive faults must not cost a reconnect",
+                scenario.name
+            );
+        }
+        proxy.shutdown();
+    }
+}
